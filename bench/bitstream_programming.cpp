@@ -1,0 +1,58 @@
+// Configuration-compiler bench: from the routed design to the physical
+// relay bitstream and the half-select programming plan — connecting the
+// paper's architecture study (Sec 3) back to its programming demonstration
+// (Sec 2). Reports relay utilization, the pin-assignment quality of the
+// pooled-pin routing model, and full-chip configuration time/energy with
+// the 22 nm device of Fig 11.
+#include <cstdio>
+
+#include "config/bitstream.hpp"
+#include "netlist/mcnc.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  std::printf("bitstream + half-select programming plan (W = 118, 22 nm "
+              "relays)\n\n");
+
+  TextTable t({"circuit", "relays on", "total relays", "util.",
+               "pin conflicts", "config time", "line energy"});
+  for (const char* name : {"tseng", "alu4", "seq"}) {
+    FlowOptions opt;
+    opt.arch.W = 118;
+    const auto flow = run_flow(generate_benchmark(name), opt);
+    const auto bs = generate_bitstream(flow);
+    const auto plan = plan_programming(flow, bs);
+    char conflicts[48];
+    std::snprintf(conflicts, sizeof conflicts, "%zu/%zu (%.1f%%)",
+                  bs.pins.conflicted_sinks, bs.pins.total_sinks,
+                  100.0 * bs.pins.conflict_fraction());
+    t.add_row({name, std::to_string(bs.relays_on),
+               std::to_string(bs.relays_total),
+               TextTable::num(100.0 * bs.utilization(), 2) + "%", conflicts,
+               TextTable::num(plan.total_time * 1e6, 1) + " us",
+               TextTable::num(plan.line_energy * 1e9, 2) + " nJ"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Show the plan parameters once.
+  FlowOptions opt;
+  opt.arch.W = 118;
+  const auto flow = run_flow(generate_benchmark("tseng"), opt);
+  const auto bs = generate_bitstream(flow);
+  const auto plan = plan_programming(flow, bs);
+  std::printf("plan details (tseng):\n");
+  std::printf("  voltages      : Vhold=%.3f V, Vselect=%.3f V (Sec 2.2 "
+              "constraints)\n", plan.voltages.vhold, plan.voltages.vselect);
+  std::printf("  row steps     : %zu (crossbar + CB + SB arrays, all tiles "
+              "in parallel)\n", plan.row_steps);
+  std::printf("  step time     : %.1f ns (10x mechanical pull-in settle)\n",
+              plan.step_time * 1e9);
+  std::printf("  total config  : %.1f us\n", plan.total_time * 1e6);
+  std::printf("\n-> full-chip configuration completes in microseconds —\n"
+              "   the >1 ns mechanical delay is irrelevant at ~500\n"
+              "   reconfigurations per lifetime (Sec 1), and zero SRAM\n"
+              "   cells are involved (Fig 3b).\n");
+  return 0;
+}

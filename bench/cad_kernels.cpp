@@ -1,0 +1,103 @@
+// google-benchmark micro-benchmarks of the CAD-flow kernels (infrastructure
+// performance, not a paper figure): Elmore evaluation, RR-graph
+// construction, placement annealing and PathFinder routing.
+#include <benchmark/benchmark.h>
+
+#include "arch/rr_graph.hpp"
+#include "circuit/rc_tree.hpp"
+#include "netlist/synth_gen.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+namespace {
+
+void BM_ElmoreLadder(benchmark::State& state) {
+  RcTree t;
+  RcNodeId prev = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    prev = t.add_node(prev, 100.0, 1e-15);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.elmore_all(1000.0));
+  }
+}
+BENCHMARK(BM_ElmoreLadder)->Arg(16)->Arg(256);
+
+void BM_RrGraphBuild(benchmark::State& state) {
+  ArchParams arch;
+  arch.W = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    RrGraph g(arch, 12, 12);
+    benchmark::DoNotOptimize(g.node_count());
+  }
+}
+BENCHMARK(BM_RrGraphBuild)->Arg(40)->Arg(118);
+
+struct FlowFixture {
+  Netlist nl;
+  ArchParams arch;
+  Packing pk;
+  std::size_t nx, ny;
+
+  FlowFixture() {
+    SynthSpec spec;
+    spec.name = "bench-kernels";
+    spec.n_luts = 400;
+    spec.n_inputs = 20;
+    spec.n_outputs = 16;
+    spec.n_latches = 60;
+    nl = generate_netlist(spec);
+    arch.W = 64;
+    pk = pack_netlist(nl, arch);
+    const auto grid = grid_size_for(arch, pk.clusters.size(),
+                                    pk.io_block_count());
+    nx = grid.first;
+    ny = grid.second;
+  }
+};
+
+void BM_Pack(benchmark::State& state) {
+  FlowFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_netlist(f.nl, f.arch));
+  }
+}
+BENCHMARK(BM_Pack);
+
+void BM_Place(benchmark::State& state) {
+  FlowFixture f;
+  PlaceOptions opt;
+  opt.inner_num = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place(f.nl, f.pk, f.arch, f.nx, f.ny, opt));
+  }
+}
+BENCHMARK(BM_Place);
+
+void BM_Route(benchmark::State& state) {
+  FlowFixture f;
+  const Placement pl = place(f.nl, f.pk, f.arch, f.nx, f.ny);
+  const RrGraph g(f.arch, f.nx, f.ny);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_all(g, pl));
+  }
+}
+BENCHMARK(BM_Route);
+
+void BM_MakeView(benchmark::State& state) {
+  ArchParams arch;
+  arch.W = 118;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_view(arch, FpgaVariant::kNemOptimized, 4.0));
+  }
+}
+BENCHMARK(BM_MakeView);
+
+}  // namespace
+}  // namespace nemfpga
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces paper Fig 11: the 22 nm-node scaled NEM relay — dimensions,
+// equivalent-circuit parameters (Ron / Con / Coff) and switching voltages —
+// derived from our calibrated physics model and compared against the
+// paper's stated values.
+#include <cstdio>
+
+#include "device/equivalent.hpp"
+#include "device/nem_relay.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  std::printf("Fig 11 — scaled 22 nm NEM relay device parameters\n\n");
+  const RelayDesign d = scaled_relay_22nm();
+  const auto eq = equivalent_circuit(d);
+
+  TextTable dims({"dimension", "model", "paper (Fig 11)"});
+  dims.add_row({"L", TextTable::num(d.geometry.length / nano, 0) + " nm",
+                "275 nm"});
+  dims.add_row({"h", TextTable::num(d.geometry.thickness / nano, 0) + " nm",
+                "11 nm"});
+  dims.add_row({"g0", TextTable::num(d.geometry.gap / nano, 0) + " nm",
+                "11 nm"});
+  dims.add_row({"gmin", TextTable::num(d.geometry.gap_min / nano, 1) + " nm",
+                "3.6 nm"});
+  std::printf("%s\n", dims.to_string().c_str());
+
+  TextTable elec({"parameter", "model", "paper (Fig 11)"});
+  elec.add_row({"Ron", TextTable::num(eq.ron / 1e3, 1) + " kOhm",
+                "2 kOhm (experimental)"});
+  elec.add_row({"Con", TextTable::num(eq.con / atto, 1) + " aF",
+                "20 aF (simulation)"});
+  elec.add_row({"Coff", TextTable::num(eq.coff / atto, 1) + " aF",
+                "6.7 aF (simulation)"});
+  elec.add_row({"Ioff", "0 (mechanical gap)", "0"});
+  std::printf("%s\n", elec.to_string().c_str());
+
+  std::printf("switching voltages through scaling (paper: ~1 V class):\n");
+  std::printf("  Vpi = %.3f V   Vpo = %.3f V   window = %.3f V\n",
+              d.pull_in_voltage(), d.pull_out_voltage(),
+              d.hysteresis_window());
+  std::printf("\ncontamination ablation (Sec 2.3: crossbar relays measured\n"
+              "~100 kOhm instead of 2 kOhm):\n");
+  for (double factor : {1.0, 10.0, 50.0}) {
+    ContactModel c;
+    c.contamination_factor = factor;
+    std::printf("  contamination x%-4.0f -> Ron = %6.0f Ohm\n", factor,
+                equivalent_circuit(d, c).ron);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Fig 9: dynamic and leakage power breakdown of the
+// baseline CMOS-only FPGA at W = 118 / 22 nm, averaged (geometric mean of
+// shares) over a set of mapped MCNC benchmarks.
+//
+// Paper's values — dynamic: wires 40%, routing buffers 30%, LUTs 20%,
+// clocking 10%; leakage: routing buffers 70%, routing SRAMs 12%, routing
+// pass transistors 10%, LUTs 8%.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/study.hpp"
+#include "netlist/mcnc.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  const bool full = std::getenv("NF_FULL") != nullptr;
+  std::vector<std::string> names;
+  if (full) {
+    for (const auto& b : mcnc20()) names.push_back(b.name);
+  } else {
+    names = {"tseng", "ex5p", "alu4", "seq", "diffeq", "elliptic"};
+  }
+  std::printf("Fig 9 — baseline CMOS-only FPGA power breakdown (W=118, "
+              "22 nm)\n%s\n",
+              full ? "" : "(subset; NF_FULL=1 runs all 20 MCNC circuits)");
+
+  std::vector<double> dw, db, dl, dc, lb, ls, lp, ll;
+  for (const auto& name : names) {
+    FlowOptions opt;
+    opt.arch.W = 118;
+    const auto flow = run_flow(generate_benchmark(name), opt);
+    const auto m = evaluate_variant(flow, FpgaVariant::kCmosBaseline);
+    const auto& p = m.power;
+    const double dyn = p.dynamic_total();
+    const double leak = p.leakage_total();
+    dw.push_back(p.dyn_wires / dyn);
+    db.push_back(p.dyn_routing_buffers / dyn);
+    dl.push_back(p.dyn_luts / dyn);
+    dc.push_back(p.dyn_clocking / dyn);
+    lb.push_back(p.leak_routing_buffers / leak);
+    ls.push_back(p.leak_routing_sram / leak);
+    lp.push_back(p.leak_pass_transistors / leak);
+    ll.push_back(p.leak_luts / leak);
+    std::printf("  %-10s cp=%6.2f ns  dyn=%6.3f mW  leak=%6.3f mW\n",
+                name.c_str(), m.critical_path * 1e9, dyn * 1e3, leak * 1e3);
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return 100.0 * s / static_cast<double>(v.size());
+  };
+
+  std::printf("\ndynamic power breakdown (mean share over circuits):\n");
+  TextTable d({"component", "model", "paper (Fig 9)"});
+  d.add_row({"Wire interconnects", TextTable::num(mean(dw), 0) + "%", "40%"});
+  d.add_row({"Routing buffers", TextTable::num(mean(db), 0) + "%", "30%"});
+  d.add_row({"LUTs", TextTable::num(mean(dl), 0) + "%", "20%"});
+  d.add_row({"Clocking", TextTable::num(mean(dc), 0) + "%", "10%"});
+  std::printf("%s\n", d.to_string().c_str());
+
+  std::printf("leakage power breakdown (mean share over circuits):\n");
+  TextTable l({"component", "model", "paper (Fig 9)"});
+  l.add_row({"Routing buffers", TextTable::num(mean(lb), 0) + "%", "70%"});
+  l.add_row({"Routing SRAMs", TextTable::num(mean(ls), 0) + "%", "12%"});
+  l.add_row({"Routing pass transistors", TextTable::num(mean(lp), 0) + "%", "10%"});
+  l.add_row({"LUTs", TextTable::num(mean(ll), 0) + "%", "8%"});
+  std::printf("%s", l.to_string().c_str());
+  std::printf("\n-> routing buffers dominate leakage and carry ~1/3 of\n"
+              "   dynamic power: the headroom the paper's selective buffer\n"
+              "   removal / downsizing technique goes after (Sec 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Temperature ablation (motivated by the paper's related work [Wang 11]:
+// NEM FPGAs for >500 C): CMOS subthreshold leakage grows exponentially
+// with temperature while the relay's electrostatic switching barely moves.
+// Re-evaluates the leakage comparison across temperature.
+#include <cstdio>
+
+#include "device/thermal.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  std::printf("temperature behavior: CMOS leakage vs NEM relay stability\n\n");
+  const ThermalModel m;
+  const RelayDesign relay = scaled_relay_22nm();
+
+  TextTable t({"T [C]", "CMOS leakage mult.", "relay Vpi drift",
+               "relay window [V]", "note"});
+  for (double tc : {-40.0, 25.0, 85.0, 125.0, 250.0, 500.0}) {
+    const RelayDesign hot = relay_at_temperature(relay, m, tc);
+    const char* note = tc <= m.cmos_max_c ? "" : "beyond silicon CMOS";
+    char mult[32];
+    std::snprintf(mult, sizeof mult, "%.3gx", cmos_leakage_multiplier(m, tc));
+    t.add_row({TextTable::num(tc, 0), mult,
+               TextTable::num(100.0 * relay_vpi_drift(relay, m, tc), 2) + "%",
+               TextTable::num(hot.hysteresis_window(), 3), note});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\n-> the baseline FPGA's leakage advantage of CMOS-NEM "
+              "(~10x at 25 C)\n   grows with temperature: every doubling of "
+              "CMOS leakage widens it,\n   while the relay's switching window "
+              "drifts by only a few percent\n   even far beyond the silicon "
+              "operating range.\n");
+  return 0;
+}

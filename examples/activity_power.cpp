@@ -1,0 +1,77 @@
+// Example: simulation-based switching activities in the power analysis.
+// The paper's power flow "incorporates appropriate switching activities of
+// various circuit nodes" ([Jamieson 09]); this example contrasts a flat
+// activity factor with per-net activities measured by logic simulation of
+// the mapped netlist's LUT truth tables.
+#include <cstdio>
+
+#include "core/study.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/synth_gen.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  SynthSpec spec;
+  spec.name = "activity-example";
+  spec.n_luts = 500;
+  spec.n_inputs = 24;
+  spec.n_outputs = 16;
+  spec.n_latches = 100;
+  Netlist netlist = generate_netlist(spec);
+
+  // Simulate 2000 random vectors to measure per-net transition rates.
+  ActivityOptions aopt;
+  aopt.vectors = 2000;
+  const ActivityResult act = estimate_activity(netlist, aopt);
+  std::printf("simulated %zu vectors: mean net activity = %.3f "
+              "transitions/cycle\n",
+              aopt.vectors, act.mean_activity);
+
+  // Show the spread: logic depth attenuates toggling.
+  double hi = 0.0, lo = 1.0;
+  for (double a : act.net_activity) {
+    hi = std::max(hi, a);
+    lo = std::min(lo, a);
+  }
+  std::printf("activity range across nets: [%.3f, %.3f]\n\n", lo, hi);
+
+  FlowOptions opt;
+  opt.arch.W = 118;
+  const FlowResult flow = run_flow(std::move(netlist), opt);
+
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto timing = analyze_timing(flow.netlist, flow.packing,
+                                     flow.placement, *flow.graph,
+                                     flow.routing, view);
+
+  PowerOptions flat;           // default 0.15 everywhere
+  PowerOptions sim = flat;
+  sim.net_activity = &act.net_activity;
+
+  const auto p_flat = analyze_power(flow.netlist, flow.packing,
+                                    flow.placement, *flow.graph, flow.routing,
+                                    view, timing, flat);
+  const auto p_sim = analyze_power(flow.netlist, flow.packing, flow.placement,
+                                   *flow.graph, flow.routing, view, timing,
+                                   sim);
+
+  TextTable t({"component", "flat activity 0.15", "simulated activities"});
+  auto mw = [](double w) { return TextTable::num(w * 1e3, 4) + " mW"; };
+  t.add_row({"dynamic: wires", mw(p_flat.dyn_wires), mw(p_sim.dyn_wires)});
+  t.add_row({"dynamic: routing buffers", mw(p_flat.dyn_routing_buffers),
+             mw(p_sim.dyn_routing_buffers)});
+  t.add_row({"dynamic: LUTs", mw(p_flat.dyn_luts), mw(p_sim.dyn_luts)});
+  t.add_row({"dynamic: clocking", mw(p_flat.dyn_clocking),
+             mw(p_sim.dyn_clocking)});
+  t.add_row({"dynamic total", mw(p_flat.dynamic_total()),
+             mw(p_sim.dynamic_total())});
+  t.add_row({"leakage total (activity-free)", mw(p_flat.leakage_total()),
+             mw(p_sim.leakage_total())});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nsimulated activities load each routed net by how often it\n"
+              "actually toggles — deep logic toggles less than a flat 0.15\n"
+              "assumes, while hub/control nets toggle more.\n");
+  return 0;
+}

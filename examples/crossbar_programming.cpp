@@ -1,0 +1,78 @@
+// Example: programming NEM relay crossbars with the half-select scheme.
+// Shows (1) the voltage-window derivation from a varied relay population,
+// (2) row-by-row programming of an 8x8 array to an arbitrary pattern, and
+// (3) reprogramming — the hysteresis window is the configuration memory,
+// no SRAM involved.
+#include <cstdio>
+#include <string>
+
+#include "program/half_select.hpp"
+#include "util/rng.hpp"
+
+using namespace nemfpga;
+
+namespace {
+
+void show(const char* title, const CrossbarPattern& p) {
+  std::printf("%s\n", title);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      std::printf("%c ", p.at(r, c) ? 'X' : '.');
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A realistic fabricated population: 64 relays with dimensional
+  // variation, as measured across the paper's 4-inch wafer.
+  Rng rng = Rng::from_string("crossbar-example");
+  const auto pop =
+      sample_population(fabricated_relay(), fabricated_variation(), 64, rng);
+  const auto env = envelope(pop);
+  std::printf("population: Vpi in [%.2f, %.2f] V, Vpo,max = %.2f V\n",
+              env.vpi_min, env.vpi_max, env.vpo_max);
+
+  const auto v = solve_program_window(env);
+  if (!v) {
+    std::printf("variation too large: no shared programming window.\n");
+    return 1;
+  }
+  std::printf("programming levels: Vhold = %.2f V, Vselect = %.2f V\n",
+              v->vhold, v->vselect);
+  const auto m = noise_margins(env, *v);
+  std::printf("worst noise margin: %.3f V\n\n", m.worst());
+
+  RelayCrossbar xbar(8, 8, pop);
+
+  // Pattern 1: a diagonal routing configuration.
+  CrossbarPattern diag(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) diag.set(i, i, true);
+  const auto got1 = program_half_select(xbar, diag, *v);
+  show("programmed (diagonal):", got1);
+  std::printf("correct: %s\n\n", got1 == diag ? "YES" : "NO");
+
+  // Pattern 2: reprogram in place — a denser arbitrary configuration.
+  CrossbarPattern dense(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) dense.set(r, c, (r * 3 + c) % 4 == 0);
+  }
+  const auto got2 = program_half_select(xbar, dense, *v);
+  show("reprogrammed (dense):", got2);
+  std::printf("correct: %s\n\n", got2 == dense ? "YES" : "NO");
+
+  // Retention: the hold bias keeps every state inside the hysteresis
+  // window indefinitely — this is the SRAM-free configuration memory.
+  xbar.apply_bias(std::vector<double>(8, v->vhold), std::vector<double>(8, 0.0));
+  std::printf("after extended hold bias, configuration retained: %s\n",
+              xbar.state() == dense ? "YES" : "NO");
+
+  // Reset: all gates to 0 releases everything.
+  xbar.reset();
+  std::printf("after reset, all relays released: %s\n",
+              xbar.state() == CrossbarPattern(8, 8) ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Example: Monte-Carlo programming-yield study. "Today's FPGAs typically
+// contain millions of configurable routing switches. As a result, large
+// variations can make it impossible to correctly configure all NEM relays"
+// (Sec 2.3). Sweeps array size and process-variation severity and reports
+// the fraction of arrays that can be fully half-select programmed, under
+// both wafer-wide fixed voltages and per-array calibrated voltages.
+#include <cstdio>
+
+#include "program/yield.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+int main() {
+  std::printf("NEM relay crossbar programming yield vs variation\n\n");
+  const RelayDesign nominal = fabricated_relay();
+  const std::size_t trials = 200;
+
+  for (double sigma_mult : {0.5, 1.0, 1.5, 2.0}) {
+    VariationSpec spec = fabricated_variation();
+    spec.sigma_length_rel *= sigma_mult;
+    spec.sigma_thickness_rel *= sigma_mult;
+    spec.sigma_gap_rel *= sigma_mult;
+    spec.sigma_gap_min_rel *= sigma_mult;
+
+    std::printf("variation severity %.1fx (sigma_h = %.1f%%):\n", sigma_mult,
+                100.0 * spec.sigma_thickness_rel);
+    TextTable t({"array", "relays", "yield (fixed V)", "yield (calibrated V)",
+                 "margin [V]"});
+    for (std::size_t n : {4, 8, 16, 32}) {
+      Rng rng_f(1000 + n), rng_c(1000 + n);
+      const auto fixed = programming_yield(nominal, spec, n, n, trials, rng_f,
+                                           VoltagePolicy::kFixedNominal);
+      const auto cal = programming_yield(nominal, spec, n, n, trials, rng_c,
+                                         VoltagePolicy::kPerArrayCalibrated);
+      t.add_row({std::to_string(n) + "x" + std::to_string(n),
+                 std::to_string(n * n),
+                 TextTable::num(100.0 * fixed.yield(), 1) + "%",
+                 TextTable::num(100.0 * cal.yield(), 1) + "%",
+                 TextTable::num(cal.mean_worst_margin, 3)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  std::printf("-> larger arrays and larger variation both squeeze the\n"
+              "   programming window; per-array calibration helps but the\n"
+              "   paper's conclusion stands: Vpi variation must be\n"
+              "   minimized and the hysteresis window maximized.\n");
+  return 0;
+}

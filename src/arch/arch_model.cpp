@@ -1,0 +1,108 @@
+#include "arch/arch_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nemfpga {
+namespace {
+
+/// Two-level mux decomposition: a fan-in-n mux costs ~n + 2*sqrt(n) pass
+/// transistors and 2*ceil(sqrt(n)) one-hot select SRAM bits.
+struct MuxCost {
+  std::size_t pass_transistors = 0;
+  std::size_t sram_bits = 0;
+};
+
+MuxCost mux_cost(std::size_t fanin) {
+  if (fanin <= 1) return {fanin, 0};
+  const auto level = static_cast<std::size_t>(std::ceil(std::sqrt(fanin)));
+  return {fanin + 2 * level, 2 * level};
+}
+
+}  // namespace
+
+TileComposition tile_composition(const ArchParams& arch) {
+  TileComposition c;
+  c.luts = arch.N;
+  c.flip_flops = arch.N;
+  c.lut_sram_bits = arch.N * (1u << arch.K);
+
+  // LB input crossbar: every LUT input pin selects among all LB inputs and
+  // all N feedback outputs (full crossbar, Fig 7b).
+  const std::size_t xbar_sources = arch.lb_inputs() + arch.N;
+  const std::size_t xbar_muxes = arch.N * arch.K;
+  const MuxCost xmux = mux_cost(xbar_sources);
+  c.crossbar_switches = xbar_muxes * xbar_sources;
+  std::size_t sram = xbar_muxes * xmux.sram_bits;
+
+  // Connection blocks: each LB input pin muxes Fcin*W tracks.
+  const MuxCost cbmux = mux_cost(arch.fc_in_tracks());
+  c.cb_switches = arch.lb_inputs() * arch.fc_in_tracks();
+  sram += arch.lb_inputs() * cbmux.sram_bits;
+
+  // Switch boxes / wire drivers: 2*W/L segment wires start in each tile
+  // (one horizontal + one vertical channel per tile); each start point has
+  // a routing mux fed by Fs incoming wires plus the LB outputs that can
+  // reach it (N * Fcout * L distributed over the wire's span).
+  const std::size_t wire_starts =
+      std::max<std::size_t>(1, 2 * arch.W / arch.L);
+  const double opin_fanin = static_cast<double>(arch.N) * arch.fc_out *
+                            static_cast<double>(arch.L);
+  const std::size_t sb_fanin =
+      arch.fs + static_cast<std::size_t>(opin_fanin + 0.5);
+  const MuxCost sbmux = mux_cost(sb_fanin);
+  c.sb_switches = wire_starts * sb_fanin;
+  sram += wire_starts * sbmux.sram_bits;
+
+  c.routing_sram_bits = sram;
+  c.lb_input_buffers = arch.lb_inputs();
+  c.lb_output_buffers = arch.lb_outputs();
+  c.wire_buffers = wire_starts;
+  return c;
+}
+
+TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
+                   const BufferAreas& buffers, const AreaCosts& costs) {
+  TileArea a;
+  const double mw = costs.mwta_area;
+
+  const double lut_mwta =
+      static_cast<double>(comp.lut_sram_bits) * costs.lut_per_input_exp +
+      static_cast<double>(comp.luts) * costs.lut_overhead +
+      static_cast<double>(comp.flip_flops) * costs.flip_flop;
+  a.logic = lut_mwta * mw;
+
+  const double switch_mwta =
+      static_cast<double>(comp.crossbar_switches + comp.cb_switches) *
+          costs.pass_transistor_local +
+      static_cast<double>(comp.sb_switches) * costs.pass_transistor_routing;
+  const double sram_mwta =
+      static_cast<double>(comp.routing_sram_bits) * costs.sram_bit;
+
+  a.buffers = (static_cast<double>(comp.lb_input_buffers) * buffers.lb_input +
+               static_cast<double>(comp.lb_output_buffers) * buffers.lb_output +
+               static_cast<double>(comp.wire_buffers) * buffers.wire) *
+              mw;
+
+  if (fabric == RoutingFabric::kCmosPassTransistor) {
+    a.routing_switches = switch_mwta * mw;
+    a.routing_sram = sram_mwta * mw;
+    a.relay_layer = 0.0;
+    a.cmos_plane = a.logic + a.routing_switches + a.routing_sram + a.buffers;
+    a.footprint = a.cmos_plane;
+  } else {
+    // Relays replace both the switch and its SRAM cell; they live in the
+    // BEOL layer above the CMOS plane.
+    a.routing_switches = 0.0;
+    a.routing_sram = 0.0;
+    a.relay_layer = static_cast<double>(comp.total_routing_switches()) *
+                    costs.relay_cell_area;
+    a.cmos_plane = a.logic + a.buffers;
+    a.footprint = std::max(a.cmos_plane, a.relay_layer);
+  }
+  return a;
+}
+
+double tile_pitch(const TileArea& area) { return std::sqrt(area.footprint); }
+
+}  // namespace nemfpga

@@ -1,0 +1,91 @@
+// Tile composition and footprint-area model.
+//
+// The paper drew full tile layouts in a commercial 90 nm process and scaled
+// to 22 nm [Chen 10b]; we count transistors instead (the VPR approach:
+// minimum-width transistor areas, MWTA) and convert with a per-node MWTA
+// area constant. The CMOS-NEM variant moves every programmable routing
+// switch and its configuration SRAM into the relay layer stacked between
+// metal 3 and metal 5; the remaining footprint is then the larger of the
+// remaining CMOS area and the relay-layer area (the stack cannot be
+// smaller than either plane).
+#pragma once
+
+#include "arch/params.hpp"
+#include "device/cmos.hpp"
+
+namespace nemfpga {
+
+/// Programmable-switch and SRAM-bit counts for one FPGA tile.
+struct TileComposition {
+  // Logic.
+  std::size_t luts = 0;
+  std::size_t flip_flops = 0;
+  // Programmable switch points (pass transistors or relays).
+  std::size_t crossbar_switches = 0;  ///< LB-internal input crossbar.
+  std::size_t cb_switches = 0;        ///< Connection-block input muxes.
+  std::size_t sb_switches = 0;        ///< Switch-box / wire-driver muxes.
+  // Configuration SRAM bits controlling those switches (CMOS-only).
+  std::size_t routing_sram_bits = 0;
+  // LUT-internal configuration bits (stay in CMOS in both variants).
+  std::size_t lut_sram_bits = 0;
+  // Buffers.
+  std::size_t lb_input_buffers = 0;
+  std::size_t lb_output_buffers = 0;
+  std::size_t wire_buffers = 0;  ///< Segment-wire drivers in this tile.
+
+  std::size_t total_routing_switches() const {
+    return crossbar_switches + cb_switches + sb_switches;
+  }
+};
+
+/// Derive the per-tile composition from the architecture parameters.
+TileComposition tile_composition(const ArchParams& arch);
+
+/// Per-instance MWTA costs of the non-buffer components.
+struct AreaCosts {
+  double sram_bit = 5.0;            ///< 6T cell amortized with periphery.
+  double lut_per_input_exp = 40.0;  ///< MWTA per LUT SRAM bit incl. mux tree,
+                                    ///< input buffers, decoder and the BLE's
+                                    ///< share of intra-cluster wiring.
+  double lut_overhead = 250.0;      ///< Output stage, carry/cmux, drivers.
+  double flip_flop = 180.0;         ///< DFF + clock gating + set/reset.
+  double pass_transistor_local = 1.0;   ///< Min-width crossbar/CB switch.
+  double pass_transistor_routing = 4.0; ///< Sized SB/wire-mux switch.
+  /// MWTA -> m^2 at 22 nm (60 lambda^2, lambda = F/2).
+  double mwta_area = 60.0 * 11e-9 * 11e-9;
+  /// Relay-layer cell footprint per relay [m^2]: Fig 11 beam (275 x 40 nm)
+  /// plus anchor, gate/drain contacts and programming-line pitch share.
+  /// Calibrated so the stacked relay plane reproduces the paper's layout
+  /// result (2.1x tile reduction with the buffer technique, Sec 3.4).
+  double relay_cell_area = 0.487e-6 * 0.10e-6;
+};
+
+/// Buffer areas [MWTA per instance], computed by the caller from the sized
+/// chains (they depend on the electrical loads, which arch/ does not know).
+struct BufferAreas {
+  double lb_input = 0.0;
+  double lb_output = 0.0;
+  double wire = 0.0;
+};
+
+struct TileArea {
+  double logic = 0.0;           ///< [m^2] LUTs + FFs + LUT config SRAM.
+  double routing_switches = 0.0;///< [m^2] crossbar + CB + SB switch area.
+  double routing_sram = 0.0;    ///< [m^2] routing configuration SRAM.
+  double buffers = 0.0;         ///< [m^2] all three buffer classes.
+  double relay_layer = 0.0;     ///< [m^2] stacked relay plane (NEM only).
+  /// CMOS plane area (logic + buffers [+ switches + SRAM if CMOS fabric]).
+  double cmos_plane = 0.0;
+  /// Tile footprint: max(cmos_plane, relay_layer).
+  double footprint = 0.0;
+};
+
+/// Area of one tile for the given fabric. For kNemRelay the switch and
+/// routing-SRAM area leaves the CMOS plane and becomes relay-layer area.
+TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
+                   const BufferAreas& buffers, const AreaCosts& costs = {});
+
+/// Physical tile edge length [m] for wire-load extraction: sqrt(footprint).
+double tile_pitch(const TileArea& area);
+
+}  // namespace nemfpga

@@ -1,0 +1,44 @@
+// Island-style FPGA architecture parameters (paper Table 1 / Sec 3.1).
+#pragma once
+
+#include <cstddef>
+
+namespace nemfpga {
+
+/// Which technology implements the programmable routing switches.
+enum class RoutingFabric {
+  kCmosPassTransistor,  ///< NMOS pass transistor + SRAM cell (Fig 3a).
+  kNemRelay,            ///< Single NEM relay, no SRAM (Fig 3b).
+};
+
+struct ArchParams {
+  std::size_t N = 10;   ///< LUTs per logic block.
+  std::size_t K = 4;    ///< Inputs per LUT.
+  std::size_t L = 4;    ///< Segment wire length in tiles.
+  double fc_in = 0.2;   ///< LB input pin flexibility.
+  double fc_out = 0.1;  ///< LB output pin flexibility.
+  std::size_t fs = 3;   ///< Switch box flexibility.
+  std::size_t W = 118;  ///< Routing channel width (from 1.2 x Wmin).
+
+  /// IO pads per perimeter site.
+  std::size_t io_per_pad = 8;
+
+  /// LB input pin count I; the standard cluster sizing I = K(N+1)/2
+  /// [Betz 99] gives 22 for K=4, N=10.
+  std::size_t lb_inputs() const { return K * (N + 1) / 2; }
+  /// LB output pin count (= N).
+  std::size_t lb_outputs() const { return N; }
+
+  /// Tracks each LB input pin can reach through a CB.
+  std::size_t fc_in_tracks() const {
+    const auto t = static_cast<std::size_t>(fc_in * static_cast<double>(W) + 0.5);
+    return t == 0 ? 1 : t;
+  }
+  /// Tracks each LB output pin can reach.
+  std::size_t fc_out_tracks() const {
+    const auto t = static_cast<std::size_t>(fc_out * static_cast<double>(W) + 0.5);
+    return t == 0 ? 1 : t;
+  }
+};
+
+}  // namespace nemfpga

@@ -1,0 +1,135 @@
+// Routing-resource graph for the island-style fabric (Fig 7): the directed
+// graph of logic-block pins, connection-block switches, segmented channel
+// wires and switch-box connections that the PathFinder router negotiates
+// over. Structure follows VPR's unidirectional (single-driver) segmented
+// routing: every wire has one driver mux at its start; OPINs and other
+// wires connect only there, while IPIN taps exist at every tile a wire
+// passes.
+//
+// Grid layout: logic blocks occupy (1..nx, 1..ny); the border cells hold IO
+// pads. CHANX(j) is the horizontal channel between rows j and j+1
+// (j = 0..ny); CHANY(i) is vertical between columns i and i+1 (i = 0..nx).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/params.hpp"
+
+namespace nemfpga {
+
+using RrNodeId = std::uint32_t;
+inline constexpr RrNodeId kNoRrNode = 0xffffffffu;
+
+enum class RrType : std::uint8_t { kSource, kSink, kOpin, kIpin, kChanX, kChanY };
+
+/// Switch kind on an edge — determines the electrical model applied by the
+/// timing/power analyses (pass transistor vs NEM relay vs hard wire).
+enum class RrSwitch : std::uint8_t {
+  kInternal,    ///< SOURCE->OPIN / IPIN->SINK bookkeeping edges.
+  kOpinToWire,  ///< LB output into a wire driver mux.
+  kWireToWire,  ///< Switch-box connection into a wire driver mux.
+  kWireToIpin,  ///< Connection-block tap into an LB input pin.
+};
+
+struct RrNode {
+  RrType type = RrType::kSource;
+  bool increasing = true;      ///< Wire direction (INC = +x / +y).
+  std::uint8_t length = 0;     ///< Tiles spanned (wires only).
+  std::uint16_t capacity = 1;
+  std::uint16_t x_lo = 0, y_lo = 0, x_hi = 0, y_hi = 0;
+  std::uint16_t track = 0;     ///< Wire track index, or pin index.
+};
+
+struct RrEdge {
+  RrNodeId to = 0;
+  RrSwitch sw = RrSwitch::kInternal;
+};
+
+/// A block site on the grid (LB or IO pad).
+struct SiteIds {
+  RrNodeId source = kNoRrNode;
+  RrNodeId sink = kNoRrNode;
+  /// Pooled pin nodes (one OPIN of capacity N, one IPIN of capacity I) —
+  /// see build_sites() for the pin-equivalence rationale.
+  std::vector<RrNodeId> opins;
+  std::vector<RrNodeId> ipins;
+  std::size_t pin_count_opin = 0;  ///< Physical output pins represented.
+  std::size_t pin_count_ipin = 0;  ///< Physical input pins represented.
+};
+
+class RrGraph {
+ public:
+  /// Build the graph for an nx-by-ny logic grid with IO pads on the border.
+  RrGraph(const ArchParams& arch, std::size_t nx, std::size_t ny);
+
+  const ArchParams& arch() const { return arch_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const RrNode& node(RrNodeId id) const { return nodes_[id]; }
+  std::span<const RrEdge> edges(RrNodeId id) const;
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// True if (x, y) is a logic-block site; border cells are IO sites and
+  /// corners are empty.
+  bool is_lb(std::size_t x, std::size_t y) const;
+  bool is_io(std::size_t x, std::size_t y) const;
+
+  /// Site lookup; throws for empty (corner) cells.
+  const SiteIds& site(std::size_t x, std::size_t y) const;
+
+  /// Total wire nodes (for channel-occupancy statistics).
+  std::size_t wire_count() const { return wire_count_; }
+
+  /// The wires a specific *physical* input pin of site (x, y) taps through
+  /// its connection block (the per-pin Fcin pattern whose union feeds the
+  /// pooled IPIN node). Used by the configuration compiler to assign each
+  /// routed net to a concrete pin.
+  std::vector<RrNodeId> ipin_tap_wires(std::size_t x, std::size_t y,
+                                       std::size_t pin) const;
+
+  /// The wire starts a specific physical output pin can drive (per-pin
+  /// Fcout pattern whose union the pooled OPIN carries).
+  std::vector<RrNodeId> opin_start_wires(std::size_t x, std::size_t y,
+                                         std::size_t pin) const;
+
+ private:
+  void build_sites();
+  void build_wires();
+  void build_edges();
+
+  ArchParams arch_;
+  std::size_t nx_, ny_;
+  std::vector<RrNode> nodes_;
+  std::vector<RrEdge> edges_;          // CSR payload
+  std::vector<std::uint32_t> edge_offsets_;  // CSR index (built last)
+  std::vector<std::vector<RrEdge>> adj_;     // during construction
+  std::vector<SiteIds> sites_;         // (nx+2)*(ny+2), row-major
+  std::size_t wire_count_ = 0;
+
+  // Wire lookup tables, valid after build_wires():
+  //  cover_x_[j][t * span + (x-1)] = wire covering (track t, position x).
+  std::vector<std::vector<RrNodeId>> cover_x_, cover_y_;
+
+  std::size_t site_index(std::size_t x, std::size_t y) const;
+  RrNodeId wire_at_x(std::size_t j, std::size_t track, std::size_t x) const;
+  RrNodeId wire_at_y(std::size_t i, std::size_t track, std::size_t y) const;
+  /// Wires starting (driver located) at the given position in a channel.
+  std::vector<RrNodeId> wires_starting_x(std::size_t j, std::size_t x,
+                                         bool increasing) const;
+  std::vector<RrNodeId> wires_starting_y(std::size_t i, std::size_t y,
+                                         bool increasing) const;
+  void add_edge(RrNodeId from, RrNodeId to, RrSwitch sw);
+  void finalize_csr();
+};
+
+/// Smallest square logic grid that fits `n_lbs` logic blocks and whose
+/// border provides at least `n_ios` pad slots.
+std::pair<std::size_t, std::size_t> grid_size_for(const ArchParams& arch,
+                                                  std::size_t n_lbs,
+                                                  std::size_t n_ios);
+
+}  // namespace nemfpga

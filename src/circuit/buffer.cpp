@@ -1,0 +1,99 @@
+#include "circuit/buffer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+/// Extra leakage drawn by the first-stage PMOS when its input high level is
+/// degraded by `vt_drop` and NOT restored: the PMOS gate sits at Vdd - Vt,
+/// leaving it weakly (or strongly) on. Exponential subthreshold factor
+/// (~90 mV/decade at 22 nm), capped at the on-current ratio. This is the
+/// reason CMOS-only FPGAs must attach half-latch restorers to every routing
+/// buffer in the first place.
+double degraded_input_leak_factor(double vt_drop) {
+  if (vt_drop <= 0.0) return 1.0;
+  constexpr double kSlopePerDecade = 0.090;  // V/decade
+  constexpr double kCrowbarCap = 5000.0;     // bounded by drive-fight current
+  return std::min(std::pow(10.0, vt_drop / kSlopePerDecade), kCrowbarCap);
+}
+
+/// Transistor-width cost of the half-latch keeper, relative to a minimum
+/// inverter (a weak feedback PMOS plus its series device).
+constexpr double kKeeperWidthMults = 1.5;
+
+}  // namespace
+
+double RoutingBuffer::delay(double c_load) const {
+  double d = chain.delay(c_load);
+  if (input_vt_drop > 0.0 && !chain.stage_mults.empty()) {
+    // The slowly rising, degraded input stretches the first stage: its
+    // effective overdrive shrinks from Vdd to Vdd - Vt, and the keeper
+    // fights the transition until the half latch flips.
+    const double vdd = chain.tech.vdd;
+    const double slow = vdd / (vdd - input_vt_drop);
+    const double r1 = chain.tech.min_inverter_resistance() / chain.stage_mults[0];
+    const double c1 = (chain.stage_mults.size() > 1)
+                          ? chain.stage_mults[1] * chain.tech.min_inverter_input_cap()
+                          : c_load;
+    const double first_stage =
+        0.69 * r1 * (c1 + chain.stage_mults[0] * chain.tech.min_inverter_self_cap());
+    d += (slow - 1.0) * first_stage;
+  }
+  return d;
+}
+
+double RoutingBuffer::switching_energy(double c_load) const {
+  double e = chain.switching_energy(c_load);
+  if (level_restorer) {
+    // Keeper contention during each transition burns crowbar charge roughly
+    // proportional to the keeper width.
+    e += kKeeperWidthMults * chain.tech.min_inverter_input_cap() *
+         chain.tech.vdd * chain.tech.vdd;
+  }
+  return e;
+}
+
+double RoutingBuffer::leakage_power() const {
+  double p = chain.leakage_power();
+  if (level_restorer) {
+    // The keeper restores the input node to full Vdd, so there is no
+    // steady-state crowbar — only the keeper's own leakage remains.
+    p += kKeeperWidthMults * chain.tech.min_inverter_leakage();
+  } else if (input_vt_drop > 0.0 && !chain.stage_mults.empty()) {
+    // Unrestored degraded input: the first-stage PMOS leaks exponentially.
+    const double first_stage_leak =
+        chain.stage_mults[0] * chain.tech.min_inverter_leakage();
+    p += first_stage_leak * (degraded_input_leak_factor(input_vt_drop) - 1.0);
+  }
+  return p;
+}
+
+double RoutingBuffer::area_mwta() const {
+  double a = chain.area_mwta();
+  if (level_restorer) a += kKeeperWidthMults * (1.0 + chain.tech.beta_ratio);
+  return a;
+}
+
+double RoutingBuffer::input_cap() const { return chain.input_cap(); }
+
+RoutingBuffer make_cmos_routing_buffer(const Tech22nm& tech, double c_load) {
+  RoutingBuffer b;
+  b.chain = design_optimal_chain(tech.cmos, c_load);
+  b.level_restorer = true;
+  b.input_vt_drop = tech.routing_pass_transistor.vt_drop(tech.cmos);
+  return b;
+}
+
+RoutingBuffer make_nem_wire_buffer(const Tech22nm& tech, double c_load,
+                                   double downsize) {
+  if (downsize < 1.0) throw std::invalid_argument("downsize must be >= 1");
+  RoutingBuffer b;
+  b.chain = design_downsized_chain(tech.cmos, c_load, downsize);
+  b.level_restorer = false;
+  b.input_vt_drop = 0.0;
+  return b;
+}
+
+}  // namespace nemfpga

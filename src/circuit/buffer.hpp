@@ -1,0 +1,51 @@
+// Routing buffer models (paper Sec 3.2, Fig 8).
+//
+// CMOS-only FPGAs receive routing signals through NMOS pass transistors, so
+// every routing buffer input sees a degraded high level (Vdd - Vt) and a
+// slow rising edge; a half-latch level restorer is attached for signal
+// restoration, costing leakage (contention + subthreshold of the
+// half-selected keeper), area, and delay. NEM relay routing passes full
+// swing, so CMOS-NEM buffers are plain inverter chains — and the local LB
+// input/output buffers can be removed entirely while wire buffers are
+// downsized.
+#pragma once
+
+#include "circuit/logical_effort.hpp"
+#include "device/cmos.hpp"
+
+namespace nemfpga {
+
+/// One routing buffer instance (LB input, LB output, or wire buffer).
+struct RoutingBuffer {
+  InverterChain chain;
+  /// Half-latch keeper present (CMOS-only routing).
+  bool level_restorer = false;
+  /// Degraded input high level [V] below Vdd (the pass-transistor Vt drop);
+  /// 0 for full-swing (relay-driven) inputs.
+  double input_vt_drop = 0.0;
+
+  /// Propagation delay driving c_load [s]; a degraded, slowly-rising input
+  /// stretches the first stage (the restorer only helps after it fights
+  /// through the keeper).
+  double delay(double c_load) const;
+  /// Dynamic energy per transition driving c_load [J].
+  double switching_energy(double c_load) const;
+  /// Static leakage [W]: chain subthreshold leakage plus, with a degraded
+  /// input level, the partially-on PMOS of the first stage and the keeper.
+  double leakage_power() const;
+  /// Area in minimum-width transistor units.
+  double area_mwta() const;
+  /// Capacitance presented to the routing network at the buffer input [F].
+  double input_cap() const;
+};
+
+/// Delay-optimal CMOS-only routing buffer for `c_load`, with level restorer
+/// and pass-transistor-degraded input.
+RoutingBuffer make_cmos_routing_buffer(const Tech22nm& tech, double c_load);
+
+/// CMOS-NEM wire buffer: full-swing input, no restorer, designed for a
+/// pretend load `c_load / downsize` (the paper's selective downsizing).
+RoutingBuffer make_nem_wire_buffer(const Tech22nm& tech, double c_load,
+                                   double downsize = 1.0);
+
+}  // namespace nemfpga

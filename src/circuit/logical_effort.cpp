@@ -1,0 +1,90 @@
+#include "circuit/logical_effort.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nemfpga {
+
+double InverterChain::input_cap() const {
+  return stage_mults.empty() ? 0.0
+                             : stage_mults.front() * tech.min_inverter_input_cap();
+}
+
+double InverterChain::delay(double c_load) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < stage_mults.size(); ++i) {
+    const double r = tech.min_inverter_resistance() / stage_mults[i];
+    const double c_next = (i + 1 < stage_mults.size())
+                              ? stage_mults[i + 1] * tech.min_inverter_input_cap()
+                              : c_load;
+    const double c_self = stage_mults[i] * tech.min_inverter_self_cap();
+    // ln(2) for the 50% crossing of an RC stage.
+    total += 0.69 * r * (c_next + c_self);
+  }
+  return total;
+}
+
+double InverterChain::switching_energy(double c_load) const {
+  double cap = c_load;
+  for (std::size_t i = 0; i < stage_mults.size(); ++i) {
+    cap += stage_mults[i] * tech.min_inverter_self_cap();
+    if (i + 1 < stage_mults.size()) {
+      cap += stage_mults[i + 1] * tech.min_inverter_input_cap();
+    }
+  }
+  return cap * tech.vdd * tech.vdd;
+}
+
+double InverterChain::leakage_power() const {
+  double mults = 0.0;
+  for (double m : stage_mults) mults += m;
+  return mults * tech.min_inverter_leakage();
+}
+
+double InverterChain::area_mwta() const {
+  // Each inverter is (1 + beta) transistor widths; area tracks total width.
+  double mults = 0.0;
+  for (double m : stage_mults) mults += m;
+  return mults * (1.0 + tech.beta_ratio);
+}
+
+InverterChain design_optimal_chain(const CmosTech& tech, double c_load,
+                                   std::size_t max_stages) {
+  if (c_load <= 0.0) throw std::invalid_argument("design chain: c_load <= 0");
+  if (max_stages == 0) throw std::invalid_argument("design chain: 0 stages");
+
+  const double c_in = tech.min_inverter_input_cap();
+  const double h_total = std::max(c_load / c_in, 1.0);
+
+  InverterChain best;
+  best.tech = tech;
+  double best_delay = std::numeric_limits<double>::infinity();
+  // Sweep the stage count; within a count, equal stage effort f = H^(1/N)
+  // is delay-optimal (method of logical effort).
+  for (std::size_t n = 1; n <= max_stages; ++n) {
+    const double f = std::pow(h_total, 1.0 / static_cast<double>(n));
+    InverterChain cand;
+    cand.tech = tech;
+    cand.stage_mults.resize(n);
+    double mult = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cand.stage_mults[i] = mult;
+      mult *= f;
+    }
+    const double d = cand.delay(c_load);
+    if (d < best_delay) {
+      best_delay = d;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+InverterChain design_downsized_chain(const CmosTech& tech, double c_load,
+                                     double downsize, std::size_t max_stages) {
+  if (downsize < 1.0) throw std::invalid_argument("downsize must be >= 1");
+  return design_optimal_chain(tech, c_load / downsize, max_stages);
+}
+
+}  // namespace nemfpga

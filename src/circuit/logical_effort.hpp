@@ -1,0 +1,49 @@
+// Inverter-chain design by the method of logical effort [Weste 10], which is
+// exactly how the paper sizes its routing wire drivers (Sec 3.4): "we
+// designed an inverter chain (with minimum-sized inverter as its first
+// stage) to drive the capacitive load of the wire ... We swept the fanout of
+// each stage ... to obtain the delay-optimal implementation", and then
+// "'reduced' the size of each chain by redesigning it ... while pretending
+// that it drives a smaller capacitive load (up to 8-times smaller)".
+#pragma once
+
+#include <vector>
+
+#include "device/cmos.hpp"
+
+namespace nemfpga {
+
+/// A sized inverter chain. Stage i has width multiplier `stage_mult[i]`
+/// relative to a minimum inverter (stage 0 is always 1.0).
+struct InverterChain {
+  std::vector<double> stage_mults;
+  CmosTech tech;
+
+  std::size_t stages() const { return stage_mults.size(); }
+  /// Input capacitance presented by the first stage [F].
+  double input_cap() const;
+  /// Delay driving `c_load` [s] (Elmore per stage, self-load included).
+  double delay(double c_load) const;
+  /// Energy per output transition driving `c_load` [J] (all internal stage
+  /// caps plus the load, at Vdd^2 — per 0->1->0 pair this counts once).
+  double switching_energy(double c_load) const;
+  /// Static leakage power [W].
+  double leakage_power() const;
+  /// Layout area in minimum-width-transistor-area (MWTA) units.
+  double area_mwta() const;
+};
+
+/// Design the delay-optimal chain for `c_load`, first stage minimum sized,
+/// sweeping stage count/fanout like the paper does. `max_stages` bounds the
+/// search. Requires c_load > 0.
+InverterChain design_optimal_chain(const CmosTech& tech, double c_load,
+                                   std::size_t max_stages = 8);
+
+/// The paper's downsizing move: design the chain for a pretend load
+/// `c_load / downsize` (downsize in [1, 8]); the caller then evaluates it
+/// against the *real* load, trading delay for power and area.
+InverterChain design_downsized_chain(const CmosTech& tech, double c_load,
+                                     double downsize,
+                                     std::size_t max_stages = 8);
+
+}  // namespace nemfpga

@@ -1,0 +1,67 @@
+#include "circuit/rc_tree.hpp"
+
+#include <stdexcept>
+
+namespace nemfpga {
+
+RcTree::RcTree() {
+  // Root: no parent edge, no cap until added.
+  parent_.push_back(0);
+  r_.push_back(0.0);
+  c_.push_back(0.0);
+}
+
+RcNodeId RcTree::add_node(RcNodeId parent, double r, double c) {
+  if (parent >= parent_.size()) throw std::out_of_range("RcTree: bad parent");
+  if (r < 0.0 || c < 0.0) throw std::invalid_argument("RcTree: negative R/C");
+  parent_.push_back(parent);
+  r_.push_back(r);
+  c_.push_back(c);
+  return parent_.size() - 1;
+}
+
+void RcTree::add_cap(RcNodeId node, double c) {
+  if (node >= parent_.size()) throw std::out_of_range("RcTree: bad node");
+  if (c < 0.0) throw std::invalid_argument("RcTree: negative cap");
+  c_[node] += c;
+}
+
+double RcTree::total_cap() const {
+  double sum = 0.0;
+  for (double c : c_) sum += c;
+  return sum;
+}
+
+double RcTree::downstream_cap(RcNodeId node) const {
+  if (node >= parent_.size()) throw std::out_of_range("RcTree: bad node");
+  // Children always have larger ids than parents (construction order), so a
+  // single reverse accumulation pass yields all subtree sums; here we only
+  // need one node, but reuse the same pass for simplicity and O(n) cost.
+  std::vector<double> acc = c_;
+  for (std::size_t i = parent_.size(); i-- > 1;) {
+    acc[parent_[i]] += acc[i];
+  }
+  return acc[node];
+}
+
+std::vector<double> RcTree::elmore_all(double r_drive) const {
+  // Elmore to node n = sum over edges e on root->n path of R_e * C_below(e),
+  // plus r_drive * C_total.
+  std::vector<double> below = c_;
+  for (std::size_t i = parent_.size(); i-- > 1;) {
+    below[parent_[i]] += below[i];
+  }
+  std::vector<double> delay(parent_.size());
+  delay[0] = r_drive * below[0];
+  for (std::size_t i = 1; i < parent_.size(); ++i) {
+    delay[i] = delay[parent_[i]] + r_[i] * below[i];
+  }
+  return delay;
+}
+
+double RcTree::elmore_delay(RcNodeId node, double r_drive) const {
+  if (node >= parent_.size()) throw std::out_of_range("RcTree: bad node");
+  return elmore_all(r_drive)[node];
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,49 @@
+// RC interconnect trees and Elmore delay. Routed FPGA nets are trees of
+// wire segments and switch resistances; the timing analyzer scores them by
+// Elmore delay from the driver through each switch/segment to every sink,
+// the same modelling level VPR's timing analysis uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nemfpga {
+
+/// Node handle within an RcTree.
+using RcNodeId = std::size_t;
+
+/// Tree of resistive edges with grounded capacitance at every node.
+/// Node 0 is the root (driver output); every other node is attached under
+/// an existing parent through a series resistance.
+class RcTree {
+ public:
+  RcTree();
+
+  /// Add a node under `parent` through series resistance r [Ohm], with
+  /// grounded capacitance c [F] at the new node. Returns the new node id.
+  RcNodeId add_node(RcNodeId parent, double r, double c);
+
+  /// Add extra grounded capacitance at an existing node (sink loads,
+  /// switch parasitics hanging off the net).
+  void add_cap(RcNodeId node, double c);
+
+  std::size_t node_count() const { return parent_.size(); }
+  double total_cap() const;
+
+  /// Elmore delay [s] from the root to `node`, given the driver's output
+  /// resistance r_drive [Ohm] (counted against the total capacitance).
+  double elmore_delay(RcNodeId node, double r_drive = 0.0) const;
+
+  /// Elmore delays to all nodes in one O(n) pass.
+  std::vector<double> elmore_all(double r_drive = 0.0) const;
+
+  /// Capacitance at/below `node` (including the node's own cap).
+  double downstream_cap(RcNodeId node) const;
+
+ private:
+  std::vector<RcNodeId> parent_;
+  std::vector<double> r_;  // resistance of the edge from parent
+  std::vector<double> c_;  // grounded cap at the node
+};
+
+}  // namespace nemfpga

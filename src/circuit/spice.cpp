@@ -1,0 +1,198 @@
+#include "circuit/spice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/linear.hpp"
+
+namespace nemfpga {
+
+PwlWave::PwlWave(double level) { points_.emplace_back(0.0, level); }
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first < points_[i - 1].first) {
+      throw std::invalid_argument("PwlWave: unsorted breakpoints");
+    }
+  }
+}
+
+void PwlWave::add(double t, double v) {
+  if (!points_.empty() && t < points_.back().first) {
+    throw std::invalid_argument("PwlWave::add: time goes backwards");
+  }
+  points_.emplace_back(t, v);
+}
+
+double PwlWave::at(double t) const {
+  if (points_.empty()) return 0.0;
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double time, const auto& p) { return time < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  const double f = (t - lo.first) / span;
+  return lo.second + f * (hi.second - lo.second);
+}
+
+CktNodeId Circuit::add_node(std::string name) {
+  names_.push_back(name.empty() ? "n" + std::to_string(names_.size())
+                                : std::move(name));
+  return names_.size() - 1;
+}
+
+void Circuit::add_resistor(CktNodeId a, CktNodeId b, double ohms) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("add_resistor: bad node");
+  }
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: R <= 0");
+  resistors_.push_back({a, b, 1.0 / ohms});
+}
+
+void Circuit::add_capacitor(CktNodeId a, CktNodeId b, double farads) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("add_capacitor: bad node");
+  }
+  if (farads < 0.0) throw std::invalid_argument("add_capacitor: C < 0");
+  capacitors_.push_back({a, b, farads});
+}
+
+void Circuit::add_voltage_source(CktNodeId node, PwlWave wave) {
+  if (node == ground() || node >= names_.size()) {
+    throw std::out_of_range("add_voltage_source: bad node");
+  }
+  sources_.push_back({node, std::move(wave)});
+}
+
+SwitchId Circuit::add_switch(CktNodeId a, CktNodeId b, double ron) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("add_switch: bad node");
+  }
+  if (ron <= 0.0) throw std::invalid_argument("add_switch: Ron <= 0");
+  switches_.push_back({a, b, 1.0 / ron, false});
+  return switches_.size() - 1;
+}
+
+void Circuit::set_switch(SwitchId id, bool closed) {
+  switches_.at(id).closed = closed;
+}
+
+bool Circuit::switch_closed(SwitchId id) const {
+  return switches_.at(id).closed;
+}
+
+namespace {
+
+/// Open switches still conduct minutely to keep floating nodes pinned
+/// (mirrors the real device's tiny Coff path; value is far below signal
+/// relevance).
+constexpr double kOffConductance = 1e-15;
+
+/// Tiny grounded conductance at every node so the MNA matrix is never
+/// singular even for momentarily isolated nodes.
+constexpr double kNodeBleed = 1e-18;
+
+}  // namespace
+
+TransientSim::TransientSim(Circuit& ckt, double dt) : ckt_(ckt), dt_(dt) {
+  if (dt <= 0.0) throw std::invalid_argument("TransientSim: dt <= 0");
+}
+
+std::vector<TransientPoint> TransientSim::run(double t_end,
+                                              std::size_t sample_every,
+                                              StepHook on_step) {
+  if (t_end <= 0.0) throw std::invalid_argument("TransientSim: t_end <= 0");
+  if (sample_every == 0) sample_every = 1;
+
+  const std::size_t n_nodes = ckt_.node_count();       // includes ground
+  const std::size_t n_unknown = n_nodes - 1;           // ground excluded
+  const std::size_t n_src = ckt_.sources().size();
+  const std::size_t dim = n_unknown + n_src;
+
+  // Unknowns: v[1..n_nodes-1], then source branch currents.
+  auto idx = [](CktNodeId n) { return n - 1; };
+
+  std::vector<double> v(n_nodes, 0.0);
+  // Initial condition: nodes start at their source value (t=0) or 0.
+  for (const auto& s : ckt_.sources()) v[s.node] = s.wave.at(0.0);
+
+  LuSolver lu;
+  bool need_refactor = true;
+
+  auto build_matrix = [&](Matrix& a) {
+    a.fill(0.0);
+    auto stamp_g = [&](CktNodeId p, CktNodeId q, double g) {
+      if (p != Circuit::ground()) a.at(idx(p), idx(p)) += g;
+      if (q != Circuit::ground()) a.at(idx(q), idx(q)) += g;
+      if (p != Circuit::ground() && q != Circuit::ground()) {
+        a.at(idx(p), idx(q)) -= g;
+        a.at(idx(q), idx(p)) -= g;
+      }
+    };
+    for (std::size_t i = 0; i < n_unknown; ++i) a.at(i, i) += kNodeBleed;
+    for (const auto& r : ckt_.resistors()) stamp_g(r.a, r.b, r.g);
+    for (const auto& c : ckt_.capacitors()) stamp_g(c.a, c.b, c.c / dt_);
+    for (const auto& sw : ckt_.switches()) {
+      stamp_g(sw.a, sw.b, sw.closed ? sw.g_on : kOffConductance);
+    }
+    // Voltage sources: MNA branch rows (v_node = V, current unknown).
+    for (std::size_t s = 0; s < n_src; ++s) {
+      const CktNodeId node = ckt_.sources()[s].node;
+      a.at(idx(node), n_unknown + s) += 1.0;
+      a.at(n_unknown + s, idx(node)) += 1.0;
+    }
+  };
+
+  Matrix a(dim, dim);
+  std::vector<double> rhs(dim);
+  std::vector<TransientPoint> out;
+
+  const auto n_steps = static_cast<std::size_t>(t_end / dt_ + 0.5);
+  out.reserve(n_steps / sample_every + 2);
+  out.push_back({0.0, v});
+
+  double t = 0.0;
+  for (std::size_t step = 1; step <= n_steps; ++step) {
+    t = static_cast<double>(step) * dt_;
+    if (need_refactor) {
+      build_matrix(a);
+      if (!lu.factor(a)) {
+        throw std::runtime_error("TransientSim: singular MNA matrix");
+      }
+      need_refactor = false;
+    }
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    // Capacitor companion current from the previous voltages.
+    for (const auto& c : ckt_.capacitors()) {
+      const double i_hist = c.c / dt_ * (v[c.a] - v[c.b]);
+      if (c.a != Circuit::ground()) rhs[idx(c.a)] += i_hist;
+      if (c.b != Circuit::ground()) rhs[idx(c.b)] -= i_hist;
+    }
+    for (std::size_t s = 0; s < n_src; ++s) {
+      rhs[n_unknown + s] = ckt_.sources()[s].wave.at(t);
+    }
+    const auto x = lu.solve(rhs);
+    for (CktNodeId n = 1; n < n_nodes; ++n) v[n] = x[idx(n)];
+
+    if (on_step) {
+      // Snapshot switch states; the hook may toggle them.
+      std::vector<bool> before;
+      before.reserve(ckt_.switches().size());
+      for (const auto& sw : ckt_.switches()) before.push_back(sw.closed);
+      on_step(t, v);
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        if (before[i] != ckt_.switches()[i].closed) need_refactor = true;
+      }
+    }
+    if (step % sample_every == 0 || step == n_steps) out.push_back({t, v});
+  }
+  return out;
+}
+
+}  // namespace nemfpga

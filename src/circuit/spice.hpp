@@ -1,0 +1,108 @@
+// SPICE-lite: a small modified-nodal-analysis transient simulator, enough to
+// reproduce the crossbar programming waveforms of Fig 5 (program / test /
+// reset phases) and to sanity-check the RC models against a "real" solver.
+//
+// Elements: resistors, grounded/floating capacitors, ideal voltage sources
+// (piecewise-linear waveforms), and switches (externally controlled on/off
+// resistors — the electrical side of a configured NEM relay).
+// Integration: backward Euler with a fixed step; the system matrix is
+// re-factored only when a switch changes state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nemfpga {
+
+/// Circuit node handle; node 0 is ground.
+using CktNodeId = std::size_t;
+
+/// Piecewise-linear voltage waveform: (time, value) breakpoints.
+class PwlWave {
+ public:
+  PwlWave() = default;
+  /// Constant level.
+  explicit PwlWave(double level);
+  /// Breakpoints must be time-sorted; the value is held flat outside them.
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+
+  double at(double t) const;
+
+  /// Append a breakpoint (must not go backwards in time).
+  void add(double t, double v);
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Handle to a switch element for on/off control during simulation.
+using SwitchId = std::size_t;
+
+/// The circuit under simulation.
+class Circuit {
+ public:
+  /// Create a named node (name used in error messages only).
+  CktNodeId add_node(std::string name = "");
+  static constexpr CktNodeId ground() { return 0; }
+
+  void add_resistor(CktNodeId a, CktNodeId b, double ohms);
+  void add_capacitor(CktNodeId a, CktNodeId b, double farads);
+  /// Ideal voltage source from node to ground.
+  void add_voltage_source(CktNodeId node, PwlWave wave);
+  /// Switch between a and b: `ron` when closed, open (tiny conductance)
+  /// when open. Starts open.
+  SwitchId add_switch(CktNodeId a, CktNodeId b, double ron);
+
+  std::size_t node_count() const { return names_.size(); }
+  const std::string& node_name(CktNodeId n) const { return names_.at(n); }
+
+  struct ResistorElem { CktNodeId a, b; double g; };
+  struct CapacitorElem { CktNodeId a, b; double c; };
+  struct SourceElem { CktNodeId node; PwlWave wave; };
+  struct SwitchElem { CktNodeId a, b; double g_on; bool closed = false; };
+
+  const std::vector<ResistorElem>& resistors() const { return resistors_; }
+  const std::vector<CapacitorElem>& capacitors() const { return capacitors_; }
+  const std::vector<SourceElem>& sources() const { return sources_; }
+  const std::vector<SwitchElem>& switches() const { return switches_; }
+
+  void set_switch(SwitchId id, bool closed);
+  bool switch_closed(SwitchId id) const;
+
+ private:
+  std::vector<std::string> names_{"gnd"};
+  std::vector<ResistorElem> resistors_;
+  std::vector<CapacitorElem> capacitors_;
+  std::vector<SourceElem> sources_;
+  std::vector<SwitchElem> switches_;
+};
+
+/// One row of transient results.
+struct TransientPoint {
+  double time = 0.0;
+  std::vector<double> v;  ///< Voltage per node (index = CktNodeId).
+};
+
+/// Backward-Euler transient simulator.
+class TransientSim {
+ public:
+  /// `on_step`, if set, runs after each accepted step; it may flip switches
+  /// (e.g. a relay pulling in when its |VGS| crosses Vpi), which triggers a
+  /// re-factor before the next step.
+  using StepHook = std::function<void(double t, const std::vector<double>& v)>;
+
+  TransientSim(Circuit& ckt, double dt);
+
+  /// Run from t=0 to t_end; returns sampled waveforms every `sample_every`
+  /// steps (1 = every step).
+  std::vector<TransientPoint> run(double t_end, std::size_t sample_every = 1,
+                                  StepHook on_step = nullptr);
+
+ private:
+  Circuit& ckt_;
+  double dt_;
+};
+
+}  // namespace nemfpga

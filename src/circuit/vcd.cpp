@@ -1,0 +1,103 @@
+#include "circuit/vcd.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+}  // namespace
+
+void write_vcd(const Circuit& ckt, const std::vector<TransientPoint>& trace,
+               const std::vector<CktNodeId>& nodes, std::ostream& out,
+               const VcdOptions& opt) {
+  std::vector<std::string> names;
+  names.reserve(ckt.node_count());
+  for (CktNodeId n = 0; n < ckt.node_count(); ++n) {
+    names.push_back(ckt.node_name(n));
+  }
+  write_vcd(names, trace, nodes, out, opt);
+}
+
+void write_vcd(const std::vector<std::string>& node_names,
+               const std::vector<TransientPoint>& trace,
+               const std::vector<CktNodeId>& nodes, std::ostream& out,
+               const VcdOptions& opt) {
+  for (CktNodeId n : nodes) {
+    if (n >= node_names.size()) {
+      throw std::out_of_range("write_vcd: bad node id");
+    }
+  }
+  out << "$date nemfpga $end\n";
+  out << "$version nemfpga SPICE-lite $end\n";
+  out << "$timescale " << opt.timescale << " $end\n";
+  out << "$scope module crossbar $end\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out << "$var real 64 " << vcd_id(i) << ' ' << node_names[nodes[i]]
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<double> last(nodes.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  for (const auto& p : trace) {
+    bool any = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double v = p.v[nodes[i]];
+      if (std::isnan(last[i]) || std::fabs(v - last[i]) > opt.min_delta) {
+        any = true;
+      }
+    }
+    if (!any) continue;
+    out << '#' << static_cast<long long>(p.time * opt.time_scale) << '\n';
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double v = p.v[nodes[i]];
+      if (std::isnan(last[i]) || std::fabs(v - last[i]) > opt.min_delta) {
+        out << 'r' << v << ' ' << vcd_id(i) << '\n';
+        last[i] = v;
+      }
+    }
+  }
+}
+
+std::string write_vcd_string(const Circuit& ckt,
+                             const std::vector<TransientPoint>& trace,
+                             const std::vector<CktNodeId>& nodes,
+                             const VcdOptions& opt) {
+  std::ostringstream os;
+  write_vcd(ckt, trace, nodes, os, opt);
+  return os.str();
+}
+
+void write_vcd_file(const Circuit& ckt,
+                    const std::vector<TransientPoint>& trace,
+                    const std::vector<CktNodeId>& nodes,
+                    const std::string& path, const VcdOptions& opt) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write VCD file: " + path);
+  write_vcd(ckt, trace, nodes, f, opt);
+}
+
+void write_vcd_file(const std::vector<std::string>& node_names,
+                    const std::vector<TransientPoint>& trace,
+                    const std::vector<CktNodeId>& nodes,
+                    const std::string& path, const VcdOptions& opt) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write VCD file: " + path);
+  write_vcd(node_names, trace, nodes, f, opt);
+}
+
+}  // namespace nemfpga

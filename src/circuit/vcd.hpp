@@ -1,0 +1,50 @@
+// VCD (Value Change Dump) export of SPICE-lite transients, so crossbar
+// programming waveforms (Fig 5) can be inspected in any standard waveform
+// viewer (GTKWave etc.). Voltages are emitted as VCD real variables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "circuit/spice.hpp"
+
+namespace nemfpga {
+
+struct VcdOptions {
+  std::string timescale = "1ns";
+  /// Time multiplier converting simulation seconds into timescale units.
+  double time_scale = 1e9;
+  /// Skip emitting a sample when no node moved by more than this [V].
+  double min_delta = 1e-6;
+};
+
+/// Write waveforms for the selected nodes (node id -> display name taken
+/// from the circuit). Nodes must be valid for the circuit that produced
+/// the trace.
+void write_vcd(const Circuit& ckt, const std::vector<TransientPoint>& trace,
+               const std::vector<CktNodeId>& nodes, std::ostream& out,
+               const VcdOptions& opt = {});
+
+/// Same, with explicit display names (index = CktNodeId) when the Circuit
+/// is no longer available (e.g. CrossbarExperimentResult::node_names).
+void write_vcd(const std::vector<std::string>& node_names,
+               const std::vector<TransientPoint>& trace,
+               const std::vector<CktNodeId>& nodes, std::ostream& out,
+               const VcdOptions& opt = {});
+void write_vcd_file(const std::vector<std::string>& node_names,
+                    const std::vector<TransientPoint>& trace,
+                    const std::vector<CktNodeId>& nodes,
+                    const std::string& path, const VcdOptions& opt = {});
+
+std::string write_vcd_string(const Circuit& ckt,
+                             const std::vector<TransientPoint>& trace,
+                             const std::vector<CktNodeId>& nodes,
+                             const VcdOptions& opt = {});
+
+void write_vcd_file(const Circuit& ckt,
+                    const std::vector<TransientPoint>& trace,
+                    const std::vector<CktNodeId>& nodes,
+                    const std::string& path, const VcdOptions& opt = {});
+
+}  // namespace nemfpga

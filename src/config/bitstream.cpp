@@ -1,0 +1,388 @@
+#include "config/bitstream.hpp"
+
+#include "arch/arch_model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "device/beam_dynamics.hpp"
+#include "device/equivalent.hpp"
+#include "device/variation.hpp"
+
+namespace nemfpga {
+namespace {
+
+/// Kuhn's augmenting-path bipartite matching: items (nets) to slots (pins).
+/// `candidates[i]` lists the slots item i may take. Returns slot per item
+/// (kInvalidId when unmatched).
+std::vector<std::size_t> kuhn_match(
+    const std::vector<std::vector<std::size_t>>& candidates,
+    std::size_t n_slots) {
+  std::vector<std::size_t> slot_owner(n_slots, kInvalidId);
+  std::vector<std::size_t> item_slot(candidates.size(), kInvalidId);
+  std::vector<char> visited(n_slots, 0);
+
+  std::function<bool(std::size_t)> try_item = [&](std::size_t item) -> bool {
+    for (std::size_t s : candidates[item]) {
+      if (visited[s]) continue;
+      visited[s] = 1;
+      if (slot_owner[s] == kInvalidId || try_item(slot_owner[s])) {
+        slot_owner[s] = item;
+        item_slot[item] = s;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::fill(visited.begin(), visited.end(), 0);
+    try_item(i);
+  }
+  return item_slot;
+}
+
+/// Arrival wire of each (placed net, sink site) and chosen start wires of
+/// each (placed net, driver).
+struct RoutedPins {
+  // (net index, sink block index) -> arriving wire.
+  std::map<std::pair<std::size_t, std::size_t>, RrNodeId> sink_wire;
+  // net index -> wire starts driven directly from the OPIN.
+  std::vector<std::vector<RrNodeId>> driver_wires;
+};
+
+RoutedPins collect_routed_pins(const FlowResult& flow) {
+  const RrGraph& g = *flow.graph;
+  RoutedPins rp;
+  rp.driver_wires.resize(flow.placement.nets.size());
+  for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
+    const RouteTree& t = flow.routing.trees[i];
+    // Map site -> arriving wire, then attach to sink blocks.
+    std::unordered_map<std::size_t, RrNodeId> site_wire;
+    RrNodeId opin_node = kNoRrNode;
+    for (const auto& [from, to] : t.edges) {
+      const RrNode& n = g.node(to);
+      if (n.type == RrType::kIpin) {
+        site_wire[n.y_lo * 65536u + n.x_lo] = from;
+      } else if (n.type == RrType::kOpin) {
+        opin_node = to;
+      } else if ((n.type == RrType::kChanX || n.type == RrType::kChanY) &&
+                 from == opin_node && opin_node != kNoRrNode) {
+        rp.driver_wires[i].push_back(to);
+      }
+    }
+    for (std::size_t s : flow.placement.nets[i].sinks) {
+      const BlockLoc& l = flow.placement.locs[s];
+      const auto it = site_wire.find(l.y * 65536u + l.x);
+      if (it != site_wire.end()) {
+        rp.sink_wire[{i, s}] = it->second;
+      }
+    }
+  }
+  return rp;
+}
+
+}  // namespace
+
+PinAssignment assign_pins(const FlowResult& flow) {
+  const RrGraph& g = *flow.graph;
+  const RoutedPins rp = collect_routed_pins(flow);
+
+  PinAssignment out;
+  const std::size_t n_nets = flow.placement.nets.size();
+  out.ipin_of_sink.resize(n_nets);
+  out.tap_wire_of_sink.resize(n_nets);
+  out.opin_of_net.assign(n_nets, kInvalidId);
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    const std::size_t n_sinks = flow.placement.nets[i].sinks.size();
+    out.ipin_of_sink[i].assign(n_sinks, kInvalidId);
+    out.tap_wire_of_sink[i].assign(n_sinks, kNoRrNode);
+    out.total_sinks += n_sinks;
+  }
+
+  // Wires of each net's routed tree (for flexible tapping).
+  std::vector<std::unordered_map<RrNodeId, char>> tree_wires(n_nets);
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    for (const auto& [from, to] : flow.routing.trees[i].edges) {
+      const RrType tt = g.node(to).type;
+      if (tt == RrType::kChanX || tt == RrType::kChanY) tree_wires[i][to] = 1;
+    }
+  }
+
+  // ---- Input pins: per site, match arriving nets to pins whose taps -----
+  // intersect the net's tree.
+  struct SinkRef {
+    std::size_t net, sink_idx;
+    RrNodeId nominal_wire;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<SinkRef>> by_site;
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    const auto& sinks = flow.placement.nets[i].sinks;
+    for (std::size_t k = 0; k < sinks.size(); ++k) {
+      const BlockLoc& l = flow.placement.locs[sinks[k]];
+      const auto it = rp.sink_wire.find({i, sinks[k]});
+      const RrNodeId nominal =
+          it == rp.sink_wire.end() ? kNoRrNode : it->second;
+      by_site[{l.x, l.y}].push_back({i, k, nominal});
+    }
+  }
+  for (const auto& [xy, refs] : by_site) {
+    const auto [x, y] = xy;
+    const std::size_t n_pins = g.site(x, y).pin_count_ipin;
+    std::vector<std::vector<RrNodeId>> taps(n_pins);
+    for (std::size_t p = 0; p < n_pins; ++p) {
+      taps[p] = g.ipin_tap_wires(x, y, p);
+    }
+    std::vector<std::vector<std::size_t>> cand(refs.size());
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      const auto& wires = tree_wires[refs[r].net];
+      for (std::size_t p = 0; p < n_pins; ++p) {
+        for (RrNodeId w : taps[p]) {
+          if (wires.contains(w)) {
+            cand[r].push_back(p);
+            break;
+          }
+        }
+      }
+    }
+    const auto match = kuhn_match(cand, n_pins);
+    std::vector<char> pin_used(n_pins, 0);
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (match[r] != kInvalidId) pin_used[match[r]] = 1;
+    }
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      const auto& ref = refs[r];
+      std::size_t pin = match[r];
+      RrNodeId tap = kNoRrNode;
+      if (pin != kInvalidId) {
+        for (RrNodeId w : taps[pin]) {
+          if (tree_wires[ref.net].contains(w)) {
+            tap = w;
+            break;
+          }
+        }
+      } else {
+        // Conflict: take any free pin; the connection needs one extra tap
+        // relay outside that pin's nominal pattern.
+        ++out.conflicted_sinks;
+        for (std::size_t p = 0; p < n_pins; ++p) {
+          if (!pin_used[p]) {
+            pin = p;
+            pin_used[p] = 1;
+            break;
+          }
+        }
+        tap = ref.nominal_wire;
+      }
+      out.ipin_of_sink[ref.net][ref.sink_idx] = pin;
+      out.tap_wire_of_sink[ref.net][ref.sink_idx] = tap;
+    }
+  }
+
+  // ---- Output pins: the LB output network reaches the union pattern, ----
+  // so each net takes its driving BLE's own pin (pad sub-slot for IOs).
+  // Build netlist-block -> BLE position within its cluster.
+  std::unordered_map<BlockId, std::size_t> ble_position;
+  for (const auto& cl : flow.packing.clusters) {
+    for (std::size_t k = 0; k < cl.bles.size(); ++k) {
+      const Ble& ble = flow.packing.bles[cl.bles[k]];
+      if (ble.lut != kInvalidId) ble_position[ble.lut] = k;
+      if (ble.latch != kInvalidId) ble_position[ble.latch] = k;
+    }
+  }
+  const Netlist& nl = flow.netlist;
+  for (std::size_t i = 0; i < n_nets; ++i) {
+    const BlockId drv = nl.net(flow.placement.nets[i].net).driver;
+    if (nl.block(drv).type == BlockType::kInput) {
+      out.opin_of_net[i] = flow.placement.locs[flow.placement.nets[i].driver].sub;
+    } else {
+      out.opin_of_net[i] = ble_position.at(drv);
+    }
+  }
+  return out;
+}
+
+Bitstream generate_bitstream(const FlowResult& flow) {
+  const RrGraph& g = *flow.graph;
+  const ArchParams& arch = flow.arch;
+  Bitstream bs;
+  bs.pins = assign_pins(flow);
+  const RoutedPins rp = collect_routed_pins(flow);
+  (void)rp;
+
+  std::map<std::pair<std::size_t, std::size_t>, TileBitstream> tiles;
+  auto tile = [&](std::size_t x, std::size_t y) -> TileBitstream& {
+    auto& t = tiles[{x, y}];
+    t.x = x;
+    t.y = y;
+    return t;
+  };
+
+  // ---- Connection blocks: relay (row = tap index, col = pin). ------------
+  for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
+    const auto& net = flow.placement.nets[i];
+    for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+      const BlockLoc& l = flow.placement.locs[net.sinks[k]];
+      const std::size_t pin = bs.pins.ipin_of_sink[i][k];
+      const RrNodeId tap_wire = bs.pins.tap_wire_of_sink[i][k];
+      if (pin == kInvalidId || tap_wire == kNoRrNode) continue;
+      const auto taps = g.ipin_tap_wires(l.x, l.y, pin);
+      const auto tap_it = std::find(taps.begin(), taps.end(), tap_wire);
+      if (tap_it == taps.end()) {
+        // Conflict fallback: a tap outside the pin's nominal pattern.
+        ++bs.extra_taps;
+        continue;
+      }
+      tile(l.x, l.y).cb_on.emplace_back(
+          static_cast<std::uint16_t>(tap_it - taps.begin()),
+          static_cast<std::uint16_t>(pin));
+    }
+  }
+
+  // ---- Switch boxes: wire driver muxes. Row = selected input index, -----
+  // col = the wire's track (unique per driver within its tile's channel).
+  // Build in-edge lists for used wires once.
+  std::unordered_map<RrNodeId, std::vector<RrNodeId>> wire_inputs;
+  for (RrNodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& e : g.edges(u)) {
+      const RrType tt = g.node(e.to).type;
+      if ((tt == RrType::kChanX || tt == RrType::kChanY) &&
+          (e.sw == RrSwitch::kWireToWire || e.sw == RrSwitch::kOpinToWire)) {
+        wire_inputs[e.to].push_back(u);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
+    for (const auto& [from, to] : flow.routing.trees[i].edges) {
+      const RrNode& n = g.node(to);
+      if (n.type != RrType::kChanX && n.type != RrType::kChanY) continue;
+      const auto& ins = wire_inputs[to];
+      const auto it = std::find(ins.begin(), ins.end(), from);
+      if (it == ins.end()) {
+        throw std::logic_error("generate_bitstream: mux input lookup failed");
+      }
+      // Home tile of the wire's driver = its start position, clamped into
+      // the logic grid.
+      const std::size_t sx = std::clamp<std::size_t>(
+          n.increasing ? n.x_lo : n.x_hi, 1, flow.placement.nx);
+      const std::size_t sy = std::clamp<std::size_t>(
+          n.increasing ? n.y_lo : n.y_hi, 1, flow.placement.ny);
+      tile(sx, sy).sb_on.emplace_back(
+          static_cast<std::uint16_t>(it - ins.begin()),
+          static_cast<std::uint16_t>(n.track));
+    }
+  }
+
+  // ---- LB crossbars: relay (row = source index, col = BLE input slot). --
+  // Sources: cluster input pins [0, I) then BLE feedback outputs [I, I+N).
+  // Build per-site net -> input pin map first.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unordered_map<NetId, std::size_t>>
+      site_net_pin;
+  for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
+    const auto& net = flow.placement.nets[i];
+    for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+      const BlockLoc& l = flow.placement.locs[net.sinks[k]];
+      site_net_pin[{l.x, l.y}][net.net] = bs.pins.ipin_of_sink[i][k];
+    }
+  }
+  const Netlist& nl = flow.netlist;
+  for (std::size_t c = 0; c < flow.packing.clusters.size(); ++c) {
+    const Cluster& cl = flow.packing.clusters[c];
+    const BlockLoc& l = flow.placement.locs[c];  // cluster == block index c
+    // BLE output net -> feedback source index.
+    std::unordered_map<NetId, std::size_t> feedback;
+    for (std::size_t k = 0; k < cl.bles.size(); ++k) {
+      feedback[flow.packing.bles[cl.bles[k]].output] =
+          arch.lb_inputs() + k;
+    }
+    const auto& pin_map = site_net_pin[{l.x, l.y}];
+    for (std::size_t k = 0; k < cl.bles.size(); ++k) {
+      const Ble& ble = flow.packing.bles[cl.bles[k]];
+      for (std::size_t m = 0; m < ble.inputs.size(); ++m) {
+        const NetId in = ble.inputs[m];
+        std::size_t source;
+        if (const auto fb = feedback.find(in); fb != feedback.end()) {
+          source = fb->second;
+        } else if (const auto ip = pin_map.find(in); ip != pin_map.end()) {
+          source = ip->second;
+        } else {
+          // Absorbed intra-BLE net (LUT->FF) or a cluster-internal net
+          // that reaches this BLE purely through feedback — or, for a
+          // driver-resident sink, the net originates here.
+          const auto fb2 = feedback.find(in);
+          if (fb2 == feedback.end()) {
+            throw std::logic_error(
+                "generate_bitstream: unmapped BLE input " + nl.net(in).name);
+          }
+          source = fb2->second;
+        }
+        tile(l.x, l.y).crossbar_on.emplace_back(
+            static_cast<std::uint16_t>(source),
+            static_cast<std::uint16_t>(k * arch.K + m));
+      }
+    }
+  }
+
+  for (auto& [xy, t] : tiles) {
+    bs.relays_on += t.crossbar_on.size() + t.cb_on.size() + t.sb_on.size();
+    bs.tiles.push_back(std::move(t));
+  }
+  const auto comp = tile_composition(arch);
+  bs.relays_total = flow.placement.nx * flow.placement.ny *
+                    comp.total_routing_switches();
+  return bs;
+}
+
+ProgrammingPlan plan_programming(const FlowResult& flow, const Bitstream& bs,
+                                 const RelayDesign& device,
+                                 double settle_margin) {
+  (void)bs;
+  ProgrammingPlan plan;
+  PopulationEnvelope env;
+  env.vpi_min = env.vpi_max = device.pull_in_voltage();
+  env.vpo_min = env.vpo_max = device.pull_out_voltage();
+  env.min_hysteresis = env.vpi_min - env.vpo_max;
+  const auto v = solve_program_window(env);
+  if (!v) throw std::runtime_error("plan_programming: no voltage window");
+  plan.voltages = *v;
+
+  // Rows stepped sequentially; all tiles' arrays program in parallel.
+  const ArchParams& arch = flow.arch;
+  const std::size_t xbar_rows = arch.lb_inputs() + arch.N;
+  const std::size_t cb_rows = arch.fc_in_tracks();
+  const std::size_t sb_rows =
+      arch.fs + static_cast<std::size_t>(
+                    static_cast<double>(arch.N) * arch.fc_out *
+                        static_cast<double>(arch.L) +
+                    0.5);
+  plan.row_steps = xbar_rows + cb_rows + sb_rows;
+
+  // Mechanical settle per row: pull-in at full select overdrive.
+  const auto ev = simulate_pull_in(
+      device, plan.voltages.vhold + 2.0 * plan.voltages.vselect, 1e-4);
+  const double t_pull_in = ev.switched ? ev.delay : 1e-6;
+  plan.step_time = settle_margin * t_pull_in;
+  plan.total_time = static_cast<double>(plan.row_steps) * plan.step_time;
+
+  // Row/column line energy: each step swings one row line per tile plus
+  // the column lines; line capacitance ~ relays on the line times the
+  // relay gate capacitance (use the on-state value as the bound) plus
+  // metal.
+  const auto eq = equivalent_circuit(device);
+  const double n_tiles =
+      static_cast<double>(flow.placement.nx * flow.placement.ny);
+  const auto comp = tile_composition(arch);
+  const double relays_per_tile =
+      static_cast<double>(comp.total_routing_switches());
+  const double c_lines_per_tile = relays_per_tile * 2.0 * eq.con + 50e-15;
+  const double v_swing = plan.voltages.vhold + plan.voltages.vselect;
+  plan.line_energy = n_tiles * c_lines_per_tile * v_swing * v_swing *
+                     static_cast<double>(plan.row_steps);
+  return plan;
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,103 @@
+// Configuration compiler: from a routed design to the physical relay
+// configuration and its half-select programming plan.
+//
+// This closes the loop between the paper's two halves. The CAD flow
+// produces net -> routing-resource assignments; this module
+//   (1) assigns every routed net to a *concrete* physical pin (the
+//       bipartite matching the pooled-pin router defers — running it here
+//       also validates that simplification on real designs),
+//   (2) emits the relay on/off pattern per tile (crossbar / CB / SB), and
+//   (3) schedules the half-select programming sequence and estimates
+//       configuration time and energy from the device physics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "device/nem_relay.hpp"
+#include "program/half_select.hpp"
+
+namespace nemfpga {
+
+/// Physical pin assignment for every routed net.
+///
+/// Input pins: each net-sink is matched (Kuhn's maximum bipartite matching
+/// per site) to a physical pin whose Fcin tap pattern intersects ANY wire
+/// of the net's routed tree at that site — arriving via a different
+/// passing wire is physically just tapping elsewhere along the route.
+/// Output pins: the LB output feedback network (Fig 7b) lets any output
+/// pin reach the union of the per-pin start patterns, so drivers take
+/// their BLE's own pin; no matching needed.
+struct PinAssignment {
+  /// For placed net i, sink s (parallel to Placement nets/sinks): the
+  /// physical input-pin index used at the sink block's site.
+  std::vector<std::vector<std::size_t>> ipin_of_sink;
+  /// For net i, sink s: the wire actually tapped (may differ from the
+  /// router's nominal entry wire when the matching moved the tap).
+  std::vector<std::vector<RrNodeId>> tap_wire_of_sink;
+  /// For placed net i: the physical output-pin index at the driver site.
+  std::vector<std::size_t> opin_of_net;
+  /// Sinks the matching could not place on a conflict-free pin; they are
+  /// assigned a free pin and counted here — each would need one extra CB
+  /// tap relay in silicon (reported as Bitstream::extra_taps).
+  std::size_t conflicted_sinks = 0;
+  std::size_t total_sinks = 0;
+
+  double conflict_fraction() const {
+    return total_sinks ? static_cast<double>(conflicted_sinks) /
+                             static_cast<double>(total_sinks)
+                       : 0.0;
+  }
+};
+
+/// Assign concrete pins (see PinAssignment).
+PinAssignment assign_pins(const FlowResult& flow);
+
+/// The relay states of one tile's programmable arrays.
+struct TileBitstream {
+  std::size_t x = 0, y = 0;
+  /// Relays pulled in, as (array row, array column) per array kind. Rows
+  /// are programming word lines; columns are bit lines.
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> crossbar_on;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> cb_on;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> sb_on;
+};
+
+struct Bitstream {
+  std::vector<TileBitstream> tiles;  ///< Only tiles with any content.
+  std::size_t relays_on = 0;
+  std::size_t relays_total = 0;      ///< All programmable relays on chip.
+  /// Connections that needed a tap outside their pin's nominal Fcin
+  /// pattern (one extra relay each; see PinAssignment::conflicted_sinks).
+  std::size_t extra_taps = 0;
+  PinAssignment pins;
+
+  double utilization() const {
+    return relays_total
+               ? static_cast<double>(relays_on) / static_cast<double>(relays_total)
+               : 0.0;
+  }
+};
+
+/// Compile the routed design into per-tile relay patterns.
+Bitstream generate_bitstream(const FlowResult& flow);
+
+/// Half-select programming schedule and physical cost estimate.
+struct ProgrammingPlan {
+  ProgrammingVoltages voltages;   ///< From the relay population window.
+  std::size_t row_steps = 0;      ///< Sequential half-select row operations.
+  double step_time = 0.0;         ///< [s] per row (pull-in settle + margin).
+  double total_time = 0.0;        ///< [s] full-chip configuration time.
+  double line_energy = 0.0;       ///< [J] programming-line switching energy.
+};
+
+/// Plan programming of the whole fabric: all tiles program in parallel
+/// (each has its own column drivers); rows within each array kind are
+/// stepped sequentially. `settle_margin` multiplies the mechanical
+/// pull-in delay per row step.
+ProgrammingPlan plan_programming(const FlowResult& flow, const Bitstream& bs,
+                                 const RelayDesign& device = scaled_relay_22nm(),
+                                 double settle_margin = 10.0);
+
+}  // namespace nemfpga

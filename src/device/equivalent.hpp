@@ -1,0 +1,40 @@
+// Relay on/off equivalent circuits (paper Fig 11). After configuration the
+// relay never moves, so to the routing network it is just:
+//   on  : Ron in series, plus a grounded parasitic Con at each terminal side
+//   off : a tiny feed-through coupling Coff (and zero leakage)
+//
+// Fig 11 values for the 22 nm-scaled device: Ron = 2 kOhm (experimental,
+// [Parsa 10]), Con = 20 aF, Coff = 6.7 aF (simulation).
+#pragma once
+
+#include "device/nem_relay.hpp"
+
+namespace nemfpga {
+
+/// Terminal-level equivalent of a configured relay.
+struct RelayEquivalent {
+  double ron = 0.0;   ///< On-state contact resistance [Ohm].
+  double con = 0.0;   ///< On-state parasitic capacitance [F].
+  double coff = 0.0;  ///< Off-state feed-through capacitance [F].
+};
+
+/// Contact quality knob. The paper measured ~2 kOhm on clean devices
+/// [Parsa 10] but ~100 kOhm on the (uncapsulated) crossbar relays due to
+/// surface contamination (Sec 2.3); `ron_sensitivity` ablates this.
+struct ContactModel {
+  /// Clean-contact resistance at the paper's reference contact area [Ohm].
+  double clean_resistance = 2e3;
+  /// Multiplier >= 1 modelling contamination / unencapsulated operation.
+  double contamination_factor = 1.0;
+};
+
+/// Equivalent circuit for a relay design. Capacitances combine a
+/// parallel-plate term from the geometry with a layout fringe term
+/// calibrated so the Fig 11 device yields Con = 20 aF / Coff = 6.7 aF.
+RelayEquivalent equivalent_circuit(const RelayDesign& design,
+                                   const ContactModel& contact = {});
+
+/// The Fig 11 reference values (used directly by the FPGA-level study).
+RelayEquivalent fig11_equivalent();
+
+}  // namespace nemfpga

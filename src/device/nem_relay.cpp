@@ -1,0 +1,157 @@
+#include "device/nem_relay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace nemfpga {
+
+double RelayDesign::stiffness() const {
+  const auto& g = geometry;
+  // Point-load cantilever stiffness 3EI/L^3 = E w h^3 / (4 L^3), scaled by
+  // the calibration factor that absorbs the distributed-load correction.
+  return stiffness_factor * material.youngs_modulus * g.width *
+         g.thickness * g.thickness * g.thickness /
+         (4.0 * g.length * g.length * g.length);
+}
+
+double RelayDesign::actuation_area() const {
+  return electrode_fraction * geometry.width * geometry.length;
+}
+
+double RelayDesign::permittivity() const {
+  return ambient.relative_permittivity * kEps0;
+}
+
+double RelayDesign::effective_mass() const {
+  // First-mode modal mass of a cantilever is ~0.24 of the total beam mass.
+  const auto& g = geometry;
+  return 0.24 * material.density * g.width * g.thickness * g.length;
+}
+
+double RelayDesign::pull_in_voltage() const {
+  const double k = stiffness();
+  const double g0 = geometry.gap;
+  return std::sqrt(8.0 * k * g0 * g0 * g0 /
+                   (27.0 * permittivity() * actuation_area()));
+}
+
+double RelayDesign::pull_out_voltage() const {
+  const double k = stiffness();
+  const double gmin = geometry.gap_min;
+  const double travel = geometry.gap - gmin;
+  // Release happens when the elastic restoring force exceeds the sum of the
+  // electrostatic hold force (at gap gmin) and the contact adhesion force.
+  const double net_restoring = k * travel - adhesion_force;
+  if (net_restoring <= 0.0) return 0.0;  // Permanently stuck (stiction).
+  return std::sqrt(2.0 * gmin * gmin * net_restoring /
+                   (permittivity() * actuation_area()));
+}
+
+double RelayDesign::hysteresis_window() const {
+  return pull_in_voltage() - pull_out_voltage();
+}
+
+double RelayDesign::resonant_frequency() const {
+  return std::sqrt(stiffness() / effective_mass()) /
+         (2.0 * std::numbers::pi);
+}
+
+namespace {
+
+/// Calibration anchor: the fabricated device measured Vpi = 6.2 V in oil.
+constexpr double kMeasuredVpi = 6.2;
+
+RelayDesign fabricated_uncalibrated() {
+  RelayDesign d;
+  d.geometry.length = 23.0 * micro;
+  d.geometry.width = 2.0 * micro;
+  d.geometry.thickness = 500.0 * nano;
+  d.geometry.gap = 600.0 * nano;
+  d.geometry.gap_min = 150.0 * nano;
+  d.ambient = oil_ambient();
+  return d;
+}
+
+/// kappa chosen once so the fabricated geometry in oil yields 6.2 V.
+double calibrated_stiffness_factor() {
+  static const double kappa = [] {
+    RelayDesign d = fabricated_uncalibrated();
+    const double vpi_raw = d.pull_in_voltage();
+    const double r = kMeasuredVpi / vpi_raw;
+    return r * r;  // Vpi scales as sqrt(kappa).
+  }();
+  return kappa;
+}
+
+}  // namespace
+
+RelayDesign fabricated_relay() {
+  RelayDesign d = fabricated_uncalibrated();
+  d.stiffness_factor = calibrated_stiffness_factor();
+  // Surface (van der Waals) adhesion lowers Vpo into the measured 2–3.4 V
+  // band; 40% of the elastic restoring force lands mid-band.
+  d.adhesion_force =
+      0.4 * d.stiffness() * (d.geometry.gap - d.geometry.gap_min);
+  return d;
+}
+
+RelayDesign scaled_relay_22nm() {
+  RelayDesign d;
+  d.geometry.length = 275.0 * nano;
+  d.geometry.width = 40.0 * nano;
+  d.geometry.thickness = 11.0 * nano;
+  d.geometry.gap = 11.0 * nano;
+  d.geometry.gap_min = 3.6 * nano;
+  d.ambient = vacuum_ambient();  // Hermetically sealed [Gaddi 10, Xie 10].
+  d.stiffness_factor = calibrated_stiffness_factor();
+  // Encapsulation keeps contacts clean; keep a small adhesion term so the
+  // hysteresis window stays open (Sec 2.3 wants a wide window).
+  d.adhesion_force =
+      0.2 * d.stiffness() * (d.geometry.gap - d.geometry.gap_min);
+  return d;
+}
+
+RelayState::RelayState(const RelayDesign& design, bool pulled_in)
+    : design_(design), pulled_in_(pulled_in) {}
+
+void RelayState::apply_vgs(double vgs_abs) {
+  if (vgs_abs < 0.0) {
+    throw std::invalid_argument("RelayState::apply_vgs wants |VGS| >= 0");
+  }
+  if (vgs_abs >= design_.pull_in_voltage()) {
+    pulled_in_ = true;
+  } else if (vgs_abs <= design_.pull_out_voltage()) {
+    pulled_in_ = false;
+  }
+  // Inside the hysteresis window: state is retained (the memory effect).
+}
+
+std::vector<IvPoint> sweep_iv(const RelayDesign& design, double v_max,
+                              double v_step, double read_bias,
+                              double on_resistance, double compliance,
+                              double noise_floor) {
+  if (v_step <= 0.0 || v_max <= 0.0) {
+    throw std::invalid_argument("sweep_iv: bad sweep range");
+  }
+  RelayState state(design, /*pulled_in=*/false);
+  std::vector<IvPoint> trace;
+  auto record = [&](double v) {
+    state.apply_vgs(v);
+    IvPoint p;
+    p.vgs = v;
+    p.pulled_in = state.pulled_in();
+    p.ids = state.pulled_in()
+                ? std::min(read_bias / on_resistance, compliance)
+                : noise_floor;
+    trace.push_back(p);
+  };
+  for (double v = 0.0; v <= v_max + 1e-12; v += v_step) record(v);
+  for (double v = v_max - v_step; v >= -1e-12; v -= v_step) record(v);
+  return trace;
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,131 @@
+// Nano-electro-mechanical relay device model (paper Sec 2.1, Figs 2 & 11).
+//
+// The relay is a cantilever beam (source electrode) actuated electrostatically
+// by a gate; pulling in brings the beam tip into contact with the drain.
+// Electromechanical instability makes the release (pull-out) voltage Vpo lower
+// than the pull-in voltage Vpi, giving the hysteresis window that the
+// half-select programming scheme (Sec 2.2) exploits.
+//
+// Model summary (constants follow [Kaajakari 09], calibrated to the paper's
+// fabricated device — see DESIGN.md Sec 5):
+//   stiffness      k   = kappa * E * w * h^3 / (4 L^3)
+//   actuation area A   = alpha * w * L
+//   pull-in        Vpi = sqrt(8 k g0^3 / (27 eps A))
+//   pull-out       Vpo = sqrt(2 gmin^2 (k (g0 - gmin) - F_adh) / (eps A))
+// Both reproduce the paper's stated dependencies
+//   Vpi ∝ sqrt(E h^3 g0^3 / (eps L^4)),
+//   Vpo ∝ sqrt(E h^3 gmin^2 (g0 - gmin) / (eps L^4)),
+// and adhesion (surface) forces lower Vpo, widening the hysteresis window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nemfpga {
+
+/// Beam/electrode geometry. All lengths in meters.
+struct BeamGeometry {
+  double length = 0.0;   ///< L: beam length.
+  double width = 0.0;    ///< w: beam depth normal to motion (cancels in Vpi).
+  double thickness = 0.0;///< h: beam thickness in the bending direction.
+  double gap = 0.0;      ///< g0: as-fabricated gate-to-beam gap.
+  double gap_min = 0.0;  ///< gmin: residual gate-to-beam gap when pulled in.
+};
+
+/// Structural material of the beam.
+struct BeamMaterial {
+  double youngs_modulus = 160e9;  ///< E [Pa] (polysilicon).
+  double density = 2330.0;        ///< rho [kg/m^3].
+};
+
+/// Ambient the relay switches in. The paper tests in oil (larger permittivity
+/// lowers switching voltages and suppresses contact corrosion, [Lee 09]);
+/// scaled devices are assumed hermetically encapsulated (vacuum-like).
+struct Ambient {
+  std::string name = "vacuum";
+  double relative_permittivity = 1.0;
+  double quality_factor = 3.0;  ///< Mechanical Q for the dynamics model.
+};
+
+inline Ambient vacuum_ambient() { return {"vacuum", 1.0, 5.0}; }
+inline Ambient air_ambient() { return {"air", 1.0006, 2.0}; }
+inline Ambient oil_ambient() { return {"oil", 2.2, 0.8}; }
+
+/// Complete electro-mechanical design of one relay.
+struct RelayDesign {
+  BeamGeometry geometry;
+  BeamMaterial material;
+  Ambient ambient;
+
+  /// Effective-stiffness calibration factor folded into k. Fixed once so the
+  /// fabricated device reproduces the measured Vpi = 6.2 V in oil.
+  double stiffness_factor = 1.0;
+  /// Fraction of the beam footprint that acts as actuation electrode.
+  double electrode_fraction = 0.8;
+  /// Surface adhesion (van der Waals etc.) force at the contact [N].
+  double adhesion_force = 0.0;
+
+  /// Spring constant k [N/m] of the calibrated lumped model.
+  double stiffness() const;
+  /// Electrostatic actuation area A [m^2].
+  double actuation_area() const;
+  /// Ambient permittivity eps [F/m].
+  double permittivity() const;
+  /// Effective modal mass [kg] for the 1-DOF dynamics model.
+  double effective_mass() const;
+
+  /// Pull-in voltage Vpi [V].
+  double pull_in_voltage() const;
+  /// Pull-out voltage Vpo [V] (includes adhesion; clamped at >= 0).
+  double pull_out_voltage() const;
+  /// Hysteresis window Vpi - Vpo [V].
+  double hysteresis_window() const;
+  /// Mechanical resonant frequency [Hz].
+  double resonant_frequency() const;
+};
+
+/// The device fabricated and measured in the paper (Fig 2b): L = 23 um,
+/// h = 500 nm, g0 = 600 nm, tested in oil; measured Vpi = 6.2 V and
+/// Vpo in 2–3.4 V. `stiffness_factor` is calibrated so Vpi matches exactly.
+RelayDesign fabricated_relay();
+
+/// The 22 nm-node scaled device of Fig 11: L = 275 nm, h = 11 nm,
+/// g0 = 11 nm, gmin = 3.6 nm; sub-1V operation, hermetic ambient.
+RelayDesign scaled_relay_22nm();
+
+/// Mechanical switch state with hysteresis (the "configuration memory").
+/// Off-state leakage is identically zero: there is no conduction path.
+class RelayState {
+ public:
+  explicit RelayState(const RelayDesign& design, bool pulled_in = false);
+
+  /// Apply a quasi-static |VGS| and update the mechanical state:
+  /// >= Vpi pulls in, <= Vpo releases, in between holds the current state.
+  void apply_vgs(double vgs_abs);
+
+  bool pulled_in() const { return pulled_in_; }
+  const RelayDesign& design() const { return design_; }
+
+ private:
+  RelayDesign design_;
+  bool pulled_in_;
+};
+
+/// One point of a quasi-static I-V sweep.
+struct IvPoint {
+  double vgs = 0.0;
+  double ids = 0.0;   ///< Drain-source current [A] at the read bias.
+  bool pulled_in = false;
+};
+
+/// Sweep |VGS| up then down (Fig 2b): returns the hysteretic I-V trace.
+/// `compliance` caps the on-current like the 100 nA compliance used during
+/// testing; `noise_floor` models the 10 pA measurement floor; off-state
+/// current is reported at the floor (the device itself leaks nothing).
+std::vector<IvPoint> sweep_iv(const RelayDesign& design, double v_max,
+                              double v_step, double read_bias = 1.0,
+                              double on_resistance = 100e3,
+                              double compliance = 100e-9,
+                              double noise_floor = 10e-12);
+
+}  // namespace nemfpga

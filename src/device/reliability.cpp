@@ -1,0 +1,68 @@
+#include "device/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+/// Weibull scale parameter lambda such that the median equals m.
+double weibull_scale(const WearModel& model) {
+  return model.median_cycles_to_failure /
+         std::pow(std::log(2.0), 1.0 / model.weibull_shape);
+}
+
+}  // namespace
+
+WearState wear_after(const RelayDesign& design, const WearModel& model,
+                     double cycles) {
+  if (cycles < 0.0) throw std::invalid_argument("wear_after: negative cycles");
+  WearState w;
+  w.cycles = cycles;
+  const double decades =
+      cycles > 1e6 ? std::log10(cycles) - 6.0 : 0.0;
+  w.ron_multiplier = 1.0 + model.ron_growth_per_decade * decades;
+  w.adhesion_multiplier = 1.0 + model.adhesion_growth_per_decade * decades;
+
+  // Stiction when the grown adhesion force exceeds the elastic restoring
+  // force at contact (Vpo collapses to zero).
+  const double restoring =
+      design.stiffness() * (design.geometry.gap - design.geometry.gap_min);
+  w.stuck = design.adhesion_force * w.adhesion_multiplier >= restoring;
+  return w;
+}
+
+double sample_cycles_to_failure(const WearModel& model, Rng& rng) {
+  // Inverse-CDF sampling of Weibull(shape, scale).
+  const double u = std::max(rng.uniform(), 1e-300);
+  return weibull_scale(model) *
+         std::pow(-std::log(1.0 - u), 1.0 / model.weibull_shape);
+}
+
+double array_survival(const WearModel& model, std::size_t n_relays,
+                      double cycles) {
+  if (cycles <= 0.0) return 1.0;
+  // Per-relay survival S(c) = exp(-(c/lambda)^k); array = S^n.
+  const double x = cycles / weibull_scale(model);
+  const double log_s = -std::pow(x, model.weibull_shape);
+  return std::exp(static_cast<double>(n_relays) * log_s);
+}
+
+double cycles_per_reconfiguration() { return 2.0; }
+
+double reconfiguration_budget(const WearModel& model, std::size_t n_relays,
+                              double survival_target) {
+  if (survival_target <= 0.0 || survival_target >= 1.0) {
+    throw std::invalid_argument("reconfiguration_budget: target in (0,1)");
+  }
+  if (n_relays == 0) throw std::invalid_argument("reconfiguration_budget: n=0");
+  // Solve S^n = target for cycles: (c/lambda)^k = -ln(target)/n.
+  const double per_relay = -std::log(survival_target) /
+                           static_cast<double>(n_relays);
+  const double cycles =
+      weibull_scale(model) * std::pow(per_relay, 1.0 / model.weibull_shape);
+  return cycles / cycles_per_reconfiguration();
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,65 @@
+// Relay endurance and the FPGA reconfiguration budget (paper Sec 1):
+// NEM relays demonstrate on the order of billions of reliable switching
+// cycles [Kam 09, Parsa 10] — marginal for logic (switching every cycle)
+// but ample for FPGA routing, which sees only ~500 reconfigurations over
+// a part's life [Kuon 07]. This module quantifies that argument:
+// per-relay wear (contact degradation + stiction onset), array-level
+// survival, and the implied reconfiguration budget.
+#pragma once
+
+#include <cstddef>
+
+#include "device/nem_relay.hpp"
+#include "util/rng.hpp"
+
+namespace nemfpga {
+
+/// Contact-wear model: each hot switching cycle roughens/contaminates the
+/// contact, multiplying Ron, and grows the adhesion force toward stiction.
+struct WearModel {
+  /// Median cycles to contact failure (Ron beyond usable), per [Kam 09]
+  /// class devices.
+  double median_cycles_to_failure = 2e9;
+  /// Weibull shape parameter (>1: wear-out dominated).
+  double weibull_shape = 1.8;
+  /// Relative Ron growth per decade of cycles beyond 1e6.
+  double ron_growth_per_decade = 0.25;
+  /// Adhesion growth per decade of cycles (fraction of restoring force).
+  double adhesion_growth_per_decade = 0.04;
+};
+
+/// Deterministic wear state after `cycles` switching events.
+struct WearState {
+  double cycles = 0.0;
+  double ron_multiplier = 1.0;      ///< Applies to the contact resistance.
+  double adhesion_multiplier = 1.0; ///< Applies to the adhesion force.
+  bool stuck = false;               ///< Stiction: Vpo collapsed to 0.
+};
+
+/// Evaluate median (deterministic) wear of a relay after `cycles`.
+WearState wear_after(const RelayDesign& design, const WearModel& model,
+                     double cycles);
+
+/// Sample a relay's cycles-to-failure from the Weibull endurance
+/// distribution.
+double sample_cycles_to_failure(const WearModel& model, Rng& rng);
+
+/// Probability that ALL `n_relays` survive `cycles` switching events
+/// (analytic, from the Weibull CDF).
+double array_survival(const WearModel& model, std::size_t n_relays,
+                      double cycles);
+
+/// Switching cycles each relay sees per FPGA reconfiguration with the
+/// half-select scheme: one reset release plus (at most) one pull-in, and
+/// `rows` half-select disturb events that do not actuate the beam — so 2
+/// actuation cycles per reconfiguration.
+double cycles_per_reconfiguration();
+
+/// Maximum number of full-chip reconfigurations such that an FPGA with
+/// `n_relays` routing relays keeps `survival_target` probability of zero
+/// failures. The paper's point: this comes out orders of magnitude above
+/// the ~500 reconfigurations FPGAs actually see.
+double reconfiguration_budget(const WearModel& model, std::size_t n_relays,
+                              double survival_target);
+
+}  // namespace nemfpga

@@ -1,0 +1,33 @@
+#include "device/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+
+double cmos_leakage_multiplier(const ThermalModel& m, double t_c) {
+  return std::pow(2.0, (t_c - m.t_ref_c) / m.leak_doubling_c);
+}
+
+RelayDesign relay_at_temperature(const RelayDesign& d, const ThermalModel& m,
+                                 double t_c) {
+  RelayDesign out = d;
+  const double dT = t_c - m.t_ref_c;
+  const double factor = 1.0 + m.youngs_tc * dT;
+  if (factor <= 0.0) {
+    throw std::invalid_argument("relay_at_temperature: beyond material limit");
+  }
+  out.material.youngs_modulus = d.material.youngs_modulus * factor;
+  // Adhesion scales with the (softened) stiffness it was calibrated
+  // against, keeping the Vpo band consistent.
+  out.adhesion_force = d.adhesion_force * factor;
+  return out;
+}
+
+double relay_vpi_drift(const RelayDesign& d, const ThermalModel& m,
+                       double t_c) {
+  const RelayDesign hot = relay_at_temperature(d, m, t_c);
+  return hot.pull_in_voltage() / d.pull_in_voltage() - 1.0;
+}
+
+}  // namespace nemfpga

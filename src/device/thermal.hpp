@@ -1,0 +1,39 @@
+// Temperature behavior of the two switch technologies. The paper's related
+// work ([Wang 11]) builds NEM FPGAs for >500 C environments precisely
+// because relay switching is electrostatic/mechanical: no junctions, no
+// subthreshold conduction. This module models
+//   - CMOS subthreshold leakage growth with temperature (the classic
+//     ~2x / 8-10 C slope at 22 nm),
+//   - the relay's mild Vpi drift from Young's-modulus softening,
+// letting the power study be re-evaluated across the industrial
+// temperature range and beyond.
+#pragma once
+
+#include "device/cmos.hpp"
+#include "device/nem_relay.hpp"
+
+namespace nemfpga {
+
+struct ThermalModel {
+  double t_ref_c = 25.0;           ///< Reference temperature [C].
+  /// CMOS subthreshold leakage multiplies by 2 every `leak_doubling_c`.
+  double leak_doubling_c = 18.0;
+  /// Relative Young's-modulus softening per Kelvin (poly-Si, ~ -6e-5/K).
+  double youngs_tc = -6.0e-5;
+  /// Upper limit for silicon CMOS operation [C].
+  double cmos_max_c = 125.0;
+};
+
+/// CMOS leakage multiplier at temperature `t_c` versus the reference.
+double cmos_leakage_multiplier(const ThermalModel& m, double t_c);
+
+/// The relay design re-evaluated at temperature `t_c` (Young's modulus
+/// softened); Vpi/Vpo shift only a few percent over hundreds of Kelvin.
+RelayDesign relay_at_temperature(const RelayDesign& d, const ThermalModel& m,
+                                 double t_c);
+
+/// Relative Vpi drift at temperature `t_c` (e.g. -0.01 = 1% lower).
+double relay_vpi_drift(const RelayDesign& d, const ThermalModel& m,
+                       double t_c);
+
+}  // namespace nemfpga

@@ -1,0 +1,83 @@
+#include "device/variation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nemfpga {
+
+VariationSpec fabricated_variation() {
+  // Optical-lithography-era tolerances; chosen so a 100-sample population of
+  // the fabricated device spans Vpi ~ 5–7 V and Vpo ~ 2–3.4 V as in Fig 6.
+  VariationSpec spec;
+  spec.sigma_length_rel = 0.010;
+  spec.sigma_thickness_rel = 0.017;
+  spec.sigma_gap_rel = 0.017;
+  spec.sigma_gap_min_rel = 0.060;
+  spec.sigma_adhesion_rel = 0.200;
+  return spec;
+}
+
+namespace {
+
+double vary(double nominal, double sigma_rel, Rng& rng) {
+  // Truncate at +-3 sigma so geometry stays physical.
+  const double z = std::clamp(rng.normal(), -3.0, 3.0);
+  return nominal * (1.0 + sigma_rel * z);
+}
+
+}  // namespace
+
+RelaySample sample_relay(const RelayDesign& nominal, const VariationSpec& spec,
+                         Rng& rng) {
+  RelaySample s;
+  s.design = nominal;
+  auto& g = s.design.geometry;
+  g.length = vary(g.length, spec.sigma_length_rel, rng);
+  g.thickness = vary(g.thickness, spec.sigma_thickness_rel, rng);
+  g.gap = vary(g.gap, spec.sigma_gap_rel, rng);
+  // Keep the pulled-in gap physical: strictly positive and below the rest
+  // gap even under extreme draws.
+  g.gap_min = std::clamp(vary(g.gap_min, spec.sigma_gap_min_rel, rng),
+                         0.05 * g.gap, 0.95 * g.gap);
+  s.design.adhesion_force =
+      std::max(0.0, vary(nominal.adhesion_force, spec.sigma_adhesion_rel, rng));
+  s.vpi = s.design.pull_in_voltage();
+  s.vpo = s.design.pull_out_voltage();
+  return s;
+}
+
+std::vector<RelaySample> sample_population(const RelayDesign& nominal,
+                                           const VariationSpec& spec,
+                                           std::size_t n, Rng& rng) {
+  std::vector<RelaySample> pop;
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pop.push_back(sample_relay(nominal, spec, rng));
+  }
+  return pop;
+}
+
+PopulationEnvelope envelope(const std::vector<RelaySample>& population) {
+  if (population.empty()) throw std::invalid_argument("envelope: empty");
+  PopulationEnvelope env;
+  env.vpi_min = std::numeric_limits<double>::infinity();
+  env.vpo_min = std::numeric_limits<double>::infinity();
+  env.min_hysteresis = std::numeric_limits<double>::infinity();
+  env.vpi_max = -std::numeric_limits<double>::infinity();
+  env.vpo_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : population) {
+    env.vpi_min = std::min(env.vpi_min, s.vpi);
+    env.vpi_max = std::max(env.vpi_max, s.vpi);
+    env.vpo_min = std::min(env.vpo_min, s.vpo);
+    env.vpo_max = std::max(env.vpo_max, s.vpo);
+    env.min_hysteresis = std::min(env.min_hysteresis, s.vpi - s.vpo);
+  }
+  return env;
+}
+
+bool half_select_feasible(const PopulationEnvelope& env) {
+  return env.min_hysteresis > env.vpi_max - env.vpi_min;
+}
+
+}  // namespace nemfpga

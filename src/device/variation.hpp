@@ -1,0 +1,62 @@
+// Process-variation modelling for relay populations (paper Fig 6 and the
+// half-select feasibility condition of Sec 2.3):
+//
+//   min{Vpi - Vpo} > Vpi,max - Vpi,min   over all relays in an array.
+//
+// Variations in Vpi/Vpo stem from dimensional variation of the fabricated
+// beams (L, h, g0) — exactly what the paper attributes them to.
+#pragma once
+
+#include <vector>
+
+#include "device/nem_relay.hpp"
+#include "util/rng.hpp"
+
+namespace nemfpga {
+
+/// Relative (1-sigma) dimensional variation applied to a nominal design.
+struct VariationSpec {
+  double sigma_length_rel = 0.0;
+  double sigma_thickness_rel = 0.0;
+  double sigma_gap_rel = 0.0;
+  double sigma_gap_min_rel = 0.0;
+  /// Relative 1-sigma spread of the adhesion force (surface condition).
+  double sigma_adhesion_rel = 0.0;
+};
+
+/// Variation calibrated to the measured spread of the paper's 100-relay
+/// experiment (Vpi mostly 5–7 V, Vpo 2–3.4 V for a 6.2 V nominal device).
+VariationSpec fabricated_variation();
+
+/// One sampled device with its derived switching voltages.
+struct RelaySample {
+  RelayDesign design;
+  double vpi = 0.0;
+  double vpo = 0.0;
+};
+
+/// Draw one varied instance of the nominal design.
+RelaySample sample_relay(const RelayDesign& nominal, const VariationSpec& spec,
+                         Rng& rng);
+
+/// Draw a population of n varied instances.
+std::vector<RelaySample> sample_population(const RelayDesign& nominal,
+                                           const VariationSpec& spec,
+                                           std::size_t n, Rng& rng);
+
+/// Population extremes needed by the half-select window analysis.
+struct PopulationEnvelope {
+  double vpi_min = 0.0;
+  double vpi_max = 0.0;
+  double vpo_min = 0.0;
+  double vpo_max = 0.0;
+  double min_hysteresis = 0.0;  ///< min over relays of (Vpi - Vpo).
+};
+
+PopulationEnvelope envelope(const std::vector<RelaySample>& population);
+
+/// The paper's feasibility condition for one shared (Vhold, Vselect) pair:
+/// min{Vpi - Vpo} > Vpi,max - Vpi,min.
+bool half_select_feasible(const PopulationEnvelope& env);
+
+}  // namespace nemfpga

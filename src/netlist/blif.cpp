@@ -1,0 +1,211 @@
+#include "netlist/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+/// Split on whitespace.
+std::vector<std::string> tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+/// Read one logical line: strips comments (#), joins continuations (\).
+bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  line.clear();
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    // Continuation?
+    while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' ||
+                            raw.back() == '\t')) {
+      raw.pop_back();
+    }
+    if (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      line += raw;
+      continue;
+    }
+    line += raw;
+    if (!tokens(line).empty()) return true;
+    line.clear();
+  }
+  return !tokens(line).empty();
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& msg) {
+  throw std::runtime_error("blif:" + std::to_string(lineno) + ": " + msg);
+}
+
+}  // namespace
+
+Netlist read_blif(std::istream& in, std::size_t max_lut_inputs) {
+  std::size_t lineno = 0;
+  std::string line;
+  std::string model = "top";
+
+  // First pass into memory as token rows (files are small by modern
+  // standards; simplicity wins).
+  struct Row {
+    std::size_t lineno;
+    std::vector<std::string> toks;
+  };
+  std::vector<Row> rows;
+  while (next_line(in, line, lineno)) rows.push_back({lineno, tokens(line)});
+
+  std::vector<std::string> inputs, outputs;
+  struct Names {
+    std::size_t lineno;
+    std::vector<std::string> signals;  // ins..., out
+    std::vector<std::string> cover;
+  };
+  struct Latch {
+    std::size_t lineno;
+    std::string d, q;
+  };
+  std::vector<Names> names;
+  std::vector<Latch> latches;
+
+  std::size_t i = 0;
+  bool saw_model = false, saw_end = false;
+  while (i < rows.size()) {
+    const auto& [ln, t] = rows[i];
+    if (t[0] == ".model") {
+      if (saw_model) fail(ln, "multiple .model (subcircuits unsupported)");
+      saw_model = true;
+      if (t.size() >= 2) model = t[1];
+      ++i;
+    } else if (t[0] == ".inputs") {
+      inputs.insert(inputs.end(), t.begin() + 1, t.end());
+      ++i;
+    } else if (t[0] == ".outputs") {
+      outputs.insert(outputs.end(), t.begin() + 1, t.end());
+      ++i;
+    } else if (t[0] == ".names") {
+      if (t.size() < 2) fail(ln, ".names needs at least an output");
+      Names n{ln, {t.begin() + 1, t.end()}, {}};
+      ++i;
+      while (i < rows.size() && rows[i].toks[0][0] != '.') {
+        std::string cover_row;
+        for (const auto& tok : rows[i].toks) {
+          if (!cover_row.empty()) cover_row += ' ';
+          cover_row += tok;
+        }
+        n.cover.push_back(cover_row);
+        ++i;
+      }
+      if (n.signals.size() - 1 > max_lut_inputs) {
+        fail(ln, ".names wider than K=" + std::to_string(max_lut_inputs));
+      }
+      names.push_back(std::move(n));
+    } else if (t[0] == ".latch") {
+      if (t.size() < 3) fail(ln, ".latch needs input and output");
+      latches.push_back({ln, t[1], t[2]});
+      ++i;
+    } else if (t[0] == ".end") {
+      saw_end = true;
+      ++i;
+    } else if (t[0][0] == '.') {
+      fail(ln, "unsupported directive: " + t[0]);
+    } else {
+      fail(ln, "unexpected token: " + t[0]);
+    }
+  }
+  if (!saw_model) fail(0, "missing .model");
+  (void)saw_end;  // .end is conventional but optional in the wild
+
+  Netlist nl(model);
+  for (const auto& name : inputs) {
+    nl.add_input(name, nl.net_by_name(name));
+  }
+  for (const auto& n : names) {
+    const std::string& out_name = n.signals.back();
+    std::vector<NetId> ins;
+    ins.reserve(n.signals.size() - 1);
+    for (std::size_t s = 0; s + 1 < n.signals.size(); ++s) {
+      ins.push_back(nl.net_by_name(n.signals[s]));
+    }
+    if (ins.empty()) {
+      // Constant generator: model as a 0-input LUT via a 1-input LUT on
+      // itself is illegal; instead treat constants as unsupported.
+      fail(n.lineno, "constant .names (no inputs) unsupported");
+    }
+    nl.add_lut("lut:" + out_name, std::move(ins), nl.net_by_name(out_name),
+               n.cover);
+  }
+  for (const auto& l : latches) {
+    nl.add_latch("ff:" + l.q, nl.net_by_name(l.d), nl.net_by_name(l.q));
+  }
+  for (const auto& name : outputs) {
+    const NetId n = nl.find_net(name);
+    if (n == kInvalidId) fail(0, "primary output never driven: " + name);
+    nl.add_output("out:" + name, n);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist read_blif_string(const std::string& text, std::size_t max_lut_inputs) {
+  std::istringstream is(text);
+  return read_blif(is, max_lut_inputs);
+}
+
+Netlist read_blif_file(const std::string& path, std::size_t max_lut_inputs) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open BLIF file: " + path);
+  return read_blif(f, max_lut_inputs);
+}
+
+void write_blif(const Netlist& nl, std::ostream& out) {
+  out << ".model " << nl.model_name() << "\n.inputs";
+  for (const auto& b : nl.blocks()) {
+    if (b.type == BlockType::kInput) out << ' ' << nl.net(b.output).name;
+  }
+  out << "\n.outputs";
+  for (const auto& b : nl.blocks()) {
+    if (b.type == BlockType::kOutput) out << ' ' << nl.net(b.inputs[0]).name;
+  }
+  out << "\n";
+  for (const auto& b : nl.blocks()) {
+    if (b.type == BlockType::kLatch) {
+      out << ".latch " << nl.net(b.inputs[0]).name << ' '
+          << nl.net(b.output).name << " re clk 2\n";
+    }
+  }
+  for (const auto& b : nl.blocks()) {
+    if (b.type != BlockType::kLut) continue;
+    out << ".names";
+    for (NetId n : b.inputs) out << ' ' << nl.net(n).name;
+    out << ' ' << nl.net(b.output).name << "\n";
+    if (b.truth_table.empty()) {
+      // Default cover: AND of all inputs (placeholder function).
+      out << std::string(b.inputs.size(), '1') << " 1\n";
+    } else {
+      for (const auto& row : b.truth_table) out << row << "\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_blif(nl, os);
+  return os.str();
+}
+
+void write_blif_file(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write BLIF file: " + path);
+  write_blif(nl, f);
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,25 @@
+// BLIF (Berkeley Logic Interchange Format) reader/writer for the mapped
+// subset the flow consumes: .model/.inputs/.outputs/.names/.latch/.end.
+// This is the interchange format of the MCNC benchmarks and VPR.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nemfpga {
+
+/// Parse a mapped BLIF netlist. Throws std::runtime_error with a line
+/// number on malformed input. `max_lut_inputs` rejects covers wider than
+/// the architecture's K (the input must already be tech-mapped).
+Netlist read_blif(std::istream& in, std::size_t max_lut_inputs = 6);
+Netlist read_blif_string(const std::string& text, std::size_t max_lut_inputs = 6);
+Netlist read_blif_file(const std::string& path, std::size_t max_lut_inputs = 6);
+
+/// Serialize back to BLIF (stable ordering; round-trips through read_blif).
+void write_blif(const Netlist& nl, std::ostream& out);
+std::string write_blif_string(const Netlist& nl);
+void write_blif_file(const Netlist& nl, const std::string& path);
+
+}  // namespace nemfpga

@@ -1,0 +1,73 @@
+#include "netlist/mcnc.hpp"
+
+#include <stdexcept>
+
+namespace nemfpga {
+
+const std::vector<BenchmarkInfo>& mcnc20() {
+  // Published post-mapping sizes (4-LUTs / FFs / PIs / POs) of the 20
+  // largest MCNC circuits as used by VPR [Betz 99, Kuon 08].
+  static const std::vector<BenchmarkInfo> k = {
+      {"alu4", 1522, 0, 14, 8},
+      {"apex2", 1878, 0, 38, 3},
+      {"apex4", 1262, 0, 9, 19},
+      {"bigkey", 1707, 224, 229, 197},
+      {"clma", 8383, 33, 62, 82},
+      {"des", 1591, 0, 256, 245},
+      {"diffeq", 1497, 377, 64, 39},
+      {"dsip", 1370, 224, 229, 197},
+      {"elliptic", 3604, 1122, 131, 114},
+      {"ex1010", 4598, 0, 10, 10},
+      {"ex5p", 1064, 0, 8, 63},
+      {"frisc", 3556, 886, 20, 116},
+      {"misex3", 1397, 0, 14, 14},
+      {"pdc", 4575, 0, 16, 40},
+      {"s298", 1931, 8, 4, 6},
+      {"s38417", 6406, 1636, 29, 106},
+      {"s38584.1", 6447, 1452, 39, 304},
+      {"seq", 1750, 0, 41, 35},
+      {"spla", 3690, 0, 16, 46},
+      {"tseng", 1047, 385, 52, 122},
+  };
+  return k;
+}
+
+const std::vector<BenchmarkInfo>& pistorius_large() {
+  // LUT counts from the paper (Fig 12 legend); IO/FF counts chosen at
+  // plausible industrial proportions (not published in the paper).
+  static const std::vector<BenchmarkInfo> k = {
+      {"ava", 12254, 2440, 130, 100, 0.85},
+      {"oc_des_des3perf", 11742, 2300, 234, 128, 0.75},
+      {"sudoku_check", 17188, 3400, 81, 40, 0.70},
+      {"ucsb_152_tap_fir", 10199, 2000, 34, 38, 0.70},
+  };
+  return k;
+}
+
+const BenchmarkInfo& benchmark_info(const std::string& name) {
+  for (const auto& b : mcnc20()) {
+    if (b.name == name) return b;
+  }
+  for (const auto& b : pistorius_large()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+Netlist generate_benchmark(const BenchmarkInfo& info) {
+  SynthSpec spec;
+  spec.name = info.name;
+  spec.n_luts = info.luts;
+  spec.n_latches = info.latches;
+  spec.n_inputs = info.inputs;
+  spec.n_outputs = info.outputs;
+  spec.lut_inputs = 4;
+  spec.locality = info.locality;
+  return generate_netlist(spec);
+}
+
+Netlist generate_benchmark(const std::string& name) {
+  return generate_benchmark(benchmark_info(name));
+}
+
+}  // namespace nemfpga

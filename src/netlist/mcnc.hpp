@@ -1,0 +1,44 @@
+// Benchmark catalog: the 20 largest MCNC circuits [Yang 91] the paper's
+// evaluation uses (geometric means in Figs 9/12) plus the four large
+// industrial benchmarks [Pistorius 07] it reports individually
+// (ava, oc_des_des3perf, sudoku_check, ucsb_152_tap_fir; all > 10K 4-LUTs).
+//
+// Block counts follow the published sizes; the netlists themselves are
+// regenerated synthetically (see synth_gen.hpp and DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/synth_gen.hpp"
+
+namespace nemfpga {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::size_t luts = 0;     ///< 4-LUT count (published).
+  std::size_t latches = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  /// Locality coefficient for the synthetic regeneration (units of
+  /// sqrt(n_luts); lower = more local). The large industrial benchmarks
+  /// (FIR filter, DES pipelines, sudoku checker) are highly regular
+  /// datapaths, reflected as tighter locality than random control logic.
+  double locality = 1.0;
+};
+
+/// The 20 largest MCNC benchmark circuits (VPR's standard suite).
+const std::vector<BenchmarkInfo>& mcnc20();
+
+/// The four large benchmarks of [Pistorius 07] reported in Fig 12.
+const std::vector<BenchmarkInfo>& pistorius_large();
+
+/// Look up either catalog by name; throws if unknown.
+const BenchmarkInfo& benchmark_info(const std::string& name);
+
+/// Generate the (synthetic) netlist for a catalog entry.
+Netlist generate_benchmark(const BenchmarkInfo& info);
+Netlist generate_benchmark(const std::string& name);
+
+}  // namespace nemfpga

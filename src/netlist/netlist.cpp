@@ -1,0 +1,149 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nemfpga {
+
+NetId Netlist::add_net(const std::string& name) {
+  if (net_names_.contains(name)) {
+    throw std::invalid_argument("add_net: duplicate net name: " + name);
+  }
+  nets_.push_back(Net{name, kInvalidId, {}});
+  net_names_.emplace(name, nets_.size() - 1);
+  return nets_.size() - 1;
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  const auto it = net_names_.find(name);
+  return it == net_names_.end() ? kInvalidId : it->second;
+}
+
+NetId Netlist::net_by_name(const std::string& name) {
+  const NetId existing = find_net(name);
+  return existing == kInvalidId ? add_net(name) : existing;
+}
+
+BlockId Netlist::add_block(Block b) {
+  blocks_.push_back(std::move(b));
+  return blocks_.size() - 1;
+}
+
+void Netlist::connect_driver(NetId n, BlockId b) {
+  if (n >= nets_.size()) throw std::out_of_range("connect_driver: bad net");
+  if (nets_[n].driver != kInvalidId) {
+    throw std::invalid_argument("net already driven: " + nets_[n].name);
+  }
+  nets_[n].driver = b;
+}
+
+void Netlist::connect_sink(NetId n, BlockId b) {
+  if (n >= nets_.size()) throw std::out_of_range("connect_sink: bad net");
+  nets_[n].sinks.push_back(b);
+}
+
+BlockId Netlist::add_input(const std::string& name, NetId out) {
+  const BlockId b = add_block({BlockType::kInput, name, {}, out, {}});
+  connect_driver(out, b);
+  return b;
+}
+
+BlockId Netlist::add_output(const std::string& name, NetId in) {
+  const BlockId b = add_block({BlockType::kOutput, name, {in}, kInvalidId, {}});
+  connect_sink(in, b);
+  return b;
+}
+
+BlockId Netlist::add_lut(const std::string& name, std::vector<NetId> ins,
+                         NetId out, std::vector<std::string> truth_table) {
+  if (ins.empty()) throw std::invalid_argument("add_lut: no inputs: " + name);
+  const BlockId b =
+      add_block({BlockType::kLut, name, ins, out, std::move(truth_table)});
+  for (NetId n : blocks_.back().inputs) connect_sink(n, b);
+  connect_driver(out, b);
+  return b;
+}
+
+BlockId Netlist::add_latch(const std::string& name, NetId d, NetId q) {
+  const BlockId b = add_block({BlockType::kLatch, name, {d}, q, {}});
+  connect_sink(d, b);
+  connect_driver(q, b);
+  return b;
+}
+
+std::size_t Netlist::count(BlockType t) const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += (b.type == t);
+  return n;
+}
+
+std::size_t Netlist::max_lut_inputs() const {
+  std::size_t k = 0;
+  for (const auto& b : blocks_) {
+    if (b.type == BlockType::kLut) k = std::max(k, b.inputs.size());
+  }
+  return k;
+}
+
+double Netlist::average_fanout() const {
+  std::size_t driven = 0, pins = 0;
+  for (const auto& n : nets_) {
+    if (n.driver == kInvalidId) continue;
+    ++driven;
+    pins += n.sinks.size();
+  }
+  return driven ? static_cast<double>(pins) / static_cast<double>(driven) : 0.0;
+}
+
+void Netlist::validate() const {
+  for (const auto& n : nets_) {
+    if (n.driver == kInvalidId) {
+      throw std::runtime_error("validate: undriven net: " + n.name);
+    }
+    if (n.driver >= blocks_.size()) {
+      throw std::runtime_error("validate: bad driver on net: " + n.name);
+    }
+  }
+  for (const auto& b : blocks_) {
+    for (NetId n : b.inputs) {
+      if (n >= nets_.size()) {
+        throw std::runtime_error("validate: bad input net on block: " + b.name);
+      }
+    }
+    if (b.type != BlockType::kOutput && b.output >= nets_.size()) {
+      throw std::runtime_error("validate: bad output net on block: " + b.name);
+    }
+  }
+  // Combinational-loop check: DFS over LUT->LUT edges (latches cut paths).
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(blocks_.size(), Color::kWhite);
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  for (BlockId start = 0; start < blocks_.size(); ++start) {
+    if (blocks_[start].type != BlockType::kLut) continue;
+    if (color[start] != Color::kWhite) continue;
+    stack.emplace_back(start, 0);
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [b, sink_idx] = stack.back();
+      // Iterate combinational fanout of block b.
+      const Net& out = nets_[blocks_[b].output];
+      if (sink_idx >= out.sinks.size()) {
+        color[b] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const BlockId next = out.sinks[sink_idx++];
+      if (blocks_[next].type != BlockType::kLut) continue;
+      if (color[next] == Color::kGray) {
+        throw std::runtime_error("validate: combinational loop through " +
+                                 blocks_[next].name);
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+}
+
+}  // namespace nemfpga

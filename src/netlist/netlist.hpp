@@ -1,0 +1,93 @@
+// Technology-mapped netlist: the input to the FPGA CAD flow. Blocks are
+// primary inputs/outputs, K-input LUTs, and D latches (FFs); nets connect
+// one driver pin to any number of sink pins. This mirrors the post-mapping
+// BLIF netlists VPR consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nemfpga {
+
+using BlockId = std::size_t;
+using NetId = std::size_t;
+inline constexpr std::size_t kInvalidId = static_cast<std::size_t>(-1);
+
+enum class BlockType { kInput, kOutput, kLut, kLatch };
+
+struct Block {
+  BlockType type = BlockType::kLut;
+  std::string name;
+  /// Input nets (LUT: up to K; latch: exactly 1 (D); output: exactly 1;
+  /// input: none).
+  std::vector<NetId> inputs;
+  /// Driven net (inputs, LUTs, latches); kInvalidId for primary outputs.
+  NetId output = kInvalidId;
+  /// For LUTs: the .names truth-table rows (BLIF single-output cover).
+  std::vector<std::string> truth_table;
+};
+
+struct Net {
+  std::string name;
+  BlockId driver = kInvalidId;
+  std::vector<BlockId> sinks;
+  std::size_t fanout() const { return sinks.size(); }
+};
+
+/// A flat mapped netlist.
+class Netlist {
+ public:
+  explicit Netlist(std::string model_name = "top") : model_(std::move(model_name)) {}
+
+  const std::string& model_name() const { return model_; }
+
+  /// Create a net (initially driverless); name must be unique.
+  NetId add_net(const std::string& name);
+  /// Find a net by name; returns kInvalidId if absent.
+  NetId find_net(const std::string& name) const;
+  /// Find-or-create.
+  NetId net_by_name(const std::string& name);
+
+  BlockId add_input(const std::string& name, NetId out);
+  BlockId add_output(const std::string& name, NetId in);
+  BlockId add_lut(const std::string& name, std::vector<NetId> ins, NetId out,
+                  std::vector<std::string> truth_table = {});
+  BlockId add_latch(const std::string& name, NetId d, NetId q);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+  const Block& block(BlockId b) const { return blocks_.at(b); }
+  const Net& net(NetId n) const { return nets_.at(n); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  std::size_t count(BlockType t) const;
+  std::size_t lut_count() const { return count(BlockType::kLut); }
+  std::size_t latch_count() const { return count(BlockType::kLatch); }
+  std::size_t input_count() const { return count(BlockType::kInput); }
+  std::size_t output_count() const { return count(BlockType::kOutput); }
+
+  /// Maximum LUT fan-in present.
+  std::size_t max_lut_inputs() const;
+  /// Mean fanout over driven nets.
+  double average_fanout() const;
+
+  /// Structural validation: every net has exactly one driver, every block
+  /// input references an existing net, no self-loop through a LUT only
+  /// (combinational loops must pass through a latch). Throws on violation.
+  void validate() const;
+
+ private:
+  BlockId add_block(Block b);
+  void connect_driver(NetId n, BlockId b);
+  void connect_sink(NetId n, BlockId b);
+
+  std::string model_;
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+  std::unordered_map<std::string, NetId> net_names_;
+};
+
+}  // namespace nemfpga

@@ -1,0 +1,145 @@
+#include "netlist/simulate.hpp"
+
+#include <stdexcept>
+
+namespace nemfpga {
+
+bool eval_cover(const std::vector<std::string>& cover,
+                const std::vector<bool>& inputs) {
+  if (cover.empty()) {
+    // Default cover (see blif.cpp): AND of all inputs.
+    for (bool b : inputs) {
+      if (!b) return false;
+    }
+    return true;
+  }
+  for (const auto& row : cover) {
+    bool match = true;
+    std::size_t i = 0;
+    for (char ch : row) {
+      if (ch == ' ') break;  // pattern ends before the output column
+      if (i >= inputs.size()) {
+        match = false;
+        break;
+      }
+      if (ch == '1' && !inputs[i]) match = false;
+      if (ch == '0' && inputs[i]) match = false;
+      // '-' matches either value.
+      ++i;
+      if (!match) break;
+    }
+    if (match && i == inputs.size()) return true;
+  }
+  return false;
+}
+
+ActivityResult estimate_activity(const Netlist& nl,
+                                 const ActivityOptions& opt) {
+  nl.validate();
+  if (opt.vectors == 0) {
+    throw std::invalid_argument("estimate_activity: zero vectors");
+  }
+  Rng rng(opt.seed);
+
+  // Topological order of LUTs (latches break cycles).
+  std::vector<BlockId> order;
+  order.reserve(nl.block_count());
+  {
+    std::vector<std::size_t> pending(nl.block_count(), 0);
+    std::vector<BlockId> ready;
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type != BlockType::kLut) continue;
+      std::size_t n_comb = 0;
+      for (NetId n : blk.inputs) {
+        if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++n_comb;
+      }
+      pending[b] = n_comb;
+      if (n_comb == 0) ready.push_back(b);
+    }
+    while (!ready.empty()) {
+      const BlockId b = ready.back();
+      ready.pop_back();
+      order.push_back(b);
+      for (BlockId s : nl.net(nl.block(b).output).sinks) {
+        if (nl.block(s).type == BlockType::kLut && pending[s] > 0) {
+          if (--pending[s] == 0) ready.push_back(s);
+        }
+      }
+    }
+    if (order.size() != nl.lut_count()) {
+      throw std::logic_error("estimate_activity: combinational cycle");
+    }
+  }
+
+  std::vector<bool> value(nl.net_count(), false);
+  std::vector<bool> latch_state(nl.block_count(), false);
+  std::vector<std::size_t> transitions(nl.net_count(), 0);
+  std::vector<std::size_t> ones(nl.net_count(), 0);
+  std::vector<bool> ins;
+
+  auto settle = [&] {
+    // Latch outputs drive their Q nets; then evaluate LUTs in topo order.
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type == BlockType::kLatch) value[blk.output] = latch_state[b];
+    }
+    for (BlockId b : order) {
+      const Block& blk = nl.block(b);
+      ins.assign(blk.inputs.size(), false);
+      for (std::size_t i = 0; i < blk.inputs.size(); ++i) {
+        ins[i] = value[blk.inputs[i]];
+      }
+      value[blk.output] = eval_cover(blk.truth_table, ins);
+    }
+  };
+
+  // Initialize PIs randomly and settle once.
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kInput) value[blk.output] = rng.chance(0.5);
+  }
+  settle();
+
+  const std::size_t total = opt.warmup + opt.vectors;
+  std::vector<bool> prev(nl.net_count(), false);
+  for (std::size_t cycle = 0; cycle < total; ++cycle) {
+    prev = value;
+    // Clock edge: capture D into every latch.
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type == BlockType::kLatch) {
+        latch_state[b] = value[blk.inputs[0]];
+      }
+    }
+    // New primary-input vector.
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type == BlockType::kInput && rng.chance(opt.input_toggle_prob)) {
+        value[blk.output] = !value[blk.output];
+      }
+    }
+    settle();
+    if (cycle < opt.warmup) continue;
+    for (NetId n = 0; n < nl.net_count(); ++n) {
+      transitions[n] += (value[n] != prev[n]);
+      ones[n] += value[n];
+    }
+  }
+
+  ActivityResult res;
+  res.net_activity.resize(nl.net_count());
+  res.net_p1.resize(nl.net_count());
+  double sum = 0.0;
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    res.net_activity[n] =
+        static_cast<double>(transitions[n]) / static_cast<double>(opt.vectors);
+    res.net_p1[n] =
+        static_cast<double>(ones[n]) / static_cast<double>(opt.vectors);
+    sum += res.net_activity[n];
+  }
+  res.mean_activity = sum / static_cast<double>(nl.net_count());
+  return res;
+}
+
+}  // namespace nemfpga

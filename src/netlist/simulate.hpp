@@ -1,0 +1,46 @@
+// Logic simulation and switching-activity estimation.
+//
+// The paper's power flow ([Jamieson 09], Fig 10) "incorporates appropriate
+// switching activities of various circuit nodes". This module provides
+// them: it evaluates the mapped netlist's LUT truth tables over random
+// input vectors (registers clocked between vectors) and reports per-net
+// transition probabilities, which analyze_power() can consume instead of
+// a flat default activity.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nemfpga {
+
+/// Evaluate one LUT's BLIF single-output cover for an input assignment.
+/// `cover` rows are "<pattern> 1" with pattern chars in {0,1,-}; the LUT
+/// outputs 1 iff any row matches (sum-of-products, on-set cover).
+bool eval_cover(const std::vector<std::string>& cover,
+                const std::vector<bool>& inputs);
+
+struct ActivityOptions {
+  std::size_t vectors = 1000;     ///< Random primary-input vectors.
+  std::size_t warmup = 32;        ///< Cycles before statistics start.
+  double input_toggle_prob = 0.5; ///< Per-PI toggle probability per cycle.
+  std::uint64_t seed = 7;
+};
+
+struct ActivityResult {
+  /// Per-net transition probability per clock cycle (activity factor).
+  std::vector<double> net_activity;
+  /// Per-net static probability of logic 1.
+  std::vector<double> net_p1;
+  /// Mean activity over all nets (use as a flat summary).
+  double mean_activity = 0.0;
+};
+
+/// Simulate the netlist and measure activities. The netlist must validate;
+/// LUTs with empty truth tables behave as AND of their inputs (the BLIF
+/// writer's default cover).
+ActivityResult estimate_activity(const Netlist& nl,
+                                 const ActivityOptions& opt = {});
+
+}  // namespace nemfpga

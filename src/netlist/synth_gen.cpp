@@ -1,0 +1,121 @@
+#include "netlist/synth_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+/// Random single-output cover rows for a k-input LUT (used by the BLIF
+/// writer and by the logic-simulation activity estimator).
+std::vector<std::string> random_cover(std::size_t k, Rng& rng) {
+  const std::size_t rows = 1 + rng.uniform_int(3);
+  std::vector<std::string> cover;
+  cover.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string row(k, '-');
+    for (auto& ch : row) {
+      const auto pick = rng.uniform_int(3);
+      ch = pick == 0 ? '0' : (pick == 1 ? '1' : '-');
+    }
+    cover.push_back(row + " 1");
+  }
+  return cover;
+}
+
+}  // namespace
+
+Netlist generate_netlist(const SynthSpec& spec) {
+  if (spec.n_luts == 0 || spec.n_inputs == 0 || spec.lut_inputs == 0) {
+    throw std::invalid_argument("generate_netlist: empty spec");
+  }
+  if (spec.n_latches > spec.n_luts) {
+    throw std::invalid_argument("generate_netlist: more latches than LUTs");
+  }
+  Rng rng = Rng::from_string(spec.name);
+  Netlist nl(spec.name);
+
+  // Primary inputs and latch outputs form the initial source pool.
+  std::vector<NetId> pool;
+  pool.reserve(spec.n_inputs + spec.n_latches + spec.n_luts);
+  for (std::size_t i = 0; i < spec.n_inputs; ++i) {
+    const NetId n = nl.add_net("pi" + std::to_string(i));
+    nl.add_input("in:pi" + std::to_string(i), n);
+    pool.push_back(n);
+  }
+  std::vector<NetId> latch_q;
+  for (std::size_t i = 0; i < spec.n_latches; ++i) {
+    const NetId q = nl.add_net("q" + std::to_string(i));
+    latch_q.push_back(q);
+    pool.push_back(q);
+  }
+
+  const std::size_t window = std::max<std::size_t>(
+      8, static_cast<std::size_t>(
+             spec.locality * std::sqrt(static_cast<double>(spec.n_luts))));
+
+  std::vector<NetId> lut_out;
+  lut_out.reserve(spec.n_luts);
+  std::vector<NetId> ins;
+  for (std::size_t j = 0; j < spec.n_luts; ++j) {
+    // Fan-in count: mostly K, some narrower LUTs as real mappers produce.
+    std::size_t k = spec.lut_inputs;
+    if (k > 1 && rng.chance(0.30)) --k;
+    if (k > 1 && rng.chance(0.10)) --k;
+    k = std::min(k, pool.size());
+
+    ins.clear();
+    std::size_t guard = 0;
+    while (ins.size() < k && guard++ < 200) {
+      NetId pick;
+      if (rng.chance(0.02)) {
+        // Hub nets: control-like signals (resets, enables, selects) fan
+        // out to a large share of the circuit in real designs.
+        const std::size_t hubs = std::min<std::size_t>(pool.size(), 12);
+        pick = pool[rng.uniform_int(hubs)];
+      } else if (rng.chance(spec.global_edge_prob) || pool.size() <= window) {
+        pick = pool[rng.uniform_int(pool.size())];
+      } else {
+        const std::size_t lo = pool.size() - window;
+        pick = pool[lo + rng.uniform_int(window)];
+      }
+      if (std::find(ins.begin(), ins.end(), pick) == ins.end()) {
+        ins.push_back(pick);
+      }
+    }
+    const NetId out = nl.add_net("n" + std::to_string(j));
+    nl.add_lut("lut" + std::to_string(j), ins, out, random_cover(ins.size(), rng));
+    lut_out.push_back(out);
+    pool.push_back(out);
+  }
+
+  // Latch D inputs: distinct-ish LUT outputs (duplicates allowed — two FFs
+  // may legally register the same signal).
+  for (std::size_t i = 0; i < spec.n_latches; ++i) {
+    const NetId d = lut_out[rng.uniform_int(lut_out.size())];
+    nl.add_latch("ff" + std::to_string(i), d, latch_q[i]);
+  }
+
+  // Primary outputs: prefer sink-less nets (keeps the circuit lean), then
+  // fill with random late LUT outputs.
+  std::vector<NetId> po;
+  for (NetId n : lut_out) {
+    if (po.size() >= spec.n_outputs) break;
+    if (nl.net(n).sinks.empty()) po.push_back(n);
+  }
+  std::size_t guard = 0;
+  while (po.size() < spec.n_outputs && guard++ < 50 * spec.n_outputs) {
+    const NetId n = lut_out[lut_out.size() - 1 - rng.uniform_int(
+                    std::min(lut_out.size(), spec.n_outputs * 4))];
+    if (std::find(po.begin(), po.end(), n) == po.end()) po.push_back(n);
+  }
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    nl.add_output("po" + std::to_string(i), po[i]);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,268 @@
+#include "pack/pack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nemfpga {
+namespace {
+
+/// Form BLEs: pair each latch with its driving LUT when the LUT output
+/// feeds only that latch; everything else stands alone.
+std::vector<Ble> form_bles(const Netlist& nl) {
+  std::vector<Ble> bles;
+  std::vector<bool> latch_taken(nl.block_count(), false);
+
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type != BlockType::kLut) continue;
+    Ble ble;
+    ble.lut = b;
+    ble.inputs = blk.inputs;
+    ble.output = blk.output;
+    const Net& out = nl.net(blk.output);
+    if (out.sinks.size() == 1) {
+      const Block& sink = nl.block(out.sinks[0]);
+      if (sink.type == BlockType::kLatch) {
+        ble.latch = out.sinks[0];
+        ble.absorbed = blk.output;
+        ble.output = sink.output;  // BLE output is Q
+        latch_taken[out.sinks[0]] = true;
+      }
+    }
+    bles.push_back(std::move(ble));
+  }
+  // Standalone latches (D driven by a PI or a multi-fanout LUT output).
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type != BlockType::kLatch || latch_taken[b]) continue;
+    Ble ble;
+    ble.latch = b;
+    ble.inputs = blk.inputs;
+    ble.output = blk.output;
+    bles.push_back(std::move(ble));
+  }
+  return bles;
+}
+
+}  // namespace
+
+Packing pack_netlist(const Netlist& nl, const ArchParams& arch) {
+  nl.validate();
+  if (nl.max_lut_inputs() > arch.K) {
+    throw std::invalid_argument("pack_netlist: LUT wider than K");
+  }
+  Packing p;
+  p.bles = form_bles(nl);
+  const std::size_t n_bles = p.bles.size();
+  const std::size_t cap_n = arch.N;
+  const std::size_t cap_i = arch.lb_inputs();
+
+  // net -> BLEs that consume it / BLE that drives it.
+  std::vector<std::vector<std::size_t>> net_users(nl.net_count());
+  std::vector<std::size_t> net_driver_ble(nl.net_count(), kInvalidId);
+  for (std::size_t i = 0; i < n_bles; ++i) {
+    for (NetId n : p.bles[i].inputs) net_users[n].push_back(i);
+    net_driver_ble[p.bles[i].output] = i;
+  }
+
+  std::vector<bool> clustered(n_bles, false);
+  std::vector<std::size_t> ble_cluster(n_bles, kInvalidId);
+
+  // Greedy VPack loop.
+  std::size_t placed = 0;
+  std::size_t seed_scan = 0;
+  while (placed < n_bles) {
+    // Seed: next unclustered BLE with the most inputs (scan order breaks
+    // ties deterministically; inputs-heavy seeds pack better [Betz 99]).
+    std::size_t seed = kInvalidId;
+    std::size_t best_in = 0;
+    for (std::size_t i = seed_scan; i < n_bles; ++i) {
+      if (clustered[i]) continue;
+      if (seed == kInvalidId || p.bles[i].inputs.size() > best_in) {
+        seed = i;
+        best_in = p.bles[i].inputs.size();
+      }
+    }
+    while (seed_scan < n_bles && clustered[seed_scan]) ++seed_scan;
+
+    Cluster cl;
+    std::unordered_set<NetId> cl_inputs;   // nets needed from outside
+    std::unordered_set<NetId> cl_outputs;  // nets driven inside
+    auto would_be_inputs = [&](const Ble& ble) {
+      // Inputs the cluster would need if this BLE joined.
+      std::size_t added = 0;
+      for (NetId n : ble.inputs) {
+        if (!cl_inputs.contains(n) && !cl_outputs.contains(n)) ++added;
+      }
+      // The BLE's output may satisfy existing cluster inputs (feedback).
+      std::size_t satisfied = cl_inputs.contains(ble.output) ? 1 : 0;
+      return cl_inputs.size() + added - satisfied;
+    };
+    auto attraction = [&](const Ble& ble) {
+      double a = 0.0;
+      for (NetId n : ble.inputs) {
+        if (cl_outputs.contains(n) || cl_inputs.contains(n)) a += 1.0;
+      }
+      if (cl_inputs.contains(ble.output)) a += 2.0;  // absorbs a net
+      return a;
+    };
+    auto absorb = [&](std::size_t idx) {
+      const Ble& ble = p.bles[idx];
+      cl.bles.push_back(idx);
+      clustered[idx] = true;
+      ++placed;
+      cl_outputs.insert(ble.output);
+      cl_inputs.erase(ble.output);
+      for (NetId n : ble.inputs) {
+        if (!cl_outputs.contains(n)) cl_inputs.insert(n);
+      }
+    };
+    absorb(seed);
+
+    while (cl.bles.size() < cap_n) {
+      // Candidates: unclustered BLEs adjacent to the cluster's nets.
+      std::size_t best = kInvalidId;
+      double best_attr = -1.0;
+      auto consider = [&](std::size_t cand) {
+        if (clustered[cand]) return;
+        if (would_be_inputs(p.bles[cand]) > cap_i) return;
+        const double a = attraction(p.bles[cand]);
+        if (a > best_attr) {
+          best_attr = a;
+          best = cand;
+        }
+      };
+      for (NetId n : cl_outputs) {
+        for (std::size_t u : net_users[n]) consider(u);
+      }
+      for (NetId n : cl_inputs) {
+        if (net_driver_ble[n] != kInvalidId) consider(net_driver_ble[n]);
+        for (std::size_t u : net_users[n]) consider(u);
+      }
+      if (best == kInvalidId) {
+        // No connected candidate fits: fill the cluster with an unrelated
+        // BLE that costs the fewest new inputs (VPack's hill-climb fill).
+        // Unrelated fills stop short of the input limit — packing every
+        // cluster to exactly I distinct inputs would demand a perfect
+        // net-to-pin matching at every connection block and make the
+        // design needlessly hard to route.
+        const std::size_t fill_cap = cap_i > 4 ? cap_i - 4 : cap_i;
+        std::size_t best_cost = fill_cap + 1;
+        std::size_t scanned = 0;
+        for (std::size_t cand = seed_scan; cand < n_bles && scanned < 2000;
+             ++cand) {
+          if (clustered[cand]) continue;
+          ++scanned;
+          const std::size_t cost = would_be_inputs(p.bles[cand]);
+          if (cost <= fill_cap && cost < best_cost) {
+            best_cost = cost;
+            best = cand;
+            if (cost <= cl_inputs.size() + 1) break;  // can't do better
+          }
+        }
+        if (best == kInvalidId) break;  // cluster genuinely full
+      }
+      absorb(best);
+    }
+
+    cl.input_nets.assign(cl_inputs.begin(), cl_inputs.end());
+    std::sort(cl.input_nets.begin(), cl.input_nets.end());
+    const std::size_t cluster_idx = p.clusters.size();
+    for (std::size_t idx : cl.bles) ble_cluster[idx] = cluster_idx;
+    p.clusters.push_back(std::move(cl));
+  }
+
+  // Output nets: driven inside, used outside (or by a PO). Map each
+  // LUT/latch block to its BLE first.
+  std::vector<std::size_t> block_ble(nl.block_count(), kInvalidId);
+  for (std::size_t i = 0; i < n_bles; ++i) {
+    if (p.bles[i].lut != kInvalidId) block_ble[p.bles[i].lut] = i;
+    if (p.bles[i].latch != kInvalidId) block_ble[p.bles[i].latch] = i;
+  }
+  p.net_absorbed.assign(nl.net_count(), false);
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    Cluster& cl = p.clusters[c];
+    cl.output_nets.clear();
+    for (std::size_t idx : cl.bles) {
+      const NetId out = p.bles[idx].output;
+      bool used_outside = false;
+      for (BlockId sink : nl.net(out).sinks) {
+        const Block& sb = nl.block(sink);
+        if (sb.type == BlockType::kOutput) {
+          used_outside = true;
+        } else {
+          const std::size_t sble = block_ble[sink];
+          if (sble == kInvalidId || ble_cluster[sble] != c) used_outside = true;
+        }
+        if (used_outside) break;
+      }
+      if (used_outside) {
+        cl.output_nets.push_back(out);
+      } else {
+        p.net_absorbed[out] = true;
+      }
+    }
+    std::sort(cl.output_nets.begin(), cl.output_nets.end());
+  }
+  // Nets absorbed inside BLEs (LUT->FF links).
+  for (const Ble& ble : p.bles) {
+    if (ble.absorbed != kInvalidId) p.net_absorbed[ble.absorbed] = true;
+  }
+
+  // Placeable blocks: clusters first, then IO pads.
+  p.blocks.reserve(p.clusters.size() + nl.input_count() + nl.output_count());
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    p.blocks.push_back({PackedType::kLogic, c, kInvalidId});
+  }
+  p.block_owner.assign(nl.block_count(), kInvalidId);
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kInput) {
+      p.blocks.push_back({PackedType::kInputPad, kInvalidId, b});
+      p.block_owner[b] = p.blocks.size() - 1;
+    } else if (blk.type == BlockType::kOutput) {
+      p.blocks.push_back({PackedType::kOutputPad, kInvalidId, b});
+      p.block_owner[b] = p.blocks.size() - 1;
+    }
+  }
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLut || blk.type == BlockType::kLatch) {
+      p.block_owner[b] = ble_cluster[block_ble[b]];
+    }
+  }
+  return p;
+}
+
+void check_packing(const Netlist& nl, const ArchParams& arch,
+                   const Packing& p) {
+  std::vector<int> seen(nl.block_count(), 0);
+  for (const Ble& ble : p.bles) {
+    if (ble.lut != kInvalidId) ++seen[ble.lut];
+    if (ble.latch != kInvalidId) ++seen[ble.latch];
+  }
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const auto t = nl.block(b).type;
+    const int want = (t == BlockType::kLut || t == BlockType::kLatch) ? 1 : 0;
+    if (seen[b] != want) {
+      throw std::logic_error("check_packing: block BLE coverage wrong");
+    }
+  }
+  std::vector<int> ble_seen(p.bles.size(), 0);
+  for (const Cluster& cl : p.clusters) {
+    if (cl.bles.empty() || cl.bles.size() > arch.N) {
+      throw std::logic_error("check_packing: cluster size out of range");
+    }
+    if (cl.input_nets.size() > arch.lb_inputs()) {
+      throw std::logic_error("check_packing: cluster inputs exceed I");
+    }
+    for (std::size_t idx : cl.bles) ++ble_seen[idx];
+  }
+  for (int s : ble_seen) {
+    if (s != 1) throw std::logic_error("check_packing: BLE cluster coverage");
+  }
+}
+
+}  // namespace nemfpga

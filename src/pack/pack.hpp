@@ -1,0 +1,65 @@
+// VPack-style packing: group LUTs and flip-flops into Basic Logic Elements
+// (BLEs — a LUT optionally paired with the FF it feeds, Fig 7b), then
+// greedily cluster BLEs into N-LUT logic blocks maximizing net sharing
+// subject to the cluster input limit I. IO blocks map one PI/PO each and
+// are placed on perimeter pad sites.
+#pragma once
+
+#include <vector>
+
+#include "arch/params.hpp"
+#include "netlist/netlist.hpp"
+
+namespace nemfpga {
+
+/// One BLE: LUT and/or latch with a single output net.
+struct Ble {
+  BlockId lut = kInvalidId;
+  BlockId latch = kInvalidId;
+  NetId output = kInvalidId;
+  std::vector<NetId> inputs;
+  /// The LUT->FF net absorbed inside the BLE (kInvalidId if none).
+  NetId absorbed = kInvalidId;
+};
+
+/// One packed logic block (cluster of BLEs).
+struct Cluster {
+  std::vector<std::size_t> bles;  ///< Indices into Packing::bles.
+  std::vector<NetId> input_nets;  ///< Nets entering from outside.
+  std::vector<NetId> output_nets; ///< Nets driven here and used outside.
+};
+
+/// A packable/placeable unit: a logic cluster or one IO block.
+enum class PackedType { kLogic, kInputPad, kOutputPad };
+
+struct PackedBlock {
+  PackedType type = PackedType::kLogic;
+  std::size_t cluster = kInvalidId;  ///< For kLogic.
+  BlockId io_block = kInvalidId;     ///< For pads: the netlist PI/PO block.
+};
+
+struct Packing {
+  std::vector<Ble> bles;
+  std::vector<Cluster> clusters;
+  std::vector<PackedBlock> blocks;  ///< All placeable blocks (logic + IO).
+  /// For each netlist block: owning packed-block index (kInvalidId for
+  /// nothing, which never happens for valid input).
+  std::vector<std::size_t> block_owner;
+  /// For each net: true if entirely absorbed inside one cluster/BLE.
+  std::vector<bool> net_absorbed;
+
+  std::size_t logic_block_count() const { return clusters.size(); }
+  std::size_t io_block_count() const { return blocks.size() - clusters.size(); }
+};
+
+/// Pack a validated netlist for the given architecture. Throws if any LUT
+/// has more than K inputs.
+Packing pack_netlist(const Netlist& nl, const ArchParams& arch);
+
+/// Post-conditions checked by tests: every LUT/latch in exactly one BLE,
+/// every BLE in exactly one cluster, cluster sizes within N and inputs
+/// within I. Throws std::logic_error on violation.
+void check_packing(const Netlist& nl, const ArchParams& arch,
+                   const Packing& p);
+
+}  // namespace nemfpga

@@ -1,0 +1,468 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nemfpga {
+namespace {
+
+/// VPR's bounding-box fanout correction q(terminals) [Betz 99]: accounts
+/// for the underestimate of HPWL on multi-terminal nets.
+double q_factor(std::size_t terminals) {
+  static constexpr double kTable[] = {1.0,    1.0,    1.0,    1.0,    1.0828,
+                                      1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+                                      1.4493, 1.4974, 1.5455, 1.5937, 1.6418,
+                                      1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+                                      1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+                                      2.0743, 2.1061, 2.1379, 2.1698, 2.2016,
+                                      2.2334};
+  if (terminals < std::size(kTable)) return kTable[terminals];
+  return 2.2334 + 0.0616 * (static_cast<double>(terminals) - 30.0) / 5.0;
+}
+
+struct NetBox {
+  std::size_t x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  double cost = 0.0;
+};
+
+struct Annealer {
+  const Packing& pack;
+  const ArchParams& arch;
+  std::size_t nx, ny;
+  Rng rng;
+
+  std::vector<BlockLoc> locs;
+  std::vector<PlacedNet> nets;
+  std::vector<double> net_weight;  // timing-driven criticality weights
+  std::vector<std::vector<std::size_t>> block_nets;  // nets touching block
+  std::vector<NetBox> boxes;
+  double cost = 0.0;
+
+  // Occupancy: logic grid and IO pad slots.
+  std::vector<std::size_t> logic_at;            // (x-1) + (y-1)*nx -> block
+  std::vector<std::vector<std::size_t>> io_at;  // io site -> slots
+  std::vector<std::pair<std::size_t, std::size_t>> io_sites;  // (x, y)
+  std::vector<std::size_t> io_site_index;  // keyed like site_key()
+
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  std::size_t site_key(std::size_t x, std::size_t y) const {
+    return y * (nx + 2) + x;
+  }
+
+  NetBox compute_box(const PlacedNet& n) const {
+    NetBox b;
+    const BlockLoc& d = locs[n.driver];
+    b.x_lo = b.x_hi = d.x;
+    b.y_lo = b.y_hi = d.y;
+    for (std::size_t s : n.sinks) {
+      const BlockLoc& l = locs[s];
+      b.x_lo = std::min(b.x_lo, l.x);
+      b.x_hi = std::max(b.x_hi, l.x);
+      b.y_lo = std::min(b.y_lo, l.y);
+      b.y_hi = std::max(b.y_hi, l.y);
+    }
+    const double span = static_cast<double>(b.x_hi - b.x_lo) +
+                        static_cast<double>(b.y_hi - b.y_lo);
+    const std::size_t idx = static_cast<std::size_t>(&n - nets.data());
+    const double w = idx < net_weight.size() ? net_weight[idx] : 1.0;
+    b.cost = w * q_factor(n.sinks.size() + 1) * span;
+    return b;
+  }
+
+  void initial_place() {
+    logic_at.assign(nx * ny, kEmpty);
+    // Enumerate IO sites clockwise.
+    for (std::size_t x = 1; x <= nx; ++x) io_sites.push_back({x, 0});
+    for (std::size_t y = 1; y <= ny; ++y) io_sites.push_back({nx + 1, y});
+    for (std::size_t x = 1; x <= nx; ++x) io_sites.push_back({x, ny + 1});
+    for (std::size_t y = 1; y <= ny; ++y) io_sites.push_back({0, y});
+    io_at.assign(io_sites.size(),
+                 std::vector<std::size_t>(arch.io_per_pad, kEmpty));
+    io_site_index.assign((nx + 2) * (ny + 2), kEmpty);
+    for (std::size_t s = 0; s < io_sites.size(); ++s) {
+      io_site_index[site_key(io_sites[s].first, io_sites[s].second)] = s;
+    }
+
+    locs.resize(pack.blocks.size());
+    std::size_t next_logic = 0;
+    std::size_t next_io = 0;
+    for (std::size_t b = 0; b < pack.blocks.size(); ++b) {
+      if (pack.blocks[b].type == PackedType::kLogic) {
+        if (next_logic >= nx * ny) throw std::invalid_argument("grid too small");
+        const std::size_t x = next_logic % nx + 1;
+        const std::size_t y = next_logic / nx + 1;
+        locs[b] = {x, y, 0};
+        logic_at[(x - 1) + (y - 1) * nx] = b;
+        ++next_logic;
+      } else {
+        const std::size_t site = next_io / arch.io_per_pad;
+        const std::size_t sub = next_io % arch.io_per_pad;
+        if (site >= io_sites.size()) {
+          throw std::invalid_argument("not enough IO pad slots");
+        }
+        locs[b] = {io_sites[site].first, io_sites[site].second, sub};
+        io_at[site][sub] = b;
+        ++next_io;
+      }
+    }
+  }
+
+  void init_cost() {
+    boxes.resize(nets.size());
+    cost = 0.0;
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      boxes[n] = compute_box(nets[n]);
+      cost += boxes[n].cost;
+    }
+    block_nets.assign(pack.blocks.size(), {});
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      std::unordered_set<std::size_t> blocks;
+      blocks.insert(nets[n].driver);
+      for (std::size_t s : nets[n].sinks) blocks.insert(s);
+      for (std::size_t b : blocks) block_nets[b].push_back(n);
+    }
+  }
+
+  /// Cost delta of swapping blocks a (must be valid) and b (may be kEmpty),
+  /// where b occupies the destination. Applies the swap; returns delta.
+  double do_swap(std::size_t a, std::size_t b, const BlockLoc& dest) {
+    const BlockLoc src = locs[a];
+    locs[a] = dest;
+    if (b != kEmpty) locs[b] = src;
+
+    // Recompute affected nets.
+    double delta = 0.0;
+    auto touch = [&](std::size_t blk) {
+      for (std::size_t n : block_nets[blk]) {
+        const NetBox nb = compute_box(nets[n]);
+        delta += nb.cost - boxes[n].cost;
+        boxes[n] = nb;
+      }
+    };
+    touch(a);
+    if (b != kEmpty) {
+      // Avoid double-recompute of shared nets: recompute is idempotent
+      // (box replaced, delta counted once because boxes[] was updated).
+      touch(b);
+    }
+    return delta;
+  }
+
+  void commit_occupancy(std::size_t a, std::size_t b, const BlockLoc& src,
+                        const BlockLoc& dest, bool is_logic) {
+    if (is_logic) {
+      logic_at[(dest.x - 1) + (dest.y - 1) * nx] = a;
+      logic_at[(src.x - 1) + (src.y - 1) * nx] = (b == kEmpty) ? kEmpty : b;
+    } else {
+      const std::size_t ds = io_site_index[site_key(dest.x, dest.y)];
+      const std::size_t ss = io_site_index[site_key(src.x, src.y)];
+      io_at[ds][dest.sub] = a;
+      io_at[ss][src.sub] = (b == kEmpty) ? kEmpty : b;
+    }
+  }
+
+  void anneal(const PlaceOptions& opt, double t_start) {
+    const std::size_t n_blocks = pack.blocks.size();
+    const auto moves_per_t = static_cast<std::size_t>(
+        std::max(1.0, opt.inner_num *
+                          std::pow(static_cast<double>(n_blocks), 4.0 / 3.0)));
+    double t = t_start;
+    double range = static_cast<double>(std::max(nx, ny));
+    const double exit_t =
+        0.005 * cost / static_cast<double>(std::max<std::size_t>(nets.size(), 1));
+    while (t > exit_t) {
+      std::size_t accepted = 0;
+      for (std::size_t m = 0; m < moves_per_t; ++m) {
+        accepted += try_move(t, range);
+      }
+      const double rate =
+          static_cast<double>(accepted) / static_cast<double>(moves_per_t);
+      // VPR's adaptive schedule.
+      double alpha;
+      if (rate > 0.96) alpha = 0.5;
+      else if (rate > 0.8) alpha = 0.9;
+      else if (rate > 0.15) alpha = 0.95;
+      else alpha = 0.8;
+      t *= alpha;
+      // Shrink the move window toward the sweet-spot 44% acceptance.
+      range *= 1.0 - 0.44 + rate;
+      range = std::clamp(range, 1.0, static_cast<double>(std::max(nx, ny)));
+    }
+  }
+
+  /// Initial temperature: 20x the std-dev of random-move deltas [Betz 99].
+  double probe_temperature() {
+    const std::size_t n_blocks = pack.blocks.size();
+    double sum = 0.0, sum2 = 0.0;
+    const std::size_t probes = std::min<std::size_t>(n_blocks, 200);
+    for (std::size_t i = 0; i < probes; ++i) {
+      const double before = cost;
+      try_move(1e30);  // always accept
+      const double d = cost - before;
+      sum += d;
+      sum2 += d * d;
+    }
+    const double mean = sum / static_cast<double>(probes);
+    const double var = sum2 / static_cast<double>(probes) - mean * mean;
+    return 20.0 * std::sqrt(std::max(var, 1e-12));
+  }
+
+  void run(const PlaceOptions& opt, const Netlist& nl, const Packing& p) {
+    initial_place();
+    net_weight.assign(nets.size(), 1.0);
+    init_cost();
+    if (nets.empty()) return;
+    anneal(opt, probe_temperature());
+
+    if (opt.timing_driven) {
+      // Criticality-weighted refinement: nets on (estimated) critical
+      // paths pull harder in a second anneal at medium temperature.
+      const auto crit = estimate_criticality(nl, p);
+      for (std::size_t n = 0; n < nets.size(); ++n) {
+        net_weight[n] = 1.0 + opt.timing_weight * crit[n] * crit[n];
+      }
+      init_cost();  // re-evaluate boxes under the new weights
+      const double exit_t = 0.005 * cost /
+                            static_cast<double>(std::max<std::size_t>(nets.size(), 1));
+      anneal(opt, 50.0 * exit_t);
+    }
+  }
+
+  /// Placement-based net criticality: longest combinational path where a
+  /// net's delay is its bounding-box semiperimeter (a routing-free proxy).
+  std::vector<double> estimate_criticality(const Netlist& nl,
+                                           const Packing& p) const {
+    std::vector<std::size_t> net_to_placed(nl.net_count(), kInvalidId);
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      net_to_placed[nets[n].net] = n;
+    }
+    auto net_delay = [&](NetId n) {
+      const std::size_t idx = net_to_placed[n];
+      if (idx == kInvalidId) return 0.3;  // local feedback
+      const PlacedNet& pn = nets[idx];
+      std::size_t x_lo = locs[pn.driver].x, x_hi = x_lo;
+      std::size_t y_lo = locs[pn.driver].y, y_hi = y_lo;
+      for (std::size_t s : pn.sinks) {
+        x_lo = std::min(x_lo, locs[s].x);
+        x_hi = std::max(x_hi, locs[s].x);
+        y_lo = std::min(y_lo, locs[s].y);
+        y_hi = std::max(y_hi, locs[s].y);
+      }
+      return 1.0 + static_cast<double>((x_hi - x_lo) + (y_hi - y_lo));
+    };
+
+    // Forward arrival over LUTs (latches/PIs are start points, delay 1 per
+    // LUT level).
+    std::vector<double> arrival(nl.block_count(), 0.0);
+    std::vector<std::size_t> pending(nl.block_count(), 0);
+    std::vector<BlockId> ready;
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type == BlockType::kLut) {
+        std::size_t comb = 0;
+        for (NetId n : blk.inputs) {
+          if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++comb;
+        }
+        pending[b] = comb;
+        if (comb == 0) ready.push_back(b);
+      }
+    }
+    std::vector<BlockId> topo;
+    while (!ready.empty()) {
+      const BlockId b = ready.back();
+      ready.pop_back();
+      topo.push_back(b);
+      const Block& blk = nl.block(b);
+      double arr = 0.0;
+      for (NetId n : blk.inputs) {
+        arr = std::max(arr, arrival[nl.net(n).driver] + net_delay(n));
+      }
+      arrival[b] = arr + 1.0;
+      for (BlockId sk : nl.net(blk.output).sinks) {
+        if (nl.block(sk).type == BlockType::kLut && pending[sk] > 0) {
+          if (--pending[sk] == 0) ready.push_back(sk);
+        }
+      }
+    }
+    double d_max = 1.0;
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type == BlockType::kLatch || blk.type == BlockType::kOutput) {
+        for (NetId n : blk.inputs) {
+          d_max = std::max(d_max, arrival[nl.net(n).driver] + net_delay(n));
+        }
+      }
+    }
+    // Backward required times over the reverse topological order.
+    std::vector<double> required(nl.block_count(), d_max);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const BlockId b = *it;
+      const Block& blk = nl.block(b);
+      double req = d_max;
+      for (BlockId sk : nl.net(blk.output).sinks) {
+        const Block& sb = nl.block(sk);
+        const double d = net_delay(blk.output);
+        if (sb.type == BlockType::kLut) {
+          req = std::min(req, required[sk] - 1.0 - d);
+        } else {
+          req = std::min(req, d_max - d);
+        }
+      }
+      required[b] = req;
+    }
+    // Criticality per placed net: 1 - slack / d_max at the tightest sink.
+    std::vector<double> crit(nets.size(), 0.0);
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      const NetId net_id = nets[n].net;
+      const BlockId drv = nl.net(net_id).driver;
+      const double arr = arrival[drv];
+      double worst_req = d_max;
+      for (BlockId sk : nl.net(net_id).sinks) {
+        if (nl.block(sk).type == BlockType::kLut) {
+          worst_req = std::min(worst_req, required[sk] - 1.0);
+        }
+      }
+      const double slack = worst_req - arr - net_delay(net_id);
+      crit[n] = std::clamp(1.0 - slack / d_max, 0.0, 1.0);
+    }
+    (void)p;
+    return crit;
+  }
+
+  /// One proposed move; returns true if accepted.
+  bool try_move(double t, double range = 1e9) {
+    const std::size_t a = rng.uniform_int(pack.blocks.size());
+    const bool is_logic = pack.blocks[a].type == PackedType::kLogic;
+    const BlockLoc src = locs[a];
+
+    BlockLoc dest;
+    std::size_t b = kEmpty;
+    if (is_logic) {
+      const auto r = static_cast<std::size_t>(std::max(1.0, range));
+      const auto pick_coord = [&](std::size_t cur, std::size_t limit) {
+        const std::size_t lo = cur > r ? cur - r : 1;
+        const std::size_t hi = std::min(limit, cur + r);
+        return lo + rng.uniform_int(hi - lo + 1);
+      };
+      dest.x = pick_coord(src.x, nx);
+      dest.y = pick_coord(src.y, ny);
+      dest.sub = 0;
+      if (dest.x == src.x && dest.y == src.y) return false;
+      b = logic_at[(dest.x - 1) + (dest.y - 1) * nx];
+    } else {
+      const std::size_t site = rng.uniform_int(io_sites.size());
+      dest.x = io_sites[site].first;
+      dest.y = io_sites[site].second;
+      dest.sub = rng.uniform_int(arch.io_per_pad);
+      if (dest.x == src.x && dest.y == src.y && dest.sub == src.sub) {
+        return false;
+      }
+      b = io_at[site][dest.sub];
+    }
+    if (b == a) return false;
+    // Only swap like-with-like (logic vs IO slots are inherently disjoint).
+
+    const double delta = do_swap(a, b, dest);
+    const bool accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
+    if (accept) {
+      cost += delta;
+      commit_occupancy(a, b, src, dest, is_logic);
+      return true;
+    }
+    // Undo.
+    const double back = do_swap(a, b, src);
+    (void)back;
+    if (b != kEmpty) locs[b] = dest;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<PlacedNet> extract_placed_nets(const Netlist& nl,
+                                           const Packing& p) {
+  std::vector<PlacedNet> nets;
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (p.net_absorbed[n]) continue;
+    const Net& net = nl.net(n);
+    PlacedNet pn;
+    pn.net = n;
+    pn.driver = p.block_owner[net.driver];
+    std::unordered_set<std::size_t> sink_blocks;
+    for (BlockId s : net.sinks) {
+      const std::size_t owner = p.block_owner[s];
+      if (owner != pn.driver) sink_blocks.insert(owner);
+    }
+    if (sink_blocks.empty()) continue;  // fully local (or dangling)
+    pn.sinks.assign(sink_blocks.begin(), sink_blocks.end());
+    std::sort(pn.sinks.begin(), pn.sinks.end());
+    nets.push_back(std::move(pn));
+  }
+  return nets;
+}
+
+Placement place(const Netlist& nl, const Packing& p, const ArchParams& arch,
+                std::size_t nx, std::size_t ny, const PlaceOptions& opt) {
+  Annealer an{p, arch, nx, ny, Rng(opt.seed), {}, {}, {}, {}, {}, 0.0,
+              {}, {}, {}, {}};
+  an.nets = extract_placed_nets(nl, p);
+  an.run(opt, nl, p);
+
+  Placement out;
+  out.nx = nx;
+  out.ny = ny;
+  out.locs = std::move(an.locs);
+  out.nets = std::move(an.nets);
+  out.final_cost = an.cost;
+  return out;
+}
+
+double placement_cost(const Placement& pl) {
+  double cost = 0.0;
+  for (const auto& n : pl.nets) {
+    std::size_t x_lo = pl.locs[n.driver].x, x_hi = x_lo;
+    std::size_t y_lo = pl.locs[n.driver].y, y_hi = y_lo;
+    for (std::size_t s : n.sinks) {
+      x_lo = std::min(x_lo, pl.locs[s].x);
+      x_hi = std::max(x_hi, pl.locs[s].x);
+      y_lo = std::min(y_lo, pl.locs[s].y);
+      y_hi = std::max(y_hi, pl.locs[s].y);
+    }
+    cost += q_factor(n.sinks.size() + 1) *
+            (static_cast<double>(x_hi - x_lo) + static_cast<double>(y_hi - y_lo));
+  }
+  return cost;
+}
+
+void check_placement(const Packing& p, const ArchParams& arch,
+                     const Placement& pl) {
+  if (pl.locs.size() != p.blocks.size()) {
+    throw std::logic_error("check_placement: loc count mismatch");
+  }
+  std::unordered_set<std::size_t> used;
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    const BlockLoc& l = pl.locs[b];
+    const bool is_logic = p.blocks[b].type == PackedType::kLogic;
+    const bool in_core = l.x >= 1 && l.x <= pl.nx && l.y >= 1 && l.y <= pl.ny;
+    const bool border_x = (l.x == 0 || l.x == pl.nx + 1);
+    const bool border_y = (l.y == 0 || l.y == pl.ny + 1);
+    const bool on_border = border_x != border_y;
+    if (is_logic) {
+      if (!in_core) throw std::logic_error("logic block off-grid");
+      if (l.sub != 0) throw std::logic_error("logic block sub-slot");
+    } else {
+      if (!on_border) throw std::logic_error("IO block not on border");
+      if (l.sub >= arch.io_per_pad) throw std::logic_error("IO sub overflow");
+    }
+    const std::size_t key =
+        (l.y * (pl.nx + 2) + l.x) * (arch.io_per_pad + 1) + l.sub;
+    if (!used.insert(key).second) {
+      throw std::logic_error("check_placement: overlapping blocks");
+    }
+  }
+}
+
+}  // namespace nemfpga

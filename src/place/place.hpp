@@ -1,0 +1,65 @@
+// VPR-style simulated-annealing placement: wirelength-driven (bounding-box
+// with the standard fanout correction), adaptive temperature schedule and
+// range-limited swap moves. Logic clusters occupy the nx-by-ny grid; IO
+// blocks occupy perimeter pad slots.
+#pragma once
+
+#include <vector>
+
+#include "arch/params.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "util/rng.hpp"
+
+namespace nemfpga {
+
+/// Location of a packed block: grid cell plus pad sub-slot (IO only).
+struct BlockLoc {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t sub = 0;
+};
+
+/// A routable net at the placement/routing level: driver block and sink
+/// blocks (packed-block indices), with the originating netlist net.
+struct PlacedNet {
+  NetId net = kInvalidId;
+  std::size_t driver = kInvalidId;
+  std::vector<std::size_t> sinks;
+};
+
+struct Placement {
+  std::size_t nx = 0, ny = 0;
+  std::vector<BlockLoc> locs;      ///< Per packed block.
+  std::vector<PlacedNet> nets;     ///< Inter-block nets to route.
+  double final_cost = 0.0;         ///< Bounding-box cost after annealing.
+};
+
+struct PlaceOptions {
+  double inner_num = 2.0;   ///< Moves per temperature ~ inner_num * n^(4/3).
+  std::uint64_t seed = 1;
+  /// Timing-driven mode (VPR-style): after the wirelength anneal, net
+  /// criticalities are estimated from a placement-based delay model and a
+  /// second, criticality-weighted anneal runs at medium temperature.
+  bool timing_driven = false;
+  /// Weight emphasis for critical nets: w = 1 + timing_weight * crit^2.
+  double timing_weight = 4.0;
+};
+
+/// Extract the inter-block nets (driver + sinks over packed blocks) that
+/// placement optimizes and routing must realize.
+std::vector<PlacedNet> extract_placed_nets(const Netlist& nl, const Packing& p);
+
+/// Anneal a placement on an nx-by-ny logic grid (IO pads on the border).
+/// Grid must fit: nx*ny >= #clusters and perimeter capacity >= #IO blocks.
+Placement place(const Netlist& nl, const Packing& p, const ArchParams& arch,
+                std::size_t nx, std::size_t ny, const PlaceOptions& opt = {});
+
+/// Total bounding-box wirelength cost of a placement (for tests/reports).
+double placement_cost(const Placement& pl);
+
+/// Validation: every block placed on a legal, non-overlapping site.
+void check_placement(const Packing& p, const ArchParams& arch,
+                     const Placement& pl);
+
+}  // namespace nemfpga

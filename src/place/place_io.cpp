@@ -1,0 +1,90 @@
+#include "place/place_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nemfpga {
+
+void write_placement(const Placement& pl, std::ostream& out) {
+  out << "Array size: " << pl.nx << " x " << pl.ny << " logic blocks\n";
+  out << "#block\tx\ty\tsubblk\n";
+  for (std::size_t b = 0; b < pl.locs.size(); ++b) {
+    const BlockLoc& l = pl.locs[b];
+    out << 'b' << b << '\t' << l.x << '\t' << l.y << '\t' << l.sub << '\n';
+  }
+}
+
+std::string write_placement_string(const Placement& pl) {
+  std::ostringstream os;
+  write_placement(pl, os);
+  return os.str();
+}
+
+void write_placement_file(const Placement& pl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write placement file: " + path);
+  write_placement(pl, f);
+}
+
+Placement read_placement(std::istream& in, std::size_t expected_blocks) {
+  Placement pl;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("placement: empty file");
+  }
+  {
+    std::istringstream is(line);
+    std::string a, s, colon, x;
+    // "Array size: <nx> x <ny> logic blocks"
+    is >> a >> s >> pl.nx >> x >> pl.ny;
+    if (a != "Array" || s != "size:" || x != "x" || pl.nx == 0 || pl.ny == 0) {
+      throw std::runtime_error("placement: bad header: " + line);
+    }
+  }
+  pl.locs.assign(expected_blocks, BlockLoc{});
+  std::vector<bool> seen(expected_blocks, false);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string name;
+    BlockLoc l;
+    if (!(is >> name >> l.x >> l.y >> l.sub)) {
+      throw std::runtime_error("placement: bad row: " + line);
+    }
+    if (name.size() < 2 || name[0] != 'b') {
+      throw std::runtime_error("placement: bad block name: " + name);
+    }
+    const std::size_t idx = std::stoul(name.substr(1));
+    if (idx >= expected_blocks) {
+      throw std::runtime_error("placement: block index out of range: " + name);
+    }
+    if (seen[idx]) {
+      throw std::runtime_error("placement: duplicate block: " + name);
+    }
+    seen[idx] = true;
+    pl.locs[idx] = l;
+  }
+  for (std::size_t b = 0; b < expected_blocks; ++b) {
+    if (!seen[b]) {
+      throw std::runtime_error("placement: missing block b" +
+                               std::to_string(b));
+    }
+  }
+  return pl;
+}
+
+Placement read_placement_string(const std::string& text,
+                                std::size_t expected_blocks) {
+  std::istringstream is(text);
+  return read_placement(is, expected_blocks);
+}
+
+Placement read_placement_file(const std::string& path,
+                              std::size_t expected_blocks) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open placement file: " + path);
+  return read_placement(f, expected_blocks);
+}
+
+}  // namespace nemfpga

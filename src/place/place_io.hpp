@@ -1,0 +1,36 @@
+// VPR-style placement file I/O: lets a placement be saved, inspected, and
+// reloaded (e.g. to re-route the same placement at several channel widths
+// across tool invocations, or to import a placement from another tool).
+//
+// Format (after VPR's .place):
+//
+//   Array size: <nx> x <ny> logic blocks
+//   #block   x   y   subblk
+//   b0       3   4   0
+//   ...
+//
+// Blocks are identified positionally (b<index> over the packed blocks).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "place/place.hpp"
+
+namespace nemfpga {
+
+/// Serialize block locations (nets/cost are not part of the file).
+void write_placement(const Placement& pl, std::ostream& out);
+std::string write_placement_string(const Placement& pl);
+void write_placement_file(const Placement& pl, const std::string& path);
+
+/// Parse a placement file; `expected_blocks` guards against mismatched
+/// netlists. The returned Placement carries locations and grid size only —
+/// call extract_placed_nets() and recompute cost as needed.
+Placement read_placement(std::istream& in, std::size_t expected_blocks);
+Placement read_placement_string(const std::string& text,
+                                std::size_t expected_blocks);
+Placement read_placement_file(const std::string& path,
+                              std::size_t expected_blocks);
+
+}  // namespace nemfpga

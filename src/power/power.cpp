@@ -1,0 +1,159 @@
+#include "power/power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nemfpga {
+
+PowerBreakdown analyze_power(const Netlist& nl, const Packing& pack,
+                             const Placement& pl, const RrGraph& g,
+                             const RoutingResult& routing,
+                             const ElectricalView& view,
+                             const TimingResult& timing,
+                             const PowerOptions& opt) {
+  if (!routing.success) {
+    throw std::invalid_argument("analyze_power: routing unsuccessful");
+  }
+  const double f = opt.frequency > 0.0
+                       ? opt.frequency
+                       : (timing.critical_path > 0.0
+                              ? 1.0 / timing.critical_path
+                              : 0.0);
+  const double vdd = view.tech.cmos.vdd;
+  const double v2f = vdd * vdd * f;
+  const double a = opt.activity;
+
+  PowerBreakdown p;
+
+  // --- Dynamic: routed wires and their drivers ---------------------------
+  const double wire_cap_per_tile = view.tech.wire.c_per_m * view.tile_pitch;
+  const double taps_per_wire_tile =
+      static_cast<double>(view.composition.cb_switches) /
+      (2.0 * static_cast<double>(view.arch.W));
+  // Activity of one routed net: simulated per-net value when available
+  // (clamped to a sane floor), otherwise the flat default.
+  auto net_act = [&](std::size_t placed_net) {
+    if (!opt.net_activity) return a;
+    const NetId n = pl.nets[placed_net].net;
+    if (n >= opt.net_activity->size()) return a;
+    return std::max(0.005, (*opt.net_activity)[n]);
+  };
+
+  std::unordered_set<RrNodeId> counted;
+  for (std::size_t i = 0; i < routing.trees.size(); ++i) {
+    counted.clear();
+    const double an = net_act(i);
+    for (const auto& [from, to] : routing.trees[i].edges) {
+      (void)from;
+      if (!counted.insert(to).second) continue;
+      const RrNode& n = g.node(to);
+      switch (n.type) {
+        case RrType::kChanX:
+        case RrType::kChanY: {
+          const double len = static_cast<double>(n.length);
+          const double c_metal = wire_cap_per_tile * len;
+          const double c_taps =
+              (taps_per_wire_tile * len + view.arch.fs) * view.sw.c_off_load;
+          p.dyn_wires += an * (c_metal + c_taps) * v2f;
+          // The wire's driver buffer switches with it (internal caps only;
+          // the load was counted as wire/tap capacitance above).
+          p.dyn_routing_buffers +=
+              an * view.wire_buffer.switching_energy(0.0) * f;
+          break;
+        }
+        case RrType::kIpin:
+          if (view.lb_buffers_present) {
+            p.dyn_routing_buffers +=
+                an * view.lb_input_buffer.switching_energy(0.0) * f;
+          }
+          p.dyn_wires += an * view.c_lb_input_path * v2f;
+          break;
+        case RrType::kOpin:
+          if (view.lb_buffers_present) {
+            p.dyn_routing_buffers +=
+                an * view.lb_output_buffer.switching_energy(0.0) * f;
+          }
+          p.dyn_wires += an * view.c_lb_output_path * v2f;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- Dynamic: logic and clock ------------------------------------------
+  const CmosTech& t = view.tech.cmos;
+  // LUT internal switched capacitance: mux tree + output driver + the
+  // local-crossbar hop feeding it.
+  const double c_lut_internal =
+      (1u << view.arch.K) * 4.0 * t.drain_cap(t.w_min) +
+      150.0 * t.min_inverter_input_cap();
+  // Glitching multiplies switching inside combinational logic well above
+  // the net activity on (registered) routing [Jamieson 09].
+  constexpr double kGlitchFactor = 1.8;
+  if (opt.net_activity) {
+    // Per-LUT: its internals switch with its output net.
+    double act_sum = 0.0;
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type != BlockType::kLut) continue;
+      act_sum += (blk.output < opt.net_activity->size())
+                     ? std::max(0.005, (*opt.net_activity)[blk.output])
+                     : a;
+    }
+    p.dyn_luts = kGlitchFactor * act_sum *
+                 (c_lut_internal + 0.3 * view.c_lb_input_path) * v2f;
+  } else {
+    p.dyn_luts = kGlitchFactor * a * static_cast<double>(nl.lut_count()) *
+                 (c_lut_internal + 0.3 * view.c_lb_input_path) * v2f;
+  }
+
+  // Clock: every FF clock pin toggles every cycle (activity 1, two edges
+  // handled by C V^2 f), plus a clock-spine wire per occupied tile.
+  const double c_ff_clk = 12.0 * t.gate_cap(t.w_min);  // pin + local buffer
+  const double c_clk_spine =
+      wire_cap_per_tile * 6.0;  // H-tree ribs, spine and grid share per tile
+  const double occupied_tiles = static_cast<double>(pack.clusters.size());
+  p.dyn_clocking = (static_cast<double>(nl.latch_count()) * c_ff_clk +
+                    occupied_tiles * c_clk_spine) *
+                   vdd * vdd * f;
+
+  // --- Leakage over the whole fabric -------------------------------------
+  const double n_tiles = static_cast<double>(pl.nx * pl.ny);
+  const auto& comp = view.composition;
+
+  double buf_leak_per_tile =
+      static_cast<double>(comp.wire_buffers) * view.wire_buffer.leakage_power();
+  if (view.lb_buffers_present) {
+    buf_leak_per_tile +=
+        static_cast<double>(comp.lb_input_buffers) *
+            view.lb_input_buffer.leakage_power() +
+        static_cast<double>(comp.lb_output_buffers) *
+            view.lb_output_buffer.leakage_power();
+  }
+  p.leak_routing_buffers = n_tiles * buf_leak_per_tile;
+
+  if (view.variant == FpgaVariant::kCmosBaseline) {
+    p.leak_routing_sram = n_tiles *
+                          static_cast<double>(comp.routing_sram_bits) *
+                          view.tech.sram.leakage_power;
+    p.leak_pass_transistors = n_tiles *
+                              static_cast<double>(comp.total_routing_switches()) *
+                              view.sw.leak_per_switch * vdd * 0.5;
+  } else {
+    // NEM relays: no configuration SRAM, zero off-state leakage.
+    p.leak_routing_sram = 0.0;
+    p.leak_pass_transistors = 0.0;
+  }
+
+  const double lut_leak_per_tile =
+      static_cast<double>(comp.lut_sram_bits) * view.tech.sram.leakage_power +
+      static_cast<double>(comp.luts) * 22.0 * t.min_inverter_leakage() +
+      static_cast<double>(comp.flip_flops) * 12.0 * t.min_inverter_leakage();
+  p.leak_luts = n_tiles * lut_leak_per_tile;
+
+  return p;
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,57 @@
+// FPGA power model after [Jamieson 09] (paper Sec 3.3): dynamic power from
+// per-node switched capacitance at the application's operating frequency
+// (taken as 1/critical-path) with a switching-activity factor, and leakage
+// from per-block static power summed over the whole fabric. Reported with
+// the component breakdown of Fig 9.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+
+struct PowerBreakdown {
+  // Dynamic components [W] (Fig 9 left).
+  double dyn_wires = 0.0;            ///< Metal + switch loading caps.
+  double dyn_routing_buffers = 0.0;  ///< Wire + LB input/output buffers.
+  double dyn_luts = 0.0;             ///< LUT internals + local crossbar.
+  double dyn_clocking = 0.0;         ///< Clock tree + FF clock pins.
+
+  // Leakage components [W] (Fig 9 right).
+  double leak_routing_buffers = 0.0;
+  double leak_routing_sram = 0.0;
+  double leak_pass_transistors = 0.0;  ///< Routing switch leakage (0 for NEM).
+  double leak_luts = 0.0;              ///< LUT config SRAM + logic + FFs.
+
+  double dynamic_total() const {
+    return dyn_wires + dyn_routing_buffers + dyn_luts + dyn_clocking;
+  }
+  double leakage_total() const {
+    return leak_routing_buffers + leak_routing_sram + leak_pass_transistors +
+           leak_luts;
+  }
+  double total() const { return dynamic_total() + leakage_total(); }
+};
+
+struct PowerOptions {
+  double activity = 0.15;    ///< Mean switching activity per net per cycle.
+  double frequency = 0.0;    ///< [Hz]; 0 = derive from critical path.
+  /// Optional simulated per-net activities (indexed by NetId, e.g. from
+  /// estimate_activity()); when set, routing and LUT dynamic power use
+  /// these instead of the flat `activity`.
+  const std::vector<double>* net_activity = nullptr;
+};
+
+/// Power of the routed design under the given electrical view.
+PowerBreakdown analyze_power(const Netlist& nl, const Packing& pack,
+                             const Placement& pl, const RrGraph& g,
+                             const RoutingResult& routing,
+                             const ElectricalView& view,
+                             const TimingResult& timing,
+                             const PowerOptions& opt = {});
+
+}  // namespace nemfpga

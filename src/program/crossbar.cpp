@@ -1,0 +1,106 @@
+#include "program/crossbar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+
+CrossbarPattern::CrossbarPattern(std::size_t rows, std::size_t cols, bool fill)
+    : rows_(rows), cols_(cols), bits_(rows * cols, fill) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("CrossbarPattern: empty");
+  }
+}
+
+bool CrossbarPattern::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("CrossbarPattern::at");
+  return bits_[r * cols_ + c];
+}
+
+void CrossbarPattern::set(std::size_t r, std::size_t c, bool v) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("CrossbarPattern::set");
+  bits_[r * cols_ + c] = v;
+}
+
+std::vector<CrossbarPattern> CrossbarPattern::all_patterns(std::size_t rows,
+                                                           std::size_t cols) {
+  const std::size_t n = rows * cols;
+  if (n > 20) throw std::invalid_argument("all_patterns: array too large");
+  std::vector<CrossbarPattern> out;
+  out.reserve(1ull << n);
+  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+    CrossbarPattern p(rows, cols);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.set(i / cols, i % cols, (mask >> i) & 1);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+RelayCrossbar::RelayCrossbar(std::size_t rows, std::size_t cols,
+                             const RelayDesign& nominal)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("RelayCrossbar: empty");
+  RelaySample s;
+  s.design = nominal;
+  s.vpi = nominal.pull_in_voltage();
+  s.vpo = nominal.pull_out_voltage();
+  relays_.assign(rows * cols, s);
+  pulled_in_.assign(rows * cols, false);
+}
+
+RelayCrossbar::RelayCrossbar(std::size_t rows, std::size_t cols,
+                             std::vector<RelaySample> relays)
+    : rows_(rows), cols_(cols), relays_(std::move(relays)) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("RelayCrossbar: empty");
+  if (relays_.size() != rows * cols) {
+    throw std::invalid_argument("RelayCrossbar: relay count mismatch");
+  }
+  pulled_in_.assign(rows * cols, false);
+}
+
+std::size_t RelayCrossbar::index(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("RelayCrossbar index");
+  return r * cols_ + c;
+}
+
+const RelaySample& RelayCrossbar::relay(std::size_t r, std::size_t c) const {
+  return relays_[index(r, c)];
+}
+
+void RelayCrossbar::apply_bias(const std::vector<double>& row_v,
+                               const std::vector<double>& col_v) {
+  if (row_v.size() != rows_ || col_v.size() != cols_) {
+    throw std::invalid_argument("apply_bias: line voltage count mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t i = index(r, c);
+      const double vgs = std::abs(row_v[r] - col_v[c]);
+      if (vgs >= relays_[i].vpi) {
+        pulled_in_[i] = true;
+      } else if (vgs <= relays_[i].vpo) {
+        pulled_in_[i] = false;
+      }
+    }
+  }
+}
+
+bool RelayCrossbar::pulled_in(std::size_t r, std::size_t c) const {
+  return pulled_in_[index(r, c)];
+}
+
+CrossbarPattern RelayCrossbar::state() const {
+  CrossbarPattern p(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) p.set(r, c, pulled_in_[index(r, c)]);
+  }
+  return p;
+}
+
+void RelayCrossbar::reset() {
+  apply_bias(std::vector<double>(rows_, 0.0), std::vector<double>(cols_, 0.0));
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,73 @@
+// Relay crossbar array (paper Sec 2.2, Fig 4): relays organized with gates
+// on programming row lines and beams/sources on programming column lines.
+// Relay (r, c) connects column line c's signal to the row-c... — concretely,
+// in the demonstrated 2x2 (Fig 5): beams are column inputs, drains are row
+// outputs, and a pulled-in relay routes its beam to its drain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/nem_relay.hpp"
+#include "device/variation.hpp"
+
+namespace nemfpga {
+
+/// Boolean target/actual configuration of a crossbar.
+class CrossbarPattern {
+ public:
+  CrossbarPattern(std::size_t rows, std::size_t cols, bool fill = false);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+  bool operator==(const CrossbarPattern&) const = default;
+
+  /// All 2^(rows*cols) patterns (for exhaustive verification; small arrays).
+  static std::vector<CrossbarPattern> all_patterns(std::size_t rows,
+                                                   std::size_t cols);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<bool> bits_;
+};
+
+/// An array of (possibly varied) relays with hysteresis state.
+class RelayCrossbar {
+ public:
+  /// All relays identical to `nominal`.
+  RelayCrossbar(std::size_t rows, std::size_t cols,
+                const RelayDesign& nominal);
+  /// Per-relay varied designs (row-major; size must be rows*cols).
+  RelayCrossbar(std::size_t rows, std::size_t cols,
+                std::vector<RelaySample> relays);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  const RelaySample& relay(std::size_t r, std::size_t c) const;
+
+  /// Apply one quasi-static bias step: row line r at `row_v[r]` (gates),
+  /// column line c at `col_v[c]` (sources). Each relay sees
+  /// |VGS| = |row_v[r] - col_v[c]| and updates its mechanical state.
+  void apply_bias(const std::vector<double>& row_v,
+                  const std::vector<double>& col_v);
+
+  bool pulled_in(std::size_t r, std::size_t c) const;
+  CrossbarPattern state() const;
+
+  /// Force-release everything (mechanical reset, all VGS = 0).
+  void reset();
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<RelaySample> relays_;
+  std::vector<bool> pulled_in_;
+};
+
+}  // namespace nemfpga

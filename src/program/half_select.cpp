@@ -1,0 +1,72 @@
+#include "program/half_select.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nemfpga {
+
+double NoiseMargins::worst() const {
+  return std::min({hold, half_select, full_select});
+}
+
+bool voltages_work_for(double vpi, double vpo, const ProgrammingVoltages& v) {
+  if (v.vselect <= 0.0 || v.vhold <= 0.0) return false;
+  return vpo < v.vhold &&                 // hold retains pulled-in relays
+         v.vhold + v.vselect < vpi &&     // half-select must not pull in
+         v.vhold + 2.0 * v.vselect > vpi; // full-select must pull in
+}
+
+bool voltages_work_for(const PopulationEnvelope& env,
+                       const ProgrammingVoltages& v) {
+  if (v.vselect <= 0.0 || v.vhold <= 0.0) return false;
+  return env.vpo_max < v.vhold && v.vhold + v.vselect < env.vpi_min &&
+         v.vhold + 2.0 * v.vselect > env.vpi_max;
+}
+
+NoiseMargins noise_margins(const PopulationEnvelope& env,
+                           const ProgrammingVoltages& v) {
+  NoiseMargins m;
+  m.hold = v.vhold - env.vpo_max;
+  m.half_select = env.vpi_min - (v.vhold + v.vselect);
+  m.full_select = (v.vhold + 2.0 * v.vselect) - env.vpi_max;
+  return m;
+}
+
+std::optional<ProgrammingVoltages> solve_program_window(
+    const PopulationEnvelope& env) {
+  // Balance the three margins (see header): all equal to m*.
+  const double m = (2.0 * env.vpi_min - env.vpo_max - env.vpi_max) / 4.0;
+  if (m <= 0.0) return std::nullopt;
+  ProgrammingVoltages v;
+  v.vhold = env.vpo_max + m;
+  v.vselect = (env.vpi_max - env.vpo_max) / 2.0;
+  return v;
+}
+
+CrossbarPattern program_half_select(RelayCrossbar& xbar,
+                                    const CrossbarPattern& target,
+                                    const ProgrammingVoltages& v) {
+  if (target.rows() != xbar.rows() || target.cols() != xbar.cols()) {
+    throw std::invalid_argument("program_half_select: pattern size mismatch");
+  }
+  // Initially all relays are in pulled-out states (all VGS at 0).
+  xbar.reset();
+
+  std::vector<double> row_v(xbar.rows(), v.vhold);
+  std::vector<double> col_v(xbar.cols(), 0.0);
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    row_v.assign(xbar.rows(), v.vhold);
+    row_v[r] = v.vhold + v.vselect;
+    for (std::size_t c = 0; c < xbar.cols(); ++c) {
+      col_v[c] = target.at(r, c) ? -v.vselect : 0.0;
+    }
+    xbar.apply_bias(row_v, col_v);
+  }
+  // Retention bias: all rows at Vhold, all columns grounded.
+  row_v.assign(xbar.rows(), v.vhold);
+  col_v.assign(xbar.cols(), 0.0);
+  xbar.apply_bias(row_v, col_v);
+  return xbar.state();
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,69 @@
+// Half-select programming (paper Sec 2.2, after magnetic-core memory
+// [Olsen 64]). Three levels — hold voltage Vhold, select voltage -Vselect,
+// and (Vhold + Vselect) — chosen such that
+//
+//   Vpo < Vhold < Vpi,
+//   Vpo < Vhold + Vselect < Vpi,
+//   Vhold + 2 Vselect > Vpi,
+//
+// let a single relay in an array be pulled in while every other relay
+// (half-selected or unselected) retains its state inside the hysteresis
+// window. With device variation the constraints must hold for every relay:
+//
+//   Vpo,max < Vhold,  Vhold + Vselect < Vpi,min,  Vhold + 2 Vselect > Vpi,max.
+#pragma once
+
+#include <optional>
+
+#include "device/variation.hpp"
+#include "program/crossbar.hpp"
+
+namespace nemfpga {
+
+/// The two shared programming levels.
+struct ProgrammingVoltages {
+  double vhold = 0.0;
+  double vselect = 0.0;
+};
+
+/// The three noise margins of Fig 6:
+///   hold margin    = Vhold - Vpo,max
+///   half margin    = Vpi,min - (Vhold + Vselect)
+///   select margin  = (Vhold + 2 Vselect) - Vpi,max
+struct NoiseMargins {
+  double hold = 0.0;
+  double half_select = 0.0;
+  double full_select = 0.0;
+  double worst() const;
+};
+
+/// The voltages used to configure the fabricated 2x2 crossbar (Sec 2.3).
+inline ProgrammingVoltages paper_crossbar_voltages() { return {5.2, 0.8}; }
+
+/// Do these voltages correctly program a relay with the given (vpi, vpo)?
+bool voltages_work_for(double vpi, double vpo, const ProgrammingVoltages& v);
+
+/// Do they work for an entire population envelope?
+bool voltages_work_for(const PopulationEnvelope& env,
+                       const ProgrammingVoltages& v);
+
+NoiseMargins noise_margins(const PopulationEnvelope& env,
+                           const ProgrammingVoltages& v);
+
+/// Closed-form max-min-margin window solver. Balancing the three margins
+/// gives m* = (2 Vpi,min - Vpo,max - Vpi,max) / 4 with
+/// Vhold = Vpo,max + m*, Vselect = (Vpi,max - Vpo,max) / 2.
+/// Returns nullopt when m* <= 0 — exactly the paper's feasibility condition
+/// expressed on the envelope: (Vpi,min - Vpo,max) > (Vpi,max - Vpi,min).
+std::optional<ProgrammingVoltages> solve_program_window(
+    const PopulationEnvelope& env);
+
+/// Program a crossbar to `target` row-by-row with the half-select scheme:
+/// reset, then for each row bias it at (Vhold + Vselect) (others at Vhold)
+/// and drive targeted columns to -Vselect (others to ground); finish with
+/// the all-rows-at-Vhold retention bias. Returns the resulting state.
+CrossbarPattern program_half_select(RelayCrossbar& xbar,
+                                    const CrossbarPattern& target,
+                                    const ProgrammingVoltages& v);
+
+}  // namespace nemfpga

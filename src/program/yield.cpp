@@ -1,0 +1,40 @@
+#include "program/yield.hpp"
+
+namespace nemfpga {
+
+YieldResult programming_yield(const RelayDesign& nominal,
+                              const VariationSpec& spec, std::size_t rows,
+                              std::size_t cols, std::size_t trials, Rng& rng,
+                              VoltagePolicy policy) {
+  YieldResult result;
+  result.trials = trials;
+
+  // Fixed-policy voltages: balanced window for the nominal device alone.
+  PopulationEnvelope nominal_env;
+  nominal_env.vpi_min = nominal_env.vpi_max = nominal.pull_in_voltage();
+  nominal_env.vpo_min = nominal_env.vpo_max = nominal.pull_out_voltage();
+  nominal_env.min_hysteresis = nominal_env.vpi_min - nominal_env.vpo_max;
+  const auto fixed = solve_program_window(nominal_env);
+
+  double margin_sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto pop = sample_population(nominal, spec, rows * cols, rng);
+    const auto env = envelope(pop);
+
+    std::optional<ProgrammingVoltages> v;
+    if (policy == VoltagePolicy::kPerArrayCalibrated) {
+      v = solve_program_window(env);
+    } else {
+      v = fixed;
+    }
+    if (!v || !voltages_work_for(env, *v)) continue;
+    ++result.good_arrays;
+    margin_sum += noise_margins(env, *v).worst();
+  }
+  if (result.good_arrays > 0) {
+    result.mean_worst_margin = margin_sum / result.good_arrays;
+  }
+  return result;
+}
+
+}  // namespace nemfpga

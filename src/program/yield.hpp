@@ -1,0 +1,43 @@
+// Monte-Carlo programming-yield analysis (paper Sec 2.3): "Today's FPGAs
+// typically contain millions of configurable routing switches. As a result,
+// large variations can make it impossible to correctly configure all NEM
+// relays." This module quantifies that: the fraction of fabricated arrays
+// that can be fully configured, as a function of array size and variation.
+#pragma once
+
+#include <cstddef>
+
+#include "device/variation.hpp"
+#include "program/half_select.hpp"
+
+namespace nemfpga {
+
+/// How the programming levels are chosen for each array.
+enum class VoltagePolicy {
+  /// One fixed (Vhold, Vselect) pair derived from the nominal design —
+  /// what a production tester would apply wafer-wide.
+  kFixedNominal,
+  /// Per-array optimal levels from that array's measured envelope — the
+  /// best case (what the paper did for its 100-relay study).
+  kPerArrayCalibrated,
+};
+
+struct YieldResult {
+  std::size_t trials = 0;
+  std::size_t good_arrays = 0;
+  double yield() const {
+    return trials ? static_cast<double>(good_arrays) / trials : 0.0;
+  }
+  /// Mean worst-case noise margin across the *good* arrays [V].
+  double mean_worst_margin = 0.0;
+};
+
+/// Sample `trials` arrays of rows*cols relays and report how many can be
+/// correctly half-select programmed under the given policy. An array is
+/// good when a single voltage pair satisfies every relay's constraints.
+YieldResult programming_yield(const RelayDesign& nominal,
+                              const VariationSpec& spec, std::size_t rows,
+                              std::size_t cols, std::size_t trials, Rng& rng,
+                              VoltagePolicy policy);
+
+}  // namespace nemfpga

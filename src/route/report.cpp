@@ -1,0 +1,93 @@
+#include "route/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace nemfpga {
+
+RouteReport summarize_routing(const RrGraph& g, const Placement& pl,
+                              const RoutingResult& r) {
+  if (!r.success) throw std::invalid_argument("summarize_routing: unrouted");
+  RouteReport rep;
+  rep.nets = pl.nets.size();
+  rep.wirelength_histogram.assign(16, 0);
+
+  // Per-position channel occupancy. Key: channel id * span + position.
+  // Capacity per position is W; count used wire-tiles there.
+  const std::size_t w = g.arch().W;
+  std::unordered_map<std::size_t, std::size_t> chan_use;
+  auto chan_key = [&](const RrNode& n, std::size_t pos) {
+    // CHANX(j): key block 0; CHANY(i): key block 1.
+    const bool horiz = n.type == RrType::kChanX;
+    const std::size_t chan = horiz ? n.y_lo : n.x_lo;
+    return ((horiz ? 0u : 1u) * (g.ny() + 1) + chan) * (g.nx() + 2) + pos;
+  };
+
+  std::unordered_set<RrNodeId> seen_global;
+  std::size_t max_wl = 0;
+  double sum_wl = 0.0;
+  for (std::size_t i = 0; i < r.trees.size(); ++i) {
+    std::size_t net_wl = 0;
+    std::unordered_set<RrNodeId> seen_net;
+    for (const auto& [from, to] : r.trees[i].edges) {
+      (void)from;
+      const RrNode& n = g.node(to);
+      if (n.type != RrType::kChanX && n.type != RrType::kChanY) continue;
+      if (!seen_net.insert(to).second) continue;
+      net_wl += n.length;
+      if (seen_global.insert(to).second) {
+        ++rep.total_segments;
+        rep.total_wire_tiles += n.length;
+        const bool horiz = n.type == RrType::kChanX;
+        const std::size_t lo = horiz ? n.x_lo : n.y_lo;
+        const std::size_t hi = horiz ? n.x_hi : n.y_hi;
+        for (std::size_t p = lo; p <= hi; ++p) ++chan_use[chan_key(n, p)];
+      }
+    }
+    sum_wl += static_cast<double>(net_wl);
+    max_wl = std::max(max_wl, net_wl);
+    const std::size_t bin = std::min<std::size_t>(net_wl / 2, 15);
+    ++rep.wirelength_histogram[bin];
+  }
+  rep.mean_net_wirelength =
+      rep.nets ? sum_wl / static_cast<double>(rep.nets) : 0.0;
+  rep.max_net_wirelength = max_wl;
+
+  if (!chan_use.empty()) {
+    std::vector<double> occ;
+    occ.reserve(chan_use.size());
+    for (const auto& [key, used] : chan_use) {
+      (void)key;
+      occ.push_back(static_cast<double>(used) / static_cast<double>(w));
+    }
+    rep.occupancy_min = *std::min_element(occ.begin(), occ.end());
+    rep.occupancy_max = *std::max_element(occ.begin(), occ.end());
+    rep.occupancy_median = percentile(occ, 50.0);
+  }
+  return rep;
+}
+
+std::string RouteReport::to_string() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "routed nets          : " << nets << "\n";
+  os << "wire segments used   : " << total_segments << " ("
+     << total_wire_tiles << " tile-lengths)\n";
+  os << "mean net wirelength  : " << mean_net_wirelength << " tiles (max "
+     << max_net_wirelength << ")\n";
+  os << "channel occupancy    : min " << 100.0 * occupancy_min << "%, median "
+     << 100.0 * occupancy_median << "%, max " << 100.0 * occupancy_max
+     << "%\n";
+  os << "net wirelength histogram (2-tile bins):";
+  for (std::size_t b : wirelength_histogram) os << ' ' << b;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace nemfpga

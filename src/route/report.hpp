@@ -1,0 +1,33 @@
+// Routing-quality reports: per-net wirelength statistics and channel
+// occupancy maps. VPR prints the same summaries after routing; downstream
+// users read them to judge mapping quality and channel-width headroom.
+#pragma once
+
+#include <string>
+
+#include "route/route.hpp"
+
+namespace nemfpga {
+
+struct RouteReport {
+  std::size_t nets = 0;
+  std::size_t total_segments = 0;       ///< Wire segments used (unique).
+  double total_wire_tiles = 0.0;        ///< Sum of segment lengths.
+  double mean_net_wirelength = 0.0;     ///< Tiles per net.
+  std::size_t max_net_wirelength = 0;
+  /// Channel occupancy: fraction of wire capacity used, per channel
+  /// quartile (min / median / max over all channel positions).
+  double occupancy_min = 0.0;
+  double occupancy_median = 0.0;
+  double occupancy_max = 0.0;
+  /// Net wirelength histogram (tiles): bins [0,2) [2,4) ... [30,inf).
+  std::vector<std::size_t> wirelength_histogram;
+
+  std::string to_string() const;
+};
+
+/// Summarize a successful routing.
+RouteReport summarize_routing(const RrGraph& g, const Placement& pl,
+                              const RoutingResult& r);
+
+}  // namespace nemfpga

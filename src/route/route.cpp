@@ -1,0 +1,412 @@
+#include "route/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nemfpga {
+namespace {
+
+struct Router {
+  const RrGraph& g;
+  const Placement& pl;
+  const RouteOptions& opt;
+
+  std::vector<std::uint16_t> occ;
+  std::vector<float> history;
+  double pres_fac;
+
+  // Per-net-search scratch, epoch-stamped to avoid O(V) clears.
+  std::vector<std::uint32_t> epoch;
+  std::vector<double> path_cost;
+  std::vector<RrNodeId> prev;
+  std::uint32_t cur_epoch = 0;
+  std::size_t iteration = 1;
+
+  explicit Router(const RrGraph& graph, const Placement& placement,
+                  const RouteOptions& options)
+      : g(graph), pl(placement), opt(options) {
+    occ.assign(g.node_count(), 0);
+    history.assign(g.node_count(), 0.0f);
+    epoch.assign(g.node_count(), 0);
+    path_cost.assign(g.node_count(), 0.0);
+    prev.assign(g.node_count(), kNoRrNode);
+    pres_fac = opt.first_iter_pres_fac;
+  }
+
+  double node_base_cost(const RrNode& n) const {
+    switch (n.type) {
+      case RrType::kChanX:
+      case RrType::kChanY:
+        return static_cast<double>(n.length);
+      case RrType::kIpin:
+        return 0.95;  // slight pull toward finishing
+      case RrType::kSink:
+        return 0.0;
+      default:
+        return 1.0;
+    }
+  }
+
+  double congestion_cost(RrNodeId id) const {
+    const RrNode& n = g.node(id);
+    const double over =
+        std::max(0, static_cast<int>(occ[id]) + 1 - static_cast<int>(n.capacity));
+    const double pres = 1.0 + over * pres_fac;
+    // Small deterministic per-iteration jitter breaks the lock-step
+    // oscillations PathFinder can fall into when two nets see identical
+    // costs for each other's resources.
+    const std::uint32_t h =
+        (id * 2654435761u) ^ (static_cast<std::uint32_t>(iteration) * 40503u);
+    const double jitter = 1.0 + 0.02 * static_cast<double>((h >> 16) & 0xff) / 255.0;
+    return node_base_cost(n) * pres * (1.0 + history[id]) * jitter;
+  }
+
+  /// Manhattan-distance lookahead toward a target node, in expected base
+  /// cost (distance scaled by ~1 per tile traversed).
+  double heuristic(RrNodeId from, RrNodeId to) const {
+    const RrNode& a = g.node(from);
+    const RrNode& b = g.node(to);
+    const auto clampdist = [](int lo1, int hi1, int lo2, int hi2) {
+      if (hi1 < lo2) return lo2 - hi1;
+      if (hi2 < lo1) return lo1 - hi2;
+      return 0;
+    };
+    const int dx = clampdist(a.x_lo, a.x_hi, b.x_lo, b.x_hi);
+    const int dy = clampdist(a.y_lo, a.y_hi, b.y_lo, b.y_hi);
+    return opt.astar_fac * static_cast<double>(dx + dy);
+  }
+
+  struct QItem {
+    double cost;
+    double known;
+    RrNodeId node;
+    bool operator>(const QItem& o) const { return cost > o.cost; }
+  };
+
+  /// Route one net; tree written into `out`. Returns false if any sink was
+  /// unreachable (graph disconnection — treated as hard failure).
+  bool route_net(const PlacedNet& net, RouteTree& out,
+                 std::size_t extra_bb = 0) {
+    // Routes outside the net bounding box are rare but legal (sparse track
+    // connectivity can force a detour); retry unconstrained before giving up.
+    if (route_net_bb(net, out, opt.bb_margin + extra_bb)) return true;
+    out = RouteTree{};
+    return route_net_bb(net, out, g.nx() + g.ny());
+  }
+
+  bool route_net_bb(const PlacedNet& net, RouteTree& out,
+                    std::size_t bb_margin) {
+    const BlockLoc& dloc = pl.locs[net.driver];
+    const RrNodeId source = g.site(dloc.x, dloc.y).source;
+    out.source = source;
+    out.edges.clear();
+    out.sinks.clear();
+
+    // Net bounding box (+margin) restricts expansion.
+    int x_lo = static_cast<int>(dloc.x), x_hi = x_lo;
+    int y_lo = static_cast<int>(dloc.y), y_hi = y_lo;
+    std::vector<RrNodeId> sink_nodes;
+    sink_nodes.reserve(net.sinks.size());
+    for (std::size_t s : net.sinks) {
+      const BlockLoc& l = pl.locs[s];
+      sink_nodes.push_back(g.site(l.x, l.y).sink);
+      x_lo = std::min(x_lo, static_cast<int>(l.x));
+      x_hi = std::max(x_hi, static_cast<int>(l.x));
+      y_lo = std::min(y_lo, static_cast<int>(l.y));
+      y_hi = std::max(y_hi, static_cast<int>(l.y));
+    }
+    const int m = static_cast<int>(bb_margin);
+    x_lo -= m;
+    x_hi += m;
+    y_lo -= m;
+    y_hi += m;
+    auto in_bb = [&](const RrNode& n) {
+      return static_cast<int>(n.x_hi) >= x_lo &&
+             static_cast<int>(n.x_lo) <= x_hi &&
+             static_cast<int>(n.y_hi) >= y_lo &&
+             static_cast<int>(n.y_lo) <= y_hi;
+    };
+
+    // Sort sinks near-to-far from the driver (cheap heuristic order).
+    std::vector<std::size_t> order(sink_nodes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return heuristic(source, sink_nodes[a]) < heuristic(source, sink_nodes[b]);
+    });
+
+    std::vector<RrNodeId> tree_nodes{source};
+    std::unordered_set<RrNodeId> in_tree{source};
+
+    for (std::size_t oi : order) {
+      const RrNodeId target = sink_nodes[oi];
+      if (in_tree.contains(target)) {
+        // Another sink block shares this SINK node; already reached.
+        out.sinks.push_back(target);
+        continue;
+      }
+      ++cur_epoch;
+      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+      for (RrNodeId n : tree_nodes) {
+        epoch[n] = cur_epoch;
+        path_cost[n] = 0.0;
+        prev[n] = kNoRrNode;
+        pq.push({heuristic(n, target), 0.0, n});
+      }
+      bool found = false;
+      while (!pq.empty()) {
+        const QItem item = pq.top();
+        pq.pop();
+        const RrNodeId u = item.node;
+        if (epoch[u] == cur_epoch &&
+            item.known > path_cost[u] + 1e-9) {
+          continue;  // stale entry
+        }
+        if (u == target) {
+          found = true;
+          break;
+        }
+        for (const RrEdge& e : g.edges(u)) {
+          const RrNode& vn = g.node(e.to);
+          if (!in_bb(vn)) continue;
+          if (vn.type == RrType::kSink && e.to != target) continue;
+          const double new_cost = item.known + congestion_cost(e.to);
+          if (epoch[e.to] != cur_epoch ||
+              new_cost < path_cost[e.to] - 1e-9) {
+            epoch[e.to] = cur_epoch;
+            path_cost[e.to] = new_cost;
+            prev[e.to] = u;
+            pq.push({new_cost + heuristic(e.to, target), new_cost, e.to});
+          }
+        }
+      }
+      if (!found) {
+        // Release the partially-built tree (source has no occupancy yet).
+        for (std::size_t i = 1; i < tree_nodes.size(); ++i) {
+          --occ[tree_nodes[i]];
+        }
+        return false;
+      }
+      // Backtrace; new nodes join the tree with occupancy.
+      std::vector<std::pair<RrNodeId, RrNodeId>> path;
+      RrNodeId n = target;
+      while (prev[n] != kNoRrNode) {
+        path.emplace_back(prev[n], n);
+        n = prev[n];
+      }
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        out.edges.push_back(*it);
+        if (in_tree.insert(it->second).second) {
+          tree_nodes.push_back(it->second);
+          ++occ[it->second];
+        }
+      }
+      out.sinks.push_back(target);
+    }
+    ++occ[source];
+    return true;
+  }
+
+  void rip_up(const RouteTree& t) {
+    if (t.source == kNoRrNode) return;
+    --occ[t.source];
+    std::unordered_set<RrNodeId> seen;
+    for (const auto& [from, to] : t.edges) {
+      (void)from;
+      if (seen.insert(to).second) --occ[to];
+    }
+  }
+
+  std::size_t count_overuse() const {
+    std::size_t n_over = 0;
+    for (RrNodeId i = 0; i < g.node_count(); ++i) {
+      if (occ[i] > g.node(i).capacity) ++n_over;
+    }
+    return n_over;
+  }
+
+  void update_history() {
+    for (RrNodeId i = 0; i < g.node_count(); ++i) {
+      const int over =
+          static_cast<int>(occ[i]) - static_cast<int>(g.node(i).capacity);
+      if (over > 0) {
+        history[i] += static_cast<float>(opt.history_fac * over);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RoutingResult route_all(const RrGraph& g, const Placement& pl,
+                        const RouteOptions& opt) {
+  Router router(g, pl, opt);
+  RoutingResult res;
+  res.trees.assign(pl.nets.size(), {});
+  std::size_t best_overuse = static_cast<std::size_t>(-1);
+  std::size_t best_iter = 0;
+
+  // A net only needs rerouting while its tree touches an overused node.
+  auto touches_overuse = [&](const RouteTree& t) {
+    if (t.source == kNoRrNode) return true;
+    if (router.occ[t.source] > g.node(t.source).capacity) return true;
+    for (const auto& [from, to] : t.edges) {
+      (void)from;
+      if (router.occ[to] > g.node(to).capacity) return true;
+    }
+    return false;
+  };
+
+  // Nets that stay congested get a progressively wider routing window:
+  // the bounding-box constraint can hide every alternative to a contended
+  // resource, freezing a conflict no cost growth can break.
+  std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
+
+  for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    res.iterations = iter;
+    router.iteration = iter;
+    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+      if (iter > 1) {
+        if (opt.incremental && !touches_overuse(res.trees[n])) continue;
+        router.rip_up(res.trees[n]);
+        if (iter > 12) {
+          extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
+                                              g.nx() + g.ny());
+        }
+      }
+      res.trees[n] = RouteTree{};
+      if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+        // Hard disconnection — no amount of iteration will fix it.
+        res.success = false;
+        res.overused_nodes = router.count_overuse();
+        return res;
+      }
+    }
+    res.overused_nodes = router.count_overuse();
+    if (std::getenv("NF_ROUTE_DEBUG")) {
+      std::fprintf(stderr, "iter %zu overused=%zu pres=%g\n", iter,
+                   res.overused_nodes, router.pres_fac);
+      for (RrNodeId i = 0; i < g.node_count(); ++i) {
+        if (router.occ[i] > g.node(i).capacity) {
+          std::fprintf(stderr, "  node %u type=%d occ=%d cap=%d\n", i,
+                       static_cast<int>(g.node(i).type), router.occ[i],
+                       g.node(i).capacity);
+        }
+      }
+    }
+    if (res.overused_nodes == 0) {
+      res.success = true;
+      break;
+    }
+    // Plateau detection: large congestion that stops improving will not
+    // resolve; bail out early so channel-width searches stay fast. Small
+    // residual overuse (a handful of nodes) is left to the growing
+    // present-cost factor, which routinely clears it late.
+    if (res.overused_nodes < best_overuse) {
+      best_overuse = res.overused_nodes;
+      best_iter = iter;
+    } else if (best_overuse > 20 && iter > best_iter + 15 &&
+               res.overused_nodes > best_overuse * 95 / 100) {
+      break;
+    }
+    router.update_history();
+    router.pres_fac =
+        std::min(router.pres_fac * opt.pres_fac_mult, opt.pres_fac_max);
+  }
+
+  if (res.success) {
+    std::unordered_set<RrNodeId> wires;
+    for (const auto& t : res.trees) {
+      for (const auto& [from, to] : t.edges) {
+        (void)from;
+        const RrNode& n = g.node(to);
+        if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
+          if (wires.insert(to).second) {
+            ++res.wire_segments_used;
+            res.total_wire_tiles += n.length;
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+void check_routing(const RrGraph& g, const Placement& pl,
+                   const RoutingResult& r) {
+  if (r.trees.size() != pl.nets.size()) {
+    throw std::logic_error("check_routing: tree count mismatch");
+  }
+  std::vector<std::uint32_t> occ(g.node_count(), 0);
+  for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+    const RouteTree& t = r.trees[n];
+    const BlockLoc& d = pl.locs[pl.nets[n].driver];
+    if (t.source != g.site(d.x, d.y).source) {
+      throw std::logic_error("check_routing: wrong source");
+    }
+    ++occ[t.source];
+    std::unordered_set<RrNodeId> reached{t.source};
+    for (const auto& [from, to] : t.edges) {
+      if (!reached.contains(from)) {
+        throw std::logic_error("check_routing: disconnected edge");
+      }
+      if (reached.insert(to).second) ++occ[to];
+    }
+    // Every sink block's SINK node must be reached.
+    for (std::size_t s : pl.nets[n].sinks) {
+      const BlockLoc& l = pl.locs[s];
+      if (!reached.contains(g.site(l.x, l.y).sink)) {
+        throw std::logic_error("check_routing: sink not reached");
+      }
+    }
+  }
+  for (RrNodeId i = 0; i < g.node_count(); ++i) {
+    if (occ[i] > g.node(i).capacity) {
+      throw std::logic_error("check_routing: capacity violated");
+    }
+  }
+}
+
+ChannelWidthResult find_min_channel_width(const ArchParams& arch,
+                                          const Placement& pl,
+                                          std::size_t w_hint,
+                                          const RouteOptions& opt) {
+  auto routes_at = [&](std::size_t w) {
+    ArchParams a = arch;
+    a.W = std::max<std::size_t>(2, w);
+    const RrGraph g(a, pl.nx, pl.ny);
+    return route_all(g, pl, opt).success;
+  };
+
+  // Grow until routable.
+  std::size_t hi = std::max<std::size_t>(4, w_hint);
+  while (!routes_at(hi)) {
+    hi *= 2;
+    if (hi > 1024) {
+      throw std::runtime_error("find_min_channel_width: unroutable design");
+    }
+  }
+  // Shrink: binary search the smallest routable W.
+  std::size_t lo = 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (routes_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ChannelWidthResult out;
+  out.w_min = hi;
+  std::size_t w = static_cast<std::size_t>(
+      std::ceil(1.2 * static_cast<double>(hi)));
+  if (w % 2) ++w;  // even track counts keep INC/DEC pairs balanced
+  out.w_low_stress = w;
+  return out;
+}
+
+}  // namespace nemfpga

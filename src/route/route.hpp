@@ -1,0 +1,70 @@
+// PathFinder negotiated-congestion routing [McMurchie/Ebeling via VPR]:
+// every net is repeatedly ripped up and re-routed by A* over the RR graph;
+// nodes start out shareable and grow present- and history-congestion costs
+// until every routing resource is used within capacity. This is the router
+// the paper's flow runs (VPR 5.0) to determine channel width and net
+// topologies.
+#pragma once
+
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+#include "place/place.hpp"
+
+namespace nemfpga {
+
+/// Routed tree of one net: directed RR edges from the source out to every
+/// sink (parent-before-child order).
+struct RouteTree {
+  RrNodeId source = kNoRrNode;
+  std::vector<std::pair<RrNodeId, RrNodeId>> edges;  ///< (from, to).
+  std::vector<RrNodeId> sinks;                       ///< Reached SINK nodes.
+};
+
+struct RouteOptions {
+  std::size_t max_iterations = 160;
+  double first_iter_pres_fac = 0.5;
+  double pres_fac_mult = 1.3;
+  double pres_fac_max = 1000.0;  ///< Cap so history can still break ties.
+  double history_fac = 1.0;
+  double astar_fac = 1.1;     ///< Heuristic weight (>1 = faster, greedier).
+  std::size_t bb_margin = 3;  ///< Net bounding-box routing constraint.
+  /// Reroute only congestion-touching nets (fast) vs all nets (classic).
+  bool incremental = true;
+};
+
+struct RoutingResult {
+  bool success = false;
+  std::size_t iterations = 0;
+  std::vector<RouteTree> trees;  ///< Parallel to Placement::nets.
+  std::size_t overused_nodes = 0;
+
+  /// Wire statistics for the power/area models.
+  std::size_t wire_segments_used = 0;
+  double total_wire_tiles = 0.0;
+};
+
+/// Route all placed nets. Returns success=false if congestion persists
+/// after max_iterations (caller widens W and retries).
+RoutingResult route_all(const RrGraph& g, const Placement& pl,
+                        const RouteOptions& opt = {});
+
+/// Validation: every tree is connected, within capacity, and reaches every
+/// sink of its net. Throws std::logic_error on violation.
+void check_routing(const RrGraph& g, const Placement& pl,
+                   const RoutingResult& r);
+
+/// Binary-search the minimum channel width Wmin for which routing succeeds,
+/// then report W = ceil(1.2 * Wmin) rounded up to even ("low-stress routing"
+/// [Betz 99b], Sec 3.3 of the paper).
+struct ChannelWidthResult {
+  std::size_t w_min = 0;
+  std::size_t w_low_stress = 0;  ///< 1.2 x Wmin, even.
+};
+
+ChannelWidthResult find_min_channel_width(const ArchParams& arch,
+                                          const Placement& pl,
+                                          std::size_t w_hint = 32,
+                                          const RouteOptions& opt = {});
+
+}  // namespace nemfpga

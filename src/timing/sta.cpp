@@ -1,0 +1,173 @@
+#include "timing/sta.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nemfpga {
+
+std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
+                                      const PlacedNet& net,
+                                      const Placement& pl,
+                                      const ElectricalView& view) {
+  std::unordered_map<RrNodeId, double> delay;
+  delay.reserve(tree.edges.size() + 1);
+  delay[tree.source] = view.t_output_path;
+  for (const auto& [from, to] : tree.edges) {
+    const auto it = delay.find(from);
+    if (it == delay.end()) {
+      throw std::logic_error("routed_net_delays: edge from unknown node");
+    }
+    double d = it->second;
+    switch (g.node(to).type) {
+      case RrType::kChanX:
+      case RrType::kChanY:
+        d += view.t_wire_stage;
+        break;
+      case RrType::kIpin:
+        d += view.t_input_path;
+        break;
+      default:
+        break;  // OPIN / SINK add no additional stage
+    }
+    // Keep the earliest (tree order guarantees a single write in practice).
+    delay.emplace(to, d);
+  }
+  std::vector<double> out;
+  out.reserve(net.sinks.size());
+  for (std::size_t s : net.sinks) {
+    const BlockLoc& l = pl.locs[s];
+    const RrNodeId sink = g.site(l.x, l.y).sink;
+    const auto it = delay.find(sink);
+    if (it == delay.end()) {
+      throw std::logic_error("routed_net_delays: sink not in tree");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
+                            const Placement& pl, const RrGraph& g,
+                            const RoutingResult& routing,
+                            const ElectricalView& view) {
+  if (routing.trees.size() != pl.nets.size()) {
+    throw std::invalid_argument("analyze_timing: routing/placement mismatch");
+  }
+
+  // Per placed net: delay to each sink packed-block.
+  std::vector<std::size_t> net_to_placed(nl.net_count(), kInvalidId);
+  std::vector<std::unordered_map<std::size_t, double>> sink_delay(
+      pl.nets.size());
+  double log_sum = 0.0;
+  std::size_t n_delays = 0;
+  for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+    net_to_placed[pl.nets[i].net] = i;
+    const auto delays =
+        routed_net_delays(g, routing.trees[i], pl.nets[i], pl, view);
+    for (std::size_t s = 0; s < delays.size(); ++s) {
+      sink_delay[i].emplace(pl.nets[i].sinks[s], delays[s]);
+      if (delays[s] > 0.0) {
+        log_sum += std::log(delays[s]);
+        ++n_delays;
+      }
+    }
+  }
+
+  // Net arc delay from a driven net into a consuming block.
+  auto net_arc = [&](NetId n, BlockId sink_blk) {
+    const std::size_t placed = net_to_placed[n];
+    if (placed == kInvalidId) {
+      // Absorbed: intra-BLE (LUT->FF) is hard-wired, intra-cluster goes
+      // through the local feedback crossbar.
+      const Net& net = nl.net(n);
+      if (net.sinks.size() == 1) {
+        const Block& s = nl.block(net.sinks[0]);
+        const Block& d = nl.block(net.driver);
+        if (s.type == BlockType::kLatch && d.type == BlockType::kLut) {
+          return 0.0;  // fused BLE register
+        }
+      }
+      return view.t_local_feedback;
+    }
+    const std::size_t owner = pack.block_owner[sink_blk];
+    const auto it = sink_delay[placed].find(owner);
+    if (it != sink_delay[placed].end()) return it->second;
+    // Same-cluster sink of a global net: local feedback.
+    return view.t_local_feedback;
+  };
+
+  // Topological arrival-time propagation over combinational LUT edges.
+  TimingResult result;
+  result.arrival.assign(nl.block_count(), 0.0);
+  std::vector<std::size_t> pending(nl.block_count(), 0);
+  std::deque<BlockId> ready;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kInput) {
+      result.arrival[b] = 0.0;
+      ready.push_back(b);
+    } else if (blk.type == BlockType::kLatch) {
+      result.arrival[b] = view.t_clk_q;
+      ready.push_back(b);
+    } else if (blk.type == BlockType::kLut) {
+      std::size_t comb_inputs = 0;
+      for (NetId n : blk.inputs) {
+        if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++comb_inputs;
+      }
+      pending[b] = comb_inputs;
+      if (comb_inputs == 0) ready.push_back(b);
+    }
+  }
+
+  std::size_t processed_luts = 0;
+  while (!ready.empty()) {
+    const BlockId b = ready.front();
+    ready.pop_front();
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLut) {
+      double arr = 0.0;
+      for (NetId n : blk.inputs) {
+        const BlockId drv = nl.net(n).driver;
+        arr = std::max(arr, result.arrival[drv] + net_arc(n, b));
+      }
+      result.arrival[b] = arr + view.t_lut;
+      ++processed_luts;
+    }
+    // Release combinational fanout. Only LUT drivers were counted in
+    // `pending` (PIs and latch outputs are timing start points), so only
+    // LUT completions may decrement it.
+    if (blk.type == BlockType::kLut) {
+      for (BlockId s : nl.net(blk.output).sinks) {
+        if (nl.block(s).type == BlockType::kLut && pending[s] > 0) {
+          if (--pending[s] == 0) ready.push_back(s);
+        }
+      }
+    }
+  }
+  if (processed_luts != nl.lut_count()) {
+    throw std::logic_error("analyze_timing: combinational cycle");
+  }
+
+  // Critical path: worst capture at latch D inputs and primary outputs.
+  double cp = 0.0;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLatch) {
+      const NetId d = blk.inputs[0];
+      const BlockId drv = nl.net(d).driver;
+      cp = std::max(cp, result.arrival[drv] + net_arc(d, b) + view.t_setup);
+    } else if (blk.type == BlockType::kOutput) {
+      const NetId n = blk.inputs[0];
+      const BlockId drv = nl.net(n).driver;
+      cp = std::max(cp, result.arrival[drv] + net_arc(n, b));
+    }
+  }
+  result.critical_path = cp;
+  result.geomean_net_delay =
+      n_delays ? std::exp(log_sum / static_cast<double>(n_delays)) : 0.0;
+  return result;
+}
+
+}  // namespace nemfpga

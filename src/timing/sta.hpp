@@ -1,0 +1,38 @@
+// Static timing analysis over the packed/placed/routed design — the
+// "VPR timing analysis" box of the paper's Fig 10 flow. Net delays come
+// from the routed RR trees evaluated under a variant's electrical view;
+// logic delays from the view's LUT/FF constants. The application critical
+// path is the max register-to-register / PI-to-PO path delay.
+#pragma once
+
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+
+/// Delay from a routed net's driver to each of its sink *blocks*,
+/// parallel to PlacedNet::sinks.
+std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
+                                      const PlacedNet& net,
+                                      const Placement& pl,
+                                      const ElectricalView& view);
+
+struct TimingResult {
+  double critical_path = 0.0;     ///< [s]
+  double geomean_net_delay = 0.0; ///< Over routed nets (diagnostics).
+  std::vector<double> arrival;    ///< Per netlist block output [s].
+};
+
+/// Full-design STA. The routing must be successful and correspond to `pl`.
+TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
+                            const Placement& pl, const RrGraph& g,
+                            const RoutingResult& routing,
+                            const ElectricalView& view);
+
+}  // namespace nemfpga

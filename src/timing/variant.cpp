@@ -1,0 +1,183 @@
+#include "timing/variant.hpp"
+
+#include <cmath>
+
+#include "circuit/logical_effort.hpp"
+
+namespace nemfpga {
+namespace {
+
+SwitchElectrical switch_electrical(FpgaVariant variant, const Tech22nm& tech,
+                                   const RelayEquivalent& relay) {
+  SwitchElectrical sw;
+  if (variant == FpgaVariant::kCmosBaseline) {
+    const PassTransistor& pt = tech.routing_pass_transistor;
+    sw.r_on = pt.on_resistance(tech.cmos);
+    sw.c_off_load = tech.cmos.drain_cap(tech.cmos.w_min * pt.width_mult);
+    sw.c_on_load = pt.parasitic_cap(tech.cmos);
+    sw.leak_per_switch = pt.leakage(tech.cmos);
+  } else {
+    sw.r_on = relay.ron;
+    sw.c_off_load = relay.coff;  // zero-leakage mechanical air gap
+    sw.c_on_load = relay.con;
+    sw.leak_per_switch = 0.0;
+  }
+  return sw;
+}
+
+/// Loads a single segment-wire driver must drive, given a tile pitch.
+double wire_segment_load(const ElectricalView& v, double pitch,
+                         double next_stage_cin) {
+  const auto& arch = v.arch;
+  const double wire_cap =
+      v.tech.wire.c_per_m * pitch * static_cast<double>(arch.L);
+  // CB taps hanging off the wire: cb_switches spread over 2W wires per
+  // tile, over L tiles.
+  const double taps_per_wire =
+      static_cast<double>(v.composition.cb_switches) /
+      (2.0 * static_cast<double>(arch.W)) * static_cast<double>(arch.L);
+  const double tap_cap = taps_per_wire * v.sw.c_off_load;
+  // Fanout at the end: Fs downstream wire-driver mux inputs.
+  const double sb_cap =
+      static_cast<double>(arch.fs) * (v.sw.c_off_load + next_stage_cin);
+  return wire_cap + tap_cap + sb_cap;
+}
+
+/// LB-internal constants: LUT delay, crossbar and FF figures from the
+/// 22 nm models (HSPICE stand-ins, Fig 10's "timing extraction").
+void fill_logic_delays(ElectricalView& v) {
+  const CmosTech& t = v.tech.cmos;
+  // K-LUT: 2^K SRAM mux tree ~ K series min pass transistors + internal
+  // buffer; Elmore through the tree.
+  const double r_stage = t.nmos_resistance(t.w_min) * 1.5;
+  const double c_stage = 2.0 * t.drain_cap(t.w_min);
+  v.t_lut = 0.69 * static_cast<double>(v.arch.K) * r_stage * c_stage * 4.0 +
+            design_optimal_chain(t, 4.0 * t.min_inverter_input_cap()).delay(
+                4.0 * t.min_inverter_input_cap());
+  v.t_clk_q = 18e-12;
+  v.t_setup = 12e-12;
+}
+
+}  // namespace
+
+ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
+                         double wire_buffer_downsize, const Tech22nm& tech,
+                         const RelayEquivalent& relay) {
+  ElectricalView v;
+  v.variant = variant;
+  v.arch = arch;
+  v.tech = tech;
+  v.relay = relay;
+  v.wire_buffer_downsize =
+      variant == FpgaVariant::kNemOptimized ? wire_buffer_downsize : 1.0;
+  v.composition = tile_composition(arch);
+  v.sw = switch_electrical(variant, tech, relay);
+  v.lb_buffers_present = variant != FpgaVariant::kNemOptimized;
+
+  const RoutingFabric fabric = variant == FpgaVariant::kCmosBaseline
+                                   ? RoutingFabric::kCmosPassTransistor
+                                   : RoutingFabric::kNemRelay;
+  const CmosTech& t = tech.cmos;
+
+  // Fixed point: pitch -> loads -> buffer sizes -> areas -> pitch.
+  double pitch = 10e-6;
+  for (int iter = 0; iter < 4; ++iter) {
+    // Crossbar load on an LB input pin: one mux tap per LUT input mux.
+    const double xbar_taps = static_cast<double>(arch.N * arch.K);
+    const double local_wire = 2e-6 * tech.wire.c_per_m +
+                              0.2 * pitch * tech.wire.c_per_m;
+    v.c_lb_input_path = xbar_taps * v.sw.c_off_load + local_wire;
+
+    // LB output: feedback into the crossbar plus the OPIN connections into
+    // Fcout wire-driver muxes.
+    v.c_lb_output_path =
+        xbar_taps * v.sw.c_off_load + local_wire +
+        static_cast<double>(arch.fc_out_tracks()) * v.sw.c_off_load;
+
+    // Buffers.
+    if (variant == FpgaVariant::kCmosBaseline) {
+      v.lb_input_buffer = make_cmos_routing_buffer(tech, v.c_lb_input_path);
+      v.lb_output_buffer = make_cmos_routing_buffer(tech, v.c_lb_output_path);
+    } else if (variant == FpgaVariant::kNemNaive) {
+      // Relays (full swing) but buffers retained at their natural size.
+      v.lb_input_buffer = make_nem_wire_buffer(tech, v.c_lb_input_path);
+      v.lb_output_buffer = make_nem_wire_buffer(tech, v.c_lb_output_path);
+    } else {
+      v.lb_input_buffer = RoutingBuffer{};
+      v.lb_output_buffer = RoutingBuffer{};
+    }
+
+    // Wire buffer sized against the real segment load (estimated with its
+    // own input cap from the previous iteration as next-stage load).
+    const double next_cin = v.wire_buffer.chain.stage_mults.empty()
+                                ? t.min_inverter_input_cap()
+                                : v.wire_buffer.input_cap();
+    v.c_wire_segment = wire_segment_load(v, pitch, next_cin);
+    if (variant == FpgaVariant::kCmosBaseline) {
+      v.wire_buffer = make_cmos_routing_buffer(tech, v.c_wire_segment);
+    } else {
+      v.wire_buffer = make_nem_wire_buffer(tech, v.c_wire_segment,
+                                           v.wire_buffer_downsize);
+    }
+
+    // Area from the sized buffers.
+    BufferAreas bufs;
+    bufs.wire = v.wire_buffer.area_mwta();
+    if (v.lb_buffers_present) {
+      bufs.lb_input = v.lb_input_buffer.area_mwta();
+      bufs.lb_output = v.lb_output_buffer.area_mwta();
+    }
+    v.area = tile_area(v.composition, fabric, bufs);
+    pitch = tile_pitch(v.area);
+  }
+  v.tile_pitch = pitch;
+
+  // ---- Delays ------------------------------------------------------------
+  fill_logic_delays(v);
+
+  const double r_wire =
+      tech.wire.r_per_m * pitch * static_cast<double>(arch.L);
+  // Driver chain into the full segment load, plus the distributed wire RC.
+  v.t_wire_stage = v.wire_buffer.delay(v.c_wire_segment) +
+                   0.5 * r_wire * v.c_wire_segment +
+                   0.69 * v.sw.r_on * v.c_wire_segment;  // mux series R
+
+  // CB tap -> (input buffer) -> crossbar switch -> LUT input.
+  const double c_lut_in = 4.0 * t.min_inverter_input_cap();
+  const double r_tap = v.sw.r_on;
+  if (v.lb_buffers_present) {
+    v.t_input_path = 0.69 * r_tap * v.lb_input_buffer.input_cap() +
+                     v.lb_input_buffer.delay(v.c_lb_input_path) +
+                     0.69 * v.sw.r_on * c_lut_in;
+  } else {
+    // Buffer removed: the CB tap drives the crossbar load directly through
+    // the (low Ron) relay taps.
+    v.t_input_path =
+        0.69 * (r_tap + v.sw.r_on) * (v.c_lb_input_path + c_lut_in);
+  }
+
+  // LUT/FF output -> (output buffer) -> OPIN -> wire-driver mux input.
+  const double c_mux_in = v.wire_buffer.input_cap() + v.sw.c_on_load;
+  if (v.lb_buffers_present) {
+    v.t_output_path = v.lb_output_buffer.delay(v.c_lb_output_path) +
+                      0.69 * v.sw.r_on * c_mux_in;
+  } else {
+    const double r_drive = t.min_inverter_resistance() / 4.0;  // BLE driver
+    v.t_output_path =
+        0.69 * (r_drive + v.sw.r_on) * (v.c_lb_output_path + c_mux_in);
+  }
+
+  // Intra-cluster feedback: output path into the crossbar and back into a
+  // LUT input (no channel wires involved).
+  if (v.lb_buffers_present) {
+    v.t_local_feedback = v.lb_output_buffer.delay(v.c_lb_output_path) +
+                         0.69 * v.sw.r_on * c_lut_in;
+  } else {
+    const double r_drive = t.min_inverter_resistance() / 4.0;
+    v.t_local_feedback =
+        0.69 * (r_drive + v.sw.r_on) * (v.c_lb_output_path + c_lut_in);
+  }
+  return v;
+}
+
+}  // namespace nemfpga

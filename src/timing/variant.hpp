@@ -1,0 +1,78 @@
+// Electrical views of the three FPGA implementations the paper compares
+// (Sec 3.4): the same packed/placed/routed design is re-analyzed under
+// different circuit models —
+//
+//   kCmosBaseline : NMOS pass-transistor switches + SRAM, half-latch
+//                   restoring buffers everywhere (Fig 3a / Fig 8a).
+//   kNemNaive     : NEM relays replace every routing switch and its SRAM
+//                   cell ([Chen 10b]); buffers keep their CMOS sizes.
+//   kNemOptimized : relays + the paper's technique — LB input/output
+//                   buffers removed, wire buffers downsized (Sec 3.2).
+//
+// make_view() derives a self-consistent view: tile area -> tile pitch ->
+// wire loads -> buffer sizes -> buffer areas -> tile area (iterated to a
+// fixed point, mirroring the paper's layout/extraction loop of Fig 10).
+#pragma once
+
+#include "arch/arch_model.hpp"
+#include "arch/params.hpp"
+#include "circuit/buffer.hpp"
+#include "device/equivalent.hpp"
+
+namespace nemfpga {
+
+enum class FpgaVariant { kCmosBaseline, kNemNaive, kNemOptimized };
+
+/// Per-switch electrical figures as seen by the routing network.
+struct SwitchElectrical {
+  double r_on = 0.0;       ///< Series resistance when configured on [Ohm].
+  double c_off_load = 0.0; ///< Capacitive load of an off switch tap [F].
+  double c_on_load = 0.0;  ///< Parasitic of an on switch [F].
+  double leak_per_switch = 0.0;  ///< Off-state leakage current [A].
+};
+
+/// Fully derived electrical/physical view of one FPGA variant.
+struct ElectricalView {
+  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+  ArchParams arch;
+  Tech22nm tech;
+  RelayEquivalent relay;  ///< Used by the NEM variants.
+  double wire_buffer_downsize = 1.0;
+
+  // Derived physicals.
+  TileComposition composition;
+  TileArea area;
+  double tile_pitch = 0.0;  ///< [m]
+
+  SwitchElectrical sw;      ///< Routing switch figures for this fabric.
+
+  // Sized buffers (chains absent in a variant have empty stage_mults).
+  RoutingBuffer wire_buffer;
+  RoutingBuffer lb_input_buffer;
+  RoutingBuffer lb_output_buffer;
+  bool lb_buffers_present = true;
+
+  // Precomputed loads [F].
+  double c_wire_segment = 0.0;   ///< Total load one wire driver drives.
+  double c_lb_input_path = 0.0;  ///< Load past the CB tap into the LB.
+  double c_lb_output_path = 0.0; ///< Load the BLE output drives to OPIN.
+
+  // Precomputed delays [s].
+  double t_wire_stage = 0.0;     ///< One buffered wire segment, driver in.
+  double t_input_path = 0.0;     ///< CB tap -> crossbar -> LUT input.
+  double t_output_path = 0.0;    ///< LUT/FF output -> wire driver mux input.
+  double t_lut = 0.0;            ///< LUT input -> output.
+  double t_local_feedback = 0.0; ///< Intra-cluster BLE -> BLE connection.
+  double t_clk_q = 0.0;
+  double t_setup = 0.0;
+};
+
+/// Build a self-consistent electrical view of the variant.
+/// `wire_buffer_downsize` only applies to kNemOptimized (1..8, the paper's
+/// pretend-load sweep).
+ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
+                         double wire_buffer_downsize = 1.0,
+                         const Tech22nm& tech = default_tech22(),
+                         const RelayEquivalent& relay = fig11_equivalent());
+
+}  // namespace nemfpga

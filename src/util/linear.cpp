@@ -1,0 +1,71 @@
+#include "util/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nemfpga {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+bool LuSolver::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("LuSolver: not square");
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_.at(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      std::swap(perm_[k], perm_[pivot]);
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(lu_.at(k, c), lu_.at(pivot, c));
+      }
+    }
+    const double inv_diag = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_.at(r, k) * inv_diag;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  if (b.size() != n_) throw std::invalid_argument("LuSolver: size mismatch");
+  std::vector<double> x(n_);
+  // Forward substitution on the permuted RHS.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_.at(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_.at(ii, j) * x[j];
+    x[ii] = sum / lu_.at(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace nemfpga

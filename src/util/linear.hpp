@@ -1,0 +1,50 @@
+// Small dense linear algebra for the SPICE-lite modified-nodal-analysis
+// solver. Crossbar programming netlists have at most a few hundred nodes,
+// so a dense LU with partial pivoting is both simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nemfpga {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void fill(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across right-hand sides
+/// (the transient solver refactors only when the switch topology changes).
+class LuSolver {
+ public:
+  /// Factor a square matrix. Returns false if (numerically) singular.
+  bool factor(const Matrix& a);
+
+  /// Solve A x = b using the stored factors. Requires a prior successful
+  /// factor() with matching dimension.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t dim() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace nemfpga

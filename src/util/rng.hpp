@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for Monte-Carlo device
+// sampling, synthetic netlist generation, and the annealing placer.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. We own the
+// implementation so results are bit-identical across platforms and standard
+// libraries, which keeps the regression tests and experiment tables stable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nemfpga {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive a seed from a string (e.g. a benchmark circuit name) so each
+  /// named workload gets an independent, reproducible stream.
+  static Rng from_string(std::string_view name, std::uint64_t salt = 0);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace nemfpga

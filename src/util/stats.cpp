@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nemfpga {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("geometric_mean: empty");
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geometric_mean: non-positive");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++counts_.back();
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::to_string(std::string_view label) const {
+  std::ostringstream os;
+  if (!label.empty()) os << label << "\n";
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "  [" << bin_lo(b) << ", " << bin_hi(b) << ")  " << counts_[b] << "\t";
+    const auto bar = counts_[b] * 50 / peak;
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nemfpga

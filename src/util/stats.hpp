@@ -1,0 +1,63 @@
+// Descriptive statistics used by the variation studies (Fig 6), the yield
+// analysis, and the multi-benchmark result tables (geometric means in
+// Fig 12 / Sec 3.4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nemfpga {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean; requires all values > 0.
+double geometric_mean(std::span<const double> values);
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi] with uniform bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Render as rows "lo..hi : count ####" for the experiment logs.
+  std::string to_string(std::string_view label = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nemfpga

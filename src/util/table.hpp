@@ -1,0 +1,31 @@
+// Aligned ASCII tables for the benchmark harnesses. Every bench binary
+// reproduces a table or figure from the paper; this keeps their output
+// uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nemfpga {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with fixed precision (helper for row building).
+  static std::string num(double v, int precision = 3);
+
+  /// Format a ratio like "2.1x".
+  static std::string ratio(double v, int precision = 2);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nemfpga

@@ -1,0 +1,30 @@
+// Physical constants and unit helpers used across the device and circuit
+// models. All quantities are SI unless a suffix says otherwise.
+#pragma once
+
+namespace nemfpga {
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Thermal voltage kT/q at 300 K [V].
+inline constexpr double kThermalVoltage300K = 0.025852;
+
+// Unit multipliers: write `275 * nm` instead of 2.75e-7.
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+inline constexpr double atto = 1e-18;
+
+}  // namespace nemfpga

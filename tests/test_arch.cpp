@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "arch/arch_model.hpp"
+#include "arch/rr_graph.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(ArchParams, Table1Defaults) {
+  const ArchParams a;
+  EXPECT_EQ(a.N, 10u);
+  EXPECT_EQ(a.K, 4u);
+  EXPECT_EQ(a.L, 4u);
+  EXPECT_DOUBLE_EQ(a.fc_in, 0.2);
+  EXPECT_DOUBLE_EQ(a.fc_out, 0.1);
+  EXPECT_EQ(a.fs, 3u);
+  EXPECT_EQ(a.lb_inputs(), 22u);   // I = K(N+1)/2
+  EXPECT_EQ(a.lb_outputs(), 10u);
+}
+
+TEST(ArchParams, FcTrackCounts) {
+  ArchParams a;
+  a.W = 118;
+  EXPECT_EQ(a.fc_in_tracks(), 24u);   // 0.2 * 118 = 23.6 -> 24
+  EXPECT_EQ(a.fc_out_tracks(), 12u);  // 0.1 * 118 = 11.8 -> 12
+  a.W = 2;
+  EXPECT_GE(a.fc_in_tracks(), 1u);    // never zero
+}
+
+TEST(TileComposition, CountsScaleWithArch) {
+  ArchParams a;
+  a.W = 118;
+  const auto c = tile_composition(a);
+  EXPECT_EQ(c.luts, 10u);
+  EXPECT_EQ(c.flip_flops, 10u);
+  EXPECT_EQ(c.lut_sram_bits, 160u);                    // N * 2^K
+  EXPECT_EQ(c.crossbar_switches, 40u * 32u);           // N*K muxes of I+N
+  EXPECT_EQ(c.cb_switches, 22u * 24u);
+  EXPECT_EQ(c.wire_buffers, 2u * 118u / 4u);           // 2W/L wire starts
+  EXPECT_EQ(c.lb_input_buffers, 22u);
+  EXPECT_EQ(c.lb_output_buffers, 10u);
+  EXPECT_GT(c.routing_sram_bits, 0u);
+  EXPECT_EQ(c.total_routing_switches(),
+            c.crossbar_switches + c.cb_switches + c.sb_switches);
+
+  ArchParams wider = a;
+  wider.W = 236;
+  const auto c2 = tile_composition(wider);
+  EXPECT_GT(c2.cb_switches, c.cb_switches);
+  EXPECT_GT(c2.sb_switches, c.sb_switches);
+}
+
+TEST(TileArea, NemStackingShrinksFootprint) {
+  ArchParams a;
+  a.W = 118;
+  const auto comp = tile_composition(a);
+  BufferAreas bufs{20.0, 25.0, 60.0};
+  const auto cmos = tile_area(comp, RoutingFabric::kCmosPassTransistor, bufs);
+  const auto nem = tile_area(comp, RoutingFabric::kNemRelay, bufs);
+  EXPECT_GT(cmos.footprint, 0.0);
+  EXPECT_DOUBLE_EQ(cmos.relay_layer, 0.0);
+  EXPECT_GT(nem.relay_layer, 0.0);
+  EXPECT_DOUBLE_EQ(nem.routing_switches, 0.0);
+  EXPECT_DOUBLE_EQ(nem.routing_sram, 0.0);
+  EXPECT_LT(nem.footprint, cmos.footprint);
+  // Footprint respects both planes.
+  EXPECT_GE(nem.footprint, nem.cmos_plane - 1e-18);
+  EXPECT_GE(nem.footprint, nem.relay_layer - 1e-18);
+  EXPECT_GT(tile_pitch(cmos), tile_pitch(nem));
+}
+
+TEST(TileArea, RemovingBuffersShrinksCmosPlane) {
+  ArchParams a;
+  a.W = 118;
+  const auto comp = tile_composition(a);
+  const auto with = tile_area(comp, RoutingFabric::kNemRelay, {20.0, 25.0, 60.0});
+  const auto without = tile_area(comp, RoutingFabric::kNemRelay, {0.0, 0.0, 20.0});
+  EXPECT_LT(without.cmos_plane, with.cmos_plane);
+}
+
+TEST(GridSize, FitsBlocksAndIos) {
+  const ArchParams a;
+  const auto [nx, ny] = grid_size_for(a, 100, 50);
+  EXPECT_GE(nx * ny, 100u);
+  EXPECT_GE(2 * (nx + ny) * a.io_per_pad, 50u);
+  const auto [bx, by] = grid_size_for(a, 1719, 300);
+  EXPECT_GE(bx * by, 1719u);
+  EXPECT_EQ(bx, by);
+}
+
+class RrGraphTest : public ::testing::Test {
+ protected:
+  static ArchParams small_arch() {
+    ArchParams a;
+    a.W = 12;
+    return a;
+  }
+  RrGraphTest() : g(small_arch(), 6, 6) {}
+  RrGraph g;
+};
+
+TEST_F(RrGraphTest, GridClassification) {
+  EXPECT_TRUE(g.is_lb(1, 1));
+  EXPECT_TRUE(g.is_lb(6, 6));
+  EXPECT_FALSE(g.is_lb(0, 3));
+  EXPECT_TRUE(g.is_io(0, 3));
+  EXPECT_TRUE(g.is_io(3, 7));
+  EXPECT_FALSE(g.is_io(0, 0));  // corner
+  EXPECT_FALSE(g.is_io(7, 7));
+  EXPECT_THROW(g.site(0, 0), std::out_of_range);
+}
+
+TEST_F(RrGraphTest, SitesHaveExpectedPins) {
+  // Pins are pooled: one OPIN node of capacity N, one IPIN of capacity I
+  // (input pins are equivalent through the full LB crossbar).
+  const auto& lb = g.site(3, 3);
+  ASSERT_EQ(lb.opins.size(), 1u);
+  ASSERT_EQ(lb.ipins.size(), 1u);
+  EXPECT_EQ(lb.pin_count_opin, 10u);
+  EXPECT_EQ(lb.pin_count_ipin, 22u);
+  EXPECT_EQ(g.node(lb.opins[0]).capacity, 10u);
+  EXPECT_EQ(g.node(lb.ipins[0]).capacity, 22u);
+  EXPECT_EQ(g.node(lb.source).capacity, 10u);
+  EXPECT_EQ(g.node(lb.sink).capacity, 22u);
+  const auto& io = g.site(0, 2);
+  EXPECT_EQ(io.pin_count_opin, small_arch().io_per_pad);
+  EXPECT_EQ(g.node(io.opins[0]).capacity, small_arch().io_per_pad);
+}
+
+TEST_F(RrGraphTest, SourceReachesOpins) {
+  const auto& lb = g.site(2, 2);
+  const auto es = g.edges(lb.source);
+  EXPECT_EQ(es.size(), lb.opins.size());
+  for (const auto& e : es) {
+    EXPECT_EQ(g.node(e.to).type, RrType::kOpin);
+    EXPECT_EQ(e.sw, RrSwitch::kInternal);
+  }
+}
+
+TEST_F(RrGraphTest, OpinsDriveWireStarts) {
+  const auto& lb = g.site(3, 3);
+  std::size_t wire_edges = 0;
+  for (RrNodeId o : lb.opins) {
+    for (const auto& e : g.edges(o)) {
+      EXPECT_EQ(e.sw, RrSwitch::kOpinToWire);
+      const RrNode& w = g.node(e.to);
+      EXPECT_TRUE(w.type == RrType::kChanX || w.type == RrType::kChanY);
+      ++wire_edges;
+    }
+  }
+  EXPECT_GT(wire_edges, 0u);
+}
+
+TEST_F(RrGraphTest, IpinsFeedSinkOnly) {
+  const auto& lb = g.site(4, 4);
+  for (RrNodeId i : lb.ipins) {
+    const auto es = g.edges(i);
+    ASSERT_EQ(es.size(), 1u);
+    EXPECT_EQ(es[0].to, lb.sink);
+  }
+  // And the sink has no out-edges.
+  EXPECT_TRUE(g.edges(lb.sink).empty());
+}
+
+TEST_F(RrGraphTest, WiresHaveBoundedLengthAndFanout) {
+  const auto arch = small_arch();
+  std::size_t wires = 0;
+  for (RrNodeId id = 0; id < g.node_count(); ++id) {
+    const RrNode& n = g.node(id);
+    if (n.type != RrType::kChanX && n.type != RrType::kChanY) continue;
+    ++wires;
+    EXPECT_GE(n.length, 1u);
+    EXPECT_LE(n.length, arch.L);
+    std::size_t w2w = 0;
+    for (const auto& e : g.edges(id)) {
+      if (e.sw == RrSwitch::kWireToWire) ++w2w;
+    }
+    EXPECT_LE(w2w, arch.fs);  // Fs = 3
+  }
+  EXPECT_EQ(wires, g.wire_count());
+  EXPECT_GT(wires, 0u);
+}
+
+TEST_F(RrGraphTest, InteriorWiresGetFullFsFanout) {
+  // A full-length wire ending well inside the fabric must see exactly Fs
+  // switch-box targets.
+  const auto arch = small_arch();
+  bool found = false;
+  for (RrNodeId id = 0; id < g.node_count(); ++id) {
+    const RrNode& n = g.node(id);
+    if (n.type != RrType::kChanX || n.length != arch.L) continue;
+    const std::size_t end = n.increasing ? n.x_hi : n.x_lo;
+    if (end < 2 || end > 4 || n.y_lo < 2 || n.y_lo > 4) continue;
+    std::size_t w2w = 0;
+    for (const auto& e : g.edges(id)) w2w += (e.sw == RrSwitch::kWireToWire);
+    EXPECT_EQ(w2w, arch.fs);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RrGraphTest, TracksFullyTiled) {
+  // Every (track, position) in every channel is covered by exactly one
+  // wire: sum of wire lengths equals W * span * n_channels.
+  const auto arch = small_arch();
+  std::size_t covered = 0;
+  for (RrNodeId id = 0; id < g.node_count(); ++id) {
+    const RrNode& n = g.node(id);
+    if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
+      covered += n.length;
+    }
+  }
+  const std::size_t expect =
+      arch.W * 6 * (7 + 7);  // span 6, 7 CHANX + 7 CHANY channels
+  EXPECT_EQ(covered, expect);
+}
+
+TEST_F(RrGraphTest, EdgesLandInsideGraph) {
+  for (RrNodeId id = 0; id < g.node_count(); ++id) {
+    for (const auto& e : g.edges(id)) {
+      ASSERT_LT(e.to, g.node_count());
+    }
+  }
+  EXPECT_GT(g.edge_count(), g.node_count());
+}
+
+TEST(RrGraphSmall, RejectsBadParameters) {
+  ArchParams a;
+  a.W = 12;
+  EXPECT_THROW(RrGraph(a, 0, 4), std::invalid_argument);
+  ArchParams bad;
+  bad.W = 1;
+  EXPECT_THROW(RrGraph(bad, 4, 4), std::invalid_argument);
+}
+
+class RrGraphWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RrGraphWidthSweep, NodeCountScalesWithW) {
+  ArchParams a;
+  a.W = GetParam();
+  const RrGraph g(a, 4, 4);
+  // Wires per channel ~ W/L per start position * positions.
+  EXPECT_GT(g.wire_count(), a.W);
+  // Connectivity sanity: a route out of every LB opin exists.
+  const auto& lb = g.site(2, 2);
+  bool any = false;
+  for (RrNodeId o : lb.opins) any = any || !g.edges(o).empty();
+  EXPECT_TRUE(any);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RrGraphWidthSweep,
+                         ::testing::Values(4, 8, 20, 40, 118));
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "device/beam_dynamics.hpp"
+#include "device/nem_relay.hpp"
+#include "util/units.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(PullInDynamics, AboveVpiSwitches) {
+  const RelayDesign d = scaled_relay_22nm();
+  const auto ev = simulate_pull_in(d, 1.2 * d.pull_in_voltage(), 1e-6);
+  EXPECT_TRUE(ev.switched);
+  EXPECT_GT(ev.delay, 0.0);
+}
+
+TEST(PullInDynamics, BelowVpiDoesNotSwitch) {
+  const RelayDesign d = scaled_relay_22nm();
+  const auto ev = simulate_pull_in(d, 0.8 * d.pull_in_voltage(), 2e-7);
+  EXPECT_FALSE(ev.switched);
+}
+
+TEST(PullInDynamics, ScaledDeviceDelayExceedsOneNanosecond) {
+  // The paper's motivation: mechanical switching delays > 1 ns make relays
+  // unsuitable for logic, but FPGA routing switches never toggle at runtime.
+  const RelayDesign d = scaled_relay_22nm();
+  const auto ev = simulate_pull_in(d, 1.5 * d.pull_in_voltage(), 1e-6);
+  ASSERT_TRUE(ev.switched);
+  EXPECT_GT(ev.delay, 1e-9);
+  EXPECT_LT(ev.delay, 1e-6);
+}
+
+TEST(PullInDynamics, FabricatedDeviceMuchSlower) {
+  const RelayDesign fab = fabricated_relay();
+  const RelayDesign scaled = scaled_relay_22nm();
+  const auto ev_fab = simulate_pull_in(fab, 1.5 * fab.pull_in_voltage(), 1e-2);
+  const auto ev_scaled =
+      simulate_pull_in(scaled, 1.5 * scaled.pull_in_voltage(), 1e-6);
+  ASSERT_TRUE(ev_fab.switched);
+  ASSERT_TRUE(ev_scaled.switched);
+  EXPECT_GT(ev_fab.delay, 100.0 * ev_scaled.delay);
+}
+
+TEST(PullInDynamics, HigherOverdriveIsFaster) {
+  const RelayDesign d = scaled_relay_22nm();
+  const double vpi = d.pull_in_voltage();
+  const auto slow = simulate_pull_in(d, 1.05 * vpi, 1e-5);
+  const auto fast = simulate_pull_in(d, 2.0 * vpi, 1e-5);
+  ASSERT_TRUE(slow.switched);
+  ASSERT_TRUE(fast.switched);
+  EXPECT_LT(fast.delay, slow.delay);
+}
+
+TEST(PullInDynamics, TrajectoryRecordedAndMonotoneAtContact) {
+  const RelayDesign d = scaled_relay_22nm();
+  const auto ev =
+      simulate_pull_in(d, 1.3 * d.pull_in_voltage(), 1e-6, true);
+  ASSERT_TRUE(ev.switched);
+  ASSERT_GT(ev.trajectory.size(), 10u);
+  EXPECT_DOUBLE_EQ(ev.trajectory.front().displacement, 0.0);
+  const double contact = d.geometry.gap - d.geometry.gap_min;
+  EXPECT_GE(ev.trajectory.back().displacement, contact * 0.99);
+  // Time strictly increases.
+  for (std::size_t i = 1; i < ev.trajectory.size(); ++i) {
+    EXPECT_GT(ev.trajectory[i].time, ev.trajectory[i - 1].time);
+  }
+}
+
+TEST(ReleaseDynamics, BelowVpoReleases) {
+  const RelayDesign d = scaled_relay_22nm();
+  const auto ev = simulate_release(d, 0.5 * d.pull_out_voltage(), 1e-6);
+  EXPECT_TRUE(ev.switched);
+  EXPECT_GT(ev.delay, 0.0);
+}
+
+TEST(ReleaseDynamics, AboveVpoHolds) {
+  const RelayDesign d = scaled_relay_22nm();
+  const double v_hold =
+      0.5 * (d.pull_out_voltage() + d.pull_in_voltage());
+  const auto ev = simulate_release(d, v_hold, 1e-7);
+  EXPECT_FALSE(ev.switched);
+}
+
+TEST(ReleaseDynamics, ZeroVoltsAlwaysReleasesHealthyDevice) {
+  // The reset phase of the crossbar experiment: all gates to 0 V.
+  const auto ev = simulate_release(fabricated_relay(), 0.0, 1.0);
+  EXPECT_TRUE(ev.switched);
+}
+
+TEST(ReleaseDynamics, StuckDeviceNeverReleases) {
+  RelayDesign d = scaled_relay_22nm();
+  d.adhesion_force =
+      2.0 * d.stiffness() * (d.geometry.gap - d.geometry.gap_min);
+  const auto ev = simulate_release(d, 0.0, 1e-7);
+  EXPECT_FALSE(ev.switched);
+}
+
+TEST(Equilibrium, SmallBiasSmallDeflection) {
+  const RelayDesign d = fabricated_relay();
+  const double x = equilibrium_displacement(d, 0.2 * d.pull_in_voltage());
+  EXPECT_GT(x, 0.0);
+  EXPECT_LT(x, d.geometry.gap / 10.0);
+}
+
+TEST(Equilibrium, DeflectionGrowsWithBias) {
+  const RelayDesign d = fabricated_relay();
+  const double vpi = d.pull_in_voltage();
+  double prev = 0.0;
+  for (double f : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const double x = equilibrium_displacement(d, f * vpi);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+  // The stable branch ends at 1/3 of the gap (electromechanical instability,
+  // [Kaajakari 09]) — deflection just below Vpi approaches g0/3.
+  EXPECT_LT(prev, d.geometry.gap / 3.0 + 1e-12);
+  EXPECT_GT(prev, d.geometry.gap / 6.0);
+}
+
+TEST(Equilibrium, AtOrAboveVpiThrows) {
+  const RelayDesign d = fabricated_relay();
+  EXPECT_THROW(equilibrium_displacement(d, d.pull_in_voltage()),
+               std::invalid_argument);
+}
+
+TEST(Dynamics, RejectsBadTimeBounds) {
+  const RelayDesign d = scaled_relay_22nm();
+  EXPECT_THROW(simulate_pull_in(d, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(simulate_release(d, 1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nemfpga

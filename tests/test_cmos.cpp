@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "device/cmos.hpp"
+#include "device/equivalent.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(CmosTech, ResistanceInverseInWidth) {
+  const CmosTech t;
+  EXPECT_NEAR(t.nmos_resistance(2 * t.w_min), 0.5 * t.nmos_resistance(t.w_min),
+              1e-9);
+}
+
+TEST(CmosTech, MinInverterOrdersOfMagnitude) {
+  const CmosTech t;
+  // Sanity ranges for a 22 nm process: kOhm-scale drive resistance,
+  // tens-of-aF input capacitance, nW-scale leakage.
+  EXPECT_GT(t.min_inverter_resistance(), 1e3);
+  EXPECT_LT(t.min_inverter_resistance(), 1e5);
+  EXPECT_GT(t.min_inverter_input_cap(), 10e-18);
+  EXPECT_LT(t.min_inverter_input_cap(), 1e-15);
+  EXPECT_GT(t.min_inverter_leakage(), 1e-10);
+  EXPECT_LT(t.min_inverter_leakage(), 1e-7);
+}
+
+TEST(CmosTech, CapacitanceLinearInWidth) {
+  const CmosTech t;
+  EXPECT_DOUBLE_EQ(t.gate_cap(3 * t.w_min), 3 * t.gate_cap(t.w_min));
+  EXPECT_DOUBLE_EQ(t.drain_cap(5 * t.w_min), 5 * t.drain_cap(t.w_min));
+  EXPECT_DOUBLE_EQ(t.leak_current(2 * t.w_min), 2 * t.leak_current(t.w_min));
+}
+
+TEST(PassTransistor, VtDropReducesSwing) {
+  // Fig 8a: the pass transistor passes only Vdd - Vt.
+  const CmosTech t;
+  const PassTransistor pt;
+  EXPECT_LT(pt.passed_high_level(t), t.vdd);
+  EXPECT_GT(pt.vt_drop(t), 0.25);  // a significant fraction of Vdd
+  EXPECT_GT(pt.passed_high_level(t), 0.0);
+}
+
+TEST(PassTransistor, WorseThanRelayAtComparableDrive) {
+  // A key enabler of the technique (Sec 3.2): relay Ron = 2 kOhm beats the
+  // effective resistance of a routing pass transistor, with no Vt drop.
+  const CmosTech t;
+  const PassTransistor pt;
+  const auto relay = fig11_equivalent();
+  EXPECT_GT(pt.on_resistance(t), relay.ron);
+  // And the pass transistor leaks; the relay does not (zero off current).
+  EXPECT_GT(pt.leakage(t), 0.0);
+}
+
+TEST(PassTransistor, ResistanceScalesDownWithWidth) {
+  const CmosTech t;
+  PassTransistor narrow, wide;
+  narrow.width_mult = 4.0;
+  wide.width_mult = 16.0;
+  EXPECT_NEAR(wide.on_resistance(t), narrow.on_resistance(t) / 4.0, 1e-9);
+  EXPECT_GT(wide.parasitic_cap(t), narrow.parasitic_cap(t));
+  EXPECT_GT(wide.leakage(t), narrow.leakage(t));
+}
+
+TEST(Sram, CellFiguresArePlausible) {
+  const SramCell c;
+  EXPECT_GT(c.leakage_power, 0.0);
+  EXPECT_LT(c.leakage_power, 1e-7);
+  EXPECT_GT(c.area, 0.0);
+  EXPECT_LT(c.area, 1e-12);
+}
+
+TEST(WireTech, RcPerMicron) {
+  const WireTech w;
+  // 22 nm PTM intermediate metal ballpark: a 100 um wire has ~300 Ohm
+  // and ~20 fF.
+  EXPECT_NEAR(w.r_per_m * 100e-6, 300.0, 150.0);
+  EXPECT_NEAR(w.c_per_m * 100e-6, 20e-15, 10e-15);
+}
+
+TEST(Tech22, DefaultBundleConsistent) {
+  const Tech22nm t = default_tech22();
+  EXPECT_DOUBLE_EQ(t.cmos.vdd, 0.8);
+  EXPECT_GT(t.routing_pass_transistor.on_resistance(t.cmos), 0.0);
+  EXPECT_GT(t.sram.leakage_power, 0.0);
+  EXPECT_GT(t.wire.c_per_m, 0.0);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,135 @@
+// Cross-validation of the analytic delay models against the SPICE-lite
+// transient engine — the same consistency check the paper's flow gets from
+// HSPICE (Fig 10). Behavioral inverters are built from switch primitives
+// plus a step hook (pull-up/pull-down toggled by the input crossing
+// Vdd/2), so the transient solver exercises the full chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/logical_effort.hpp"
+#include "circuit/spice.hpp"
+#include "device/cmos.hpp"
+
+namespace nemfpga {
+namespace {
+
+/// Transient 50%-crossing delay of an inverter chain driving c_load,
+/// simulated with behavioral inverters on the SPICE-lite engine.
+double simulate_chain_delay(const InverterChain& chain, double c_load) {
+  const CmosTech& t = chain.tech;
+  Circuit ckt;
+  const auto vdd = ckt.add_node("vdd");
+  ckt.add_voltage_source(vdd, PwlWave(t.vdd));
+  const auto in = ckt.add_node("in");
+  // Hold the input low long enough for the chain to settle to its DC
+  // state, then step it (rising edge into the first inverter).
+  const double t0 = 500e-12;
+  ckt.add_voltage_source(in,
+                         PwlWave({{0.0, 0.0}, {t0, 0.0}, {t0 + 1e-13, t.vdd}}));
+
+  struct Stage {
+    CktNodeId out;
+    SwitchId pull_up, pull_down;
+    CktNodeId input;
+    bool inverted_input_high = false;
+  };
+  std::vector<Stage> stages;
+  CktNodeId prev = in;
+  for (std::size_t i = 0; i < chain.stages(); ++i) {
+    const double mult = chain.stage_mults[i];
+    const auto out = ckt.add_node("s" + std::to_string(i));
+    Stage st;
+    st.out = out;
+    st.input = prev;
+    // Drive resistance scales inversely with the stage size.
+    const double r = t.min_inverter_resistance() / mult;
+    st.pull_up = ckt.add_switch(out, vdd, r);
+    st.pull_down = ckt.add_switch(out, Circuit::ground(), r);
+    // Self load plus the next stage's input capacitance.
+    ckt.add_capacitor(out, Circuit::ground(),
+                      mult * t.min_inverter_self_cap());
+    if (i + 1 < chain.stages()) {
+      ckt.add_capacitor(out, Circuit::ground(),
+                        chain.stage_mults[i + 1] * t.min_inverter_input_cap());
+    } else {
+      ckt.add_capacitor(out, Circuit::ground(), c_load);
+    }
+    stages.push_back(st);
+    prev = out;
+  }
+
+  // Initialize switch states for a low input so [0, t0] settles to DC.
+  bool level = false;  // input low
+  for (auto& st : stages) {
+    ckt.set_switch(st.pull_down, level);
+    ckt.set_switch(st.pull_up, !level);
+    level = !level;  // each stage inverts
+  }
+
+  const double dt = 0.2e-12;
+  TransientSim sim(ckt, dt);
+  const auto tr = sim.run(
+      t0 + 5e-9, 1, [&](double, const std::vector<double>& v) {
+        for (auto& st : stages) {
+          const bool in_high = v[st.input] > 0.5 * t.vdd;
+          ckt.set_switch(st.pull_down, in_high);
+          ckt.set_switch(st.pull_up, !in_high);
+        }
+      });
+
+  // 50% crossing of the final output after the step (rising or falling by
+  // stage parity; the chain settled to the opposite level during [0, t0]).
+  const CktNodeId out = stages.back().out;
+  const bool final_rises = (chain.stages() % 2 == 0);
+  for (const auto& p : tr) {
+    if (p.time <= t0) continue;
+    if (final_rises && p.v[out] >= 0.5 * chain.tech.vdd) return p.time - t0;
+    if (!final_rises && p.v[out] <= 0.5 * chain.tech.vdd) return p.time - t0;
+  }
+  return -1.0;
+}
+
+class ChainCrossValidation : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChainCrossValidation, AnalyticDelayMatchesTransient) {
+  const double c_load = GetParam();
+  const CmosTech tech;
+  const auto chain = design_optimal_chain(tech, c_load);
+  const double analytic = chain.delay(c_load);
+  const double simulated = simulate_chain_delay(chain, c_load);
+  ASSERT_GT(simulated, 0.0) << "no output transition observed";
+  // Elmore ln(2) vs full transient: agreement well within 2x is the
+  // expected modelling band (HSPICE-vs-Elmore shows the same spread).
+  EXPECT_GT(simulated, 0.4 * analytic);
+  EXPECT_LT(simulated, 2.2 * analytic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ChainCrossValidation,
+                         ::testing::Values(5e-15, 20e-15, 100e-15, 400e-15));
+
+TEST(ChainCrossValidation, DownsizedChainSlowerInTransientToo) {
+  const CmosTech tech;
+  const double c_load = 150e-15;
+  const auto full = design_optimal_chain(tech, c_load);
+  const auto down = design_downsized_chain(tech, c_load, 8.0);
+  const double t_full = simulate_chain_delay(full, c_load);
+  const double t_down = simulate_chain_delay(down, c_load);
+  ASSERT_GT(t_full, 0.0);
+  ASSERT_GT(t_down, 0.0);
+  // The paper's downsizing trade-off must hold in the transient domain.
+  EXPECT_GT(t_down, t_full);
+}
+
+TEST(ChainCrossValidation, MonotoneInLoad) {
+  const CmosTech tech;
+  const auto chain = design_optimal_chain(tech, 50e-15);
+  const double t1 = simulate_chain_delay(chain, 25e-15);
+  const double t2 = simulate_chain_delay(chain, 100e-15);
+  ASSERT_GT(t1, 0.0);
+  ASSERT_GT(t2, 0.0);
+  EXPECT_GT(t2, t1);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "program/crossbar.hpp"
+#include "program/half_select.hpp"
+
+namespace nemfpga {
+namespace {
+
+RelayDesign nominal() { return fabricated_relay(); }
+
+TEST(CrossbarPattern, SetGetAndEquality) {
+  CrossbarPattern p(2, 3);
+  EXPECT_FALSE(p.at(1, 2));
+  p.set(1, 2, true);
+  EXPECT_TRUE(p.at(1, 2));
+  CrossbarPattern q(2, 3);
+  EXPECT_NE(p, q);
+  q.set(1, 2, true);
+  EXPECT_EQ(p, q);
+  EXPECT_THROW(p.at(2, 0), std::out_of_range);
+  EXPECT_THROW(p.set(0, 3, true), std::out_of_range);
+  EXPECT_THROW(CrossbarPattern(0, 3), std::invalid_argument);
+}
+
+TEST(CrossbarPattern, AllPatternsEnumerates) {
+  const auto all = CrossbarPattern::all_patterns(2, 2);
+  EXPECT_EQ(all.size(), 16u);
+  // All distinct.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+  EXPECT_THROW(CrossbarPattern::all_patterns(5, 5), std::invalid_argument);
+}
+
+TEST(RelayCrossbar, StartsReleased) {
+  RelayCrossbar x(2, 2, nominal());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_FALSE(x.pulled_in(r, c));
+  }
+}
+
+TEST(RelayCrossbar, BiasPullsInOnlyFullSelected) {
+  RelayCrossbar x(2, 2, nominal());
+  const double vpi = nominal().pull_in_voltage();
+  // Row 0 full-select on column 1 only.
+  x.apply_bias({vpi + 0.5, 0.0}, {vpi / 2.0, 0.0});
+  EXPECT_FALSE(x.pulled_in(0, 0));  // sees vpi+0.5 - vpi/2 < vpi
+  EXPECT_TRUE(x.pulled_in(0, 1));   // sees vpi+0.5
+  EXPECT_FALSE(x.pulled_in(1, 0));
+  EXPECT_FALSE(x.pulled_in(1, 1));
+}
+
+TEST(RelayCrossbar, NegativeColumnVoltageAddsToVgs) {
+  // The -Vselect column drive increases |VGS| (gate minus source).
+  RelayCrossbar x(1, 1, nominal());
+  const double vpi = nominal().pull_in_voltage();
+  x.apply_bias({vpi - 0.5}, {-1.0});  // |VGS| = vpi + 0.5
+  EXPECT_TRUE(x.pulled_in(0, 0));
+}
+
+TEST(RelayCrossbar, ResetReleasesAll) {
+  RelayCrossbar x(2, 2, nominal());
+  const double vpi = nominal().pull_in_voltage();
+  x.apply_bias({vpi + 1, vpi + 1}, {0.0, 0.0});
+  EXPECT_TRUE(x.pulled_in(0, 0));
+  x.reset();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_FALSE(x.pulled_in(r, c));
+  }
+}
+
+TEST(RelayCrossbar, StateRoundTrip) {
+  RelayCrossbar x(2, 2, nominal());
+  const double vpi = nominal().pull_in_voltage();
+  x.apply_bias({vpi + 1, 0.0}, {0.0, 0.0});
+  const auto s = x.state();
+  EXPECT_TRUE(s.at(0, 0));
+  EXPECT_TRUE(s.at(0, 1));
+  EXPECT_FALSE(s.at(1, 0));
+}
+
+TEST(RelayCrossbar, Validation) {
+  EXPECT_THROW(RelayCrossbar(0, 2, nominal()), std::invalid_argument);
+  RelayCrossbar x(2, 2, nominal());
+  EXPECT_THROW(x.apply_bias({0.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(x.apply_bias({0.0, 0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(x.pulled_in(2, 0), std::out_of_range);
+  std::vector<RelaySample> three(3);
+  EXPECT_THROW(RelayCrossbar(2, 2, three), std::invalid_argument);
+}
+
+TEST(HalfSelect, PaperVoltagesWorkForNominalDevice) {
+  const RelayDesign d = nominal();
+  EXPECT_TRUE(voltages_work_for(d.pull_in_voltage(), d.pull_out_voltage(),
+                                paper_crossbar_voltages()));
+}
+
+TEST(HalfSelect, SolverBalancesMargins) {
+  PopulationEnvelope env;
+  env.vpi_min = 5.4;
+  env.vpi_max = 6.8;
+  env.vpo_min = 2.0;
+  env.vpo_max = 3.4;
+  env.min_hysteresis = 2.0;
+  const auto v = solve_program_window(env);
+  ASSERT_TRUE(v.has_value());
+  const auto m = noise_margins(env, *v);
+  EXPECT_NEAR(m.hold, m.half_select, 1e-9);
+  EXPECT_NEAR(m.half_select, m.full_select, 1e-9);
+  EXPECT_GT(m.worst(), 0.0);
+  EXPECT_TRUE(voltages_work_for(env, *v));
+}
+
+TEST(HalfSelect, SolverInfeasibleWhenSpreadExceedsWindow) {
+  PopulationEnvelope env;
+  env.vpi_min = 5.0;
+  env.vpi_max = 7.0;   // spread 2.0
+  env.vpo_max = 4.5;   // window to vpi_min only 0.5
+  const auto v = solve_program_window(env);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(HalfSelect, FeasibilityMatchesPaperCondition) {
+  // Solver succeeds  <=>  (Vpi,min - Vpo,max) > (Vpi,max - Vpi,min).
+  for (double vpo_max : {2.0, 3.0, 4.0, 5.0}) {
+    for (double vpi_spread : {0.2, 0.8, 1.6, 3.0}) {
+      PopulationEnvelope env;
+      env.vpi_min = 6.0 - vpi_spread / 2.0;
+      env.vpi_max = 6.0 + vpi_spread / 2.0;
+      env.vpo_max = vpo_max;
+      const bool expect = (env.vpi_min - env.vpo_max) > (env.vpi_max - env.vpi_min);
+      EXPECT_EQ(solve_program_window(env).has_value(), expect)
+          << "vpo_max=" << vpo_max << " spread=" << vpi_spread;
+    }
+  }
+}
+
+TEST(HalfSelect, RejectsNonPositiveLevels) {
+  EXPECT_FALSE(voltages_work_for(6.0, 3.0, {0.0, 1.0}));
+  EXPECT_FALSE(voltages_work_for(6.0, 3.0, {5.0, 0.0}));
+  PopulationEnvelope env;
+  env.vpi_min = env.vpi_max = 6.0;
+  env.vpo_max = 3.0;
+  EXPECT_FALSE(voltages_work_for(env, {-1.0, 1.0}));
+}
+
+TEST(HalfSelect, ProgramsEveryPatternOnNominal2x2) {
+  // The paper exhaustively verified all configurations of the 2x2 crossbar.
+  const auto v = paper_crossbar_voltages();
+  for (const auto& target : CrossbarPattern::all_patterns(2, 2)) {
+    RelayCrossbar x(2, 2, nominal());
+    const auto got = program_half_select(x, target, v);
+    EXPECT_EQ(got, target);
+  }
+}
+
+TEST(HalfSelect, ReprogrammingOverwritesPreviousPattern) {
+  const auto v = paper_crossbar_voltages();
+  RelayCrossbar x(2, 2, nominal());
+  CrossbarPattern diag(2, 2);
+  diag.set(0, 0, true);
+  diag.set(1, 1, true);
+  EXPECT_EQ(program_half_select(x, diag, v), diag);
+  CrossbarPattern anti(2, 2);
+  anti.set(0, 1, true);
+  anti.set(1, 0, true);
+  EXPECT_EQ(program_half_select(x, anti, v), anti);
+}
+
+TEST(HalfSelect, ProgramsLargerArrays) {
+  // An 8x8 array with per-array calibrated voltages and mild variation.
+  Rng rng(21);
+  VariationSpec spec = fabricated_variation();
+  auto pop = sample_population(fabricated_relay(), spec, 64, rng);
+  const auto env = envelope(pop);
+  const auto v = solve_program_window(env);
+  ASSERT_TRUE(v.has_value());
+
+  RelayCrossbar x(8, 8, pop);
+  CrossbarPattern target(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) target.set(r, c, (r + c) % 3 == 0);
+  }
+  EXPECT_EQ(program_half_select(x, target, *v), target);
+}
+
+TEST(HalfSelect, PatternSizeMismatchThrows) {
+  RelayCrossbar x(2, 2, nominal());
+  CrossbarPattern wrong(3, 2);
+  EXPECT_THROW(program_half_select(x, wrong, paper_crossbar_voltages()),
+               std::invalid_argument);
+}
+
+TEST(HalfSelect, MarginsMatchFig6Structure) {
+  // Build the Fig 6 population and verify the reported noise margins are
+  // positive but small (the paper calls them "very small").
+  Rng rng = Rng::from_string("fig6");
+  const auto pop =
+      sample_population(fabricated_relay(), fabricated_variation(), 100, rng);
+  const auto env = envelope(pop);
+  const auto v = solve_program_window(env);
+  ASSERT_TRUE(v.has_value());
+  const auto m = noise_margins(env, *v);
+  EXPECT_GT(m.worst(), 0.0);
+  EXPECT_LT(m.worst(), 0.8);  // small compared to the ~3.5 V window
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/synth_gen.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(Integration, BlifRoundTripThroughFullFlow) {
+  // Generate -> serialize to BLIF -> re-parse -> full flow -> study.
+  SynthSpec spec;
+  spec.name = "integ-blif";
+  spec.n_luts = 200;
+  spec.n_inputs = 16;
+  spec.n_outputs = 12;
+  spec.n_latches = 30;
+  const Netlist original = generate_netlist(spec);
+  const Netlist reparsed = read_blif_string(write_blif_string(original), 4);
+
+  FlowOptions opt;
+  opt.arch.W = 48;
+  const auto flow = run_flow(reparsed, opt);
+  EXPECT_TRUE(flow.routed());
+  const auto st = run_study(flow);
+  EXPECT_GT(st.baseline.critical_path, 0.0);
+  EXPECT_GT(st.preferred.vs.leakage_reduction, 1.0);
+}
+
+TEST(Integration, PassThroughNetPiToPo) {
+  // A primary input wired straight to a primary output must survive the
+  // whole flow (IO pad to IO pad routing, STA endpoint).
+  Netlist nl("passthrough");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.add_input("a", a);
+  nl.add_input("b", b);
+  nl.add_output("a_out", a);  // direct PI -> PO
+  nl.add_lut("l", {a, b}, y, {"11 1"});
+  nl.add_output("y", y);
+
+  FlowOptions opt;
+  opt.arch.W = 24;
+  const auto flow = run_flow(std::move(nl), opt);
+  EXPECT_TRUE(flow.routed());
+  const auto m = evaluate_variant(flow, FpgaVariant::kCmosBaseline);
+  EXPECT_GT(m.critical_path, 0.0);
+}
+
+TEST(Integration, ActivityInformedStudyConsistent) {
+  SynthSpec spec;
+  spec.name = "integ-act";
+  spec.n_luts = 250;
+  spec.n_inputs = 18;
+  spec.n_outputs = 14;
+  spec.n_latches = 40;
+  const Netlist nl = generate_netlist(spec);
+  ActivityOptions aopt;
+  aopt.vectors = 300;
+  const auto act = estimate_activity(nl);
+
+  FlowOptions opt;
+  opt.arch.W = 48;
+  const auto flow = run_flow(nl, opt);
+
+  PowerOptions sim;
+  sim.net_activity = &act.net_activity;
+  const auto st = run_study(flow, default_downsizes(), sim);
+  // The headline shape survives realistic activities.
+  EXPECT_GT(st.preferred.vs.leakage_reduction, 4.0);
+  EXPECT_GT(st.preferred.vs.dynamic_reduction, 1.3);
+  EXPECT_GE(st.preferred.vs.speedup, 1.0);
+  // Leakage is activity-independent: must match the flat-activity study.
+  const auto flat = run_study(flow);
+  EXPECT_NEAR(st.baseline.leakage_power, flat.baseline.leakage_power, 1e-12);
+}
+
+TEST(Integration, SameNetlistTwoWidthsBothRoute) {
+  SynthSpec spec;
+  spec.name = "integ-widths";
+  spec.n_luts = 150;
+  spec.n_inputs = 14;
+  const Netlist nl = generate_netlist(spec);
+  for (std::size_t w : {48, 96}) {
+    FlowOptions opt;
+    opt.arch.W = w;
+    const auto flow = run_flow(nl, opt);
+    EXPECT_TRUE(flow.routed()) << "W=" << w;
+    check_routing(*flow.graph, flow.placement, flow.routing);
+  }
+}
+
+TEST(Integration, LatchHeavyCircuit) {
+  // FF-dominated designs (like bigkey/dsip) stress BLE pairing and the
+  // sequential timing paths.
+  SynthSpec spec;
+  spec.name = "integ-latchy";
+  spec.n_luts = 200;
+  spec.n_inputs = 24;
+  spec.n_outputs = 20;
+  spec.n_latches = 190;
+  const Netlist nl = generate_netlist(spec);
+  FlowOptions opt;
+  opt.arch.W = 48;
+  const auto flow = run_flow(nl, opt);
+  const auto m = evaluate_variant(flow, FpgaVariant::kNemOptimized, 4.0);
+  EXPECT_GT(m.critical_path, 0.0);
+  EXPECT_GT(m.power.dyn_clocking, 0.0);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "circuit/vcd.hpp"
+#include "core/flow.hpp"
+#include "netlist/synth_gen.hpp"
+#include "place/place_io.hpp"
+#include "route/report.hpp"
+
+namespace nemfpga {
+namespace {
+
+const FlowResult& shared_flow() {
+  static const FlowResult flow = [] {
+    SynthSpec spec;
+    spec.name = "io-fix";
+    spec.n_luts = 200;
+    spec.n_inputs = 16;
+    spec.n_outputs = 12;
+    spec.n_latches = 30;
+    FlowOptions opt;
+    opt.arch.W = 48;
+    return run_flow(generate_netlist(spec), opt);
+  }();
+  return flow;
+}
+
+TEST(PlacementIo, RoundTrip) {
+  const auto& flow = shared_flow();
+  const std::string text = write_placement_string(flow.placement);
+  const Placement back =
+      read_placement_string(text, flow.placement.locs.size());
+  EXPECT_EQ(back.nx, flow.placement.nx);
+  EXPECT_EQ(back.ny, flow.placement.ny);
+  ASSERT_EQ(back.locs.size(), flow.placement.locs.size());
+  for (std::size_t b = 0; b < back.locs.size(); ++b) {
+    EXPECT_EQ(back.locs[b].x, flow.placement.locs[b].x);
+    EXPECT_EQ(back.locs[b].y, flow.placement.locs[b].y);
+    EXPECT_EQ(back.locs[b].sub, flow.placement.locs[b].sub);
+  }
+}
+
+TEST(PlacementIo, ReloadedPlacementRoutes) {
+  const auto& flow = shared_flow();
+  Placement back = read_placement_string(
+      write_placement_string(flow.placement), flow.placement.locs.size());
+  back.nets = extract_placed_nets(flow.netlist, flow.packing);
+  const auto r = route_all(*flow.graph, back);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(PlacementIo, RejectsMalformedInput) {
+  const auto& flow = shared_flow();
+  const std::size_t n = flow.placement.locs.size();
+  EXPECT_THROW(read_placement_string("", n), std::runtime_error);
+  EXPECT_THROW(read_placement_string("garbage header\nb0 1 1 0\n", n),
+               std::runtime_error);
+  // Missing blocks.
+  EXPECT_THROW(
+      read_placement_string("Array size: 4 x 4 logic blocks\nb0\t1\t1\t0\n",
+                            n),
+      std::runtime_error);
+  // Duplicate block.
+  EXPECT_THROW(read_placement_string(
+                   "Array size: 4 x 4 logic blocks\nb0\t1\t1\t0\nb0\t2\t2\t0\n",
+                   1),
+               std::runtime_error);
+  // Out-of-range index.
+  EXPECT_THROW(read_placement_string(
+                   "Array size: 4 x 4 logic blocks\nb9\t1\t1\t0\n", 1),
+               std::runtime_error);
+}
+
+TEST(RouteReportTest, SummarizesRouting) {
+  const auto& flow = shared_flow();
+  const auto rep =
+      summarize_routing(*flow.graph, flow.placement, flow.routing);
+  EXPECT_EQ(rep.nets, flow.placement.nets.size());
+  EXPECT_EQ(rep.total_segments, flow.routing.wire_segments_used);
+  EXPECT_NEAR(rep.total_wire_tiles, flow.routing.total_wire_tiles, 1e-9);
+  EXPECT_GT(rep.mean_net_wirelength, 0.0);
+  EXPECT_GE(rep.max_net_wirelength,
+            static_cast<std::size_t>(rep.mean_net_wirelength));
+  EXPECT_GE(rep.occupancy_max, rep.occupancy_median);
+  EXPECT_GE(rep.occupancy_median, rep.occupancy_min);
+  EXPECT_LE(rep.occupancy_max, 1.0);
+  // Histogram covers every net.
+  std::size_t total = 0;
+  for (std::size_t b : rep.wirelength_histogram) total += b;
+  EXPECT_EQ(total, rep.nets);
+  EXPECT_NE(rep.to_string().find("channel occupancy"), std::string::npos);
+}
+
+TEST(RouteReportTest, RejectsFailedRouting) {
+  const auto& flow = shared_flow();
+  RoutingResult bad;
+  bad.success = false;
+  EXPECT_THROW(summarize_routing(*flow.graph, flow.placement, bad),
+               std::invalid_argument);
+}
+
+TEST(Vcd, EmitsWellFormedDump) {
+  Circuit ckt;
+  const auto a = ckt.add_node("sig_a");
+  const auto b = ckt.add_node("sig_b");
+  ckt.add_voltage_source(a, PwlWave({{0.0, 0.0}, {1e-9, 1.0}}));
+  ckt.add_resistor(a, b, 1e3);
+  ckt.add_capacitor(b, Circuit::ground(), 1e-12);
+  TransientSim sim(ckt, 1e-11);
+  const auto tr = sim.run(3e-9, 10);
+
+  const std::string vcd = write_vcd_string(ckt, tr, {a, b});
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64 ! sig_a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("sig_b"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("r0"), std::string::npos);  // real value records
+  EXPECT_THROW(write_vcd_string(ckt, tr, {99}), std::out_of_range);
+}
+
+TEST(Vcd, DeltaSuppressionShrinksOutput) {
+  Circuit ckt;
+  const auto a = ckt.add_node("flat");
+  ckt.add_voltage_source(a, PwlWave(1.0));
+  ckt.add_resistor(a, Circuit::ground(), 1e3);
+  TransientSim sim(ckt, 1e-11);
+  const auto tr = sim.run(3e-9, 1);
+  const std::string vcd = write_vcd_string(ckt, tr, {a});
+  // Constant node: exactly one value record after the header.
+  const auto first = vcd.find("r1 ");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(vcd.find("r1 ", first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/buffer.hpp"
+#include "circuit/logical_effort.hpp"
+
+namespace nemfpga {
+namespace {
+
+CmosTech tech() { return CmosTech{}; }
+
+TEST(LogicalEffort, FirstStageIsMinimum) {
+  const auto chain = design_optimal_chain(tech(), 100e-15);
+  ASSERT_FALSE(chain.stage_mults.empty());
+  EXPECT_DOUBLE_EQ(chain.stage_mults.front(), 1.0);
+}
+
+TEST(LogicalEffort, StagesGrowGeometrically) {
+  const auto chain = design_optimal_chain(tech(), 100e-15);
+  ASSERT_GE(chain.stages(), 2u);
+  const double f = chain.stage_mults[1] / chain.stage_mults[0];
+  EXPECT_GT(f, 1.5);
+  for (std::size_t i = 1; i < chain.stages(); ++i) {
+    EXPECT_NEAR(chain.stage_mults[i] / chain.stage_mults[i - 1], f, 1e-9);
+  }
+}
+
+TEST(LogicalEffort, OptimalFanoutNearFour) {
+  // Textbook result [Weste 10]: delay-optimal stage effort ~3.6–4 with
+  // self-loading included.
+  const auto chain = design_optimal_chain(tech(), 1000e-15, 12);
+  ASSERT_GE(chain.stages(), 2u);
+  const double f = chain.stage_mults[1] / chain.stage_mults[0];
+  EXPECT_GT(f, 2.5);
+  EXPECT_LT(f, 6.0);
+}
+
+TEST(LogicalEffort, BiggerLoadNeedsMoreStages) {
+  const auto small = design_optimal_chain(tech(), 5e-15);
+  const auto big = design_optimal_chain(tech(), 2000e-15);
+  EXPECT_GE(big.stages(), small.stages());
+  EXPECT_GT(big.stages(), 1u);
+}
+
+TEST(LogicalEffort, OptimalBeatsNeighbors) {
+  // The chosen stage count must beat one-more / one-fewer stage designs.
+  const double c_load = 300e-15;
+  const auto best = design_optimal_chain(tech(), c_load, 10);
+  const double d_best = best.delay(c_load);
+  const std::size_t n = best.stages();
+  for (std::size_t alt : {n - 1, n + 1}) {
+    if (alt == 0 || alt == n || alt > 10) continue;
+    InverterChain cand;
+    cand.tech = tech();
+    const double h = c_load / tech().min_inverter_input_cap();
+    const double f = std::pow(h, 1.0 / static_cast<double>(alt));
+    double m = 1.0;
+    for (std::size_t i = 0; i < alt; ++i) {
+      cand.stage_mults.push_back(m);
+      m *= f;
+    }
+    EXPECT_LE(d_best, cand.delay(c_load) + 1e-18);
+  }
+}
+
+TEST(LogicalEffort, DelayMonotoneInLoad) {
+  const auto chain = design_optimal_chain(tech(), 100e-15);
+  EXPECT_LT(chain.delay(50e-15), chain.delay(100e-15));
+  EXPECT_LT(chain.delay(100e-15), chain.delay(400e-15));
+}
+
+TEST(LogicalEffort, EnergyAndLeakageScaleWithChainSize) {
+  const auto small = design_optimal_chain(tech(), 10e-15);
+  const auto big = design_optimal_chain(tech(), 1000e-15);
+  EXPECT_GT(big.switching_energy(1000e-15), small.switching_energy(10e-15));
+  EXPECT_GT(big.leakage_power(), small.leakage_power());
+  EXPECT_GT(big.area_mwta(), small.area_mwta());
+}
+
+TEST(LogicalEffort, InvalidArguments) {
+  EXPECT_THROW(design_optimal_chain(tech(), 0.0), std::invalid_argument);
+  EXPECT_THROW(design_optimal_chain(tech(), -1e-15), std::invalid_argument);
+  EXPECT_THROW(design_optimal_chain(tech(), 1e-15, 0), std::invalid_argument);
+  EXPECT_THROW(design_downsized_chain(tech(), 1e-15, 0.5),
+               std::invalid_argument);
+}
+
+// The paper's downsizing sweep: pretend loads 1x..8x smaller. Downsized
+// chains must trade monotonically: never faster, never more power-hungry
+// than the previous size.
+class DownsizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DownsizeSweep, TradesDelayForPower) {
+  const double d = GetParam();
+  const double c_load = 200e-15;  // a segment wire load
+  const auto full = design_optimal_chain(tech(), c_load);
+  const auto down = design_downsized_chain(tech(), c_load, d);
+  // Evaluated at the REAL load:
+  EXPECT_GE(down.delay(c_load), full.delay(c_load) - 1e-18);
+  EXPECT_LE(down.leakage_power(), full.leakage_power() + 1e-18);
+  EXPECT_LE(down.switching_energy(c_load),
+            full.switching_energy(c_load) + 1e-30);
+  EXPECT_LE(down.area_mwta(), full.area_mwta() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DownsizeSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+TEST(RoutingBuffer, CmosBufferCarriesRestorerOverheads) {
+  const Tech22nm t = default_tech22();
+  const double c_load = 150e-15;
+  const auto cmos = make_cmos_routing_buffer(t, c_load);
+  const auto nem = make_nem_wire_buffer(t, c_load);
+  EXPECT_TRUE(cmos.level_restorer);
+  EXPECT_FALSE(nem.level_restorer);
+  EXPECT_GT(cmos.input_vt_drop, 0.0);
+  EXPECT_DOUBLE_EQ(nem.input_vt_drop, 0.0);
+  // Same load, same chain design — but the CMOS one pays for the keeper and
+  // the slow degraded edge.
+  EXPECT_GT(cmos.delay(c_load), nem.delay(c_load));
+  EXPECT_GT(cmos.leakage_power(), nem.leakage_power());
+  EXPECT_GT(cmos.switching_energy(c_load), nem.switching_energy(c_load));
+  EXPECT_GT(cmos.area_mwta(), nem.area_mwta());
+}
+
+TEST(RoutingBuffer, UnrestoredDegradedInputLeaksBadly) {
+  // Why restorers exist: strip the keeper but keep the degraded input and
+  // leakage explodes.
+  const Tech22nm t = default_tech22();
+  auto buf = make_cmos_routing_buffer(t, 100e-15);
+  const double restored = buf.leakage_power();
+  buf.level_restorer = false;  // degraded input now unrestored
+  EXPECT_GT(buf.leakage_power(), 10.0 * restored);
+}
+
+TEST(RoutingBuffer, DownsizedNemBufferSweep) {
+  const Tech22nm t = default_tech22();
+  const double c_load = 200e-15;
+  double prev_delay = 0.0;
+  double prev_leak = 1e9;
+  for (double d : {1.0, 2.0, 4.0, 8.0}) {
+    const auto buf = make_nem_wire_buffer(t, c_load, d);
+    EXPECT_GE(buf.delay(c_load), prev_delay);
+    EXPECT_LE(buf.leakage_power(), prev_leak);
+    prev_delay = buf.delay(c_load);
+    prev_leak = buf.leakage_power();
+  }
+  EXPECT_THROW(make_nem_wire_buffer(t, c_load, 0.9), std::invalid_argument);
+}
+
+TEST(RoutingBuffer, InputCapTracksFirstStage) {
+  const Tech22nm t = default_tech22();
+  const auto buf = make_nem_wire_buffer(t, 100e-15);
+  EXPECT_DOUBLE_EQ(buf.input_cap(), buf.chain.input_cap());
+  EXPECT_GT(buf.input_cap(), 0.0);
+}
+
+}  // namespace
+}  // namespace nemfpga

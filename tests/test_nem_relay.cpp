@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/equivalent.hpp"
+#include "device/nem_relay.hpp"
+#include "util/units.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(FabricatedRelay, MatchesMeasuredPullIn) {
+  // The model is calibrated to the paper's measured Vpi = 6.2 V (in oil).
+  const RelayDesign d = fabricated_relay();
+  EXPECT_NEAR(d.pull_in_voltage(), 6.2, 1e-9);
+}
+
+TEST(FabricatedRelay, PullOutInMeasuredBand) {
+  const RelayDesign d = fabricated_relay();
+  const double vpo = d.pull_out_voltage();
+  EXPECT_GE(vpo, 2.0);
+  EXPECT_LE(vpo, 3.4);
+}
+
+TEST(FabricatedRelay, HysteresisWindowOpen) {
+  const RelayDesign d = fabricated_relay();
+  EXPECT_GT(d.hysteresis_window(), 1.0);
+  EXPECT_LT(d.pull_out_voltage(), d.pull_in_voltage());
+}
+
+TEST(FabricatedRelay, DimensionsMatchPaper) {
+  const RelayDesign d = fabricated_relay();
+  EXPECT_DOUBLE_EQ(d.geometry.length, 23 * micro);
+  EXPECT_DOUBLE_EQ(d.geometry.thickness, 500 * nano);
+  EXPECT_DOUBLE_EQ(d.geometry.gap, 600 * nano);
+  EXPECT_EQ(d.ambient.name, "oil");
+}
+
+TEST(ScaledRelay, SubVoltOperation) {
+  // Paper: "CMOS-compatible operation voltages (~1V) can be achieved
+  // through scaling" — the Fig 11 geometry must land near/below 1 V.
+  const RelayDesign d = scaled_relay_22nm();
+  const double vpi = d.pull_in_voltage();
+  EXPECT_GT(vpi, 0.2);
+  EXPECT_LT(vpi, 1.2);
+  EXPECT_GT(d.pull_out_voltage(), 0.0);
+  EXPECT_LT(d.pull_out_voltage(), vpi);
+}
+
+TEST(ScaledRelay, DimensionsMatchFig11) {
+  const RelayDesign d = scaled_relay_22nm();
+  EXPECT_DOUBLE_EQ(d.geometry.length, 275 * nano);
+  EXPECT_DOUBLE_EQ(d.geometry.thickness, 11 * nano);
+  EXPECT_DOUBLE_EQ(d.geometry.gap, 11 * nano);
+  EXPECT_DOUBLE_EQ(d.geometry.gap_min, 3.6 * nano);
+}
+
+// The paper gives Vpi ∝ sqrt(E h^3 g0^3 / (eps L^4)). Property-check each
+// dependency by perturbing one dimension at a time.
+class PullInScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(PullInScaling, LengthDependence) {
+  const double scale = GetParam();
+  RelayDesign d = fabricated_relay();
+  const double v0 = d.pull_in_voltage();
+  d.geometry.length *= scale;
+  // Vpi ∝ L^-2  (w cancels; A grows with L, k shrinks with L^3)
+  EXPECT_NEAR(d.pull_in_voltage() / v0, std::pow(scale, -2.0), 1e-6);
+}
+
+TEST_P(PullInScaling, ThicknessDependence) {
+  const double scale = GetParam();
+  RelayDesign d = fabricated_relay();
+  const double v0 = d.pull_in_voltage();
+  d.geometry.thickness *= scale;
+  EXPECT_NEAR(d.pull_in_voltage() / v0, std::pow(scale, 1.5), 1e-6);
+}
+
+TEST_P(PullInScaling, GapDependence) {
+  const double scale = GetParam();
+  RelayDesign d = fabricated_relay();
+  const double v0 = d.pull_in_voltage();
+  d.geometry.gap *= scale;
+  EXPECT_NEAR(d.pull_in_voltage() / v0, std::pow(scale, 1.5), 1e-6);
+}
+
+TEST_P(PullInScaling, WidthCancels) {
+  const double scale = GetParam();
+  RelayDesign d = fabricated_relay();
+  const double v0 = d.pull_in_voltage();
+  d.geometry.width *= scale;
+  EXPECT_NEAR(d.pull_in_voltage(), v0, 1e-9);
+}
+
+TEST_P(PullInScaling, PermittivityDependence) {
+  const double scale = GetParam();
+  RelayDesign d = fabricated_relay();
+  const double v0 = d.pull_in_voltage();
+  d.ambient.relative_permittivity *= scale;
+  // Larger permittivity (e.g. oil) lowers switching voltage [Lee 09].
+  EXPECT_NEAR(d.pull_in_voltage() / v0, std::pow(scale, -0.5), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PullInScaling,
+                         ::testing::Values(0.5, 0.8, 1.25, 2.0, 4.0));
+
+TEST(PullOut, AdhesionLowersVpo) {
+  // "Surface forces ... decrease Vpo, and increase the hysteresis window."
+  RelayDesign d = fabricated_relay();
+  const double vpo_with = d.pull_out_voltage();
+  d.adhesion_force = 0.0;
+  const double vpo_without = d.pull_out_voltage();
+  EXPECT_LT(vpo_with, vpo_without);
+  RelayDesign d2 = fabricated_relay();
+  const double window_with = d2.hysteresis_window();
+  d2.adhesion_force = 0.0;
+  EXPECT_GT(window_with, d2.hysteresis_window());
+}
+
+TEST(PullOut, StictionGivesZeroVpo) {
+  RelayDesign d = fabricated_relay();
+  d.adhesion_force = 10.0 * d.stiffness() * (d.geometry.gap - d.geometry.gap_min);
+  EXPECT_DOUBLE_EQ(d.pull_out_voltage(), 0.0);
+}
+
+TEST(PullOut, GminTermDependence) {
+  // Vpo ∝ sqrt(gmin^2 (g0 - gmin)): shrinking gmin shrinks Vpo, which is the
+  // paper's suggested way to widen the hysteresis window.
+  RelayDesign d = fabricated_relay();
+  d.adhesion_force = 0.0;
+  const double vpo0 = d.pull_out_voltage();
+  const double g0 = d.geometry.gap;
+  const double gmin0 = d.geometry.gap_min;
+  d.geometry.gap_min = 0.5 * gmin0;
+  const double expected =
+      vpo0 * std::sqrt((0.25 * gmin0 * gmin0 * (g0 - 0.5 * gmin0)) /
+                       (gmin0 * gmin0 * (g0 - gmin0)));
+  EXPECT_NEAR(d.pull_out_voltage(), expected, 1e-9);
+  EXPECT_LT(d.pull_out_voltage(), vpo0);
+}
+
+TEST(RelayState, HysteresisRetainsState) {
+  const RelayDesign d = fabricated_relay();
+  RelayState s(d);
+  EXPECT_FALSE(s.pulled_in());
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  const double mid = 0.5 * (vpi + vpo);
+
+  s.apply_vgs(mid);  // inside the window while off: stays off
+  EXPECT_FALSE(s.pulled_in());
+  s.apply_vgs(vpi + 0.1);  // pull in
+  EXPECT_TRUE(s.pulled_in());
+  s.apply_vgs(mid);  // inside the window while on: stays on (memory!)
+  EXPECT_TRUE(s.pulled_in());
+  s.apply_vgs(vpo - 0.1);  // release
+  EXPECT_FALSE(s.pulled_in());
+  EXPECT_THROW(s.apply_vgs(-1.0), std::invalid_argument);
+}
+
+TEST(RelayState, BoundaryVoltagesSwitch) {
+  const RelayDesign d = fabricated_relay();
+  RelayState s(d);
+  s.apply_vgs(d.pull_in_voltage());  // exactly Vpi pulls in
+  EXPECT_TRUE(s.pulled_in());
+  s.apply_vgs(d.pull_out_voltage());  // exactly Vpo releases
+  EXPECT_FALSE(s.pulled_in());
+}
+
+TEST(IvSweep, ShowsHysteresisAndZeroOffLeakage) {
+  const RelayDesign d = fabricated_relay();
+  const auto trace = sweep_iv(d, 8.0, 0.1);
+  ASSERT_FALSE(trace.empty());
+
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  bool saw_on_upsweep_below_vpi = false;
+  std::size_t turn = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].vgs < trace[i - 1].vgs) {
+      turn = i;
+      break;
+    }
+  }
+  ASSERT_GT(turn, 0u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& p = trace[i];
+    if (!p.pulled_in) {
+      // Off-state current sits at the measurement noise floor (10 pA).
+      EXPECT_DOUBLE_EQ(p.ids, 10e-12);
+    } else {
+      // On-current capped by the 100 nA compliance.
+      EXPECT_LE(p.ids, 100e-9 + 1e-18);
+      EXPECT_GT(p.ids, 10e-12);
+    }
+    if (i < turn && p.pulled_in && p.vgs < vpi - 0.2) {
+      saw_on_upsweep_below_vpi = true;  // would contradict pull-in physics
+    }
+  }
+  EXPECT_FALSE(saw_on_upsweep_below_vpi);
+
+  // Down-sweep: stays on inside the window (hysteresis), off below Vpo.
+  for (std::size_t i = turn; i < trace.size(); ++i) {
+    const auto& p = trace[i];
+    if (p.vgs > vpo + 0.2 && p.vgs < vpi - 0.2) {
+      EXPECT_TRUE(p.pulled_in);
+    }
+    if (p.vgs < vpo - 0.2) {
+      EXPECT_FALSE(p.pulled_in);
+    }
+  }
+}
+
+TEST(IvSweep, ComplianceCapsCurrent) {
+  const RelayDesign d = fabricated_relay();
+  const auto trace = sweep_iv(d, 8.0, 0.5, /*read_bias=*/1.0,
+                              /*on_resistance=*/2e3, /*compliance=*/100e-9);
+  for (const auto& p : trace) {
+    if (p.pulled_in) {
+      EXPECT_DOUBLE_EQ(p.ids, 100e-9);
+    }
+  }
+}
+
+TEST(IvSweep, RejectsBadArguments) {
+  const RelayDesign d = fabricated_relay();
+  EXPECT_THROW(sweep_iv(d, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(sweep_iv(d, 8.0, 0.0), std::invalid_argument);
+}
+
+TEST(Equivalent, ScaledDeviceMatchesFig11) {
+  const auto eq = equivalent_circuit(scaled_relay_22nm());
+  EXPECT_DOUBLE_EQ(eq.ron, 2e3);  // experimental [Parsa 10]
+  EXPECT_NEAR(eq.con, 20 * atto, 2 * atto);
+  EXPECT_NEAR(eq.coff, 6.7 * atto, 1.0 * atto);
+  EXPECT_LT(eq.coff, eq.con);
+}
+
+TEST(Equivalent, ContaminationRaisesRon) {
+  // Sec 2.3: crossbar relays measured ~100 kOhm vs 2 kOhm clean.
+  ContactModel dirty;
+  dirty.contamination_factor = 50.0;
+  const auto eq = equivalent_circuit(scaled_relay_22nm(), dirty);
+  EXPECT_DOUBLE_EQ(eq.ron, 100e3);
+}
+
+TEST(Equivalent, Fig11ReferenceValues) {
+  const auto eq = fig11_equivalent();
+  EXPECT_DOUBLE_EQ(eq.ron, 2e3);
+  EXPECT_DOUBLE_EQ(eq.con, 20 * atto);
+  EXPECT_DOUBLE_EQ(eq.coff, 6.7 * atto);
+}
+
+TEST(Resonance, ScaledDeviceIsFast) {
+  // Scaled beams resonate in the 100 MHz+ range -> ns-scale mechanics.
+  EXPECT_GT(scaled_relay_22nm().resonant_frequency(), 5e7);
+  // The large fabricated beam is orders of magnitude slower.
+  EXPECT_LT(fabricated_relay().resonant_frequency(),
+            scaled_relay_22nm().resonant_frequency() / 100.0);
+}
+
+}  // namespace
+}  // namespace nemfpga

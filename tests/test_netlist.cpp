@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "netlist/blif.hpp"
+#include "netlist/mcnc.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/synth_gen.hpp"
+
+namespace nemfpga {
+namespace {
+
+Netlist tiny() {
+  // 2 PIs -> LUT -> FF -> PO, plus a second LUT fed by the FF.
+  Netlist nl("tiny");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId x = nl.add_net("x");
+  const NetId q = nl.add_net("q");
+  const NetId y = nl.add_net("y");
+  nl.add_input("a", a);
+  nl.add_input("b", b);
+  nl.add_lut("lut_x", {a, b}, x, {"11 1"});
+  nl.add_latch("ff_q", x, q);
+  nl.add_lut("lut_y", {q, a}, y, {"1- 1"});
+  nl.add_output("y", y);
+  return nl;
+}
+
+TEST(Netlist, CountsAndLookups) {
+  Netlist nl = tiny();
+  EXPECT_EQ(nl.lut_count(), 2u);
+  EXPECT_EQ(nl.latch_count(), 1u);
+  EXPECT_EQ(nl.input_count(), 2u);
+  EXPECT_EQ(nl.output_count(), 1u);
+  EXPECT_EQ(nl.net_count(), 5u);
+  EXPECT_EQ(nl.max_lut_inputs(), 2u);
+  EXPECT_EQ(nl.find_net("q"), nl.net_by_name("q"));
+  EXPECT_EQ(nl.find_net("nope"), kInvalidId);
+  nl.validate();
+}
+
+TEST(Netlist, FanoutAccounting) {
+  const Netlist nl = tiny();
+  // Net "a" feeds lut_x and lut_y.
+  EXPECT_EQ(nl.net(nl.find_net("a")).fanout(), 2u);
+  EXPECT_GT(nl.average_fanout(), 0.5);
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  nl.add_input("i", n);
+  EXPECT_THROW(nl.add_input("j", n), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDuplicateNetName) {
+  Netlist nl;
+  nl.add_net("n");
+  EXPECT_THROW(nl.add_net("n"), std::invalid_argument);
+}
+
+TEST(Netlist, ValidateCatchesUndrivenNet) {
+  Netlist nl;
+  const NetId n = nl.add_net("floating");
+  nl.add_output("o", n);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateCatchesCombinationalLoop) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_lut("l1", {b}, a);
+  nl.add_lut("l2", {a}, b);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, LatchBreaksLoop) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId q = nl.add_net("q");
+  nl.add_lut("l1", {q}, a);
+  nl.add_latch("ff", a, q);
+  nl.validate();  // no throw: the loop passes through the latch
+}
+
+TEST(Blif, ParsesMappedNetlist) {
+  const std::string text = R"(
+# comment
+.model demo
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.end
+)";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.model_name(), "demo");
+  EXPECT_EQ(nl.input_count(), 3u);
+  EXPECT_EQ(nl.output_count(), 1u);
+  EXPECT_EQ(nl.lut_count(), 2u);
+  const Block& lut = nl.block(nl.net(nl.find_net("f")).driver);
+  EXPECT_EQ(lut.truth_table.size(), 2u);
+  EXPECT_EQ(lut.truth_table[0], "1- 1");
+}
+
+TEST(Blif, ParsesLatches) {
+  const std::string text = R"(
+.model seq
+.inputs d
+.outputs y
+.latch t q re clk 2
+.names d t
+1 1
+.names q y
+1 1
+.end
+)";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.latch_count(), 1u);
+  nl.validate();
+}
+
+TEST(Blif, HandlesContinuationLines) {
+  const std::string text =
+      ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+  const Netlist nl = read_blif_string(text);
+  EXPECT_EQ(nl.input_count(), 2u);
+}
+
+TEST(Blif, RejectsMalformedInput) {
+  EXPECT_THROW(read_blif_string(".inputs a\n"), std::runtime_error);  // no .model
+  EXPECT_THROW(read_blif_string(".model m\n.foo\n"), std::runtime_error);
+  EXPECT_THROW(read_blif_string(".model m\n.latch x\n"), std::runtime_error);
+  EXPECT_THROW(
+      read_blif_string(".model m\n.inputs a b c d e\n.outputs f\n"
+                       ".names a b c d e f\n11111 1\n.end\n",
+                       /*max_lut_inputs=*/4),
+      std::runtime_error);
+  // Output that is never driven.
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs zz\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(Blif, RoundTripPreservesStructure) {
+  const Netlist nl = tiny();
+  const std::string text = write_blif_string(nl);
+  const Netlist back = read_blif_string(text);
+  EXPECT_EQ(back.lut_count(), nl.lut_count());
+  EXPECT_EQ(back.latch_count(), nl.latch_count());
+  EXPECT_EQ(back.input_count(), nl.input_count());
+  EXPECT_EQ(back.output_count(), nl.output_count());
+  EXPECT_EQ(back.net_count(), nl.net_count());
+  // And a second round trip is textually stable.
+  EXPECT_EQ(write_blif_string(back), text);
+}
+
+TEST(SynthGen, MeetsSpecCounts) {
+  SynthSpec spec;
+  spec.name = "unit";
+  spec.n_luts = 500;
+  spec.n_inputs = 20;
+  spec.n_outputs = 15;
+  spec.n_latches = 60;
+  const Netlist nl = generate_netlist(spec);
+  EXPECT_EQ(nl.lut_count(), 500u);
+  EXPECT_EQ(nl.latch_count(), 60u);
+  EXPECT_EQ(nl.input_count(), 20u);
+  EXPECT_GE(nl.output_count(), 15u);  // sink-less nets promoted to POs
+  EXPECT_LE(nl.max_lut_inputs(), 4u);
+  nl.validate();
+}
+
+TEST(SynthGen, DeterministicInName) {
+  SynthSpec spec;
+  spec.name = "repeat";
+  spec.n_luts = 200;
+  const auto a = write_blif_string(generate_netlist(spec));
+  const auto b = write_blif_string(generate_netlist(spec));
+  EXPECT_EQ(a, b);
+  spec.name = "different";
+  EXPECT_NE(write_blif_string(generate_netlist(spec)), a);
+}
+
+TEST(SynthGen, RealisticFanout) {
+  SynthSpec spec;
+  spec.name = "fanout-check";
+  spec.n_luts = 2000;
+  spec.n_inputs = 40;
+  spec.n_latches = 100;
+  const Netlist nl = generate_netlist(spec);
+  // Mapped circuits average a few sinks per net, with a long-tail max.
+  EXPECT_GT(nl.average_fanout(), 1.2);
+  EXPECT_LT(nl.average_fanout(), 8.0);
+  std::size_t max_fanout = 0;
+  for (const auto& n : nl.nets()) max_fanout = std::max(max_fanout, n.fanout());
+  EXPECT_GT(max_fanout, 10u);
+}
+
+TEST(SynthGen, Validation) {
+  SynthSpec bad;
+  bad.n_luts = 0;
+  EXPECT_THROW(generate_netlist(bad), std::invalid_argument);
+  SynthSpec worse;
+  worse.n_luts = 10;
+  worse.n_latches = 11;
+  EXPECT_THROW(generate_netlist(worse), std::invalid_argument);
+}
+
+TEST(Mcnc, CatalogsComplete) {
+  EXPECT_EQ(mcnc20().size(), 20u);
+  EXPECT_EQ(pistorius_large().size(), 4u);
+  // All four large ones exceed 10K 4-LUTs, as the paper states.
+  for (const auto& b : pistorius_large()) EXPECT_GT(b.luts, 10000u);
+  EXPECT_EQ(benchmark_info("clma").luts, 8383u);
+  EXPECT_EQ(benchmark_info("sudoku_check").luts, 17188u);
+  EXPECT_THROW(benchmark_info("nope"), std::invalid_argument);
+}
+
+TEST(Mcnc, GeneratesCatalogEntry) {
+  const Netlist nl = generate_benchmark("tseng");
+  EXPECT_EQ(nl.lut_count(), 1047u);
+  EXPECT_EQ(nl.latch_count(), 385u);
+  nl.validate();
+}
+
+class McncGeneration : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(McncGeneration, GeneratesValidCircuit) {
+  const Netlist nl = generate_benchmark(GetParam());
+  EXPECT_EQ(nl.lut_count(), benchmark_info(GetParam()).luts);
+  nl.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSuite, McncGeneration,
+                         ::testing::Values("alu4", "ex5p", "s298", "apex4",
+                                           "misex3", "tseng"));
+
+}  // namespace
+}  // namespace nemfpga

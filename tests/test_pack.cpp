@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc.hpp"
+#include "netlist/synth_gen.hpp"
+#include "pack/pack.hpp"
+
+namespace nemfpga {
+namespace {
+
+ArchParams arch() {
+  ArchParams a;
+  a.W = 40;
+  return a;
+}
+
+TEST(Pack, PairsLutWithItsFlipFlop) {
+  // lut -> ff, LUT output used only by the FF: must fuse into one BLE.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId q = nl.add_net("q");
+  nl.add_input("a", a);
+  nl.add_lut("l", {a}, x);
+  nl.add_latch("f", x, q);
+  nl.add_output("q", q);
+  const auto p = pack_netlist(nl, arch());
+  ASSERT_EQ(p.bles.size(), 1u);
+  EXPECT_NE(p.bles[0].lut, kInvalidId);
+  EXPECT_NE(p.bles[0].latch, kInvalidId);
+  EXPECT_EQ(p.bles[0].output, q);
+  EXPECT_TRUE(p.net_absorbed[x]);
+  check_packing(nl, arch(), p);
+}
+
+TEST(Pack, MultiFanoutLutOutputKeepsLatchSeparate) {
+  // LUT output feeds the FF *and* another LUT: latch must not fuse.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId q = nl.add_net("q");
+  const NetId y = nl.add_net("y");
+  nl.add_input("a", a);
+  nl.add_lut("l1", {a}, x);
+  nl.add_latch("f", x, q);
+  nl.add_lut("l2", {x}, y);
+  nl.add_output("q", q);
+  nl.add_output("y", y);
+  const auto p = pack_netlist(nl, arch());
+  EXPECT_EQ(p.bles.size(), 3u);  // l1, l2, standalone latch
+  // x is not absorbed into a BLE (it may still be absorbed into a cluster).
+  for (const Ble& ble : p.bles) EXPECT_NE(ble.absorbed, x);
+  check_packing(nl, arch(), p);
+}
+
+TEST(Pack, ClusterRespectsCapacity) {
+  SynthSpec spec;
+  spec.name = "pack-cap";
+  spec.n_luts = 300;
+  spec.n_inputs = 20;
+  spec.n_latches = 40;
+  const Netlist nl = generate_netlist(spec);
+  const auto p = pack_netlist(nl, arch());
+  check_packing(nl, arch(), p);
+  for (const auto& cl : p.clusters) {
+    EXPECT_LE(cl.bles.size(), arch().N);
+    EXPECT_LE(cl.input_nets.size(), arch().lb_inputs());
+  }
+}
+
+TEST(Pack, ClusterCountNearOptimal) {
+  // Greedy VPack should land within ~35% of ceil(BLEs / N).
+  SynthSpec spec;
+  spec.name = "pack-eff";
+  spec.n_luts = 1000;
+  spec.n_inputs = 30;
+  spec.n_latches = 150;
+  const Netlist nl = generate_netlist(spec);
+  const auto p = pack_netlist(nl, arch());
+  const std::size_t lower = (p.bles.size() + arch().N - 1) / arch().N;
+  EXPECT_GE(p.clusters.size(), lower);
+  EXPECT_LE(p.clusters.size(), lower + lower * 35 / 100 + 1);
+}
+
+TEST(Pack, AbsorbsIntraClusterNets) {
+  SynthSpec spec;
+  spec.name = "pack-absorb";
+  spec.n_luts = 500;
+  spec.n_inputs = 25;
+  const Netlist nl = generate_netlist(spec);
+  const auto p = pack_netlist(nl, arch());
+  std::size_t absorbed = 0;
+  for (bool b : p.net_absorbed) absorbed += b;
+  // Local netlists should absorb a healthy fraction of nets.
+  EXPECT_GT(absorbed, nl.net_count() / 20);
+}
+
+TEST(Pack, IoBlocksCreated) {
+  SynthSpec spec;
+  spec.name = "pack-io";
+  spec.n_luts = 100;
+  spec.n_inputs = 12;
+  spec.n_outputs = 9;
+  const Netlist nl = generate_netlist(spec);
+  const auto p = pack_netlist(nl, arch());
+  EXPECT_EQ(p.io_block_count(), nl.input_count() + nl.output_count());
+  std::size_t in_pads = 0, out_pads = 0;
+  for (const auto& b : p.blocks) {
+    in_pads += (b.type == PackedType::kInputPad);
+    out_pads += (b.type == PackedType::kOutputPad);
+  }
+  EXPECT_EQ(in_pads, nl.input_count());
+  EXPECT_EQ(out_pads, nl.output_count());
+}
+
+TEST(Pack, BlockOwnerConsistent) {
+  SynthSpec spec;
+  spec.name = "pack-owner";
+  spec.n_luts = 200;
+  spec.n_latches = 30;
+  const Netlist nl = generate_netlist(spec);
+  const auto p = pack_netlist(nl, arch());
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const auto t = nl.block(b).type;
+    if (t == BlockType::kLut || t == BlockType::kLatch) {
+      ASSERT_LT(p.block_owner[b], p.clusters.size());
+    } else {
+      ASSERT_GE(p.block_owner[b], p.clusters.size());
+      ASSERT_LT(p.block_owner[b], p.blocks.size());
+    }
+  }
+}
+
+TEST(Pack, RejectsOverwideLut) {
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 5; ++i) {
+    ins.push_back(nl.add_net("i" + std::to_string(i)));
+    nl.add_input("in" + std::to_string(i), ins.back());
+  }
+  const NetId out = nl.add_net("o");
+  nl.add_lut("wide", ins, out);
+  nl.add_output("o", out);
+  EXPECT_THROW(pack_netlist(nl, arch()), std::invalid_argument);  // K = 4
+}
+
+TEST(Pack, DeterministicAcrossRuns) {
+  SynthSpec spec;
+  spec.name = "pack-det";
+  spec.n_luts = 400;
+  const Netlist nl = generate_netlist(spec);
+  const auto p1 = pack_netlist(nl, arch());
+  const auto p2 = pack_netlist(nl, arch());
+  ASSERT_EQ(p1.clusters.size(), p2.clusters.size());
+  for (std::size_t c = 0; c < p1.clusters.size(); ++c) {
+    EXPECT_EQ(p1.clusters[c].bles, p2.clusters[c].bles);
+  }
+}
+
+class PackBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PackBenchmarks, PacksCleanly) {
+  const Netlist nl = generate_benchmark(GetParam());
+  ArchParams a;
+  a.W = 118;
+  const auto p = pack_netlist(nl, a);
+  check_packing(nl, a, p);
+  // Cluster count should be in the ballpark of LUTs/N.
+  EXPECT_LE(p.clusters.size(), nl.lut_count() / a.N * 2 + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mcnc, PackBenchmarks,
+                         ::testing::Values("tseng", "ex5p", "alu4"));
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "netlist/synth_gen.hpp"
+#include "power/power.hpp"
+
+namespace nemfpga {
+namespace {
+
+struct PowerFixture {
+  // One shared flow at the paper's operating point (W = 118, a mid-size
+  // sequential circuit) — the regime the Fig 9 breakdown describes.
+  const FlowResult& flow;
+  PowerFixture() : flow(shared()) {}
+  static const FlowResult& shared() {
+    static const FlowResult f = [] {
+      SynthSpec spec;
+      spec.name = "power-fix";
+      spec.n_luts = 1200;
+      spec.n_inputs = 30;
+      spec.n_outputs = 24;
+      spec.n_latches = 300;
+      FlowOptions opt;
+      opt.arch.W = 118;
+      return run_flow(generate_netlist(spec), opt);
+    }();
+    return f;
+  }
+  PowerBreakdown run(FpgaVariant v, double downsize = 1.0,
+                     PowerOptions popt = {}) const {
+    const auto view = make_view(flow.arch, v, downsize);
+    const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                                  *flow.graph, flow.routing, view);
+    return analyze_power(flow.netlist, flow.packing, flow.placement,
+                         *flow.graph, flow.routing, view, t, popt);
+  }
+};
+
+TEST(Power, AllComponentsPositiveForBaseline) {
+  PowerFixture f;
+  const auto p = f.run(FpgaVariant::kCmosBaseline);
+  EXPECT_GT(p.dyn_wires, 0.0);
+  EXPECT_GT(p.dyn_routing_buffers, 0.0);
+  EXPECT_GT(p.dyn_luts, 0.0);
+  EXPECT_GT(p.dyn_clocking, 0.0);
+  EXPECT_GT(p.leak_routing_buffers, 0.0);
+  EXPECT_GT(p.leak_routing_sram, 0.0);
+  EXPECT_GT(p.leak_pass_transistors, 0.0);
+  EXPECT_GT(p.leak_luts, 0.0);
+  EXPECT_NEAR(p.total(), p.dynamic_total() + p.leakage_total(), 1e-12);
+}
+
+TEST(Power, BaselineBreakdownMatchesFig9) {
+  // Fig 9: dynamic ~ wires 40% / buffers 30% / LUTs 20% / clock 10%;
+  // leakage ~ buffers 70% / SRAM 12% / pass transistors 10% / LUTs 8%.
+  // Tolerances are generous — the shape is what matters.
+  PowerFixture f;
+  const auto p = f.run(FpgaVariant::kCmosBaseline);
+  const double dyn = p.dynamic_total();
+  EXPECT_NEAR(p.dyn_wires / dyn, 0.40, 0.15);
+  EXPECT_NEAR(p.dyn_routing_buffers / dyn, 0.30, 0.12);
+  EXPECT_NEAR(p.dyn_luts / dyn, 0.20, 0.12);
+  EXPECT_NEAR(p.dyn_clocking / dyn, 0.10, 0.08);
+  // Ordering: wires > buffers > LUTs > clock.
+  EXPECT_GT(p.dyn_wires, p.dyn_routing_buffers);
+  EXPECT_GT(p.dyn_routing_buffers, p.dyn_luts);
+  EXPECT_GT(p.dyn_luts, p.dyn_clocking);
+
+  const double leak = p.leakage_total();
+  EXPECT_NEAR(p.leak_routing_buffers / leak, 0.70, 0.12);
+  EXPECT_NEAR(p.leak_routing_sram / leak, 0.12, 0.08);
+  EXPECT_NEAR(p.leak_pass_transistors / leak, 0.10, 0.08);
+  EXPECT_NEAR(p.leak_luts / leak, 0.08, 0.06);
+  EXPECT_GT(p.leak_routing_buffers, p.leak_routing_sram);
+}
+
+TEST(Power, NemEliminatesSramAndSwitchLeakage) {
+  PowerFixture f;
+  const auto p = f.run(FpgaVariant::kNemNaive);
+  EXPECT_DOUBLE_EQ(p.leak_routing_sram, 0.0);
+  EXPECT_DOUBLE_EQ(p.leak_pass_transistors, 0.0);
+  EXPECT_GT(p.leak_routing_buffers, 0.0);  // buffers still there
+}
+
+TEST(Power, OptimizedNemCutsLeakageHard) {
+  PowerFixture f;
+  PowerOptions iso;  // same frequency for a fair static comparison
+  iso.frequency = 500e6;
+  const auto base = f.run(FpgaVariant::kCmosBaseline, 1.0, iso);
+  const auto opt = f.run(FpgaVariant::kNemOptimized, 8.0, iso);
+  const double reduction = base.leakage_total() / opt.leakage_total();
+  // Paper headline: ~10x leakage reduction.
+  EXPECT_GT(reduction, 5.0);
+  EXPECT_LT(reduction, 20.0);
+}
+
+TEST(Power, OptimizedNemHalvesDynamicAtIsoFrequency) {
+  PowerFixture f;
+  PowerOptions iso;
+  iso.frequency = 500e6;
+  const auto base = f.run(FpgaVariant::kCmosBaseline, 1.0, iso);
+  const auto opt = f.run(FpgaVariant::kNemOptimized, 4.0, iso);
+  const double reduction = base.dynamic_total() / opt.dynamic_total();
+  // Paper headline: ~2x dynamic reduction.
+  EXPECT_GT(reduction, 1.5);
+  EXPECT_LT(reduction, 3.5);
+}
+
+TEST(Power, DynamicScalesWithFrequency) {
+  PowerFixture f;
+  PowerOptions f1, f2;
+  f1.frequency = 100e6;
+  f2.frequency = 200e6;
+  const auto p1 = f.run(FpgaVariant::kCmosBaseline, 1.0, f1);
+  const auto p2 = f.run(FpgaVariant::kCmosBaseline, 1.0, f2);
+  EXPECT_NEAR(p2.dynamic_total() / p1.dynamic_total(), 2.0, 1e-6);
+  // Leakage is frequency independent.
+  EXPECT_NEAR(p2.leakage_total(), p1.leakage_total(), 1e-15);
+}
+
+TEST(Power, DynamicScalesWithActivity) {
+  PowerFixture f;
+  PowerOptions a1, a2;
+  a1.frequency = a2.frequency = 300e6;
+  a1.activity = 0.10;
+  a2.activity = 0.20;
+  const auto p1 = f.run(FpgaVariant::kCmosBaseline, 1.0, a1);
+  const auto p2 = f.run(FpgaVariant::kCmosBaseline, 1.0, a2);
+  // Clock power has activity 1 regardless; the rest doubles.
+  EXPECT_GT(p2.dynamic_total(), 1.6 * p1.dynamic_total());
+  EXPECT_NEAR(p2.dyn_clocking, p1.dyn_clocking, 1e-15);
+  EXPECT_NEAR(p2.dyn_wires, 2.0 * p1.dyn_wires, 1e-12);
+}
+
+TEST(Power, FailedRoutingRejected) {
+  PowerFixture f;
+  const auto view = make_view(f.flow.arch, FpgaVariant::kCmosBaseline);
+  TimingResult t;
+  RoutingResult bad;
+  bad.success = false;
+  EXPECT_THROW(analyze_power(f.flow.netlist, f.flow.packing, f.flow.placement,
+                             *f.flow.graph, bad, view, t),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nemfpga

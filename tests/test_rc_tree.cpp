@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "circuit/rc_tree.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(RcTree, SingleRcSegment) {
+  RcTree t;
+  const auto n = t.add_node(0, 1000.0, 1e-15);
+  EXPECT_DOUBLE_EQ(t.elmore_delay(n), 1000.0 * 1e-15);
+}
+
+TEST(RcTree, DriverResistanceSeesTotalCap) {
+  RcTree t;
+  t.add_cap(0, 2e-15);
+  const auto n = t.add_node(0, 500.0, 1e-15);
+  // r_drive * (2f + 1f) + 500 * 1f
+  EXPECT_DOUBLE_EQ(t.elmore_delay(n, 1000.0), 1000.0 * 3e-15 + 500.0 * 1e-15);
+}
+
+TEST(RcTree, LadderMatchesClosedForm) {
+  // Uniform ladder of k segments: Elmore = sum_{i=1..k} (i * R) * C ... built
+  // the other way: delay to end = R*C*k(k+1)/2 for per-segment R, C.
+  RcTree t;
+  RcNodeId prev = 0;
+  const double r = 100.0, c = 1e-15;
+  const int k = 10;
+  for (int i = 0; i < k; ++i) prev = t.add_node(prev, r, c);
+  // Edge i (1-based from root) sees (k - i + 1) caps below it.
+  double expect = 0.0;
+  for (int i = 1; i <= k; ++i) expect += r * c * (k - i + 1);
+  EXPECT_NEAR(t.elmore_delay(prev), expect, 1e-25);
+}
+
+TEST(RcTree, BranchingCountsOnlyDownstreamCap) {
+  //      root --r1-- a --r2-- b
+  //                   \--r3-- c
+  RcTree t;
+  const auto a = t.add_node(0, 100.0, 1e-15);
+  const auto b = t.add_node(a, 200.0, 2e-15);
+  const auto c = t.add_node(a, 300.0, 3e-15);
+  // Delay to b: r1*(Ca+Cb+Cc) + r2*Cb
+  EXPECT_NEAR(t.elmore_delay(b), 100.0 * 6e-15 + 200.0 * 2e-15, 1e-27);
+  // Delay to c: r1*(Ca+Cb+Cc) + r3*Cc — r2/Cb do not appear.
+  EXPECT_NEAR(t.elmore_delay(c), 100.0 * 6e-15 + 300.0 * 3e-15, 1e-27);
+}
+
+TEST(RcTree, ElmoreAllAgreesWithSingle) {
+  RcTree t;
+  const auto a = t.add_node(0, 10.0, 1e-15);
+  const auto b = t.add_node(a, 20.0, 2e-15);
+  const auto c = t.add_node(0, 30.0, 3e-15);
+  const auto all = t.elmore_all(5.0);
+  for (RcNodeId n : {a, b, c}) {
+    EXPECT_DOUBLE_EQ(all[n], t.elmore_delay(n, 5.0));
+  }
+}
+
+TEST(RcTree, DownstreamCap) {
+  RcTree t;
+  t.add_cap(0, 1e-15);
+  const auto a = t.add_node(0, 10.0, 2e-15);
+  const auto b = t.add_node(a, 10.0, 4e-15);
+  t.add_node(a, 10.0, 8e-15);
+  EXPECT_DOUBLE_EQ(t.downstream_cap(0), 15e-15);
+  EXPECT_DOUBLE_EQ(t.downstream_cap(a), 14e-15);
+  EXPECT_DOUBLE_EQ(t.downstream_cap(b), 4e-15);
+  EXPECT_DOUBLE_EQ(t.total_cap(), 15e-15);
+}
+
+TEST(RcTree, AddCapIncreasesDelay) {
+  RcTree t;
+  const auto a = t.add_node(0, 100.0, 1e-15);
+  const double before = t.elmore_delay(a);
+  t.add_cap(a, 1e-15);
+  EXPECT_GT(t.elmore_delay(a), before);
+}
+
+TEST(RcTree, InvalidArguments) {
+  RcTree t;
+  EXPECT_THROW(t.add_node(5, 1.0, 1e-15), std::out_of_range);
+  EXPECT_THROW(t.add_node(0, -1.0, 1e-15), std::invalid_argument);
+  EXPECT_THROW(t.add_node(0, 1.0, -1e-15), std::invalid_argument);
+  EXPECT_THROW(t.add_cap(7, 1e-15), std::out_of_range);
+  EXPECT_THROW(t.add_cap(0, -1e-15), std::invalid_argument);
+  EXPECT_THROW(t.elmore_delay(9), std::out_of_range);
+  EXPECT_THROW(t.downstream_cap(9), std::out_of_range);
+}
+
+class RcLadderLength : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcLadderLength, DelayGrowsQuadratically) {
+  // Unbuffered wire delay grows ~quadratically with length — the reason
+  // segment wires need buffers at all.
+  const int k = GetParam();
+  auto ladder_delay = [](int n) {
+    RcTree t;
+    RcNodeId prev = 0;
+    for (int i = 0; i < n; ++i) prev = t.add_node(prev, 50.0, 1e-15);
+    return t.elmore_delay(prev);
+  };
+  const double d1 = ladder_delay(k);
+  const double d2 = ladder_delay(2 * k);
+  EXPECT_GT(d2, 3.0 * d1);  // superlinear
+  EXPECT_LT(d2, 4.5 * d1);  // ~quadratic
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RcLadderLength, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace nemfpga

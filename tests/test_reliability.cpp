@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "device/reliability.hpp"
+#include "util/stats.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(Wear, FreshDeviceUnworn) {
+  const auto w = wear_after(fabricated_relay(), WearModel{}, 0.0);
+  EXPECT_DOUBLE_EQ(w.ron_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(w.adhesion_multiplier, 1.0);
+  EXPECT_FALSE(w.stuck);
+  EXPECT_THROW(wear_after(fabricated_relay(), WearModel{}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Wear, RonGrowsWithCycles) {
+  const WearModel m;
+  const RelayDesign d = fabricated_relay();
+  const auto w6 = wear_after(d, m, 1e6);
+  const auto w8 = wear_after(d, m, 1e8);
+  const auto w10 = wear_after(d, m, 1e10);
+  EXPECT_DOUBLE_EQ(w6.ron_multiplier, 1.0);
+  EXPECT_NEAR(w8.ron_multiplier, 1.5, 1e-9);   // +0.25/decade * 2 decades
+  EXPECT_GT(w10.ron_multiplier, w8.ron_multiplier);
+  EXPECT_GE(w10.adhesion_multiplier, w8.adhesion_multiplier);
+}
+
+TEST(Wear, ExtremeCyclingCausesStiction) {
+  WearModel m;
+  m.adhesion_growth_per_decade = 0.5;  // aggressive surface degradation
+  const RelayDesign d = fabricated_relay();
+  EXPECT_FALSE(wear_after(d, m, 1e6).stuck);
+  EXPECT_TRUE(wear_after(d, m, 1e12).stuck);
+}
+
+TEST(Endurance, WeibullSamplesCenterOnMedian) {
+  const WearModel m;
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(sample_cycles_to_failure(m, rng));
+  }
+  EXPECT_NEAR(percentile(samples, 50.0), m.median_cycles_to_failure,
+              0.1 * m.median_cycles_to_failure);
+}
+
+TEST(Endurance, ArraySurvivalMonotone) {
+  const WearModel m;
+  EXPECT_DOUBLE_EQ(array_survival(m, 1000, 0.0), 1.0);
+  const double s1 = array_survival(m, 1000, 1e6);
+  const double s2 = array_survival(m, 1000, 1e8);
+  EXPECT_GT(s1, s2);
+  // More relays -> lower survival at the same cycles.
+  EXPECT_GT(array_survival(m, 1000, 1e8), array_survival(m, 100000, 1e8));
+}
+
+TEST(Endurance, FpgaReconfigurationBudgetIsAmple) {
+  // Paper Sec 1: "FPGA routing switches are generally subjected to a
+  // limited number of reconfigurations (~500)". With ~1e9-class endurance
+  // and millions of relays, the budget must exceed 500 by orders of
+  // magnitude.
+  const WearModel m;
+  const std::size_t relays_per_fpga = 4'000'000;  // millions of switches
+  const double budget = reconfiguration_budget(m, relays_per_fpga, 0.99);
+  EXPECT_GT(budget, 500.0 * 10.0);
+}
+
+TEST(Endurance, BudgetConsistentWithSurvival) {
+  const WearModel m;
+  const std::size_t n = 1'000'000;
+  const double budget = reconfiguration_budget(m, n, 0.95);
+  const double cycles = budget * cycles_per_reconfiguration();
+  EXPECT_NEAR(array_survival(m, n, cycles), 0.95, 1e-6);
+}
+
+TEST(Endurance, InvalidArguments) {
+  const WearModel m;
+  EXPECT_THROW(reconfiguration_budget(m, 0, 0.9), std::invalid_argument);
+  EXPECT_THROW(reconfiguration_budget(m, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(reconfiguration_budget(m, 10, 1.0), std::invalid_argument);
+}
+
+class SurvivalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SurvivalSweep, LogicDutyWouldWearOut) {
+  // The flip side of the paper's argument: at logic-style duty (switching
+  // every cycle at hundreds of MHz), a year of operation exceeds the
+  // endurance budget; as a static routing switch it never comes close.
+  const WearModel m;
+  const std::size_t n = GetParam();
+  const double logic_cycles_year = 500e6 * 3600.0 * 24 * 365 * 0.15;
+  EXPECT_LT(array_survival(m, n, logic_cycles_year), 1e-6);
+  const double routing_cycles = 500.0 * cycles_per_reconfiguration();
+  EXPECT_GT(array_survival(m, n, routing_cycles), 0.9999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SurvivalSweep,
+                         ::testing::Values(1000, 100000, 4000000));
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc.hpp"
+#include "netlist/synth_gen.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+
+namespace nemfpga {
+namespace {
+
+struct Flow {
+  Netlist nl;
+  ArchParams arch;
+  Packing pk;
+  Placement pl;
+
+  Flow(std::size_t n_luts, std::size_t w, const char* name) {
+    SynthSpec spec;
+    spec.name = name;
+    spec.n_luts = n_luts;
+    spec.n_inputs = 16;
+    spec.n_outputs = 12;
+    spec.n_latches = n_luts / 12;
+    nl = generate_netlist(spec);
+    arch.W = w;
+    pk = pack_netlist(nl, arch);
+    const auto [nx, ny] = grid_size_for(
+        arch, pk.clusters.size(), pk.io_block_count());
+    pl = place(nl, pk, arch, nx, ny);
+  }
+};
+
+TEST(Route, RoutesSmallDesign) {
+  Flow f(120, 40, "route-small");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  const auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success) << "overused=" << r.overused_nodes
+                         << " after " << r.iterations << " iterations";
+  check_routing(g, f.pl, r);
+  EXPECT_GT(r.wire_segments_used, 0u);
+  EXPECT_GT(r.total_wire_tiles, 0.0);
+}
+
+TEST(Route, EveryNetHasTreeReachingAllSinks) {
+  Flow f(150, 40, "route-sinks");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  const auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.trees.size(), f.pl.nets.size());
+  for (std::size_t n = 0; n < f.pl.nets.size(); ++n) {
+    // sinks recorded per sink block (shared SINKs may repeat).
+    EXPECT_EQ(r.trees[n].sinks.size(), f.pl.nets[n].sinks.size());
+    EXPECT_FALSE(r.trees[n].edges.empty());
+  }
+}
+
+TEST(Route, FailsGracefullyWhenTooNarrow) {
+  Flow f(150, 40, "route-narrow");
+  ArchParams narrow = f.arch;
+  narrow.W = 4;
+  const RrGraph g(narrow, f.pl.nx, f.pl.ny);
+  RouteOptions opt;
+  opt.max_iterations = 6;
+  const auto r = route_all(g, f.pl, opt);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Route, WiderChannelRoutesFasterOrEqual) {
+  Flow f(150, 40, "route-width");
+  ArchParams wide = f.arch;
+  wide.W = 60;
+  const RrGraph g1(f.arch, f.pl.nx, f.pl.ny);
+  const RrGraph g2(wide, f.pl.nx, f.pl.ny);
+  const auto r1 = route_all(g1, f.pl);
+  const auto r2 = route_all(g2, f.pl);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  // Iteration counts are not strictly monotone in W (tap patterns shift),
+  // but a wider fabric must not be drastically harder to converge.
+  EXPECT_LE(r2.iterations, 2 * r1.iterations + 4);
+}
+
+TEST(Route, MinChannelWidthSearch) {
+  Flow f(120, 40, "route-wmin");
+  const auto cw = find_min_channel_width(f.arch, f.pl, 32);
+  EXPECT_GT(cw.w_min, 2u);
+  EXPECT_LT(cw.w_min, 80u);
+  // 1.2x low-stress policy, rounded even.
+  EXPECT_GE(cw.w_low_stress, cw.w_min);
+  EXPECT_EQ(cw.w_low_stress % 2, 0u);
+  EXPECT_LE(cw.w_low_stress,
+            static_cast<std::size_t>(1.2 * cw.w_min + 2.5));
+
+  // Routing exactly at Wmin succeeds; at Wmin-2 it must not.
+  ArchParams at = f.arch;
+  at.W = cw.w_min;
+  const RrGraph g_at(at, f.pl.nx, f.pl.ny);
+  EXPECT_TRUE(route_all(g_at, f.pl).success);
+  if (cw.w_min > 4) {
+    ArchParams below = f.arch;
+    below.W = cw.w_min - 2;
+    const RrGraph g_below(below, f.pl.nx, f.pl.ny);
+    RouteOptions opt;
+    opt.max_iterations = 30;
+    EXPECT_FALSE(route_all(g_below, f.pl, opt).success);
+  }
+}
+
+TEST(Route, DeterministicResult) {
+  Flow f(100, 40, "route-det");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  const auto r1 = route_all(g, f.pl);
+  const auto r2 = route_all(g, f.pl);
+  ASSERT_TRUE(r1.success);
+  ASSERT_EQ(r1.trees.size(), r2.trees.size());
+  for (std::size_t n = 0; n < r1.trees.size(); ++n) {
+    EXPECT_EQ(r1.trees[n].edges, r2.trees[n].edges);
+  }
+}
+
+TEST(Route, CheckRoutingCatchesCorruption) {
+  Flow f(100, 40, "route-check");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success);
+  check_routing(g, f.pl, r);
+  // Corrupt: drop one tree's edges.
+  ASSERT_FALSE(r.trees.empty());
+  std::size_t victim = 0;
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (!f.pl.nets[n].sinks.empty()) {
+      victim = n;
+      break;
+    }
+  }
+  r.trees[victim].edges.clear();
+  EXPECT_THROW(check_routing(g, f.pl, r), std::logic_error);
+}
+
+TEST(Route, MediumBenchmarkEndToEnd) {
+  // ex5p (1064 LUTs) through pack/place/route at a generous width.
+  const Netlist nl = generate_benchmark("ex5p");
+  ArchParams arch;
+  arch.W = 60;
+  const auto pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+  PlaceOptions popt;
+  popt.inner_num = 0.3;  // keep the unit test quick
+  const auto pl = place(nl, pk, arch, nx, ny, popt);
+  const RrGraph g(arch, nx, ny);
+  const auto r = route_all(g, pl);
+  ASSERT_TRUE(r.success);
+  check_routing(g, pl, r);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "netlist/blif.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/synth_gen.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(EvalCover, SingleRowPatterns) {
+  EXPECT_TRUE(eval_cover({"11 1"}, {true, true}));
+  EXPECT_FALSE(eval_cover({"11 1"}, {true, false}));
+  EXPECT_TRUE(eval_cover({"1- 1"}, {true, false}));
+  EXPECT_TRUE(eval_cover({"1- 1"}, {true, true}));
+  EXPECT_FALSE(eval_cover({"1- 1"}, {false, true}));
+  EXPECT_TRUE(eval_cover({"0 1"}, {false}));
+}
+
+TEST(EvalCover, MultiRowIsSumOfProducts) {
+  // XOR as a two-row cover.
+  const std::vector<std::string> xor2 = {"10 1", "01 1"};
+  EXPECT_FALSE(eval_cover(xor2, {false, false}));
+  EXPECT_TRUE(eval_cover(xor2, {true, false}));
+  EXPECT_TRUE(eval_cover(xor2, {false, true}));
+  EXPECT_FALSE(eval_cover(xor2, {true, true}));
+}
+
+TEST(EvalCover, EmptyCoverDefaultsToAnd) {
+  EXPECT_TRUE(eval_cover({}, {true, true, true}));
+  EXPECT_FALSE(eval_cover({}, {true, false, true}));
+}
+
+TEST(Activity, InverterChainPropagatesToggles) {
+  // in -> NOT -> NOT -> out : every net toggles exactly when the PI does.
+  const Netlist nl = read_blif_string(R"(
+.model chain
+.inputs a
+.outputs y
+.names a t
+0 1
+.names t y
+0 1
+.end
+)");
+  ActivityOptions opt;
+  opt.vectors = 2000;
+  opt.input_toggle_prob = 0.5;
+  const auto act = estimate_activity(nl, opt);
+  const NetId a = nl.find_net("a");
+  const NetId t = nl.find_net("t");
+  const NetId y = nl.find_net("y");
+  EXPECT_NEAR(act.net_activity[a], 0.5, 0.05);
+  EXPECT_NEAR(act.net_activity[t], act.net_activity[a], 1e-12);
+  EXPECT_NEAR(act.net_activity[y], act.net_activity[a], 1e-12);
+}
+
+TEST(Activity, AndGateReducesActivity) {
+  // AND of two independent inputs toggles less than either input.
+  const Netlist nl = read_blif_string(R"(
+.model andg
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)");
+  ActivityOptions opt;
+  opt.vectors = 4000;
+  const auto act = estimate_activity(nl, opt);
+  const NetId y = nl.find_net("y");
+  const NetId a = nl.find_net("a");
+  EXPECT_LT(act.net_activity[y], act.net_activity[a]);
+  // P(1) of an AND of two p=0.5 inputs is ~0.25.
+  EXPECT_NEAR(act.net_p1[y], 0.25, 0.05);
+}
+
+TEST(Activity, RegisterDelaysButPreservesRate) {
+  // A toggling signal through a latch toggles at the same average rate.
+  const Netlist nl = read_blif_string(R"(
+.model reg
+.inputs d
+.outputs q
+.latch t q re clk 2
+.names d t
+1 1
+.end
+)");
+  ActivityOptions opt;
+  opt.vectors = 3000;
+  const auto act = estimate_activity(nl, opt);
+  EXPECT_NEAR(act.net_activity[nl.find_net("q")],
+              act.net_activity[nl.find_net("d")], 0.08);
+}
+
+TEST(Activity, SyntheticCircuitStatisticsSane) {
+  SynthSpec spec;
+  spec.name = "activity-syn";
+  spec.n_luts = 300;
+  spec.n_inputs = 20;
+  spec.n_latches = 50;
+  const Netlist nl = generate_netlist(spec);
+  ActivityOptions opt;
+  opt.vectors = 400;
+  const auto act = estimate_activity(nl, opt);
+  ASSERT_EQ(act.net_activity.size(), nl.net_count());
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    EXPECT_GE(act.net_activity[n], 0.0);
+    EXPECT_LE(act.net_activity[n], 1.0);
+    EXPECT_GE(act.net_p1[n], 0.0);
+    EXPECT_LE(act.net_p1[n], 1.0);
+  }
+  // Logic attenuates: internal activity below the PI toggle rate but
+  // nonzero on average.
+  EXPECT_GT(act.mean_activity, 0.0005);
+  EXPECT_LT(act.mean_activity, 0.6);
+}
+
+TEST(Activity, DeterministicForSeed) {
+  SynthSpec spec;
+  spec.name = "activity-det";
+  spec.n_luts = 100;
+  const Netlist nl = generate_netlist(spec);
+  ActivityOptions opt;
+  opt.vectors = 200;
+  const auto a1 = estimate_activity(nl, opt);
+  const auto a2 = estimate_activity(nl, opt);
+  EXPECT_EQ(a1.net_activity, a2.net_activity);
+}
+
+TEST(Activity, RejectsZeroVectors) {
+  SynthSpec spec;
+  spec.name = "activity-zero";
+  spec.n_luts = 10;
+  const Netlist nl = generate_netlist(spec);
+  ActivityOptions opt;
+  opt.vectors = 0;
+  EXPECT_THROW(estimate_activity(nl, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/spice.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(PwlWave, ConstantAndInterpolation) {
+  PwlWave flat(3.3);
+  EXPECT_DOUBLE_EQ(flat.at(-1.0), 3.3);
+  EXPECT_DOUBLE_EQ(flat.at(100.0), 3.3);
+
+  PwlWave ramp({{0.0, 0.0}, {1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(ramp.at(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ramp.at(2.0), 2.0);
+}
+
+TEST(PwlWave, AddAndValidation) {
+  PwlWave w;
+  w.add(0.0, 1.0);
+  w.add(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 3.0);
+  EXPECT_THROW(w.add(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(PwlWave({{1.0, 0.0}, {0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // V -R- n1 -C- gnd : v(t) = V (1 - exp(-t/RC))
+  Circuit ckt;
+  const auto vin = ckt.add_node("vin");
+  const auto n1 = ckt.add_node("n1");
+  ckt.add_voltage_source(vin, PwlWave(1.0));
+  const double r = 1e3, c = 1e-9;  // tau = 1us
+  ckt.add_resistor(vin, n1, r);
+  ckt.add_capacitor(n1, Circuit::ground(), c);
+
+  TransientSim sim(ckt, 1e-8);  // dt = tau/100
+  const auto tr = sim.run(5e-6);
+  ASSERT_FALSE(tr.empty());
+  for (const auto& p : tr) {
+    const double expect = 1.0 * (1.0 - std::exp(-p.time / (r * c)));
+    EXPECT_NEAR(p.v[n1], expect, 0.02);
+  }
+  EXPECT_NEAR(tr.back().v[n1], 1.0, 1e-2);
+}
+
+TEST(Transient, ResistiveDividerSteadyState) {
+  Circuit ckt;
+  const auto vin = ckt.add_node();
+  const auto mid = ckt.add_node();
+  ckt.add_voltage_source(vin, PwlWave(2.0));
+  ckt.add_resistor(vin, mid, 1e3);
+  ckt.add_resistor(mid, Circuit::ground(), 3e3);
+  TransientSim sim(ckt, 1e-9);
+  const auto tr = sim.run(1e-7);
+  EXPECT_NEAR(tr.back().v[mid], 1.5, 1e-9);
+}
+
+TEST(Transient, OpenSwitchBlocksClosedSwitchConducts) {
+  Circuit ckt;
+  const auto vin = ckt.add_node();
+  const auto out = ckt.add_node();
+  ckt.add_voltage_source(vin, PwlWave(1.0));
+  const auto sw = ckt.add_switch(vin, out, 100.0);
+  ckt.add_resistor(out, Circuit::ground(), 10e3);
+  ckt.add_capacitor(out, Circuit::ground(), 1e-12);
+
+  TransientSim sim(ckt, 1e-10);
+  auto tr = sim.run(5e-8);
+  EXPECT_NEAR(tr.back().v[out], 0.0, 1e-6);  // open: no signal
+
+  ckt.set_switch(sw, true);
+  TransientSim sim2(ckt, 1e-10);
+  tr = sim2.run(5e-8);
+  EXPECT_NEAR(tr.back().v[out], 1.0 * 10e3 / 10.1e3, 1e-3);  // divider
+}
+
+TEST(Transient, StepHookCanToggleSwitchMidRun) {
+  // Emulates a relay pulling in when the gate waveform crosses a threshold.
+  Circuit ckt;
+  const auto gate = ckt.add_node("gate");
+  const auto sig = ckt.add_node("sig");
+  const auto out = ckt.add_node("out");
+  ckt.add_voltage_source(gate, PwlWave({{0.0, 0.0}, {1e-6, 5.0}}));
+  ckt.add_voltage_source(sig, PwlWave(1.0));
+  const auto sw = ckt.add_switch(sig, out, 100.0);
+  ckt.add_resistor(out, Circuit::ground(), 100e3);
+  ckt.add_capacitor(out, Circuit::ground(), 1e-13);
+
+  double t_closed = -1.0;
+  TransientSim sim(ckt, 1e-9);
+  const auto tr = sim.run(1e-6, 1, [&](double t, const std::vector<double>& v) {
+    if (v[gate] > 2.5 && !ckt.switch_closed(sw)) {
+      ckt.set_switch(sw, true);
+      t_closed = t;
+    }
+  });
+  EXPECT_GT(t_closed, 0.4e-6);
+  EXPECT_LT(t_closed, 0.6e-6);
+  EXPECT_NEAR(tr.back().v[out], 1.0, 1e-2);
+}
+
+TEST(Transient, FloatingCapacitorCouples) {
+  // A step on one plate of a floating cap kicks the other plate before the
+  // leak resistor discharges it.
+  Circuit ckt;
+  const auto a = ckt.add_node();
+  const auto b = ckt.add_node();
+  ckt.add_voltage_source(a, PwlWave({{0.0, 0.0}, {1e-9, 0.0}, {1.1e-9, 1.0}}));
+  ckt.add_capacitor(a, b, 1e-12);
+  ckt.add_resistor(b, Circuit::ground(), 1e6);  // slow leak
+  TransientSim sim(ckt, 1e-11);
+  const auto tr = sim.run(2e-9);
+  double peak = 0.0;
+  for (const auto& p : tr) peak = std::max(peak, p.v[b]);
+  EXPECT_GT(peak, 0.5);  // coupled kick
+}
+
+TEST(Transient, SampleEveryDecimatesOutput) {
+  Circuit ckt;
+  const auto vin = ckt.add_node();
+  ckt.add_voltage_source(vin, PwlWave(1.0));
+  ckt.add_resistor(vin, Circuit::ground(), 1e3);
+  TransientSim sim(ckt, 1e-9);
+  const auto full = sim.run(1e-7, 1);
+  const auto dec = sim.run(1e-7, 10);
+  EXPECT_GT(full.size(), 5 * dec.size());
+}
+
+TEST(Circuit, Validation) {
+  Circuit ckt;
+  const auto a = ckt.add_node();
+  EXPECT_THROW(ckt.add_resistor(a, 99, 1e3), std::out_of_range);
+  EXPECT_THROW(ckt.add_resistor(a, Circuit::ground(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor(a, Circuit::ground(), -1e-15),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add_voltage_source(Circuit::ground(), PwlWave(1.0)),
+               std::out_of_range);
+  EXPECT_THROW(ckt.add_switch(a, 99, 100.0), std::out_of_range);
+  EXPECT_THROW(ckt.add_switch(a, Circuit::ground(), -5.0),
+               std::invalid_argument);
+  EXPECT_THROW(TransientSim(ckt, 0.0), std::invalid_argument);
+  TransientSim sim(ckt, 1e-9);
+  EXPECT_THROW(sim.run(0.0), std::invalid_argument);
+}
+
+TEST(Transient, AgreesWithElmoreTimeScale) {
+  // A 3-segment RC ladder's 50% point should land within ~2x of its Elmore
+  // delay (Elmore is an upper-ish bound for monotone RC responses).
+  Circuit ckt;
+  const auto vin = ckt.add_node();
+  ckt.add_voltage_source(vin, PwlWave({{0.0, 0.0}, {1e-12, 1.0}}));
+  CktNodeId prev = vin;
+  const double r = 1e3, c = 1e-12;
+  CktNodeId last = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto n = ckt.add_node();
+    ckt.add_resistor(prev, n, r);
+    ckt.add_capacitor(n, Circuit::ground(), c);
+    prev = last = n;
+  }
+  const double elmore = r * 3 * c + r * 2 * c + r * c;
+  TransientSim sim(ckt, 1e-11);
+  const auto tr = sim.run(20 * elmore);
+  double t50 = 0.0;
+  for (const auto& p : tr) {
+    if (p.v[last] >= 0.5) {
+      t50 = p.time;
+      break;
+    }
+  }
+  EXPECT_GT(t50, 0.3 * elmore);
+  EXPECT_LT(t50, 2.0 * elmore);
+}
+
+}  // namespace
+}  // namespace nemfpga

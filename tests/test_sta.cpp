@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "netlist/synth_gen.hpp"
+#include "timing/sta.hpp"
+
+namespace nemfpga {
+namespace {
+
+FlowResult small_flow(const char* name = "sta-fix", std::size_t n_luts = 150,
+                      std::size_t n_latches = 20) {
+  SynthSpec spec;
+  spec.name = name;
+  spec.n_luts = n_luts;
+  spec.n_inputs = 14;
+  spec.n_outputs = 10;
+  spec.n_latches = n_latches;
+  FlowOptions opt;
+  opt.arch.W = 48;
+  return run_flow(generate_netlist(spec), opt);
+}
+
+TEST(Sta, ProducesPositiveCriticalPath) {
+  const auto flow = small_flow();
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                                *flow.graph, flow.routing, view);
+  EXPECT_GT(t.critical_path, 10e-12);
+  EXPECT_LT(t.critical_path, 1e-6);
+  EXPECT_GT(t.geomean_net_delay, 0.0);
+}
+
+TEST(Sta, ArrivalTimesMonotoneAlongPaths) {
+  const auto flow = small_flow();
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                                *flow.graph, flow.routing, view);
+  const Netlist& nl = flow.netlist;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type != BlockType::kLut) continue;
+    for (NetId n : blk.inputs) {
+      // A LUT's arrival strictly exceeds each of its drivers' (by at least
+      // the LUT delay).
+      EXPECT_GE(t.arrival[b], t.arrival[nl.net(n).driver] + view.t_lut - 1e-15);
+    }
+  }
+}
+
+TEST(Sta, CriticalPathCoversWorstEndpoint) {
+  const auto flow = small_flow();
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                                *flow.graph, flow.routing, view);
+  for (BlockId b = 0; b < flow.netlist.block_count(); ++b) {
+    // No block's arrival may exceed the critical path (endpoint margins
+    // like setup come on top, so compare loosely).
+    EXPECT_LE(t.arrival[b], t.critical_path + 1e-12);
+  }
+}
+
+TEST(Sta, NemVariantIsFasterAtFullBuffers) {
+  // The paper's premise: relay routing (no Vt drop, low Ron) speeds up
+  // application critical paths.
+  const auto flow = small_flow();
+  const auto cmos = analyze_timing(
+      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      make_view(flow.arch, FpgaVariant::kCmosBaseline));
+  const auto nem = analyze_timing(
+      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      make_view(flow.arch, FpgaVariant::kNemOptimized, 1.0));
+  EXPECT_LT(nem.critical_path, cmos.critical_path);
+}
+
+TEST(Sta, DeepDownsizingSlowsNemVariant) {
+  const auto flow = small_flow();
+  const auto d1 = analyze_timing(
+      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      make_view(flow.arch, FpgaVariant::kNemOptimized, 1.0));
+  const auto d8 = analyze_timing(
+      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      make_view(flow.arch, FpgaVariant::kNemOptimized, 8.0));
+  EXPECT_GT(d8.critical_path, d1.critical_path);
+}
+
+TEST(Sta, RoutedNetDelaysPositiveAndOrdered) {
+  const auto flow = small_flow();
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
+    const auto d = routed_net_delays(*flow.graph, flow.routing.trees[i],
+                                     flow.placement.nets[i], flow.placement,
+                                     view);
+    ASSERT_EQ(d.size(), flow.placement.nets[i].sinks.size());
+    for (double x : d) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LT(x, 100e-9);
+    }
+  }
+}
+
+TEST(Sta, PurelyCombinationalCircuitWorks) {
+  const auto flow = small_flow("sta-comb", 120, 0);
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
+                                *flow.graph, flow.routing, view);
+  EXPECT_GT(t.critical_path, 0.0);
+}
+
+TEST(Sta, MismatchedRoutingThrows) {
+  const auto flow = small_flow();
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  RoutingResult empty;
+  EXPECT_THROW(analyze_timing(flow.netlist, flow.packing, flow.placement,
+                              *flow.graph, empty, view),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+#include "netlist/synth_gen.hpp"
+
+namespace nemfpga {
+namespace {
+
+const FlowResult& shared_flow() {
+  static const FlowResult flow = [] {
+    SynthSpec spec;
+    spec.name = "study-fix";
+    spec.n_luts = 400;
+    spec.n_inputs = 20;
+    spec.n_outputs = 16;
+    spec.n_latches = 80;
+    FlowOptions opt;
+    opt.arch.W = 64;
+    return run_flow(generate_netlist(spec), opt);
+  }();
+  return flow;
+}
+
+TEST(Flow, RunsEndToEnd) {
+  const auto& flow = shared_flow();
+  EXPECT_TRUE(flow.routed());
+  EXPECT_GT(flow.packing.clusters.size(), 0u);
+  EXPECT_EQ(flow.routing.trees.size(), flow.placement.nets.size());
+}
+
+TEST(Flow, UnroutableWidthThrows) {
+  SynthSpec spec;
+  spec.name = "study-tiny";
+  spec.n_luts = 120;
+  spec.n_inputs = 14;
+  FlowOptions opt;
+  opt.arch.W = 4;
+  opt.route.max_iterations = 5;
+  EXPECT_THROW(run_flow(generate_netlist(spec), opt), std::runtime_error);
+}
+
+TEST(Study, HeadlineNumbersMatchPaper) {
+  // Abstract: "10-fold reduction in leakage power, 2-fold reduction in
+  // dynamic power, and 2-fold reduction in area, simultaneously, without
+  // application speed penalty" (bands are generous; shape matters).
+  const auto st = run_study(shared_flow());
+  const auto& p = st.preferred;
+  EXPECT_GE(p.vs.speedup, 1.0);                 // no speed penalty
+  EXPECT_GT(p.vs.dynamic_reduction, 1.5);       // ~2x
+  EXPECT_LT(p.vs.dynamic_reduction, 3.5);
+  EXPECT_GT(p.vs.leakage_reduction, 5.0);       // ~10x
+  EXPECT_LT(p.vs.leakage_reduction, 20.0);
+  EXPECT_GT(p.vs.area_reduction, 1.8);          // ~2x
+  EXPECT_LT(p.vs.area_reduction, 2.6);
+}
+
+TEST(Study, NaiveMatchesChen10bShape) {
+  // Sec 3.4: without the technique — ~1.8x area, ~1.3x dynamic, ~2x
+  // leakage at similar speed.
+  const auto st = run_study(shared_flow());
+  EXPECT_GT(st.naive.vs.area_reduction, 1.5);
+  EXPECT_LT(st.naive.vs.area_reduction, 2.1);
+  EXPECT_GT(st.naive.vs.dynamic_reduction, 1.1);
+  EXPECT_LT(st.naive.vs.dynamic_reduction, 2.2);
+  EXPECT_GT(st.naive.vs.leakage_reduction, 1.5);
+  EXPECT_LT(st.naive.vs.leakage_reduction, 3.0);
+  EXPECT_GT(st.naive.vs.speedup, 1.0);
+}
+
+TEST(Study, TechniqueBeatsNaiveOnEveryPowerAxis) {
+  const auto st = run_study(shared_flow());
+  EXPECT_GT(st.preferred.vs.dynamic_reduction, st.naive.vs.dynamic_reduction);
+  EXPECT_GT(st.preferred.vs.leakage_reduction, st.naive.vs.leakage_reduction);
+  EXPECT_GE(st.preferred.vs.area_reduction, st.naive.vs.area_reduction);
+}
+
+TEST(Study, SweepTradesSpeedForPower) {
+  const auto st = run_study(shared_flow());
+  ASSERT_GE(st.sweep.size(), 3u);
+  for (std::size_t i = 1; i < st.sweep.size(); ++i) {
+    // Deeper downsizing: never leakier, and not meaningfully faster (the
+    // area fixed point lets very shallow downsizes shrink the tile and
+    // wobble the speed by a few percent).
+    EXPECT_LE(st.sweep[i].vs.speedup, st.sweep[i - 1].vs.speedup * 1.05);
+    EXPECT_GE(st.sweep[i].vs.leakage_reduction,
+              st.sweep[i - 1].vs.leakage_reduction - 1e-9);
+  }
+}
+
+TEST(Study, AreaConstantAcrossSweep) {
+  // The relay layer limits the optimized tile, so downsizing the buffers
+  // does not shrink the footprint further (matches the paper's single
+  // area number for the whole trade-off curve).
+  const auto st = run_study(shared_flow());
+  for (std::size_t i = 1; i < st.sweep.size(); ++i) {
+    EXPECT_NEAR(st.sweep[i].metrics.area, st.sweep[1].metrics.area,
+                0.05 * st.sweep[1].metrics.area);
+  }
+}
+
+TEST(Study, EvaluateVariantRequiresRoutedFlow) {
+  FlowResult unrouted;
+  unrouted.routing.success = false;
+  EXPECT_THROW(evaluate_variant(unrouted, FpgaVariant::kCmosBaseline),
+               std::invalid_argument);
+}
+
+TEST(Study, EmptySweepRejected) {
+  EXPECT_THROW(run_study(shared_flow(), {}), std::invalid_argument);
+}
+
+TEST(Study, CompareRatiosSane) {
+  VariantMetrics a, b;
+  a.critical_path = 2.0;
+  a.dynamic_power = 4.0;
+  a.leakage_power = 10.0;
+  a.area = 6.0;
+  b.critical_path = 1.0;
+  b.dynamic_power = 2.0;
+  b.leakage_power = 1.0;
+  b.area = 3.0;
+  const auto r = compare(a, b);
+  EXPECT_DOUBLE_EQ(r.speedup, 2.0);
+  EXPECT_DOUBLE_EQ(r.dynamic_reduction, 2.0);
+  EXPECT_DOUBLE_EQ(r.leakage_reduction, 10.0);
+  EXPECT_DOUBLE_EQ(r.area_reduction, 2.0);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "device/thermal.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(Thermal, LeakageUnityAtReference) {
+  const ThermalModel m;
+  EXPECT_NEAR(cmos_leakage_multiplier(m, m.t_ref_c), 1.0, 1e-12);
+}
+
+TEST(Thermal, LeakageDoublesPerSlope) {
+  const ThermalModel m;
+  EXPECT_NEAR(cmos_leakage_multiplier(m, m.t_ref_c + m.leak_doubling_c), 2.0,
+              1e-9);
+  EXPECT_NEAR(cmos_leakage_multiplier(m, m.t_ref_c + 3 * m.leak_doubling_c),
+              8.0, 1e-6);
+  // Cold operation reduces leakage.
+  EXPECT_LT(cmos_leakage_multiplier(m, -40.0), 1.0);
+}
+
+TEST(Thermal, HotCmosLeaksOrdersOfMagnitudeMore) {
+  const ThermalModel m;
+  // At the 125 C silicon limit: tens of times the 25 C leakage.
+  EXPECT_GT(cmos_leakage_multiplier(m, m.cmos_max_c), 20.0);
+}
+
+TEST(Thermal, RelayVpiDriftIsMild) {
+  const ThermalModel m;
+  const RelayDesign d = scaled_relay_22nm();
+  // Across the full industrial range the drift stays within ~1%.
+  EXPECT_LT(std::abs(relay_vpi_drift(d, m, 125.0)), 0.01);
+  EXPECT_LT(std::abs(relay_vpi_drift(d, m, -40.0)), 0.01);
+  // Even at 500 C ([Wang 11] territory) the shift is a few percent and
+  // the hysteresis window survives.
+  const double drift500 = relay_vpi_drift(d, m, 500.0);
+  EXPECT_LT(std::abs(drift500), 0.05);
+  const RelayDesign hot = relay_at_temperature(d, m, 500.0);
+  EXPECT_GT(hot.hysteresis_window(), 0.0);
+  EXPECT_LT(hot.pull_out_voltage(), hot.pull_in_voltage());
+}
+
+TEST(Thermal, SofteningLowersVpi) {
+  const ThermalModel m;
+  const RelayDesign d = fabricated_relay();
+  // Higher T -> softer beam -> lower Vpi (negative drift).
+  EXPECT_LT(relay_vpi_drift(d, m, 200.0), 0.0);
+  EXPECT_GT(relay_vpi_drift(d, m, -40.0), 0.0);
+}
+
+TEST(Thermal, MaterialLimitGuard) {
+  ThermalModel m;
+  m.youngs_tc = -1e-3;  // exaggerated softening
+  EXPECT_THROW(relay_at_temperature(fabricated_relay(), m, 1200.0),
+               std::invalid_argument);
+}
+
+class ThermalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalSweep, WindowStaysOrderedAcrossTemperature) {
+  const double t_c = GetParam();
+  const ThermalModel m;
+  const RelayDesign hot =
+      relay_at_temperature(scaled_relay_22nm(), m, t_c);
+  EXPECT_GT(hot.pull_in_voltage(), hot.pull_out_voltage());
+  EXPECT_GT(hot.pull_out_voltage(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, ThermalSweep,
+                         ::testing::Values(-40.0, 25.0, 125.0, 300.0, 500.0));
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+namespace {
+
+ArchParams paper_arch() {
+  ArchParams a;
+  a.W = 118;
+  return a;
+}
+
+TEST(Variant, BaselineViewSelfConsistent) {
+  const auto v = make_view(paper_arch(), FpgaVariant::kCmosBaseline);
+  EXPECT_GT(v.tile_pitch, 5e-6);
+  EXPECT_LT(v.tile_pitch, 50e-6);
+  EXPECT_GT(v.c_wire_segment, 1e-15);
+  EXPECT_GT(v.t_wire_stage, 1e-12);
+  EXPECT_TRUE(v.lb_buffers_present);
+  EXPECT_TRUE(v.wire_buffer.level_restorer);
+  EXPECT_GT(v.wire_buffer.input_vt_drop, 0.0);
+  EXPECT_GT(v.area.routing_sram, 0.0);
+  EXPECT_DOUBLE_EQ(v.area.relay_layer, 0.0);
+}
+
+TEST(Variant, BaselineSwitchIsPassTransistor) {
+  const auto v = make_view(paper_arch(), FpgaVariant::kCmosBaseline);
+  EXPECT_GT(v.sw.leak_per_switch, 0.0);
+  EXPECT_GT(v.sw.r_on, fig11_equivalent().ron);  // worse than the relay
+}
+
+TEST(Variant, NemSwitchIsRelay) {
+  const auto v = make_view(paper_arch(), FpgaVariant::kNemNaive);
+  EXPECT_DOUBLE_EQ(v.sw.r_on, fig11_equivalent().ron);
+  EXPECT_DOUBLE_EQ(v.sw.leak_per_switch, 0.0);  // zero off-state leakage
+  EXPECT_DOUBLE_EQ(v.sw.c_off_load, fig11_equivalent().coff);
+}
+
+TEST(Variant, NaiveKeepsBuffersOptimizedRemovesThem) {
+  const auto naive = make_view(paper_arch(), FpgaVariant::kNemNaive);
+  EXPECT_TRUE(naive.lb_buffers_present);
+  EXPECT_FALSE(naive.wire_buffer.level_restorer);  // full swing input
+  const auto opt = make_view(paper_arch(), FpgaVariant::kNemOptimized);
+  EXPECT_FALSE(opt.lb_buffers_present);
+  EXPECT_TRUE(opt.lb_input_buffer.chain.stage_mults.empty());
+  EXPECT_TRUE(opt.lb_output_buffer.chain.stage_mults.empty());
+}
+
+TEST(Variant, StackingShrinksTile) {
+  const auto cmos = make_view(paper_arch(), FpgaVariant::kCmosBaseline);
+  const auto naive = make_view(paper_arch(), FpgaVariant::kNemNaive);
+  const auto opt = make_view(paper_arch(), FpgaVariant::kNemOptimized, 4.0);
+  // Paper Sec 3.4: ~1.8x without the technique, ~2.1x with it.
+  const double naive_red = cmos.area.footprint / naive.area.footprint;
+  const double opt_red = cmos.area.footprint / opt.area.footprint;
+  EXPECT_GT(naive_red, 1.5);
+  EXPECT_LT(naive_red, 2.1);
+  EXPECT_GT(opt_red, 1.9);
+  EXPECT_LT(opt_red, 2.5);
+  EXPECT_GT(opt_red, naive_red);
+}
+
+TEST(Variant, RelayLayerLimitsOptimizedFootprint) {
+  const auto opt = make_view(paper_arch(), FpgaVariant::kNemOptimized, 4.0);
+  EXPECT_GT(opt.area.relay_layer, opt.area.cmos_plane);
+  EXPECT_DOUBLE_EQ(opt.area.footprint, opt.area.relay_layer);
+}
+
+TEST(Variant, NemWireStageFasterThanCmosAtFullSize) {
+  const auto cmos = make_view(paper_arch(), FpgaVariant::kCmosBaseline);
+  const auto nem = make_view(paper_arch(), FpgaVariant::kNemOptimized, 1.0);
+  EXPECT_LT(nem.t_wire_stage, cmos.t_wire_stage);
+  EXPECT_LT(nem.t_input_path, cmos.t_input_path);
+  EXPECT_LT(nem.t_output_path, cmos.t_output_path);
+}
+
+class DownsizeViewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DownsizeViewSweep, DownsizingTradesDelayForLeakage) {
+  const double d = GetParam();
+  const auto base = make_view(paper_arch(), FpgaVariant::kNemOptimized, 1.0);
+  const auto down = make_view(paper_arch(), FpgaVariant::kNemOptimized, d);
+  if (d > 1.0) {
+    // At the same load, a downsized chain is never faster; the full stage
+    // delay can wobble slightly because smaller buffers also shrink the
+    // tile (and hence the wire load) through the area fixed point.
+    EXPECT_GE(down.wire_buffer.delay(base.c_wire_segment),
+              base.wire_buffer.delay(base.c_wire_segment) - 1e-15);
+    EXPECT_LE(down.wire_buffer.leakage_power(),
+              base.wire_buffer.leakage_power());
+    EXPECT_LE(down.wire_buffer.area_mwta(), base.wire_buffer.area_mwta());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DownsizeViewSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+TEST(Variant, DownsizeIgnoredOutsideOptimized) {
+  const auto a = make_view(paper_arch(), FpgaVariant::kCmosBaseline, 8.0);
+  EXPECT_DOUBLE_EQ(a.wire_buffer_downsize, 1.0);
+  const auto b = make_view(paper_arch(), FpgaVariant::kNemNaive, 8.0);
+  EXPECT_DOUBLE_EQ(b.wire_buffer_downsize, 1.0);
+}
+
+TEST(Variant, LogicDelaysIndependentOfFabric) {
+  const auto cmos = make_view(paper_arch(), FpgaVariant::kCmosBaseline);
+  const auto nem = make_view(paper_arch(), FpgaVariant::kNemOptimized);
+  EXPECT_DOUBLE_EQ(cmos.t_lut, nem.t_lut);
+  EXPECT_DOUBLE_EQ(cmos.t_clk_q, nem.t_clk_q);
+  EXPECT_DOUBLE_EQ(cmos.t_setup, nem.t_setup);
+}
+
+}  // namespace
+}  // namespace nemfpga

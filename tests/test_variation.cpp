@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "device/variation.hpp"
+#include "util/stats.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(Variation, ZeroSigmaReproducesNominal) {
+  Rng rng(1);
+  const RelayDesign nominal = fabricated_relay();
+  const VariationSpec none{};
+  const auto s = sample_relay(nominal, none, rng);
+  EXPECT_DOUBLE_EQ(s.vpi, nominal.pull_in_voltage());
+  EXPECT_DOUBLE_EQ(s.vpo, nominal.pull_out_voltage());
+}
+
+TEST(Variation, PopulationSizeAndDeterminism) {
+  Rng a(7), b(7);
+  const RelayDesign nominal = fabricated_relay();
+  const auto spec = fabricated_variation();
+  const auto p1 = sample_population(nominal, spec, 50, a);
+  const auto p2 = sample_population(nominal, spec, 50, b);
+  ASSERT_EQ(p1.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(p1[i].vpi, p2[i].vpi);
+    EXPECT_DOUBLE_EQ(p1[i].vpo, p2[i].vpo);
+  }
+}
+
+TEST(Variation, Fig6PopulationSpreadMatchesMeasurement) {
+  // Fig 6: 100 relays, Vpi spread roughly 5–7 V around the 6.2 V nominal,
+  // Vpo spread roughly 2–3.4 V.
+  Rng rng = Rng::from_string("fig6");
+  const auto pop =
+      sample_population(fabricated_relay(), fabricated_variation(), 100, rng);
+  RunningStats vpi, vpo;
+  for (const auto& s : pop) {
+    vpi.add(s.vpi);
+    vpo.add(s.vpo);
+  }
+  EXPECT_NEAR(vpi.mean(), 6.2, 0.3);
+  EXPECT_GT(vpi.min(), 4.5);
+  EXPECT_LT(vpi.max(), 7.5);
+  EXPECT_GT(vpo.min(), 1.2);
+  EXPECT_LT(vpo.max(), 4.0);
+  // There is visible spread (this is the point of the experiment).
+  EXPECT_GT(vpi.stddev(), 0.1);
+  EXPECT_GT(vpo.stddev(), 0.1);
+}
+
+TEST(Variation, EnvelopeComputesExtremes) {
+  std::vector<RelaySample> pop(3);
+  pop[0].vpi = 6.0;
+  pop[0].vpo = 3.0;
+  pop[1].vpi = 6.5;
+  pop[1].vpo = 2.5;
+  pop[2].vpi = 5.8;
+  pop[2].vpo = 3.2;
+  const auto env = envelope(pop);
+  EXPECT_DOUBLE_EQ(env.vpi_min, 5.8);
+  EXPECT_DOUBLE_EQ(env.vpi_max, 6.5);
+  EXPECT_DOUBLE_EQ(env.vpo_min, 2.5);
+  EXPECT_DOUBLE_EQ(env.vpo_max, 3.2);
+  EXPECT_DOUBLE_EQ(env.min_hysteresis, 5.8 - 3.2);
+  EXPECT_THROW(envelope({}), std::invalid_argument);
+}
+
+TEST(Variation, PaperFeasibilityCondition) {
+  // min{Vpi - Vpo} > Vpi,max - Vpi,min  (Sec 2.3).
+  PopulationEnvelope ok;
+  ok.vpi_min = 5.8;
+  ok.vpi_max = 6.5;
+  ok.vpo_max = 3.2;
+  ok.min_hysteresis = 2.6;
+  EXPECT_TRUE(half_select_feasible(ok));  // 2.6 > 0.7
+
+  PopulationEnvelope bad = ok;
+  bad.min_hysteresis = 0.5;  // window narrower than Vpi spread
+  EXPECT_FALSE(half_select_feasible(bad));
+}
+
+TEST(Variation, MeasuredPopulationIsFeasible) {
+  // The paper found valid (Vhold, Vselect) for all 100 measured relays.
+  Rng rng = Rng::from_string("fig6");
+  const auto pop =
+      sample_population(fabricated_relay(), fabricated_variation(), 100, rng);
+  EXPECT_TRUE(half_select_feasible(envelope(pop)));
+}
+
+class VariationSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VariationSigmaSweep, SpreadGrowsWithSigma) {
+  const double mult = GetParam();
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_length_rel *= mult;
+  spec.sigma_thickness_rel *= mult;
+  spec.sigma_gap_rel *= mult;
+  Rng rng(99);
+  const auto pop = sample_population(fabricated_relay(), spec, 200, rng);
+  RunningStats vpi;
+  for (const auto& s : pop) vpi.add(s.vpi);
+
+  VariationSpec base = fabricated_variation();
+  Rng rng2(99);
+  const auto pop2 = sample_population(fabricated_relay(), base, 200, rng2);
+  RunningStats vpi2;
+  for (const auto& s : pop2) vpi2.add(s.vpi);
+
+  if (mult > 1.0) {
+    EXPECT_GT(vpi.stddev(), vpi2.stddev());
+  } else if (mult < 1.0) {
+    EXPECT_LT(vpi.stddev(), vpi2.stddev());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VariationSigmaSweep,
+                         ::testing::Values(0.25, 0.5, 2.0, 4.0));
+
+TEST(Variation, LargeVariationBreaksFeasibility) {
+  // "large variations can make it impossible to correctly configure all
+  // NEM relays" — blow up sigma and the feasibility condition must fail.
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_length_rel *= 8;
+  spec.sigma_thickness_rel *= 8;
+  spec.sigma_gap_rel *= 8;
+  Rng rng(5);
+  const auto pop = sample_population(fabricated_relay(), spec, 200, rng);
+  EXPECT_FALSE(half_select_feasible(envelope(pop)));
+}
+
+TEST(Variation, GeometryStaysPhysical) {
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_gap_min_rel = 0.5;  // extreme gmin variation
+  Rng rng(3);
+  const auto pop = sample_population(fabricated_relay(), spec, 500, rng);
+  for (const auto& s : pop) {
+    EXPECT_GT(s.design.geometry.gap_min, 0.0);
+    EXPECT_LT(s.design.geometry.gap_min, s.design.geometry.gap);
+    EXPECT_GE(s.design.adhesion_force, 0.0);
+    EXPECT_GE(s.vpo, 0.0);
+    EXPECT_GT(s.vpi, s.vpo);
+  }
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "program/waveform.hpp"
+#include "program/yield.hpp"
+
+namespace nemfpga {
+namespace {
+
+CrossbarExperimentConfig fast_config() {
+  // Shrink the durations for unit-test speed (dynamics are quasi-static
+  // relative to the electrical time constants anyway).
+  CrossbarExperimentConfig cfg;
+  cfg.slot_duration = 0.5e-3;
+  cfg.test_duration = 2e-3;
+  cfg.reset_duration = 1e-3;
+  cfg.dt = 2e-6;
+  return cfg;
+}
+
+TEST(CrossbarExperiment, SingleRelayConfiguration) {
+  CrossbarPattern target(2, 2);
+  target.set(0, 0, true);
+  const auto res = run_crossbar_experiment(target, fast_config());
+  EXPECT_TRUE(res.programmed_correctly) << "programming failed";
+  EXPECT_TRUE(res.test_passed) << "drain waveforms wrong";
+  EXPECT_TRUE(res.reset_verified) << "drains not quiet after reset";
+  EXPECT_TRUE(res.pass);
+}
+
+TEST(CrossbarExperiment, ClosedRelayPassesPulseOpenBlocksIt) {
+  CrossbarPattern target(2, 2);
+  target.set(0, 1, true);  // beam1 -> drain0 only
+  const auto cfg = fast_config();
+  const auto res = run_crossbar_experiment(target, cfg);
+  ASSERT_TRUE(res.pass);
+  // Drain0 checks see the scope-divided beam amplitude; drain1 stays ~0.
+  const double divider = cfg.scope_r / (cfg.scope_r + cfg.relay_ron);
+  bool drain0_active = false;
+  for (const auto& chk : res.test_checks) {
+    if (chk.drain == 0 && std::fabs(chk.expected) > 0.1) {
+      EXPECT_NEAR(std::fabs(chk.expected), cfg.pulse_amplitude * divider,
+                  0.05);
+      drain0_active = true;
+    }
+    if (chk.drain == 1) {
+      EXPECT_NEAR(chk.expected, 0.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(drain0_active);
+}
+
+TEST(CrossbarExperiment, AllSixteenConfigurationsPass) {
+  // Fig 5: "all configurations exhaustively verified".
+  const auto cfg = fast_config();
+  for (const auto& target : CrossbarPattern::all_patterns(2, 2)) {
+    const auto res = run_crossbar_experiment(target, cfg);
+    EXPECT_TRUE(res.pass) << "failed configuration";
+  }
+}
+
+TEST(CrossbarExperiment, OpposedPulsesCancelOnSharedDrain) {
+  // Both relays on drain0 closed: the 180°-shifted beams fight through
+  // equal Ron and the drain sits near 0 — the quasi-static check must
+  // predict and confirm this.
+  CrossbarPattern target(2, 2);
+  target.set(0, 0, true);
+  target.set(0, 1, true);
+  const auto res = run_crossbar_experiment(target, fast_config());
+  ASSERT_TRUE(res.pass);
+  for (const auto& chk : res.test_checks) {
+    if (chk.drain == 0) {
+      EXPECT_NEAR(chk.expected, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(CrossbarExperiment, WaveformsCoverAllPhases) {
+  CrossbarPattern target(2, 2);
+  target.set(1, 0, true);
+  const auto cfg = fast_config();
+  const auto res = run_crossbar_experiment(target, cfg);
+  ASSERT_FALSE(res.waveforms.empty());
+  const double t_total = cfg.slot_duration * 3 + cfg.test_duration +
+                         cfg.reset_duration;
+  EXPECT_NEAR(res.waveforms.back().time, t_total, 1e-4);
+  EXPECT_EQ(res.beam_nodes.size(), 2u);
+  EXPECT_EQ(res.gate_nodes.size(), 2u);
+  EXPECT_EQ(res.drain_nodes.size(), 2u);
+}
+
+TEST(CrossbarExperiment, GateWaveformHitsProgrammingLevels) {
+  CrossbarPattern target(2, 2);
+  target.set(0, 0, true);
+  const auto cfg = fast_config();
+  const auto res = run_crossbar_experiment(target, cfg);
+  double g0_max = 0.0;
+  for (const auto& p : res.waveforms) {
+    g0_max = std::max(g0_max, p.v[res.gate_nodes[0]]);
+  }
+  EXPECT_NEAR(g0_max, cfg.voltages.vhold + cfg.voltages.vselect, 0.05);
+}
+
+TEST(CrossbarExperiment, RelayCountMismatchThrows) {
+  CrossbarPattern target(2, 2);
+  std::vector<RelaySample> wrong(3);
+  EXPECT_THROW(run_crossbar_experiment(target, wrong, fast_config()),
+               std::invalid_argument);
+}
+
+TEST(Yield, PerfectAtZeroVariation) {
+  Rng rng(1);
+  const VariationSpec none{};
+  const auto res =
+      programming_yield(fabricated_relay(), none, 4, 4, 20, rng,
+                        VoltagePolicy::kFixedNominal);
+  EXPECT_EQ(res.trials, 20u);
+  EXPECT_DOUBLE_EQ(res.yield(), 1.0);
+  EXPECT_GT(res.mean_worst_margin, 0.0);
+}
+
+TEST(Yield, CalibratedBeatsFixedUnderVariation) {
+  Rng rng1(2), rng2(2);
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_thickness_rel *= 2.0;  // stress it
+  spec.sigma_gap_rel *= 2.0;
+  const auto fixed = programming_yield(fabricated_relay(), spec, 8, 8, 60,
+                                       rng1, VoltagePolicy::kFixedNominal);
+  const auto cal =
+      programming_yield(fabricated_relay(), spec, 8, 8, 60, rng2,
+                        VoltagePolicy::kPerArrayCalibrated);
+  EXPECT_GE(cal.yield(), fixed.yield());
+}
+
+TEST(Yield, DropsWithArraySize) {
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_thickness_rel *= 2.5;
+  spec.sigma_gap_rel *= 2.5;
+  Rng rng_small(3), rng_big(3);
+  const auto small = programming_yield(fabricated_relay(), spec, 2, 2, 80,
+                                       rng_small, VoltagePolicy::kPerArrayCalibrated);
+  const auto big = programming_yield(fabricated_relay(), spec, 16, 16, 80,
+                                     rng_big, VoltagePolicy::kPerArrayCalibrated);
+  EXPECT_GE(small.yield(), big.yield());
+  EXPECT_LT(big.yield(), 1.0);
+}
+
+TEST(Yield, ZeroTrials) {
+  Rng rng(4);
+  const auto res = programming_yield(fabricated_relay(), {}, 2, 2, 0, rng,
+                                     VoltagePolicy::kFixedNominal);
+  EXPECT_DOUBLE_EQ(res.yield(), 0.0);
+}
+
+
+class CrossbarSizeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CrossbarSizeSweep, LargerArraysProgramAndTestCorrectly) {
+  // The Fig 5 experiment generalizes beyond 2x2: half-select programming
+  // plus the electrical test phase must hold at any array size (the paper
+  // argues feasibility up to millions of switches).
+  const auto [rows, cols] = GetParam();
+  CrossbarPattern target(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      target.set(r, c, (r * cols + c) % 3 == 0);
+    }
+  }
+  auto cfg = fast_config();
+  cfg.slot_duration = 0.4e-3;  // one slot per row: keep runtime bounded
+  const auto res = run_crossbar_experiment(target, cfg);
+  EXPECT_TRUE(res.programmed_correctly);
+  EXPECT_TRUE(res.test_passed);
+  EXPECT_TRUE(res.reset_verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossbarSizeSweep,
+                         ::testing::Values(std::make_pair(3u, 3u),
+                                           std::make_pair(4u, 4u),
+                                           std::make_pair(2u, 4u),
+                                           std::make_pair(4u, 2u)));
+
+TEST(CrossbarExperiment, VariedRelaysStillPass) {
+  // Per-device variation within the calibrated spread must not break the
+  // paper's programming voltages on a nominal-size crossbar.
+  Rng rng(77);
+  const auto pop =
+      sample_population(fabricated_relay(), fabricated_variation(), 4, rng);
+  CrossbarPattern target(2, 2);
+  target.set(0, 1, true);
+  target.set(1, 0, true);
+  const auto res = run_crossbar_experiment(target, pop, fast_config());
+  EXPECT_TRUE(res.programmed_correctly);
+  EXPECT_TRUE(res.test_passed);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,0 +1,218 @@
+// nemfpga — command-line driver for the CMOS-NEM FPGA toolkit.
+//
+//   nemfpga flow   --benchmark alu4 [--width 118] [--study] [--activity]
+//   nemfpga flow   --blif design.blif [...]
+//   nemfpga flow   --synth 1000 [--inputs N] [--latches N] [...]
+//   nemfpga width  --benchmark alu4            # find Wmin / 1.2x Wmin
+//   nemfpga device                             # relay device card
+//
+// Exit code 0 on success; diagnostic text on stderr, reports on stdout.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/study.hpp"
+#include "device/equivalent.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/mcnc.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/synth_gen.hpp"
+#include "route/report.hpp"
+#include "util/table.hpp"
+
+using namespace nemfpga;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::optional<std::string> benchmark;
+  std::optional<std::string> blif;
+  std::optional<std::size_t> synth_luts;
+  std::size_t inputs = 32;
+  std::size_t outputs = 32;
+  std::size_t latches = 0;
+  std::size_t width = 118;
+  bool study = false;
+  bool activity = false;
+  std::string variant = "cmos";
+  double downsize = 4.0;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: nemfpga <command> [options]\n"
+               "commands:\n"
+               "  flow    map a circuit and report timing/power/area\n"
+               "  width   find the minimum routable channel width\n"
+               "  device  print the NEM relay device card\n"
+               "options:\n"
+               "  --benchmark NAME   a cataloged circuit (e.g. alu4, clma)\n"
+               "  --blif FILE        read a mapped BLIF netlist\n"
+               "  --synth N          generate an N-LUT synthetic circuit\n"
+               "  --inputs N --outputs N --latches N   synth parameters\n"
+               "  --width W          channel width (default 118)\n"
+               "  --variant V        cmos | nem-naive | nem-opt\n"
+               "  --downsize D       wire-buffer downsizing for nem-opt\n"
+               "  --study            full CMOS vs CMOS-NEM comparison\n"
+               "  --activity         simulate per-net switching activities\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--benchmark") a.benchmark = value();
+    else if (flag == "--blif") a.blif = value();
+    else if (flag == "--synth") a.synth_luts = std::stoul(value());
+    else if (flag == "--inputs") a.inputs = std::stoul(value());
+    else if (flag == "--outputs") a.outputs = std::stoul(value());
+    else if (flag == "--latches") a.latches = std::stoul(value());
+    else if (flag == "--width") a.width = std::stoul(value());
+    else if (flag == "--variant") a.variant = value();
+    else if (flag == "--downsize") a.downsize = std::stod(value());
+    else if (flag == "--study") a.study = true;
+    else if (flag == "--activity") a.activity = true;
+    else usage(("unknown option " + flag).c_str());
+  }
+  return a;
+}
+
+Netlist load_netlist(const Args& a) {
+  int sources = (a.benchmark ? 1 : 0) + (a.blif ? 1 : 0) + (a.synth_luts ? 1 : 0);
+  if (sources != 1) usage("give exactly one of --benchmark/--blif/--synth");
+  if (a.benchmark) return generate_benchmark(*a.benchmark);
+  if (a.blif) return read_blif_file(*a.blif, 4);
+  SynthSpec spec;
+  spec.name = "cli-synth";
+  spec.n_luts = *a.synth_luts;
+  spec.n_inputs = a.inputs;
+  spec.n_outputs = a.outputs;
+  spec.n_latches = a.latches;
+  return generate_netlist(spec);
+}
+
+FpgaVariant parse_variant(const std::string& v) {
+  if (v == "cmos") return FpgaVariant::kCmosBaseline;
+  if (v == "nem-naive") return FpgaVariant::kNemNaive;
+  if (v == "nem-opt") return FpgaVariant::kNemOptimized;
+  usage("variant must be cmos | nem-naive | nem-opt");
+}
+
+int cmd_flow(const Args& a) {
+  Netlist nl = load_netlist(a);
+  std::fprintf(stderr, "netlist: %zu LUTs, %zu FFs, %zu IOs, %zu nets\n",
+               nl.lut_count(), nl.latch_count(),
+               nl.input_count() + nl.output_count(), nl.net_count());
+
+  std::optional<ActivityResult> act;
+  if (a.activity) {
+    std::fprintf(stderr, "simulating switching activities...\n");
+    act = estimate_activity(nl);
+    std::fprintf(stderr, "mean activity: %.3f\n", act->mean_activity);
+  }
+
+  FlowOptions opt;
+  opt.arch.W = a.width;
+  std::fprintf(stderr, "mapping at W=%zu...\n", a.width);
+  const FlowResult flow = run_flow(std::move(nl), opt);
+  std::fprintf(stderr,
+               "placed %zu clusters on %zux%zu; routed %zu nets in %zu "
+               "iterations\n",
+               flow.packing.clusters.size(), flow.placement.nx,
+               flow.placement.ny, flow.placement.nets.size(),
+               flow.routing.iterations);
+  std::fprintf(stderr, "%s",
+               summarize_routing(*flow.graph, flow.placement, flow.routing)
+                   .to_string()
+                   .c_str());
+
+  PowerOptions popt;
+  if (act) popt.net_activity = &act->net_activity;
+
+  if (a.study) {
+    const StudyResult st = run_study(flow, default_downsizes(), popt);
+    TextTable t({"design", "critical path", "dynamic", "leakage", "area"});
+    auto row = [&](const std::string& name, const VariantMetrics& m) {
+      t.add_row({name, TextTable::num(m.critical_path * 1e9, 3) + " ns",
+                 TextTable::num(m.dynamic_power * 1e3, 3) + " mW",
+                 TextTable::num(m.leakage_power * 1e3, 3) + " mW",
+                 TextTable::num(m.area * 1e6, 4) + " mm2"});
+    };
+    row("CMOS-only", st.baseline);
+    row("CMOS-NEM naive", st.naive.metrics);
+    row("CMOS-NEM opt (d=" + TextTable::num(st.preferred.downsize, 1) + ")",
+        st.preferred.metrics);
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("preferred corner vs baseline: %.2fx speed, %.2fx dynamic, "
+                "%.2fx leakage, %.2fx area\n",
+                st.preferred.vs.speedup, st.preferred.vs.dynamic_reduction,
+                st.preferred.vs.leakage_reduction,
+                st.preferred.vs.area_reduction);
+    return 0;
+  }
+
+  const auto m = evaluate_variant(flow, parse_variant(a.variant), a.downsize,
+                                  popt);
+  std::printf("variant        : %s\n", a.variant.c_str());
+  std::printf("critical path  : %.3f ns  (fmax %.1f MHz)\n",
+              m.critical_path * 1e9, 1e-6 / m.critical_path);
+  std::printf("dynamic power  : %.3f mW\n", m.dynamic_power * 1e3);
+  std::printf("leakage power  : %.3f mW\n", m.leakage_power * 1e3);
+  std::printf("fabric area    : %.4f mm2\n", m.area * 1e6);
+  return 0;
+}
+
+int cmd_width(const Args& a) {
+  Netlist nl = load_netlist(a);
+  FlowOptions opt;
+  opt.arch.W = a.width;
+  const auto cw = flow_min_channel_width(std::move(nl), opt);
+  std::printf("Wmin        : %zu\n", cw.w_min);
+  std::printf("1.2 x Wmin  : %zu (low-stress operating width)\n",
+              cw.w_low_stress);
+  return 0;
+}
+
+int cmd_device() {
+  for (const auto& [label, d] :
+       {std::pair{"fabricated (Fig 2b)", fabricated_relay()},
+        std::pair{"scaled 22nm (Fig 11)", scaled_relay_22nm()}}) {
+    const auto eq = equivalent_circuit(d);
+    std::printf("%s:\n", label);
+    std::printf("  L=%.3g um  h=%.3g nm  g0=%.3g nm  gmin=%.3g nm  (%s)\n",
+                d.geometry.length * 1e6, d.geometry.thickness * 1e9,
+                d.geometry.gap * 1e9, d.geometry.gap_min * 1e9,
+                d.ambient.name.c_str());
+    std::printf("  Vpi=%.3f V  Vpo=%.3f V  window=%.3f V  f0=%.3g MHz\n",
+                d.pull_in_voltage(), d.pull_out_voltage(),
+                d.hysteresis_window(), d.resonant_frequency() / 1e6);
+    std::printf("  Ron=%.3g kOhm  Con=%.3g aF  Coff=%.3g aF  Ioff=0\n\n",
+                eq.ron / 1e3, eq.con * 1e18, eq.coff * 1e18);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "flow") return cmd_flow(a);
+    if (a.command == "width") return cmd_width(a);
+    if (a.command == "device") return cmd_device();
+    usage(("unknown command " + a.command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
