@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/arch_exploration"
+  "../bench/arch_exploration.pdb"
+  "CMakeFiles/arch_exploration.dir/arch_exploration.cpp.o"
+  "CMakeFiles/arch_exploration.dir/arch_exploration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bitstream_programming"
+  "../bench/bitstream_programming.pdb"
+  "CMakeFiles/bitstream_programming.dir/bitstream_programming.cpp.o"
+  "CMakeFiles/bitstream_programming.dir/bitstream_programming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

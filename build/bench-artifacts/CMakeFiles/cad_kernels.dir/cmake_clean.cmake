@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cad_kernels"
+  "../bench/cad_kernels.pdb"
+  "CMakeFiles/cad_kernels.dir/cad_kernels.cpp.o"
+  "CMakeFiles/cad_kernels.dir/cad_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_scaled_device"
+  "../bench/fig11_scaled_device.pdb"
+  "CMakeFiles/fig11_scaled_device.dir/fig11_scaled_device.cpp.o"
+  "CMakeFiles/fig11_scaled_device.dir/fig11_scaled_device.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scaled_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

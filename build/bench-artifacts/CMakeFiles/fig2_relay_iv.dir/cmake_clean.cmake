@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_relay_iv"
+  "../bench/fig2_relay_iv.pdb"
+  "CMakeFiles/fig2_relay_iv.dir/fig2_relay_iv.cpp.o"
+  "CMakeFiles/fig2_relay_iv.dir/fig2_relay_iv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_relay_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

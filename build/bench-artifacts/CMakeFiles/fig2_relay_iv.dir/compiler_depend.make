@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_relay_iv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_half_select"
+  "../bench/fig4_half_select.pdb"
+  "CMakeFiles/fig4_half_select.dir/fig4_half_select.cpp.o"
+  "CMakeFiles/fig4_half_select.dir/fig4_half_select.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_half_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

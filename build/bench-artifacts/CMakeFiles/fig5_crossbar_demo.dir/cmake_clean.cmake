@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_crossbar_demo"
+  "../bench/fig5_crossbar_demo.pdb"
+  "CMakeFiles/fig5_crossbar_demo.dir/fig5_crossbar_demo.cpp.o"
+  "CMakeFiles/fig5_crossbar_demo.dir/fig5_crossbar_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_crossbar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

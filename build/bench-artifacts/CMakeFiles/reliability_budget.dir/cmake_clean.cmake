@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/reliability_budget"
+  "../bench/reliability_budget.pdb"
+  "CMakeFiles/reliability_budget.dir/reliability_budget.cpp.o"
+  "CMakeFiles/reliability_budget.dir/reliability_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

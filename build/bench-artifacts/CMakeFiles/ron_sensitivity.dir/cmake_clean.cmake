@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ron_sensitivity"
+  "../bench/ron_sensitivity.pdb"
+  "CMakeFiles/ron_sensitivity.dir/ron_sensitivity.cpp.o"
+  "CMakeFiles/ron_sensitivity.dir/ron_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ron_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ron_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_channel_width"
+  "../bench/table1_channel_width.pdb"
+  "CMakeFiles/table1_channel_width.dir/table1_channel_width.cpp.o"
+  "CMakeFiles/table1_channel_width.dir/table1_channel_width.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_channel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

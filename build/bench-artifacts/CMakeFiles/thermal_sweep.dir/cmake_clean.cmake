@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thermal_sweep"
+  "../bench/thermal_sweep.pdb"
+  "CMakeFiles/thermal_sweep.dir/thermal_sweep.cpp.o"
+  "CMakeFiles/thermal_sweep.dir/thermal_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/activity_power"
+  "../examples/activity_power.pdb"
+  "CMakeFiles/activity_power.dir/activity_power.cpp.o"
+  "CMakeFiles/activity_power.dir/activity_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/buffer_sizing_explorer"
+  "../examples/buffer_sizing_explorer.pdb"
+  "CMakeFiles/buffer_sizing_explorer.dir/buffer_sizing_explorer.cpp.o"
+  "CMakeFiles/buffer_sizing_explorer.dir/buffer_sizing_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_sizing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/crossbar_programming"
+  "../examples/crossbar_programming.pdb"
+  "CMakeFiles/crossbar_programming.dir/crossbar_programming.cpp.o"
+  "CMakeFiles/crossbar_programming.dir/crossbar_programming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("device")
+subdirs("circuit")
+subdirs("program")
+subdirs("netlist")
+subdirs("arch")
+subdirs("pack")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("power")
+subdirs("core")
+subdirs("config")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_arch.dir/arch_model.cpp.o"
+  "CMakeFiles/nf_arch.dir/arch_model.cpp.o.d"
+  "CMakeFiles/nf_arch.dir/rr_graph.cpp.o"
+  "CMakeFiles/nf_arch.dir/rr_graph.cpp.o.d"
+  "libnf_arch.a"
+  "libnf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/buffer.cpp" "src/circuit/CMakeFiles/nf_circuit.dir/buffer.cpp.o" "gcc" "src/circuit/CMakeFiles/nf_circuit.dir/buffer.cpp.o.d"
+  "/root/repo/src/circuit/logical_effort.cpp" "src/circuit/CMakeFiles/nf_circuit.dir/logical_effort.cpp.o" "gcc" "src/circuit/CMakeFiles/nf_circuit.dir/logical_effort.cpp.o.d"
+  "/root/repo/src/circuit/rc_tree.cpp" "src/circuit/CMakeFiles/nf_circuit.dir/rc_tree.cpp.o" "gcc" "src/circuit/CMakeFiles/nf_circuit.dir/rc_tree.cpp.o.d"
+  "/root/repo/src/circuit/spice.cpp" "src/circuit/CMakeFiles/nf_circuit.dir/spice.cpp.o" "gcc" "src/circuit/CMakeFiles/nf_circuit.dir/spice.cpp.o.d"
+  "/root/repo/src/circuit/vcd.cpp" "src/circuit/CMakeFiles/nf_circuit.dir/vcd.cpp.o" "gcc" "src/circuit/CMakeFiles/nf_circuit.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/nf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_circuit.dir/buffer.cpp.o"
+  "CMakeFiles/nf_circuit.dir/buffer.cpp.o.d"
+  "CMakeFiles/nf_circuit.dir/logical_effort.cpp.o"
+  "CMakeFiles/nf_circuit.dir/logical_effort.cpp.o.d"
+  "CMakeFiles/nf_circuit.dir/rc_tree.cpp.o"
+  "CMakeFiles/nf_circuit.dir/rc_tree.cpp.o.d"
+  "CMakeFiles/nf_circuit.dir/spice.cpp.o"
+  "CMakeFiles/nf_circuit.dir/spice.cpp.o.d"
+  "CMakeFiles/nf_circuit.dir/vcd.cpp.o"
+  "CMakeFiles/nf_circuit.dir/vcd.cpp.o.d"
+  "libnf_circuit.a"
+  "libnf_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

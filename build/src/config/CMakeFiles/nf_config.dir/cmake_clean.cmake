@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_config.dir/bitstream.cpp.o"
+  "CMakeFiles/nf_config.dir/bitstream.cpp.o.d"
+  "libnf_config.a"
+  "libnf_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

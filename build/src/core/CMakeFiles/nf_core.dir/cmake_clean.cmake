@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_core.dir/flow.cpp.o"
+  "CMakeFiles/nf_core.dir/flow.cpp.o.d"
+  "CMakeFiles/nf_core.dir/study.cpp.o"
+  "CMakeFiles/nf_core.dir/study.cpp.o.d"
+  "libnf_core.a"
+  "libnf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/beam_dynamics.cpp" "src/device/CMakeFiles/nf_device.dir/beam_dynamics.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/beam_dynamics.cpp.o.d"
+  "/root/repo/src/device/equivalent.cpp" "src/device/CMakeFiles/nf_device.dir/equivalent.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/equivalent.cpp.o.d"
+  "/root/repo/src/device/nem_relay.cpp" "src/device/CMakeFiles/nf_device.dir/nem_relay.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/nem_relay.cpp.o.d"
+  "/root/repo/src/device/reliability.cpp" "src/device/CMakeFiles/nf_device.dir/reliability.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/reliability.cpp.o.d"
+  "/root/repo/src/device/thermal.cpp" "src/device/CMakeFiles/nf_device.dir/thermal.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/thermal.cpp.o.d"
+  "/root/repo/src/device/variation.cpp" "src/device/CMakeFiles/nf_device.dir/variation.cpp.o" "gcc" "src/device/CMakeFiles/nf_device.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

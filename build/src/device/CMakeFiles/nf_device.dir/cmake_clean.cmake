@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_device.dir/beam_dynamics.cpp.o"
+  "CMakeFiles/nf_device.dir/beam_dynamics.cpp.o.d"
+  "CMakeFiles/nf_device.dir/equivalent.cpp.o"
+  "CMakeFiles/nf_device.dir/equivalent.cpp.o.d"
+  "CMakeFiles/nf_device.dir/nem_relay.cpp.o"
+  "CMakeFiles/nf_device.dir/nem_relay.cpp.o.d"
+  "CMakeFiles/nf_device.dir/reliability.cpp.o"
+  "CMakeFiles/nf_device.dir/reliability.cpp.o.d"
+  "CMakeFiles/nf_device.dir/thermal.cpp.o"
+  "CMakeFiles/nf_device.dir/thermal.cpp.o.d"
+  "CMakeFiles/nf_device.dir/variation.cpp.o"
+  "CMakeFiles/nf_device.dir/variation.cpp.o.d"
+  "libnf_device.a"
+  "libnf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_netlist.dir/blif.cpp.o"
+  "CMakeFiles/nf_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/nf_netlist.dir/mcnc.cpp.o"
+  "CMakeFiles/nf_netlist.dir/mcnc.cpp.o.d"
+  "CMakeFiles/nf_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/nf_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/nf_netlist.dir/simulate.cpp.o"
+  "CMakeFiles/nf_netlist.dir/simulate.cpp.o.d"
+  "CMakeFiles/nf_netlist.dir/synth_gen.cpp.o"
+  "CMakeFiles/nf_netlist.dir/synth_gen.cpp.o.d"
+  "libnf_netlist.a"
+  "libnf_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_pack.dir/pack.cpp.o"
+  "CMakeFiles/nf_pack.dir/pack.cpp.o.d"
+  "libnf_pack.a"
+  "libnf_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

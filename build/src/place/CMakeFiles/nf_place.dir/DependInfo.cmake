@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/place.cpp" "src/place/CMakeFiles/nf_place.dir/place.cpp.o" "gcc" "src/place/CMakeFiles/nf_place.dir/place.cpp.o.d"
+  "/root/repo/src/place/place_io.cpp" "src/place/CMakeFiles/nf_place.dir/place_io.cpp.o" "gcc" "src/place/CMakeFiles/nf_place.dir/place_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/nf_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/nf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

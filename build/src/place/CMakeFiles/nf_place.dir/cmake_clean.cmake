@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_place.dir/place.cpp.o"
+  "CMakeFiles/nf_place.dir/place.cpp.o.d"
+  "CMakeFiles/nf_place.dir/place_io.cpp.o"
+  "CMakeFiles/nf_place.dir/place_io.cpp.o.d"
+  "libnf_place.a"
+  "libnf_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_power.dir/power.cpp.o"
+  "CMakeFiles/nf_power.dir/power.cpp.o.d"
+  "libnf_power.a"
+  "libnf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/crossbar.cpp" "src/program/CMakeFiles/nf_program.dir/crossbar.cpp.o" "gcc" "src/program/CMakeFiles/nf_program.dir/crossbar.cpp.o.d"
+  "/root/repo/src/program/half_select.cpp" "src/program/CMakeFiles/nf_program.dir/half_select.cpp.o" "gcc" "src/program/CMakeFiles/nf_program.dir/half_select.cpp.o.d"
+  "/root/repo/src/program/waveform.cpp" "src/program/CMakeFiles/nf_program.dir/waveform.cpp.o" "gcc" "src/program/CMakeFiles/nf_program.dir/waveform.cpp.o.d"
+  "/root/repo/src/program/yield.cpp" "src/program/CMakeFiles/nf_program.dir/yield.cpp.o" "gcc" "src/program/CMakeFiles/nf_program.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/nf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nf_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

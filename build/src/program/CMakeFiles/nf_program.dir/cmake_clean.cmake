@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_program.dir/crossbar.cpp.o"
+  "CMakeFiles/nf_program.dir/crossbar.cpp.o.d"
+  "CMakeFiles/nf_program.dir/half_select.cpp.o"
+  "CMakeFiles/nf_program.dir/half_select.cpp.o.d"
+  "CMakeFiles/nf_program.dir/waveform.cpp.o"
+  "CMakeFiles/nf_program.dir/waveform.cpp.o.d"
+  "CMakeFiles/nf_program.dir/yield.cpp.o"
+  "CMakeFiles/nf_program.dir/yield.cpp.o.d"
+  "libnf_program.a"
+  "libnf_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_route.dir/report.cpp.o"
+  "CMakeFiles/nf_route.dir/report.cpp.o.d"
+  "CMakeFiles/nf_route.dir/route.cpp.o"
+  "CMakeFiles/nf_route.dir/route.cpp.o.d"
+  "libnf_route.a"
+  "libnf_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

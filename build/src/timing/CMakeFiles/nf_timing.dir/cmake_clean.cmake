@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_timing.dir/sta.cpp.o"
+  "CMakeFiles/nf_timing.dir/sta.cpp.o.d"
+  "CMakeFiles/nf_timing.dir/variant.cpp.o"
+  "CMakeFiles/nf_timing.dir/variant.cpp.o.d"
+  "libnf_timing.a"
+  "libnf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_util.dir/linear.cpp.o"
+  "CMakeFiles/nf_util.dir/linear.cpp.o.d"
+  "CMakeFiles/nf_util.dir/rng.cpp.o"
+  "CMakeFiles/nf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nf_util.dir/stats.cpp.o"
+  "CMakeFiles/nf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nf_util.dir/table.cpp.o"
+  "CMakeFiles/nf_util.dir/table.cpp.o.d"
+  "libnf_util.a"
+  "libnf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

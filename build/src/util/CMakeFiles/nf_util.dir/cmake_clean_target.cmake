@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnf_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmos.dir/test_cmos.cpp.o"
+  "CMakeFiles/test_cmos.dir/test_cmos.cpp.o.d"
+  "test_cmos"
+  "test_cmos.pdb"
+  "test_cmos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

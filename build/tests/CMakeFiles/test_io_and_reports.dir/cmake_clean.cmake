@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_and_reports.dir/test_io_and_reports.cpp.o"
+  "CMakeFiles/test_io_and_reports.dir/test_io_and_reports.cpp.o.d"
+  "test_io_and_reports"
+  "test_io_and_reports.pdb"
+  "test_io_and_reports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_and_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logical_effort.dir/test_logical_effort.cpp.o"
+  "CMakeFiles/test_logical_effort.dir/test_logical_effort.cpp.o.d"
+  "test_logical_effort"
+  "test_logical_effort.pdb"
+  "test_logical_effort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logical_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nem_relay.dir/test_nem_relay.cpp.o"
+  "CMakeFiles/test_nem_relay.dir/test_nem_relay.cpp.o.d"
+  "test_nem_relay"
+  "test_nem_relay.pdb"
+  "test_nem_relay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nem_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

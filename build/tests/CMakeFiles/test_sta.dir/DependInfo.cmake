@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/test_sta.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/test_sta.dir/test_sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nf_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/nf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/nf_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/nf_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/nf_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/nf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

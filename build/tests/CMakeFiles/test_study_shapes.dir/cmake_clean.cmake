@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_shapes.dir/test_study_shapes.cpp.o"
+  "CMakeFiles/test_study_shapes.dir/test_study_shapes.cpp.o.d"
+  "test_study_shapes"
+  "test_study_shapes.pdb"
+  "test_study_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variant.dir/test_variant.cpp.o"
+  "CMakeFiles/test_variant.dir/test_variant.cpp.o.d"
+  "test_variant"
+  "test_variant.pdb"
+  "test_variant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

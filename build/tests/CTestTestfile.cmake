@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_nem_relay[1]_include.cmake")
+include("/root/repo/build/tests/test_beam_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_variation[1]_include.cmake")
+include("/root/repo/build/tests/test_cmos[1]_include.cmake")
+include("/root/repo/build/tests/test_rc_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_logical_effort[1]_include.cmake")
+include("/root/repo/build/tests/test_crossbar[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_pack[1]_include.cmake")
+include("/root/repo/build/tests/test_place[1]_include.cmake")
+include("/root/repo/build/tests/test_route[1]_include.cmake")
+include("/root/repo/build/tests/test_variant[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_simulate[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_bitstream[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_thermal[1]_include.cmake")
+include("/root/repo/build/tests/test_io_and_reports[1]_include.cmake")
+include("/root/repo/build/tests/test_study_shapes[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/nemfpga"
+  "../tools/nemfpga.pdb"
+  "CMakeFiles/nemfpga.dir/nemfpga_cli.cpp.o"
+  "CMakeFiles/nemfpga.dir/nemfpga_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemfpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
