@@ -6,6 +6,9 @@
 //
 // Wmin search costs ~8 routings per circuit, so the default run uses a
 // representative subset; set NF_FULL=1 for the entire MCNC-20 suite.
+// Circuits run concurrently on the NF_THREADS pool (each flow is
+// share-nothing), and the per-circuit Wmin probes themselves are
+// speculated in parallel when circuit-level parallelism is idle.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +17,7 @@
 #include "core/flow.hpp"
 #include "netlist/mcnc.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace nemfpga;
 
@@ -39,20 +43,25 @@ int main() {
   }
 
   std::printf("Sec 3.3 — minimum channel width per circuit (W = 1.2 x Wmin "
-              "policy)\n%s\n",
-              full ? "" : "(subset; NF_FULL=1 runs all 20 MCNC circuits)");
-  TextTable t({"circuit", "4-LUTs", "Wmin", "1.2 x Wmin"});
-  std::size_t w_need = 0;
-  for (const auto& name : names) {
+              "policy)\n%s",
+              full ? "" : "(subset; NF_FULL=1 runs all 20 MCNC circuits)\n");
+  std::printf("(%zu circuits across %zu threads; NF_THREADS overrides)\n\n",
+              names.size(), ThreadPool::current().thread_count());
+  const auto widths = parallel_map(names.size(), [&](std::size_t i) {
     FlowOptions opt;
     opt.arch.W = 64;  // provisional; only pack/place use it
-    const auto cw = flow_min_channel_width(generate_benchmark(name), opt, 48);
-    t.add_row({name, std::to_string(benchmark_info(name).luts),
+    return flow_min_channel_width(generate_benchmark(names[i]), opt, 48);
+  });
+
+  TextTable t({"circuit", "4-LUTs", "Wmin", "1.2 x Wmin"});
+  std::size_t w_need = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& cw = widths[i];
+    t.add_row({names[i], std::to_string(benchmark_info(names[i]).luts),
                std::to_string(cw.w_min), std::to_string(cw.w_low_stress)});
     w_need = std::max(w_need, cw.w_low_stress);
-    std::printf("  %-10s Wmin=%-4zu (running...)\n", name.c_str(), cw.w_min);
   }
-  std::printf("\n%s", t.to_string().c_str());
+  std::printf("%s", t.to_string().c_str());
   std::printf("\nsuite operating width (max over circuits): W = %zu\n",
               w_need);
   std::printf("paper's value for its suite with VPR 5.0:    W = 118\n");

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace nemfpga {
 
 VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
@@ -64,15 +66,27 @@ StudyResult run_study(const FlowResult& flow,
     iso.frequency = 1.0 / out.baseline.critical_path;
   }
 
+  // The naive variant and every sweep point are independent, read-only
+  // functions of the shared FlowResult, so they evaluate concurrently;
+  // parallel_map returns them in sweep order, which keeps the result
+  // (including the preferred-corner tie-breaks below) identical at any
+  // thread count.
+  auto metrics = parallel_map(downsizes.size() + 1, [&](std::size_t i) {
+    if (i == 0) {
+      return evaluate_variant(flow, FpgaVariant::kNemNaive, 1.0, iso);
+    }
+    return evaluate_variant(flow, FpgaVariant::kNemOptimized,
+                            downsizes[i - 1], iso);
+  });
+
   out.naive.downsize = 1.0;
-  out.naive.metrics =
-      evaluate_variant(flow, FpgaVariant::kNemNaive, 1.0, iso);
+  out.naive.metrics = std::move(metrics[0]);
   out.naive.vs = compare(out.baseline, out.naive.metrics);
 
-  for (double d : downsizes) {
+  for (std::size_t i = 0; i < downsizes.size(); ++i) {
     SweepPoint p;
-    p.downsize = d;
-    p.metrics = evaluate_variant(flow, FpgaVariant::kNemOptimized, d, iso);
+    p.downsize = downsizes[i];
+    p.metrics = std::move(metrics[i + 1]);
     p.vs = compare(out.baseline, p.metrics);
     out.sweep.push_back(std::move(p));
   }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace nemfpga {
 
 VariationSpec fabricated_variation() {
@@ -55,6 +57,18 @@ std::vector<RelaySample> sample_population(const RelayDesign& nominal,
   for (std::size_t i = 0; i < n; ++i) {
     pop.push_back(sample_relay(nominal, spec, rng));
   }
+  return pop;
+}
+
+std::vector<RelaySample> sample_population_parallel(const RelayDesign& nominal,
+                                                    const VariationSpec& spec,
+                                                    std::size_t n, Rng& rng) {
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<RelaySample> pop(n);
+  parallel_for(n, [&](std::size_t i) {
+    Rng child = Rng::from_stream(stream, i);
+    pop[i] = sample_relay(nominal, spec, child);
+  });
   return pop;
 }
 

@@ -39,10 +39,20 @@ struct RelaySample {
 RelaySample sample_relay(const RelayDesign& nominal, const VariationSpec& spec,
                          Rng& rng);
 
-/// Draw a population of n varied instances.
+/// Draw a population of n varied instances, consuming `rng` sequentially
+/// (relay i's draws depend on all draws before it).
 std::vector<RelaySample> sample_population(const RelayDesign& nominal,
                                            const VariationSpec& spec,
                                            std::size_t n, Rng& rng);
+
+/// Draw a population of n varied instances in parallel: relay i is drawn
+/// from its own child stream (Rng::fork semantics), so the result is
+/// bit-identical at any NF_THREADS setting and relay i does not depend on
+/// its neighbours' draws. Advances `rng` by exactly one draw (the fork
+/// point); the values differ from the sequential overload's.
+std::vector<RelaySample> sample_population_parallel(const RelayDesign& nominal,
+                                                    const VariationSpec& spec,
+                                                    std::size_t n, Rng& rng);
 
 /// Population extremes needed by the half-select window analysis.
 struct PopulationEnvelope {

@@ -1,5 +1,9 @@
 #include "program/yield.hpp"
 
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
 namespace nemfpga {
 
 YieldResult programming_yield(const RelayDesign& nominal,
@@ -15,10 +19,20 @@ YieldResult programming_yield(const RelayDesign& nominal,
   nominal_env.vpo_min = nominal_env.vpo_max = nominal.pull_out_voltage();
   nominal_env.min_hysteresis = nominal_env.vpi_min - nominal_env.vpo_max;
   const auto fixed = solve_program_window(nominal_env);
+  if (trials == 0) return result;
 
-  double margin_sum = 0.0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto pop = sample_population(nominal, spec, rows * cols, rng);
+  // Trial t samples from its own child stream of one shared fork point,
+  // so the outcome of every trial — and therefore the whole result — is
+  // bit-identical at any thread count.
+  const std::uint64_t stream = rng.next_u64();
+  struct TrialOutcome {
+    bool good = false;
+    double worst_margin = 0.0;
+  };
+  std::vector<TrialOutcome> outcomes(trials);
+  parallel_for(trials, [&](std::size_t t) {
+    Rng trial_rng = Rng::from_stream(stream, t);
+    const auto pop = sample_population(nominal, spec, rows * cols, trial_rng);
     const auto env = envelope(pop);
 
     std::optional<ProgrammingVoltages> v;
@@ -27,9 +41,18 @@ YieldResult programming_yield(const RelayDesign& nominal,
     } else {
       v = fixed;
     }
-    if (!v || !voltages_work_for(env, *v)) continue;
+    if (!v || !voltages_work_for(env, *v)) return;
+    outcomes[t].good = true;
+    outcomes[t].worst_margin = noise_margins(env, *v).worst();
+  });
+
+  // Reduce in trial order: floating-point addition is not associative, so
+  // an arrival-order sum would depend on scheduling.
+  double margin_sum = 0.0;
+  for (const auto& o : outcomes) {
+    if (!o.good) continue;
     ++result.good_arrays;
-    margin_sum += noise_margins(env, *v).worst();
+    margin_sum += o.worst_margin;
   }
   if (result.good_arrays > 0) {
     result.mean_worst_margin = margin_sum / result.good_arrays;

@@ -35,6 +35,10 @@ struct YieldResult {
 /// Sample `trials` arrays of rows*cols relays and report how many can be
 /// correctly half-select programmed under the given policy. An array is
 /// good when a single voltage pair satisfies every relay's constraints.
+/// Trials run in parallel on ThreadPool::current(): `rng` is consumed for
+/// exactly one draw (the fork point), each trial samples from its own
+/// child stream, and partial results reduce in trial order — the result
+/// is bit-identical at any NF_THREADS setting.
 YieldResult programming_yield(const RelayDesign& nominal,
                               const VariationSpec& spec, std::size_t rows,
                               std::size_t cols, std::size_t trials, Rng& rng,

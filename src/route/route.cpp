@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/thread_pool.hpp"
+
 namespace nemfpga {
 namespace {
 
@@ -375,29 +377,68 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
                                           const Placement& pl,
                                           std::size_t w_hint,
                                           const RouteOptions& opt) {
+  // Each probe builds its own RrGraph and Router state, so probes are
+  // share-nothing and run concurrently. The probe schedule is a fixed
+  // kFanout-way speculation that depends only on the search state, never
+  // on the thread count, so the returned Wmin is identical at any
+  // NF_THREADS setting — parallelism only accelerates the probes.
+  constexpr std::size_t kFanout = 4;
+  constexpr std::size_t kMaxW = 1024;
+
   auto routes_at = [&](std::size_t w) {
     ArchParams a = arch;
     a.W = std::max<std::size_t>(2, w);
     const RrGraph g(a, pl.nx, pl.ny);
     return route_all(g, pl, opt).success;
   };
+  auto probe = [&](const std::vector<std::size_t>& ws) {
+    return parallel_map(ws.size(),
+                        [&](std::size_t i) { return routes_at(ws[i]); });
+  };
 
-  // Grow until routable.
-  std::size_t hi = std::max<std::size_t>(4, w_hint);
-  while (!routes_at(hi)) {
-    hi *= 2;
-    if (hi > 1024) {
+  // Grow phase: speculatively probe {w, 2w, 4w, 8w} per round until one
+  // routes; failed probes below the first success tighten the lower bound.
+  std::size_t lo = 2;
+  std::size_t hi = 0;
+  for (std::size_t w = std::max<std::size_t>(4, w_hint); hi == 0;) {
+    std::vector<std::size_t> ws;
+    // The hint is always probed, even when it exceeds the growth cap.
+    for (std::size_t j = 0; j < kFanout && (ws.empty() || w <= kMaxW);
+         ++j, w *= 2) {
+      ws.push_back(w);
+    }
+    const auto ok = probe(ws);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ok[i]) {
+        hi = ws[i];
+        break;
+      }
+      lo = ws[i] + 1;
+    }
+    if (hi == 0 && w > kMaxW) {
       throw std::runtime_error("find_min_channel_width: unroutable design");
     }
   }
-  // Shrink: binary search the smallest routable W.
-  std::size_t lo = 2;
+
+  // Shrink phase: k-ary search with kFanout evenly spaced probes per
+  // round (invariant: hi routes, everything below lo does not).
   while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (routes_at(mid)) {
-      hi = mid;
+    const std::size_t span = hi - lo;
+    std::vector<std::size_t> ws;
+    if (span <= kFanout) {
+      for (std::size_t w = lo; w < hi; ++w) ws.push_back(w);
     } else {
-      lo = mid + 1;
+      for (std::size_t j = 0; j < kFanout; ++j) {
+        ws.push_back(lo + span * (j + 1) / (kFanout + 1));
+      }
+    }
+    const auto ok = probe(ws);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ok[i]) {
+        hi = ws[i];
+        break;
+      }
+      lo = ws[i] + 1;
     }
   }
   ChannelWidthResult out;

@@ -54,9 +54,12 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
 void check_routing(const RrGraph& g, const Placement& pl,
                    const RoutingResult& r);
 
-/// Binary-search the minimum channel width Wmin for which routing succeeds,
-/// then report W = ceil(1.2 * Wmin) rounded up to even ("low-stress routing"
-/// [Betz 99b], Sec 3.3 of the paper).
+/// Search the minimum channel width Wmin for which routing succeeds, then
+/// report W = ceil(1.2 * Wmin) rounded up to even ("low-stress routing"
+/// [Betz 99b], Sec 3.3 of the paper). Candidate widths are probed as
+/// fixed 4-way speculative batches on ThreadPool::current() (each probe
+/// owns its RrGraph + router state); the probe schedule is independent of
+/// the thread count, so Wmin is reproducible at any NF_THREADS setting.
 struct ChannelWidthResult {
   std::size_t w_min = 0;
   std::size_t w_low_stress = 0;  ///< 1.2 x Wmin, even.

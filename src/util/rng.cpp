@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace nemfpga {
 namespace {
@@ -37,6 +38,16 @@ Rng Rng::from_string(std::string_view name, std::uint64_t salt) {
   return Rng(h);
 }
 
+Rng Rng::fork(std::uint64_t index) { return from_stream(next_u64(), index); }
+
+Rng Rng::from_stream(std::uint64_t base, std::uint64_t index) {
+  // Mix the index through a splitmix64 step before folding it into the
+  // base so that neighbouring indices land in unrelated seed regions;
+  // the Rng constructor then re-expands the combined seed.
+  std::uint64_t ix = index;
+  return Rng(base ^ splitmix64(ix));
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
@@ -59,6 +70,10 @@ double Rng::uniform(double lo, double hi) {
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  if (n == 0) {
+    // (0ULL - n) % n below would divide by zero (UB).
+    throw std::invalid_argument("Rng::uniform_int: n must be > 0");
+  }
   // Debiased modulo via rejection sampling.
   const std::uint64_t threshold = (0ULL - n) % n;
   for (;;) {

@@ -20,6 +20,19 @@ class Rng {
   /// named workload gets an independent, reproducible stream.
   static Rng from_string(std::string_view name, std::uint64_t salt = 0);
 
+  /// Child stream for task `index`, derived from one draw of this
+  /// generator (the parent advances by exactly one next_u64 regardless of
+  /// index). fork(i) and fork-of-the-next-call produce statistically
+  /// independent streams, so Monte-Carlo loops that give task i the
+  /// stream fork(i) are bit-identical at any thread count.
+  Rng fork(std::uint64_t index);
+
+  /// Child stream `index` of a fork point previously captured with
+  /// next_u64(). Lets a parallel loop capture the fork point once and
+  /// derive per-task generators from worker threads without touching the
+  /// shared parent.
+  static Rng from_stream(std::uint64_t base, std::uint64_t index);
+
   /// Uniform 64-bit integer.
   std::uint64_t next_u64();
 

@@ -28,9 +28,15 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double RunningStats::min() const { return min_; }
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: no samples");
+  return min_;
+}
 
-double RunningStats::max() const { return max_; }
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: no samples");
+  return max_;
+}
 
 double geometric_mean(std::span<const double> values) {
   if (values.empty()) throw std::invalid_argument("geometric_mean: empty");
@@ -45,12 +51,22 @@ double geometric_mean(std::span<const double> values) {
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
-  std::sort(values.begin(), values.end());
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  // Select the lo-th order statistic; the hi-th (== lo+1) is then the
+  // minimum of the partitioned right tail. O(n) expected vs a full sort.
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.end());
+  const double v_lo = values[lo];
+  double v_hi = v_lo;
+  if (hi != lo && frac > 0.0) {
+    v_hi = *std::min_element(
+        values.begin() + static_cast<std::ptrdiff_t>(lo) + 1, values.end());
+  }
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -61,11 +77,11 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void Histogram::add(double x) {
   ++total_;
   if (x < lo_) {
-    ++counts_.front();
+    ++underflow_;
     return;
   }
   if (x >= hi_) {
-    ++counts_.back();
+    ++overflow_;
     return;
   }
   const double frac = (x - lo_) / (hi_ - lo_);
@@ -93,6 +109,8 @@ std::string Histogram::to_string(std::string_view label) const {
     for (std::size_t i = 0; i < bar; ++i) os << '#';
     os << "\n";
   }
+  if (underflow_ > 0) os << "  below " << lo_ << "  " << underflow_ << "\n";
+  if (overflow_ > 0) os << "  above " << hi_ << "  " << overflow_ << "\n";
   return os.str();
 }
 

@@ -20,6 +20,9 @@ class RunningStats {
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
+  /// Extremes of the samples seen so far. Throw std::logic_error when no
+  /// sample has been added (a silent 0.0 would read as a measurement in
+  /// the bench tables).
   double min() const;
   double max() const;
 
@@ -34,10 +37,15 @@ class RunningStats {
 /// Geometric mean; requires all values > 0.
 double geometric_mean(std::span<const double> values);
 
-/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty
+/// input. Selection-based (std::nth_element on the two neighbouring
+/// ranks), O(n) expected, instead of a full O(n log n) sort per call.
 double percentile(std::vector<double> values, double p);
 
-/// Fixed-width histogram over [lo, hi] with uniform bins.
+/// Fixed-width histogram over [lo, hi) with uniform bins. Out-of-range
+/// samples are NOT folded into the edge bins (that silently skewed the
+/// Fig 6 Vpi/Vpo distributions); they are tracked as underflow/overflow
+/// and rendered separately by to_string.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -46,11 +54,16 @@ class Histogram {
 
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Every sample ever added, including out-of-range ones.
   std::size_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi (kept out of the bins).
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
 
-  /// Render as rows "lo..hi : count ####" for the experiment logs.
+  /// Render as rows "lo..hi : count ####" for the experiment logs, with
+  /// trailing "below"/"above" rows when any sample fell out of range.
   std::string to_string(std::string_view label = "") const;
 
  private:
@@ -58,6 +71,8 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace nemfpga

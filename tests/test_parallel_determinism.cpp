@@ -1,0 +1,139 @@
+// The hard requirement of the parallel execution layer: every
+// Monte-Carlo / CAD result in this codebase must be bit-identical at any
+// NF_THREADS setting, because EXPERIMENTS.md records exact numbers. Each
+// test below runs the same workload through a 1-thread pool and a
+// heavily oversubscribed 8-thread pool and compares results exactly.
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+#include "device/variation.hpp"
+#include "netlist/synth_gen.hpp"
+#include "program/yield.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(ParallelDeterminism, ProgrammingYieldBitIdenticalAcrossThreadCounts) {
+  ThreadPool serial(1), wide(8);
+  VariationSpec spec = fabricated_variation();
+  spec.sigma_thickness_rel *= 1.5;
+
+  YieldResult r1, r8;
+  {
+    ThreadPool::ScopedUse use(serial);
+    Rng rng(123);
+    r1 = programming_yield(fabricated_relay(), spec, 8, 8, 64, rng,
+                           VoltagePolicy::kPerArrayCalibrated);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    Rng rng(123);
+    r8 = programming_yield(fabricated_relay(), spec, 8, 8, 64, rng,
+                           VoltagePolicy::kPerArrayCalibrated);
+  }
+  EXPECT_EQ(r1.trials, r8.trials);
+  EXPECT_EQ(r1.good_arrays, r8.good_arrays);
+  EXPECT_DOUBLE_EQ(r1.mean_worst_margin, r8.mean_worst_margin);
+}
+
+TEST(ParallelDeterminism, SamplePopulationParallelBitIdentical) {
+  ThreadPool serial(1), wide(8);
+  std::vector<RelaySample> p1, p8;
+  {
+    ThreadPool::ScopedUse use(serial);
+    Rng rng(7);
+    p1 = sample_population_parallel(fabricated_relay(),
+                                    fabricated_variation(), 500, rng);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    Rng rng(7);
+    p8 = sample_population_parallel(fabricated_relay(),
+                                    fabricated_variation(), 500, rng);
+  }
+  ASSERT_EQ(p1.size(), p8.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1[i].vpi, p8[i].vpi) << "relay " << i;
+    EXPECT_DOUBLE_EQ(p1[i].vpo, p8[i].vpo) << "relay " << i;
+  }
+}
+
+TEST(ParallelDeterminism, SamplePopulationParallelAdvancesParentOnce) {
+  // The fork point must consume exactly one draw so downstream use of the
+  // parent generator stays reproducible.
+  Rng a(5), b(5);
+  (void)sample_population_parallel(fabricated_relay(), fabricated_variation(),
+                                   50, a);
+  (void)b.next_u64();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+const FlowResult& shared_flow() {
+  static const FlowResult flow = [] {
+    SynthSpec spec;
+    spec.name = "par-det";
+    spec.n_luts = 200;
+    spec.n_inputs = 16;
+    spec.n_outputs = 12;
+    spec.n_latches = 40;
+    FlowOptions opt;
+    opt.arch.W = 64;
+    return run_flow(generate_netlist(spec), opt);
+  }();
+  return flow;
+}
+
+TEST(ParallelDeterminism, RunStudyBitIdenticalAcrossThreadCounts) {
+  ThreadPool serial(1), wide(8);
+  const auto& flow = shared_flow();
+
+  StudyResult s1, s8;
+  {
+    ThreadPool::ScopedUse use(serial);
+    s1 = run_study(flow);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    s8 = run_study(flow);
+  }
+  ASSERT_EQ(s1.sweep.size(), s8.sweep.size());
+  EXPECT_DOUBLE_EQ(s1.baseline.critical_path, s8.baseline.critical_path);
+  EXPECT_DOUBLE_EQ(s1.naive.metrics.critical_path,
+                   s8.naive.metrics.critical_path);
+  EXPECT_DOUBLE_EQ(s1.naive.metrics.dynamic_power,
+                   s8.naive.metrics.dynamic_power);
+  for (std::size_t i = 0; i < s1.sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.sweep[i].metrics.critical_path,
+                     s8.sweep[i].metrics.critical_path);
+    EXPECT_DOUBLE_EQ(s1.sweep[i].metrics.dynamic_power,
+                     s8.sweep[i].metrics.dynamic_power);
+    EXPECT_DOUBLE_EQ(s1.sweep[i].metrics.leakage_power,
+                     s8.sweep[i].metrics.leakage_power);
+    EXPECT_DOUBLE_EQ(s1.sweep[i].metrics.area, s8.sweep[i].metrics.area);
+  }
+  EXPECT_DOUBLE_EQ(s1.preferred.downsize, s8.preferred.downsize);
+}
+
+TEST(ParallelDeterminism, ChannelWidthIdenticalAcrossThreadCounts) {
+  // The probe schedule is a fixed 4-way speculation, so Wmin must not
+  // depend on how many threads execute the probes.
+  ThreadPool serial(1), wide(8);
+  const auto& flow = shared_flow();
+
+  ChannelWidthResult w1, w8;
+  {
+    ThreadPool::ScopedUse use(serial);
+    w1 = find_min_channel_width(flow.arch, flow.placement, 32);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    w8 = find_min_channel_width(flow.arch, flow.placement, 32);
+  }
+  EXPECT_EQ(w1.w_min, w8.w_min);
+  EXPECT_EQ(w1.w_low_stress, w8.w_low_stress);
+  EXPECT_GT(w1.w_min, 0u);
+}
+
+}  // namespace
+}  // namespace nemfpga

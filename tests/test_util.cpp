@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "util/linear.hpp"
@@ -55,6 +57,42 @@ TEST(Rng, UniformIntCoversRangeUniformly) {
   }
 }
 
+TEST(Rng, UniformIntZeroThrows) {
+  // Regression: n == 0 used to compute (0ULL - n) % n, a division by zero.
+  Rng rng(19);
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndReproducible) {
+  Rng a(42), b(42);
+  // Same parent state + same index -> identical child stream.
+  Rng c1 = a.fork(3), c2 = b.fork(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // Different indices off one fork point -> different streams.
+  Rng base(7);
+  const std::uint64_t stream = base.next_u64();
+  Rng d0 = Rng::from_stream(stream, 0);
+  Rng d1 = Rng::from_stream(stream, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (d0.next_u64() == d1.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkAdvancesParentByOneDraw) {
+  Rng a(9), b(9);
+  (void)a.fork(0);
+  (void)b.next_u64();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkMatchesFromStream) {
+  Rng a(11), b(11);
+  const std::uint64_t stream = b.next_u64();
+  Rng f = a.fork(5);
+  Rng s = Rng::from_stream(stream, 5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(f.next_u64(), s.next_u64());
+}
+
 TEST(Rng, NormalMomentsMatch) {
   Rng rng(13);
   RunningStats st;
@@ -84,6 +122,10 @@ TEST(RunningStats, EmptyAndSingle) {
   RunningStats st;
   EXPECT_EQ(st.count(), 0u);
   EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  // Regression: empty min()/max() used to return the sentinel 0.0, which
+  // read as a legitimate measurement in the bench tables.
+  EXPECT_THROW(st.min(), std::logic_error);
+  EXPECT_THROW(st.max(), std::logic_error);
   st.add(3.5);
   EXPECT_DOUBLE_EQ(st.mean(), 3.5);
   EXPECT_DOUBLE_EQ(st.variance(), 0.0);
@@ -111,20 +153,47 @@ TEST(Stats, Percentile) {
   EXPECT_THROW(percentile(v, 101), std::invalid_argument);
 }
 
-TEST(Histogram, BinningAndClamping) {
+TEST(Stats, PercentileMatchesSortedReference) {
+  // The nth_element-based selection must agree bit-for-bit with the
+  // sort-then-interpolate definition at every rank, shuffled input.
+  Rng rng(31);
+  std::vector<double> values(257);
+  for (auto& x : values) x = rng.uniform(-100.0, 100.0);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 1.0, 12.5, 33.3, 50.0, 66.6, 90.0, 99.0, 100.0}) {
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const double expected = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    EXPECT_DOUBLE_EQ(percentile(values, p), expected) << "p=" << p;
+  }
+}
+
+TEST(Histogram, BinningAndOutOfRangeTracking) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);   // bin 0
   h.add(9.99);  // bin 9
-  h.add(-5.0);  // clamped to bin 0
-  h.add(15.0);  // clamped to bin 9
+  h.add(-5.0);  // underflow (regression: used to fold into bin 0)
+  h.add(15.0);  // overflow  (regression: used to fold into bin 9)
   h.add(5.0);   // bin 5
   EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
   EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
   EXPECT_FALSE(h.to_string("label").empty());
+  EXPECT_NE(h.to_string().find("below"), std::string::npos);
+  EXPECT_NE(h.to_string().find("above"), std::string::npos);
+  Histogram in_range(0.0, 1.0, 2);
+  in_range.add(0.25);
+  EXPECT_EQ(in_range.to_string().find("below"), std::string::npos);
+  EXPECT_EQ(in_range.to_string().find("above"), std::string::npos);
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
