@@ -1,0 +1,199 @@
+// Router performance harness: routes seed circuits at a fixed channel
+// width and through the full find_min_channel_width search, and emits
+// BENCH_route.json (wall times, router work counters, Wmin) so every PR
+// leaves a perf trajectory to regress against (tools/bench_check.py
+// diffs two such files).
+//
+//   route_perf [--out FILE] [--circuits a,b,c] [--smoke]
+//
+// --smoke runs only the smallest seed circuit (CTest target bench_smoke
+// exercises the harness this way). Wall times vary run to run; Wmin,
+// iteration and counter fields are bit-deterministic at any NF_THREADS.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netlist/mcnc.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nemfpga;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t routing_checksum(const RoutingResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& t : r.trees) {
+    mix(t.source);
+    mix(t.edges.size());
+    for (const auto& [from, to] : t.edges) {
+      mix((static_cast<std::uint64_t>(from) << 32) | to);
+    }
+    for (RrNodeId s : t.sinks) mix(s);
+  }
+  return h;
+}
+
+struct CircuitReport {
+  std::string name;
+  std::size_t luts = 0;
+  std::size_t nets = 0;
+  std::size_t w_min = 0;
+  double wmin_wall_s = 0.0;
+  std::size_t w_fixed = 0;
+  double route_wall_s = 0.0;
+  std::size_t iterations = 0;
+  std::uint64_t checksum = 0;
+  RoutingResult fixed;  ///< counters live here
+};
+
+CircuitReport run_circuit(const std::string& name) {
+  CircuitReport rep;
+  rep.name = name;
+  rep.luts = benchmark_info(name).luts;
+
+  const Netlist nl = generate_benchmark(name);
+  ArchParams arch;
+  arch.W = 64;  // provisional; only pack/place look at it
+  const Packing pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+  PlaceOptions popt;
+  popt.inner_num = 0.3;  // placement quality is not under test here
+  const Placement pl = place(nl, pk, arch, nx, ny, popt);
+  rep.nets = pl.nets.size();
+
+  double t0 = now_s();
+  const ChannelWidthResult cw = find_min_channel_width(arch, pl, 48);
+  rep.wmin_wall_s = now_s() - t0;
+  rep.w_min = cw.w_min;
+  rep.w_fixed = cw.w_low_stress;
+
+  ArchParams fixed_arch = arch;
+  fixed_arch.W = rep.w_fixed;
+  const RrGraph g(fixed_arch, nx, ny);
+  t0 = now_s();
+  rep.fixed = route_all(g, pl);
+  rep.route_wall_s = now_s() - t0;
+  if (!rep.fixed.success) {
+    std::fprintf(stderr, "route_perf: %s unroutable at low-stress W=%zu\n",
+                 name.c_str(), rep.w_fixed);
+    std::exit(1);
+  }
+  check_routing(g, pl, rep.fixed);
+  rep.iterations = rep.fixed.iterations;
+  rep.checksum = routing_checksum(rep.fixed);
+  return rep;
+}
+
+void write_json(const std::vector<CircuitReport>& reps, const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "route_perf: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-1\",\n");
+  std::fprintf(f, "  \"threads\": %zu,\n",
+               ThreadPool::current().thread_count());
+  double total = 0.0;
+  for (const auto& r : reps) total += r.wmin_wall_s + r.route_wall_s;
+  std::fprintf(f, "  \"total_wall_s\": %.6f,\n", total);
+  std::fprintf(f, "  \"circuits\": [\n");
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto& r = reps[i];
+    const auto& c = r.fixed.counters;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"luts\": %zu,\n", r.luts);
+    std::fprintf(f, "      \"nets\": %zu,\n", r.nets);
+    std::fprintf(f, "      \"wmin\": %zu,\n", r.w_min);
+    std::fprintf(f, "      \"wmin_wall_s\": %.6f,\n", r.wmin_wall_s);
+    std::fprintf(f, "      \"fixed_w\": %zu,\n", r.w_fixed);
+    std::fprintf(f, "      \"route_wall_s\": %.6f,\n", r.route_wall_s);
+    std::fprintf(f, "      \"iterations\": %zu,\n", r.iterations);
+    std::fprintf(f, "      \"tree_checksum\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(r.checksum));
+    std::fprintf(f, "      \"counters\": {\n");
+    std::fprintf(f, "        \"heap_pushes\": %llu,\n",
+                 static_cast<unsigned long long>(c.heap_pushes));
+    std::fprintf(f, "        \"heap_pops\": %llu,\n",
+                 static_cast<unsigned long long>(c.heap_pops));
+    std::fprintf(f, "        \"nodes_expanded\": %llu,\n",
+                 static_cast<unsigned long long>(c.nodes_expanded));
+    std::fprintf(f, "        \"sink_searches\": %llu,\n",
+                 static_cast<unsigned long long>(c.sink_searches));
+    std::fprintf(f, "        \"nets_routed\": %llu,\n",
+                 static_cast<unsigned long long>(c.nets_routed));
+    std::fprintf(f, "        \"nets_rerouted\": %llu,\n",
+                 static_cast<unsigned long long>(c.nets_rerouted));
+    std::fprintf(f, "        \"scratch_grows\": %llu,\n",
+                 static_cast<unsigned long long>(c.scratch_grows));
+    std::fprintf(f, "        \"t_search_s\": %.6f,\n", c.t_search_s);
+    std::fprintf(f, "        \"t_bookkeep_s\": %.6f\n", c.t_bookkeep_s);
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", i + 1 < reps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_route.json";
+  std::vector<std::string> circuits = {"tseng", "alu4", "pdc"};
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      circuits = {"tseng"};
+    } else if (!std::strcmp(argv[i], "--circuits") && i + 1 < argc) {
+      circuits.clear();
+      std::string s = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t c = s.find(',', pos);
+        circuits.push_back(s.substr(pos, c - pos));
+        pos = c == std::string::npos ? c : c + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: route_perf [--out FILE] [--circuits a,b,c] "
+                   "[--smoke]\n");
+      return 2;
+    }
+  }
+
+  std::printf("route_perf — PathFinder hot-path benchmark (%zu threads)\n\n",
+              ThreadPool::current().thread_count());
+  std::vector<CircuitReport> reps;
+  for (const auto& name : circuits) {
+    reps.push_back(run_circuit(name));
+    const auto& r = reps.back();
+    std::printf(
+        "%-8s %5zu LUTs  Wmin=%-3zu (%6.2f s)  route@W=%-3zu %6.2f s  "
+        "%zu iters  checksum %016llx\n",
+        r.name.c_str(), r.luts, r.w_min, r.wmin_wall_s, r.w_fixed,
+        r.route_wall_s, r.iterations,
+        static_cast<unsigned long long>(r.checksum));
+  }
+  write_json(reps, out);
+  std::printf("\nwrote %s\n", out);
+  return 0;
+}

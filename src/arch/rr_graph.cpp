@@ -452,11 +452,6 @@ void RrGraph::finalize_csr() {
   adj_.clear();
 }
 
-std::span<const RrEdge> RrGraph::edges(RrNodeId id) const {
-  return {edges_.data() + edge_offsets_[id],
-          edges_.data() + edge_offsets_[id + 1]};
-}
-
 std::pair<std::size_t, std::size_t> grid_size_for(const ArchParams& arch,
                                                   std::size_t n_lbs,
                                                   std::size_t n_ios) {

@@ -70,8 +70,31 @@ class RrGraph {
 
   std::size_t node_count() const { return nodes_.size(); }
   const RrNode& node(RrNodeId id) const { return nodes_[id]; }
-  std::span<const RrEdge> edges(RrNodeId id) const;
+  /// Out-edge span of a node (CSR slice). Defined inline — this is the
+  /// innermost load of the router's relaxation loop.
+  std::span<const RrEdge> edges(RrNodeId id) const {
+    return {edges_.data() + edge_offsets_[id],
+            edges_.data() + edge_offsets_[id + 1]};
+  }
   std::size_t edge_count() const { return edges_.size(); }
+
+  /// Prefetch hints for graph-walking hot loops: pull a node record (and
+  /// optionally the head of its edge span) toward the cache a few
+  /// iterations before it is dereferenced. No-ops where unsupported.
+  void prefetch_node(RrNodeId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(nodes_.data() + id);
+#else
+    (void)id;
+#endif
+  }
+  void prefetch_edges(RrNodeId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(edges_.data() + edge_offsets_[id]);
+#else
+    (void)id;
+#endif
+  }
 
   /// True if (x, y) is a logic-block site; border cells are IO sites and
   /// corners are empty.

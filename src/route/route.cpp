@@ -1,46 +1,128 @@
 #include "route/route.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <queue>
+#include <functional>
 #include <stdexcept>
-#include <unordered_set>
 
+#include "route/overuse.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nemfpga {
 namespace {
 
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Allocation-free PathFinder search core. All per-net and per-sink scratch
+// lives in persistent, epoch-stamped buffers owned by the Router, so the
+// steady-state net loop performs zero heap allocations (buffers grow to
+// their high-water mark during the first nets and are reused thereafter;
+// RouteCounters::scratch_grows counts the growth events). The search is
+// bit-identical to the straightforward implementation it replaces: same
+// heap algorithm and comparator, same relaxation epsilons, same
+// tie-breaking jitter — golden tests pin Wmin and whole-suite tree
+// checksums (tests/test_route_golden.cpp).
 struct Router {
   const RrGraph& g;
   const Placement& pl;
   const RouteOptions& opt;
 
-  std::vector<std::uint16_t> occ;
+  OveruseTracker occ;
   std::vector<float> history;
   double pres_fac;
 
-  // Per-net-search scratch, epoch-stamped to avoid O(V) clears.
-  std::vector<std::uint32_t> epoch;
-  std::vector<double> path_cost;
-  std::vector<RrNodeId> prev;
+  /// node_base_cost per node (immutable for a given graph).
+  std::vector<double> base_cost;
+
+  /// Everything the relaxation loop reads about a candidate node, packed
+  /// into one 24-byte record so an edge costs one data-cache touch
+  /// instead of five scattered array loads: the bounding-box coords and
+  /// sink flag (immutable), a mirror of the occupancy/capacity pair
+  /// (updated through inc_occ/dec_occ), and the per-iteration cost cache
+  /// base * (1 + history) * jitter — leaving one multiply for the
+  /// present-congestion factor instead of a type switch + hash + three
+  /// multiplies per edge.
+  struct HotNode {
+    std::uint16_t x_lo, x_hi, y_lo, y_hi;
+    std::uint16_t occ, cap;
+    std::uint16_t is_sink;
+    std::uint16_t pad = 0;
+    double cost;
+  };
+  static_assert(sizeof(HotNode) == 24);
+  std::vector<HotNode> hot;
+
+  // Per-sink-search relaxation state, epoch-stamped to avoid O(V) clears
+  // and packed per node for the same one-touch reason as HotNode.
+  struct RelaxNode {
+    double path_cost;
+    std::uint32_t epoch;
+    RrNodeId prev;
+  };
+  static_assert(sizeof(RelaxNode) == 16);
+  std::vector<RelaxNode> relax;
   std::uint32_t cur_epoch = 0;
+
+  // Per-net membership marks (tree membership, rip-up dedup, wire census),
+  // epoch-stamped with their own counter.
+  std::vector<std::uint32_t> mark;
+  std::uint32_t mark_cur = 0;
+
+  struct QItem {
+    double cost;
+    double known;
+    RrNodeId node;
+    bool operator>(const QItem& o) const { return cost > o.cost; }
+  };
+
+  // Reusable per-net buffers (the scratch arena).
+  std::vector<QItem> heap;
+  std::vector<RrNodeId> sink_nodes;
+  std::vector<double> sink_keys;
+  std::vector<std::uint32_t> order;
+  std::vector<RrNodeId> tree_nodes;
+  std::vector<std::pair<RrNodeId, RrNodeId>> path;
+  std::vector<std::pair<RrNodeId, RrNodeId>> kept;
+
   std::size_t iteration = 1;
+  RouteCounters cnt;
 
   explicit Router(const RrGraph& graph, const Placement& placement,
                   const RouteOptions& options)
-      : g(graph), pl(placement), opt(options) {
-    occ.assign(g.node_count(), 0);
-    history.assign(g.node_count(), 0.0f);
-    epoch.assign(g.node_count(), 0);
-    path_cost.assign(g.node_count(), 0.0);
-    prev.assign(g.node_count(), kNoRrNode);
+      : g(graph), pl(placement), opt(options), occ(graph) {
+    const std::size_t n = g.node_count();
+    history.assign(n, 0.0f);
+    base_cost.resize(n);
+    hot.resize(n);
+    for (RrNodeId i = 0; i < n; ++i) {
+      const RrNode& nd = g.node(i);
+      base_cost[i] = node_base_cost(nd);
+      hot[i] = {nd.x_lo, nd.x_hi, nd.y_lo, nd.y_hi,
+                0,       nd.capacity,
+                static_cast<std::uint16_t>(nd.type == RrType::kSink ? 1 : 0),
+                0,       0.0};
+    }
+    relax.assign(n, {0.0, 0, kNoRrNode});
+    mark.assign(n, 0);
     pres_fac = opt.first_iter_pres_fac;
+    // Warm the arena so even the first nets rarely grow it.
+    heap.reserve(4096);
+    sink_nodes.reserve(256);
+    sink_keys.reserve(256);
+    order.reserve(256);
+    tree_nodes.reserve(1024);
+    path.reserve(512);
+    kept.reserve(512);
   }
 
-  double node_base_cost(const RrNode& n) const {
+  static double node_base_cost(const RrNode& n) {
     switch (n.type) {
       case RrType::kChanX:
       case RrType::kChanY:
@@ -54,51 +136,120 @@ struct Router {
     }
   }
 
-  double congestion_cost(RrNodeId id) const {
-    const RrNode& n = g.node(id);
-    const double over =
-        std::max(0, static_cast<int>(occ[id]) + 1 - static_cast<int>(n.capacity));
-    const double pres = 1.0 + over * pres_fac;
-    // Small deterministic per-iteration jitter breaks the lock-step
-    // oscillations PathFinder can fall into when two nets see identical
-    // costs for each other's resources.
-    const std::uint32_t h =
-        (id * 2654435761u) ^ (static_cast<std::uint32_t>(iteration) * 40503u);
-    const double jitter = 1.0 + 0.02 * static_cast<double>((h >> 16) & 0xff) / 255.0;
-    return node_base_cost(n) * pres * (1.0 + history[id]) * jitter;
+  /// Occupancy changes go through these so the HotNode mirror and the
+  /// incremental overuse tracker stay in lock step.
+  void inc_occ(RrNodeId id) {
+    occ.inc(id);
+    ++hot[id].occ;
+  }
+  void dec_occ(RrNodeId id) {
+    occ.dec(id);
+    --hot[id].occ;
+  }
+
+  /// Rebuild the per-iteration node-cost cache. The small deterministic
+  /// jitter breaks the lock-step oscillations PathFinder can fall into
+  /// when two nets see identical costs for each other's resources.
+  void begin_iteration(std::size_t iter) {
+    iteration = iter;
+    const std::uint32_t salt = static_cast<std::uint32_t>(iter) * 40503u;
+    const std::size_t n = hot.size();
+    for (RrNodeId i = 0; i < n; ++i) {
+      const std::uint32_t h = (i * 2654435761u) ^ salt;
+      const double jitter =
+          1.0 + 0.02 * static_cast<double>((h >> 16) & 0xff) / 255.0;
+      hot[i].cost =
+          (base_cost[i] * (1.0 + static_cast<double>(history[i]))) * jitter;
+    }
+  }
+
+  double congestion_cost(const HotNode& hn) const {
+    const int over =
+        static_cast<int>(hn.occ) + 1 - static_cast<int>(hn.cap);
+    if (over <= 0) return hn.cost;
+    return hn.cost * (1.0 + over * pres_fac);
   }
 
   /// Manhattan-distance lookahead toward a target node, in expected base
   /// cost (distance scaled by ~1 per tile traversed).
   double heuristic(RrNodeId from, RrNodeId to) const {
-    const RrNode& a = g.node(from);
-    const RrNode& b = g.node(to);
+    const HotNode& b = hot[to];
+    return heuristic_to(from, b.x_lo, b.x_hi, b.y_lo, b.y_hi);
+  }
+
+  /// Same lookahead with the target's bounding box hoisted once per
+  /// search instead of re-loaded per edge.
+  double heuristic_to(RrNodeId from, int tx_lo, int tx_hi, int ty_lo,
+                      int ty_hi) const {
+    return heuristic_from(hot[from], tx_lo, tx_hi, ty_lo, ty_hi);
+  }
+
+  /// Lookahead from a HotNode already in hand (the relaxation loop has
+  /// just touched it — no second lookup).
+  double heuristic_from(const HotNode& a, int tx_lo, int tx_hi, int ty_lo,
+                        int ty_hi) const {
     const auto clampdist = [](int lo1, int hi1, int lo2, int hi2) {
       if (hi1 < lo2) return lo2 - hi1;
       if (hi2 < lo1) return lo1 - hi2;
       return 0;
     };
-    const int dx = clampdist(a.x_lo, a.x_hi, b.x_lo, b.x_hi);
-    const int dy = clampdist(a.y_lo, a.y_hi, b.y_lo, b.y_hi);
+    const int dx = clampdist(a.x_lo, a.x_hi, tx_lo, tx_hi);
+    const int dy = clampdist(a.y_lo, a.y_hi, ty_lo, ty_hi);
     return opt.astar_fac * static_cast<double>(dx + dy);
   }
 
-  struct QItem {
-    double cost;
-    double known;
-    RrNodeId node;
-    bool operator>(const QItem& o) const { return cost > o.cost; }
-  };
+  static void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
+  }
 
-  /// Route one net; tree written into `out`. Returns false if any sink was
-  /// unreachable (graph disconnection — treated as hard failure).
+  // Binary min-heap over the persistent buffer — the exact algorithm
+  // std::priority_queue runs, without its per-search container churn.
+  // (A 4-ary hole-sifting variant was measured here; it resolves
+  // exact-cost ties in a different order than std::pop_heap, which
+  // perturbs the routing and violates the bit-identity contract the
+  // golden tests pin, so the std algorithms stay.)
+  void heap_push(QItem item) {
+    heap.push_back(item);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    ++cnt.heap_pushes;
+  }
+  QItem heap_pop() {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const QItem item = heap.back();
+    heap.pop_back();
+    ++cnt.heap_pops;
+    return item;
+  }
+
+  std::size_t scratch_capacity() const {
+    return heap.capacity() + sink_nodes.capacity() + sink_keys.capacity() +
+           order.capacity() + tree_nodes.capacity() + path.capacity() +
+           kept.capacity();
+  }
+
+  /// Route one net; tree written into `out`. `out` may arrive pre-seeded
+  /// with a congestion-free partial tree (prune_ripup) whose nodes still
+  /// hold occupancy; a fresh/empty `out` routes from scratch. Returns
+  /// false if any sink was unreachable (graph disconnection — treated as
+  /// hard failure).
   bool route_net(const PlacedNet& net, RouteTree& out,
                  std::size_t extra_bb = 0) {
+    const std::size_t cap_before = scratch_capacity();
+    ++cnt.nets_routed;
     // Routes outside the net bounding box are rare but legal (sparse track
-    // connectivity can force a detour); retry unconstrained before giving up.
-    if (route_net_bb(net, out, opt.bb_margin + extra_bb)) return true;
-    out = RouteTree{};
-    return route_net_bb(net, out, g.nx() + g.ny());
+    // connectivity can force a detour); retry unconstrained before giving
+    // up.
+    bool ok = route_net_bb(net, out, opt.bb_margin + extra_bb);
+    if (!ok) {
+      out = RouteTree{};
+      ok = route_net_bb(net, out, g.nx() + g.ny());
+    }
+    if (scratch_capacity() != cap_before) ++cnt.scratch_grows;
+    return ok;
   }
 
   bool route_net_bb(const PlacedNet& net, RouteTree& out,
@@ -106,14 +257,12 @@ struct Router {
     const BlockLoc& dloc = pl.locs[net.driver];
     const RrNodeId source = g.site(dloc.x, dloc.y).source;
     out.source = source;
-    out.edges.clear();
     out.sinks.clear();
 
     // Net bounding box (+margin) restricts expansion.
     int x_lo = static_cast<int>(dloc.x), x_hi = x_lo;
     int y_lo = static_cast<int>(dloc.y), y_hi = y_lo;
-    std::vector<RrNodeId> sink_nodes;
-    sink_nodes.reserve(net.sinks.size());
+    sink_nodes.clear();
     for (std::size_t s : net.sinks) {
       const BlockLoc& l = pl.locs[s];
       sink_nodes.push_back(g.site(l.x, l.y).sink);
@@ -127,118 +276,176 @@ struct Router {
     x_hi += m;
     y_lo -= m;
     y_hi += m;
-    auto in_bb = [&](const RrNode& n) {
+    auto in_bb = [&](const HotNode& n) {
       return static_cast<int>(n.x_hi) >= x_lo &&
              static_cast<int>(n.x_lo) <= x_hi &&
              static_cast<int>(n.y_hi) >= y_lo &&
              static_cast<int>(n.y_lo) <= y_hi;
     };
 
-    // Sort sinks near-to-far from the driver (cheap heuristic order).
-    std::vector<std::size_t> order(sink_nodes.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return heuristic(source, sink_nodes[a]) < heuristic(source, sink_nodes[b]);
-    });
+    // Sort sinks near-to-far from the driver. The keys are evaluated once
+    // per sink up front — not O(n log n) times inside the comparator.
+    order.resize(sink_nodes.size());
+    sink_keys.resize(sink_nodes.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+      sink_keys[i] = heuristic(source, sink_nodes[i]);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return sink_keys[a] < sink_keys[b];
+              });
 
-    std::vector<RrNodeId> tree_nodes{source};
-    std::unordered_set<RrNodeId> in_tree{source};
+    // Tree membership via epoch marks; seed from any pre-kept edges.
+    ++mark_cur;
+    tree_nodes.clear();
+    tree_nodes.push_back(source);
+    mark[source] = mark_cur;
+    for (const auto& [from, to] : out.edges) {
+      (void)from;
+      if (mark[to] != mark_cur) {
+        mark[to] = mark_cur;
+        tree_nodes.push_back(to);
+      }
+    }
 
-    for (std::size_t oi : order) {
+    for (std::uint32_t oi : order) {
       const RrNodeId target = sink_nodes[oi];
-      if (in_tree.contains(target)) {
+      if (mark[target] == mark_cur) {
         // Another sink block shares this SINK node; already reached.
         out.sinks.push_back(target);
         continue;
       }
       ++cur_epoch;
-      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+      ++cnt.sink_searches;
+      const HotNode& tn = hot[target];
+      const int tx_lo = tn.x_lo, tx_hi = tn.x_hi;
+      const int ty_lo = tn.y_lo, ty_hi = tn.y_hi;
+      heap.clear();
       for (RrNodeId n : tree_nodes) {
-        epoch[n] = cur_epoch;
-        path_cost[n] = 0.0;
-        prev[n] = kNoRrNode;
-        pq.push({heuristic(n, target), 0.0, n});
+        relax[n] = {0.0, cur_epoch, kNoRrNode};
+        heap_push({heuristic_to(n, tx_lo, tx_hi, ty_lo, ty_hi), 0.0, n});
       }
       bool found = false;
-      while (!pq.empty()) {
-        const QItem item = pq.top();
-        pq.pop();
+      while (!heap.empty()) {
+        const QItem item = heap_pop();
         const RrNodeId u = item.node;
-        if (epoch[u] == cur_epoch &&
-            item.known > path_cost[u] + 1e-9) {
+        if (relax[u].epoch == cur_epoch &&
+            item.known > relax[u].path_cost + 1e-9) {
           continue;  // stale entry
         }
+        ++cnt.nodes_expanded;
         if (u == target) {
           found = true;
           break;
         }
-        for (const RrEdge& e : g.edges(u)) {
-          const RrNode& vn = g.node(e.to);
+        const std::span<const RrEdge> es = g.edges(u);
+        for (std::size_t k = 0; k < es.size(); ++k) {
+          if (k + 4 < es.size()) prefetch(&hot[es[k + 4].to]);
+          const RrNodeId v = es[k].to;
+          const HotNode& vn = hot[v];
           if (!in_bb(vn)) continue;
-          if (vn.type == RrType::kSink && e.to != target) continue;
-          const double new_cost = item.known + congestion_cost(e.to);
-          if (epoch[e.to] != cur_epoch ||
-              new_cost < path_cost[e.to] - 1e-9) {
-            epoch[e.to] = cur_epoch;
-            path_cost[e.to] = new_cost;
-            prev[e.to] = u;
-            pq.push({new_cost + heuristic(e.to, target), new_cost, e.to});
+          if (vn.is_sink && v != target) continue;
+          const double new_cost = item.known + congestion_cost(vn);
+          RelaxNode& rn = relax[v];
+          if (rn.epoch != cur_epoch || new_cost < rn.path_cost - 1e-9) {
+            rn = {new_cost, cur_epoch, u};
+            heap_push({new_cost + heuristic_from(vn, tx_lo, tx_hi, ty_lo,
+                                                 ty_hi),
+                       new_cost, v});
           }
         }
       }
       if (!found) {
         // Release the partially-built tree (source has no occupancy yet).
         for (std::size_t i = 1; i < tree_nodes.size(); ++i) {
-          --occ[tree_nodes[i]];
+          dec_occ(tree_nodes[i]);
         }
         return false;
       }
       // Backtrace; new nodes join the tree with occupancy.
-      std::vector<std::pair<RrNodeId, RrNodeId>> path;
+      path.clear();
       RrNodeId n = target;
-      while (prev[n] != kNoRrNode) {
-        path.emplace_back(prev[n], n);
-        n = prev[n];
+      while (relax[n].prev != kNoRrNode) {
+        path.emplace_back(relax[n].prev, n);
+        n = relax[n].prev;
       }
       for (auto it = path.rbegin(); it != path.rend(); ++it) {
         out.edges.push_back(*it);
-        if (in_tree.insert(it->second).second) {
+        if (mark[it->second] != mark_cur) {
+          mark[it->second] = mark_cur;
           tree_nodes.push_back(it->second);
-          ++occ[it->second];
+          inc_occ(it->second);
         }
       }
       out.sinks.push_back(target);
     }
-    ++occ[source];
+    inc_occ(source);
     return true;
   }
 
+  /// Release a whole tree's occupancy.
   void rip_up(const RouteTree& t) {
     if (t.source == kNoRrNode) return;
-    --occ[t.source];
-    std::unordered_set<RrNodeId> seen;
+    dec_occ(t.source);
+    ++mark_cur;
     for (const auto& [from, to] : t.edges) {
       (void)from;
-      if (seen.insert(to).second) --occ[to];
+      if (mark[to] != mark_cur) {
+        mark[to] = mark_cur;
+        dec_occ(to);
+      }
     }
   }
 
-  std::size_t count_overuse() const {
-    std::size_t n_over = 0;
-    for (RrNodeId i = 0; i < g.node_count(); ++i) {
-      if (occ[i] > g.node(i).capacity) ++n_over;
+  /// Partial rip-up: keep the maximal source-connected subtree that is
+  /// free of overused nodes *and* still feeds at least one sink (stub
+  /// branches whose sinks were congested away release their occupancy
+  /// too, or they would hoard capacity forever). Kept nodes retain
+  /// occupancy; `t` becomes the seed tree route_net rebuilds from. The
+  /// source's own occupancy is released because route_net_bb re-takes it
+  /// on success.
+  void prune_tree(const PlacedNet& net, RouteTree& t) {
+    if (t.source == kNoRrNode) return;
+    // Pass 1 (forward, parent-before-child): clean, source-connected.
+    kept.clear();
+    ++mark_cur;
+    const std::uint32_t keep_m = mark_cur;
+    if (!occ.overused(t.source)) mark[t.source] = keep_m;
+    for (const auto& e : t.edges) {
+      if (mark[e.first] == keep_m && !occ.overused(e.second)) {
+        mark[e.second] = keep_m;
+        kept.push_back(e);
+      } else {
+        dec_occ(e.second);
+      }
     }
-    return n_over;
+    // Pass 2 (reverse): drop branches that reach none of the net's sinks.
+    ++mark_cur;
+    const std::uint32_t useful_m = mark_cur;
+    for (std::size_t s : net.sinks) {
+      const BlockLoc& l = pl.locs[s];
+      const RrNodeId sk = g.site(l.x, l.y).sink;
+      if (mark[sk] == keep_m) mark[sk] = useful_m;
+    }
+    path.clear();  // reversed survivors
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+      if (mark[it->second] == useful_m) {
+        mark[it->first] = useful_m;
+        path.push_back(*it);
+      } else {
+        dec_occ(it->second);
+      }
+    }
+    dec_occ(t.source);
+    t.edges.assign(path.rbegin(), path.rend());
+    t.sinks.clear();
   }
 
   void update_history() {
-    for (RrNodeId i = 0; i < g.node_count(); ++i) {
-      const int over =
-          static_cast<int>(occ[i]) - static_cast<int>(g.node(i).capacity);
-      if (over > 0) {
-        history[i] += static_cast<float>(opt.history_fac * over);
-      }
-    }
+    occ.for_each_overused([this](RrNodeId i, int over) {
+      history[i] += static_cast<float>(opt.history_fac * over);
+    });
   }
 };
 
@@ -252,13 +459,14 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
   std::size_t best_overuse = static_cast<std::size_t>(-1);
   std::size_t best_iter = 0;
 
-  // A net only needs rerouting while its tree touches an overused node.
+  // A net only needs rerouting while its tree touches an overused node —
+  // a per-node flag lookup against the incremental overuse tracker.
   auto touches_overuse = [&](const RouteTree& t) {
     if (t.source == kNoRrNode) return true;
-    if (router.occ[t.source] > g.node(t.source).capacity) return true;
+    if (router.occ.overused(t.source)) return true;
     for (const auto& [from, to] : t.edges) {
       (void)from;
-      if (router.occ[to] > g.node(to).capacity) return true;
+      if (router.occ.overused(to)) return true;
     }
     return false;
   };
@@ -270,33 +478,49 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
 
   for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
     res.iterations = iter;
-    router.iteration = iter;
+    double t0 = wall_s();
+    router.begin_iteration(iter);
+    router.cnt.t_bookkeep_s += wall_s() - t0;
+    t0 = wall_s();
     for (std::size_t n = 0; n < pl.nets.size(); ++n) {
       if (iter > 1) {
-        if (opt.incremental && !touches_overuse(res.trees[n])) continue;
-        router.rip_up(res.trees[n]);
+        if (opt.incremental) {
+          // Congestion fully cleared mid-iteration: every remaining net
+          // would fail touches_overuse anyway.
+          if (router.occ.overused_count() == 0) break;
+          if (!touches_overuse(res.trees[n])) continue;
+        }
+        ++router.cnt.nets_rerouted;
+        if (opt.prune_ripup) {
+          router.prune_tree(pl.nets[n], res.trees[n]);
+        } else {
+          router.rip_up(res.trees[n]);
+          res.trees[n] = RouteTree{};
+        }
         if (iter > 12) {
           extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
                                               g.nx() + g.ny());
         }
       }
-      res.trees[n] = RouteTree{};
       if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
         // Hard disconnection — no amount of iteration will fix it.
         res.success = false;
-        res.overused_nodes = router.count_overuse();
+        res.overused_nodes = router.occ.overused_count();
+        router.cnt.t_search_s += wall_s() - t0;
+        res.counters = router.cnt;
         return res;
       }
     }
-    res.overused_nodes = router.count_overuse();
+    router.cnt.t_search_s += wall_s() - t0;
+    res.overused_nodes = router.occ.overused_count();
     if (std::getenv("NF_ROUTE_DEBUG")) {
       std::fprintf(stderr, "iter %zu overused=%zu pres=%g\n", iter,
                    res.overused_nodes, router.pres_fac);
       for (RrNodeId i = 0; i < g.node_count(); ++i) {
-        if (router.occ[i] > g.node(i).capacity) {
+        if (router.occ.overused(i)) {
           std::fprintf(stderr, "  node %u type=%d occ=%d cap=%d\n", i,
-                       static_cast<int>(g.node(i).type), router.occ[i],
-                       g.node(i).capacity);
+                       static_cast<int>(g.node(i).type), router.occ.occ(i),
+                       router.occ.capacity(i));
         }
       }
     }
@@ -315,19 +539,24 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
                res.overused_nodes > best_overuse * 95 / 100) {
       break;
     }
+    t0 = wall_s();
     router.update_history();
+    router.cnt.t_bookkeep_s += wall_s() - t0;
     router.pres_fac =
         std::min(router.pres_fac * opt.pres_fac_mult, opt.pres_fac_max);
   }
 
   if (res.success) {
-    std::unordered_set<RrNodeId> wires;
+    // Wire census over the final trees, deduped with the same epoch marks
+    // the per-net loop uses (no hash set, no allocation).
+    ++router.mark_cur;
     for (const auto& t : res.trees) {
       for (const auto& [from, to] : t.edges) {
         (void)from;
         const RrNode& n = g.node(to);
         if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
-          if (wires.insert(to).second) {
+          if (router.mark[to] != router.mark_cur) {
+            router.mark[to] = router.mark_cur;
             ++res.wire_segments_used;
             res.total_wire_tiles += n.length;
           }
@@ -335,6 +564,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
       }
     }
   }
+  res.counters = router.cnt;
   return res;
 }
 
@@ -344,6 +574,8 @@ void check_routing(const RrGraph& g, const Placement& pl,
     throw std::logic_error("check_routing: tree count mismatch");
   }
   std::vector<std::uint32_t> occ(g.node_count(), 0);
+  std::vector<std::uint32_t> reached(g.node_count(), 0);
+  std::uint32_t pass = 0;
   for (std::size_t n = 0; n < pl.nets.size(); ++n) {
     const RouteTree& t = r.trees[n];
     const BlockLoc& d = pl.locs[pl.nets[n].driver];
@@ -351,17 +583,21 @@ void check_routing(const RrGraph& g, const Placement& pl,
       throw std::logic_error("check_routing: wrong source");
     }
     ++occ[t.source];
-    std::unordered_set<RrNodeId> reached{t.source};
+    ++pass;
+    reached[t.source] = pass;
     for (const auto& [from, to] : t.edges) {
-      if (!reached.contains(from)) {
+      if (reached[from] != pass) {
         throw std::logic_error("check_routing: disconnected edge");
       }
-      if (reached.insert(to).second) ++occ[to];
+      if (reached[to] != pass) {
+        reached[to] = pass;
+        ++occ[to];
+      }
     }
     // Every sink block's SINK node must be reached.
     for (std::size_t s : pl.nets[n].sinks) {
       const BlockLoc& l = pl.locs[s];
-      if (!reached.contains(g.site(l.x, l.y).sink)) {
+      if (reached[g.site(l.x, l.y).sink] != pass) {
         throw std::logic_error("check_routing: sink not reached");
       }
     }
@@ -391,7 +627,22 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
     const RrGraph g(a, pl.nx, pl.ny);
     return route_all(g, pl, opt).success;
   };
+  // The rounds below only ever consume probe results up to and including
+  // the first success — later entries are discarded. With idle threads it
+  // is still worth speculating on the whole round at once; on a serial
+  // pool, evaluate lazily in order and stop at the first success instead,
+  // which skips exactly the probes whose results the search would throw
+  // away. Both paths therefore feed the search identical decisions, so
+  // Wmin stays thread-count independent (pinned by the golden tests).
   auto probe = [&](const std::vector<std::size_t>& ws) {
+    if (ThreadPool::current().thread_count() <= 1) {
+      std::vector<bool> ok(ws.size(), false);
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        ok[i] = routes_at(ws[i]);
+        if (ok[i]) break;
+      }
+      return ok;
+    }
     return parallel_map(ws.size(),
                         [&](std::size_t i) { return routes_at(ws[i]); });
   };
@@ -416,6 +667,11 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
       lo = ws[i] + 1;
     }
     if (hi == 0 && w > kMaxW) {
+      std::fprintf(stderr,
+                   "find_min_channel_width: grow phase hit the W cap "
+                   "(kMaxW=%zu, last lower bound %zu) — design is "
+                   "unroutable at any modeled width\n",
+                   kMaxW, lo);
       throw std::runtime_error("find_min_channel_width: unroutable design");
     }
   }

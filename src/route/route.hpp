@@ -6,6 +6,7 @@
 // topologies.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/rr_graph.hpp"
@@ -31,6 +32,32 @@ struct RouteOptions {
   std::size_t bb_margin = 3;  ///< Net bounding-box routing constraint.
   /// Reroute only congestion-touching nets (fast) vs all nets (classic).
   bool incremental = true;
+  /// Rip up only the congested branches of a rerouted net and rebuild the
+  /// search from the surviving partial tree, instead of discarding the
+  /// whole tree. Changes the routing result (the seed tree biases the
+  /// search), so it is off by default — the default configuration is
+  /// bit-compatible with the classic full rip-up router and pinned by
+  /// golden tests.
+  bool prune_ripup = false;
+};
+
+/// Always-on router work counters (see bench/route_perf.cpp and the
+/// "Router performance" section of EXPERIMENTS.md). Everything except the
+/// wall times is bit-deterministic for a given (graph, placement,
+/// options) at any thread count.
+struct RouteCounters {
+  std::uint64_t heap_pushes = 0;    ///< Priority-queue insertions.
+  std::uint64_t heap_pops = 0;      ///< Priority-queue removals.
+  std::uint64_t nodes_expanded = 0; ///< Pops surviving the stale check.
+  std::uint64_t sink_searches = 0;  ///< A* runs (excl. shared-sink hits).
+  std::uint64_t nets_routed = 0;    ///< route_net calls, all iterations.
+  std::uint64_t nets_rerouted = 0;  ///< route_net calls after iteration 1.
+  /// Nets whose routing grew any scratch buffer. Stays O(log net size)
+  /// for the whole run — the steady-state per-net search loop performs
+  /// zero heap allocations (asserted by tests/test_route_golden.cpp).
+  std::uint64_t scratch_grows = 0;
+  double t_search_s = 0.0;   ///< Wall time in the per-net search loop.
+  double t_bookkeep_s = 0.0; ///< Cost-cache rebuild + history updates.
 };
 
 struct RoutingResult {
@@ -38,6 +65,7 @@ struct RoutingResult {
   std::size_t iterations = 0;
   std::vector<RouteTree> trees;  ///< Parallel to Placement::nets.
   std::size_t overused_nodes = 0;
+  RouteCounters counters;
 
   /// Wire statistics for the power/area models.
   std::size_t wire_segments_used = 0;

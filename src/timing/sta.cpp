@@ -7,19 +7,24 @@
 
 namespace nemfpga {
 
-std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
-                                      const PlacedNet& net,
-                                      const Placement& pl,
-                                      const ElectricalView& view) {
-  std::unordered_map<RrNodeId, double> delay;
-  delay.reserve(tree.edges.size() + 1);
-  delay[tree.source] = view.t_output_path;
+void routed_net_delays(const RrGraph& g, const RouteTree& tree,
+                       const PlacedNet& net, const Placement& pl,
+                       const ElectricalView& view, NetDelayScratch& scratch,
+                       std::vector<double>& out) {
+  if (scratch.epoch.size() != g.node_count()) {
+    scratch.epoch.assign(g.node_count(), 0);
+    scratch.delay.assign(g.node_count(), 0.0);
+    scratch.cur = 0;
+  }
+  const std::uint32_t cur = ++scratch.cur;
+  auto known = [&](RrNodeId id) { return scratch.epoch[id] == cur; };
+  scratch.epoch[tree.source] = cur;
+  scratch.delay[tree.source] = view.t_output_path;
   for (const auto& [from, to] : tree.edges) {
-    const auto it = delay.find(from);
-    if (it == delay.end()) {
+    if (!known(from)) {
       throw std::logic_error("routed_net_delays: edge from unknown node");
     }
-    double d = it->second;
+    double d = scratch.delay[from];
     switch (g.node(to).type) {
       case RrType::kChanX:
       case RrType::kChanY:
@@ -32,19 +37,30 @@ std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
         break;  // OPIN / SINK add no additional stage
     }
     // Keep the earliest (tree order guarantees a single write in practice).
-    delay.emplace(to, d);
+    if (!known(to)) {
+      scratch.epoch[to] = cur;
+      scratch.delay[to] = d;
+    }
   }
-  std::vector<double> out;
+  out.clear();
   out.reserve(net.sinks.size());
   for (std::size_t s : net.sinks) {
     const BlockLoc& l = pl.locs[s];
     const RrNodeId sink = g.site(l.x, l.y).sink;
-    const auto it = delay.find(sink);
-    if (it == delay.end()) {
+    if (!known(sink)) {
       throw std::logic_error("routed_net_delays: sink not in tree");
     }
-    out.push_back(it->second);
+    out.push_back(scratch.delay[sink]);
   }
+}
+
+std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
+                                      const PlacedNet& net,
+                                      const Placement& pl,
+                                      const ElectricalView& view) {
+  NetDelayScratch scratch;
+  std::vector<double> out;
+  routed_net_delays(g, tree, net, pl, view, scratch, out);
   return out;
 }
 
@@ -62,10 +78,12 @@ TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
       pl.nets.size());
   double log_sum = 0.0;
   std::size_t n_delays = 0;
+  NetDelayScratch scratch;  // one allocation for the whole run
+  std::vector<double> delays;
   for (std::size_t i = 0; i < pl.nets.size(); ++i) {
     net_to_placed[pl.nets[i].net] = i;
-    const auto delays =
-        routed_net_delays(g, routing.trees[i], pl.nets[i], pl, view);
+    routed_net_delays(g, routing.trees[i], pl.nets[i], pl, view, scratch,
+                      delays);
     for (std::size_t s = 0; s < delays.size(); ++s) {
       sink_delay[i].emplace(pl.nets[i].sinks[s], delays[s]);
       if (delays[s] > 0.0) {

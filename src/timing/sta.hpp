@@ -16,8 +16,24 @@
 
 namespace nemfpga {
 
+/// Reusable per-node delay store for routed_net_delays: an epoch-stamped
+/// flat array shared across all nets of a timing run (same pattern as the
+/// router's scratch arena), so evaluating a net costs zero heap
+/// allocations after the first call.
+struct NetDelayScratch {
+  std::vector<double> delay;
+  std::vector<std::uint32_t> epoch;
+  std::uint32_t cur = 0;
+};
+
 /// Delay from a routed net's driver to each of its sink *blocks*,
-/// parallel to PlacedNet::sinks.
+/// parallel to PlacedNet::sinks. Appends into `out` (cleared first).
+void routed_net_delays(const RrGraph& g, const RouteTree& tree,
+                       const PlacedNet& net, const Placement& pl,
+                       const ElectricalView& view, NetDelayScratch& scratch,
+                       std::vector<double>& out);
+
+/// Convenience wrapper with one-shot scratch (tests, single-net callers).
 std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
                                       const PlacedNet& net,
                                       const Placement& pl,

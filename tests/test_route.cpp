@@ -4,7 +4,9 @@
 #include "netlist/synth_gen.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
+#include "route/overuse.hpp"
 #include "route/route.hpp"
+#include "util/rng.hpp"
 
 namespace nemfpga {
 namespace {
@@ -117,6 +119,168 @@ TEST(Route, DeterministicResult) {
   for (std::size_t n = 0; n < r1.trees.size(); ++n) {
     EXPECT_EQ(r1.trees[n].edges, r2.trees[n].edges);
   }
+}
+
+TEST(OveruseTracker, IncDecMaintainsExactCountAndFlags) {
+  OveruseTracker t(std::vector<std::uint16_t>{1, 2, 1, 3});
+  EXPECT_EQ(t.overused_count(), 0u);
+  EXPECT_TRUE(t.consistent());
+
+  t.inc(0);  // occ=1 cap=1 — full but not overused
+  EXPECT_FALSE(t.overused(0));
+  EXPECT_EQ(t.overused_count(), 0u);
+
+  t.inc(0);  // occ=2 — overused
+  EXPECT_TRUE(t.overused(0));
+  EXPECT_EQ(t.overused_count(), 1u);
+  EXPECT_TRUE(t.consistent());
+
+  t.inc(1);
+  t.inc(1);
+  t.inc(1);  // occ=3 cap=2 — overused
+  EXPECT_EQ(t.overused_count(), 2u);
+
+  t.dec(0);  // back to occ=1 — clears
+  EXPECT_FALSE(t.overused(0));
+  EXPECT_EQ(t.overused_count(), 1u);
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(OveruseTracker, RipUpRerouteChurnStaysConsistent) {
+  // Deterministic random inc/dec churn, never letting occ go negative,
+  // validated against the O(V) ground-truth recount.
+  const std::size_t n = 64;
+  std::vector<std::uint16_t> cap(n);
+  Rng rng(1234);
+  for (auto& c : cap) c = static_cast<std::uint16_t>(1 + rng.next_u64() % 3);
+  OveruseTracker t(cap);
+  std::vector<int> occ(n, 0);
+  for (int step = 0; step < 5000; ++step) {
+    const RrNodeId id = rng.next_u64() % n;
+    if (occ[id] > 0 && rng.next_u64() % 2) {
+      --occ[id];
+      t.dec(id);
+    } else {
+      ++occ[id];
+      t.inc(id);
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(t.consistent()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(t.consistent());
+}
+
+TEST(OveruseTracker, ForEachVisitsEachOverusedOnceAndCompacts) {
+  OveruseTracker t(std::vector<std::uint16_t>{1, 1, 1, 1});
+  t.inc(0);
+  t.inc(0);  // over by 1
+  t.inc(2);
+  t.inc(2);
+  t.inc(2);  // over by 2
+  t.inc(3);
+  t.inc(3);  // over by 1, then cleared again below
+  t.dec(3);
+
+  std::vector<std::pair<RrNodeId, int>> seen;
+  t.for_each_overused([&](RrNodeId id, int over) {
+    seen.emplace_back(id, over);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<RrNodeId, int>{0, 1}));
+  EXPECT_EQ(seen[1], (std::pair<RrNodeId, int>{2, 2}));
+  EXPECT_TRUE(t.consistent());
+
+  // Re-overusing a still-listed node must not double-visit it.
+  t.inc(3);
+  seen.clear();
+  t.for_each_overused([&](RrNodeId id, int) { seen.emplace_back(id, 0); });
+  ASSERT_EQ(seen.size(), 3u);
+  std::vector<RrNodeId> ids;
+  for (const auto& [id, over] : seen) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<RrNodeId>{0, 2, 3}));
+}
+
+TEST(Route, PruneRipupConvergesToLegalRouting) {
+  // Branch-level rip-up is an opt-in policy that changes trees (it is
+  // deliberately NOT bit-compatible with the default full rip-up); it
+  // must still converge to a legal routing.
+  Flow f(150, 40, "route-prune");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  RouteOptions opt;
+  opt.prune_ripup = true;
+  const auto r = route_all(g, f.pl, opt);
+  ASSERT_TRUE(r.success) << "overused=" << r.overused_nodes;
+  check_routing(g, f.pl, r);
+}
+
+TEST(Route, CheckRoutingCatchesWrongSource) {
+  Flow f(100, 40, "route-check-src");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success);
+  r.trees[0].source = r.trees[0].source + 1;
+  EXPECT_THROW(check_routing(g, f.pl, r), std::logic_error);
+}
+
+TEST(Route, CheckRoutingCatchesDisconnectedEdge) {
+  Flow f(100, 40, "route-check-edge");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success);
+  // Point the first edge's parent at a node the tree never reached.
+  std::size_t victim = r.trees.size();
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (!r.trees[n].edges.empty()) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_LT(victim, r.trees.size());
+  auto& e = r.trees[victim].edges.front();
+  e.first = (e.first + 1 == g.node_count()) ? e.first - 1 : e.first + 1;
+  EXPECT_THROW(check_routing(g, f.pl, r), std::logic_error);
+}
+
+TEST(Route, CheckRoutingCatchesCapacityViolation) {
+  Flow f(100, 40, "route-check-cap");
+  const RrGraph g(f.arch, f.pl.nx, f.pl.ny);
+  auto r = route_all(g, f.pl);
+  ASSERT_TRUE(r.success);
+  // Occupancy is deduped per net, so the violation must span two nets:
+  // splice a unit-capacity wire already used by one tree into a second
+  // tree, hanging it off that tree's own source so the edge itself is
+  // connected. The wire then carries two nets against capacity 1.
+  RrNodeId wire = kNoRrNode;
+  std::size_t owner = r.trees.size();
+  for (std::size_t n = 0; n < r.trees.size() && wire == kNoRrNode; ++n) {
+    for (const auto& [from, to] : r.trees[n].edges) {
+      const auto ty = g.node(to).type;
+      if ((ty == RrType::kChanX || ty == RrType::kChanY) &&
+          g.node(to).capacity == 1) {
+        wire = to;
+        owner = n;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(wire, kNoRrNode);
+  std::size_t other = r.trees.size();
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (n == owner) continue;
+    bool uses = false;
+    for (const auto& [from, to] : r.trees[n].edges) {
+      if (to == wire) uses = true;
+    }
+    if (!uses) {
+      other = n;
+      break;
+    }
+  }
+  ASSERT_LT(other, r.trees.size());
+  r.trees[other].edges.emplace_back(r.trees[other].source, wire);
+  EXPECT_THROW(check_routing(g, f.pl, r), std::logic_error);
 }
 
 TEST(Route, CheckRoutingCatchesCorruption) {

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1).
+
+Usage:
+    bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
+    bench_check.py --selftest
+
+Exit status is non-zero when the candidate run
+  * is missing, malformed, or uses a different schema,
+  * disagrees with the baseline on any correctness-bearing field
+    (Wmin, tree checksum, iteration count, fixed route width), or
+  * regresses total wall time by more than --max-regress percent
+    (default 15; wall time is noisy, correctness fields are not).
+
+Only the Python standard library is used, so the script runs anywhere
+CTest does (see the bench_smoke target).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "nemfpga-route-bench-1"
+EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {data.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    if not isinstance(data.get("circuits"), list) or not data["circuits"]:
+        raise ValueError(f"{path}: no circuits recorded")
+    return data
+
+
+def compare(base, cand, max_regress_pct):
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    base_by_name = {c["name"]: c for c in base["circuits"]}
+    for c in cand["circuits"]:
+        b = base_by_name.get(c["name"])
+        if b is None:
+            # Candidate may run a superset of circuits; that is fine.
+            continue
+        for field in EXACT_FIELDS:
+            if b[field] != c[field]:
+                failures.append(
+                    f"{c['name']}: {field} changed "
+                    f"{b[field]!r} -> {c[field]!r} (routing is pinned "
+                    "bit-identical; any drift is a correctness bug)")
+        for counter in ("heap_pushes", "nodes_expanded", "sink_searches"):
+            bc = b["counters"].get(counter)
+            cc = c["counters"].get(counter)
+            if bc != cc:
+                failures.append(
+                    f"{c['name']}: counter {counter} changed {bc} -> {cc} "
+                    "(search explored different work for identical input)")
+    missing = [n for n in base_by_name
+               if n not in {c["name"] for c in cand["circuits"]}]
+    if missing:
+        failures.append(f"candidate dropped circuits: {', '.join(missing)}")
+
+    bw, cw = base["total_wall_s"], cand["total_wall_s"]
+    if bw > 0 and cw > bw * (1.0 + max_regress_pct / 100.0):
+        failures.append(
+            f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
+            f"(> {max_regress_pct:.0f}% budget)")
+    return failures
+
+
+def selftest():
+    base = {
+        "schema": SCHEMA,
+        "total_wall_s": 10.0,
+        "circuits": [{
+            "name": "tseng", "wmin": 45, "tree_checksum": "abc",
+            "iterations": 11, "fixed_w": 54,
+            "counters": {"heap_pushes": 7, "nodes_expanded": 5,
+                         "sink_searches": 3},
+        }],
+    }
+    same = json.loads(json.dumps(base))
+    assert compare(base, same, 15.0) == [], "identical runs must pass"
+
+    slow = json.loads(json.dumps(base))
+    slow["total_wall_s"] = 12.0
+    assert compare(base, slow, 15.0), "20% regression must fail"
+    assert not compare(base, slow, 25.0), "20% within a 25% budget passes"
+
+    drift = json.loads(json.dumps(base))
+    drift["circuits"][0]["tree_checksum"] = "xyz"
+    assert compare(base, drift, 15.0), "checksum drift must fail"
+
+    drift = json.loads(json.dumps(base))
+    drift["circuits"][0]["wmin"] = 46
+    assert compare(base, drift, 15.0), "wmin drift must fail"
+
+    drift = json.loads(json.dumps(base))
+    drift["circuits"][0]["counters"]["heap_pushes"] = 8
+    assert compare(base, drift, 15.0), "counter drift must fail"
+
+    dropped = json.loads(json.dumps(base))
+    dropped["circuits"] = [dict(base["circuits"][0], name="other")]
+    assert compare(base, dropped, 15.0), "dropped circuit must fail"
+    print("bench_check selftest: OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("candidate", nargs="?")
+    ap.add_argument("--max-regress", type=float, default=15.0,
+                    metavar="PCT",
+                    help="wall-time regression budget in percent "
+                         "(default 15)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the built-in unit checks and exit")
+    args = ap.parse_args()
+
+    if args.selftest:
+        selftest()
+        return 0
+    if not args.baseline or not args.candidate:
+        ap.error("baseline and candidate files are required "
+                 "(or use --selftest)")
+
+    try:
+        base = load(args.baseline)
+        cand = load(args.candidate)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_check: {e}", file=sys.stderr)
+        return 1
+
+    failures = compare(base, cand, args.max_regress)
+    for f in failures:
+        print(f"bench_check: FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"bench_check: OK ({len(cand['circuits'])} circuits, "
+              f"{base['total_wall_s']:.2f}s -> {cand['total_wall_s']:.2f}s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
