@@ -20,6 +20,7 @@
 #include "place/place.hpp"
 #include "route/route.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/check.hpp"
 
 using namespace nemfpga;
 
@@ -111,6 +112,11 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
   std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-1\",\n");
   std::fprintf(f, "  \"threads\": %zu,\n",
                ThreadPool::current().thread_count());
+  // Recorded so bench_check can waive the wall-time budget when one run
+  // paid for invariant checking and the other did not; the correctness
+  // fields and work counters stay pinned either way.
+  std::fprintf(f, "  \"invariants_checked\": %s,\n",
+               verify::checks_enabled() ? "true" : "false");
   double total = 0.0;
   for (const auto& r : reps) total += r.wmin_wall_s + r.route_wall_s;
   std::fprintf(f, "  \"total_wall_s\": %.6f,\n", total);

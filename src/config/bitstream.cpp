@@ -6,14 +6,55 @@
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 
 #include "device/beam_dynamics.hpp"
 #include "device/equivalent.hpp"
 #include "device/variation.hpp"
+#include "program/half_select.hpp"
+#include "verify/check.hpp"
 
 namespace nemfpga {
 namespace {
+
+/// Invariant hook (NF_CHECK_INVARIANTS): each tile's on-relay list must be
+/// duplicate-free, and half-select programming an ideal (nominal-device)
+/// crossbar of that shape with the nominal window must read back exactly
+/// the tile's pattern — the program→readback roundtrip.
+void check_tile_roundtrip(
+    const std::vector<std::pair<std::uint16_t, std::uint16_t>>& on,
+    const char* what) {
+  if (on.empty()) return;
+  std::size_t rows = 0, cols = 0;
+  for (const auto& [r, c] : on) {
+    rows = std::max<std::size_t>(rows, r + 1);
+    cols = std::max<std::size_t>(cols, c + 1);
+  }
+  CrossbarPattern target(rows, cols);
+  for (const auto& [r, c] : on) {
+    if (target.at(r, c)) {
+      throw std::logic_error(std::string("generate_bitstream: duplicate ") +
+                             what + " relay coordinate");
+    }
+    target.set(r, c, true);
+  }
+  const RelayDesign nominal = fabricated_relay();
+  PopulationEnvelope env;
+  env.vpi_min = env.vpi_max = nominal.pull_in_voltage();
+  env.vpo_min = env.vpo_max = nominal.pull_out_voltage();
+  env.min_hysteresis = env.vpi_min - env.vpo_max;
+  const auto v = solve_program_window(env);
+  if (!v) {
+    throw std::logic_error("generate_bitstream: no nominal program window");
+  }
+  RelayCrossbar xbar(rows, cols, nominal);
+  const CrossbarPattern readback = program_half_select(xbar, target, *v);
+  if (!(readback == target)) {
+    throw std::logic_error(std::string("generate_bitstream: ") + what +
+                           " roundtrip mismatch");
+  }
+}
 
 /// Kuhn's augmenting-path bipartite matching: items (nets) to slots (pins).
 /// `candidates[i]` lists the slots item i may take. Returns slot per item
@@ -255,6 +296,17 @@ Bitstream generate_bitstream(const FlowResult& flow) {
       }
     }
   }
+  // The bit-line column must be unique per home tile, and the bare track
+  // number is not: a tile owns an X and a Y channel, and the grid-edge
+  // tiles additionally own the boundary channel (index 0) folded onto
+  // them by the clamp below, which runs parallel to their own channel
+  // with the same track numbering. Encode both distinctions into the
+  // column: [0,W) X, [W,2W) folded X, [2W,3W) Y, [3W,4W) folded Y.
+  // Shared route segments may select the same wire from several nets;
+  // those map to the same physical relay and are emitted once.
+  std::map<std::tuple<std::size_t, std::size_t, std::uint16_t, std::uint16_t>,
+           RrNodeId>
+      sb_seen;
   for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
     for (const auto& [from, to] : flow.routing.trees[i].edges) {
       const RrNode& n = g.node(to);
@@ -270,9 +322,21 @@ Bitstream generate_bitstream(const FlowResult& flow) {
           n.increasing ? n.x_lo : n.x_hi, 1, flow.placement.nx);
       const std::size_t sy = std::clamp<std::size_t>(
           n.increasing ? n.y_lo : n.y_hi, 1, flow.placement.ny);
-      tile(sx, sy).sb_on.emplace_back(
-          static_cast<std::uint16_t>(it - ins.begin()),
-          static_cast<std::uint16_t>(n.track));
+      const auto row = static_cast<std::uint16_t>(it - ins.begin());
+      const bool chany = n.type == RrType::kChanY;
+      const std::size_t chan = chany ? n.x_lo : n.y_lo;
+      const auto col = static_cast<std::uint16_t>(
+          n.track + arch.W * ((chan == 0 ? 1u : 0u) + (chany ? 2u : 0u)));
+      const auto [seen, inserted] =
+          sb_seen.try_emplace({sx, sy, row, col}, to);
+      if (!inserted) {
+        if (seen->second != to) {
+          throw std::logic_error(
+              "generate_bitstream: two wires map to one switch-box relay");
+        }
+        continue;  // same wire re-selected by another net's shared path
+      }
+      tile(sx, sy).sb_on.emplace_back(row, col);
     }
   }
 
@@ -328,6 +392,11 @@ Bitstream generate_bitstream(const FlowResult& flow) {
   }
 
   for (auto& [xy, t] : tiles) {
+    if (verify::checks_enabled()) {
+      check_tile_roundtrip(t.crossbar_on, "crossbar");
+      check_tile_roundtrip(t.cb_on, "connection-block");
+      check_tile_roundtrip(t.sb_on, "switch-box");
+    }
     bs.relays_on += t.crossbar_on.size() + t.cb_on.size() + t.sb_on.size();
     bs.tiles.push_back(std::move(t));
   }

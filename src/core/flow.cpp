@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "verify/check.hpp"
+
 namespace nemfpga {
 
 FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
@@ -9,9 +11,15 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
   r.arch = opt.arch;
   r.netlist = std::move(netlist);
   r.packing = pack_netlist(r.netlist, r.arch);
+  if (verify::checks_enabled()) {
+    check_packing(r.netlist, r.arch, r.packing);
+  }
   const auto [nx, ny] = grid_size_for(r.arch, r.packing.clusters.size(),
                                       r.packing.io_block_count());
   r.placement = place(r.netlist, r.packing, r.arch, nx, ny, opt.place);
+  if (verify::checks_enabled()) {
+    check_placement(r.packing, r.arch, r.placement);
+  }
   r.graph = std::make_unique<RrGraph>(r.arch, nx, ny);
   r.routing = route_all(*r.graph, r.placement, opt.route);
   if (!r.routing.success) {

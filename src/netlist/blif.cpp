@@ -33,6 +33,10 @@ bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
     if (!raw.empty() && raw.back() == '\\') {
       raw.pop_back();
       line += raw;
+      // The continuation character is a token separator: without this the
+      // last token before the '\' glues onto the first token of the next
+      // line (".inputs a b\" + "c" used to parse as "a bc").
+      line += ' ';
       continue;
     }
     line += raw;

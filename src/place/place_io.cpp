@@ -5,6 +5,30 @@
 #include <stdexcept>
 
 namespace nemfpga {
+namespace {
+
+/// Strict non-negative integer parse. Stream extraction into an unsigned
+/// type silently wraps negative inputs ("-1" became 18446744073709551615
+/// and passed the nx/ny sanity check), and std::stoul throws
+/// std::invalid_argument / std::out_of_range instead of the parser's
+/// documented std::runtime_error.
+std::size_t parse_size(const std::string& tok, const char* what) {
+  if (tok.empty() || tok.size() > 19) {
+    throw std::runtime_error(std::string("placement: bad ") + what + ": " +
+                             tok);
+  }
+  std::size_t v = 0;
+  for (char ch : tok) {
+    if (ch < '0' || ch > '9') {
+      throw std::runtime_error(std::string("placement: bad ") + what + ": " +
+                               tok);
+    }
+    v = v * 10 + static_cast<std::size_t>(ch - '0');
+  }
+  return v;
+}
+
+}  // namespace
 
 void write_placement(const Placement& pl, std::ostream& out) {
   out << "Array size: " << pl.nx << " x " << pl.ny << " logic blocks\n";
@@ -35,10 +59,15 @@ Placement read_placement(std::istream& in, std::size_t expected_blocks) {
   }
   {
     std::istringstream is(line);
-    std::string a, s, colon, x;
+    std::string a, s, nx_tok, x, ny_tok;
     // "Array size: <nx> x <ny> logic blocks"
-    is >> a >> s >> pl.nx >> x >> pl.ny;
-    if (a != "Array" || s != "size:" || x != "x" || pl.nx == 0 || pl.ny == 0) {
+    is >> a >> s >> nx_tok >> x >> ny_tok;
+    if (a != "Array" || s != "size:" || x != "x") {
+      throw std::runtime_error("placement: bad header: " + line);
+    }
+    pl.nx = parse_size(nx_tok, "array width");
+    pl.ny = parse_size(ny_tok, "array height");
+    if (pl.nx == 0 || pl.ny == 0) {
       throw std::runtime_error("placement: bad header: " + line);
     }
   }
@@ -47,15 +76,18 @@ Placement read_placement(std::istream& in, std::size_t expected_blocks) {
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream is(line);
-    std::string name;
-    BlockLoc l;
-    if (!(is >> name >> l.x >> l.y >> l.sub)) {
+    std::string name, xs, ys, subs;
+    if (!(is >> name >> xs >> ys >> subs)) {
       throw std::runtime_error("placement: bad row: " + line);
     }
+    BlockLoc l;
+    l.x = parse_size(xs, "x coordinate");
+    l.y = parse_size(ys, "y coordinate");
+    l.sub = parse_size(subs, "sub-block");
     if (name.size() < 2 || name[0] != 'b') {
       throw std::runtime_error("placement: bad block name: " + name);
     }
-    const std::size_t idx = std::stoul(name.substr(1));
+    const std::size_t idx = parse_size(name.substr(1), "block index");
     if (idx >= expected_blocks) {
       throw std::runtime_error("placement: block index out of range: " + name);
     }

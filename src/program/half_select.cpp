@@ -1,7 +1,10 @@
 #include "program/half_select.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "verify/check.hpp"
 
 namespace nemfpga {
 
@@ -40,6 +43,20 @@ std::optional<ProgrammingVoltages> solve_program_window(
   ProgrammingVoltages v;
   v.vhold = env.vpo_max + m;
   v.vselect = (env.vpi_max - env.vpo_max) / 2.0;
+  // Invariant hook (NF_CHECK_INVARIANTS): a solved window must actually
+  // work for the envelope it was solved from, and the balanced-window
+  // construction makes all three noise margins equal m*.
+  if (verify::checks_enabled()) {
+    if (!voltages_work_for(env, v)) {
+      throw std::logic_error("solve_program_window: solved window invalid");
+    }
+    const NoiseMargins nm = noise_margins(env, v);
+    const double tol = 1e-9 * std::max(1.0, env.vpi_max);
+    if (std::abs(nm.hold - m) > tol || std::abs(nm.half_select - m) > tol ||
+        std::abs(nm.full_select - m) > tol) {
+      throw std::logic_error("solve_program_window: margins not balanced");
+    }
+  }
   return v;
 }
 
@@ -66,6 +83,25 @@ CrossbarPattern program_half_select(RelayCrossbar& xbar,
   row_v.assign(xbar.rows(), v.vhold);
   col_v.assign(xbar.cols(), 0.0);
   xbar.apply_bias(row_v, col_v);
+  // Invariant hook (NF_CHECK_INVARIANTS): whenever the applied voltages
+  // satisfy every relay's half-select constraints, the programmed state
+  // must equal the target — that implication is the whole scheme.
+  if (verify::checks_enabled()) {
+    bool all_ok = true;
+    for (std::size_t r = 0; all_ok && r < xbar.rows(); ++r) {
+      for (std::size_t c = 0; c < xbar.cols(); ++c) {
+        const RelaySample& s = xbar.relay(r, c);
+        if (!voltages_work_for(s.vpi, s.vpo, v)) {
+          all_ok = false;
+          break;
+        }
+      }
+    }
+    if (all_ok && !(xbar.state() == target)) {
+      throw std::logic_error(
+          "program_half_select: valid window but wrong pattern");
+    }
+  }
   return xbar.state();
 }
 

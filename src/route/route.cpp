@@ -10,6 +10,7 @@
 
 #include "route/overuse.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/check.hpp"
 
 namespace nemfpga {
 namespace {
@@ -565,6 +566,11 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
     }
   }
   res.counters = router.cnt;
+  // Invariant hook: a successful routing must be legal — connected trees,
+  // every sink reached, no capacity overflow (NF_CHECK_INVARIANTS).
+  if (res.success && verify::checks_enabled()) {
+    check_routing(g, pl, res);
+  }
   return res;
 }
 

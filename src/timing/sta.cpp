@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "verify/check.hpp"
+
 namespace nemfpga {
 
 void routed_net_delays(const RrGraph& g, const RouteTree& tree,
@@ -185,6 +187,21 @@ TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
   result.critical_path = cp;
   result.geomean_net_delay =
       n_delays ? std::exp(log_sum / static_cast<double>(n_delays)) : 0.0;
+  // Invariant hook (NF_CHECK_INVARIANTS): the topological pass above
+  // already proved acyclicity by count; additionally every arrival time
+  // must be finite and non-negative, and the critical path must dominate
+  // every individual arrival's logic component.
+  if (verify::checks_enabled()) {
+    for (BlockId b = 0; b < nl.block_count(); ++b) {
+      const double a = result.arrival[b];
+      if (!std::isfinite(a) || a < 0.0) {
+        throw std::logic_error("analyze_timing: non-finite/negative arrival");
+      }
+    }
+    if (!std::isfinite(result.critical_path) || result.critical_path < 0.0) {
+      throw std::logic_error("analyze_timing: bad critical path");
+    }
+  }
   return result;
 }
 

@@ -1,0 +1,24 @@
+#include "verify/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nemfpga::verify {
+
+bool checks_enabled() {
+  static const bool on = [] {
+    if (const char* e = std::getenv("NF_CHECK_INVARIANTS")) {
+      // Any non-empty value other than "0" enables; "0"/"" disable even
+      // when the build defaulted the checks on.
+      return e[0] != '\0' && std::strcmp(e, "0") != 0;
+    }
+#ifdef NF_CHECK_INVARIANTS_DEFAULT_ON
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return on;
+}
+
+}  // namespace nemfpga::verify

@@ -1,0 +1,25 @@
+// Runtime switch for the flow-stage invariant checkers (NF_CHECK_INVARIANTS).
+//
+// Every CAD stage owns cheap-to-state, expensive-to-run invariants (routing
+// legality, timing-graph coverage, bitstream program->readback roundtrip,
+// half-select window feasibility). They are wired into the stages themselves
+// behind this switch, so that with NF_CHECK_INVARIANTS=1 every existing
+// test, bench, and example doubles as a whole-flow checker run — no new
+// harness needed. The switch is intentionally dependency-free (this header
+// is included from every layer) and resolved once per process.
+//
+// Enabling:
+//   * environment:  NF_CHECK_INVARIANTS=1 ./build/bench/table1_channel_width
+//   * build-time:   cmake -B build -DNF_CHECK_INVARIANTS=ON   (default ON for
+//     that tree; NF_CHECK_INVARIANTS=0 in the environment still disables it)
+//
+// Violations throw std::logic_error from the stage that detected them.
+#pragma once
+
+namespace nemfpga::verify {
+
+/// True when invariant checking is on for this process (see file header).
+/// First call reads the environment; subsequent calls are a load.
+bool checks_enabled();
+
+}  // namespace nemfpga::verify

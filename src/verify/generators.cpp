@@ -1,0 +1,170 @@
+#include "verify/generators.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "device/nem_relay.hpp"
+#include "netlist/blif.hpp"
+#include "place/place_io.hpp"
+
+namespace nemfpga::verify {
+
+std::string DesignCase::describe() const {
+  std::ostringstream os;
+  os << "spec{name=" << spec.name << " luts=" << spec.n_luts
+     << " in=" << spec.n_inputs << " out=" << spec.n_outputs
+     << " ff=" << spec.n_latches << " loc=" << spec.locality
+     << " gep=" << spec.global_edge_prob << "} arch{N=" << arch.N
+     << " W=" << arch.W << " L=" << arch.L << " fc_in=" << arch.fc_in
+     << " fc_out=" << arch.fc_out << "} route{iters=" << route.max_iterations
+     << " astar=" << route.astar_fac << " bb=" << route.bb_margin
+     << " incr=" << route.incremental << " prune=" << route.prune_ripup
+     << "} place{seed=" << place_seed << " inner=" << place_inner_num << "}";
+  return os.str();
+}
+
+DesignCase gen_design_case(Rng& rng) {
+  DesignCase c;
+  c.spec.name = "prop" + std::to_string(rng.next_u64());
+  c.spec.n_luts = 6 + rng.uniform_int(64);
+  c.spec.n_inputs = 3 + rng.uniform_int(8);
+  c.spec.n_outputs = 2 + rng.uniform_int(6);
+  c.spec.n_latches = rng.uniform_int(c.spec.n_luts / 4 + 1);
+  c.spec.lut_inputs = 4;
+  c.spec.locality = rng.uniform(0.6, 1.8);
+  c.spec.global_edge_prob = rng.uniform(0.0, 0.12);
+
+  c.arch.N = 4 + rng.uniform_int(7);          // 4..10 LUTs per cluster
+  c.arch.K = 4;
+  c.arch.L = 1 + rng.uniform_int(4);          // segment length 1..4
+  c.arch.W = 6 + 2 * rng.uniform_int(5);      // 6..14 tracks (congested)
+  c.arch.fc_in = rng.uniform(0.15, 0.5);
+  c.arch.fc_out = rng.uniform(0.1, 0.4);
+
+  c.route.max_iterations = 40;
+  c.route.astar_fac = 1.0 + 0.1 * rng.uniform_int(4);  // 1.0..1.3
+  c.route.bb_margin = 1 + rng.uniform_int(4);
+  c.route.incremental = rng.chance(0.8);
+  c.route.prune_ripup = rng.chance(0.25);
+
+  c.place_seed = 1 + rng.uniform_int(1 << 20);
+  c.place_inner_num = 0.1;
+  return c;
+}
+
+std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
+  std::vector<DesignCase> out;
+  auto push = [&](auto&& mutate) {
+    DesignCase s = c;
+    mutate(s);
+    out.push_back(std::move(s));
+  };
+  if (c.spec.n_luts > 6) {
+    push([&](DesignCase& s) {
+      s.spec.n_luts = std::max<std::size_t>(6, c.spec.n_luts / 2);
+      s.spec.n_latches = std::min(s.spec.n_latches, s.spec.n_luts / 4);
+    });
+    push([&](DesignCase& s) {
+      s.spec.n_luts = c.spec.n_luts - 1;
+      s.spec.n_latches = std::min(s.spec.n_latches, s.spec.n_luts / 4);
+    });
+  }
+  if (c.spec.n_latches > 0) {
+    push([&](DesignCase& s) { s.spec.n_latches = 0; });
+  }
+  if (c.spec.n_inputs > 3) {
+    push([&](DesignCase& s) { s.spec.n_inputs = c.spec.n_inputs - 1; });
+  }
+  if (c.spec.n_outputs > 2) {
+    push([&](DesignCase& s) { s.spec.n_outputs = c.spec.n_outputs - 1; });
+  }
+  if (c.arch.W > 6) {
+    push([&](DesignCase& s) { s.arch.W = c.arch.W - 2; });
+  }
+  if (c.route.prune_ripup) {
+    push([&](DesignCase& s) { s.route.prune_ripup = false; });
+  }
+  if (!c.route.incremental) {
+    push([&](DesignCase& s) { s.route.incremental = true; });
+  }
+  return out;
+}
+
+BuiltDesign build_design(const DesignCase& c) {
+  BuiltDesign d;
+  d.arch = c.arch;
+  d.nl = generate_netlist(c.spec);
+  d.pk = pack_netlist(d.nl, d.arch);
+  const auto [nx, ny] =
+      grid_size_for(d.arch, d.pk.clusters.size(), d.pk.io_block_count());
+  d.nx = nx;
+  d.ny = ny;
+  PlaceOptions popt;
+  popt.seed = c.place_seed;
+  popt.inner_num = c.place_inner_num;
+  d.pl = place(d.nl, d.pk, d.arch, nx, ny, popt);
+  return d;
+}
+
+RelayDesign gen_relay_design(Rng& rng) {
+  RelayDesign d = fabricated_relay();
+  auto& g = d.geometry;
+  g.length *= rng.uniform(0.8, 1.25);
+  g.thickness *= rng.uniform(0.8, 1.25);
+  g.gap *= rng.uniform(0.8, 1.25);
+  g.gap_min = std::clamp(g.gap_min * rng.uniform(0.7, 1.4), 0.05 * g.gap,
+                         0.95 * g.gap);
+  d.adhesion_force *= rng.uniform(0.0, 2.0);
+  return d;
+}
+
+VariationSpec gen_variation_spec(Rng& rng) {
+  const VariationSpec fab = fabricated_variation();
+  VariationSpec s;
+  const double scale = rng.uniform(0.0, 2.0);
+  s.sigma_length_rel = fab.sigma_length_rel * scale;
+  s.sigma_thickness_rel = fab.sigma_thickness_rel * scale;
+  s.sigma_gap_rel = fab.sigma_gap_rel * scale;
+  s.sigma_gap_min_rel = fab.sigma_gap_min_rel * scale;
+  s.sigma_adhesion_rel = fab.sigma_adhesion_rel * scale;
+  return s;
+}
+
+CrossbarPattern gen_pattern(Rng& rng, std::size_t rows, std::size_t cols,
+                            double p_fill) {
+  CrossbarPattern p(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      p.set(r, c, rng.chance(p_fill));
+    }
+  }
+  return p;
+}
+
+std::string gen_blif_text(Rng& rng) {
+  SynthSpec spec;
+  spec.name = "fuzz" + std::to_string(rng.next_u64());
+  spec.n_luts = 3 + rng.uniform_int(20);
+  spec.n_inputs = 2 + rng.uniform_int(5);
+  spec.n_outputs = 1 + rng.uniform_int(4);
+  spec.n_latches = rng.uniform_int(spec.n_luts / 3 + 1);
+  spec.lut_inputs = 4;
+  return write_blif_string(generate_netlist(spec));
+}
+
+std::string gen_placement_text(Rng& rng, std::size_t& blocks_out) {
+  Placement pl;
+  pl.nx = 2 + rng.uniform_int(6);
+  pl.ny = 2 + rng.uniform_int(6);
+  const std::size_t n = 1 + rng.uniform_int(24);
+  pl.locs.resize(n);
+  for (auto& l : pl.locs) {
+    l.x = rng.uniform_int(pl.nx + 2);
+    l.y = rng.uniform_int(pl.ny + 2);
+    l.sub = rng.uniform_int(8);
+  }
+  blocks_out = n;
+  return write_placement_string(pl);
+}
+
+}  // namespace nemfpga::verify

@@ -1,0 +1,76 @@
+// Seeded random-case generators for the property-based differential
+// harness: small netlists, architectures, packed+placed designs, relay
+// populations, and crossbar patterns. Every generator is a pure function
+// of the Rng it draws from, and the heavyweight descriptors (DesignCase)
+// carry their own seeds so a case rebuilds identically during shrinking
+// and replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "arch/rr_graph.hpp"
+#include "device/variation.hpp"
+#include "netlist/synth_gen.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "program/crossbar.hpp"
+#include "route/route.hpp"
+#include "util/rng.hpp"
+
+namespace nemfpga::verify {
+
+/// A self-contained CAD-flow test case: the synthetic-netlist spec, the
+/// architecture, and the option/seed set needed to rebuild the identical
+/// packed+placed design from scratch (shrinkers mutate this descriptor and
+/// the property re-derives everything from it).
+struct DesignCase {
+  SynthSpec spec;
+  ArchParams arch;
+  RouteOptions route;
+  std::uint64_t place_seed = 1;
+  double place_inner_num = 0.1;
+
+  std::string describe() const;
+};
+
+/// Draw a small random DesignCase (6..~70 LUTs, narrow channels so the
+/// router actually negotiates congestion).
+DesignCase gen_design_case(Rng& rng);
+
+/// Shrink candidates: fewer LUTs/latches/IOs, narrower W, simpler route
+/// options — each strictly "smaller" so greedy shrinking terminates.
+std::vector<DesignCase> shrink_design_case(const DesignCase& c);
+
+/// The built form of a DesignCase (everything the router/STA consume).
+struct BuiltDesign {
+  Netlist nl;
+  ArchParams arch;
+  Packing pk;
+  Placement pl;
+  std::size_t nx = 0, ny = 0;
+};
+
+/// Deterministically rebuild (generate, pack, place) a DesignCase.
+BuiltDesign build_design(const DesignCase& c);
+
+/// Random relay design near the fabricated device (varied geometry).
+RelayDesign gen_relay_design(Rng& rng);
+
+/// Random variation spec (0..~2x the fabricated tolerances).
+VariationSpec gen_variation_spec(Rng& rng);
+
+/// Random crossbar pattern with the given fill probability.
+CrossbarPattern gen_pattern(Rng& rng, std::size_t rows, std::size_t cols,
+                            double p_fill);
+
+/// A valid BLIF text for parser fuzzing (random netlist, serialized).
+std::string gen_blif_text(Rng& rng);
+
+/// A valid placement text for parser fuzzing; `blocks_out` receives the
+/// block count the text describes.
+std::string gen_placement_text(Rng& rng, std::size_t& blocks_out);
+
+}  // namespace nemfpga::verify

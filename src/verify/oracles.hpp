@@ -1,0 +1,99 @@
+// Reference oracles: deliberately naive reimplementations of the optimized
+// CAD kernels, for differential property testing (tests/prop/). Each
+// oracle trades every optimization in the production kernel — scratch
+// arenas, epoch stamps, incremental trackers, cost caches, thread pools —
+// for the most transparent data structure that states the same algorithm
+// (hash maps, full rescans, recursion, plain serial loops). The pairs are:
+//
+//   reference_route_all        vs  route_all        (bit-identical)
+//   ReferenceOveruse           vs  OveruseTracker   (bit-identical)
+//   reference_analyze_timing   vs  analyze_timing   (tolerance-bounded)
+//   reference_programming_yield vs programming_yield (bit-identical)
+//   reference_sample_population_parallel
+//                              vs  sample_population_parallel (bit-identical)
+//
+// See DESIGN.md "Verification" for why each pairing is exact or bounded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/variation.hpp"
+#include "program/yield.hpp"
+#include "route/route.hpp"
+#include "timing/sta.hpp"
+
+namespace nemfpga::verify {
+
+/// Naive PathFinder: hash-map relaxation state, per-net containers
+/// allocated fresh, full-rescan overuse counting and history updates.
+/// Must agree bit-for-bit with route_all on trees, iterations, success,
+/// overuse and wire census for any (graph, placement, options).
+RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
+                                  const RouteOptions& opt = {});
+
+/// Human-readable first difference between two routing results; empty
+/// string when they agree exactly (checksum-level comparison plus field
+/// diagnostics, so a prop failure names the diverging net).
+std::string diff_routing(const RoutingResult& a, const RoutingResult& b);
+
+/// Full-rescan occupancy/overuse bookkeeping (the classic PathFinder
+/// iteration pass the incremental OveruseTracker replaces).
+class ReferenceOveruse {
+ public:
+  explicit ReferenceOveruse(std::vector<std::uint16_t> capacities)
+      : cap_(std::move(capacities)), occ_(cap_.size(), 0) {}
+
+  void inc(std::size_t id) { ++occ_[id]; }
+  void dec(std::size_t id) { --occ_[id]; }
+  std::uint16_t occ(std::size_t id) const { return occ_[id]; }
+  bool overused(std::size_t id) const { return occ_[id] > cap_[id]; }
+
+  /// O(V) rescan, recomputed from scratch on every call.
+  std::size_t overused_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < occ_.size(); ++i) {
+      if (occ_[i] > cap_[i]) ++n;
+    }
+    return n;
+  }
+
+  /// Overused node ids in ascending id order (the rescan order).
+  std::vector<std::size_t> overused_nodes() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < occ_.size(); ++i) {
+      if (occ_[i] > cap_[i]) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::uint16_t> cap_;
+  std::vector<std::uint16_t> occ_;
+};
+
+/// Recursive (memoized DFS) static timing analysis with map-based net
+/// delay evaluation; agrees with the epoch-stamped analyze_timing within
+/// tight floating-point tolerance (identical arc sums, identical maxima).
+TimingResult reference_analyze_timing(const Netlist& nl, const Packing& pack,
+                                      const Placement& pl, const RrGraph& g,
+                                      const RoutingResult& routing,
+                                      const ElectricalView& view);
+
+/// Plain serial Monte-Carlo yield loop (no thread pool, no deferred
+/// reduction); the parallel programming_yield must match it bit-for-bit
+/// at any thread count.
+YieldResult reference_programming_yield(const RelayDesign& nominal,
+                                        const VariationSpec& spec,
+                                        std::size_t rows, std::size_t cols,
+                                        std::size_t trials, Rng& rng,
+                                        VoltagePolicy policy);
+
+/// Serial equivalent of sample_population_parallel (one child stream per
+/// index, drawn in a plain loop).
+std::vector<RelaySample> reference_sample_population_parallel(
+    const RelayDesign& nominal, const VariationSpec& spec, std::size_t n,
+    Rng& rng);
+
+}  // namespace nemfpga::verify

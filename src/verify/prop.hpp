@@ -1,0 +1,214 @@
+// Minimal header-only property-based testing core for the differential
+// verification harness (tests/prop/). Deliberately small: seeded
+// generators, greedy shrinking, and a per-case replay seed printed on
+// failure — nothing more.
+//
+// Model: a *generator* draws a case descriptor from an Rng; a *property*
+// examines it and throws PropFailure (via prop_require / prop_fail) on
+// violation; an optional *shrinker* proposes strictly-smaller descriptors,
+// which the harness applies greedily while the property keeps failing.
+// Case i runs on the independent stream Rng::from_stream(base_seed, i), so
+// any failing case replays in isolation:
+//
+//   NF_PROP_SEED=<base> NF_PROP_CASE=<i> ctest -R <test> ...
+//
+// NF_PROP_CASES scales the case count (all suites), e.g. a nightly
+// NF_PROP_CASES=5000 run. All knobs are read per check() call.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nemfpga::verify {
+
+/// Thrown by properties on violation. Anything else escaping a property
+/// (std::logic_error from an invariant checker, a crash under a sanitizer)
+/// fails the case too, with the exception text as the message.
+struct PropFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void prop_fail(const std::string& msg) {
+  throw PropFailure(msg);
+}
+
+inline void prop_require(bool cond, const std::string& msg) {
+  if (!cond) prop_fail(msg);
+}
+
+/// Require near-equality of two doubles (differential tolerance checks).
+inline void prop_require_close(double a, double b, double rel_tol,
+                               const std::string& what) {
+  const double scale = std::max({1.0, a < 0 ? -a : a, b < 0 ? -b : b});
+  const double diff = a > b ? a - b : b - a;
+  if (diff > rel_tol * scale) {
+    std::ostringstream os;
+    os.precision(17);
+    os << what << ": " << a << " vs " << b << " (|diff| " << diff
+       << " > rel_tol " << rel_tol << ")";
+    prop_fail(os.str());
+  }
+}
+
+struct PropConfig {
+  std::size_t cases = 200;
+  std::uint64_t base_seed = 0x6e656d6670676131ull;  // "nemfpga1"
+  std::size_t max_shrink_tries = 400;
+  /// Replay mode: run exactly this case index and nothing else.
+  std::optional<std::size_t> only_case;
+
+  /// Environment-driven config: NF_PROP_CASES, NF_PROP_SEED, NF_PROP_CASE.
+  /// `min_cases` is the suite's floor — the env can raise but not lower it
+  /// (except in single-case replay mode).
+  static PropConfig from_env(std::size_t min_cases = 200) {
+    PropConfig cfg;
+    cfg.cases = min_cases;
+    if (const char* e = std::getenv("NF_PROP_CASES")) {
+      const unsigned long long v = std::strtoull(e, nullptr, 10);
+      if (v > cfg.cases) cfg.cases = static_cast<std::size_t>(v);
+    }
+    if (const char* e = std::getenv("NF_PROP_SEED")) {
+      cfg.base_seed = std::strtoull(e, nullptr, 0);
+    }
+    if (const char* e = std::getenv("NF_PROP_CASE")) {
+      cfg.only_case = static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    }
+    return cfg;
+  }
+};
+
+struct PropResult {
+  std::string name;
+  std::size_t cases_run = 0;
+  std::uint64_t base_seed = 0;
+  std::optional<std::size_t> failing_case;
+  std::string message;         ///< Failure message (after shrinking).
+  std::string counterexample;  ///< describe() of the shrunk failing value.
+  std::size_t shrink_steps = 0;
+
+  bool ok() const { return !failing_case.has_value(); }
+
+  std::string report() const {
+    if (ok()) {
+      return name + ": " + std::to_string(cases_run) + " cases OK (seed " +
+             std::to_string(base_seed) + ")";
+    }
+    std::ostringstream os;
+    os << name << ": FAILED case " << *failing_case << " after "
+       << shrink_steps << " shrink steps\n  " << message;
+    if (!counterexample.empty()) {
+      os << "\n  counterexample: " << counterexample;
+    }
+    os << "\n  replay: NF_PROP_SEED=" << base_seed
+       << " NF_PROP_CASE=" << *failing_case;
+    return os.str();
+  }
+};
+
+/// No-shrink placeholder.
+template <typename T>
+inline std::vector<T> no_shrink(const T&) {
+  return {};
+}
+
+namespace detail {
+
+/// Run the property; return the failure message, or nullopt on pass.
+template <typename T, typename PropFn>
+std::optional<std::string> run_one(PropFn&& prop, const T& value) {
+  try {
+    prop(value);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return std::string(e.what());
+  }
+}
+
+/// `describe(v)` if the type has one, else empty.
+template <typename T>
+std::string describe_value(const T& v) {
+  if constexpr (requires { v.describe(); }) {
+    return v.describe();
+  } else {
+    (void)v;
+    return {};
+  }
+}
+
+}  // namespace detail
+
+/// Run `prop` over `cfg.cases` generated values; on the first failure,
+/// shrink greedily and return the populated PropResult (also printed to
+/// stderr so the replay line survives test-framework truncation).
+template <typename GenFn, typename PropFn, typename ShrinkFn>
+PropResult check(const std::string& name, const PropConfig& cfg, GenFn&& gen,
+                 PropFn&& prop, ShrinkFn&& shrink) {
+  using T = decltype(gen(std::declval<Rng&>()));
+  PropResult res;
+  res.name = name;
+  res.base_seed = cfg.base_seed;
+
+  const std::size_t first = cfg.only_case.value_or(0);
+  const std::size_t last = cfg.only_case ? first + 1 : cfg.cases;
+  for (std::size_t i = first; i < last; ++i) {
+    Rng rng = Rng::from_stream(cfg.base_seed, i);
+    T value = gen(rng);
+    ++res.cases_run;
+    auto failure = detail::run_one<T>(prop, value);
+    if (!failure) continue;
+
+    // Greedy shrink: keep the first candidate that still fails; stop at a
+    // local minimum or the try budget.
+    std::size_t tries = 0;
+    bool improved = true;
+    while (improved && tries < cfg.max_shrink_tries) {
+      improved = false;
+      for (T& cand : shrink(value)) {
+        if (++tries > cfg.max_shrink_tries) break;
+        if (auto f = detail::run_one<T>(prop, cand)) {
+          value = std::move(cand);
+          failure = std::move(f);
+          ++res.shrink_steps;
+          improved = true;
+          break;
+        }
+      }
+    }
+    res.failing_case = i;
+    res.message = *failure;
+    res.counterexample = detail::describe_value(value);
+    std::fprintf(stderr, "[prop] %s\n", res.report().c_str());
+    return res;
+  }
+  return res;
+}
+
+template <typename GenFn, typename PropFn>
+PropResult check(const std::string& name, const PropConfig& cfg, GenFn&& gen,
+                 PropFn&& prop) {
+  using T = decltype(gen(std::declval<Rng&>()));
+  return check(name, cfg, gen, prop, no_shrink<T>);
+}
+
+/// Seed-only variant for properties that draw everything internally (no
+/// shrinkable descriptor): prop receives the case Rng directly.
+template <typename PropFn>
+PropResult check_seeds(const std::string& name, const PropConfig& cfg,
+                       PropFn&& prop) {
+  return check(
+      name, cfg, [](Rng& rng) { return rng; },
+      [&](const Rng& rng) {
+        Rng copy = rng;
+        prop(copy);
+      });
+}
+
+}  // namespace nemfpga::verify

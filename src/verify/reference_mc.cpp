@@ -1,0 +1,64 @@
+// Reference Monte-Carlo oracles: plain serial loops stating the stream
+// semantics the parallel kernels promise ("rng is consumed for exactly one
+// draw; trial/relay i samples from its own child stream; reduce in index
+// order"). The production paths must match these bit-for-bit at any thread
+// count — that claim is what tests/prop/prop_parallel_diff checks.
+#include "verify/oracles.hpp"
+
+#include <optional>
+
+#include "program/half_select.hpp"
+
+namespace nemfpga::verify {
+
+std::vector<RelaySample> reference_sample_population_parallel(
+    const RelayDesign& nominal, const VariationSpec& spec, std::size_t n,
+    Rng& rng) {
+  const std::uint64_t stream = rng.next_u64();
+  std::vector<RelaySample> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng child = Rng::from_stream(stream, i);
+    out[i] = sample_relay(nominal, spec, child);
+  }
+  return out;
+}
+
+YieldResult reference_programming_yield(const RelayDesign& nominal,
+                                        const VariationSpec& spec,
+                                        std::size_t rows, std::size_t cols,
+                                        std::size_t trials, Rng& rng,
+                                        VoltagePolicy policy) {
+  YieldResult result;
+  result.trials = trials;
+
+  PopulationEnvelope nominal_env;
+  nominal_env.vpi_min = nominal_env.vpi_max = nominal.pull_in_voltage();
+  nominal_env.vpo_min = nominal_env.vpo_max = nominal.pull_out_voltage();
+  nominal_env.min_hysteresis = nominal_env.vpi_min - nominal_env.vpo_max;
+  const auto fixed = solve_program_window(nominal_env);
+  if (trials == 0) return result;
+
+  const std::uint64_t stream = rng.next_u64();
+  double margin_sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng trial_rng = Rng::from_stream(stream, t);
+    const auto pop = sample_population(nominal, spec, rows * cols, trial_rng);
+    const auto env = envelope(pop);
+
+    std::optional<ProgrammingVoltages> v;
+    if (policy == VoltagePolicy::kPerArrayCalibrated) {
+      v = solve_program_window(env);
+    } else {
+      v = fixed;
+    }
+    if (!v || !voltages_work_for(env, *v)) continue;
+    ++result.good_arrays;
+    margin_sum += noise_margins(env, *v).worst();
+  }
+  if (result.good_arrays > 0) {
+    result.mean_worst_margin = margin_sum / result.good_arrays;
+  }
+  return result;
+}
+
+}  // namespace nemfpga::verify

@@ -1,0 +1,434 @@
+// Reference PathFinder oracle. This is the "straightforward implementation"
+// the optimized router's comments promise bit-identity with: the same
+// algorithm (same comparator, same relaxation epsilons, same deterministic
+// jitter, same iteration schedule), expressed with per-net hash maps and
+// full O(V) rescans instead of the production scratch arena, HotNode cost
+// cache, epoch stamps and incremental overuse tracker. Any divergence
+// between the two is a bug in one of them — that is the point.
+#include "verify/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nemfpga::verify {
+namespace {
+
+struct RefRouter {
+  const RrGraph& g;
+  const Placement& pl;
+  const RouteOptions& opt;
+
+  std::vector<std::uint16_t> cap;
+  std::vector<std::uint32_t> occ;
+  std::vector<float> history;  // float, like the production router
+  std::vector<double> base_cost;
+  std::vector<double> cost;  // per-iteration: base * (1 + history) * jitter
+  double pres_fac;
+
+  struct QItem {
+    double cost;
+    double known;
+    RrNodeId node;
+    bool operator>(const QItem& o) const { return cost > o.cost; }
+  };
+
+  RefRouter(const RrGraph& graph, const Placement& placement,
+            const RouteOptions& options)
+      : g(graph), pl(placement), opt(options) {
+    const std::size_t n = g.node_count();
+    cap.resize(n);
+    occ.assign(n, 0);
+    history.assign(n, 0.0f);
+    base_cost.resize(n);
+    cost.resize(n);
+    for (RrNodeId i = 0; i < n; ++i) {
+      cap[i] = g.node(i).capacity;
+      base_cost[i] = node_base_cost(g.node(i));
+    }
+    pres_fac = opt.first_iter_pres_fac;
+  }
+
+  static double node_base_cost(const RrNode& n) {
+    switch (n.type) {
+      case RrType::kChanX:
+      case RrType::kChanY:
+        return static_cast<double>(n.length);
+      case RrType::kIpin:
+        return 0.95;
+      case RrType::kSink:
+        return 0.0;
+      default:
+        return 1.0;
+    }
+  }
+
+  bool overused(RrNodeId id) const { return occ[id] > cap[id]; }
+
+  std::size_t overused_count() const {
+    std::size_t n = 0;
+    for (RrNodeId i = 0; i < g.node_count(); ++i) {
+      if (overused(i)) ++n;
+    }
+    return n;
+  }
+
+  void begin_iteration(std::size_t iter) {
+    const std::uint32_t salt = static_cast<std::uint32_t>(iter) * 40503u;
+    for (RrNodeId i = 0; i < g.node_count(); ++i) {
+      const std::uint32_t h = (i * 2654435761u) ^ salt;
+      const double jitter =
+          1.0 + 0.02 * static_cast<double>((h >> 16) & 0xff) / 255.0;
+      cost[i] =
+          (base_cost[i] * (1.0 + static_cast<double>(history[i]))) * jitter;
+    }
+  }
+
+  double congestion_cost(RrNodeId id) const {
+    const int over = static_cast<int>(occ[id]) + 1 - static_cast<int>(cap[id]);
+    if (over <= 0) return cost[id];
+    return cost[id] * (1.0 + over * pres_fac);
+  }
+
+  double heuristic(RrNodeId from, RrNodeId to) const {
+    const RrNode& a = g.node(from);
+    const RrNode& b = g.node(to);
+    const auto clampdist = [](int lo1, int hi1, int lo2, int hi2) {
+      if (hi1 < lo2) return lo2 - hi1;
+      if (hi2 < lo1) return lo1 - hi2;
+      return 0;
+    };
+    const int dx = clampdist(a.x_lo, a.x_hi, b.x_lo, b.x_hi);
+    const int dy = clampdist(a.y_lo, a.y_hi, b.y_lo, b.y_hi);
+    return opt.astar_fac * static_cast<double>(dx + dy);
+  }
+
+  bool route_net(const PlacedNet& net, RouteTree& out, std::size_t extra_bb) {
+    bool ok = route_net_bb(net, out, opt.bb_margin + extra_bb);
+    if (!ok) {
+      out = RouteTree{};
+      ok = route_net_bb(net, out, g.nx() + g.ny());
+    }
+    return ok;
+  }
+
+  bool route_net_bb(const PlacedNet& net, RouteTree& out,
+                    std::size_t bb_margin) {
+    const BlockLoc& dloc = pl.locs[net.driver];
+    const RrNodeId source = g.site(dloc.x, dloc.y).source;
+    out.source = source;
+    out.sinks.clear();
+
+    int x_lo = static_cast<int>(dloc.x), x_hi = x_lo;
+    int y_lo = static_cast<int>(dloc.y), y_hi = y_lo;
+    std::vector<RrNodeId> sink_nodes;
+    for (std::size_t s : net.sinks) {
+      const BlockLoc& l = pl.locs[s];
+      sink_nodes.push_back(g.site(l.x, l.y).sink);
+      x_lo = std::min(x_lo, static_cast<int>(l.x));
+      x_hi = std::max(x_hi, static_cast<int>(l.x));
+      y_lo = std::min(y_lo, static_cast<int>(l.y));
+      y_hi = std::max(y_hi, static_cast<int>(l.y));
+    }
+    const int m = static_cast<int>(bb_margin);
+    x_lo -= m;
+    x_hi += m;
+    y_lo -= m;
+    y_hi += m;
+    auto in_bb = [&](const RrNode& n) {
+      return static_cast<int>(n.x_hi) >= x_lo &&
+             static_cast<int>(n.x_lo) <= x_hi &&
+             static_cast<int>(n.y_hi) >= y_lo &&
+             static_cast<int>(n.y_lo) <= y_hi;
+    };
+
+    // Sink order: near-to-far from the driver (same keys, same sort).
+    std::vector<std::uint32_t> order(sink_nodes.size());
+    std::vector<double> sink_keys(sink_nodes.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+      sink_keys[i] = heuristic(source, sink_nodes[i]);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return sink_keys[a] < sink_keys[b];
+              });
+
+    std::vector<RrNodeId> tree_nodes{source};
+    std::unordered_set<RrNodeId> in_tree{source};
+    for (const auto& [from, to] : out.edges) {
+      (void)from;
+      if (in_tree.insert(to).second) tree_nodes.push_back(to);
+    }
+
+    std::vector<QItem> heap;
+    for (std::uint32_t oi : order) {
+      const RrNodeId target = sink_nodes[oi];
+      if (in_tree.contains(target)) {
+        out.sinks.push_back(target);
+        continue;
+      }
+      // Per-search relaxation state: plain hash maps.
+      std::unordered_map<RrNodeId, double> path_cost;
+      std::unordered_map<RrNodeId, RrNodeId> prev;
+      heap.clear();
+      for (RrNodeId n : tree_nodes) {
+        path_cost[n] = 0.0;
+        prev[n] = kNoRrNode;
+        heap.push_back({heuristic(n, target), 0.0, n});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+      bool found = false;
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+        const QItem item = heap.back();
+        heap.pop_back();
+        const RrNodeId u = item.node;
+        if (const auto it = path_cost.find(u);
+            it != path_cost.end() && item.known > it->second + 1e-9) {
+          continue;  // stale entry
+        }
+        if (u == target) {
+          found = true;
+          break;
+        }
+        for (const RrEdge& e : g.edges(u)) {
+          const RrNodeId v = e.to;
+          const RrNode& vn = g.node(v);
+          if (!in_bb(vn)) continue;
+          if (vn.type == RrType::kSink && v != target) continue;
+          const double new_cost = item.known + congestion_cost(v);
+          const auto it = path_cost.find(v);
+          if (it == path_cost.end() || new_cost < it->second - 1e-9) {
+            path_cost[v] = new_cost;
+            prev[v] = u;
+            heap.push_back({new_cost + heuristic(v, target), new_cost, v});
+            std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+          }
+        }
+      }
+      if (!found) {
+        for (std::size_t i = 1; i < tree_nodes.size(); ++i) {
+          --occ[tree_nodes[i]];
+        }
+        return false;
+      }
+      std::vector<std::pair<RrNodeId, RrNodeId>> path;
+      RrNodeId n = target;
+      while (prev.at(n) != kNoRrNode) {
+        path.emplace_back(prev.at(n), n);
+        n = prev.at(n);
+      }
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        out.edges.push_back(*it);
+        if (in_tree.insert(it->second).second) {
+          tree_nodes.push_back(it->second);
+          ++occ[it->second];
+        }
+      }
+      out.sinks.push_back(target);
+    }
+    ++occ[source];
+    return true;
+  }
+
+  void rip_up(const RouteTree& t) {
+    if (t.source == kNoRrNode) return;
+    --occ[t.source];
+    std::unordered_set<RrNodeId> seen;
+    for (const auto& [from, to] : t.edges) {
+      (void)from;
+      if (seen.insert(to).second) --occ[to];
+    }
+  }
+
+  void prune_tree(const PlacedNet& net, RouteTree& t) {
+    if (t.source == kNoRrNode) return;
+    // Pass 1 (forward): keep the clean source-connected subtree.
+    std::vector<std::pair<RrNodeId, RrNodeId>> kept;
+    std::unordered_set<RrNodeId> keep;
+    if (!overused(t.source)) keep.insert(t.source);
+    for (const auto& e : t.edges) {
+      if (keep.contains(e.first) && !overused(e.second)) {
+        keep.insert(e.second);
+        kept.push_back(e);
+      } else {
+        --occ[e.second];
+      }
+    }
+    // Pass 2 (reverse): drop branches feeding none of the net's sinks.
+    std::unordered_set<RrNodeId> useful;
+    for (std::size_t s : net.sinks) {
+      const BlockLoc& l = pl.locs[s];
+      const RrNodeId sk = g.site(l.x, l.y).sink;
+      if (keep.contains(sk)) useful.insert(sk);
+    }
+    std::vector<std::pair<RrNodeId, RrNodeId>> rev;
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+      if (useful.contains(it->second)) {
+        useful.insert(it->first);
+        rev.push_back(*it);
+      } else {
+        --occ[it->second];
+      }
+    }
+    --occ[t.source];
+    t.edges.assign(rev.rbegin(), rev.rend());
+    t.sinks.clear();
+  }
+
+  void update_history() {
+    for (RrNodeId i = 0; i < g.node_count(); ++i) {
+      if (overused(i)) {
+        history[i] += static_cast<float>(
+            opt.history_fac * (static_cast<int>(occ[i]) -
+                               static_cast<int>(cap[i])));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
+                                  const RouteOptions& opt) {
+  RefRouter router(g, pl, opt);
+  RoutingResult res;
+  res.trees.assign(pl.nets.size(), {});
+  std::size_t best_overuse = static_cast<std::size_t>(-1);
+  std::size_t best_iter = 0;
+
+  auto touches_overuse = [&](const RouteTree& t) {
+    if (t.source == kNoRrNode) return true;
+    if (router.overused(t.source)) return true;
+    for (const auto& [from, to] : t.edges) {
+      (void)from;
+      if (router.overused(to)) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
+
+  for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+    res.iterations = iter;
+    router.begin_iteration(iter);
+    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+      if (iter > 1) {
+        if (opt.incremental) {
+          if (router.overused_count() == 0) break;
+          if (!touches_overuse(res.trees[n])) continue;
+        }
+        if (opt.prune_ripup) {
+          router.prune_tree(pl.nets[n], res.trees[n]);
+        } else {
+          router.rip_up(res.trees[n]);
+          res.trees[n] = RouteTree{};
+        }
+        if (iter > 12) {
+          extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
+                                              g.nx() + g.ny());
+        }
+      }
+      if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+        res.success = false;
+        res.overused_nodes = router.overused_count();
+        return res;
+      }
+    }
+    res.overused_nodes = router.overused_count();
+    if (res.overused_nodes == 0) {
+      res.success = true;
+      break;
+    }
+    if (res.overused_nodes < best_overuse) {
+      best_overuse = res.overused_nodes;
+      best_iter = iter;
+    } else if (best_overuse > 20 && iter > best_iter + 15 &&
+               res.overused_nodes > best_overuse * 95 / 100) {
+      break;
+    }
+    router.update_history();
+    router.pres_fac =
+        std::min(router.pres_fac * opt.pres_fac_mult, opt.pres_fac_max);
+  }
+
+  if (res.success) {
+    std::unordered_set<RrNodeId> counted;
+    for (const auto& t : res.trees) {
+      for (const auto& [from, to] : t.edges) {
+        (void)from;
+        const RrNode& n = g.node(to);
+        if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
+          if (counted.insert(to).second) {
+            ++res.wire_segments_used;
+            res.total_wire_tiles += n.length;
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::string diff_routing(const RoutingResult& a, const RoutingResult& b) {
+  std::ostringstream os;
+  if (a.success != b.success) {
+    os << "success " << a.success << " vs " << b.success;
+    return os.str();
+  }
+  if (a.iterations != b.iterations) {
+    os << "iterations " << a.iterations << " vs " << b.iterations;
+    return os.str();
+  }
+  if (a.overused_nodes != b.overused_nodes) {
+    os << "overused_nodes " << a.overused_nodes << " vs " << b.overused_nodes;
+    return os.str();
+  }
+  if (a.trees.size() != b.trees.size()) {
+    os << "tree count " << a.trees.size() << " vs " << b.trees.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    const RouteTree& ta = a.trees[i];
+    const RouteTree& tb = b.trees[i];
+    if (ta.source != tb.source) {
+      os << "net " << i << ": source " << ta.source << " vs " << tb.source;
+      return os.str();
+    }
+    if (ta.edges != tb.edges) {
+      os << "net " << i << ": edge lists differ (" << ta.edges.size()
+         << " vs " << tb.edges.size() << " edges)";
+      for (std::size_t e = 0;
+           e < std::min(ta.edges.size(), tb.edges.size()); ++e) {
+        if (ta.edges[e] != tb.edges[e]) {
+          os << "; first diff at edge " << e << ": (" << ta.edges[e].first
+             << "->" << ta.edges[e].second << ") vs (" << tb.edges[e].first
+             << "->" << tb.edges[e].second << ")";
+          break;
+        }
+      }
+      return os.str();
+    }
+    if (ta.sinks != tb.sinks) {
+      os << "net " << i << ": sink lists differ";
+      return os.str();
+    }
+  }
+  if (a.wire_segments_used != b.wire_segments_used) {
+    os << "wire_segments_used " << a.wire_segments_used << " vs "
+       << b.wire_segments_used;
+    return os.str();
+  }
+  if (a.total_wire_tiles != b.total_wire_tiles) {
+    os << "total_wire_tiles " << a.total_wire_tiles << " vs "
+       << b.total_wire_tiles;
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace nemfpga::verify

@@ -1,0 +1,147 @@
+// Reference STA oracle: memoized recursive arrival-time computation with
+// plain hash-map net-delay evaluation, versus the production
+// analyze_timing's epoch-stamped scratch + queue-based topological pass.
+// Both evaluate the same max/+ arc expressions, so they agree to tight
+// floating-point tolerance (summation order of the geomean accumulator is
+// the only reassociated quantity).
+#include "verify/oracles.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nemfpga::verify {
+namespace {
+
+/// Naive per-net delay evaluation: walk the tree edges into a fresh map.
+std::unordered_map<RrNodeId, double> naive_tree_delays(
+    const RrGraph& g, const RouteTree& tree, const ElectricalView& view) {
+  std::unordered_map<RrNodeId, double> delay;
+  delay[tree.source] = view.t_output_path;
+  for (const auto& [from, to] : tree.edges) {
+    const auto it = delay.find(from);
+    if (it == delay.end()) {
+      throw std::logic_error("reference STA: edge from unknown node");
+    }
+    double d = it->second;
+    switch (g.node(to).type) {
+      case RrType::kChanX:
+      case RrType::kChanY:
+        d += view.t_wire_stage;
+        break;
+      case RrType::kIpin:
+        d += view.t_input_path;
+        break;
+      default:
+        break;
+    }
+    delay.try_emplace(to, d);  // first write wins, like the scratch epoch
+  }
+  return delay;
+}
+
+}  // namespace
+
+TimingResult reference_analyze_timing(const Netlist& nl, const Packing& pack,
+                                      const Placement& pl, const RrGraph& g,
+                                      const RoutingResult& routing,
+                                      const ElectricalView& view) {
+  if (routing.trees.size() != pl.nets.size()) {
+    throw std::invalid_argument(
+        "reference_analyze_timing: routing/placement mismatch");
+  }
+
+  std::unordered_map<NetId, std::size_t> net_to_placed;
+  std::vector<std::unordered_map<std::size_t, double>> sink_delay(
+      pl.nets.size());
+  double log_sum = 0.0;
+  std::size_t n_delays = 0;
+  for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+    net_to_placed[pl.nets[i].net] = i;
+    const auto delay = naive_tree_delays(g, routing.trees[i], view);
+    for (std::size_t s = 0; s < pl.nets[i].sinks.size(); ++s) {
+      const BlockLoc& l = pl.locs[pl.nets[i].sinks[s]];
+      const auto it = delay.find(g.site(l.x, l.y).sink);
+      if (it == delay.end()) {
+        throw std::logic_error("reference STA: sink not in tree");
+      }
+      sink_delay[i].emplace(pl.nets[i].sinks[s], it->second);
+      if (it->second > 0.0) {
+        log_sum += std::log(it->second);
+        ++n_delays;
+      }
+    }
+  }
+
+  auto net_arc = [&](NetId n, BlockId sink_blk) {
+    const auto pit = net_to_placed.find(n);
+    if (pit == net_to_placed.end()) {
+      const Net& net = nl.net(n);
+      if (net.sinks.size() == 1) {
+        const Block& s = nl.block(net.sinks[0]);
+        const Block& d = nl.block(net.driver);
+        if (s.type == BlockType::kLatch && d.type == BlockType::kLut) {
+          return 0.0;
+        }
+      }
+      return view.t_local_feedback;
+    }
+    const std::size_t owner = pack.block_owner[sink_blk];
+    const auto it = sink_delay[pit->second].find(owner);
+    if (it != sink_delay[pit->second].end()) return it->second;
+    return view.t_local_feedback;
+  };
+
+  // Memoized recursive arrival times; an on-stack marker detects
+  // combinational cycles (the production pass detects them by count).
+  TimingResult result;
+  result.arrival.assign(nl.block_count(), 0.0);
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(nl.block_count(), Mark::kWhite);
+
+  std::function<double(BlockId)> arrival = [&](BlockId b) -> double {
+    if (mark[b] == Mark::kBlack) return result.arrival[b];
+    if (mark[b] == Mark::kGray) {
+      throw std::logic_error("reference STA: combinational cycle");
+    }
+    const Block& blk = nl.block(b);
+    double arr = 0.0;
+    if (blk.type == BlockType::kLatch) {
+      arr = view.t_clk_q;
+    } else if (blk.type == BlockType::kLut) {
+      mark[b] = Mark::kGray;
+      for (NetId n : blk.inputs) {
+        const BlockId drv = nl.net(n).driver;
+        arr = std::max(arr, arrival(drv) + net_arc(n, b));
+      }
+      arr += view.t_lut;
+    }
+    mark[b] = Mark::kBlack;
+    result.arrival[b] = arr;
+    return arr;
+  };
+
+  // Evaluate every block first (dead logic and unread latches included —
+  // the production pass initializes those too), then sweep the captures.
+  for (BlockId b = 0; b < nl.block_count(); ++b) arrival(b);
+  double cp = 0.0;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLatch) {
+      const NetId d = blk.inputs[0];
+      const BlockId drv = nl.net(d).driver;
+      cp = std::max(cp, arrival(drv) + net_arc(d, b) + view.t_setup);
+    } else if (blk.type == BlockType::kOutput) {
+      const NetId n = blk.inputs[0];
+      const BlockId drv = nl.net(n).driver;
+      cp = std::max(cp, arrival(drv) + net_arc(n, b));
+    }
+  }
+  result.critical_path = cp;
+  result.geomean_net_delay =
+      n_delays ? std::exp(log_sum / static_cast<double>(n_delays)) : 0.0;
+  return result;
+}
+
+}  // namespace nemfpga::verify

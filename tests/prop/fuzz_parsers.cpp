@@ -1,0 +1,167 @@
+// Deterministic mutation-style fuzzer for the text parsers (BLIF,
+// placement, benchmark-name lookup). Seeds a corpus of valid inputs, then
+// applies random structure-breaking mutations — truncation, span deletion
+// and duplication, token splicing, garbage bytes, bit flips — and requires
+// every parse to either succeed or throw std::exception. Anything else
+// (crash, leak, UB) is the sanitizer build's job to catch; the driver
+// itself never aborts on a parse error.
+//
+// Usage: fuzz_parsers [--iters N] [--seed S]
+// Registered as the `fuzz_smoke` ctest (label "fuzz"); tools/run_fuzz.sh
+// wraps longer campaigns. Replay: the failing iteration index and seed are
+// printed, and --seed/--iters reproduce the exact input sequence.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/blif.hpp"
+#include "netlist/mcnc.hpp"
+#include "place/place_io.hpp"
+#include "verify/generators.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+std::string mutate(std::string s, Rng& rng) {
+  const int n_muts = 1 + static_cast<int>(rng.uniform_int(4));
+  for (int m = 0; m < n_muts; ++m) {
+    if (s.empty()) {
+      s += static_cast<char>(rng.uniform_int(256));
+      continue;
+    }
+    switch (rng.uniform_int(7)) {
+      case 0:  // truncate
+        s.resize(rng.uniform_int(s.size() + 1));
+        break;
+      case 1: {  // delete a span
+        const std::size_t a = rng.uniform_int(s.size());
+        const std::size_t len = 1 + rng.uniform_int(64);
+        s.erase(a, len);
+        break;
+      }
+      case 2: {  // duplicate a span elsewhere
+        const std::size_t a = rng.uniform_int(s.size());
+        const std::size_t len =
+            1 + rng.uniform_int(std::min<std::size_t>(64, s.size() - a));
+        const std::string span = s.substr(a, len);
+        s.insert(rng.uniform_int(s.size() + 1), span);
+        break;
+      }
+      case 3: {  // garbage bytes (full 0..255 range, incl. NUL)
+        const std::size_t a = rng.uniform_int(s.size() + 1);
+        std::string junk;
+        const std::size_t len = 1 + rng.uniform_int(16);
+        for (std::size_t i = 0; i < len; ++i) {
+          junk += static_cast<char>(rng.uniform_int(256));
+        }
+        s.insert(a, junk);
+        break;
+      }
+      case 4: {  // bit flip
+        const std::size_t a = rng.uniform_int(s.size());
+        s[a] = static_cast<char>(s[a] ^ (1 << rng.uniform_int(8)));
+        break;
+      }
+      case 5: {  // splice: swap two halves at random token-ish boundaries
+        const std::size_t a = rng.uniform_int(s.size());
+        s = s.substr(a) + s.substr(0, a);
+        break;
+      }
+      default: {  // keyword splice: inject a directive mid-stream
+        static const char* kw[] = {".model", ".inputs", ".outputs",
+                                   ".names", ".latch",  ".end",
+                                   "\\\n",   "\t",      "Array size:"};
+        s.insert(rng.uniform_int(s.size() + 1),
+                 kw[rng.uniform_int(sizeof(kw) / sizeof(kw[0]))]);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+int run(std::size_t iters, std::uint64_t seed) {
+  // Corpus of valid inputs to mutate from.
+  Rng corpus_rng = Rng::from_stream(seed, 0);
+  std::vector<std::string> blifs;
+  std::vector<std::pair<std::string, std::size_t>> placements;
+  for (int i = 0; i < 8; ++i) {
+    blifs.push_back(gen_blif_text(corpus_rng));
+    std::size_t blocks = 0;
+    std::string p = gen_placement_text(corpus_rng, blocks);
+    placements.emplace_back(std::move(p), blocks);
+  }
+  blifs.push_back(".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
+  blifs.push_back("");
+  placements.emplace_back("Array size: 1 x 1 logic blocks\nb0 1 1 0\n", 1);
+
+  std::size_t parsed_ok = 0, parse_errors = 0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    Rng rng = Rng::from_stream(seed, it + 1);
+    try {
+      switch (rng.uniform_int(3)) {
+        case 0: {
+          const std::string in =
+              mutate(blifs[rng.uniform_int(blifs.size())], rng);
+          (void)read_blif_string(in, 2 + rng.uniform_int(7));
+          ++parsed_ok;
+          break;
+        }
+        case 1: {
+          const auto& [text, blocks] =
+              placements[rng.uniform_int(placements.size())];
+          const std::string in = mutate(text, rng);
+          (void)read_placement_string(in, blocks);
+          ++parsed_ok;
+          break;
+        }
+        default: {
+          std::string name;
+          const std::size_t len = rng.uniform_int(16);
+          for (std::size_t i = 0; i < len; ++i) {
+            name += static_cast<char>(rng.uniform_int(256));
+          }
+          (void)benchmark_info(name);
+          ++parsed_ok;
+          break;
+        }
+      }
+    } catch (const std::exception&) {
+      ++parse_errors;  // clean rejection — the expected outcome
+    } catch (...) {
+      std::fprintf(stderr,
+                   "fuzz_parsers: non-std exception at iteration %zu "
+                   "(replay: --seed %llu --iters %zu)\n",
+                   it, static_cast<unsigned long long>(seed), it + 1);
+      return 1;
+    }
+  }
+  std::printf("fuzz_parsers: %zu iterations, %zu parsed, %zu rejected, "
+              "0 crashes\n",
+              iters, parsed_ok, parse_errors);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nemfpga::verify
+
+int main(int argc, char** argv) {
+  std::size_t iters = 10000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--iters") && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--iters N] [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+  return nemfpga::verify::run(iters, seed);
+}

@@ -1,0 +1,66 @@
+// Properties of the half-select programming scheme (paper Sec 2.3) over
+// random varied relay populations:
+//   - solve_program_window succeeds exactly when the balanced-window
+//     margin (2 Vpi,min - Vpo,max - Vpi,max)/4 is positive;
+//   - a solved window satisfies every relay in the envelope it was solved
+//     from, with all three noise margins equal;
+//   - programming any pattern on that population's crossbar reads back
+//     exactly the target;
+//   - feasibility (min hysteresis > Vpi spread) is necessary for a window.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "program/half_select.hpp"
+#include "verify/generators.hpp"
+#include "verify/prop.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+TEST(PropHalfSelect, WindowSolvingAndProgrammingOverVariedPopulations) {
+  const PropConfig cfg = PropConfig::from_env(200);
+  const PropResult res = check_seeds("halfselect", cfg, [](Rng& rng) {
+    const RelayDesign nominal = gen_relay_design(rng);
+    const VariationSpec spec = gen_variation_spec(rng);
+    const std::size_t rows = 1 + rng.uniform_int(5);
+    const std::size_t cols = 1 + rng.uniform_int(5);
+    auto pop = sample_population(nominal, spec, rows * cols, rng);
+    const PopulationEnvelope env = envelope(pop);
+
+    const double m =
+        (2.0 * env.vpi_min - env.vpo_max - env.vpi_max) / 4.0;
+    const auto v = solve_program_window(env);
+    prop_require(v.has_value() == (m > 0.0),
+                 "window solvability disagrees with balanced-margin sign");
+    if (!v) return;
+
+    // A window implies feasibility (the converse does not hold).
+    prop_require(half_select_feasible(env),
+                 "window exists but population reported infeasible");
+    prop_require(voltages_work_for(env, *v),
+                 "solved window fails its own envelope");
+    const NoiseMargins nm = noise_margins(env, *v);
+    prop_require(nm.worst() > 0.0, "non-positive noise margin");
+    prop_require_close(nm.hold, nm.half_select, 1e-9, "hold vs half margins");
+    prop_require_close(nm.hold, nm.full_select, 1e-9, "hold vs full margins");
+    for (const auto& s : pop) {
+      prop_require(voltages_work_for(s.vpi, s.vpo, *v),
+                   "envelope window fails an individual relay");
+    }
+
+    // The window programs arbitrary patterns on this exact population.
+    RelayCrossbar xbar(rows, cols, pop);
+    for (int k = 0; k < 3; ++k) {
+      const CrossbarPattern target =
+          gen_pattern(rng, rows, cols, 0.1 + 0.3 * k);
+      const CrossbarPattern got = program_half_select(xbar, target, *v);
+      prop_require(got == target, "programmed pattern != target");
+    }
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 200u);
+}
+
+}  // namespace
+}  // namespace nemfpga::verify

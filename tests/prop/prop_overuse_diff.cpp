@@ -1,0 +1,128 @@
+// Differential property for the incremental OveruseTracker against the
+// full-rescan ReferenceOveruse, over random inc/dec operation sequences —
+// plus the harness's own canary: a deliberately off-by-one tracker must be
+// caught by the same property, proving the differential test has teeth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "route/overuse.hpp"
+#include "verify/oracles.hpp"
+#include "verify/prop.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+/// Drive `tracker` and the reference through one random operation
+/// sequence, checking agreement after every step. `Tracker` needs
+/// inc/dec/occ/overused/overused_count.
+template <typename Tracker>
+void run_sequence(Rng& rng, bool check_list) {
+  const std::size_t n = 1 + rng.uniform_int(64);
+  std::vector<std::uint16_t> cap(n);
+  for (auto& c : cap) {
+    c = static_cast<std::uint16_t>(rng.uniform_int(4));  // 0..3, 0 legal
+  }
+  Tracker tracker(cap);
+  ReferenceOveruse ref(cap);
+  std::vector<std::uint32_t> occ(n, 0);  // to keep dec legal (occ > 0)
+
+  const std::size_t ops = 50 + rng.uniform_int(400);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::size_t id = rng.uniform_int(n);
+    if (occ[id] > 0 && rng.chance(0.4)) {
+      --occ[id];
+      tracker.dec(id);
+      ref.dec(id);
+    } else {
+      ++occ[id];
+      tracker.inc(id);
+      ref.inc(id);
+    }
+    prop_require(tracker.occ(id) == ref.occ(id), "occ mismatch");
+    prop_require(tracker.overused(id) == ref.overused(id),
+                 "overused flag mismatch at touched node");
+    prop_require(tracker.overused_count() == ref.overused_count(),
+                 "overused_count mismatch: " +
+                     std::to_string(tracker.overused_count()) + " vs " +
+                     std::to_string(ref.overused_count()));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    prop_require(tracker.overused(i) == ref.overused(i),
+                 "overused flag mismatch in final sweep");
+  }
+  if constexpr (requires(Tracker& t) { t.consistent(); }) {
+    prop_require(tracker.consistent(), "tracker self-consistency");
+  }
+  if (check_list) {
+    // for_each_overused must visit exactly the overused set, once each.
+    if constexpr (requires(Tracker& t) {
+                    t.for_each_overused([](RrNodeId, int) {});
+                  }) {
+      std::vector<std::size_t> visited;
+      tracker.for_each_overused([&](RrNodeId id, int over) {
+        prop_require(over == static_cast<int>(ref.occ(id)) -
+                                 static_cast<int>(cap[id]),
+                     "for_each_overused wrong overuse amount");
+        visited.push_back(id);
+      });
+      std::sort(visited.begin(), visited.end());
+      prop_require(std::adjacent_find(visited.begin(), visited.end()) ==
+                       visited.end(),
+                   "for_each_overused visited a node twice");
+      prop_require(visited == ref.overused_nodes(),
+                   "for_each_overused visited set != rescan set");
+    }
+  }
+}
+
+TEST(PropOveruseDiff, IncrementalMatchesFullRescan) {
+  const PropConfig cfg = PropConfig::from_env(300);
+  const PropResult res = check_seeds("overuse_diff", cfg, [](Rng& rng) {
+    run_sequence<OveruseTracker>(rng, /*check_list=*/true);
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 300u);
+}
+
+/// Canary: a replica tracker with the classic off-by-one (">= cap"
+/// instead of "> cap") in the overuse predicate. The differential
+/// property must flag it — if this test ever observes the canary passing,
+/// the harness has lost its teeth.
+class BuggyTracker {
+ public:
+  explicit BuggyTracker(std::vector<std::uint16_t> cap)
+      : cap_(std::move(cap)), occ_(cap_.size(), 0) {}
+  void inc(std::size_t id) { ++occ_[id]; }
+  void dec(std::size_t id) { --occ_[id]; }
+  std::uint16_t occ(std::size_t id) const { return occ_[id]; }
+  bool overused(std::size_t id) const { return occ_[id] >= cap_[id]; }
+  std::size_t overused_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < occ_.size(); ++i) {
+      if (overused(i)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::uint16_t> cap_;
+  std::vector<std::uint16_t> occ_;
+};
+
+TEST(PropOveruseDiff, CanaryOffByOneIsCaught) {
+  PropConfig cfg;  // fixed seed: the canary must be caught deterministically
+  cfg.cases = 50;
+  const PropResult res = check_seeds("overuse_canary", cfg, [](Rng& rng) {
+    run_sequence<BuggyTracker>(rng, /*check_list=*/false);
+  });
+  ASSERT_FALSE(res.ok())
+      << "injected off-by-one overuse bug was NOT detected — the "
+         "differential harness is broken";
+  EXPECT_NE(res.message.find("mismatch"), std::string::npos) << res.message;
+}
+
+}  // namespace
+}  // namespace nemfpga::verify

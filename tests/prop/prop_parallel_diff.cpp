@@ -1,0 +1,101 @@
+// Differential property for the deterministic-parallelism contract: the
+// thread-pool Monte-Carlo kernels (programming_yield,
+// sample_population_parallel) must be bit-identical to their plain serial
+// reference loops, at one thread and at eight, from the same fork point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "program/yield.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/generators.hpp"
+#include "verify/oracles.hpp"
+#include "verify/prop.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+void require_same_yield(const YieldResult& a, const YieldResult& b) {
+  prop_require(a.trials == b.trials, "trials mismatch");
+  prop_require(a.good_arrays == b.good_arrays,
+               "good_arrays mismatch: " + std::to_string(a.good_arrays) +
+                   " vs " + std::to_string(b.good_arrays));
+  prop_require(a.mean_worst_margin == b.mean_worst_margin,
+               "mean_worst_margin not bit-identical");
+}
+
+TEST(PropParallelDiff, YieldMatchesSerialReferenceAtAnyThreadCount) {
+  const PropConfig cfg = PropConfig::from_env(200);
+  ThreadPool wide(8);
+  const PropResult res = check_seeds("yield_diff", cfg, [&](Rng& rng) {
+    const RelayDesign nominal = gen_relay_design(rng);
+    const VariationSpec spec = gen_variation_spec(rng);
+    const std::size_t rows = 1 + rng.uniform_int(6);
+    const std::size_t cols = 1 + rng.uniform_int(6);
+    const std::size_t trials = 8 + rng.uniform_int(25);
+    const VoltagePolicy policy = rng.chance(0.5)
+                                     ? VoltagePolicy::kFixedNominal
+                                     : VoltagePolicy::kPerArrayCalibrated;
+    const std::uint64_t fork = rng.next_u64();
+
+    Rng r_ref = Rng::from_stream(fork, 0);
+    const YieldResult ref = reference_programming_yield(
+        nominal, spec, rows, cols, trials, r_ref, policy);
+    {
+      ThreadPool serial(1);
+      ThreadPool::ScopedUse use(serial);
+      Rng r = Rng::from_stream(fork, 0);
+      require_same_yield(
+          programming_yield(nominal, spec, rows, cols, trials, r, policy),
+          ref);
+    }
+    {
+      ThreadPool::ScopedUse use(wide);
+      Rng r = Rng::from_stream(fork, 0);
+      require_same_yield(
+          programming_yield(nominal, spec, rows, cols, trials, r, policy),
+          ref);
+    }
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 200u);
+}
+
+TEST(PropParallelDiff, PopulationSamplingMatchesSerialReference) {
+  const PropConfig cfg = PropConfig::from_env(200);
+  ThreadPool wide(8);
+  const PropResult res = check_seeds("population_diff", cfg, [&](Rng& rng) {
+    const RelayDesign nominal = gen_relay_design(rng);
+    const VariationSpec spec = gen_variation_spec(rng);
+    const std::size_t n = rng.uniform_int(200);
+    const std::uint64_t fork = rng.next_u64();
+
+    Rng r_ref = Rng::from_stream(fork, 0);
+    const auto ref =
+        reference_sample_population_parallel(nominal, spec, n, r_ref);
+    const auto require_same = [&](const std::vector<RelaySample>& got) {
+      prop_require(got.size() == ref.size(), "population size mismatch");
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        prop_require(got[i].vpi == ref[i].vpi && got[i].vpo == ref[i].vpo,
+                     "relay " + std::to_string(i) +
+                         " voltages not bit-identical");
+      }
+    };
+    {
+      ThreadPool serial(1);
+      ThreadPool::ScopedUse use(serial);
+      Rng r = Rng::from_stream(fork, 0);
+      require_same(sample_population_parallel(nominal, spec, n, r));
+    }
+    {
+      ThreadPool::ScopedUse use(wide);
+      Rng r = Rng::from_stream(fork, 0);
+      require_same(sample_population_parallel(nominal, spec, n, r));
+    }
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 200u);
+}
+
+}  // namespace
+}  // namespace nemfpga::verify

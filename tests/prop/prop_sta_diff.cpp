@@ -1,0 +1,72 @@
+// Differential property for static timing analysis: the epoch-stamped,
+// queue-based analyze_timing against the recursive map-based reference.
+// Both evaluate identical arc expressions, so arrivals and the critical
+// path must agree to tight floating-point tolerance across random designs
+// and all three electrical variants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/rr_graph.hpp"
+#include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
+#include "verify/generators.hpp"
+#include "verify/oracles.hpp"
+#include "verify/prop.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+TEST(PropStaDiff, QueueTopoMatchesRecursiveReference) {
+  const PropConfig cfg = PropConfig::from_env(200);
+  const PropResult res = check(
+      "sta_diff", cfg, gen_design_case,
+      [](const DesignCase& c) {
+        DesignCase rc = c;
+        // STA needs a successful routing: widen the channel until the
+        // design routes (deterministic in the descriptor, so shrinking
+        // and replay rebuild the same routing).
+        BuiltDesign d = build_design(rc);
+        RoutingResult routing;
+        const RrGraph* used = nullptr;
+        std::unique_ptr<RrGraph> g;
+        for (; rc.arch.W <= 128; rc.arch.W += 8) {
+          d.arch.W = rc.arch.W;
+          g = std::make_unique<RrGraph>(d.arch, d.nx, d.ny);
+          routing = route_all(*g, d.pl, rc.route);
+          if (routing.success) {
+            used = g.get();
+            break;
+          }
+        }
+        prop_require(used != nullptr, "design unroutable even at W=128");
+
+        for (const FpgaVariant variant :
+             {FpgaVariant::kCmosBaseline, FpgaVariant::kNemNaive,
+              FpgaVariant::kNemOptimized}) {
+          const ElectricalView view = make_view(d.arch, variant);
+          const TimingResult fast =
+              analyze_timing(d.nl, d.pk, d.pl, *used, routing, view);
+          const TimingResult ref =
+              reference_analyze_timing(d.nl, d.pk, d.pl, *used, routing,
+                                       view);
+          prop_require_close(fast.critical_path, ref.critical_path, 1e-12,
+                             "critical_path");
+          prop_require_close(fast.geomean_net_delay, ref.geomean_net_delay,
+                             1e-12, "geomean_net_delay");
+          prop_require(fast.arrival.size() == ref.arrival.size(),
+                       "arrival vector size");
+          for (std::size_t b = 0; b < fast.arrival.size(); ++b) {
+            prop_require_close(fast.arrival[b], ref.arrival[b], 1e-12,
+                               "arrival[" + std::to_string(b) + "]");
+          }
+        }
+      },
+      shrink_design_case);
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 200u);
+}
+
+}  // namespace
+}  // namespace nemfpga::verify

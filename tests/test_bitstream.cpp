@@ -89,8 +89,10 @@ TEST(Bitstream, GeneratesConsistentPatterns) {
       EXPECT_LT(row, arch.fc_in_tracks());
       EXPECT_LT(col, arch.lb_inputs() + arch.io_per_pad);
     }
+    // SB columns: four track blocks — own X channel, folded boundary X
+    // channel, own Y channel, folded boundary Y channel.
     for (const auto& [row, col] : t.sb_on) {
-      EXPECT_LT(col, arch.W);
+      EXPECT_LT(col, 4 * arch.W);
     }
     (void)comp;
   }
@@ -115,9 +117,29 @@ TEST(Bitstream, OneSbRelayPerRoutedWire) {
   const auto bs = generate_bitstream(flow);
   std::size_t sb = 0;
   for (const auto& t : bs.tiles) sb += t.sb_on.size();
-  // Every routed wire segment has exactly one driver-mux selection; shared
-  // SINK paths may revisit wires across nets, so sb >= unique segments.
-  EXPECT_GE(sb, flow.routing.wire_segments_used);
+  // Every routed wire segment has exactly one driver-mux selection; wires
+  // revisited by shared paths are emitted once, so the counts match.
+  EXPECT_EQ(sb, flow.routing.wire_segments_used);
+}
+
+TEST(Bitstream, RelayCoordinatesUniquePerTile) {
+  // Regression: SB columns used to be the bare track number, so an
+  // X-channel and a Y-channel wire with the same track in one tile
+  // collided on a single relay coordinate (caught by the
+  // NF_CHECK_INVARIANTS roundtrip checker on the first full circuit).
+  const auto& flow = shared_flow();
+  const auto bs = generate_bitstream(flow);
+  for (const auto& t : bs.tiles) {
+    for (const auto* arr : {&t.crossbar_on, &t.cb_on, &t.sb_on}) {
+      std::map<std::pair<std::uint16_t, std::uint16_t>, int> seen;
+      for (const auto& rc : *arr) ++seen[rc];
+      for (const auto& [rc, count] : seen) {
+        ASSERT_EQ(count, 1) << "tile (" << t.x << "," << t.y << ") relay ("
+                            << rc.first << "," << rc.second
+                            << ") programmed twice";
+      }
+    }
+  }
 }
 
 TEST(Programming, PlanIsPhysicallySensible) {

@@ -1,0 +1,182 @@
+// Edge cases of crossbar programming and the half-select window:
+// degenerate array shapes, program→readback roundtrips for empty/full
+// patterns, reprogramming after reset, and voltages placed exactly on the
+// window boundaries (where the >= pull-in / <= release hysteresis rules
+// make strictness matter).
+#include <gtest/gtest.h>
+
+#include "device/nem_relay.hpp"
+#include "program/crossbar.hpp"
+#include "program/half_select.hpp"
+
+namespace nemfpga {
+namespace {
+
+ProgrammingVoltages nominal_window(const RelayDesign& d) {
+  PopulationEnvelope env;
+  env.vpi_min = env.vpi_max = d.pull_in_voltage();
+  env.vpo_min = env.vpo_max = d.pull_out_voltage();
+  env.min_hysteresis = env.vpi_min - env.vpo_max;
+  const auto v = solve_program_window(env);
+  EXPECT_TRUE(v.has_value());
+  return *v;
+}
+
+TEST(CrossbarEdges, EmptyPatternProgramsToAllOpen) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  for (const auto [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {1, 7}, {7, 1}, {4, 4}}) {
+    RelayCrossbar xbar(rows, cols, d);
+    const CrossbarPattern target(rows, cols, false);
+    const CrossbarPattern got = program_half_select(xbar, target, v);
+    EXPECT_EQ(got, target) << rows << "x" << cols;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_FALSE(xbar.pulled_in(r, c));
+      }
+    }
+  }
+}
+
+TEST(CrossbarEdges, FullPatternProgramsToAllClosed) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  for (const auto [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {1, 6}, {6, 1}, {5, 3}}) {
+    RelayCrossbar xbar(rows, cols, d);
+    const CrossbarPattern target(rows, cols, true);
+    EXPECT_EQ(program_half_select(xbar, target, v), target)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(CrossbarEdges, SingleRowAndSingleColumnArbitraryPatterns) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  {
+    RelayCrossbar xbar(1, 5, d);
+    CrossbarPattern t(1, 5);
+    t.set(0, 0, true);
+    t.set(0, 3, true);
+    EXPECT_EQ(program_half_select(xbar, t, v), t);
+  }
+  {
+    RelayCrossbar xbar(5, 1, d);
+    CrossbarPattern t(5, 1);
+    t.set(1, 0, true);
+    t.set(4, 0, true);
+    EXPECT_EQ(program_half_select(xbar, t, v), t);
+  }
+}
+
+TEST(CrossbarEdges, ReprogramAfterResetReplacesThePattern) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  RelayCrossbar xbar(3, 3, d);
+  CrossbarPattern a(3, 3);
+  a.set(0, 0, true);
+  a.set(1, 1, true);
+  a.set(2, 2, true);
+  EXPECT_EQ(program_half_select(xbar, a, v), a);
+
+  // Second programming run on the same array: the internal reset must
+  // erase the diagonal before the complement pattern goes in.
+  CrossbarPattern b(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) b.set(r, c, !a.at(r, c));
+  }
+  EXPECT_EQ(program_half_select(xbar, b, v), b);
+
+  // Explicit reset releases everything.
+  xbar.reset();
+  EXPECT_EQ(xbar.state(), CrossbarPattern(3, 3, false));
+}
+
+TEST(CrossbarEdges, ZeroDimensionPatternsAreRejected) {
+  EXPECT_THROW(CrossbarPattern(0, 3), std::invalid_argument);
+  EXPECT_THROW(CrossbarPattern(3, 0), std::invalid_argument);
+}
+
+TEST(CrossbarEdges, PatternSizeMismatchIsRejected) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  RelayCrossbar xbar(2, 2, d);
+  const CrossbarPattern wrong(2, 3);
+  EXPECT_THROW(program_half_select(xbar, wrong, v), std::invalid_argument);
+}
+
+// ---- Boundary voltages: exactly at the window edges. ----------------------
+// The relay state rules are: VGS >= Vpi pulls in, VGS <= Vpo releases.
+// voltages_work_for is strict at all three edges, so equality must be
+// reported as NOT working even where the idealized mechanics would happen
+// to do the right thing — zero noise margin is a failed window.
+
+TEST(HalfSelectBoundary, HalfSelectExactlyAtPullInIsRejectedAndMisprograms) {
+  const RelayDesign d = fabricated_relay();
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  // vhold + vselect == vpi exactly.
+  ProgrammingVoltages v;
+  v.vhold = vpo + 0.25 * (vpi - vpo);
+  v.vselect = vpi - v.vhold;
+  EXPECT_FALSE(voltages_work_for(vpi, vpo, v));
+
+  // Mechanically, every half-selected relay on a selected row pulls in:
+  // programming a single-1 pattern closes the whole row.
+  RelayCrossbar xbar(2, 2, d);
+  CrossbarPattern t(2, 2);
+  t.set(0, 0, true);
+  const CrossbarPattern got = program_half_select(xbar, t, v);
+  EXPECT_TRUE(got.at(0, 1)) << "half-selected relay should have pulled in "
+                               "at the VGS == Vpi boundary";
+  EXPECT_NE(got, t);
+}
+
+TEST(HalfSelectBoundary, FullSelectExactlyAtPullInIsRejected) {
+  const RelayDesign d = fabricated_relay();
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  // vhold + 2*vselect == vpi exactly: pull-in fires (>=) so the pattern
+  // programs, but the margin is zero and the window must be rejected.
+  ProgrammingVoltages v;
+  v.vhold = vpo + 0.25 * (vpi - vpo);
+  v.vselect = (vpi - v.vhold) / 2.0;
+  EXPECT_FALSE(voltages_work_for(vpi, vpo, v));
+
+  RelayCrossbar xbar(2, 2, d);
+  CrossbarPattern t(2, 2);
+  t.set(1, 1, true);
+  EXPECT_EQ(program_half_select(xbar, t, v), t);
+}
+
+TEST(HalfSelectBoundary, HoldExactlyAtPullOutIsRejectedAndLosesState) {
+  const RelayDesign d = fabricated_relay();
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  // vhold == vpo exactly: the retention bias releases (<=) everything.
+  ProgrammingVoltages v;
+  v.vhold = vpo;
+  v.vselect = 0.6 * (vpi - vpo);
+  EXPECT_FALSE(voltages_work_for(vpi, vpo, v));
+
+  RelayCrossbar xbar(2, 2, d);
+  const CrossbarPattern t(2, 2, true);
+  const CrossbarPattern got = program_half_select(xbar, t, v);
+  EXPECT_EQ(got, CrossbarPattern(2, 2, false))
+      << "retention at VGS == Vpo must release every relay";
+}
+
+TEST(HalfSelectBoundary, SolvedWindowHasStrictlyInteriorVoltages) {
+  const RelayDesign d = fabricated_relay();
+  const auto v = nominal_window(d);
+  const double vpi = d.pull_in_voltage();
+  const double vpo = d.pull_out_voltage();
+  EXPECT_GT(v.vhold, vpo);
+  EXPECT_LT(v.vhold + v.vselect, vpi);
+  EXPECT_GT(v.vhold + 2.0 * v.vselect, vpi);
+  EXPECT_TRUE(voltages_work_for(vpi, vpo, v));
+}
+
+}  // namespace
+}  // namespace nemfpga

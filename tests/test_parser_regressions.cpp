@@ -1,0 +1,87 @@
+// Minimal regression tests for parser bugs surfaced by the verification
+// harness (tests/prop/, fuzz_parsers). Each test pins the exact input
+// class that used to misbehave.
+#include <gtest/gtest.h>
+
+#include "netlist/blif.hpp"
+#include "place/place_io.hpp"
+
+namespace nemfpga {
+namespace {
+
+// A '\' continuation used to glue the last token of the continued line to
+// the first token of the next (".inputs a b\" + "c" parsed as "a bc").
+TEST(BlifRegression, ContinuationIsATokenSeparator) {
+  const std::string folded =
+      ".model top\n"
+      ".inputs a \\\n"
+      "b\\\n"
+      "c\n"
+      ".outputs y\n"
+      ".names a b \\\n"
+      "c y\n"
+      "111 1\n"
+      ".end\n";
+  const Netlist nl = read_blif_string(folded);
+  EXPECT_NE(nl.find_net("a"), kInvalidId);
+  EXPECT_NE(nl.find_net("b"), kInvalidId);
+  EXPECT_NE(nl.find_net("c"), kInvalidId);
+  EXPECT_EQ(nl.find_net("bc"), kInvalidId);
+
+  const std::string flat =
+      ".model top\n"
+      ".inputs a b c\n"
+      ".outputs y\n"
+      ".names a b c y\n"
+      "111 1\n"
+      ".end\n";
+  EXPECT_EQ(write_blif_string(nl), write_blif_string(read_blif_string(flat)));
+}
+
+// Negative array dimensions used to wrap through unsigned stream
+// extraction into huge accepted values.
+TEST(PlacementRegression, NegativeDimensionsAreRejected) {
+  EXPECT_THROW(read_placement_string(
+                   "Array size: -1 x -1 logic blocks\nb0\t1\t1\t0\n", 1),
+               std::runtime_error);
+  EXPECT_THROW(read_placement_string(
+                   "Array size: 3 x -4 logic blocks\nb0\t1\t1\t0\n", 1),
+               std::runtime_error);
+}
+
+// Negative coordinates in a block row wrapped the same way.
+TEST(PlacementRegression, NegativeCoordinatesAreRejected) {
+  EXPECT_THROW(read_placement_string(
+                   "Array size: 4 x 4 logic blocks\nb0\t-2\t1\t0\n", 1),
+               std::runtime_error);
+}
+
+// Non-numeric / overflowing block indices escaped as std::invalid_argument
+// / std::out_of_range from std::stoul instead of the parser's documented
+// std::runtime_error.
+TEST(PlacementRegression, MalformedBlockIndicesThrowRuntimeError) {
+  EXPECT_THROW(read_placement_string(
+                   "Array size: 4 x 4 logic blocks\nbZ\t1\t1\t0\n", 1),
+               std::runtime_error);
+  EXPECT_THROW(
+      read_placement_string("Array size: 4 x 4 logic blocks\n"
+                            "b18446744073709551616\t1\t1\t0\n",
+                            1),
+      std::runtime_error);
+}
+
+// Valid placements still parse after the stricter validation.
+TEST(PlacementRegression, ValidPlacementStillRoundTrips) {
+  const std::string text =
+      "Array size: 2 x 2 logic blocks\n"
+      "#block\tx\ty\tsubblk\n"
+      "b0\t1\t1\t0\n"
+      "b1\t2\t2\t3\n";
+  const Placement pl = read_placement_string(text, 2);
+  EXPECT_EQ(pl.nx, 2u);
+  EXPECT_EQ(pl.ny, 2u);
+  EXPECT_EQ(pl.locs[1].sub, 3u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -62,8 +62,15 @@ def compare(base, cand, max_regress_pct):
     if missing:
         failures.append(f"candidate dropped circuits: {', '.join(missing)}")
 
+    # A run under NF_CHECK_INVARIANTS pays for legality checking, so the
+    # wall-time budget only applies when both runs had the same setting.
+    # Correctness fields and work counters above are enforced regardless:
+    # invariant checking observes the search, it must never change it.
+    base_chk = bool(base.get("invariants_checked", False))
+    cand_chk = bool(cand.get("invariants_checked", False))
     bw, cw = base["total_wall_s"], cand["total_wall_s"]
-    if bw > 0 and cw > bw * (1.0 + max_regress_pct / 100.0):
+    if base_chk == cand_chk and bw > 0 and \
+            cw > bw * (1.0 + max_regress_pct / 100.0):
         failures.append(
             f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
             f"(> {max_regress_pct:.0f}% budget)")
@@ -104,6 +111,30 @@ def selftest():
     dropped = json.loads(json.dumps(base))
     dropped["circuits"] = [dict(base["circuits"][0], name="other")]
     assert compare(base, dropped, 15.0), "dropped circuit must fail"
+
+    # NF_CHECK_INVARIANTS runs: the wall budget is waived across a flag
+    # mismatch, but counter/correctness drift still fails.
+    checked_slow = json.loads(json.dumps(base))
+    checked_slow["invariants_checked"] = True
+    checked_slow["total_wall_s"] = 20.0
+    assert compare(base, checked_slow, 15.0) == [], \
+        "slower run under invariant checking must not trip the wall budget"
+
+    checked_drift = json.loads(json.dumps(checked_slow))
+    checked_drift["circuits"][0]["counters"]["nodes_expanded"] = 6
+    assert compare(base, checked_drift, 15.0), \
+        "counter drift must fail even under invariant checking"
+
+    checked_wmin = json.loads(json.dumps(checked_slow))
+    checked_wmin["circuits"][0]["wmin"] = 46
+    assert compare(base, checked_wmin, 15.0), \
+        "wmin drift must fail even under invariant checking"
+
+    both_checked_slow = json.loads(json.dumps(checked_slow))
+    both_checked_base = json.loads(json.dumps(base))
+    both_checked_base["invariants_checked"] = True
+    assert compare(both_checked_base, both_checked_slow, 15.0), \
+        "wall budget applies when both runs were checked"
     print("bench_check selftest: OK")
 
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Bounded parser fuzz campaign. Builds (if needed) and runs the
+# deterministic mutation fuzzer under whatever sanitizer configuration the
+# build directory was configured with. For the zero-crash guarantee the
+# harness is designed around, run it against an ASan/UBSan build:
+#
+#   cmake -B build-asan -S . -DNF_ASAN=ON -DNF_UBSAN=ON
+#   cmake --build build-asan -j --target fuzz_parsers
+#   tools/run_fuzz.sh build-asan 100000
+#
+# Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED]
+#   BUILD_DIR  build tree containing tests/prop/fuzz_parsers (default: build)
+#   ITERS      mutation iterations (default: 50000)
+#   SEED       base seed; vary it to explore a different input sequence
+#              (default: 1). A failing run prints the --seed/--iters pair
+#              that replays the crash deterministically.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ITERS="${2:-50000}"
+SEED="${3:-1}"
+
+BIN="$BUILD_DIR/tests/prop/fuzz_parsers"
+if [ ! -x "$BIN" ]; then
+  # gtest_discover_tests layouts differ; fall back to a search.
+  BIN=$(find "$BUILD_DIR" -name fuzz_parsers -type f -perm -u+x 2>/dev/null \
+        | head -n 1 || true)
+fi
+if [ -z "${BIN:-}" ] || [ ! -x "$BIN" ]; then
+  echo "run_fuzz.sh: fuzz_parsers not found under '$BUILD_DIR'" \
+       "(build it first: cmake --build $BUILD_DIR --target fuzz_parsers)" >&2
+  exit 2
+fi
+
+echo "run_fuzz.sh: $BIN --iters $ITERS --seed $SEED"
+exec "$BIN" --iters "$ITERS" --seed "$SEED"
