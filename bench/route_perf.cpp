@@ -5,10 +5,15 @@
 // diffs two such files).
 //
 //   route_perf [--out FILE] [--circuits a,b,c] [--smoke]
+//              [--threads N] [--astar F]
 //
 // --smoke runs only the smallest seed circuit (CTest target bench_smoke
-// exercises the harness this way). Wall times vary run to run; Wmin,
-// iteration and counter fields are bit-deterministic at any NF_THREADS.
+// exercises the harness this way). --threads installs its own pool for
+// the whole run (default: the ambient NF_THREADS pool). --astar sets
+// RouteOptions::astar_factor; 0 selects the legacy profile (Manhattan
+// heuristic, serial nets) that reproduces the pre-lookahead router
+// bit-for-bit. Wall times vary run to run; Wmin, iteration and counter
+// fields are bit-deterministic at any thread count.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -64,6 +69,9 @@ struct CircuitReport {
   RoutingResult fixed;  ///< counters live here
 };
 
+/// Router configuration under test; set once from the command line.
+RouteOptions g_route_opt;
+
 CircuitReport run_circuit(const std::string& name) {
   CircuitReport rep;
   rep.name = name;
@@ -81,7 +89,8 @@ CircuitReport run_circuit(const std::string& name) {
   rep.nets = pl.nets.size();
 
   double t0 = now_s();
-  const ChannelWidthResult cw = find_min_channel_width(arch, pl, 48);
+  const ChannelWidthResult cw = find_min_channel_width(arch, pl, 48,
+                                                       g_route_opt);
   rep.wmin_wall_s = now_s() - t0;
   rep.w_min = cw.w_min;
   rep.w_fixed = cw.w_low_stress;
@@ -90,7 +99,7 @@ CircuitReport run_circuit(const std::string& name) {
   fixed_arch.W = rep.w_fixed;
   const RrGraph g(fixed_arch, nx, ny);
   t0 = now_s();
-  rep.fixed = route_all(g, pl);
+  rep.fixed = route_all(g, pl, g_route_opt);
   rep.route_wall_s = now_s() - t0;
   if (!rep.fixed.success) {
     std::fprintf(stderr, "route_perf: %s unroutable at low-stress W=%zu\n",
@@ -109,9 +118,12 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
     std::fprintf(stderr, "route_perf: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-2\",\n");
   std::fprintf(f, "  \"threads\": %zu,\n",
                ThreadPool::current().thread_count());
+  std::fprintf(f, "  \"astar_factor\": %.3f,\n", g_route_opt.astar_factor);
+  std::fprintf(f, "  \"net_parallel\": %s,\n",
+               g_route_opt.net_parallel ? "true" : "false");
   // Recorded so bench_check can waive the wall-time budget when one run
   // paid for invariant checking and the other did not; the correctness
   // fields and work counters stay pinned either way.
@@ -150,8 +162,16 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
                  static_cast<unsigned long long>(c.nets_rerouted));
     std::fprintf(f, "        \"scratch_grows\": %llu,\n",
                  static_cast<unsigned long long>(c.scratch_grows));
+    std::fprintf(f, "        \"lookahead_hits\": %llu,\n",
+                 static_cast<unsigned long long>(c.lookahead_hits));
+    std::fprintf(f, "        \"batches\": %llu,\n",
+                 static_cast<unsigned long long>(c.batches));
+    std::fprintf(f, "        \"conflict_replays\": %llu,\n",
+                 static_cast<unsigned long long>(c.conflict_replays));
     std::fprintf(f, "        \"t_search_s\": %.6f,\n", c.t_search_s);
-    std::fprintf(f, "        \"t_bookkeep_s\": %.6f\n", c.t_bookkeep_s);
+    std::fprintf(f, "        \"t_bookkeep_s\": %.6f,\n", c.t_bookkeep_s);
+    std::fprintf(f, "        \"t_lookahead_build_s\": %.6f\n",
+                 c.t_lookahead_build_s);
     std::fprintf(f, "      }\n");
     std::fprintf(f, "    }%s\n", i + 1 < reps.size() ? "," : "");
   }
@@ -164,11 +184,25 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
 int main(int argc, char** argv) {
   const char* out = "BENCH_route.json";
   std::vector<std::string> circuits = {"tseng", "alu4", "pdc"};
+  std::size_t threads = 0;  // 0 = keep the ambient NF_THREADS pool
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out = argv[++i];
     } else if (!std::strcmp(argv[i], "--smoke")) {
       circuits = {"tseng"};
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--astar") && i + 1 < argc) {
+      g_route_opt.astar_factor = std::atof(argv[++i]);
+      // astar 0 means "the pre-lookahead router", which was serial.
+      if (g_route_opt.astar_factor == 0.0) g_route_opt.net_parallel = false;
+    } else if (!std::strcmp(argv[i], "--par") && i + 1 < argc) {
+      g_route_opt.net_parallel = std::atoi(argv[++i]) != 0;
+    } else if (!std::strcmp(argv[i], "--verify-la")) {
+      // Shadow every directed search with a zero-heuristic Dijkstra on
+      // the same cost state: proves admissibility (suboptimal must stay
+      // 0 at astar <= 1) and reports the heuristic's pruning ratio.
+      g_route_opt.verify_lookahead = true;
     } else if (!std::strcmp(argv[i], "--circuits") && i + 1 < argc) {
       circuits.clear();
       std::string s = argv[++i];
@@ -181,23 +215,54 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: route_perf [--out FILE] [--circuits a,b,c] "
-                   "[--smoke]\n");
+                   "[--smoke] [--threads N] [--astar F] [--par 0|1] "
+                   "[--verify-la]\n");
       return 2;
     }
   }
 
-  std::printf("route_perf — PathFinder hot-path benchmark (%zu threads)\n\n",
-              ThreadPool::current().thread_count());
+  std::unique_ptr<ThreadPool> own_pool;
+  std::unique_ptr<ThreadPool::ScopedUse> own_use;
+  if (threads > 0) {
+    own_pool = std::make_unique<ThreadPool>(threads);
+    own_use = std::make_unique<ThreadPool::ScopedUse>(*own_pool);
+  }
+
+  std::printf(
+      "route_perf — PathFinder hot-path benchmark (%zu threads, "
+      "astar=%.2f, net_parallel=%d)\n\n",
+      ThreadPool::current().thread_count(), g_route_opt.astar_factor,
+      static_cast<int>(g_route_opt.net_parallel));
   std::vector<CircuitReport> reps;
   for (const auto& name : circuits) {
     reps.push_back(run_circuit(name));
     const auto& r = reps.back();
+    const auto& c = r.fixed.counters;
     std::printf(
         "%-8s %5zu LUTs  Wmin=%-3zu (%6.2f s)  route@W=%-3zu %6.2f s  "
         "%zu iters  checksum %016llx\n",
         r.name.c_str(), r.luts, r.w_min, r.wmin_wall_s, r.w_fixed,
         r.route_wall_s, r.iterations,
         static_cast<unsigned long long>(r.checksum));
+    std::printf(
+        "         expanded=%llu pushes=%llu lookahead_hits=%llu "
+        "batches=%llu replays=%llu la_build=%.3fs\n",
+        static_cast<unsigned long long>(c.nodes_expanded),
+        static_cast<unsigned long long>(c.heap_pushes),
+        static_cast<unsigned long long>(c.lookahead_hits),
+        static_cast<unsigned long long>(c.batches),
+        static_cast<unsigned long long>(c.conflict_replays),
+        c.t_lookahead_build_s);
+    if (g_route_opt.verify_lookahead && c.verify_astar_expanded > 0) {
+      std::printf(
+          "         verify-la: dijkstra=%llu astar=%llu (%.2fx fewer) "
+          "suboptimal=%llu\n",
+          static_cast<unsigned long long>(c.verify_dijkstra_expanded),
+          static_cast<unsigned long long>(c.verify_astar_expanded),
+          static_cast<double>(c.verify_dijkstra_expanded) /
+              static_cast<double>(c.verify_astar_expanded),
+          static_cast<unsigned long long>(c.lookahead_suboptimal));
+    }
   }
   write_json(reps, out);
   std::printf("\nwrote %s\n", out);

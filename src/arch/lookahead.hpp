@@ -1,0 +1,87 @@
+// Geometric routing lookahead for A* directed search (VPR-style "map
+// lookahead"): a per-segment-class table of the expected remaining base
+// cost from a signed tile offset (dx, dy) to a sink, built once per
+// RrGraph + cost profile by sampled backward Dijkstra over the reverse
+// graph. The router adds astar_factor * estimate to the heap key, which
+// prunes wrong-direction wires and accounts for the segment-length
+// quantisation a plain Manhattan heuristic cannot see.
+//
+// Admissibility (by construction, at astar_factor <= 1): the table stores
+// shortest distances in *base-cost* space (route_base_cost below), and
+// every run-time cost factor — history, the deterministic jitter, present
+// congestion — multiplies the base cost by >= 1, so a base-space distance
+// is a lower bound on the real remaining cost. The distances themselves
+// are folded from one backward Dijkstra per sink tile over a thin
+// canonical graph whose connectivity is a superset of any real channel
+// width's (see the constructor), making each cell the exact minimum over
+// every realizable (node, target) pair at that offset.
+// RouteOptions::verify_lookahead and RouteCounters::lookahead_suboptimal
+// prove the bound empirically on top: no sink is found worse than a
+// zero-heuristic Dijkstra reference on the same cost state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+
+namespace nemfpga {
+
+/// The router's base-cost profile, shared (single source of truth) by the
+/// production router, the reference oracle and the lookahead builder.
+inline double route_base_cost(const RrNode& n) {
+  switch (n.type) {
+    case RrType::kChanX:
+    case RrType::kChanY:
+      return static_cast<double>(n.length);
+    case RrType::kIpin:
+      return 0.95;  // slight pull toward finishing
+    case RrType::kSink:
+      return 0.0;
+    default:
+      return 1.0;
+  }
+}
+
+class RouteLookahead {
+ public:
+  explicit RouteLookahead(const RrGraph& g);
+
+  /// Expected remaining base cost from `n` (whose own cost is already
+  /// paid) to a sink at tile (tx, ty). Convenience form for sink-order
+  /// keys and the reference oracle; the hot loop uses the key-based
+  /// accessors below.
+  double estimate(const RrNode& n, int tx, int ty) const {
+    return table_[static_cast<std::size_t>(node_key(n) +
+                                           target_key(tx, ty))];
+  }
+
+  /// Per-node half of the table index: class plus reference-point offset,
+  /// folded so that table()[node_key(n) + target_key(tx, ty)] is the
+  /// estimate — one add and one load per relaxed edge. Pure geometry of
+  /// the node, so one table serves every channel width of the same
+  /// fabric (find_min_channel_width shares it across probes).
+  std::int32_t node_key(const RrNode& n) const;
+
+  /// Per-search half of the index (hoisted once per sink search).
+  std::int32_t target_key(int tx, int ty) const {
+    return (tx + off_x_) * sy_ + (ty + off_y_);
+  }
+
+  const float* table() const { return table_.data(); }
+
+  double build_seconds() const { return build_s_; }
+
+  /// Wire classes get direction-aware tables; everything else (pins,
+  /// sources, sinks) shares the generic class.
+  static constexpr int kClasses = 5;
+
+ private:
+  int sy_ = 0;           ///< Table stride in the dy dimension.
+  int off_x_ = 0, off_y_ = 0;  ///< Offset bias so indices start at 0.
+  std::size_t span_ = 0;           ///< sx * sy, one class's table slice.
+  std::vector<float> table_;       ///< kClasses * sx * sy, row-major.
+  double build_s_ = 0.0;
+};
+
+}  // namespace nemfpga

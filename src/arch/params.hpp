@@ -23,6 +23,15 @@ struct ArchParams {
   /// IO pads per perimeter site.
   std::size_t io_per_pad = 8;
 
+  /// Connect every switch-box / output-pin candidate instead of the
+  /// fc- and Wilton-limited selections. Never used for a routable
+  /// fabric — the lookahead table (src/arch/lookahead.cpp) sets it on
+  /// its thin canonical graph so that thin connectivity is a provable
+  /// superset of any real graph's, which keeps the distance table a
+  /// true lower bound even where border stubs make the candidate sets
+  /// geometry-heterogeneous.
+  bool dense_fanout = false;
+
   /// LB input pin count I; the standard cluster sizing I = K(N+1)/2
   /// [Betz 99] gives 22 for K=4, N=10.
   std::size_t lb_inputs() const { return K * (N + 1) / 2; }

@@ -301,6 +301,12 @@ std::vector<RrNodeId> RrGraph::opin_start_wires(std::size_t x, std::size_t y,
   }
   std::vector<RrNodeId> out;
   if (all_starts.empty()) return out;
+  if (arch_.dense_fanout) {
+    for (RrNodeId w : all_starts) {
+      if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
+    }
+    return out;
+  }
   const std::size_t want = std::min(all_starts.size(), arch_.fc_out_tracks());
   const double offset =
       std::fmod(kGolden * static_cast<double>(pin + 1), 1.0);
@@ -381,6 +387,18 @@ void RrGraph::build_edges() {
     }
     return best;
   };
+  // One edge per move normally; every candidate under dense_fanout (the
+  // candidate set mixes full wires and clipped border stubs, so a single
+  // preferred pick is not geometry-complete — see ArchParams::dense_fanout).
+  auto connect = [&](RrNodeId from, const std::vector<RrNodeId>& cands,
+                     std::size_t track) {
+    if (arch_.dense_fanout) {
+      for (RrNodeId c : cands) add_edge(from, c, RrSwitch::kWireToWire);
+      return;
+    }
+    const RrNodeId w = prefer_track(cands, track);
+    if (w != kNoRrNode) add_edge(from, w, RrSwitch::kWireToWire);
+  };
   const std::size_t rot = 5;  // Wilton rotation applied at turns
 
   const auto n_nodes = static_cast<RrNodeId>(nodes_.size());
@@ -391,45 +409,35 @@ void RrGraph::build_edges() {
       const std::size_t end = n.increasing ? n.x_hi : n.x_lo;
       // Straight continuation.
       const std::size_t next_x = n.increasing ? end + 1 : end - 1;
-      RrNodeId straight = kNoRrNode;
       if (next_x >= 1 && next_x <= nx_) {
-        straight = prefer_track(wires_starting_x(j, next_x, n.increasing),
-                                n.track);
+        connect(id, wires_starting_x(j, next_x, n.increasing), n.track);
       }
-      if (straight != kNoRrNode) add_edge(id, straight, RrSwitch::kWireToWire);
       // Turns through the SB at the junction past `end`:
       // vertical channel index i = end (INC) or end - 1 (DEC).
       const std::size_t i = n.increasing ? end : end - 1;
       if (i <= nx_) {
-        const RrNodeId up = prefer_track(wires_starting_y(i, j + 1, true),
-                                         (n.track + rot) % arch_.W);
-        if (up != kNoRrNode) add_edge(id, up, RrSwitch::kWireToWire);
-        const RrNodeId down =
-            (j >= 1) ? prefer_track(wires_starting_y(i, j, false),
-                                    (n.track + arch_.W - rot) % arch_.W)
-                     : kNoRrNode;
-        if (down != kNoRrNode) add_edge(id, down, RrSwitch::kWireToWire);
+        connect(id, wires_starting_y(i, j + 1, true),
+                (n.track + rot) % arch_.W);
+        if (j >= 1) {
+          connect(id, wires_starting_y(i, j, false),
+                  (n.track + arch_.W - rot) % arch_.W);
+        }
       }
     } else if (n.type == RrType::kChanY) {
       const std::size_t i = n.x_lo;
       const std::size_t end = n.increasing ? n.y_hi : n.y_lo;
       const std::size_t next_y = n.increasing ? end + 1 : end - 1;
-      RrNodeId straight = kNoRrNode;
       if (next_y >= 1 && next_y <= ny_) {
-        straight = prefer_track(wires_starting_y(i, next_y, n.increasing),
-                                n.track);
+        connect(id, wires_starting_y(i, next_y, n.increasing), n.track);
       }
-      if (straight != kNoRrNode) add_edge(id, straight, RrSwitch::kWireToWire);
       const std::size_t j = n.increasing ? end : end - 1;
       if (j <= ny_) {
-        const RrNodeId right = prefer_track(wires_starting_x(j, i + 1, true),
-                                            (n.track + rot) % arch_.W);
-        if (right != kNoRrNode) add_edge(id, right, RrSwitch::kWireToWire);
-        const RrNodeId left =
-            (i >= 1) ? prefer_track(wires_starting_x(j, i, false),
-                                    (n.track + arch_.W - rot) % arch_.W)
-                     : kNoRrNode;
-        if (left != kNoRrNode) add_edge(id, left, RrSwitch::kWireToWire);
+        connect(id, wires_starting_x(j, i + 1, true),
+                (n.track + rot) % arch_.W);
+        if (i >= 1) {
+          connect(id, wires_starting_x(j, i, false),
+                  (n.track + arch_.W - rot) % arch_.W);
+        }
       }
     }
   }

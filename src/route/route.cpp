@@ -1,13 +1,18 @@
 #include "route/route.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
+#include "arch/lookahead.hpp"
 #include "route/overuse.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/check.hpp"
@@ -21,15 +26,25 @@ double wall_s() {
       .count();
 }
 
-// Allocation-free PathFinder search core. All per-net and per-sink scratch
-// lives in persistent, epoch-stamped buffers owned by the Router, so the
-// steady-state net loop performs zero heap allocations (buffers grow to
-// their high-water mark during the first nets and are reused thereafter;
-// RouteCounters::scratch_grows counts the growth events). The search is
-// bit-identical to the straightforward implementation it replaces: same
-// heap algorithm and comparator, same relaxation epsilons, same
-// tie-breaking jitter — golden tests pin Wmin and whole-suite tree
-// checksums (tests/test_route_golden.cpp).
+// Allocation-free PathFinder search core with an A* geometric lookahead
+// (src/arch/lookahead.hpp) and deterministic net-level parallelism.
+//
+// All mutable search state is split in two:
+//  - Router owns everything shared across nets: the occupancy tracker and
+//    its HotNode mirror, history costs, the per-iteration cost cache and
+//    the lookahead table. During a parallel batch this state is
+//    *read-only*; occupancy changes are applied serially at commit time.
+//  - Scratch owns everything one in-flight net needs: the relaxation
+//    array, the heap, tree/path buffers. Worker threads check scratch
+//    arenas out of a free list, so the steady-state net loop performs
+//    zero heap allocations regardless of the thread count
+//    (RouteCounters::scratch_grows counts per-arena warm-up growth).
+//
+// With net_parallel=false and astar_factor=0 the router is bit-identical
+// to the straightforward serial implementation it replaces: same heap
+// algorithm and comparator, same relaxation epsilons, same tie-breaking
+// jitter, same occupancy sequencing — the legacy golden fixtures in
+// tests/test_route_golden.cpp pin Wmin and whole-suite tree checksums.
 struct Router {
   const RrGraph& g;
   const Placement& pl;
@@ -39,42 +54,53 @@ struct Router {
   std::vector<float> history;
   double pres_fac;
 
-  /// node_base_cost per node (immutable for a given graph).
+  /// route_base_cost per node (immutable for a given graph).
   std::vector<double> base_cost;
 
+  /// Admissible A* lookahead (null when astar_factor == 0). Either the
+  /// caller-provided shared table (RouteOptions::lookahead) or one built
+  /// here on demand.
+  std::shared_ptr<const RouteLookahead> la;
+
   /// Everything the relaxation loop reads about a candidate node, packed
-  /// into one 24-byte record so an edge costs one data-cache touch
-  /// instead of five scattered array loads: the bounding-box coords and
+  /// into one 32-byte record so an edge costs one data-cache touch
+  /// instead of six scattered array loads: the bounding-box coords and
   /// sink flag (immutable), a mirror of the occupancy/capacity pair
-  /// (updated through inc_occ/dec_occ), and the per-iteration cost cache
-  /// base * (1 + history) * jitter — leaving one multiply for the
-  /// present-congestion factor instead of a type switch + hash + three
-  /// multiplies per edge.
+  /// (updated through inc_occ/dec_occ), the folded lookahead index, and
+  /// the per-iteration cost cache base * (1 + history) * jitter — leaving
+  /// one multiply for the present-congestion factor instead of a type
+  /// switch + hash + three multiplies per edge.
   struct HotNode {
     std::uint16_t x_lo, x_hi, y_lo, y_hi;
     std::uint16_t occ, cap;
     std::uint16_t is_sink;
     std::uint16_t pad = 0;
+    std::int32_t la_key;  ///< RouteLookahead::node_key (0 without table).
+    std::uint32_t pad2 = 0;
     double cost;
   };
-  static_assert(sizeof(HotNode) == 24);
+  static_assert(sizeof(HotNode) == 32);
   std::vector<HotNode> hot;
 
   // Per-sink-search relaxation state, epoch-stamped to avoid O(V) clears
-  // and packed per node for the same one-touch reason as HotNode.
+  // and packed per node for the same one-touch reason as HotNode. The
+  // ov_* fields are a second, independently-stamped channel: the
+  // occupancy *overlay* — increments the net being routed has already
+  // claimed for its own tree (earlier sinks), which are deliberately not
+  // applied to the shared HotNode mirror until the net commits. ov_epoch
+  // is keyed by Scratch::ov_cur (one epoch per route attempt), so the
+  // overlay survives the per-sink cur_epoch bumps. Relaxation updates
+  // must therefore write path_cost/epoch/prev field-wise, never by
+  // aggregate assignment, or they would wipe the overlay.
   struct RelaxNode {
     double path_cost;
     std::uint32_t epoch;
     RrNodeId prev;
+    std::uint32_t ov_epoch;
+    std::uint16_t ov_add;
+    std::uint16_t pad = 0;
   };
-  static_assert(sizeof(RelaxNode) == 16);
-  std::vector<RelaxNode> relax;
-  std::uint32_t cur_epoch = 0;
-
-  // Per-net membership marks (tree membership, rip-up dedup, wire census),
-  // epoch-stamped with their own counter.
-  std::vector<std::uint32_t> mark;
-  std::uint32_t mark_cur = 0;
+  static_assert(sizeof(RelaxNode) == 24);
 
   struct QItem {
     double cost;
@@ -83,62 +109,163 @@ struct Router {
     bool operator>(const QItem& o) const { return cost > o.cost; }
   };
 
-  // Reusable per-net buffers (the scratch arena).
-  std::vector<QItem> heap;
-  std::vector<RrNodeId> sink_nodes;
-  std::vector<double> sink_keys;
-  std::vector<std::uint32_t> order;
-  std::vector<RrNodeId> tree_nodes;
-  std::vector<std::pair<RrNodeId, RrNodeId>> path;
+  /// Per-in-flight-net search state. One arena per concurrently-routing
+  /// net; serial runs use a single arena for the whole routing.
+  struct Scratch {
+    std::vector<RelaxNode> relax;
+    std::uint32_t cur_epoch = 0;  ///< One per sink search.
+    std::uint32_t ov_cur = 0;     ///< One per route attempt (overlay).
+
+    // Per-net membership marks (tree membership dedup).
+    std::vector<std::uint32_t> mark;
+    std::uint32_t mark_cur = 0;
+
+    // Reusable per-net buffers.
+    std::vector<QItem> heap;
+    std::vector<RrNodeId> sink_nodes;
+    std::vector<double> sink_keys;
+    std::vector<std::uint32_t> order;
+    std::vector<RrNodeId> tree_nodes;
+    std::vector<std::pair<RrNodeId, RrNodeId>> path;
+
+    /// Set by a successful route attempt: edges before this index are the
+    /// pre-seeded (still-committed) part of the tree, edges from it on
+    /// are new and need their occupancy committed.
+    std::size_t seed_edges = 0;
+
+    /// Work done through this arena; summed into the routing totals.
+    RouteCounters cnt;
+
+    explicit Scratch(std::size_t n) {
+      relax.assign(n, RelaxNode{0.0, 0, kNoRrNode, 0, 0, 0});
+      mark.assign(n, 0);
+      // Warm the arena so even the first nets rarely grow it.
+      heap.reserve(4096);
+      sink_nodes.reserve(256);
+      sink_keys.reserve(256);
+      order.reserve(256);
+      tree_nodes.reserve(1024);
+      path.reserve(512);
+    }
+
+    std::size_t capacity() const {
+      return heap.capacity() + sink_nodes.capacity() + sink_keys.capacity() +
+             order.capacity() + tree_nodes.capacity() + path.capacity();
+    }
+
+    // Binary min-heap over the persistent buffer — the exact algorithm
+    // std::priority_queue runs, without its per-search container churn.
+    // (A 4-ary hole-sifting variant was measured here; it resolves
+    // exact-cost ties in a different order than std::pop_heap, which
+    // perturbs the routing and violates the bit-identity contract the
+    // golden tests pin, so the std algorithms stay.)
+    void heap_push(QItem item) {
+      heap.push_back(item);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      ++cnt.heap_pushes;
+    }
+    QItem heap_pop() {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const QItem item = heap.back();
+      heap.pop_back();
+      ++cnt.heap_pops;
+      return item;
+    }
+  };
+
+  // Scratch arenas are checked out per in-flight net. Lazily grown so a
+  // serial run (and the nested-serial Wmin probes) allocates exactly one.
+  std::vector<std::unique_ptr<Scratch>> scratches;
+  std::vector<Scratch*> free_scratches;
+  std::mutex scratch_mu;
+
+  // Serial-only marks/buffers (rip-up dedup, prune, batch conflict marks,
+  // wire census) — never touched from worker threads.
+  std::vector<std::uint32_t> smark;
+  std::uint32_t smark_cur = 0;
+  std::vector<std::uint32_t> bmark;
+  std::uint32_t bmark_cur = 0;
   std::vector<std::pair<RrNodeId, RrNodeId>> kept;
+  std::vector<std::pair<RrNodeId, RrNodeId>> ppath;
 
   std::size_t iteration = 1;
+  /// Router-level counters (serial bookkeeping + wall times); totals add
+  /// the per-arena counters on top.
   RouteCounters cnt;
 
   explicit Router(const RrGraph& graph, const Placement& placement,
                   const RouteOptions& options)
       : g(graph), pl(placement), opt(options), occ(graph) {
+    if (opt.astar_factor > 0.0) {
+      if (opt.lookahead) {
+        la = opt.lookahead;  // shared across channel-width probes
+      } else {
+        la = std::make_shared<const RouteLookahead>(g);
+        cnt.t_lookahead_build_s = la->build_seconds();
+      }
+    }
     const std::size_t n = g.node_count();
     history.assign(n, 0.0f);
     base_cost.resize(n);
     hot.resize(n);
     for (RrNodeId i = 0; i < n; ++i) {
       const RrNode& nd = g.node(i);
-      base_cost[i] = node_base_cost(nd);
-      hot[i] = {nd.x_lo, nd.x_hi, nd.y_lo, nd.y_hi,
-                0,       nd.capacity,
+      base_cost[i] = route_base_cost(nd);
+      hot[i] = {nd.x_lo,
+                nd.x_hi,
+                nd.y_lo,
+                nd.y_hi,
+                0,
+                nd.capacity,
                 static_cast<std::uint16_t>(nd.type == RrType::kSink ? 1 : 0),
-                0,       0.0};
+                0,
+                la ? la->node_key(nd) : 0,
+                0,
+                0.0};
     }
-    relax.assign(n, {0.0, 0, kNoRrNode});
-    mark.assign(n, 0);
+    smark.assign(n, 0);
+    bmark.assign(n, 0);
     pres_fac = opt.first_iter_pres_fac;
-    // Warm the arena so even the first nets rarely grow it.
-    heap.reserve(4096);
-    sink_nodes.reserve(256);
-    sink_keys.reserve(256);
-    order.reserve(256);
-    tree_nodes.reserve(1024);
-    path.reserve(512);
     kept.reserve(512);
+    ppath.reserve(512);
   }
 
-  static double node_base_cost(const RrNode& n) {
-    switch (n.type) {
-      case RrType::kChanX:
-      case RrType::kChanY:
-        return static_cast<double>(n.length);
-      case RrType::kIpin:
-        return 0.95;  // slight pull toward finishing
-      case RrType::kSink:
-        return 0.0;
-      default:
-        return 1.0;
+  Scratch* acquire_scratch() {
+    std::lock_guard<std::mutex> lk(scratch_mu);
+    if (free_scratches.empty()) {
+      scratches.push_back(std::make_unique<Scratch>(g.node_count()));
+      return scratches.back().get();
     }
+    Scratch* s = free_scratches.back();
+    free_scratches.pop_back();
+    return s;
+  }
+  void release_scratch(Scratch* s) {
+    std::lock_guard<std::mutex> lk(scratch_mu);
+    free_scratches.push_back(s);
+  }
+
+  RouteCounters total_counters() const {
+    RouteCounters t = cnt;
+    for (const auto& s : scratches) {
+      t.heap_pushes += s->cnt.heap_pushes;
+      t.heap_pops += s->cnt.heap_pops;
+      t.nodes_expanded += s->cnt.nodes_expanded;
+      t.sink_searches += s->cnt.sink_searches;
+      t.nets_routed += s->cnt.nets_routed;
+      t.scratch_grows += s->cnt.scratch_grows;
+      t.lookahead_hits += s->cnt.lookahead_hits;
+      t.lookahead_suboptimal += s->cnt.lookahead_suboptimal;
+      t.verify_dijkstra_expanded += s->cnt.verify_dijkstra_expanded;
+      t.verify_astar_expanded += s->cnt.verify_astar_expanded;
+    }
+    return t;
   }
 
   /// Occupancy changes go through these so the HotNode mirror and the
-  /// incremental overuse tracker stay in lock step.
+  /// incremental overuse tracker stay in lock step. Only ever called from
+  /// the serial orchestration path — worker threads record their own-tree
+  /// occupancy in the RelaxNode overlay instead.
   void inc_occ(RrNodeId id) {
     occ.inc(id);
     ++hot[id].occ;
@@ -164,29 +291,18 @@ struct Router {
     }
   }
 
-  double congestion_cost(const HotNode& hn) const {
+  /// Present-congestion cost of entering a node. `ov_add` is the overlay:
+  /// occupancy the routing net's own tree has claimed but not committed,
+  /// so the observed total equals what an inc-during-search router sees.
+  double congestion_cost(const HotNode& hn, int ov_add) const {
     const int over =
-        static_cast<int>(hn.occ) + 1 - static_cast<int>(hn.cap);
+        static_cast<int>(hn.occ) + ov_add + 1 - static_cast<int>(hn.cap);
     if (over <= 0) return hn.cost;
     return hn.cost * (1.0 + over * pres_fac);
   }
 
-  /// Manhattan-distance lookahead toward a target node, in expected base
-  /// cost (distance scaled by ~1 per tile traversed).
-  double heuristic(RrNodeId from, RrNodeId to) const {
-    const HotNode& b = hot[to];
-    return heuristic_to(from, b.x_lo, b.x_hi, b.y_lo, b.y_hi);
-  }
-
-  /// Same lookahead with the target's bounding box hoisted once per
-  /// search instead of re-loaded per edge.
-  double heuristic_to(RrNodeId from, int tx_lo, int tx_hi, int ty_lo,
-                      int ty_hi) const {
-    return heuristic_from(hot[from], tx_lo, tx_hi, ty_lo, ty_hi);
-  }
-
-  /// Lookahead from a HotNode already in hand (the relaxation loop has
-  /// just touched it — no second lookup).
+  /// Legacy Manhattan-distance lookahead (astar_factor == 0 only), in
+  /// expected base cost (distance scaled by ~1 per tile traversed).
   double heuristic_from(const HotNode& a, int tx_lo, int tx_hi, int ty_lo,
                         int ty_hi) const {
     const auto clampdist = [](int lo1, int hi1, int lo2, int hi2) {
@@ -207,54 +323,110 @@ struct Router {
 #endif
   }
 
-  // Binary min-heap over the persistent buffer — the exact algorithm
-  // std::priority_queue runs, without its per-search container churn.
-  // (A 4-ary hole-sifting variant was measured here; it resolves
-  // exact-cost ties in a different order than std::pop_heap, which
-  // perturbs the routing and violates the bit-identity contract the
-  // golden tests pin, so the std algorithms stay.)
-  void heap_push(QItem item) {
-    heap.push_back(item);
-    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
-    ++cnt.heap_pushes;
-  }
-  QItem heap_pop() {
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    const QItem item = heap.back();
-    heap.pop_back();
-    ++cnt.heap_pops;
-    return item;
-  }
+  /// One A* / Dijkstra run from the current tree seeds to `target`,
+  /// bounded by the net window. `with_heur` false gives the plain
+  /// Dijkstra reference verify_lookahead compares against. On success the
+  /// optimal path cost is in sc.relax[target].path_cost.
+  bool search_sink(Scratch& sc, RrNodeId target, int x_lo, int x_hi,
+                   int y_lo, int y_hi, bool with_heur) {
+    ++sc.cur_epoch;
+    const std::uint32_t ep = sc.cur_epoch;
+    const std::uint32_t ov = sc.ov_cur;
+    const HotNode& tn = hot[target];
+    const int tx_lo = tn.x_lo, tx_hi = tn.x_hi;
+    const int ty_lo = tn.y_lo, ty_hi = tn.y_hi;
+    const bool use_table = with_heur && la != nullptr;
+    const bool use_manhattan = with_heur && la == nullptr;
+    const float* la_tab = use_table ? la->table() : nullptr;
+    const std::int32_t tkey =
+        use_table ? la->target_key(tn.x_lo, tn.y_lo) : 0;
+    const double la_fac = opt.astar_factor;
 
-  std::size_t scratch_capacity() const {
-    return heap.capacity() + sink_nodes.capacity() + sink_keys.capacity() +
-           order.capacity() + tree_nodes.capacity() + path.capacity() +
-           kept.capacity();
-  }
+    auto h_of = [&](const HotNode& hn) -> double {
+      if (use_table) {
+        ++sc.cnt.lookahead_hits;
+        return la_fac * static_cast<double>(
+                            la_tab[static_cast<std::size_t>(
+                                static_cast<std::int64_t>(hn.la_key) + tkey)]);
+      }
+      if (use_manhattan) {
+        return heuristic_from(hn, tx_lo, tx_hi, ty_lo, ty_hi);
+      }
+      return 0.0;
+    };
+    auto in_bb = [&](const HotNode& n) {
+      return static_cast<int>(n.x_hi) >= x_lo &&
+             static_cast<int>(n.x_lo) <= x_hi &&
+             static_cast<int>(n.y_hi) >= y_lo &&
+             static_cast<int>(n.y_lo) <= y_hi;
+    };
+    // Weighted A* (table factor > 1) never re-expands a closed node.
+    // Scaling the table breaks its consistency, so a closed node can be
+    // re-reached at lower g; re-expanding would restore exactness but at
+    // factor > 1 the search is already only w-bounded, and the classic
+    // WA*-without-reopening result keeps that same bound while expanding
+    // each node at most once. At factor <= 1 the unscaled table is
+    // consistent (thin-graph triangle inequality), re-expansion never
+    // fires anyway, and leaving it enabled preserves the provable
+    // Dijkstra-equality that verify_lookahead asserts. Closing is a
+    // sentinel: -inf path_cost makes every later pop stale and every
+    // relaxation attempt lose, with the prev chain left intact for the
+    // backtrack and no new field in the packed RelaxNode.
+    const bool no_reexpand = use_table && la_fac > 1.0;
 
-  /// Route one net; tree written into `out`. `out` may arrive pre-seeded
-  /// with a congestion-free partial tree (prune_ripup) whose nodes still
-  /// hold occupancy; a fresh/empty `out` routes from scratch. Returns
-  /// false if any sink was unreachable (graph disconnection — treated as
-  /// hard failure).
-  bool route_net(const PlacedNet& net, RouteTree& out,
-                 std::size_t extra_bb = 0) {
-    const std::size_t cap_before = scratch_capacity();
-    ++cnt.nets_routed;
-    // Routes outside the net bounding box are rare but legal (sparse track
-    // connectivity can force a detour); retry unconstrained before giving
-    // up.
-    bool ok = route_net_bb(net, out, opt.bb_margin + extra_bb);
-    if (!ok) {
-      out = RouteTree{};
-      ok = route_net_bb(net, out, g.nx() + g.ny());
+    sc.heap.clear();
+    for (RrNodeId n : sc.tree_nodes) {
+      RelaxNode& rn = sc.relax[n];
+      rn.path_cost = 0.0;
+      rn.epoch = ep;
+      rn.prev = kNoRrNode;
+      sc.heap_push({h_of(hot[n]), 0.0, n});
     }
-    if (scratch_capacity() != cap_before) ++cnt.scratch_grows;
-    return ok;
+    while (!sc.heap.empty()) {
+      const QItem item = sc.heap_pop();
+      const RrNodeId u = item.node;
+      if (sc.relax[u].epoch == ep &&
+          item.known > sc.relax[u].path_cost + 1e-9) {
+        continue;  // stale entry
+      }
+      ++sc.cnt.nodes_expanded;
+      if (u == target) return true;
+      if (no_reexpand) {
+        sc.relax[u].path_cost = -std::numeric_limits<double>::infinity();
+      }
+      const std::span<const RrEdge> es = g.edges(u);
+      for (std::size_t k = 0; k < es.size(); ++k) {
+        if (k + 4 < es.size()) prefetch(&hot[es[k + 4].to]);
+        const RrNodeId v = es[k].to;
+        const HotNode& vn = hot[v];
+        if (!in_bb(vn)) continue;
+        if (vn.is_sink && v != target) continue;
+        RelaxNode& rn = sc.relax[v];
+        const int ov_add = rn.ov_epoch == ov ? rn.ov_add : 0;
+        const double new_cost = item.known + congestion_cost(vn, ov_add);
+        if (rn.epoch != ep || new_cost < rn.path_cost - 1e-9) {
+          rn.path_cost = new_cost;
+          rn.epoch = ep;
+          rn.prev = u;
+          sc.heap_push({new_cost + h_of(vn), new_cost, v});
+        }
+      }
+    }
+    return false;
   }
 
-  bool route_net_bb(const PlacedNet& net, RouteTree& out,
-                    std::size_t bb_margin) {
+  enum class NetStatus { kOk, kReplay, kFail };
+
+  /// Route one net within its bounding window. Never mutates shared
+  /// occupancy on the way to success — the caller applies commit()
+  /// afterwards, which is what makes speculative parallel routing and
+  /// serial routing share one code path. `speculative` turns the
+  /// window-escape failure into kReplay (the serial replay owns retries);
+  /// non-speculative failure releases the pre-seeded tree occupancy and
+  /// reports kFail so route_net can retry unconstrained.
+  NetStatus route_net_bb(Scratch& sc, const PlacedNet& net, RouteTree& out,
+                         std::size_t bb_margin, bool speculative) {
+    const std::size_t seed_edges = out.edges.size();
     const BlockLoc& dloc = pl.locs[net.driver];
     const RrNodeId source = g.site(dloc.x, dloc.y).source;
     out.source = source;
@@ -263,10 +435,10 @@ struct Router {
     // Net bounding box (+margin) restricts expansion.
     int x_lo = static_cast<int>(dloc.x), x_hi = x_lo;
     int y_lo = static_cast<int>(dloc.y), y_hi = y_lo;
-    sink_nodes.clear();
+    sc.sink_nodes.clear();
     for (std::size_t s : net.sinks) {
       const BlockLoc& l = pl.locs[s];
-      sink_nodes.push_back(g.site(l.x, l.y).sink);
+      sc.sink_nodes.push_back(g.site(l.x, l.y).sink);
       x_lo = std::min(x_lo, static_cast<int>(l.x));
       x_hi = std::max(x_hi, static_cast<int>(l.x));
       y_lo = std::min(y_lo, static_cast<int>(l.y));
@@ -277,123 +449,195 @@ struct Router {
     x_hi += m;
     y_lo -= m;
     y_hi += m;
-    auto in_bb = [&](const HotNode& n) {
-      return static_cast<int>(n.x_hi) >= x_lo &&
-             static_cast<int>(n.x_lo) <= x_hi &&
-             static_cast<int>(n.y_hi) >= y_lo &&
-             static_cast<int>(n.y_lo) <= y_hi;
-    };
 
     // Sort sinks near-to-far from the driver. The keys are evaluated once
     // per sink up front — not O(n log n) times inside the comparator.
-    order.resize(sink_nodes.size());
-    sink_keys.resize(sink_nodes.size());
-    for (std::uint32_t i = 0; i < order.size(); ++i) {
-      order[i] = i;
-      sink_keys[i] = heuristic(source, sink_nodes[i]);
+    sc.order.resize(sc.sink_nodes.size());
+    sc.sink_keys.resize(sc.sink_nodes.size());
+    const HotNode& sn = hot[source];
+    for (std::uint32_t i = 0; i < sc.order.size(); ++i) {
+      sc.order[i] = i;
+      const HotNode& tn = hot[sc.sink_nodes[i]];
+      sc.sink_keys[i] =
+          la ? opt.astar_factor * la->estimate(g.node(source), tn.x_lo,
+                                               tn.y_lo)
+             : heuristic_from(sn, tn.x_lo, tn.x_hi, tn.y_lo, tn.y_hi);
     }
-    std::sort(order.begin(), order.end(),
+    std::sort(sc.order.begin(), sc.order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                return sink_keys[a] < sink_keys[b];
+                return sc.sink_keys[a] < sc.sink_keys[b];
               });
 
     // Tree membership via epoch marks; seed from any pre-kept edges.
-    ++mark_cur;
-    tree_nodes.clear();
-    tree_nodes.push_back(source);
-    mark[source] = mark_cur;
-    for (const auto& [from, to] : out.edges) {
-      (void)from;
-      if (mark[to] != mark_cur) {
-        mark[to] = mark_cur;
-        tree_nodes.push_back(to);
+    ++sc.mark_cur;
+    sc.tree_nodes.clear();
+    sc.tree_nodes.push_back(source);
+    sc.mark[source] = sc.mark_cur;
+    for (std::size_t i = 0; i < seed_edges; ++i) {
+      const RrNodeId to = out.edges[i].second;
+      if (sc.mark[to] != sc.mark_cur) {
+        sc.mark[to] = sc.mark_cur;
+        sc.tree_nodes.push_back(to);
       }
     }
+    const std::size_t n_seed = sc.tree_nodes.size();
 
-    for (std::uint32_t oi : order) {
-      const RrNodeId target = sink_nodes[oi];
-      if (mark[target] == mark_cur) {
+    for (std::uint32_t oi : sc.order) {
+      const RrNodeId target = sc.sink_nodes[oi];
+      if (sc.mark[target] == sc.mark_cur) {
         // Another sink block shares this SINK node; already reached.
         out.sinks.push_back(target);
         continue;
       }
-      ++cur_epoch;
-      ++cnt.sink_searches;
-      const HotNode& tn = hot[target];
-      const int tx_lo = tn.x_lo, tx_hi = tn.x_hi;
-      const int ty_lo = tn.y_lo, ty_hi = tn.y_hi;
-      heap.clear();
-      for (RrNodeId n : tree_nodes) {
-        relax[n] = {0.0, cur_epoch, kNoRrNode};
-        heap_push({heuristic_to(n, tx_lo, tx_hi, ty_lo, ty_hi), 0.0, n});
-      }
-      bool found = false;
-      while (!heap.empty()) {
-        const QItem item = heap_pop();
-        const RrNodeId u = item.node;
-        if (relax[u].epoch == cur_epoch &&
-            item.known > relax[u].path_cost + 1e-9) {
-          continue;  // stale entry
-        }
-        ++cnt.nodes_expanded;
-        if (u == target) {
-          found = true;
-          break;
-        }
-        const std::span<const RrEdge> es = g.edges(u);
-        for (std::size_t k = 0; k < es.size(); ++k) {
-          if (k + 4 < es.size()) prefetch(&hot[es[k + 4].to]);
-          const RrNodeId v = es[k].to;
-          const HotNode& vn = hot[v];
-          if (!in_bb(vn)) continue;
-          if (vn.is_sink && v != target) continue;
-          const double new_cost = item.known + congestion_cost(vn);
-          RelaxNode& rn = relax[v];
-          if (rn.epoch != cur_epoch || new_cost < rn.path_cost - 1e-9) {
-            rn = {new_cost, cur_epoch, u};
-            heap_push({new_cost + heuristic_from(vn, tx_lo, tx_hi, ty_lo,
-                                                 ty_hi),
-                       new_cost, v});
+      ++sc.cnt.sink_searches;
+      bool found;
+      if (opt.verify_lookahead && la) {
+        // Admissibility probe: a zero-heuristic Dijkstra on the identical
+        // cost state first (its work excluded from the counters), then
+        // the directed search, then compare optimal costs. The probe is
+        // also the honest way to measure what the table buys: the same
+        // searches on the same cost states, heuristic on vs off
+        // (dijkstra_expanded / astar_expanded — route_perf --verify-la
+        // reports the ratio).
+        const RouteCounters saved = sc.cnt;
+        const bool ref_found =
+            search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, false);
+        const double ref_cost =
+            ref_found ? sc.relax[target].path_cost : 0.0;
+        const std::uint64_t ref_exp =
+            sc.cnt.nodes_expanded - saved.nodes_expanded;
+        sc.cnt = saved;
+        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true);
+        sc.cnt.verify_dijkstra_expanded += ref_exp;
+        sc.cnt.verify_astar_expanded +=
+            sc.cnt.nodes_expanded - saved.nodes_expanded;
+        if (found != ref_found ||
+            (found && sc.relax[target].path_cost > ref_cost + 1e-9)) {
+          ++sc.cnt.lookahead_suboptimal;
+          if (std::getenv("NF_LA_DEBUG")) {
+            const HotNode& tn = hot[target];
+            std::fprintf(stderr,
+                         "LA subopt: target=%u at (%u,%u) astar=%.9f "
+                         "dijkstra=%.9f\n",
+                         target, tn.x_lo, tn.y_lo,
+                         found ? sc.relax[target].path_cost : -1.0,
+                         ref_found ? ref_cost : -1.0);
           }
         }
+      } else {
+        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true);
       }
       if (!found) {
-        // Release the partially-built tree (source has no occupancy yet).
-        for (std::size_t i = 1; i < tree_nodes.size(); ++i) {
-          dec_occ(tree_nodes[i]);
+        if (speculative) {
+          // Roll back to the seed tree; the serial replay will retry.
+          out.edges.resize(seed_edges);
+          out.sinks.clear();
+          return NetStatus::kReplay;
         }
-        return false;
+        // Release the pre-seeded tree's occupancy (the source holds
+        // none; new nodes never took any — the overlay is discarded).
+        for (std::size_t i = 1; i < n_seed; ++i) {
+          dec_occ(sc.tree_nodes[i]);
+        }
+        return NetStatus::kFail;
       }
-      // Backtrace; new nodes join the tree with occupancy.
-      path.clear();
+      // Backtrace; new nodes join the tree and the occupancy overlay.
+      sc.path.clear();
       RrNodeId n = target;
-      while (relax[n].prev != kNoRrNode) {
-        path.emplace_back(relax[n].prev, n);
-        n = relax[n].prev;
+      while (sc.relax[n].prev != kNoRrNode) {
+        sc.path.emplace_back(sc.relax[n].prev, n);
+        n = sc.relax[n].prev;
       }
-      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      for (auto it = sc.path.rbegin(); it != sc.path.rend(); ++it) {
         out.edges.push_back(*it);
-        if (mark[it->second] != mark_cur) {
-          mark[it->second] = mark_cur;
-          tree_nodes.push_back(it->second);
-          inc_occ(it->second);
+        if (sc.mark[it->second] != sc.mark_cur) {
+          sc.mark[it->second] = sc.mark_cur;
+          sc.tree_nodes.push_back(it->second);
+          RelaxNode& rn = sc.relax[it->second];
+          if (rn.ov_epoch != sc.ov_cur) {
+            rn.ov_epoch = sc.ov_cur;
+            rn.ov_add = 1;
+          } else {
+            ++rn.ov_add;
+          }
         }
       }
       out.sinks.push_back(target);
     }
-    inc_occ(source);
-    return true;
+    sc.seed_edges = seed_edges;
+    return NetStatus::kOk;
+  }
+
+  /// Route one net; tree written into `out`. `out` may arrive pre-seeded
+  /// with a congestion-free partial tree (prune_ripup) whose nodes still
+  /// hold occupancy; a fresh/empty `out` routes from scratch. Success
+  /// leaves the new edges' occupancy uncommitted (sc.seed_edges marks
+  /// where they start) — pair every kOk with commit(). kFail means a sink
+  /// was unreachable even unconstrained (graph disconnection — hard
+  /// failure); kReplay (speculative only) means the serial replay must
+  /// redo this net.
+  NetStatus route_net(Scratch& sc, const PlacedNet& net, RouteTree& out,
+                      std::size_t extra_bb, bool speculative) {
+    const std::size_t cap_before = sc.capacity();
+    ++sc.cnt.nets_routed;
+    ++sc.ov_cur;
+    // Routes outside the net bounding box are rare but legal (sparse track
+    // connectivity can force a detour); retry unconstrained before giving
+    // up.
+    NetStatus st =
+        route_net_bb(sc, net, out, opt.bb_margin + extra_bb, speculative);
+    if (st == NetStatus::kFail && !speculative) {
+      out = RouteTree{};
+      ++sc.ov_cur;
+      st = route_net_bb(sc, net, out, g.nx() + g.ny(), speculative);
+    }
+    if (sc.capacity() != cap_before) ++sc.cnt.scratch_grows;
+    return st;
+  }
+
+  /// Apply a routed net's occupancy: each edge appended by this route
+  /// added exactly one new tree node (its `to` — the backtrace only
+  /// traverses fresh nodes, pre-seeded tree nodes are search seeds), so
+  /// the edge tail sequence *is* the new-node sequence, in the same order
+  /// an inc-during-search router would have claimed them.
+  void commit(const RouteTree& t, std::size_t seed_edges) {
+    for (std::size_t i = seed_edges; i < t.edges.size(); ++i) {
+      inc_occ(t.edges[i].second);
+    }
+    inc_occ(t.source);
+  }
+
+  /// Batch conflict marks: a committed member's claimed nodes, checked by
+  /// later members of the same batch. The scheduling rectangles keep
+  /// members' *bounding boxes* apart but not their full routing windows,
+  /// so two speculative trees can claim the same node in the shared
+  /// margin zone — the member with the higher net index is then re-routed
+  /// serially (deterministic: the frozen batch state and the commit order
+  /// decide, never the thread count). debug_replay_every exercises the
+  /// same path on demand.
+  bool conflicts(const RouteTree& t, std::size_t seed_edges) const {
+    if (bmark[t.source] == bmark_cur) return true;
+    for (std::size_t i = seed_edges; i < t.edges.size(); ++i) {
+      if (bmark[t.edges[i].second] == bmark_cur) return true;
+    }
+    return false;
+  }
+  void mark_committed(const RouteTree& t, std::size_t seed_edges) {
+    bmark[t.source] = bmark_cur;
+    for (std::size_t i = seed_edges; i < t.edges.size(); ++i) {
+      bmark[t.edges[i].second] = bmark_cur;
+    }
   }
 
   /// Release a whole tree's occupancy.
   void rip_up(const RouteTree& t) {
     if (t.source == kNoRrNode) return;
     dec_occ(t.source);
-    ++mark_cur;
+    ++smark_cur;
     for (const auto& [from, to] : t.edges) {
       (void)from;
-      if (mark[to] != mark_cur) {
-        mark[to] = mark_cur;
+      if (smark[to] != smark_cur) {
+        smark[to] = smark_cur;
         dec_occ(to);
       }
     }
@@ -404,42 +648,41 @@ struct Router {
   /// branches whose sinks were congested away release their occupancy
   /// too, or they would hoard capacity forever). Kept nodes retain
   /// occupancy; `t` becomes the seed tree route_net rebuilds from. The
-  /// source's own occupancy is released because route_net_bb re-takes it
-  /// on success.
+  /// source's own occupancy is released because commit() re-takes it.
   void prune_tree(const PlacedNet& net, RouteTree& t) {
     if (t.source == kNoRrNode) return;
     // Pass 1 (forward, parent-before-child): clean, source-connected.
     kept.clear();
-    ++mark_cur;
-    const std::uint32_t keep_m = mark_cur;
-    if (!occ.overused(t.source)) mark[t.source] = keep_m;
+    ++smark_cur;
+    const std::uint32_t keep_m = smark_cur;
+    if (!occ.overused(t.source)) smark[t.source] = keep_m;
     for (const auto& e : t.edges) {
-      if (mark[e.first] == keep_m && !occ.overused(e.second)) {
-        mark[e.second] = keep_m;
+      if (smark[e.first] == keep_m && !occ.overused(e.second)) {
+        smark[e.second] = keep_m;
         kept.push_back(e);
       } else {
         dec_occ(e.second);
       }
     }
     // Pass 2 (reverse): drop branches that reach none of the net's sinks.
-    ++mark_cur;
-    const std::uint32_t useful_m = mark_cur;
+    ++smark_cur;
+    const std::uint32_t useful_m = smark_cur;
     for (std::size_t s : net.sinks) {
       const BlockLoc& l = pl.locs[s];
       const RrNodeId sk = g.site(l.x, l.y).sink;
-      if (mark[sk] == keep_m) mark[sk] = useful_m;
+      if (smark[sk] == keep_m) smark[sk] = useful_m;
     }
-    path.clear();  // reversed survivors
+    ppath.clear();  // reversed survivors
     for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
-      if (mark[it->second] == useful_m) {
-        mark[it->first] = useful_m;
-        path.push_back(*it);
+      if (smark[it->second] == useful_m) {
+        smark[it->first] = useful_m;
+        ppath.push_back(*it);
       } else {
         dec_occ(it->second);
       }
     }
     dec_occ(t.source);
-    t.edges.assign(path.rbegin(), path.rend());
+    t.edges.assign(ppath.rbegin(), ppath.rend());
     t.sinks.clear();
   }
 
@@ -455,10 +698,19 @@ struct Router {
 RoutingResult route_all(const RrGraph& g, const Placement& pl,
                         const RouteOptions& opt) {
   Router router(g, pl, opt);
+  using NetStatus = Router::NetStatus;
   RoutingResult res;
   res.trees.assign(pl.nets.size(), {});
   std::size_t best_overuse = static_cast<std::size_t>(-1);
   std::size_t best_iter = 0;
+  // Per-iteration overuse history, feeding the hopeless-probe predictor
+  // below (indexed by iteration - 1).
+  std::vector<std::size_t> ou_hist;
+  ou_hist.reserve(opt.max_iterations);
+
+  // The arena used by every serial route (whole run in serial mode; rip
+  // stage + conflict replays in batched mode).
+  Router::Scratch& main_sc = *router.acquire_scratch();
 
   // A net only needs rerouting while its tree touches an overused node —
   // a per-node flag lookup against the incremental overuse tracker.
@@ -477,41 +729,237 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
   // resource, freezing a conflict no cost growth can break.
   std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
 
+  auto fail_out = [&](double t0) {
+    res.success = false;
+    res.overused_nodes = router.occ.overused_count();
+    router.cnt.t_search_s += wall_s() - t0;
+    res.counters = router.total_counters();
+    return res;
+  };
+
+  // Batched-mode state, reused across iterations.
+  struct Member {
+    RouteTree tree;
+    NetStatus st = NetStatus::kFail;
+    std::size_t seed_edges = 0;
+  };
+  std::vector<std::vector<std::size_t>> batches;
+  std::vector<std::size_t> live;
+  std::vector<Member> members;
+
+  if (opt.net_parallel) {
+    // Partition every net — in net order — into batches whose scheduling
+    // rectangles (net bounding box + kSchedMargin) are pairwise disjoint
+    // within a batch, by first-fit coloring: a per-cell bitmask records
+    // which of the first 64 batches already touch the cell, and a net
+    // takes the lowest batch free across its whole rectangle. First-fit
+    // matters — the obvious "one past the deepest batch seen" chaining
+    // degenerates to singleton batches because net order follows cluster
+    // order, so consecutive nets overlap at their shared driver tile and
+    // the level sequence climbs monotonically; first-fit instead packs
+    // nets from across the whole grid into every batch. Nets whose
+    // rectangles see all 64 colors (only the hottest cells on the
+    // biggest fabrics) overflow into levelized batches above 64.
+    //
+    // The rectangle deliberately does NOT cover the whole routing window
+    // (bb_margin + wire reach + later widening): that would make batches
+    // provably conflict-free but degenerate, since on MCNC-scale fabrics
+    // the inflated windows blanket the grid. Tight rectangles give real
+    // batch widths; the price is that two members' trees can
+    // occasionally claim the same node in the shared margin zone — or a
+    // shared SOURCE/SINK site node — which the commit stage detects and
+    // resolves by deterministic serial replay
+    // (RouteCounters::conflict_replays). The partition depends only on
+    // the placement — never on the thread count or any routing state —
+    // so it is computed once per route_all and the whole schedule is
+    // bit-deterministic.
+    constexpr int kSchedMargin = 1;
+    const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+    std::vector<std::uint64_t> color(gx * gy, 0);
+    std::vector<std::uint32_t> level(gx * gy, 64);
+    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+      const PlacedNet& net = pl.nets[n];
+      const BlockLoc& dloc = pl.locs[net.driver];
+      int bx_lo = static_cast<int>(dloc.x), bx_hi = bx_lo;
+      int by_lo = static_cast<int>(dloc.y), by_hi = by_lo;
+      for (std::size_t s : net.sinks) {
+        const BlockLoc& l = pl.locs[s];
+        bx_lo = std::min(bx_lo, static_cast<int>(l.x));
+        bx_hi = std::max(bx_hi, static_cast<int>(l.x));
+        by_lo = std::min(by_lo, static_cast<int>(l.y));
+        by_hi = std::max(by_hi, static_cast<int>(l.y));
+      }
+      bx_lo = std::max(bx_lo - kSchedMargin, 0);
+      by_lo = std::max(by_lo - kSchedMargin, 0);
+      bx_hi = std::min(bx_hi + kSchedMargin, static_cast<int>(gx) - 1);
+      by_hi = std::min(by_hi + kSchedMargin, static_cast<int>(gy) - 1);
+      std::uint64_t used = 0;
+      std::uint32_t lvl = 64;
+      for (int x = bx_lo; x <= bx_hi; ++x) {
+        const std::size_t row = static_cast<std::size_t>(x) * gy;
+        for (int y = by_lo; y <= by_hi; ++y) {
+          used |= color[row + y];
+          lvl = std::max(lvl, level[row + y]);
+        }
+      }
+      const std::uint32_t b =
+          used != ~0ull ? static_cast<std::uint32_t>(std::countr_one(used))
+                        : lvl;
+      if (b >= batches.size()) batches.resize(b + 1);
+      batches[b].push_back(n);
+      for (int x = bx_lo; x <= bx_hi; ++x) {
+        const std::size_t row = static_cast<std::size_t>(x) * gy;
+        for (int y = by_lo; y <= by_hi; ++y) {
+          if (b < 64) {
+            color[row + y] |= 1ull << b;
+          } else {
+            level[row + y] = b + 1;
+          }
+        }
+      }
+    }
+  }
+
   for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
     res.iterations = iter;
     double t0 = wall_s();
     router.begin_iteration(iter);
     router.cnt.t_bookkeep_s += wall_s() - t0;
     t0 = wall_s();
-    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
-      if (iter > 1) {
-        if (opt.incremental) {
-          // Congestion fully cleared mid-iteration: every remaining net
-          // would fail touches_overuse anyway.
-          if (router.occ.overused_count() == 0) break;
-          if (!touches_overuse(res.trees[n])) continue;
+
+    if (!opt.net_parallel) {
+      // Serial mode: the classic PathFinder net loop, bit-identical to
+      // the pre-batching router (route-then-commit observes the exact
+      // occupancy sequence inc-during-search did, via the overlay).
+      for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+        if (iter > 1) {
+          if (opt.incremental) {
+            // Congestion fully cleared mid-iteration: every remaining net
+            // would fail touches_overuse anyway.
+            if (router.occ.overused_count() == 0) break;
+            if (!touches_overuse(res.trees[n])) continue;
+          }
+          ++router.cnt.nets_rerouted;
+          if (opt.prune_ripup) {
+            router.prune_tree(pl.nets[n], res.trees[n]);
+          } else {
+            router.rip_up(res.trees[n]);
+            res.trees[n] = RouteTree{};
+          }
+          if (iter > 12) {
+            extra_bb[n] =
+                std::min<std::size_t>(extra_bb[n] + 2, g.nx() + g.ny());
+          }
         }
-        ++router.cnt.nets_rerouted;
-        if (opt.prune_ripup) {
-          router.prune_tree(pl.nets[n], res.trees[n]);
-        } else {
-          router.rip_up(res.trees[n]);
-          res.trees[n] = RouteTree{};
+        if (router.route_net(main_sc, pl.nets[n], res.trees[n], extra_bb[n],
+                             /*speculative=*/false) != NetStatus::kOk) {
+          // Hard disconnection — no amount of iteration will fix it.
+          return fail_out(t0);
         }
-        if (iter > 12) {
-          extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
-                                              g.nx() + g.ny());
-        }
+        router.commit(res.trees[n], main_sc.seed_edges);
       }
-      if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
-        // Hard disconnection — no amount of iteration will fix it.
-        res.success = false;
-        res.overused_nodes = router.occ.overused_count();
-        router.cnt.t_search_s += wall_s() - t0;
-        res.counters = router.cnt;
-        return res;
+    } else {
+      // Batched mode, over the placement-time partition computed above.
+      // Which batch members actually reroute is decided at the batch's
+      // rip stage against the *live* occupancy, exactly like the serial
+      // loop: commits interleave between batches in net order, so a net
+      // freshly congested by an earlier batch still reroutes within the
+      // same iteration. Members of one batch route concurrently against
+      // the occupancy frozen at batch start; the commit stage then
+      // resolves same-batch collisions by serial replay in ascending net
+      // order. Everything — schedule, frozen state, commit order, replay
+      // decisions — is independent of the thread count.
+      for (const auto& batch : batches) {
+        if (iter > 1 && opt.incremental &&
+            router.occ.overused_count() == 0) {
+          break;
+        }
+        // Rip stage (serial, net order): membership is decided against
+        // the live occupancy — exactly the serial loop's per-net check.
+        live.clear();
+        for (std::size_t n : batch) {
+          if (iter > 1) {
+            if (opt.incremental && !touches_overuse(res.trees[n])) continue;
+            ++router.cnt.nets_rerouted;
+            if (opt.prune_ripup) {
+              router.prune_tree(pl.nets[n], res.trees[n]);
+            } else {
+              router.rip_up(res.trees[n]);
+              res.trees[n] = RouteTree{};
+            }
+            if (iter > 12) {
+              extra_bb[n] =
+                  std::min<std::size_t>(extra_bb[n] + 2, g.nx() + g.ny());
+            }
+          }
+          live.push_back(n);
+        }
+        if (live.empty()) continue;
+        if (live.size() == 1) {
+          // A one-member batch is the serial loop with extra steps:
+          // route it directly against the live state — no dispatch, no
+          // speculation, not counted as a parallel batch. Batch width is
+          // thread-count independent, so so is taking this path.
+          const std::size_t n = live[0];
+          if (router.route_net(main_sc, pl.nets[n], res.trees[n],
+                               extra_bb[n], /*speculative=*/false) !=
+              NetStatus::kOk) {
+            return fail_out(t0);
+          }
+          router.commit(res.trees[n], main_sc.seed_edges);
+          continue;
+        }
+        ++router.cnt.batches;
+
+        // Route stage: members run concurrently against the shared state
+        // frozen for the whole batch, each recording its own-tree
+        // occupancy in its scratch overlay.
+        members.resize(live.size());
+        parallel_for(live.size(), [&](std::size_t i) {
+          Router::Scratch* sc = router.acquire_scratch();
+          Member& m = members[i];
+          m.tree = res.trees[live[i]];
+          m.st = router.route_net(*sc, pl.nets[live[i]], m.tree,
+                                  extra_bb[live[i]], /*speculative=*/true);
+          m.seed_edges = sc->seed_edges;
+          router.release_scratch(sc);
+        });
+
+        // Commit stage (serial, ascending net order). A member is
+        // replayed — re-routed serially against the live state, with the
+        // unconstrained-retry semantics — when its speculative route
+        // escaped the window, when it claimed a node an earlier member of
+        // this batch committed, or when the debug hook says so.
+        ++router.bmark_cur;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const std::size_t n = live[i];
+          Member& m = members[i];
+          bool replay = m.st != NetStatus::kOk;
+          if (!replay && opt.debug_replay_every != 0 &&
+              (i + 1) % opt.debug_replay_every == 0) {
+            replay = true;
+          }
+          if (!replay && router.conflicts(m.tree, m.seed_edges)) {
+            replay = true;
+          }
+          if (!replay) {
+            router.mark_committed(m.tree, m.seed_edges);
+            router.commit(m.tree, m.seed_edges);
+            res.trees[n] = std::move(m.tree);
+          } else {
+            ++router.cnt.conflict_replays;
+            if (router.route_net(main_sc, pl.nets[n], res.trees[n],
+                                 extra_bb[n], /*speculative=*/false) !=
+                NetStatus::kOk) {
+              return fail_out(t0);
+            }
+            router.mark_committed(res.trees[n], main_sc.seed_edges);
+            router.commit(res.trees[n], main_sc.seed_edges);
+          }
+        }
       }
     }
+
     router.cnt.t_search_s += wall_s() - t0;
     res.overused_nodes = router.occ.overused_count();
     if (std::getenv("NF_ROUTE_DEBUG")) {
@@ -540,6 +988,41 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
                res.overused_nodes > best_overuse * 95 / 100) {
       break;
     }
+    // Infeasibility prediction, two deterministic rules (iteration counts
+    // are part of the golden contract; the reference oracle transcribes
+    // both rules verbatim):
+    //
+    // 1. Structural-congestion cut: when congestion still spans more than
+    //    a quarter of all nets at the fixed checkpoint iteration, the
+    //    shortage is structural and negotiation cannot clear it. Feasible
+    //    routes are far below this by then — across the MCNC set the
+    //    worst passing probe sits at nets/16 at iteration 12, a 4x
+    //    margin — while deep-infeasible channel-width probes plateau at
+    //    half the net count indefinitely.
+    //
+    // 2. Slope forecast: extrapolate the overuse trend over a
+    //    16-iteration window and abort when even this optimistic linear
+    //    forecast overshoots the iteration budget by 50%. Catches the
+    //    slowly-decaying infeasible probes the checkpoint cut admits;
+    //    feasible probes collapse steeply (hundreds to single digits
+    //    within ~20 iterations) and never come close to tripping it.
+    ou_hist.push_back(res.overused_nodes);
+    if (iter == 12 && res.overused_nodes * 4 > pl.nets.size()) {
+      break;
+    }
+    if (iter >= 24 && res.overused_nodes > 20) {
+      const std::size_t prev = ou_hist[ou_hist.size() - 17];
+      if (prev > res.overused_nodes) {
+        const double slope =
+            static_cast<double>(prev - res.overused_nodes) / 16.0;
+        const double predicted =
+            static_cast<double>(iter) +
+            static_cast<double>(res.overused_nodes) / slope;
+        if (predicted > 1.5 * static_cast<double>(opt.max_iterations)) {
+          break;
+        }
+      }
+    }
     t0 = wall_s();
     router.update_history();
     router.cnt.t_bookkeep_s += wall_s() - t0;
@@ -549,15 +1032,15 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
 
   if (res.success) {
     // Wire census over the final trees, deduped with the same epoch marks
-    // the per-net loop uses (no hash set, no allocation).
-    ++router.mark_cur;
+    // the rip-up path uses (no hash set, no allocation).
+    ++router.smark_cur;
     for (const auto& t : res.trees) {
       for (const auto& [from, to] : t.edges) {
         (void)from;
         const RrNode& n = g.node(to);
         if (n.type == RrType::kChanX || n.type == RrType::kChanY) {
-          if (router.mark[to] != router.mark_cur) {
-            router.mark[to] = router.mark_cur;
+          if (router.smark[to] != router.smark_cur) {
+            router.smark[to] = router.smark_cur;
             ++res.wire_segments_used;
             res.total_wire_tiles += n.length;
           }
@@ -565,7 +1048,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
       }
     }
   }
-  res.counters = router.cnt;
+  res.counters = router.total_counters();
   // Invariant hook: a successful routing must be legal — connected trees,
   // every sink reached, no capacity overflow (NF_CHECK_INVARIANTS).
   if (res.success && verify::checks_enabled()) {
@@ -627,11 +1110,35 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
   constexpr std::size_t kFanout = 4;
   constexpr std::size_t kMaxW = 1024;
 
+  // The lookahead table is W-independent (it is built over a thin
+  // canonical graph keyed by fabric size and cost profile), so build it
+  // once here and hand the same table to every probe instead of paying
+  // the construction inside each route_all call.
+  RouteOptions probe_opt = opt;
+  // Probes route with the serial per-net scheduler even when the caller
+  // asked for net_parallel. The W-speculation above already saturates the
+  // pool, and route_all's nested parallel_for would run serially inside a
+  // concurrent probe anyway — so batching inside a probe buys zero
+  // parallelism while still paying its one cost: batch members route
+  // against a frozen occupancy snapshot and miss each other's usage,
+  // which on small fabrics can tip a borderline width from routable to
+  // not (observed as a +1 Wmin shift on tseng). Serial probes keep the
+  // width search at full negotiation quality; net-level parallelism still
+  // applies to direct route_all calls, which is where the threads
+  // actually reach it.
+  probe_opt.net_parallel = false;
+  if (probe_opt.astar_factor > 0.0 && !probe_opt.lookahead) {
+    ArchParams a = arch;
+    a.W = std::max<std::size_t>(2, w_hint);
+    const RrGraph g(a, pl.nx, pl.ny);
+    probe_opt.lookahead = std::make_shared<const RouteLookahead>(g);
+  }
+
   auto routes_at = [&](std::size_t w) {
     ArchParams a = arch;
     a.W = std::max<std::size_t>(2, w);
     const RrGraph g(a, pl.nx, pl.ny);
-    return route_all(g, pl, opt).success;
+    return route_all(g, pl, probe_opt).success;
   };
   // The rounds below only ever consume probe results up to and including
   // the first success — later entries are discarded. With idle threads it
@@ -653,14 +1160,19 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
                         [&](std::size_t i) { return routes_at(ws[i]); });
   };
 
-  // Grow phase: speculatively probe {w, 2w, 4w, 8w} per round until one
-  // routes; failed probes below the first success tighten the lower bound.
+  // Grow phase: probe {w, 2w} per round until one routes; failed probes
+  // below the first success tighten the lower bound. Rounds are pairs —
+  // not kFanout-wide — because a doubled width quadruples the routing
+  // graph's memory footprint: speculating on 4w/8w builds enormous graphs
+  // whose construction cost and cache pressure dwarf the round-trips a
+  // wider round would save (measured on pdc: the 4-wide grow round made
+  // the 8-thread search slower than the serial one).
   std::size_t lo = 2;
   std::size_t hi = 0;
   for (std::size_t w = std::max<std::size_t>(4, w_hint); hi == 0;) {
     std::vector<std::size_t> ws;
     // The hint is always probed, even when it exceeds the growth cap.
-    for (std::size_t j = 0; j < kFanout && (ws.empty() || w <= kMaxW);
+    for (std::size_t j = 0; j < 2 && (ws.empty() || w <= kMaxW);
          ++j, w *= 2) {
       ws.push_back(w);
     }

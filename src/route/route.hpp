@@ -7,12 +7,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/rr_graph.hpp"
 #include "place/place.hpp"
 
 namespace nemfpga {
+
+class RouteLookahead;
 
 /// Routed tree of one net: directed RR edges from the source out to every
 /// sink (parent-before-child order).
@@ -28,8 +31,35 @@ struct RouteOptions {
   double pres_fac_mult = 1.3;
   double pres_fac_max = 1000.0;  ///< Cap so history can still break ties.
   double history_fac = 1.0;
-  double astar_fac = 1.1;     ///< Heuristic weight (>1 = faster, greedier).
+  double astar_fac = 1.1;     ///< Legacy Manhattan-heuristic weight (used
+                              ///< only when astar_factor == 0).
+  /// Weight on the precomputed geometric lookahead table (A* directed
+  /// search, src/arch/lookahead.hpp). 1.0 keeps the heuristic admissible
+  /// (every sink still found at Dijkstra-optimal cost — provable via
+  /// verify_lookahead); larger values search greedier (weighted A*
+  /// without re-expansion, the usual VPR trade). The default 2.0 expands
+  /// 3.7x fewer nodes than an undirected Dijkstra over the identical
+  /// searches on pdc (route_perf --verify-la) with no loss in minimum
+  /// channel width (EXPERIMENTS.md, "Router performance"). 0 disables
+  /// the table entirely and restores the legacy Manhattan heuristic,
+  /// which together with net_parallel=false reproduces the pre-lookahead
+  /// router bit-for-bit (pinned by legacy golden fixtures).
+  double astar_factor = 2.0;
+  /// Prebuilt lookahead table to use instead of building one inside
+  /// route_all (the table depends on the fabric and cost profile, not on
+  /// W, so find_min_channel_width builds it once and shares it across
+  /// every width probe). Null means build on demand when
+  /// astar_factor > 0; ignored when astar_factor == 0.
+  std::shared_ptr<const RouteLookahead> lookahead;
   std::size_t bb_margin = 3;  ///< Net bounding-box routing constraint.
+  /// Deterministic net-level parallelism: partition each iteration's
+  /// rip-up set into bounding-box-disjoint batches, route batch members
+  /// concurrently on ThreadPool::current() against an immutable cost
+  /// snapshot, and commit/replay serially in net-index order. The batch
+  /// schedule depends only on (graph, placement, options), never on the
+  /// thread count, so trees, iteration counts and checksums stay
+  /// bit-identical at any NF_THREADS setting.
+  bool net_parallel = true;
   /// Reroute only congestion-touching nets (fast) vs all nets (classic).
   bool incremental = true;
   /// Rip up only the congested branches of a rerouted net and rebuild the
@@ -39,25 +69,58 @@ struct RouteOptions {
   /// bit-compatible with the classic full rip-up router and pinned by
   /// golden tests.
   bool prune_ripup = false;
+  /// Test hook: every k-th member of every parallel batch is treated as
+  /// conflicted and re-routed through the serial replay path, exercising
+  /// the conflict-resolution machinery on demand. 0 = off.
+  std::size_t debug_replay_every = 0;
+  /// Test hook: precede every A* sink search with a zero-heuristic
+  /// Dijkstra on the identical cost state and count sinks the directed
+  /// search found at worse cost (RouteCounters::lookahead_suboptimal —
+  /// stays 0 while astar_factor <= 1, the admissibility proof). Expensive;
+  /// off outside tests.
+  bool verify_lookahead = false;
 };
 
 /// Always-on router work counters (see bench/route_perf.cpp and the
 /// "Router performance" section of EXPERIMENTS.md). Everything except the
-/// wall times is bit-deterministic for a given (graph, placement,
-/// options) at any thread count.
+/// wall times and scratch_grows is bit-deterministic for a given (graph,
+/// placement, options) at any thread count.
 struct RouteCounters {
   std::uint64_t heap_pushes = 0;    ///< Priority-queue insertions.
   std::uint64_t heap_pops = 0;      ///< Priority-queue removals.
   std::uint64_t nodes_expanded = 0; ///< Pops surviving the stale check.
   std::uint64_t sink_searches = 0;  ///< A* runs (excl. shared-sink hits).
   std::uint64_t nets_routed = 0;    ///< route_net calls, all iterations.
-  std::uint64_t nets_rerouted = 0;  ///< route_net calls after iteration 1.
+  std::uint64_t nets_rerouted = 0;  ///< Nets ripped up after iteration 1.
   /// Nets whose routing grew any scratch buffer. Stays O(log net size)
   /// for the whole run — the steady-state per-net search loop performs
   /// zero heap allocations (asserted by tests/test_route_golden.cpp).
+  /// Each worker thread owns a scratch arena that warms up separately, so
+  /// this counter (alone) varies with the thread count in net_parallel
+  /// mode; it is excluded from the bit-determinism contract.
   std::uint64_t scratch_grows = 0;
+  /// Heuristic evaluations served from the geometric lookahead table
+  /// (0 when astar_factor == 0).
+  std::uint64_t lookahead_hits = 0;
+  /// Parallel batch dispatches (0 when net_parallel == false).
+  std::uint64_t batches = 0;
+  /// Batch members re-routed serially after a conflict, a bounding-box
+  /// escape, or the debug_replay_every hook.
+  std::uint64_t conflict_replays = 0;
+  /// Sinks an A* search found at worse cost than the Dijkstra reference
+  /// (only counted under RouteOptions::verify_lookahead; 0 proves the
+  /// lookahead admissible on this run).
+  std::uint64_t lookahead_suboptimal = 0;
+  /// verify_lookahead only: total expansions the zero-heuristic reference
+  /// Dijkstras performed vs what the directed searches performed on the
+  /// identical cost states — the apples-to-apples measure of the table's
+  /// pruning power (route_perf --verify-la prints the ratio). The
+  /// reference work is excluded from nodes_expanded/heap_* above.
+  std::uint64_t verify_dijkstra_expanded = 0;
+  std::uint64_t verify_astar_expanded = 0;
   double t_search_s = 0.0;   ///< Wall time in the per-net search loop.
   double t_bookkeep_s = 0.0; ///< Cost-cache rebuild + history updates.
+  double t_lookahead_build_s = 0.0;  ///< Lookahead table construction.
 };
 
 struct RoutingResult {

@@ -17,7 +17,8 @@ std::string DesignCase::describe() const {
      << " gep=" << spec.global_edge_prob << "} arch{N=" << arch.N
      << " W=" << arch.W << " L=" << arch.L << " fc_in=" << arch.fc_in
      << " fc_out=" << arch.fc_out << "} route{iters=" << route.max_iterations
-     << " astar=" << route.astar_fac << " bb=" << route.bb_margin
+     << " astar=" << route.astar_fac << " la=" << route.astar_factor
+     << " par=" << route.net_parallel << " bb=" << route.bb_margin
      << " incr=" << route.incremental << " prune=" << route.prune_ripup
      << "} place{seed=" << place_seed << " inner=" << place_inner_num << "}";
   return os.str();
@@ -43,6 +44,11 @@ DesignCase gen_design_case(Rng& rng) {
 
   c.route.max_iterations = 40;
   c.route.astar_fac = 1.0 + 0.1 * rng.uniform_int(4);  // 1.0..1.3
+  // Lookahead weight: off (legacy Manhattan) a third of the time, else
+  // admissible-to-mildly-weighted — the range run_fuzz.sh sweeps too.
+  c.route.astar_factor =
+      rng.chance(0.33) ? 0.0 : 0.9 + 0.1 * rng.uniform_int(4);  // 0.9..1.2
+  c.route.net_parallel = rng.chance(0.5);
   c.route.bb_margin = 1 + rng.uniform_int(4);
   c.route.incremental = rng.chance(0.8);
   c.route.prune_ripup = rng.chance(0.25);
@@ -86,6 +92,14 @@ std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
   }
   if (!c.route.incremental) {
     push([&](DesignCase& s) { s.route.incremental = true; });
+  }
+  // Shrink toward the legacy serial router: fewer moving parts in the
+  // reproducer when the A* table or the batch scheduler is not at fault.
+  if (c.route.astar_factor != 0.0) {
+    push([&](DesignCase& s) { s.route.astar_factor = 0.0; });
+  }
+  if (c.route.net_parallel) {
+    push([&](DesignCase& s) { s.route.net_parallel = false; });
   }
   return out;
 }

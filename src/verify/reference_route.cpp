@@ -1,18 +1,25 @@
 // Reference PathFinder oracle. This is the "straightforward implementation"
 // the optimized router's comments promise bit-identity with: the same
 // algorithm (same comparator, same relaxation epsilons, same deterministic
-// jitter, same iteration schedule), expressed with per-net hash maps and
-// full O(V) rescans instead of the production scratch arena, HotNode cost
-// cache, epoch stamps and incremental overuse tracker. Any divergence
-// between the two is a bug in one of them — that is the point.
+// jitter, same A* lookahead key, same batched-parallel schedule, same
+// iteration schedule), expressed with per-net hash maps, whole-vector
+// occupancy snapshots and full O(V) rescans instead of the production
+// scratch arena, HotNode cost cache, epoch stamps and incremental overuse
+// tracker. Any divergence between the two is a bug in one of them — that
+// is the point.
 #include "verify/oracles.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "arch/lookahead.hpp"
 
 namespace nemfpga::verify {
 namespace {
@@ -28,6 +35,11 @@ struct RefRouter {
   std::vector<double> base_cost;
   std::vector<double> cost;  // per-iteration: base * (1 + history) * jitter
   double pres_fac;
+
+  /// The same geometric lookahead table the production router queries
+  /// (shared when the caller prebuilt one, else built here) — the A* key
+  /// must be transcribed bit-exactly or the searches tie-break apart.
+  std::shared_ptr<const RouteLookahead> la;
 
   struct QItem {
     double cost;
@@ -50,6 +62,10 @@ struct RefRouter {
       base_cost[i] = node_base_cost(g.node(i));
     }
     pres_fac = opt.first_iter_pres_fac;
+    if (opt.astar_factor > 0.0) {
+      la = opt.lookahead ? opt.lookahead
+                         : std::make_shared<const RouteLookahead>(g);
+    }
   }
 
   static double node_base_cost(const RrNode& n) {
@@ -96,6 +112,12 @@ struct RefRouter {
   double heuristic(RrNodeId from, RrNodeId to) const {
     const RrNode& a = g.node(from);
     const RrNode& b = g.node(to);
+    if (la) {
+      // A* key: lookahead table at the target sink's tile, weighted by
+      // astar_factor — the exact expression the production search core
+      // evaluates through its folded HotNode::la_key.
+      return opt.astar_factor * la->estimate(a, b.x_lo, b.y_lo);
+    }
     const auto clampdist = [](int lo1, int hi1, int lo2, int hi2) {
       if (hi1 < lo2) return lo2 - hi1;
       if (hi2 < lo1) return lo1 - hi2;
@@ -106,12 +128,21 @@ struct RefRouter {
     return opt.astar_fac * static_cast<double>(dx + dy);
   }
 
-  bool route_net(const PlacedNet& net, RouteTree& out, std::size_t extra_bb) {
+  /// `eff_seed` (when asked for) reports how many leading edges of the
+  /// final tree were pre-seeded rather than routed by this call — zero
+  /// when the unconstrained retry rebuilt the tree from scratch. The
+  /// batched commit stage marks exactly the non-seed nodes, mirroring the
+  /// production Scratch::seed_edges accounting.
+  bool route_net(const PlacedNet& net, RouteTree& out, std::size_t extra_bb,
+                 std::size_t* eff_seed = nullptr) {
+    std::size_t seed = out.edges.size();
     bool ok = route_net_bb(net, out, opt.bb_margin + extra_bb);
     if (!ok) {
       out = RouteTree{};
+      seed = 0;
       ok = route_net_bb(net, out, g.nx() + g.ny());
     }
+    if (eff_seed) *eff_seed = seed;
     return ok;
   }
 
@@ -194,6 +225,11 @@ struct RefRouter {
         if (u == target) {
           found = true;
           break;
+        }
+        // Weighted table A* closes expanded nodes for good (transcribed
+        // from the production search core's no_reexpand sentinel).
+        if (la && opt.astar_factor > 1.0) {
+          path_cost[u] = -std::numeric_limits<double>::infinity();
         }
         for (const RrEdge& e : g.edges(u)) {
           const RrNodeId v = e.to;
@@ -300,6 +336,10 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
   res.trees.assign(pl.nets.size(), {});
   std::size_t best_overuse = static_cast<std::size_t>(-1);
   std::size_t best_iter = 0;
+  // Overuse history for the hopeless-probe predictor (transcribed from
+  // route_all — same window, same slack, same gates).
+  std::vector<std::size_t> ou_hist;
+  ou_hist.reserve(opt.max_iterations);
 
   auto touches_overuse = [&](const RouteTree& t) {
     if (t.source == kNoRrNode) return true;
@@ -313,30 +353,195 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
 
   std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
 
+  // Batched-mode state (net_parallel): the oracle transcribes the
+  // production scheduler literally — the first-fit 64-color partition
+  // over margin-inflated net bounding boxes (levelized overflow above
+  // 64 colors), speculative members routed against a frozen occupancy,
+  // serial commit/replay in ascending net order — with whole-vector
+  // occupancy snapshots standing in for the production scratch overlay.
+  // The schedule depends only on the placement, so this serial
+  // transcription is the committed meaning of "bit-identical at any
+  // thread count".
+  std::vector<std::vector<std::size_t>> batches;
+  std::vector<std::size_t> live;
+  if (opt.net_parallel) {
+    constexpr int kSchedMargin = 1;  // must match route_all
+    const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+    std::vector<std::uint64_t> color(gx * gy, 0);
+    std::vector<std::uint32_t> level(gx * gy, 64);
+    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+      const PlacedNet& net = pl.nets[n];
+      const BlockLoc& dloc = pl.locs[net.driver];
+      int bx_lo = static_cast<int>(dloc.x), bx_hi = bx_lo;
+      int by_lo = static_cast<int>(dloc.y), by_hi = by_lo;
+      for (std::size_t s : net.sinks) {
+        const BlockLoc& l = pl.locs[s];
+        bx_lo = std::min(bx_lo, static_cast<int>(l.x));
+        bx_hi = std::max(bx_hi, static_cast<int>(l.x));
+        by_lo = std::min(by_lo, static_cast<int>(l.y));
+        by_hi = std::max(by_hi, static_cast<int>(l.y));
+      }
+      bx_lo = std::max(bx_lo - kSchedMargin, 0);
+      by_lo = std::max(by_lo - kSchedMargin, 0);
+      bx_hi = std::min(bx_hi + kSchedMargin, static_cast<int>(gx) - 1);
+      by_hi = std::min(by_hi + kSchedMargin, static_cast<int>(gy) - 1);
+      std::uint64_t used = 0;
+      std::uint32_t lvl = 64;
+      for (int x = bx_lo; x <= bx_hi; ++x) {
+        const std::size_t row = static_cast<std::size_t>(x) * gy;
+        for (int y = by_lo; y <= by_hi; ++y) {
+          used |= color[row + y];
+          lvl = std::max(lvl, level[row + y]);
+        }
+      }
+      const std::uint32_t b =
+          used != ~0ull ? static_cast<std::uint32_t>(std::countr_one(used))
+                        : lvl;
+      if (b >= batches.size()) batches.resize(b + 1);
+      batches[b].push_back(n);
+      for (int x = bx_lo; x <= bx_hi; ++x) {
+        const std::size_t row = static_cast<std::size_t>(x) * gy;
+        for (int y = by_lo; y <= by_hi; ++y) {
+          if (b < 64) {
+            color[row + y] |= 1ull << b;
+          } else {
+            level[row + y] = b + 1;
+          }
+        }
+      }
+    }
+  }
+
+  auto fail_out = [&]() {
+    res.success = false;
+    res.overused_nodes = router.overused_count();
+    return res;
+  };
+
   for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
     res.iterations = iter;
     router.begin_iteration(iter);
-    for (std::size_t n = 0; n < pl.nets.size(); ++n) {
-      if (iter > 1) {
-        if (opt.incremental) {
-          if (router.overused_count() == 0) break;
-          if (!touches_overuse(res.trees[n])) continue;
+    if (!opt.net_parallel) {
+      for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+        if (iter > 1) {
+          if (opt.incremental) {
+            if (router.overused_count() == 0) break;
+            if (!touches_overuse(res.trees[n])) continue;
+          }
+          if (opt.prune_ripup) {
+            router.prune_tree(pl.nets[n], res.trees[n]);
+          } else {
+            router.rip_up(res.trees[n]);
+            res.trees[n] = RouteTree{};
+          }
+          if (iter > 12) {
+            extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
+                                                g.nx() + g.ny());
+          }
         }
-        if (opt.prune_ripup) {
-          router.prune_tree(pl.nets[n], res.trees[n]);
-        } else {
-          router.rip_up(res.trees[n]);
-          res.trees[n] = RouteTree{};
-        }
-        if (iter > 12) {
-          extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
-                                              g.nx() + g.ny());
+        if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+          return fail_out();
         }
       }
-      if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
-        res.success = false;
-        res.overused_nodes = router.overused_count();
-        return res;
+    } else {
+      // The placement-time partition computed above; rip membership is
+      // decided per batch against the live occupancy.
+      for (const auto& batch : batches) {
+        if (iter > 1 && opt.incremental && router.overused_count() == 0) {
+          break;
+        }
+        // Rip stage (net order): membership decided against the live
+        // occupancy, exactly like the serial loop's per-net check.
+        live.clear();
+        for (std::size_t n : batch) {
+          if (iter > 1) {
+            if (opt.incremental && !touches_overuse(res.trees[n])) continue;
+            if (opt.prune_ripup) {
+              router.prune_tree(pl.nets[n], res.trees[n]);
+            } else {
+              router.rip_up(res.trees[n]);
+              res.trees[n] = RouteTree{};
+            }
+            if (iter > 12) {
+              extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
+                                                  g.nx() + g.ny());
+            }
+          }
+          live.push_back(n);
+        }
+        if (live.empty()) continue;
+        if (live.size() == 1) {
+          // Singleton fast path, mirrored from route_all: routed
+          // directly against the live state, no speculation.
+          const std::size_t n = live[0];
+          if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+            return fail_out();
+          }
+          continue;
+        }
+
+        // Route stage: every member speculates against the occupancy
+        // frozen at batch start (snapshot/restore = the production
+        // read-only shared state + per-net overlay), with no
+        // unconstrained retry — window escapes go to the serial replay.
+        struct Member {
+          RouteTree tree;
+          bool ok = false;
+          std::size_t seed = 0;
+        };
+        std::vector<Member> members(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          Member& m = members[i];
+          m.tree = res.trees[live[i]];
+          m.seed = m.tree.edges.size();
+          const std::vector<std::uint32_t> snapshot = router.occ;
+          m.ok = router.route_net_bb(pl.nets[live[i]], m.tree,
+                                     opt.bb_margin + extra_bb[live[i]]);
+          router.occ = snapshot;
+        }
+
+        // Commit stage (ascending net order). A member re-routes serially
+        // against the live state — with retry semantics — when its
+        // speculative route escaped the window, claimed a node an earlier
+        // member of this batch committed, or the debug hook fires.
+        std::unordered_set<RrNodeId> committed;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const std::size_t n = live[i];
+          Member& m = members[i];
+          bool replay = !m.ok;
+          if (!replay && opt.debug_replay_every != 0 &&
+              (i + 1) % opt.debug_replay_every == 0) {
+            replay = true;
+          }
+          if (!replay) {
+            bool hit = committed.contains(m.tree.source);
+            for (std::size_t e = m.seed;
+                 !hit && e < m.tree.edges.size(); ++e) {
+              hit = committed.contains(m.tree.edges[e].second);
+            }
+            replay = hit;
+          }
+          if (!replay) {
+            committed.insert(m.tree.source);
+            ++router.occ[m.tree.source];
+            for (std::size_t e = m.seed; e < m.tree.edges.size(); ++e) {
+              committed.insert(m.tree.edges[e].second);
+              ++router.occ[m.tree.edges[e].second];
+            }
+            res.trees[n] = std::move(m.tree);
+          } else {
+            std::size_t rseed = 0;
+            if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n],
+                                  &rseed)) {
+              return fail_out();
+            }
+            committed.insert(res.trees[n].source);
+            for (std::size_t e = rseed; e < res.trees[n].edges.size();
+                 ++e) {
+              committed.insert(res.trees[n].edges[e].second);
+            }
+          }
+        }
       }
     }
     res.overused_nodes = router.overused_count();
@@ -350,6 +555,27 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
     } else if (best_overuse > 20 && iter > best_iter + 15 &&
                res.overused_nodes > best_overuse * 95 / 100) {
       break;
+    }
+    // Infeasibility predictor, both rules mirrored from route_all: the
+    // iteration-12 structural-congestion checkpoint, and the linear
+    // overuse forecast over a 16-iteration window that aborts when the
+    // projected convergence iteration overshoots the budget by 50%.
+    ou_hist.push_back(res.overused_nodes);
+    if (iter == 12 && res.overused_nodes * 4 > pl.nets.size()) {
+      break;
+    }
+    if (iter >= 24 && res.overused_nodes > 20) {
+      const std::size_t prev = ou_hist[ou_hist.size() - 17];
+      if (prev > res.overused_nodes) {
+        const double slope =
+            static_cast<double>(prev - res.overused_nodes) / 16.0;
+        const double predicted =
+            static_cast<double>(iter) +
+            static_cast<double>(res.overused_nodes) / slope;
+        if (predicted > 1.5 * static_cast<double>(opt.max_iterations)) {
+          break;
+        }
+      }
     }
     router.update_history();
     router.pres_fac =

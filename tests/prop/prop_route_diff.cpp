@@ -7,6 +7,7 @@
 
 #include "arch/rr_graph.hpp"
 #include "route/route.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/generators.hpp"
 #include "verify/oracles.hpp"
 #include "verify/prop.hpp"
@@ -31,6 +32,51 @@ TEST(PropRouteDiff, OptimizedMatchesReferenceBitForBit) {
       shrink_design_case);
   EXPECT_TRUE(res.ok()) << res.report();
   EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 200u);
+}
+
+// The deterministic-parallelism contract, as a property: with
+// net_parallel on, the batched router must produce bit-identical trees,
+// iteration counts and work counters at 1, 2 and 8 threads — the batch
+// schedule and the commit/replay order may depend only on (graph,
+// placement, options). scratch_grows is the single documented exception
+// (per-worker arena warm-up).
+TEST(PropRouteDiff, RoutingIsThreadCountInvariant) {
+  const PropConfig cfg = PropConfig::from_env(60);
+  ThreadPool one(1), two(2), eight(8);
+  const PropResult res = check(
+      "route_threads", cfg, gen_design_case,
+      [&](const DesignCase& c) {
+        DesignCase pc = c;
+        pc.route.net_parallel = true;  // always exercise the scheduler
+        const BuiltDesign d = build_design(pc);
+        const RrGraph g(d.arch, d.nx, d.ny);
+        auto run = [&](ThreadPool& pool) {
+          ThreadPool::ScopedUse use(pool);
+          return route_all(g, d.pl, pc.route);
+        };
+        const RoutingResult r1 = run(one);
+        const RoutingResult r2 = run(two);
+        const RoutingResult r8 = run(eight);
+        const std::string d2 = diff_routing(r2, r1);
+        prop_require(d2.empty(), "2 threads vs 1: " + d2);
+        const std::string d8 = diff_routing(r8, r1);
+        prop_require(d8.empty(), "8 threads vs 1: " + d8);
+        for (const RoutingResult* r : {&r2, &r8}) {
+          prop_require(r->counters.heap_pushes == r1.counters.heap_pushes,
+                       "heap_pushes vary with thread count");
+          prop_require(
+              r->counters.nodes_expanded == r1.counters.nodes_expanded,
+              "nodes_expanded vary with thread count");
+          prop_require(r->counters.batches == r1.counters.batches,
+                       "batches vary with thread count");
+          prop_require(
+              r->counters.conflict_replays == r1.counters.conflict_replays,
+              "conflict_replays vary with thread count");
+        }
+      },
+      shrink_design_case);
+  EXPECT_TRUE(res.ok()) << res.report();
+  EXPECT_GE(res.cases_run, cfg.only_case ? 1u : 60u);
 }
 
 }  // namespace

@@ -1,0 +1,47 @@
+// ThreadSanitizer coverage for the net-parallel route stage: one
+// PathFinder iteration with batched speculative routing on a wide pool.
+// In a plain build this is a fast smoke of the batch scheduler; in an
+// NF_TSAN build (cmake -DNF_TSAN=ON) it is the race check the
+// deterministic-parallelism design is certified against — workers must
+// only read the frozen shared state and write their own scratch arena,
+// so TSan must stay silent. Kept to a single iteration so the tier1
+// suite stays fast even under TSan's ~10x slowdown.
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(RouteTsan, OneParallelIterationIsRaceFree) {
+  Netlist nl = generate_benchmark("tseng");
+  ArchParams arch;
+  arch.W = 48;
+  Packing pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+  PlaceOptions popt;
+  popt.inner_num = 0.3;
+  const Placement pl = place(nl, pk, arch, nx, ny, popt);
+  const RrGraph g(arch, pl.nx, pl.ny);
+
+  ThreadPool wide(8);
+  ThreadPool::ScopedUse use(wide);
+
+  RouteOptions opt;  // defaults: lookahead on, net_parallel on
+  opt.max_iterations = 1;
+  const RoutingResult r = route_all(g, pl, opt);
+
+  // One iteration rarely clears congestion; what matters here is that
+  // the batched route stage really ran concurrent members.
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_GT(r.counters.batches, 0u);
+  EXPECT_GT(r.counters.nets_routed, 0u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1).
+"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1 or -2).
 
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
     bench_check.py --selftest
 
 Exit status is non-zero when the candidate run
-  * is missing, malformed, or uses a different schema,
+  * is missing, malformed, or uses an unknown schema,
   * disagrees with the baseline on any correctness-bearing field
     (Wmin, tree checksum, iteration count, fixed route width), or
   * regresses total wall time by more than --max-regress percent
     (default 15; wall time is noisy, correctness fields are not).
+
+Wall-time comparison is refused — but correctness fields and work
+counters still diffed — when the two runs are not wall-comparable:
+different schema versions, different thread counts, or mismatched
+NF_CHECK_INVARIANTS settings. Counter comparison is likewise skipped
+across a router-configuration change (schema mismatch, or different
+astar_factor / net_parallel in schema 2), since a different search
+legitimately explores different work; the correctness fields (Wmin,
+checksum, iterations) are then the only fields that must hold, and only
+when the router configuration matches.
 
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
@@ -20,29 +30,48 @@ import argparse
 import json
 import sys
 
-SCHEMA = "nemfpga-route-bench-1"
+SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2")
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
+COUNTER_FIELDS = ("heap_pushes", "nodes_expanded", "sink_searches")
 
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
-    if data.get("schema") != SCHEMA:
+    if data.get("schema") not in SCHEMAS:
         raise ValueError(f"{path}: schema {data.get('schema')!r}, "
-                         f"expected {SCHEMA!r}")
+                         f"expected one of {SCHEMAS!r}")
     if not isinstance(data.get("circuits"), list) or not data["circuits"]:
         raise ValueError(f"{path}: no circuits recorded")
     return data
 
 
+def router_config(data):
+    """The fields that select which router ran. Schema 1 predates the
+    A*/parallel router, so it is its own configuration."""
+    if data.get("schema") == "nemfpga-route-bench-1":
+        return ("bench-1",)
+    return (data.get("astar_factor"), data.get("net_parallel"))
+
+
 def compare(base, cand, max_regress_pct):
     """Return a list of human-readable failure strings (empty = pass)."""
     failures = []
+    notes = []
+    same_config = router_config(base) == router_config(cand)
+    if not same_config:
+        notes.append(
+            "router configuration differs "
+            f"({router_config(base)} vs {router_config(cand)}): "
+            "correctness and counter fields are not comparable; only "
+            "checking circuit coverage")
     base_by_name = {c["name"]: c for c in base["circuits"]}
     for c in cand["circuits"]:
         b = base_by_name.get(c["name"])
         if b is None:
             # Candidate may run a superset of circuits; that is fine.
+            continue
+        if not same_config:
             continue
         for field in EXACT_FIELDS:
             if b[field] != c[field]:
@@ -50,7 +79,7 @@ def compare(base, cand, max_regress_pct):
                     f"{c['name']}: {field} changed "
                     f"{b[field]!r} -> {c[field]!r} (routing is pinned "
                     "bit-identical; any drift is a correctness bug)")
-        for counter in ("heap_pushes", "nodes_expanded", "sink_searches"):
+        for counter in COUNTER_FIELDS:
             bc = b["counters"].get(counter)
             cc = c["counters"].get(counter)
             if bc != cc:
@@ -62,24 +91,41 @@ def compare(base, cand, max_regress_pct):
     if missing:
         failures.append(f"candidate dropped circuits: {', '.join(missing)}")
 
-    # A run under NF_CHECK_INVARIANTS pays for legality checking, so the
-    # wall-time budget only applies when both runs had the same setting.
-    # Correctness fields and work counters above are enforced regardless:
-    # invariant checking observes the search, it must never change it.
+    # Wall times are only comparable between like-for-like runs: the same
+    # schema (a schema bump changes what the harness measures), the same
+    # thread count, the same router configuration, and the same
+    # NF_CHECK_INVARIANTS setting (legality checking costs wall time but
+    # must never change the search — counters above are enforced anyway).
     base_chk = bool(base.get("invariants_checked", False))
     cand_chk = bool(cand.get("invariants_checked", False))
+    wall_comparable = (
+        base.get("schema") == cand.get("schema")
+        and base.get("threads") == cand.get("threads")
+        and same_config
+        and base_chk == cand_chk)
+    if not wall_comparable:
+        notes.append(
+            "runs are not wall-comparable "
+            f"(schema {base.get('schema')} vs {cand.get('schema')}, "
+            f"threads {base.get('threads')} vs {cand.get('threads')}, "
+            f"invariants {base_chk} vs {cand_chk}): wall budget waived")
     bw, cw = base["total_wall_s"], cand["total_wall_s"]
-    if base_chk == cand_chk and bw > 0 and \
+    if wall_comparable and bw > 0 and \
             cw > bw * (1.0 + max_regress_pct / 100.0):
         failures.append(
             f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
             f"(> {max_regress_pct:.0f}% budget)")
+    for n in notes:
+        print(f"bench_check: note: {n}", file=sys.stderr)
     return failures
 
 
 def selftest():
     base = {
-        "schema": SCHEMA,
+        "schema": "nemfpga-route-bench-2",
+        "threads": 1,
+        "astar_factor": 1.0,
+        "net_parallel": True,
         "total_wall_s": 10.0,
         "circuits": [{
             "name": "tseng", "wmin": 45, "tree_checksum": "abc",
@@ -111,6 +157,39 @@ def selftest():
     dropped = json.loads(json.dumps(base))
     dropped["circuits"] = [dict(base["circuits"][0], name="other")]
     assert compare(base, dropped, 15.0), "dropped circuit must fail"
+
+    # Thread-count mismatch: wall budget waived, counters still pinned.
+    threads8 = json.loads(json.dumps(base))
+    threads8["threads"] = 8
+    threads8["total_wall_s"] = 99.0
+    assert compare(base, threads8, 15.0) == [], \
+        "cross-thread wall time must not trip the budget"
+    threads8["circuits"][0]["counters"]["nodes_expanded"] = 6
+    assert compare(base, threads8, 15.0), \
+        "counter drift across thread counts must still fail " \
+        "(counters are thread-invariant by contract)"
+
+    # Schema mismatch: neither wall nor counters comparable; coverage only.
+    v1 = json.loads(json.dumps(base))
+    v1["schema"] = "nemfpga-route-bench-1"
+    del v1["astar_factor"], v1["net_parallel"]
+    v1["total_wall_s"] = 99.0
+    v1["circuits"][0]["counters"]["heap_pushes"] = 1234
+    assert compare(v1, base, 15.0) == [], \
+        "schema-1 vs schema-2 must not compare wall or counters"
+    dropped_v1 = json.loads(json.dumps(base))
+    dropped_v1["circuits"] = [dict(base["circuits"][0], name="other")]
+    assert compare(v1, dropped_v1, 15.0), \
+        "dropped circuit still fails across schemas"
+
+    # Router-config mismatch within schema 2: same treatment.
+    legacy = json.loads(json.dumps(base))
+    legacy["astar_factor"] = 0.0
+    legacy["net_parallel"] = False
+    legacy["circuits"][0]["tree_checksum"] = "legacy-differs"
+    legacy["circuits"][0]["counters"]["heap_pushes"] = 999
+    assert compare(base, legacy, 15.0) == [], \
+        "different astar/parallel config must not diff checksums"
 
     # NF_CHECK_INVARIANTS runs: the wall budget is waived across a flag
     # mismatch, but counter/correctness drift still fails.

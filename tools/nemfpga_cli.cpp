@@ -131,6 +131,17 @@ int cmd_flow(const Args& a) {
                flow.packing.clusters.size(), flow.placement.nx,
                flow.placement.ny, flow.placement.nets.size(),
                flow.routing.iterations);
+  const RouteCounters& rc = flow.routing.counters;
+  std::fprintf(stderr,
+               "router: %llu nodes expanded, %llu heap pushes, "
+               "%llu lookahead hits, %llu parallel batches, "
+               "%llu conflict replays (lookahead build %.3f s)\n",
+               static_cast<unsigned long long>(rc.nodes_expanded),
+               static_cast<unsigned long long>(rc.heap_pushes),
+               static_cast<unsigned long long>(rc.lookahead_hits),
+               static_cast<unsigned long long>(rc.batches),
+               static_cast<unsigned long long>(rc.conflict_replays),
+               rc.t_lookahead_build_s);
   std::fprintf(stderr, "%s",
                summarize_routing(*flow.graph, flow.placement, flow.routing)
                    .to_string()

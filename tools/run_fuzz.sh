@@ -1,31 +1,43 @@
 #!/usr/bin/env sh
-# Bounded parser fuzz campaign. Builds (if needed) and runs the
-# deterministic mutation fuzzer under whatever sanitizer configuration the
-# build directory was configured with. For the zero-crash guarantee the
-# harness is designed around, run it against an ASan/UBSan build:
+# Bounded fuzz campaign: the deterministic parser mutation fuzzer plus a
+# scaled-up run of the router differential property, whose generator
+# randomizes the A* lookahead weight across [0, 1.2] (0 = legacy
+# Manhattan profile, 0.9..1.2 = admissible-to-mildly-weighted lookahead)
+# and flips net_parallel, so both search cores and the batch scheduler
+# are exercised against the reference oracle on every campaign. Runs
+# under whatever sanitizer configuration the build directory was
+# configured with; for the zero-crash guarantee the harness is designed
+# around, run it against an ASan/UBSan build:
 #
 #   cmake -B build-asan -S . -DNF_ASAN=ON -DNF_UBSAN=ON
-#   cmake --build build-asan -j --target fuzz_parsers
+#   cmake --build build-asan -j --target fuzz_parsers prop_route_diff
 #   tools/run_fuzz.sh build-asan 100000
 #
 # Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED]
 #   BUILD_DIR  build tree containing tests/prop/fuzz_parsers (default: build)
-#   ITERS      mutation iterations (default: 50000)
+#   ITERS      mutation iterations (default: 50000); the router property
+#              runs ITERS/100 randomized designs
 #   SEED       base seed; vary it to explore a different input sequence
-#              (default: 1). A failing run prints the --seed/--iters pair
-#              that replays the crash deterministically.
+#              (default: 1). A failing run prints the --seed/--iters (or
+#              NF_PROP_SEED/NF_PROP_CASE) pair that replays the failure
+#              deterministically.
 set -eu
 
 BUILD_DIR="${1:-build}"
 ITERS="${2:-50000}"
 SEED="${3:-1}"
 
-BIN="$BUILD_DIR/tests/prop/fuzz_parsers"
-if [ ! -x "$BIN" ]; then
+find_bin() {
   # gtest_discover_tests layouts differ; fall back to a search.
-  BIN=$(find "$BUILD_DIR" -name fuzz_parsers -type f -perm -u+x 2>/dev/null \
-        | head -n 1 || true)
-fi
+  if [ -x "$BUILD_DIR/tests/prop/$1" ]; then
+    echo "$BUILD_DIR/tests/prop/$1"
+  else
+    find "$BUILD_DIR" -name "$1" -type f -perm -u+x 2>/dev/null \
+      | head -n 1 || true
+  fi
+}
+
+BIN=$(find_bin fuzz_parsers)
 if [ -z "${BIN:-}" ] || [ ! -x "$BIN" ]; then
   echo "run_fuzz.sh: fuzz_parsers not found under '$BUILD_DIR'" \
        "(build it first: cmake --build $BUILD_DIR --target fuzz_parsers)" >&2
@@ -33,4 +45,17 @@ if [ -z "${BIN:-}" ] || [ ! -x "$BIN" ]; then
 fi
 
 echo "run_fuzz.sh: $BIN --iters $ITERS --seed $SEED"
-exec "$BIN" --iters "$ITERS" --seed "$SEED"
+"$BIN" --iters "$ITERS" --seed "$SEED"
+
+ROUTE_BIN=$(find_bin prop_route_diff)
+if [ -z "${ROUTE_BIN:-}" ] || [ ! -x "$ROUTE_BIN" ]; then
+  echo "run_fuzz.sh: prop_route_diff not built; skipping the router" \
+       "differential campaign" >&2
+  exit 0
+fi
+
+ROUTE_CASES=$((ITERS / 100))
+[ "$ROUTE_CASES" -ge 50 ] || ROUTE_CASES=50
+echo "run_fuzz.sh: $ROUTE_BIN (NF_PROP_CASES=$ROUTE_CASES" \
+     "NF_PROP_SEED=$SEED, astar_factor randomized in [0, 1.2])"
+NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" exec "$ROUTE_BIN"
