@@ -5,15 +5,18 @@
 // diffs two such files).
 //
 //   route_perf [--out FILE] [--circuits a,b,c] [--smoke]
-//              [--threads N] [--astar F]
+//              [--threads N] [--astar F] [--timing] [--crit-exp E]
 //
 // --smoke runs only the smallest seed circuit (CTest target bench_smoke
 // exercises the harness this way). --threads installs its own pool for
 // the whole run (default: the ambient NF_THREADS pool). --astar sets
 // RouteOptions::astar_factor; 0 selects the legacy profile (Manhattan
 // heuristic, serial nets) that reproduces the pre-lookahead router
-// bit-for-bit. Wall times vary run to run; Wmin, iteration and counter
-// fields are bit-deterministic at any thread count.
+// bit-for-bit. --timing routes the fixed-width pass timing-driven (an
+// incremental-STA hook over the CMOS baseline view; the Wmin search
+// stays congestion-only by construction) and records the post-route
+// critical path. Wall times vary run to run; Wmin, iteration, counter
+// and critical-path fields are bit-deterministic at any thread count.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include "pack/pack.hpp"
 #include "place/place.hpp"
 #include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/check.hpp"
 
@@ -98,8 +103,19 @@ CircuitReport run_circuit(const std::string& name) {
   ArchParams fixed_arch = arch;
   fixed_arch.W = rep.w_fixed;
   const RrGraph g(fixed_arch, nx, ny);
+  // Timing-driven runs need a fresh hook per route_all; the Wmin search
+  // above stays congestion-only (width probes force timing off).
+  std::unique_ptr<RouterTimingHook> hook;
+  RouteOptions ropt = g_route_opt;
+  if (ropt.timing_driven) {
+    const ElectricalView view =
+        make_view(fixed_arch, FpgaVariant::kCmosBaseline);
+    hook = make_incremental_sta(nl, pk, pl, g, view, ropt.criticality_exp,
+                                ropt.max_criticality);
+    ropt.timing_hook = hook.get();
+  }
   t0 = now_s();
-  rep.fixed = route_all(g, pl, g_route_opt);
+  rep.fixed = route_all(g, pl, ropt);
   rep.route_wall_s = now_s() - t0;
   if (!rep.fixed.success) {
     std::fprintf(stderr, "route_perf: %s unroutable at low-stress W=%zu\n",
@@ -118,12 +134,15 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
     std::fprintf(stderr, "route_perf: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-3\",\n");
   std::fprintf(f, "  \"threads\": %zu,\n",
                ThreadPool::current().thread_count());
   std::fprintf(f, "  \"astar_factor\": %.3f,\n", g_route_opt.astar_factor);
   std::fprintf(f, "  \"net_parallel\": %s,\n",
                g_route_opt.net_parallel ? "true" : "false");
+  std::fprintf(f, "  \"timing_driven\": %s,\n",
+               g_route_opt.timing_driven ? "true" : "false");
+  std::fprintf(f, "  \"crit_exp\": %.3f,\n", g_route_opt.criticality_exp);
   // Recorded so bench_check can waive the wall-time budget when one run
   // paid for invariant checking and the other did not; the correctness
   // fields and work counters stay pinned either way.
@@ -145,6 +164,10 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
     std::fprintf(f, "      \"fixed_w\": %zu,\n", r.w_fixed);
     std::fprintf(f, "      \"route_wall_s\": %.6f,\n", r.route_wall_s);
     std::fprintf(f, "      \"iterations\": %zu,\n", r.iterations);
+    // 0 when congestion-only; hexfloat-precise via %.17g so a diff of
+    // two timing runs compares the critical path bitwise.
+    std::fprintf(f, "      \"critical_path_s\": %.17g,\n",
+                 r.fixed.critical_path_s);
     std::fprintf(f, "      \"tree_checksum\": \"%016llx\",\n",
                  static_cast<unsigned long long>(r.checksum));
     std::fprintf(f, "      \"counters\": {\n");
@@ -168,6 +191,10 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
                  static_cast<unsigned long long>(c.batches));
     std::fprintf(f, "        \"conflict_replays\": %llu,\n",
                  static_cast<unsigned long long>(c.conflict_replays));
+    std::fprintf(f, "        \"sta_net_evals\": %llu,\n",
+                 static_cast<unsigned long long>(c.sta_net_evals));
+    std::fprintf(f, "        \"sta_block_updates\": %llu,\n",
+                 static_cast<unsigned long long>(c.sta_block_updates));
     std::fprintf(f, "        \"t_search_s\": %.6f,\n", c.t_search_s);
     std::fprintf(f, "        \"t_bookkeep_s\": %.6f,\n", c.t_bookkeep_s);
     std::fprintf(f, "        \"t_lookahead_build_s\": %.6f\n",
@@ -198,6 +225,10 @@ int main(int argc, char** argv) {
       if (g_route_opt.astar_factor == 0.0) g_route_opt.net_parallel = false;
     } else if (!std::strcmp(argv[i], "--par") && i + 1 < argc) {
       g_route_opt.net_parallel = std::atoi(argv[++i]) != 0;
+    } else if (!std::strcmp(argv[i], "--timing")) {
+      g_route_opt.timing_driven = true;
+    } else if (!std::strcmp(argv[i], "--crit-exp") && i + 1 < argc) {
+      g_route_opt.criticality_exp = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--verify-la")) {
       // Shadow every directed search with a zero-heuristic Dijkstra on
       // the same cost state: proves admissibility (suboptimal must stay
@@ -216,7 +247,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: route_perf [--out FILE] [--circuits a,b,c] "
                    "[--smoke] [--threads N] [--astar F] [--par 0|1] "
-                   "[--verify-la]\n");
+                   "[--timing] [--crit-exp E] [--verify-la]\n");
       return 2;
     }
   }
@@ -230,9 +261,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "route_perf — PathFinder hot-path benchmark (%zu threads, "
-      "astar=%.2f, net_parallel=%d)\n\n",
+      "astar=%.2f, net_parallel=%d, timing=%d)\n\n",
       ThreadPool::current().thread_count(), g_route_opt.astar_factor,
-      static_cast<int>(g_route_opt.net_parallel));
+      static_cast<int>(g_route_opt.net_parallel),
+      static_cast<int>(g_route_opt.timing_driven));
   std::vector<CircuitReport> reps;
   for (const auto& name : circuits) {
     reps.push_back(run_circuit(name));
@@ -244,6 +276,14 @@ int main(int argc, char** argv) {
         r.name.c_str(), r.luts, r.w_min, r.wmin_wall_s, r.w_fixed,
         r.route_wall_s, r.iterations,
         static_cast<unsigned long long>(r.checksum));
+    if (g_route_opt.timing_driven) {
+      std::printf(
+          "         critical_path=%.3f ns  sta_net_evals=%llu "
+          "sta_block_updates=%llu\n",
+          r.fixed.critical_path_s * 1e9,
+          static_cast<unsigned long long>(c.sta_net_evals),
+          static_cast<unsigned long long>(c.sta_block_updates));
+    }
     std::printf(
         "         expanded=%llu pushes=%llu lookahead_hits=%llu "
         "batches=%llu replays=%llu la_build=%.3fs\n",

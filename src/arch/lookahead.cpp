@@ -43,7 +43,8 @@ std::int32_t RouteLookahead::node_key(const RrNode& n) const {
       static_cast<std::int64_t>(rx) * sy_ - ry);
 }
 
-RouteLookahead::RouteLookahead(const RrGraph& real) {
+RouteLookahead::RouteLookahead(const RrGraph& real,
+                               const DelayProfile* delay) {
   const auto t0 = std::chrono::steady_clock::now();
   const int nx = static_cast<int>(real.nx());
   const int ny = static_cast<int>(real.ny());
@@ -117,101 +118,124 @@ RouteLookahead::RouteLookahead(const RrGraph& real) {
     }
   }
 
-  // One backward Dijkstra per sample, folded into a per-class offset
-  // table. dist[u] is the remaining base cost *after* paying for u, so
-  // the relaxation of reverse edge (u -> pred) adds base(u).
-  auto sample_table = [&](std::size_t si) {
-    const auto [tx, ty] = samples[si];
-    const RrNodeId sink = g.site(tx, ty).sink;
-    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-    using Q = std::pair<double, RrNodeId>;
-    std::priority_queue<Q, std::vector<Q>, std::greater<>> heap;
-    dist[sink] = 0.0;
-    heap.push({0.0, sink});
-    while (!heap.empty()) {
-      const auto [d, u] = heap.top();
-      heap.pop();
-      if (d > dist[u]) continue;
-      const double du = d + route_base_cost(g.node(u));
-      for (std::uint32_t k = roff[u]; k < roff[u + 1]; ++k) {
-        const RrNodeId p = rpred[k];
-        if (du < dist[p]) {
-          dist[p] = du;
-          heap.push({du, p});
+  // One backward Dijkstra per sample with the given per-node entering
+  // costs, folded into a per-class offset table. dist[u] is the remaining
+  // cost *after* paying for u, so the relaxation of reverse edge
+  // (u -> pred) adds cost(u). The base table and the delay table run the
+  // identical machinery over different weights; `chamfer_step` is the
+  // per-tile increment of the unobserved-cell fill (1 base-cost unit for
+  // the base table; 0 for the delay table, where any positive step could
+  // only raise an extrapolated cell above a true remaining delay), and
+  // `manhattan_fallback` selects the degenerate-class filler (Manhattan
+  // for base cost, 0 — trivially a lower bound — for delay).
+  auto build_table = [&](const std::vector<double>& cost, float chamfer_step,
+                         bool manhattan_fallback) {
+    auto sample_table = [&](std::size_t si) {
+      const auto [tx, ty] = samples[si];
+      const RrNodeId sink = g.site(tx, ty).sink;
+      std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+      using Q = std::pair<double, RrNodeId>;
+      std::priority_queue<Q, std::vector<Q>, std::greater<>> heap;
+      dist[sink] = 0.0;
+      heap.push({0.0, sink});
+      while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u]) continue;
+        const double du = d + cost[u];
+        for (std::uint32_t k = roff[u]; k < roff[u + 1]; ++k) {
+          const RrNodeId p = rpred[k];
+          if (du < dist[p]) {
+            dist[p] = du;
+            heap.push({du, p});
+          }
         }
       }
-    }
-    std::vector<float> tab(kClasses * span, kInf);
-    const std::int32_t tkey = target_key(tx, ty);
-    for (RrNodeId u = 0; u < n; ++u) {
-      if (!std::isfinite(dist[u])) continue;
-      // Round toward zero so the float table never exceeds the true
-      // base-space distance (admissibility survives the narrowing).
-      float f = static_cast<float>(dist[u]);
-      if (static_cast<double>(f) > dist[u]) f = std::nextafterf(f, 0.0f);
-      float& cell = tab[static_cast<std::size_t>(thin_key[u] + tkey)];
-      cell = std::min(cell, f);
-    }
-    return tab;
-  };
-  // Deterministic at any thread count: the per-cell minimum over samples
-  // is order-independent, and each sample table is pure.
-  const auto tables = parallel_map(samples.size(), sample_table);
-  table_.assign(kClasses * span, kInf);
-  for (const auto& tab : tables) {
-    for (std::size_t i = 0; i < table_.size(); ++i) {
-      table_[i] = std::min(table_[i], tab[i]);
-    }
-  }
-
-  // Fill offsets no (node, target) pair realizes by a two-pass L1
-  // chamfer that only writes unobserved cells. With exhaustive target
-  // sampling such offsets can never be queried at runtime — every real
-  // (node class, ref point) exists in the thin graph too, and every
-  // routed sink lives on a sampled tile — so the fill is a smooth
-  // extrapolation for safety, not part of the admissibility argument.
-  std::vector<char> observed(table_.size());
-  for (std::size_t i = 0; i < table_.size(); ++i) {
-    observed[i] = table_[i] < kInf;
-  }
-  for (int c = 0; c < kClasses; ++c) {
-    float* t = table_.data() + c * span;
-    const char* obs = observed.data() + c * span;
-    auto at = [&](int dx, int dy) -> float& {
-      return t[static_cast<std::size_t>(dx) * sy_ + dy];
+      std::vector<float> tab(kClasses * span, kInf);
+      const std::int32_t tkey = target_key(tx, ty);
+      for (RrNodeId u = 0; u < n; ++u) {
+        if (!std::isfinite(dist[u])) continue;
+        // Round toward zero so the float table never exceeds the true
+        // distance (admissibility survives the narrowing).
+        float f = static_cast<float>(dist[u]);
+        if (static_cast<double>(f) > dist[u]) f = std::nextafterf(f, 0.0f);
+        float& cell = tab[static_cast<std::size_t>(thin_key[u] + tkey)];
+        cell = std::min(cell, f);
+      }
+      return tab;
     };
-    for (int dx = 0; dx < sx; ++dx) {
-      for (int dy = 0; dy < sy_; ++dy) {
-        if (obs[static_cast<std::size_t>(dx) * sy_ + dy]) continue;
-        float v = at(dx, dy);
-        if (dx > 0) v = std::min(v, at(dx - 1, dy) + 1.0f);
-        if (dy > 0) v = std::min(v, at(dx, dy - 1) + 1.0f);
-        at(dx, dy) = v;
+    // Deterministic at any thread count: the per-cell minimum over
+    // samples is order-independent, and each sample table is pure.
+    const auto tables = parallel_map(samples.size(), sample_table);
+    std::vector<float> out(kClasses * span, kInf);
+    for (const auto& tab : tables) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = std::min(out[i], tab[i]);
       }
     }
-    for (int dx = sx - 1; dx >= 0; --dx) {
-      for (int dy = sy_ - 1; dy >= 0; --dy) {
-        if (obs[static_cast<std::size_t>(dx) * sy_ + dy]) continue;
-        float v = at(dx, dy);
-        if (dx + 1 < sx) v = std::min(v, at(dx + 1, dy) + 1.0f);
-        if (dy + 1 < sy_) v = std::min(v, at(dx, dy + 1) + 1.0f);
-        at(dx, dy) = v;
-      }
+
+    // Fill offsets no (node, target) pair realizes by a two-pass L1
+    // chamfer that only writes unobserved cells. With exhaustive target
+    // sampling such offsets can never be queried at runtime — every real
+    // (node class, ref point) exists in the thin graph too, and every
+    // routed sink lives on a sampled tile — so the fill is a smooth
+    // extrapolation for safety, not part of the admissibility argument.
+    std::vector<char> observed(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      observed[i] = out[i] < kInf;
     }
-  }
-  // A class with no nodes at all (degenerate fabrics) falls back to
-  // plain Manhattan distance.
-  for (int c = 0; c < kClasses; ++c) {
-    float* t = table_.data() + c * span;
-    for (int dx = 0; dx < sx; ++dx) {
-      for (int dy = 0; dy < sy_; ++dy) {
-        float& v = t[static_cast<std::size_t>(dx) * sy_ + dy];
-        if (v == kInf) {
-          v = static_cast<float>(std::abs(dx - off_x_) +
-                                 std::abs(dy - off_y_));
+    for (int c = 0; c < kClasses; ++c) {
+      float* t = out.data() + c * span;
+      const char* obs = observed.data() + c * span;
+      auto at = [&](int dx, int dy) -> float& {
+        return t[static_cast<std::size_t>(dx) * sy_ + dy];
+      };
+      for (int dx = 0; dx < sx; ++dx) {
+        for (int dy = 0; dy < sy_; ++dy) {
+          if (obs[static_cast<std::size_t>(dx) * sy_ + dy]) continue;
+          float v = at(dx, dy);
+          if (dx > 0) v = std::min(v, at(dx - 1, dy) + chamfer_step);
+          if (dy > 0) v = std::min(v, at(dx, dy - 1) + chamfer_step);
+          at(dx, dy) = v;
+        }
+      }
+      for (int dx = sx - 1; dx >= 0; --dx) {
+        for (int dy = sy_ - 1; dy >= 0; --dy) {
+          if (obs[static_cast<std::size_t>(dx) * sy_ + dy]) continue;
+          float v = at(dx, dy);
+          if (dx + 1 < sx) v = std::min(v, at(dx + 1, dy) + chamfer_step);
+          if (dy + 1 < sy_) v = std::min(v, at(dx, dy + 1) + chamfer_step);
+          at(dx, dy) = v;
         }
       }
     }
+    // A class with no nodes at all (degenerate fabrics) falls back to
+    // plain Manhattan distance (base) or zero (delay).
+    for (int c = 0; c < kClasses; ++c) {
+      float* t = out.data() + c * span;
+      for (int dx = 0; dx < sx; ++dx) {
+        for (int dy = 0; dy < sy_; ++dy) {
+          float& v = t[static_cast<std::size_t>(dx) * sy_ + dy];
+          if (v == kInf) {
+            v = manhattan_fallback
+                    ? static_cast<float>(std::abs(dx - off_x_) +
+                                         std::abs(dy - off_y_))
+                    : 0.0f;
+          }
+        }
+      }
+    }
+    return out;
+  };
+
+  std::vector<double> node_cost(n);
+  for (RrNodeId i = 0; i < n; ++i) node_cost[i] = route_base_cost(g.node(i));
+  table_ = build_table(node_cost, 1.0f, /*manhattan_fallback=*/true);
+  if (delay) {
+    for (RrNodeId i = 0; i < n; ++i) {
+      node_cost[i] = route_delay_cost(g.node(i), *delay);
+    }
+    delay_table_ = build_table(node_cost, 0.0f, /*manhattan_fallback=*/false);
   }
 
   build_s_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -

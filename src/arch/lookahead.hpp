@@ -43,9 +43,41 @@ inline double route_base_cost(const RrNode& n) {
   }
 }
 
+/// Per-RR-node delay profile of the active electrical view, as consumed
+/// by the delay-annotated lookahead table. src/timing/delay_model.hpp
+/// derives it from an ElectricalView; arch cannot depend on timing, so
+/// only the two constants cross the layer boundary.
+struct DelayProfile {
+  double t_wire_stage = 0.0;  ///< Delay entering any CHANX/CHANY node [s].
+  double t_input_path = 0.0;  ///< Delay entering an IPIN [s].
+};
+
+/// The delay twin of route_base_cost: what entering `n` costs in seconds.
+/// Single source of truth for the delay model, the timing-driven router
+/// and the delay lookahead builder.
+inline double route_delay_cost(const RrNode& n, const DelayProfile& p) {
+  switch (n.type) {
+    case RrType::kChanX:
+    case RrType::kChanY:
+      return p.t_wire_stage;
+    case RrType::kIpin:
+      return p.t_input_path;
+    default:
+      return 0.0;
+  }
+}
+
 class RouteLookahead {
  public:
-  explicit RouteLookahead(const RrGraph& g);
+  /// Build the base-cost table; with a non-null `delay` profile also
+  /// build the delay-annotated twin table (same thin canonical graph,
+  /// same backward Dijkstras, node weights from route_delay_cost), which
+  /// lower-bounds the remaining *delay* in seconds for the timing-driven
+  /// router's blended heuristic. The same admissibility argument applies:
+  /// thin connectivity supersets any real width, and rounding is always
+  /// toward zero.
+  explicit RouteLookahead(const RrGraph& g,
+                          const DelayProfile* delay = nullptr);
 
   /// Expected remaining base cost from `n` (whose own cost is already
   /// paid) to a sink at tile (tx, ty). Convenience form for sink-order
@@ -70,6 +102,16 @@ class RouteLookahead {
 
   const float* table() const { return table_.data(); }
 
+  /// Delay twin of the base table (empty unless built with a profile).
+  /// Indexed identically: delay_table()[node_key(n) + target_key(tx, ty)]
+  /// is a lower bound on the remaining seconds from `n` to the sink.
+  bool has_delay_table() const { return !delay_table_.empty(); }
+  const float* delay_table() const { return delay_table_.data(); }
+  double delay_estimate(const RrNode& n, int tx, int ty) const {
+    return delay_table_[static_cast<std::size_t>(node_key(n) +
+                                                 target_key(tx, ty))];
+  }
+
   double build_seconds() const { return build_s_; }
 
   /// Wire classes get direction-aware tables; everything else (pins,
@@ -81,6 +123,7 @@ class RouteLookahead {
   int off_x_ = 0, off_y_ = 0;  ///< Offset bias so indices start at 0.
   std::size_t span_ = 0;           ///< sx * sy, one class's table slice.
   std::vector<float> table_;       ///< kClasses * sx * sy, row-major.
+  std::vector<float> delay_table_; ///< Same layout, seconds (optional).
   double build_s_ = 0.0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "timing/sta.hpp"
 #include "verify/check.hpp"
 
 namespace nemfpga {
@@ -21,7 +22,21 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
     check_placement(r.packing, r.arch, r.placement);
   }
   r.graph = std::make_unique<RrGraph>(r.arch, nx, ny);
-  r.routing = route_all(*r.graph, r.placement, opt.route);
+  if (opt.route.timing_driven) {
+    // Unified delay layer: one electrical view feeds the delay model,
+    // the delay-annotated lookahead and the incremental STA driving the
+    // router's criticality blend (a fresh hook per route_all call).
+    const ElectricalView view = make_view(r.arch, opt.timing_variant);
+    const auto hook =
+        make_incremental_sta(r.netlist, r.packing, r.placement, *r.graph,
+                             view, opt.route.criticality_exp,
+                             opt.route.max_criticality);
+    RouteOptions ropt = opt.route;
+    ropt.timing_hook = hook.get();
+    r.routing = route_all(*r.graph, r.placement, ropt);
+  } else {
+    r.routing = route_all(*r.graph, r.placement, opt.route);
+  }
   if (!r.routing.success) {
     throw std::runtime_error(
         "run_flow: unroutable at W=" + std::to_string(r.arch.W) +

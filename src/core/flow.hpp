@@ -12,6 +12,7 @@
 #include "pack/pack.hpp"
 #include "place/place.hpp"
 #include "route/route.hpp"
+#include "timing/variant.hpp"
 
 namespace nemfpga {
 
@@ -19,6 +20,12 @@ struct FlowOptions {
   ArchParams arch;
   PlaceOptions place;
   RouteOptions route;
+  /// Electrical view driving the unified delay layer when
+  /// route.timing_driven is set: run_flow builds the delay model and an
+  /// incremental-STA timing hook from this variant and hands both to the
+  /// router (route.timing_hook is then managed internally and must be
+  /// left null by callers).
+  FpgaVariant timing_variant = FpgaVariant::kCmosBaseline;
 };
 
 /// A fully mapped design (owns every intermediate product).

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "timing/criticality.hpp"
+
 namespace nemfpga {
 namespace {
 
@@ -219,8 +221,10 @@ struct Annealer {
 
     if (opt.timing_driven) {
       // Criticality-weighted refinement: nets on (estimated) critical
-      // paths pull harder in a second anneal at medium temperature.
-      const auto crit = estimate_criticality(nl, p);
+      // paths pull harder in a second anneal at medium temperature. The
+      // estimate is the shared utility the incremental STA also seeds
+      // from, keeping placement and routing on one criticality notion.
+      const auto crit = placement_net_criticality(nl, nets, locs);
       for (std::size_t n = 0; n < nets.size(); ++n) {
         net_weight[n] = 1.0 + opt.timing_weight * crit[n] * crit[n];
       }
@@ -229,107 +233,6 @@ struct Annealer {
                             static_cast<double>(std::max<std::size_t>(nets.size(), 1));
       anneal(opt, 50.0 * exit_t);
     }
-  }
-
-  /// Placement-based net criticality: longest combinational path where a
-  /// net's delay is its bounding-box semiperimeter (a routing-free proxy).
-  std::vector<double> estimate_criticality(const Netlist& nl,
-                                           const Packing& p) const {
-    std::vector<std::size_t> net_to_placed(nl.net_count(), kInvalidId);
-    for (std::size_t n = 0; n < nets.size(); ++n) {
-      net_to_placed[nets[n].net] = n;
-    }
-    auto net_delay = [&](NetId n) {
-      const std::size_t idx = net_to_placed[n];
-      if (idx == kInvalidId) return 0.3;  // local feedback
-      const PlacedNet& pn = nets[idx];
-      std::size_t x_lo = locs[pn.driver].x, x_hi = x_lo;
-      std::size_t y_lo = locs[pn.driver].y, y_hi = y_lo;
-      for (std::size_t s : pn.sinks) {
-        x_lo = std::min(x_lo, locs[s].x);
-        x_hi = std::max(x_hi, locs[s].x);
-        y_lo = std::min(y_lo, locs[s].y);
-        y_hi = std::max(y_hi, locs[s].y);
-      }
-      return 1.0 + static_cast<double>((x_hi - x_lo) + (y_hi - y_lo));
-    };
-
-    // Forward arrival over LUTs (latches/PIs are start points, delay 1 per
-    // LUT level).
-    std::vector<double> arrival(nl.block_count(), 0.0);
-    std::vector<std::size_t> pending(nl.block_count(), 0);
-    std::vector<BlockId> ready;
-    for (BlockId b = 0; b < nl.block_count(); ++b) {
-      const Block& blk = nl.block(b);
-      if (blk.type == BlockType::kLut) {
-        std::size_t comb = 0;
-        for (NetId n : blk.inputs) {
-          if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++comb;
-        }
-        pending[b] = comb;
-        if (comb == 0) ready.push_back(b);
-      }
-    }
-    std::vector<BlockId> topo;
-    while (!ready.empty()) {
-      const BlockId b = ready.back();
-      ready.pop_back();
-      topo.push_back(b);
-      const Block& blk = nl.block(b);
-      double arr = 0.0;
-      for (NetId n : blk.inputs) {
-        arr = std::max(arr, arrival[nl.net(n).driver] + net_delay(n));
-      }
-      arrival[b] = arr + 1.0;
-      for (BlockId sk : nl.net(blk.output).sinks) {
-        if (nl.block(sk).type == BlockType::kLut && pending[sk] > 0) {
-          if (--pending[sk] == 0) ready.push_back(sk);
-        }
-      }
-    }
-    double d_max = 1.0;
-    for (BlockId b = 0; b < nl.block_count(); ++b) {
-      const Block& blk = nl.block(b);
-      if (blk.type == BlockType::kLatch || blk.type == BlockType::kOutput) {
-        for (NetId n : blk.inputs) {
-          d_max = std::max(d_max, arrival[nl.net(n).driver] + net_delay(n));
-        }
-      }
-    }
-    // Backward required times over the reverse topological order.
-    std::vector<double> required(nl.block_count(), d_max);
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const BlockId b = *it;
-      const Block& blk = nl.block(b);
-      double req = d_max;
-      for (BlockId sk : nl.net(blk.output).sinks) {
-        const Block& sb = nl.block(sk);
-        const double d = net_delay(blk.output);
-        if (sb.type == BlockType::kLut) {
-          req = std::min(req, required[sk] - 1.0 - d);
-        } else {
-          req = std::min(req, d_max - d);
-        }
-      }
-      required[b] = req;
-    }
-    // Criticality per placed net: 1 - slack / d_max at the tightest sink.
-    std::vector<double> crit(nets.size(), 0.0);
-    for (std::size_t n = 0; n < nets.size(); ++n) {
-      const NetId net_id = nets[n].net;
-      const BlockId drv = nl.net(net_id).driver;
-      const double arr = arrival[drv];
-      double worst_req = d_max;
-      for (BlockId sk : nl.net(net_id).sinks) {
-        if (nl.block(sk).type == BlockType::kLut) {
-          worst_req = std::min(worst_req, required[sk] - 1.0);
-        }
-      }
-      const double slack = worst_req - arr - net_delay(net_id);
-      crit[n] = std::clamp(1.0 - slack / d_max, 0.0, 1.0);
-    }
-    (void)p;
-    return crit;
   }
 
   /// One proposed move; returns true if accepted.
@@ -402,6 +305,107 @@ std::vector<PlacedNet> extract_placed_nets(const Netlist& nl,
     nets.push_back(std::move(pn));
   }
   return nets;
+}
+
+std::vector<double> placement_net_criticality(
+    const Netlist& nl, const std::vector<PlacedNet>& nets,
+    const std::vector<BlockLoc>& locs) {
+  std::vector<std::size_t> net_to_placed(nl.net_count(), kInvalidId);
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    net_to_placed[nets[n].net] = n;
+  }
+  // A net's delay proxy is its bounding-box semiperimeter (absorbed nets
+  // cost a fixed local-feedback fraction).
+  auto net_delay = [&](NetId n) {
+    const std::size_t idx = net_to_placed[n];
+    if (idx == kInvalidId) return 0.3;  // local feedback
+    const PlacedNet& pn = nets[idx];
+    std::size_t x_lo = locs[pn.driver].x, x_hi = x_lo;
+    std::size_t y_lo = locs[pn.driver].y, y_hi = y_lo;
+    for (std::size_t s : pn.sinks) {
+      x_lo = std::min(x_lo, locs[s].x);
+      x_hi = std::max(x_hi, locs[s].x);
+      y_lo = std::min(y_lo, locs[s].y);
+      y_hi = std::max(y_hi, locs[s].y);
+    }
+    return 1.0 + static_cast<double>((x_hi - x_lo) + (y_hi - y_lo));
+  };
+
+  // Forward arrival over LUTs (latches/PIs are start points, delay 1 per
+  // LUT level).
+  std::vector<double> arrival(nl.block_count(), 0.0);
+  std::vector<std::size_t> pending(nl.block_count(), 0);
+  std::vector<BlockId> ready;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLut) {
+      std::size_t comb = 0;
+      for (NetId n : blk.inputs) {
+        if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++comb;
+      }
+      pending[b] = comb;
+      if (comb == 0) ready.push_back(b);
+    }
+  }
+  std::vector<BlockId> topo;
+  while (!ready.empty()) {
+    const BlockId b = ready.back();
+    ready.pop_back();
+    topo.push_back(b);
+    const Block& blk = nl.block(b);
+    double arr = 0.0;
+    for (NetId n : blk.inputs) {
+      arr = std::max(arr, arrival[nl.net(n).driver] + net_delay(n));
+    }
+    arrival[b] = arr + 1.0;
+    for (BlockId sk : nl.net(blk.output).sinks) {
+      if (nl.block(sk).type == BlockType::kLut && pending[sk] > 0) {
+        if (--pending[sk] == 0) ready.push_back(sk);
+      }
+    }
+  }
+  double d_max = 1.0;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLatch || blk.type == BlockType::kOutput) {
+      for (NetId n : blk.inputs) {
+        d_max = std::max(d_max, arrival[nl.net(n).driver] + net_delay(n));
+      }
+    }
+  }
+  // Backward required times over the reverse topological order.
+  std::vector<double> required(nl.block_count(), d_max);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const BlockId b = *it;
+    const Block& blk = nl.block(b);
+    double req = d_max;
+    for (BlockId sk : nl.net(blk.output).sinks) {
+      const Block& sb = nl.block(sk);
+      const double d = net_delay(blk.output);
+      if (sb.type == BlockType::kLut) {
+        req = std::min(req, required[sk] - 1.0 - d);
+      } else {
+        req = std::min(req, d_max - d);
+      }
+    }
+    required[b] = req;
+  }
+  // Criticality per placed net from the tightest sink's slack.
+  std::vector<double> crit(nets.size(), 0.0);
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const NetId net_id = nets[n].net;
+    const BlockId drv = nl.net(net_id).driver;
+    const double arr = arrival[drv];
+    double worst_req = d_max;
+    for (BlockId sk : nl.net(net_id).sinks) {
+      if (nl.block(sk).type == BlockType::kLut) {
+        worst_req = std::min(worst_req, required[sk] - 1.0);
+      }
+    }
+    const double slack = worst_req - arr - net_delay(net_id);
+    crit[n] = criticality_from_slack(slack, d_max);
+  }
+  return crit;
 }
 
 Placement place(const Netlist& nl, const Packing& p, const ArchParams& arch,

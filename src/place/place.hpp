@@ -50,6 +50,18 @@ struct PlaceOptions {
 /// placement optimizes and routing must realize.
 std::vector<PlacedNet> extract_placed_nets(const Netlist& nl, const Packing& p);
 
+/// Placement-based net criticality estimate (no routing required): the
+/// longest combinational path where a net's delay is its bounding-box
+/// semiperimeter, shaped into 1 - slack / d_max per placed net. Shared by
+/// the timing-driven placement anneal (criticality-weighted net weights)
+/// and the router's incremental STA, which seeds its iteration-1
+/// criticalities from it before any routed trees exist
+/// (src/timing/sta.cpp). Result is parallel to `nets`, each entry in
+/// [0, 1].
+std::vector<double> placement_net_criticality(
+    const Netlist& nl, const std::vector<PlacedNet>& nets,
+    const std::vector<BlockLoc>& locs);
+
 /// Anneal a placement on an nx-by-ny logic grid (IO pads on the border).
 /// Grid must fit: nx*ny >= #clusters and perimeter capacity >= #IO blocks.
 Placement place(const Netlist& nl, const Packing& p, const ArchParams& arch,

@@ -16,6 +16,13 @@ RouteReport summarize_routing(const RrGraph& g, const Placement& pl,
   RouteReport rep;
   rep.nets = pl.nets.size();
   rep.wirelength_histogram.assign(16, 0);
+  // A successful timing-driven route always carries a positive critical
+  // path from the final STA update; congestion-only results leave it 0.
+  rep.timing_driven = r.critical_path_s > 0.0;
+  rep.critical_path_s = r.critical_path_s;
+  rep.worst_slack_s = r.worst_slack_s;
+  rep.sta_net_evals = r.counters.sta_net_evals;
+  rep.sta_block_updates = r.counters.sta_block_updates;
 
   // Per-position channel occupancy. Key: channel id * span + position.
   // Capacity per position is W; count used wire-tiles there.
@@ -87,6 +94,16 @@ std::string RouteReport::to_string() const {
   os << "net wirelength histogram (2-tile bins):";
   for (std::size_t b : wirelength_histogram) os << ' ' << b;
   os << "\n";
+  if (timing_driven) {
+    std::ostringstream ts;
+    ts.setf(std::ios::fixed);
+    ts.precision(3);
+    ts << "critical path        : " << critical_path_s * 1e9 << " ns\n";
+    ts << "worst conn. slack    : " << worst_slack_s * 1e12 << " ps\n";
+    ts << "incremental STA      : " << sta_net_evals << " net delay evals, "
+       << sta_block_updates << " block updates\n";
+    os << ts.str();
+  }
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 // users read them to judge mapping quality and channel-width headroom.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "route/route.hpp"
@@ -22,6 +23,13 @@ struct RouteReport {
   double occupancy_max = 0.0;
   /// Net wirelength histogram (tiles): bins [0,2) [2,4) ... [30,inf).
   std::vector<std::size_t> wirelength_histogram;
+  /// Timing section, present only when the routing was timing-driven
+  /// (route_all annotates the result from its final STA update).
+  bool timing_driven = false;
+  double critical_path_s = 0.0;        ///< [s] post-route critical path.
+  double worst_slack_s = 0.0;          ///< [s] worst connection slack.
+  std::uint64_t sta_net_evals = 0;     ///< Net delay re-evaluations.
+  std::uint64_t sta_block_updates = 0; ///< Levelized block visits.
 
   std::string to_string() const;
 };

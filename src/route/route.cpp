@@ -62,6 +62,16 @@ struct Router {
   /// here on demand.
   std::shared_ptr<const RouteLookahead> la;
 
+  /// Timing-driven state (all null/zero in congestion-only mode, which
+  /// keeps every hot-loop expression bit-identical to the legacy path).
+  RouterTimingHook* const timing;    ///< Non-null iff timing-driven.
+  const double* node_delay = nullptr;  ///< Per-node entering delay [s].
+  double spb = 0.0;                  ///< Seconds per unit base cost.
+  /// Delay half of the lookahead (null when the shared table was built
+  /// without a profile — the heuristic then degrades to the congestion
+  /// half alone, which is still admissible, just less directed).
+  const float* delay_tab = nullptr;
+
   /// Everything the relaxation loop reads about a candidate node, packed
   /// into one 32-byte record so an edge costs one data-cache touch
   /// instead of six scattered array loads: the bounding-box coords and
@@ -124,8 +134,14 @@ struct Router {
     std::vector<QItem> heap;
     std::vector<RrNodeId> sink_nodes;
     std::vector<double> sink_keys;
+    std::vector<double> sink_crit;  ///< Timing mode only.
     std::vector<std::uint32_t> order;
     std::vector<RrNodeId> tree_nodes;
+    /// Timing mode only: delay from the net source to each current tree
+    /// node (indexed by RR node; valid for marked tree nodes). Allocated
+    /// lazily on the first timing-driven net so congestion-only scratch
+    /// footprints are untouched.
+    std::vector<double> node_tdel;
     std::vector<std::pair<RrNodeId, RrNodeId>> path;
 
     /// Set by a successful route attempt: edges before this index are the
@@ -143,6 +159,7 @@ struct Router {
       heap.reserve(4096);
       sink_nodes.reserve(256);
       sink_keys.reserve(256);
+      sink_crit.reserve(256);
       order.reserve(256);
       tree_nodes.reserve(1024);
       path.reserve(512);
@@ -150,7 +167,8 @@ struct Router {
 
     std::size_t capacity() const {
       return heap.capacity() + sink_nodes.capacity() + sink_keys.capacity() +
-             order.capacity() + tree_nodes.capacity() + path.capacity();
+             sink_crit.capacity() + order.capacity() + tree_nodes.capacity() +
+             node_tdel.capacity() + path.capacity();
     }
 
     // Binary min-heap over the persistent buffer — the exact algorithm
@@ -195,14 +213,26 @@ struct Router {
 
   explicit Router(const RrGraph& graph, const Placement& placement,
                   const RouteOptions& options)
-      : g(graph), pl(placement), opt(options), occ(graph) {
+      : g(graph), pl(placement), opt(options), occ(graph),
+        timing(options.timing_driven ? options.timing_hook : nullptr) {
     if (opt.astar_factor > 0.0) {
       if (opt.lookahead) {
         la = opt.lookahead;  // shared across channel-width probes
+      } else if (timing) {
+        // Delay-annotated table so directed search stays admissible in
+        // the blended (seconds) cost space.
+        const DelayProfile prof = timing->delay_profile();
+        la = std::make_shared<const RouteLookahead>(g, &prof);
+        cnt.t_lookahead_build_s = la->build_seconds();
       } else {
         la = std::make_shared<const RouteLookahead>(g);
         cnt.t_lookahead_build_s = la->build_seconds();
       }
+    }
+    if (timing) {
+      node_delay = timing->node_delay();
+      spb = timing->sec_per_base();
+      if (la && la->has_delay_table()) delay_tab = la->delay_table();
     }
     const std::size_t n = g.node_count();
     history.assign(n, 0.0f);
@@ -258,6 +288,10 @@ struct Router {
       t.lookahead_suboptimal += s->cnt.lookahead_suboptimal;
       t.verify_dijkstra_expanded += s->cnt.verify_dijkstra_expanded;
       t.verify_astar_expanded += s->cnt.verify_astar_expanded;
+    }
+    if (timing) {
+      t.sta_net_evals = timing->net_evals();
+      t.sta_block_updates = timing->block_updates();
     }
     return t;
   }
@@ -325,10 +359,11 @@ struct Router {
 
   /// One A* / Dijkstra run from the current tree seeds to `target`,
   /// bounded by the net window. `with_heur` false gives the plain
-  /// Dijkstra reference verify_lookahead compares against. On success the
-  /// optimal path cost is in sc.relax[target].path_cost.
+  /// Dijkstra reference verify_lookahead compares against. `crit` is the
+  /// target connection's criticality (timing mode; ignored otherwise).
+  /// On success the optimal path cost is in sc.relax[target].path_cost.
   bool search_sink(Scratch& sc, RrNodeId target, int x_lo, int x_hi,
-                   int y_lo, int y_hi, bool with_heur) {
+                   int y_lo, int y_hi, bool with_heur, double crit) {
     ++sc.cur_epoch;
     const std::uint32_t ep = sc.cur_epoch;
     const std::uint32_t ov = sc.ov_cur;
@@ -341,16 +376,33 @@ struct Router {
     const std::int32_t tkey =
         use_table ? la->target_key(tn.x_lo, tn.y_lo) : 0;
     const double la_fac = opt.astar_factor;
+    // Timing blend, hoisted per search (the criticality is a property of
+    // the target connection): entering v costs
+    //   crit * delay(v) + (1 - crit) * congestion_cost(v) * spb
+    // and the heuristic blends the delay and base lookahead halves with
+    // the same weights, so each half lower-bounds its cost term and the
+    // blend stays admissible at astar_factor <= 1.
+    const bool tm = timing != nullptr;
+    const double inv_spb = tm ? (1.0 - crit) * spb : 0.0;
 
     auto h_of = [&](const HotNode& hn) -> double {
       if (use_table) {
         ++sc.cnt.lookahead_hits;
-        return la_fac * static_cast<double>(
-                            la_tab[static_cast<std::size_t>(
-                                static_cast<std::int64_t>(hn.la_key) + tkey)]);
+        const std::size_t idx = static_cast<std::size_t>(
+            static_cast<std::int64_t>(hn.la_key) + tkey);
+        if (tm) {
+          const double dly =
+              delay_tab ? static_cast<double>(delay_tab[idx]) : 0.0;
+          return la_fac *
+                 (crit * dly + inv_spb * static_cast<double>(la_tab[idx]));
+        }
+        return la_fac * static_cast<double>(la_tab[idx]);
       }
       if (use_manhattan) {
-        return heuristic_from(hn, tx_lo, tx_hi, ty_lo, ty_hi);
+        const double h = heuristic_from(hn, tx_lo, tx_hi, ty_lo, ty_hi);
+        // Manhattan distance bounds base cost, not delay: blend only the
+        // congestion half (still admissible — the delay half is >= 0).
+        return tm ? inv_spb * h : h;
       }
       return 0.0;
     };
@@ -377,10 +429,11 @@ struct Router {
     sc.heap.clear();
     for (RrNodeId n : sc.tree_nodes) {
       RelaxNode& rn = sc.relax[n];
-      rn.path_cost = 0.0;
+      const double known = tm ? crit * sc.node_tdel[n] : 0.0;
+      rn.path_cost = known;
       rn.epoch = ep;
       rn.prev = kNoRrNode;
-      sc.heap_push({h_of(hot[n]), 0.0, n});
+      sc.heap_push({known + h_of(hot[n]), known, n});
     }
     while (!sc.heap.empty()) {
       const QItem item = sc.heap_pop();
@@ -403,7 +456,10 @@ struct Router {
         if (vn.is_sink && v != target) continue;
         RelaxNode& rn = sc.relax[v];
         const int ov_add = rn.ov_epoch == ov ? rn.ov_add : 0;
-        const double new_cost = item.known + congestion_cost(vn, ov_add);
+        const double new_cost =
+            tm ? item.known + crit * node_delay[v] +
+                     inv_spb * congestion_cost(vn, ov_add)
+               : item.known + congestion_cost(vn, ov_add);
         if (rn.epoch != ep || new_cost < rn.path_cost - 1e-9) {
           rn.path_cost = new_cost;
           rn.epoch = ep;
@@ -424,7 +480,8 @@ struct Router {
   /// window-escape failure into kReplay (the serial replay owns retries);
   /// non-speculative failure releases the pre-seeded tree occupancy and
   /// reports kFail so route_net can retry unconstrained.
-  NetStatus route_net_bb(Scratch& sc, const PlacedNet& net, RouteTree& out,
+  NetStatus route_net_bb(Scratch& sc, std::size_t net_idx,
+                         const PlacedNet& net, RouteTree& out,
                          std::size_t bb_margin, bool speculative) {
     const std::size_t seed_edges = out.edges.size();
     const BlockLoc& dloc = pl.locs[net.driver];
@@ -451,33 +508,77 @@ struct Router {
     y_hi += m;
 
     // Sort sinks near-to-far from the driver. The keys are evaluated once
-    // per sink up front — not O(n log n) times inside the comparator.
+    // per sink up front — not O(n log n) times inside the comparator. In
+    // timing mode the key is the same blended estimate the search
+    // minimizes, and the per-connection criticalities are fetched here —
+    // once per route attempt — for the searches below.
     sc.order.resize(sc.sink_nodes.size());
     sc.sink_keys.resize(sc.sink_nodes.size());
+    if (timing) sc.sink_crit.resize(sc.sink_nodes.size());
     const HotNode& sn = hot[source];
     for (std::uint32_t i = 0; i < sc.order.size(); ++i) {
       sc.order[i] = i;
       const HotNode& tn = hot[sc.sink_nodes[i]];
-      sc.sink_keys[i] =
-          la ? opt.astar_factor * la->estimate(g.node(source), tn.x_lo,
-                                               tn.y_lo)
-             : heuristic_from(sn, tn.x_lo, tn.x_hi, tn.y_lo, tn.y_hi);
+      if (timing) {
+        const double crit = timing->criticality(net_idx, i);
+        sc.sink_crit[i] = crit;
+        const double inv_spb = (1.0 - crit) * spb;
+        if (la) {
+          const RrNode& src = g.node(source);
+          const double dly =
+              delay_tab ? la->delay_estimate(src, tn.x_lo, tn.y_lo) : 0.0;
+          sc.sink_keys[i] =
+              opt.astar_factor *
+              (crit * dly + inv_spb * la->estimate(src, tn.x_lo, tn.y_lo));
+        } else {
+          sc.sink_keys[i] =
+              inv_spb * heuristic_from(sn, tn.x_lo, tn.x_hi, tn.y_lo,
+                                       tn.y_hi);
+        }
+      } else {
+        sc.sink_keys[i] =
+            la ? opt.astar_factor * la->estimate(g.node(source), tn.x_lo,
+                                                 tn.y_lo)
+               : heuristic_from(sn, tn.x_lo, tn.x_hi, tn.y_lo, tn.y_hi);
+      }
     }
+    // Timing mode routes the most critical sinks first (VPR order): the
+    // earliest searches see an almost-empty tree, so critical
+    // connections get the direct source paths and later, relaxed sinks
+    // branch around them. Congestion-only keeps the legacy near-to-far
+    // order bit-for-bit.
     std::sort(sc.order.begin(), sc.order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
+                if (timing && sc.sink_crit[a] != sc.sink_crit[b]) {
+                  return sc.sink_crit[a] > sc.sink_crit[b];
+                }
                 return sc.sink_keys[a] < sc.sink_keys[b];
               });
 
-    // Tree membership via epoch marks; seed from any pre-kept edges.
+    // Tree membership via epoch marks; seed from any pre-kept edges. In
+    // timing mode each tree node also carries its delay from the source
+    // (the same per-node stage delays the STA measures), so later sink
+    // searches start tree seeds at known = crit * delay-from-source: a
+    // critical sink no longer sees branching off a long meander as free.
     ++sc.mark_cur;
     sc.tree_nodes.clear();
     sc.tree_nodes.push_back(source);
     sc.mark[source] = sc.mark_cur;
+    if (timing) {
+      if (sc.node_tdel.size() != g.node_count()) {
+        sc.node_tdel.assign(g.node_count(), 0.0);
+      }
+      sc.node_tdel[source] = 0.0;
+    }
     for (std::size_t i = 0; i < seed_edges; ++i) {
       const RrNodeId to = out.edges[i].second;
       if (sc.mark[to] != sc.mark_cur) {
         sc.mark[to] = sc.mark_cur;
         sc.tree_nodes.push_back(to);
+        if (timing) {
+          sc.node_tdel[to] =
+              sc.node_tdel[out.edges[i].first] + node_delay[to];
+        }
       }
     }
     const std::size_t n_seed = sc.tree_nodes.size();
@@ -490,6 +591,7 @@ struct Router {
         continue;
       }
       ++sc.cnt.sink_searches;
+      const double crit = timing ? sc.sink_crit[oi] : 0.0;
       bool found;
       if (opt.verify_lookahead && la) {
         // Admissibility probe: a zero-heuristic Dijkstra on the identical
@@ -501,13 +603,13 @@ struct Router {
         // reports the ratio).
         const RouteCounters saved = sc.cnt;
         const bool ref_found =
-            search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, false);
+            search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, false, crit);
         const double ref_cost =
             ref_found ? sc.relax[target].path_cost : 0.0;
         const std::uint64_t ref_exp =
             sc.cnt.nodes_expanded - saved.nodes_expanded;
         sc.cnt = saved;
-        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true);
+        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true, crit);
         sc.cnt.verify_dijkstra_expanded += ref_exp;
         sc.cnt.verify_astar_expanded +=
             sc.cnt.nodes_expanded - saved.nodes_expanded;
@@ -525,7 +627,7 @@ struct Router {
           }
         }
       } else {
-        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true);
+        found = search_sink(sc, target, x_lo, x_hi, y_lo, y_hi, true, crit);
       }
       if (!found) {
         if (speculative) {
@@ -553,6 +655,10 @@ struct Router {
         if (sc.mark[it->second] != sc.mark_cur) {
           sc.mark[it->second] = sc.mark_cur;
           sc.tree_nodes.push_back(it->second);
+          if (timing) {
+            sc.node_tdel[it->second] =
+                sc.node_tdel[it->first] + node_delay[it->second];
+          }
           RelaxNode& rn = sc.relax[it->second];
           if (rn.ov_epoch != sc.ov_cur) {
             rn.ov_epoch = sc.ov_cur;
@@ -576,20 +682,21 @@ struct Router {
   /// was unreachable even unconstrained (graph disconnection — hard
   /// failure); kReplay (speculative only) means the serial replay must
   /// redo this net.
-  NetStatus route_net(Scratch& sc, const PlacedNet& net, RouteTree& out,
-                      std::size_t extra_bb, bool speculative) {
+  NetStatus route_net(Scratch& sc, std::size_t net_idx, const PlacedNet& net,
+                      RouteTree& out, std::size_t extra_bb,
+                      bool speculative) {
     const std::size_t cap_before = sc.capacity();
     ++sc.cnt.nets_routed;
     ++sc.ov_cur;
     // Routes outside the net bounding box are rare but legal (sparse track
     // connectivity can force a detour); retry unconstrained before giving
     // up.
-    NetStatus st =
-        route_net_bb(sc, net, out, opt.bb_margin + extra_bb, speculative);
+    NetStatus st = route_net_bb(sc, net_idx, net, out,
+                                opt.bb_margin + extra_bb, speculative);
     if (st == NetStatus::kFail && !speculative) {
       out = RouteTree{};
       ++sc.ov_cur;
-      st = route_net_bb(sc, net, out, g.nx() + g.ny(), speculative);
+      st = route_net_bb(sc, net_idx, net, out, g.nx() + g.ny(), speculative);
     }
     if (sc.capacity() != cap_before) ++sc.cnt.scratch_grows;
     return st;
@@ -729,6 +836,13 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
   // resource, freezing a conflict no cost growth can break.
   std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
 
+  // Timing-driven orchestration: the hook re-analyzes timing at the start
+  // of each iteration over exactly the nets the previous one (re)routed —
+  // the incremental-STA contract — and once more over the final trees.
+  const bool timing_on = opt.timing_driven && opt.timing_hook != nullptr;
+  std::vector<std::size_t> dirty;
+  if (timing_on) dirty.reserve(pl.nets.size());
+
   auto fail_out = [&](double t0) {
     res.success = false;
     res.overused_nodes = router.occ.overused_count();
@@ -822,6 +936,12 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
 
   for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
     res.iterations = iter;
+    if (timing_on) {
+      const double ts = wall_s();
+      opt.timing_hook->update(g, res.trees, dirty, iter);
+      dirty.clear();
+      router.cnt.t_sta_s += wall_s() - ts;
+    }
     double t0 = wall_s();
     router.begin_iteration(iter);
     router.cnt.t_bookkeep_s += wall_s() - t0;
@@ -851,12 +971,14 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
                 std::min<std::size_t>(extra_bb[n] + 2, g.nx() + g.ny());
           }
         }
-        if (router.route_net(main_sc, pl.nets[n], res.trees[n], extra_bb[n],
+        if (router.route_net(main_sc, n, pl.nets[n], res.trees[n],
+                             extra_bb[n],
                              /*speculative=*/false) != NetStatus::kOk) {
           // Hard disconnection — no amount of iteration will fix it.
           return fail_out(t0);
         }
         router.commit(res.trees[n], main_sc.seed_edges);
+        if (timing_on) dirty.push_back(n);
       }
     } else {
       // Batched mode, over the placement-time partition computed above.
@@ -901,12 +1023,13 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
           // speculation, not counted as a parallel batch. Batch width is
           // thread-count independent, so so is taking this path.
           const std::size_t n = live[0];
-          if (router.route_net(main_sc, pl.nets[n], res.trees[n],
+          if (router.route_net(main_sc, n, pl.nets[n], res.trees[n],
                                extra_bb[n], /*speculative=*/false) !=
               NetStatus::kOk) {
             return fail_out(t0);
           }
           router.commit(res.trees[n], main_sc.seed_edges);
+          if (timing_on) dirty.push_back(n);
           continue;
         }
         ++router.cnt.batches;
@@ -919,7 +1042,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
           Router::Scratch* sc = router.acquire_scratch();
           Member& m = members[i];
           m.tree = res.trees[live[i]];
-          m.st = router.route_net(*sc, pl.nets[live[i]], m.tree,
+          m.st = router.route_net(*sc, live[i], pl.nets[live[i]], m.tree,
                                   extra_bb[live[i]], /*speculative=*/true);
           m.seed_edges = sc->seed_edges;
           router.release_scratch(sc);
@@ -948,7 +1071,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
             res.trees[n] = std::move(m.tree);
           } else {
             ++router.cnt.conflict_replays;
-            if (router.route_net(main_sc, pl.nets[n], res.trees[n],
+            if (router.route_net(main_sc, n, pl.nets[n], res.trees[n],
                                  extra_bb[n], /*speculative=*/false) !=
                 NetStatus::kOk) {
               return fail_out(t0);
@@ -956,6 +1079,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
             router.mark_committed(res.trees[n], main_sc.seed_edges);
             router.commit(res.trees[n], main_sc.seed_edges);
           }
+          if (timing_on) dirty.push_back(n);
         }
       }
     }
@@ -1028,6 +1152,17 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
     router.cnt.t_bookkeep_s += wall_s() - t0;
     router.pres_fac =
         std::min(router.pres_fac * opt.pres_fac_mult, opt.pres_fac_max);
+  }
+
+  if (res.success && timing_on) {
+    // Final STA pass over the winning trees (the last iteration's reroutes
+    // have not been analyzed yet) so the reported critical path and slack
+    // describe exactly the routing being returned.
+    const double ts = wall_s();
+    opt.timing_hook->update(g, res.trees, dirty, res.iterations + 1);
+    router.cnt.t_sta_s += wall_s() - ts;
+    res.critical_path_s = opt.timing_hook->critical_path();
+    res.worst_slack_s = opt.timing_hook->worst_slack();
   }
 
   if (res.success) {
@@ -1127,6 +1262,13 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
   // applies to direct route_all calls, which is where the threads
   // actually reach it.
   probe_opt.net_parallel = false;
+  // Width probes stay congestion-only regardless of the caller's timing
+  // settings: channel width is a routability question, the hook is
+  // stateful (one route_all per instance) so probes could not share it,
+  // and iso-delay comparisons (EXPERIMENTS.md) require timing-driven and
+  // congestion-only runs to land on identical Wmin by construction.
+  probe_opt.timing_driven = false;
+  probe_opt.timing_hook = nullptr;
   if (probe_opt.astar_factor > 0.0 && !probe_opt.lookahead) {
     ArchParams a = arch;
     a.W = std::max<std::size_t>(2, w_hint);

@@ -10,12 +10,11 @@
 #include <memory>
 #include <vector>
 
+#include "arch/lookahead.hpp"
 #include "arch/rr_graph.hpp"
 #include "place/place.hpp"
 
 namespace nemfpga {
-
-class RouteLookahead;
 
 /// Routed tree of one net: directed RR edges from the source out to every
 /// sink (parent-before-child order).
@@ -23,6 +22,44 @@ struct RouteTree {
   RrNodeId source = kNoRrNode;
   std::vector<std::pair<RrNodeId, RrNodeId>> edges;  ///< (from, to).
   std::vector<RrNodeId> sinks;                       ///< Reached SINK nodes.
+};
+
+/// Timing feedback for the timing-driven router. The router sits below
+/// the timing layer in the library graph (nf_timing links nf_route), so
+/// it talks to STA through this interface: the production implementation
+/// is the incremental STA of src/timing/sta.hpp (make_incremental_sta);
+/// src/verify/ has a naive full-recompute transcription for differential
+/// testing. Lifecycle: route_all calls update() serially at the start of
+/// every PathFinder iteration with the nets (re)routed in the previous
+/// one; between updates every query method must be a pure const read —
+/// worker threads call criticality() concurrently during batched routing.
+/// A hook instance is stateful and serves exactly one route_all call.
+class RouterTimingHook {
+ public:
+  virtual ~RouterTimingHook() = default;
+  /// Per-RR-node delay [s] of entering each node (node_count entries,
+  /// from the unified delay model — timing/delay_model.hpp).
+  virtual const double* node_delay() const = 0;
+  /// Seconds one unit of router base cost is worth in the blended cost
+  /// (the units bridge between congestion cost and delay).
+  virtual double sec_per_base() const = 0;
+  /// Constants for the delay-annotated lookahead table.
+  virtual DelayProfile delay_profile() const = 0;
+  /// Re-evaluate timing over `trees`. `dirty` lists the nets (re)routed
+  /// since the previous update (their trees changed; every other tree
+  /// must be unchanged). iteration 1 precedes any routing: seed the
+  /// criticalities from the placement estimate instead.
+  virtual void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+                      const std::vector<std::size_t>& dirty,
+                      std::size_t iteration) = 0;
+  /// Criticality in [0, max_criticality] of the connection from `net`'s
+  /// driver to its sink_slot-th sink block (PlacedNet::sinks order).
+  virtual double criticality(std::size_t net,
+                             std::size_t sink_slot) const = 0;
+  virtual double critical_path() const = 0;  ///< [s] after last update.
+  virtual double worst_slack() const = 0;    ///< [s] over connections.
+  virtual std::uint64_t net_evals() const = 0;      ///< Net delay evals.
+  virtual std::uint64_t block_updates() const = 0;  ///< Block recomputes.
 };
 
 struct RouteOptions {
@@ -73,6 +110,25 @@ struct RouteOptions {
   /// conflicted and re-routed through the serial replay path, exercising
   /// the conflict-resolution machinery on demand. 0 = off.
   std::size_t debug_replay_every = 0;
+  /// Timing-driven mode (classic VPR blend): entering a node costs
+  /// crit * node_delay + (1 - crit) * congestion_cost * sec_per_base,
+  /// with per-connection criticalities fed back by timing_hook's
+  /// incremental STA each iteration. Off by default — the default
+  /// congestion-only mode stays bit-identical to the golden fixtures.
+  /// Requires timing_hook; without one the router runs congestion-only.
+  bool timing_driven = false;
+  /// Criticality sharpening exponent (VPR's criticality_exp): consumed
+  /// by the timing hook when shaping slacks into criticalities.
+  double criticality_exp = 1.0;
+  /// Criticality clamp < 1 so the congestion term never fully vanishes
+  /// and PathFinder negotiation keeps working on critical connections.
+  double max_criticality = 0.99;
+  /// Timing feedback provider (borrowed, not owned; stateful — one
+  /// route_all call per instance). run_flow wires the incremental STA
+  /// from src/timing/sta.hpp; find_min_channel_width force-clears it so
+  /// Wmin probes stay congestion-only (channel width is a routability
+  /// question, and iso-delay comparisons require identical Wmin).
+  RouterTimingHook* timing_hook = nullptr;
   /// Test hook: precede every A* sink search with a zero-heuristic
   /// Dijkstra on the identical cost state and count sinks the directed
   /// search found at worse cost (RouteCounters::lookahead_suboptimal —
@@ -118,9 +174,16 @@ struct RouteCounters {
   /// reference work is excluded from nodes_expanded/heap_* above.
   std::uint64_t verify_dijkstra_expanded = 0;
   std::uint64_t verify_astar_expanded = 0;
+  /// Timing-driven mode only: net delay evaluations the incremental STA
+  /// performed (== total dirty-net count over all updates; a full
+  /// recompute per iteration would cost nets * iterations) and STA block
+  /// recomputes across the levelized forward/backward passes.
+  std::uint64_t sta_net_evals = 0;
+  std::uint64_t sta_block_updates = 0;
   double t_search_s = 0.0;   ///< Wall time in the per-net search loop.
   double t_bookkeep_s = 0.0; ///< Cost-cache rebuild + history updates.
   double t_lookahead_build_s = 0.0;  ///< Lookahead table construction.
+  double t_sta_s = 0.0;      ///< Incremental STA updates (timing mode).
 };
 
 struct RoutingResult {
@@ -133,6 +196,12 @@ struct RoutingResult {
   /// Wire statistics for the power/area models.
   std::size_t wire_segments_used = 0;
   double total_wire_tiles = 0.0;
+
+  /// Timing-driven mode only (0 otherwise): post-route critical path and
+  /// worst connection slack from the timing hook's final update over the
+  /// successful trees.
+  double critical_path_s = 0.0;
+  double worst_slack_s = 0.0;
 };
 
 /// Route all placed nets. Returns success=false if congestion persists

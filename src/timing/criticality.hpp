@@ -1,0 +1,39 @@
+// Shared criticality shaping — the single formula every consumer of a
+// slack uses (timing-driven placement, the timing-driven router's cost
+// blend, the incremental STA and the verify oracles). VPR's classic
+// definition: crit = (1 - slack / d_max), clamped into [0, max_crit] and
+// sharpened by an exponent so near-critical connections dominate the
+// blend while slack-rich ones stay congestion-driven.
+//
+// Header-only on purpose: placement sits below timing in the library
+// graph (nf_place cannot link nf_timing), but both must share one source
+// of truth for the formula.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace nemfpga {
+
+/// Shape an already-normalized criticality value into [0, max_crit] with
+/// the sharpening exponent. The pow is skipped at exponent 1 so the
+/// default path stays a pure clamp (bit-compatible with the historical
+/// placement formula).
+inline double shaped_criticality(double crit, double max_crit = 1.0,
+                                 double crit_exp = 1.0) {
+  double c = std::clamp(crit, 0.0, max_crit);
+  if (crit_exp != 1.0) c = std::pow(c, crit_exp);
+  return c;
+}
+
+/// Criticality of a connection with the given slack under a critical path
+/// of d_max: clamp(1 - slack / d_max) ^ crit_exp. d_max <= 0 (no timed
+/// paths at all) makes every connection non-critical.
+inline double criticality_from_slack(double slack, double d_max,
+                                     double max_crit = 1.0,
+                                     double crit_exp = 1.0) {
+  if (d_max <= 0.0) return 0.0;
+  return shaped_criticality(1.0 - slack / d_max, max_crit, crit_exp);
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,22 @@
+#include "timing/delay_model.hpp"
+
+#include <algorithm>
+
+namespace nemfpga {
+
+DelayModel make_delay_model(const RrGraph& g, const ElectricalView& view) {
+  DelayModel m;
+  m.profile = {view.t_wire_stage, view.t_input_path};
+  m.t_source = view.t_output_path;
+  m.sec_per_base =
+      view.t_wire_stage /
+      static_cast<double>(std::max<std::size_t>(1, g.arch().L));
+  const std::size_t n = g.node_count();
+  m.node_delay.resize(n);
+  for (RrNodeId i = 0; i < n; ++i) {
+    m.node_delay[i] = route_delay_cost(g.node(i), m.profile);
+  }
+  return m;
+}
+
+}  // namespace nemfpga

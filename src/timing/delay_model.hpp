@@ -1,0 +1,44 @@
+// The unified delay layer: one place that turns the active electrical
+// view (relay Ron/Con vs NMOS pass gate, Sec 3 of the paper) into the
+// per-RR-node delays every timing consumer shares — the incremental STA
+// seeds net delays from them (via routed_net_delays), the timing-driven
+// PathFinder charges them in its blended cost, and the delay-annotated
+// lookahead table lower-bounds them for directed search. Before this
+// layer the flow carried three disconnected delay models (placement
+// proxy, router base costs, post-route STA); now the router and STA
+// literally read the same numbers.
+#pragma once
+
+#include <vector>
+
+#include "arch/lookahead.hpp"
+#include "arch/rr_graph.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+
+/// Per-RR-node delays of one (graph, electrical view) pair.
+struct DelayModel {
+  /// Delay of *entering* each node [s] (parallel to the RR graph):
+  /// CHANX/CHANY pay one buffered wire stage, IPIN pays the connection
+  /// box + crossbar input path, everything else is free — exactly the
+  /// accumulation routed_net_delays performs, so a tree's delay is
+  /// t_source + sum(node_delay over the tree path).
+  std::vector<double> node_delay;
+  /// Constant source stage (LUT/FF output -> wire driver mux input).
+  /// Identical for every path of a net, so the router omits it from the
+  /// search and the STA adds it when evaluating routed trees.
+  double t_source = 0.0;
+  /// Seconds one unit of router base cost is worth: the units bridge of
+  /// the blended cost crit * delay + (1 - crit) * congestion * spb.
+  /// Chosen as t_wire_stage / L so a full-length wire's congestion cost
+  /// equals its delay and the two blend halves share a scale.
+  double sec_per_base = 0.0;
+  /// The two constants the delay-annotated lookahead table needs.
+  DelayProfile profile;
+};
+
+/// Derive the delay model of `view` over `g`.
+DelayModel make_delay_model(const RrGraph& g, const ElectricalView& view);
+
+}  // namespace nemfpga

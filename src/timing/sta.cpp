@@ -1,10 +1,13 @@
 #include "timing/sta.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "timing/criticality.hpp"
+#include "timing/delay_model.hpp"
 #include "verify/check.hpp"
 
 namespace nemfpga {
@@ -203,6 +206,382 @@ TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
     }
   }
   return result;
+}
+
+namespace {
+
+/// The production RouterTimingHook: analyze_timing's arrival model made
+/// incremental. State per netlist block:
+///   arr[b]   — output arrival time (analyze_timing semantics exactly:
+///              PI = 0, latch Q = t_clk_q, LUT = max fan-in + t_lut);
+///   down[b]  — longest downstream delay from b's output pin to any
+///              timing endpoint through combinational logic only
+///              (the required-time recurrence rewritten so d_max does not
+///              appear in it — required = d_max - down — which is what
+///              makes it incrementally maintainable: a changed net delay
+///              never invalidates the whole backward array just because
+///              the critical path moved).
+/// When net n is re-routed only the arcs of n change, so exactly n's LUT
+/// sinks (forward) and n's driver (backward) can change, and changes
+/// propagate along combinational edges only. Blocks are re-evaluated in
+/// LUT-level order (forward ascending, backward descending) via
+/// epoch-stamped buckets; every touched block is *fully* recomputed from
+/// its current fan-in/fan-out, so the result is independent of which nets
+/// were dirty — bit-identical to a full recompute.
+class IncrementalSta final : public RouterTimingHook {
+ public:
+  IncrementalSta(const Netlist& nl, const Packing& pack, const Placement& pl,
+                 const RrGraph& g, const ElectricalView& view,
+                 double criticality_exp, double max_criticality)
+      : nl_(nl),
+        pack_(pack),
+        pl_(pl),
+        view_(view),
+        model_(make_delay_model(g, view)),
+        crit_exp_(criticality_exp),
+        max_crit_(max_criticality) {
+    const std::size_t blocks = nl.block_count();
+
+    net_to_placed_.assign(nl.net_count(), kInvalidId);
+    for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+      net_to_placed_[pl.nets[i].net] = i;
+    }
+    sink_delay_.resize(pl.nets.size());
+
+    // Connection CSR: each (net, sink_slot) of the placed netlist maps to
+    // the netlist sink blocks it carries (the slot's packed block may
+    // absorb several LUT/latch/PO consumers).
+    slot_base_.assign(pl.nets.size() + 1, 0);
+    for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+      slot_base_[i + 1] = slot_base_[i] + pl.nets[i].sinks.size();
+    }
+    const std::size_t slots = slot_base_.back();
+    crit_.assign(slots, 0.0);
+    conn_off_.assign(slots + 1, 0);
+    for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+      const PlacedNet& pn = pl.nets[i];
+      for (BlockId s : nl.net(pn.net).sinks) {
+        const std::size_t owner = pack.block_owner[s];
+        if (owner == pn.driver) continue;  // local feedback, not routed
+        const std::size_t j = slot_of(pn, owner);
+        ++conn_off_[slot_base_[i] + j + 1];
+      }
+    }
+    for (std::size_t k = 1; k <= slots; ++k) conn_off_[k] += conn_off_[k - 1];
+    conn_sink_.resize(conn_off_.back());
+    {
+      std::vector<std::uint32_t> fill(conn_off_.begin(), conn_off_.end() - 1);
+      for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+        const PlacedNet& pn = pl.nets[i];
+        for (BlockId s : nl.net(pn.net).sinks) {
+          const std::size_t owner = pack.block_owner[s];
+          if (owner == pn.driver) continue;
+          const std::size_t j = slot_of(pn, owner);
+          conn_sink_[fill[slot_base_[i] + j]++] = s;
+        }
+      }
+    }
+
+    // LUT levels (1 + max combinational fan-in level; non-LUT = 0) for
+    // the bucketed propagation order, via the same ready-stack topo pass
+    // the rest of the flow uses.
+    level_.assign(blocks, 0);
+    std::vector<std::size_t> pending(blocks, 0);
+    std::vector<BlockId> ready;
+    for (BlockId b = 0; b < blocks; ++b) {
+      const Block& blk = nl.block(b);
+      if (blk.type != BlockType::kLut) continue;
+      std::size_t comb = 0;
+      for (NetId n : blk.inputs) {
+        if (nl.block(nl.net(n).driver).type == BlockType::kLut) ++comb;
+      }
+      pending[b] = comb;
+      if (comb == 0) ready.push_back(b);
+    }
+    std::size_t max_level = 0;
+    while (!ready.empty()) {
+      const BlockId b = ready.back();
+      ready.pop_back();
+      const Block& blk = nl.block(b);
+      std::size_t lv = 1;
+      for (NetId n : blk.inputs) {
+        const BlockId d = nl.net(n).driver;
+        if (nl.block(d).type == BlockType::kLut) {
+          lv = std::max(lv, level_[d] + 1);
+        }
+      }
+      level_[b] = lv;
+      max_level = std::max(max_level, lv);
+      for (BlockId sk : nl.net(blk.output).sinks) {
+        if (nl.block(sk).type == BlockType::kLut && pending[sk] > 0) {
+          if (--pending[sk] == 0) ready.push_back(sk);
+        }
+      }
+    }
+    fwd_bucket_.resize(max_level + 1);
+    bwd_bucket_.resize(max_level + 1);
+    fwd_stamp_.assign(blocks, 0);
+    bwd_stamp_.assign(blocks, 0);
+    net_stamp_.assign(pl.nets.size(), 0);
+
+    arr_.assign(blocks, 0.0);
+    down_.assign(blocks, 0.0);
+    for (BlockId b = 0; b < blocks; ++b) {
+      if (nl.block(b).type == BlockType::kLatch) arr_[b] = view.t_clk_q;
+    }
+  }
+
+  const double* node_delay() const override {
+    return model_.node_delay.data();
+  }
+  double sec_per_base() const override { return model_.sec_per_base; }
+  DelayProfile delay_profile() const override { return model_.profile; }
+
+  void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+              const std::vector<std::size_t>& dirty,
+              std::size_t iteration) override {
+    if (iteration <= 1) {
+      // No routed trees yet: seed criticalities from the placement-based
+      // estimate the timing-driven annealer uses, shaped the same way the
+      // routed criticalities will be.
+      if (seed_crit_.empty()) {
+        seed_crit_ = placement_net_criticality(nl_, pl_.nets, pl_.locs);
+        for (double& c : seed_crit_) {
+          c = shaped_criticality(c, max_crit_, crit_exp_);
+        }
+      }
+      return;
+    }
+
+    ++epoch_;
+    // The first real update establishes the whole timing state; after
+    // that only the dirty nets' fan-out cones are touched.
+    const bool full = !have_timing_;
+    auto refresh_net = [&](std::size_t i) {
+      routed_net_delays(g, trees[i], pl_.nets[i], pl_, view_, scratch_,
+                        sink_delay_[i]);
+      ++net_evals_;
+      // Forward: the changed arcs feed this net's combinational sinks.
+      for (std::uint32_t k = conn_off_[slot_base_[i]];
+           k < conn_off_[slot_base_[i + 1]]; ++k) {
+        const BlockId s = conn_sink_[k];
+        if (nl_.block(s).type == BlockType::kLut) enqueue_fwd(s);
+      }
+      // Backward: they also appear in the driver's downstream delay.
+      enqueue_bwd(nl_.net(pl_.nets[i].net).driver);
+    };
+    if (full) {
+      for (std::size_t i = 0; i < pl_.nets.size(); ++i) refresh_net(i);
+      for (BlockId b = 0; b < nl_.block_count(); ++b) {
+        if (nl_.block(b).type == BlockType::kLut) enqueue_fwd(b);
+        if (nl_.block(b).output != kInvalidId) enqueue_bwd(b);
+      }
+      have_timing_ = true;
+    } else {
+      for (std::size_t i : dirty) {
+        if (net_stamp_[i] == epoch_) continue;  // tolerate duplicates
+        net_stamp_[i] = epoch_;
+        refresh_net(i);
+      }
+    }
+
+    // Forward arrival propagation, LUT-level ascending (a LUT's
+    // combinational sinks always sit at a strictly higher level).
+    for (std::size_t lv = 0; lv < fwd_bucket_.size(); ++lv) {
+      for (std::size_t qi = 0; qi < fwd_bucket_[lv].size(); ++qi) {
+        const BlockId b = fwd_bucket_[lv][qi];
+        ++block_updates_;
+        const Block& blk = nl_.block(b);
+        double arr = 0.0;
+        for (NetId n : blk.inputs) {
+          arr = std::max(arr, arr_[nl_.net(n).driver] + net_arc(n, b));
+        }
+        arr += view_.t_lut;
+        if (arr != arr_[b]) {
+          arr_[b] = arr;
+          for (BlockId sk : nl_.net(blk.output).sinks) {
+            if (nl_.block(sk).type == BlockType::kLut) enqueue_fwd(sk);
+          }
+        }
+      }
+      fwd_bucket_[lv].clear();
+    }
+
+    // Backward downstream-delay propagation, LUT-level descending (a
+    // block's combinational fan-in drivers always sit strictly lower).
+    for (std::size_t lv = bwd_bucket_.size(); lv-- > 0;) {
+      for (std::size_t qi = 0; qi < bwd_bucket_[lv].size(); ++qi) {
+        const BlockId b = bwd_bucket_[lv][qi];
+        ++block_updates_;
+        const Block& blk = nl_.block(b);
+        double down = 0.0;
+        for (BlockId s : nl_.net(blk.output).sinks) {
+          down = std::max(down, net_arc(blk.output, s) + down_in(s));
+        }
+        if (down != down_[b] && blk.type == BlockType::kLut) {
+          // Registers cut timing paths: only LUT down-values feed upward.
+          for (NetId n : blk.inputs) {
+            const BlockId d = nl_.net(n).driver;
+            if (nl_.block(d).output != kInvalidId) enqueue_bwd(d);
+          }
+        }
+        down_[b] = down;
+      }
+      bwd_bucket_[lv].clear();
+    }
+
+    // Critical path by full endpoint sweep (exactly analyze_timing's
+    // capture expressions, so critical_path() matches it bitwise).
+    double cp = 0.0;
+    for (BlockId b = 0; b < nl_.block_count(); ++b) {
+      const Block& blk = nl_.block(b);
+      if (blk.type == BlockType::kLatch) {
+        const NetId d = blk.inputs[0];
+        cp = std::max(cp, arr_[nl_.net(d).driver] + net_arc(d, b) +
+                              view_.t_setup);
+      } else if (blk.type == BlockType::kOutput) {
+        const NetId n = blk.inputs[0];
+        cp = std::max(cp, arr_[nl_.net(n).driver] + net_arc(n, b));
+      }
+    }
+    d_max_ = cp;
+
+    // Per-connection criticalities: worst endpoint arrival through each
+    // (net, sink_slot), shaped into [0, max_criticality]. O(connections),
+    // cheap next to a routing iteration; the incremental machinery above
+    // is what keeps the per-iteration *net delay* work proportional to
+    // the rip-up set.
+    double max_path = 0.0;
+    for (std::size_t i = 0; i < pl_.nets.size(); ++i) {
+      const PlacedNet& pn = pl_.nets[i];
+      const double arr_drv = arr_[nl_.net(pn.net).driver];
+      for (std::size_t j = 0; j < pn.sinks.size(); ++j) {
+        const std::size_t slot = slot_base_[i] + j;
+        double worst = 0.0;
+        for (std::uint32_t k = conn_off_[slot]; k < conn_off_[slot + 1];
+             ++k) {
+          worst = std::max(worst, arr_drv + sink_delay_[i][j] +
+                                      down_in(conn_sink_[k]));
+        }
+        crit_[slot] =
+            criticality_from_slack(d_max_ - worst, d_max_, max_crit_,
+                                   crit_exp_);
+        max_path = std::max(max_path, worst);
+      }
+    }
+    worst_slack_ = d_max_ - max_path;
+  }
+
+  double criticality(std::size_t net, std::size_t sink_slot) const override {
+    if (!have_timing_) {
+      return seed_crit_.empty() ? 0.0 : seed_crit_[net];
+    }
+    return crit_[slot_base_[net] + sink_slot];
+  }
+  double critical_path() const override { return d_max_; }
+  double worst_slack() const override { return worst_slack_; }
+  std::uint64_t net_evals() const override { return net_evals_; }
+  std::uint64_t block_updates() const override { return block_updates_; }
+
+ private:
+  static std::size_t slot_of(const PlacedNet& pn, std::size_t owner) {
+    const auto it =
+        std::lower_bound(pn.sinks.begin(), pn.sinks.end(), owner);
+    if (it == pn.sinks.end() || *it != owner) {
+      throw std::logic_error("IncrementalSta: sink owner not in placed net");
+    }
+    return static_cast<std::size_t>(it - pn.sinks.begin());
+  }
+
+  /// analyze_timing's net_arc, reading the incrementally maintained
+  /// per-net sink delays (same expressions, same values).
+  double net_arc(NetId n, BlockId sink_blk) const {
+    const std::size_t placed = net_to_placed_[n];
+    if (placed == kInvalidId) {
+      const Net& net = nl_.net(n);
+      if (net.sinks.size() == 1) {
+        const Block& s = nl_.block(net.sinks[0]);
+        const Block& d = nl_.block(net.driver);
+        if (s.type == BlockType::kLatch && d.type == BlockType::kLut) {
+          return 0.0;  // fused BLE register
+        }
+      }
+      return view_.t_local_feedback;
+    }
+    const PlacedNet& pn = pl_.nets[placed];
+    const std::size_t owner = pack_.block_owner[sink_blk];
+    const auto it =
+        std::lower_bound(pn.sinks.begin(), pn.sinks.end(), owner);
+    if (it != pn.sinks.end() && *it == owner) {
+      return sink_delay_[placed][static_cast<std::size_t>(
+          it - pn.sinks.begin())];
+    }
+    return view_.t_local_feedback;  // same-cluster sink of a global net
+  }
+
+  /// Delay from arriving at sink block `s`'s input to the worst timing
+  /// endpoint at or beyond it.
+  double down_in(BlockId s) const {
+    switch (nl_.block(s).type) {
+      case BlockType::kLut:
+        return view_.t_lut + down_[s];
+      case BlockType::kLatch:
+        return view_.t_setup;
+      default:
+        return 0.0;  // primary output capture
+    }
+  }
+
+  void enqueue_fwd(BlockId b) {
+    if (fwd_stamp_[b] == epoch_) return;
+    fwd_stamp_[b] = epoch_;
+    fwd_bucket_[level_[b]].push_back(b);
+  }
+  void enqueue_bwd(BlockId b) {
+    if (bwd_stamp_[b] == epoch_) return;
+    bwd_stamp_[b] = epoch_;
+    bwd_bucket_[level_[b]].push_back(b);
+  }
+
+  const Netlist& nl_;
+  const Packing& pack_;
+  const Placement& pl_;
+  const ElectricalView view_;  // by value: outlives any caller temporary
+  const DelayModel model_;
+  const double crit_exp_;
+  const double max_crit_;
+
+  std::vector<std::size_t> net_to_placed_;
+  std::vector<std::vector<double>> sink_delay_;  ///< Per placed net/slot.
+  std::vector<std::size_t> slot_base_;           ///< Net -> first slot.
+  std::vector<std::uint32_t> conn_off_;  ///< Slot -> conn_sink_ range.
+  std::vector<BlockId> conn_sink_;       ///< Netlist sinks per slot.
+  std::vector<std::size_t> level_;       ///< LUT level (non-LUT = 0).
+
+  std::vector<double> arr_;   ///< Block output arrival [s].
+  std::vector<double> down_;  ///< Downstream delay from output pin [s].
+  std::vector<double> crit_;  ///< Per-slot criticality (last update).
+  std::vector<double> seed_crit_;  ///< Placement-based, pre-routing.
+  double d_max_ = 0.0;
+  double worst_slack_ = 0.0;
+  bool have_timing_ = false;
+
+  std::vector<std::vector<BlockId>> fwd_bucket_, bwd_bucket_;
+  std::vector<std::uint32_t> fwd_stamp_, bwd_stamp_, net_stamp_;
+  std::uint32_t epoch_ = 0;
+  NetDelayScratch scratch_;
+  std::uint64_t net_evals_ = 0;
+  std::uint64_t block_updates_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RouterTimingHook> make_incremental_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality) {
+  return std::make_unique<IncrementalSta>(nl, pack, pl, g, view,
+                                          criticality_exp, max_criticality);
 }
 
 }  // namespace nemfpga

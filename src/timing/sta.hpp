@@ -5,6 +5,7 @@
 // path is the max register-to-register / PI-to-PO path delay.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "arch/rr_graph.hpp"
@@ -50,5 +51,20 @@ TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
                             const Placement& pl, const RrGraph& g,
                             const RoutingResult& routing,
                             const ElectricalView& view);
+
+/// Incremental STA as a router timing hook (the production implementation
+/// of route::RouterTimingHook): per-connection criticalities fed back to
+/// the timing-driven PathFinder every iteration, re-evaluating only the
+/// nets the previous iteration ripped up and propagating arrival /
+/// downstream-delay changes through epoch-stamped levelized updates. The
+/// propagated state is bit-identical to a full recompute (every touched
+/// block is fully re-evaluated from its fan-in, and max is
+/// order-independent), which tests/prop/prop_sta_incremental.cpp checks
+/// against a naive full-recompute oracle. `view` is copied; nl / pack /
+/// pl must outlive the hook. One route_all call per instance.
+std::unique_ptr<RouterTimingHook> make_incremental_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality);
 
 }  // namespace nemfpga

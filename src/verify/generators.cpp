@@ -20,6 +20,8 @@ std::string DesignCase::describe() const {
      << " astar=" << route.astar_fac << " la=" << route.astar_factor
      << " par=" << route.net_parallel << " bb=" << route.bb_margin
      << " incr=" << route.incremental << " prune=" << route.prune_ripup
+     << " td=" << route.timing_driven << " cexp=" << route.criticality_exp
+     << " mcrit=" << route.max_criticality
      << "} place{seed=" << place_seed << " inner=" << place_inner_num << "}";
   return os.str();
 }
@@ -52,6 +54,13 @@ DesignCase gen_design_case(Rng& rng) {
   c.route.bb_margin = 1 + rng.uniform_int(4);
   c.route.incremental = rng.chance(0.8);
   c.route.prune_ripup = rng.chance(0.25);
+  // Timing-driven blend: off most of the time (the congestion-only
+  // contract keeps its coverage), else random criticality shaping. The
+  // property harness constructs the hooks (one per router — they are
+  // stateful) from the built design; timing_hook stays null here.
+  c.route.timing_driven = rng.chance(0.35);
+  c.route.criticality_exp = 1.0 + 0.5 * rng.uniform_int(5);  // 1.0..3.0
+  c.route.max_criticality = rng.chance(0.5) ? 0.99 : 0.999;
 
   c.place_seed = 1 + rng.uniform_int(1 << 20);
   c.place_inner_num = 0.1;
@@ -92,6 +101,14 @@ std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
   }
   if (!c.route.incremental) {
     push([&](DesignCase& s) { s.route.incremental = true; });
+  }
+  // Shrink toward the congestion-only router first: a reproducer that
+  // survives timing_driven=false exonerates the whole timing layer.
+  if (c.route.timing_driven) {
+    push([&](DesignCase& s) { s.route.timing_driven = false; });
+  }
+  if (c.route.criticality_exp != 1.0) {
+    push([&](DesignCase& s) { s.route.criticality_exp = 1.0; });
   }
   // Shrink toward the legacy serial router: fewer moving parts in the
   // reproducer when the A* table or the batch scheduler is not at fault.

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,19 @@ TimingResult reference_analyze_timing(const Netlist& nl, const Packing& pack,
                                       const Placement& pl, const RrGraph& g,
                                       const RoutingResult& routing,
                                       const ElectricalView& view);
+
+/// Naive full-recompute router timing hook: the oracle twin of
+/// make_incremental_sta. Every update() re-evaluates every net delay and
+/// rebuilds arrival / downstream-delay arrays by memoized recursion with
+/// the incremental pass's exact arc expressions, so criticality(),
+/// critical_path() and worst_slack() must agree with the production hook
+/// *bitwise* after any update sequence (incremental full-recompute
+/// equivalence — pinned by tests/prop/prop_sta_incremental.cpp). Also
+/// stateful; hand each router under differential test its own instance.
+std::unique_ptr<RouterTimingHook> make_reference_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality);
 
 /// Plain serial Monte-Carlo yield loop (no thread pool, no deferred
 /// reduction); the parallel programming_yield must match it bit-for-bit

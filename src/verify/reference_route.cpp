@@ -41,6 +41,13 @@ struct RefRouter {
   /// must be transcribed bit-exactly or the searches tie-break apart.
   std::shared_ptr<const RouteLookahead> la;
 
+  /// Timing-driven transcription: the same borrowed RouterTimingHook the
+  /// production router consumes (null when congestion-only). The hook is
+  /// stateful, so a differential run hands each router its own instance.
+  RouterTimingHook* const timing;
+  const double* node_delay = nullptr;  ///< Per-node entering delay [s].
+  double spb = 0.0;                    ///< Seconds per unit base cost.
+
   struct QItem {
     double cost;
     double known;
@@ -50,7 +57,8 @@ struct RefRouter {
 
   RefRouter(const RrGraph& graph, const Placement& placement,
             const RouteOptions& options)
-      : g(graph), pl(placement), opt(options) {
+      : g(graph), pl(placement), opt(options),
+        timing(options.timing_driven ? options.timing_hook : nullptr) {
     const std::size_t n = g.node_count();
     cap.resize(n);
     occ.assign(n, 0);
@@ -63,8 +71,19 @@ struct RefRouter {
     }
     pres_fac = opt.first_iter_pres_fac;
     if (opt.astar_factor > 0.0) {
-      la = opt.lookahead ? opt.lookahead
-                         : std::make_shared<const RouteLookahead>(g);
+      if (opt.lookahead) {
+        la = opt.lookahead;
+      } else if (timing) {
+        // Delay-annotated twin table, like the production constructor.
+        const DelayProfile prof = timing->delay_profile();
+        la = std::make_shared<const RouteLookahead>(g, &prof);
+      } else {
+        la = std::make_shared<const RouteLookahead>(g);
+      }
+    }
+    if (timing) {
+      node_delay = timing->node_delay();
+      spb = timing->sec_per_base();
     }
   }
 
@@ -109,10 +128,22 @@ struct RefRouter {
     return cost[id] * (1.0 + over * pres_fac);
   }
 
-  double heuristic(RrNodeId from, RrNodeId to) const {
+  double heuristic(RrNodeId from, RrNodeId to, double crit) const {
     const RrNode& a = g.node(from);
     const RrNode& b = g.node(to);
     if (la) {
+      if (timing) {
+        // Blended halves with the relaxation weights, transcribed from
+        // the production h_of: the delay half reads the lookahead's delay
+        // twin table (zero when a caller-shared table lacks one, exactly
+        // the production delay_tab null check).
+        const double dly = la->has_delay_table()
+                               ? la->delay_estimate(a, b.x_lo, b.y_lo)
+                               : 0.0;
+        return opt.astar_factor *
+               (crit * dly +
+                (1.0 - crit) * spb * la->estimate(a, b.x_lo, b.y_lo));
+      }
       // A* key: lookahead table at the target sink's tile, weighted by
       // astar_factor — the exact expression the production search core
       // evaluates through its folded HotNode::la_key.
@@ -125,7 +156,10 @@ struct RefRouter {
     };
     const int dx = clampdist(a.x_lo, a.x_hi, b.x_lo, b.x_hi);
     const int dy = clampdist(a.y_lo, a.y_hi, b.y_lo, b.y_hi);
-    return opt.astar_fac * static_cast<double>(dx + dy);
+    const double h = opt.astar_fac * static_cast<double>(dx + dy);
+    // Manhattan distance bounds base cost, not delay: blend only the
+    // congestion half (the production search core does the same).
+    return timing ? (1.0 - crit) * spb * h : h;
   }
 
   /// `eff_seed` (when asked for) reports how many leading edges of the
@@ -133,20 +167,20 @@ struct RefRouter {
   /// when the unconstrained retry rebuilt the tree from scratch. The
   /// batched commit stage marks exactly the non-seed nodes, mirroring the
   /// production Scratch::seed_edges accounting.
-  bool route_net(const PlacedNet& net, RouteTree& out, std::size_t extra_bb,
-                 std::size_t* eff_seed = nullptr) {
+  bool route_net(std::size_t net_idx, const PlacedNet& net, RouteTree& out,
+                 std::size_t extra_bb, std::size_t* eff_seed = nullptr) {
     std::size_t seed = out.edges.size();
-    bool ok = route_net_bb(net, out, opt.bb_margin + extra_bb);
+    bool ok = route_net_bb(net_idx, net, out, opt.bb_margin + extra_bb);
     if (!ok) {
       out = RouteTree{};
       seed = 0;
-      ok = route_net_bb(net, out, g.nx() + g.ny());
+      ok = route_net_bb(net_idx, net, out, g.nx() + g.ny());
     }
     if (eff_seed) *eff_seed = seed;
     return ok;
   }
 
-  bool route_net_bb(const PlacedNet& net, RouteTree& out,
+  bool route_net_bb(std::size_t net_idx, const PlacedNet& net, RouteTree& out,
                     std::size_t bb_margin) {
     const BlockLoc& dloc = pl.locs[net.driver];
     const RrNodeId source = g.site(dloc.x, dloc.y).source;
@@ -176,23 +210,41 @@ struct RefRouter {
              static_cast<int>(n.y_lo) <= y_hi;
     };
 
-    // Sink order: near-to-far from the driver (same keys, same sort).
+    // Sink order: near-to-far from the driver (same keys, same sort); in
+    // timing mode the per-connection criticalities are fetched here and
+    // the most critical sinks route first, with the legacy near-to-far
+    // key breaking criticality ties — both transcribed from route_net_bb.
     std::vector<std::uint32_t> order(sink_nodes.size());
     std::vector<double> sink_keys(sink_nodes.size());
+    std::vector<double> sink_crit;
+    if (timing) sink_crit.resize(sink_nodes.size());
     for (std::uint32_t i = 0; i < order.size(); ++i) {
       order[i] = i;
-      sink_keys[i] = heuristic(source, sink_nodes[i]);
+      const double crit = timing ? timing->criticality(net_idx, i) : 0.0;
+      if (timing) sink_crit[i] = crit;
+      sink_keys[i] = heuristic(source, sink_nodes[i], crit);
     }
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
+                if (timing && sink_crit[a] != sink_crit[b]) {
+                  return sink_crit[a] > sink_crit[b];
+                }
                 return sink_keys[a] < sink_keys[b];
               });
 
+    // Tree membership plus, in timing mode, each tree node's delay from
+    // the source (a plain map standing in for the production
+    // Scratch::node_tdel arena), so later searches seed the tree at
+    // known = crit * delay-from-source.
     std::vector<RrNodeId> tree_nodes{source};
     std::unordered_set<RrNodeId> in_tree{source};
+    std::unordered_map<RrNodeId, double> tdel;
+    if (timing) tdel[source] = 0.0;
     for (const auto& [from, to] : out.edges) {
-      (void)from;
-      if (in_tree.insert(to).second) tree_nodes.push_back(to);
+      if (in_tree.insert(to).second) {
+        tree_nodes.push_back(to);
+        if (timing) tdel[to] = tdel.at(from) + node_delay[to];
+      }
     }
 
     std::vector<QItem> heap;
@@ -202,14 +254,17 @@ struct RefRouter {
         out.sinks.push_back(target);
         continue;
       }
+      const double crit = timing ? sink_crit[oi] : 0.0;
+      const double inv_spb = timing ? (1.0 - crit) * spb : 0.0;
       // Per-search relaxation state: plain hash maps.
       std::unordered_map<RrNodeId, double> path_cost;
       std::unordered_map<RrNodeId, RrNodeId> prev;
       heap.clear();
       for (RrNodeId n : tree_nodes) {
-        path_cost[n] = 0.0;
+        const double known = timing ? crit * tdel.at(n) : 0.0;
+        path_cost[n] = known;
         prev[n] = kNoRrNode;
-        heap.push_back({heuristic(n, target), 0.0, n});
+        heap.push_back({known + heuristic(n, target, crit), known, n});
         std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
       bool found = false;
@@ -236,12 +291,16 @@ struct RefRouter {
           const RrNode& vn = g.node(v);
           if (!in_bb(vn)) continue;
           if (vn.type == RrType::kSink && v != target) continue;
-          const double new_cost = item.known + congestion_cost(v);
+          const double new_cost =
+              timing ? item.known + crit * node_delay[v] +
+                           inv_spb * congestion_cost(v)
+                     : item.known + congestion_cost(v);
           const auto it = path_cost.find(v);
           if (it == path_cost.end() || new_cost < it->second - 1e-9) {
             path_cost[v] = new_cost;
             prev[v] = u;
-            heap.push_back({new_cost + heuristic(v, target), new_cost, v});
+            heap.push_back(
+                {new_cost + heuristic(v, target, crit), new_cost, v});
             std::push_heap(heap.begin(), heap.end(), std::greater<>{});
           }
         }
@@ -262,6 +321,9 @@ struct RefRouter {
         out.edges.push_back(*it);
         if (in_tree.insert(it->second).second) {
           tree_nodes.push_back(it->second);
+          if (timing) {
+            tdel[it->second] = tdel.at(it->first) + node_delay[it->second];
+          }
           ++occ[it->second];
         }
       }
@@ -353,6 +415,14 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
 
   std::vector<std::size_t> extra_bb(pl.nets.size(), 0);
 
+  // Timing-driven orchestration, transcribed from route_all: the hook is
+  // updated serially at the start of every iteration with the nets
+  // (re)routed in the previous one, and once more over the final trees on
+  // success so the reported critical path covers the last iteration.
+  const bool timing_on = opt.timing_driven && opt.timing_hook != nullptr;
+  std::vector<std::size_t> dirty;
+  if (timing_on) dirty.reserve(pl.nets.size());
+
   // Batched-mode state (net_parallel): the oracle transcribes the
   // production scheduler literally — the first-fit 64-color partition
   // over margin-inflated net bounding boxes (levelized overflow above
@@ -420,6 +490,10 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
 
   for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
     res.iterations = iter;
+    if (timing_on) {
+      opt.timing_hook->update(g, res.trees, dirty, iter);
+      dirty.clear();
+    }
     router.begin_iteration(iter);
     if (!opt.net_parallel) {
       for (std::size_t n = 0; n < pl.nets.size(); ++n) {
@@ -439,9 +513,10 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
                                                 g.nx() + g.ny());
           }
         }
-        if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+        if (!router.route_net(n, pl.nets[n], res.trees[n], extra_bb[n])) {
           return fail_out();
         }
+        if (timing_on) dirty.push_back(n);
       }
     } else {
       // The placement-time partition computed above; rip membership is
@@ -474,9 +549,10 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
           // Singleton fast path, mirrored from route_all: routed
           // directly against the live state, no speculation.
           const std::size_t n = live[0];
-          if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n])) {
+          if (!router.route_net(n, pl.nets[n], res.trees[n], extra_bb[n])) {
             return fail_out();
           }
+          if (timing_on) dirty.push_back(n);
           continue;
         }
 
@@ -495,7 +571,7 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
           m.tree = res.trees[live[i]];
           m.seed = m.tree.edges.size();
           const std::vector<std::uint32_t> snapshot = router.occ;
-          m.ok = router.route_net_bb(pl.nets[live[i]], m.tree,
+          m.ok = router.route_net_bb(live[i], pl.nets[live[i]], m.tree,
                                      opt.bb_margin + extra_bb[live[i]]);
           router.occ = snapshot;
         }
@@ -531,7 +607,7 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
             res.trees[n] = std::move(m.tree);
           } else {
             std::size_t rseed = 0;
-            if (!router.route_net(pl.nets[n], res.trees[n], extra_bb[n],
+            if (!router.route_net(n, pl.nets[n], res.trees[n], extra_bb[n],
                                   &rseed)) {
               return fail_out();
             }
@@ -541,6 +617,7 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
               committed.insert(res.trees[n].edges[e].second);
             }
           }
+          if (timing_on) dirty.push_back(n);
         }
       }
     }
@@ -582,6 +659,14 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
         std::min(router.pres_fac * opt.pres_fac_mult, opt.pres_fac_max);
   }
 
+  if (res.success && timing_on) {
+    // Final analysis over the last iteration's reroutes so the reported
+    // critical path and slack describe the returned trees.
+    opt.timing_hook->update(g, res.trees, dirty, res.iterations + 1);
+    dirty.clear();
+    res.critical_path_s = opt.timing_hook->critical_path();
+    res.worst_slack_s = opt.timing_hook->worst_slack();
+  }
   if (res.success) {
     std::unordered_set<RrNodeId> counted;
     for (const auto& t : res.trees) {
@@ -652,6 +737,15 @@ std::string diff_routing(const RoutingResult& a, const RoutingResult& b) {
   if (a.total_wire_tiles != b.total_wire_tiles) {
     os << "total_wire_tiles " << a.total_wire_tiles << " vs "
        << b.total_wire_tiles;
+    return os.str();
+  }
+  if (a.critical_path_s != b.critical_path_s) {
+    os << "critical_path_s " << a.critical_path_s << " vs "
+       << b.critical_path_s;
+    return os.str();
+  }
+  if (a.worst_slack_s != b.worst_slack_s) {
+    os << "worst_slack_s " << a.worst_slack_s << " vs " << b.worst_slack_s;
     return os.str();
   }
   return {};

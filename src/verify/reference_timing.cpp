@@ -1,0 +1,245 @@
+// Reference timing hook: the naive full-recompute transcription of the
+// production IncrementalSta (timing/sta.cpp). Every update() throws away
+// all state and rebuilds it — every net delay re-evaluated from its tree,
+// arrival times by memoized recursion, downstream delays by memoized
+// recursion, criticalities by a plain sweep — using the exact arc / max /
+// shaping expressions of the incremental pass. Because the incremental
+// pass fully recomputes every touched block and max is order-independent,
+// the two must agree *bitwise* on every query after every update; the
+// differential suite (tests/prop/prop_sta_incremental.cpp) pins that.
+#include "verify/oracles.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "timing/criticality.hpp"
+#include "timing/delay_model.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+class ReferenceSta final : public RouterTimingHook {
+ public:
+  ReferenceSta(const Netlist& nl, const Packing& pack, const Placement& pl,
+               const RrGraph& g, const ElectricalView& view,
+               double criticality_exp, double max_criticality)
+      : nl_(nl),
+        pack_(pack),
+        pl_(pl),
+        view_(view),
+        model_(make_delay_model(g, view)),
+        crit_exp_(criticality_exp),
+        max_crit_(max_criticality) {
+    net_to_placed_.assign(nl.net_count(), kInvalidId);
+    for (std::size_t i = 0; i < pl.nets.size(); ++i) {
+      net_to_placed_[pl.nets[i].net] = i;
+    }
+  }
+
+  const double* node_delay() const override {
+    return model_.node_delay.data();
+  }
+  double sec_per_base() const override { return model_.sec_per_base; }
+  DelayProfile delay_profile() const override { return model_.profile; }
+
+  void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+              const std::vector<std::size_t>& dirty,
+              std::size_t iteration) override {
+    (void)dirty;  // full recompute: the dirty set is deliberately ignored
+    if (iteration <= 1) {
+      // Pre-routing: the same placement-based seed the production hook
+      // serves until the first routed iteration.
+      if (seed_crit_.empty()) {
+        seed_crit_ = placement_net_criticality(nl_, pl_.nets, pl_.locs);
+        for (double& c : seed_crit_) {
+          c = shaped_criticality(c, max_crit_, crit_exp_);
+        }
+      }
+      return;
+    }
+
+    const std::size_t blocks = nl_.block_count();
+
+    // 1. Every net delay, from scratch (one-shot scratch per net).
+    sink_delay_.assign(pl_.nets.size(), {});
+    for (std::size_t i = 0; i < pl_.nets.size(); ++i) {
+      sink_delay_[i] =
+          routed_net_delays(g, trees[i], pl_.nets[i], pl_, view_);
+      ++net_evals_;
+    }
+
+    // 2. Arrival times by memoized recursion (the incremental pass's
+    // exact expressions: PI = 0, latch Q = t_clk_q, LUT = fan-in max
+    // folded in input order + t_lut).
+    arr_.assign(blocks, 0.0);
+    std::vector<char> adone(blocks, 0);
+    std::function<double(BlockId)> arrival = [&](BlockId b) -> double {
+      if (adone[b]) return arr_[b];
+      const Block& blk = nl_.block(b);
+      double arr = 0.0;
+      if (blk.type == BlockType::kLatch) {
+        arr = view_.t_clk_q;
+      } else if (blk.type == BlockType::kLut) {
+        for (NetId n : blk.inputs) {
+          arr = std::max(arr, arrival(nl_.net(n).driver) + net_arc(n, b));
+        }
+        arr += view_.t_lut;
+      }
+      ++block_updates_;
+      adone[b] = 1;
+      arr_[b] = arr;
+      return arr;
+    };
+    for (BlockId b = 0; b < blocks; ++b) arrival(b);
+
+    // 3. Downstream delays by memoized recursion (registers cut paths:
+    // only LUT sinks recurse, exactly the incremental down_in).
+    down_.assign(blocks, 0.0);
+    std::vector<char> ddone(blocks, 0);
+    std::function<double(BlockId)> down_of = [&](BlockId b) -> double {
+      if (ddone[b]) return down_[b];
+      const Block& blk = nl_.block(b);
+      double down = 0.0;
+      if (blk.output != kInvalidId) {
+        for (BlockId s : nl_.net(blk.output).sinks) {
+          double di = 0.0;
+          switch (nl_.block(s).type) {
+            case BlockType::kLut:
+              di = view_.t_lut + down_of(s);
+              break;
+            case BlockType::kLatch:
+              di = view_.t_setup;
+              break;
+            default:
+              break;  // primary output capture
+          }
+          down = std::max(down, net_arc(blk.output, s) + di);
+        }
+      }
+      ++block_updates_;
+      ddone[b] = 1;
+      down_[b] = down;
+      return down;
+    };
+    for (BlockId b = 0; b < blocks; ++b) down_of(b);
+
+    // 4. Critical path: analyze_timing's capture expressions verbatim.
+    double cp = 0.0;
+    for (BlockId b = 0; b < blocks; ++b) {
+      const Block& blk = nl_.block(b);
+      if (blk.type == BlockType::kLatch) {
+        const NetId d = blk.inputs[0];
+        cp = std::max(cp, arr_[nl_.net(d).driver] + net_arc(d, b) +
+                              view_.t_setup);
+      } else if (blk.type == BlockType::kOutput) {
+        const NetId n = blk.inputs[0];
+        cp = std::max(cp, arr_[nl_.net(n).driver] + net_arc(n, b));
+      }
+    }
+    d_max_ = cp;
+
+    // 5. Per-connection criticalities: worst endpoint arrival through
+    // each (net, sink_slot). The incremental pass folds the same netlist
+    // sinks per slot (its CSR is filled in netlist sink order); here we
+    // rescan the net's sink list per slot instead.
+    double max_path = 0.0;
+    crit_.assign(pl_.nets.size(), {});
+    for (std::size_t i = 0; i < pl_.nets.size(); ++i) {
+      const PlacedNet& pn = pl_.nets[i];
+      const double arr_drv = arr_[nl_.net(pn.net).driver];
+      crit_[i].assign(pn.sinks.size(), 0.0);
+      for (std::size_t j = 0; j < pn.sinks.size(); ++j) {
+        double worst = 0.0;
+        for (BlockId s : nl_.net(pn.net).sinks) {
+          const std::size_t owner = pack_.block_owner[s];
+          if (owner == pn.driver) continue;  // local feedback, not routed
+          if (owner != pn.sinks[j]) continue;
+          double di = 0.0;
+          switch (nl_.block(s).type) {
+            case BlockType::kLut:
+              di = view_.t_lut + down_[s];
+              break;
+            case BlockType::kLatch:
+              di = view_.t_setup;
+              break;
+            default:
+              break;
+          }
+          worst = std::max(worst, arr_drv + sink_delay_[i][j] + di);
+        }
+        crit_[i][j] = criticality_from_slack(d_max_ - worst, d_max_,
+                                             max_crit_, crit_exp_);
+        max_path = std::max(max_path, worst);
+      }
+    }
+    worst_slack_ = d_max_ - max_path;
+    have_timing_ = true;
+  }
+
+  double criticality(std::size_t net, std::size_t sink_slot) const override {
+    if (!have_timing_) {
+      return seed_crit_.empty() ? 0.0 : seed_crit_[net];
+    }
+    return crit_[net][sink_slot];
+  }
+  double critical_path() const override { return d_max_; }
+  double worst_slack() const override { return worst_slack_; }
+  std::uint64_t net_evals() const override { return net_evals_; }
+  std::uint64_t block_updates() const override { return block_updates_; }
+
+ private:
+  /// analyze_timing's net_arc over the freshly rebuilt sink delays (the
+  /// exact expressions of the production hook's net_arc).
+  double net_arc(NetId n, BlockId sink_blk) const {
+    const std::size_t placed = net_to_placed_[n];
+    if (placed == kInvalidId) {
+      const Net& net = nl_.net(n);
+      if (net.sinks.size() == 1) {
+        const Block& s = nl_.block(net.sinks[0]);
+        const Block& d = nl_.block(net.driver);
+        if (s.type == BlockType::kLatch && d.type == BlockType::kLut) {
+          return 0.0;  // fused BLE register
+        }
+      }
+      return view_.t_local_feedback;
+    }
+    const PlacedNet& pn = pl_.nets[placed];
+    const std::size_t owner = pack_.block_owner[sink_blk];
+    for (std::size_t j = 0; j < pn.sinks.size(); ++j) {
+      if (pn.sinks[j] == owner) return sink_delay_[placed][j];
+    }
+    return view_.t_local_feedback;  // same-cluster sink of a global net
+  }
+
+  const Netlist& nl_;
+  const Packing& pack_;
+  const Placement& pl_;
+  const ElectricalView view_;
+  const DelayModel model_;
+  const double crit_exp_;
+  const double max_crit_;
+
+  std::vector<std::size_t> net_to_placed_;
+  std::vector<std::vector<double>> sink_delay_;
+  std::vector<double> arr_;
+  std::vector<double> down_;
+  std::vector<std::vector<double>> crit_;  ///< Per net, per sink slot.
+  std::vector<double> seed_crit_;
+  double d_max_ = 0.0;
+  double worst_slack_ = 0.0;
+  bool have_timing_ = false;
+  std::uint64_t net_evals_ = 0;
+  std::uint64_t block_updates_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RouterTimingHook> make_reference_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality) {
+  return std::make_unique<ReferenceSta>(nl, pack, pl, g, view,
+                                        criticality_exp, max_criticality);
+}
+
+}  // namespace nemfpga::verify

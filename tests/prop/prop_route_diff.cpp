@@ -5,8 +5,12 @@
 // spanning both rip-up modes, varying A* weights and bounding boxes.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "arch/rr_graph.hpp"
 #include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/generators.hpp"
 #include "verify/oracles.hpp"
@@ -22,8 +26,26 @@ TEST(PropRouteDiff, OptimizedMatchesReferenceBitForBit) {
       [](const DesignCase& c) {
         const BuiltDesign d = build_design(c);
         const RrGraph g(d.arch, d.nx, d.ny);
-        const RoutingResult fast = route_all(g, d.pl, c.route);
-        const RoutingResult ref = reference_route_all(g, d.pl, c.route);
+        // Timing-driven cases pair the production incremental STA with
+        // the naive full-recompute reference hook (one instance per
+        // router — hooks are stateful), so the diff below also proves the
+        // two timing implementations steer both routers identically.
+        const ElectricalView view =
+            make_view(d.arch, FpgaVariant::kCmosBaseline);
+        std::unique_ptr<RouterTimingHook> fast_hook, ref_hook;
+        RouteOptions fast_opt = c.route, ref_opt = c.route;
+        if (c.route.timing_driven) {
+          fast_hook = make_incremental_sta(d.nl, d.pk, d.pl, g, view,
+                                           c.route.criticality_exp,
+                                           c.route.max_criticality);
+          ref_hook = make_reference_sta(d.nl, d.pk, d.pl, g, view,
+                                        c.route.criticality_exp,
+                                        c.route.max_criticality);
+          fast_opt.timing_hook = fast_hook.get();
+          ref_opt.timing_hook = ref_hook.get();
+        }
+        const RoutingResult fast = route_all(g, d.pl, fast_opt);
+        const RoutingResult ref = reference_route_all(g, d.pl, ref_opt);
         const std::string diff = diff_routing(fast, ref);
         prop_require(diff.empty(), "route_all vs reference: " + diff);
         // When the routing succeeded it must also be legal.
@@ -50,9 +72,20 @@ TEST(PropRouteDiff, RoutingIsThreadCountInvariant) {
         pc.route.net_parallel = true;  // always exercise the scheduler
         const BuiltDesign d = build_design(pc);
         const RrGraph g(d.arch, d.nx, d.ny);
+        const ElectricalView view =
+            make_view(d.arch, FpgaVariant::kCmosBaseline);
         auto run = [&](ThreadPool& pool) {
           ThreadPool::ScopedUse use(pool);
-          return route_all(g, d.pl, pc.route);
+          // Fresh hook per run: a hook instance serves one route_all.
+          std::unique_ptr<RouterTimingHook> hook;
+          RouteOptions ropt = pc.route;
+          if (ropt.timing_driven) {
+            hook = make_incremental_sta(d.nl, d.pk, d.pl, g, view,
+                                        ropt.criticality_exp,
+                                        ropt.max_criticality);
+            ropt.timing_hook = hook.get();
+          }
+          return route_all(g, d.pl, ropt);
         };
         const RoutingResult r1 = run(one);
         const RoutingResult r2 = run(two);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "netlist/synth_gen.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
@@ -125,6 +127,29 @@ TEST(Place, TimingDrivenModeProducesLegalPlacement) {
   // The weighted cost is still consistent with its own recomputation
   // under unit weights (placement_cost uses unweighted bb).
   EXPECT_GT(placement_cost(pl), 0.0);
+}
+
+// Bit-exact pin on the timing-driven placement result. The criticality
+// estimate feeding the refinement anneal was deduplicated into the shared
+// placement_net_criticality utility (src/place/place.hpp), consumed by
+// both the annealer and the incremental STA's iteration-1 seed; this
+// checksum was captured on the pre-refactor annealer-private code, so it
+// proves the extraction changed nothing.
+TEST(Place, TimingDrivenGoldenChecksum) {
+  Fixture f(300, "place-td-golden");
+  PlaceOptions td;
+  td.timing_driven = true;
+  td.seed = 7;
+  const auto pl = place(f.nl, f.pk, f.arch, 7, 7, td);
+  check_placement(f.pk, f.arch, pl);
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (const auto& l : pl.locs) {
+    mix(l.x);
+    mix(l.y);
+    mix(l.sub);
+  }
+  EXPECT_EQ(h, 1506985621632584956ull);
 }
 
 TEST(Place, TimingDrivenRefinesWirelengthPlacement) {

@@ -1,0 +1,60 @@
+// ThreadSanitizer coverage for the *timing-driven* net-parallel route
+// stage, the companion of test_route_tsan. The incremental STA hook is
+// updated only on the serial orchestration path (between iterations and
+// after commits); inside a batch, workers query criticality(), the
+// per-node delay table and the delay lookahead concurrently but
+// read-only. Under -DNF_TSAN=ON this certifies that contract; in a
+// plain build it is a fast smoke that the blended-cost search really ran
+// concurrent batch members. Two iterations, not one, so the hook's
+// first real (all-nets) update and a dirty-set update both happen with
+// the pool live.
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(RouteTimingTsan, ParallelTimingDrivenIterationsAreRaceFree) {
+  Netlist nl = generate_benchmark("tseng");
+  ArchParams arch;
+  arch.W = 48;
+  Packing pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+  PlaceOptions popt;
+  popt.inner_num = 0.3;
+  const Placement pl = place(nl, pk, arch, nx, ny, popt);
+  const RrGraph g(arch, pl.nx, pl.ny);
+  const ElectricalView view = make_view(arch, FpgaVariant::kCmosBaseline);
+
+  ThreadPool wide(8);
+  ThreadPool::ScopedUse use(wide);
+
+  RouteOptions opt;  // defaults: lookahead on, net_parallel on
+  opt.timing_driven = true;
+  opt.max_iterations = 2;
+  const auto hook = make_incremental_sta(nl, pk, pl, g, view,
+                                         opt.criticality_exp,
+                                         opt.max_criticality);
+  opt.timing_hook = hook.get();
+  const RoutingResult r = route_all(g, pl, opt);
+
+  // Two iterations rarely clear congestion; what matters is that the
+  // batched timing-driven stage ran concurrent members and the STA hook
+  // actually did work between them.
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_GT(r.counters.batches, 0u);
+  EXPECT_GT(r.counters.nets_routed, 0u);
+  EXPECT_GT(r.counters.sta_net_evals, 0u);
+  EXPECT_GT(r.counters.sta_block_updates, 0u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1 or -2).
+"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1/2/3).
 
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
@@ -17,10 +17,18 @@ counters still diffed — when the two runs are not wall-comparable:
 different schema versions, different thread counts, or mismatched
 NF_CHECK_INVARIANTS settings. Counter comparison is likewise skipped
 across a router-configuration change (schema mismatch, or different
-astar_factor / net_parallel in schema 2), since a different search
-legitimately explores different work; the correctness fields (Wmin,
-checksum, iterations) are then the only fields that must hold, and only
-when the router configuration matches.
+astar_factor / net_parallel / timing_driven / crit_exp), since a
+different search legitimately explores different work; the correctness
+fields (Wmin, checksum, iterations, critical path) are then the only
+fields that must hold, and only when the router configuration matches.
+Cross-schema comparisons (e.g. a schema-2 baseline against a schema-3
+timing run) are therefore always refused beyond circuit coverage: a
+schema bump changes what the harness measures.
+
+Schema 3 adds the timing-driven router: timing_driven / crit_exp select
+the configuration, and critical_path_s joins the correctness fields —
+the timing-driven route is bit-deterministic, so any drift between
+same-configuration runs is a correctness bug, not noise.
 
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
@@ -30,9 +38,14 @@ import argparse
 import json
 import sys
 
-SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2")
+SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
+           "nemfpga-route-bench-3")
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
+# Schema-3 additions; compared with .get() so they are simply absent
+# (None == None) when two older files are diffed.
+EXACT_OPTIONAL_FIELDS = ("critical_path_s",)
 COUNTER_FIELDS = ("heap_pushes", "nodes_expanded", "sink_searches")
+COUNTER_OPTIONAL_FIELDS = ("sta_net_evals", "sta_block_updates")
 
 
 def load(path):
@@ -48,10 +61,17 @@ def load(path):
 
 def router_config(data):
     """The fields that select which router ran. Schema 1 predates the
-    A*/parallel router, so it is its own configuration."""
-    if data.get("schema") == "nemfpga-route-bench-1":
+    A*/parallel router, so it is its own configuration; the schema tag is
+    part of the key, so cross-schema runs never compare correctness or
+    counters (a schema bump changes what the harness measures)."""
+    schema = data.get("schema")
+    if schema == "nemfpga-route-bench-1":
         return ("bench-1",)
-    return (data.get("astar_factor"), data.get("net_parallel"))
+    if schema == "nemfpga-route-bench-2":
+        return ("bench-2", data.get("astar_factor"),
+                data.get("net_parallel"))
+    return ("bench-3", data.get("astar_factor"), data.get("net_parallel"),
+            data.get("timing_driven"), data.get("crit_exp"))
 
 
 def compare(base, cand, max_regress_pct):
@@ -79,7 +99,14 @@ def compare(base, cand, max_regress_pct):
                     f"{c['name']}: {field} changed "
                     f"{b[field]!r} -> {c[field]!r} (routing is pinned "
                     "bit-identical; any drift is a correctness bug)")
-        for counter in COUNTER_FIELDS:
+        for field in EXACT_OPTIONAL_FIELDS:
+            if b.get(field) != c.get(field):
+                failures.append(
+                    f"{c['name']}: {field} changed "
+                    f"{b.get(field)!r} -> {c.get(field)!r} (the "
+                    "timing-driven route is bit-deterministic; any drift "
+                    "is a correctness bug)")
+        for counter in COUNTER_FIELDS + COUNTER_OPTIONAL_FIELDS:
             bc = b["counters"].get(counter)
             cc = c["counters"].get(counter)
             if bc != cc:
@@ -214,6 +241,46 @@ def selftest():
     both_checked_base["invariants_checked"] = True
     assert compare(both_checked_base, both_checked_slow, 15.0), \
         "wall budget applies when both runs were checked"
+
+    # Schema 3 (timing-driven router): critical path and STA counters are
+    # pinned between same-configuration runs...
+    t_base = json.loads(json.dumps(base))
+    t_base["schema"] = "nemfpga-route-bench-3"
+    t_base["timing_driven"] = True
+    t_base["crit_exp"] = 1.0
+    t_base["circuits"][0]["critical_path_s"] = 1.5958638765647902e-08
+    t_base["circuits"][0]["counters"]["sta_net_evals"] = 42
+    t_base["circuits"][0]["counters"]["sta_block_updates"] = 99
+    t_same = json.loads(json.dumps(t_base))
+    assert compare(t_base, t_same, 15.0) == [], \
+        "identical schema-3 runs must pass"
+
+    cp_drift = json.loads(json.dumps(t_base))
+    cp_drift["circuits"][0]["critical_path_s"] = 1.6e-08
+    assert compare(t_base, cp_drift, 15.0), \
+        "critical-path drift must fail (timing routing is deterministic)"
+
+    sta_drift = json.loads(json.dumps(t_base))
+    sta_drift["circuits"][0]["counters"]["sta_net_evals"] = 43
+    assert compare(t_base, sta_drift, 15.0), "STA counter drift must fail"
+
+    # ...a timing run against a congestion-only run is a different router
+    # configuration (correctness/counters waived, coverage still checked)...
+    untimed = json.loads(json.dumps(t_base))
+    untimed["timing_driven"] = False
+    untimed["circuits"][0]["critical_path_s"] = 0.0
+    untimed["circuits"][0]["tree_checksum"] = "untimed-differs"
+    assert compare(t_base, untimed, 15.0) == [], \
+        "timing vs congestion-only must not diff checksums"
+
+    # ...and a schema-2 baseline against a schema-3 candidate is refused
+    # beyond coverage, even with identical knob values.
+    assert compare(base, t_base, 15.0) == [], \
+        "schema-2 vs schema-3 must refuse wall/counter/correctness diffs"
+    dropped_t = json.loads(json.dumps(t_base))
+    dropped_t["circuits"] = [dict(t_base["circuits"][0], name="other")]
+    assert compare(base, dropped_t, 15.0), \
+        "dropped circuit still fails across schemas 2 vs 3"
     print("bench_check selftest: OK")
 
 

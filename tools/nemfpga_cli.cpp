@@ -36,6 +36,8 @@ struct Args {
   std::size_t width = 118;
   bool study = false;
   bool activity = false;
+  bool timing = false;
+  double crit_exp = 1.0;
   std::string variant = "cmos";
   double downsize = 4.0;
 };
@@ -54,6 +56,11 @@ struct Args {
                "  --synth N          generate an N-LUT synthetic circuit\n"
                "  --inputs N --outputs N --latches N   synth parameters\n"
                "  --width W          channel width (default 118)\n"
+               "  --timing           timing-driven routing (incremental STA\n"
+               "                     criticalities blend into the PathFinder\n"
+               "                     cost; delays from --variant's view)\n"
+               "  --crit-exp E       criticality sharpening exponent "
+               "(default 1.0)\n"
                "  --variant V        cmos | nem-naive | nem-opt\n"
                "  --downsize D       wire-buffer downsizing for nem-opt\n"
                "  --study            full CMOS vs CMOS-NEM comparison\n"
@@ -80,6 +87,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--width") a.width = std::stoul(value());
     else if (flag == "--variant") a.variant = value();
     else if (flag == "--downsize") a.downsize = std::stod(value());
+    else if (flag == "--timing") a.timing = true;
+    else if (flag == "--crit-exp") a.crit_exp = std::stod(value());
     else if (flag == "--study") a.study = true;
     else if (flag == "--activity") a.activity = true;
     else usage(("unknown option " + flag).c_str());
@@ -123,7 +132,13 @@ int cmd_flow(const Args& a) {
 
   FlowOptions opt;
   opt.arch.W = a.width;
-  std::fprintf(stderr, "mapping at W=%zu...\n", a.width);
+  if (a.timing) {
+    opt.route.timing_driven = true;
+    opt.route.criticality_exp = a.crit_exp;
+    opt.timing_variant = parse_variant(a.variant);
+  }
+  std::fprintf(stderr, "mapping at W=%zu%s...\n", a.width,
+               a.timing ? " (timing-driven)" : "");
   const FlowResult flow = run_flow(std::move(nl), opt);
   std::fprintf(stderr,
                "placed %zu clusters on %zux%zu; routed %zu nets in %zu "

@@ -2,15 +2,22 @@
 # Bounded fuzz campaign: the deterministic parser mutation fuzzer plus a
 # scaled-up run of the router differential property, whose generator
 # randomizes the A* lookahead weight across [0, 1.2] (0 = legacy
-# Manhattan profile, 0.9..1.2 = admissible-to-mildly-weighted lookahead)
-# and flips net_parallel, so both search cores and the batch scheduler
-# are exercised against the reference oracle on every campaign. Runs
-# under whatever sanitizer configuration the build directory was
+# Manhattan profile, 0.9..1.2 = admissible-to-mildly-weighted lookahead),
+# flips net_parallel, and — since the timing-driven refactor — flips
+# timing_driven (~35% of cases) with a criticality exponent drawn from
+# {1.0, 1.5, ..., 3.0} and max_criticality from {0.99, 0.999}, so both
+# search cores, the batch scheduler and the blended timing cost are
+# exercised against the reference oracle on every campaign. Timing-driven
+# cases pair the production incremental STA against the naive
+# full-recompute reference hook; the campaign finishes with the dedicated
+# incremental-vs-full STA property over randomized rip-up sequences.
+# Runs under whatever sanitizer configuration the build directory was
 # configured with; for the zero-crash guarantee the harness is designed
 # around, run it against an ASan/UBSan build:
 #
 #   cmake -B build-asan -S . -DNF_ASAN=ON -DNF_UBSAN=ON
-#   cmake --build build-asan -j --target fuzz_parsers prop_route_diff
+#   cmake --build build-asan -j --target fuzz_parsers prop_route_diff \
+#       prop_sta_incremental
 #   tools/run_fuzz.sh build-asan 100000
 #
 # Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED]
@@ -57,5 +64,19 @@ fi
 ROUTE_CASES=$((ITERS / 100))
 [ "$ROUTE_CASES" -ge 50 ] || ROUTE_CASES=50
 echo "run_fuzz.sh: $ROUTE_BIN (NF_PROP_CASES=$ROUTE_CASES" \
-     "NF_PROP_SEED=$SEED, astar_factor randomized in [0, 1.2])"
-NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" exec "$ROUTE_BIN"
+     "NF_PROP_SEED=$SEED, astar_factor randomized in [0, 1.2]," \
+     "timing_driven/criticality_exp/max_criticality randomized)"
+NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" "$ROUTE_BIN"
+
+STA_BIN=$(find_bin prop_sta_incremental)
+if [ -z "${STA_BIN:-}" ] || [ ! -x "$STA_BIN" ]; then
+  echo "run_fuzz.sh: prop_sta_incremental not built; skipping the" \
+       "incremental-STA differential campaign" >&2
+  exit 0
+fi
+
+STA_CASES=$((ITERS / 500))
+[ "$STA_CASES" -ge 20 ] || STA_CASES=20
+echo "run_fuzz.sh: $STA_BIN (NF_PROP_CASES=$STA_CASES NF_PROP_SEED=$SEED," \
+     "randomized rip-up sequences vs full-recompute STA)"
+NF_PROP_CASES="$STA_CASES" NF_PROP_SEED="$SEED" exec "$STA_BIN"
