@@ -32,6 +32,11 @@ int main() {
       try {
         const auto cw =
             flow_min_channel_width(generate_benchmark("tseng"), opt, w_hint);
+        if (!cw.feasible) {
+          t.add_row({std::to_string(L), std::to_string(N), "-", "infeasible",
+                     "-", "-", "-", "-"});
+          continue;
+        }
         w_hint = cw.w_min;
         const auto flow = run_flow(generate_benchmark("tseng"), opt);
         const auto st = run_study(flow);

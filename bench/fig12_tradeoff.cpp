@@ -48,6 +48,12 @@ Series study_circuit(const std::string& name, const std::vector<double>& ds) {
     // apples — both fabrics share the mapping).
     opt.place.inner_num = 4.0;  // better placement first
     const auto cw = flow_min_channel_width(generate_benchmark(name), opt, 118);
+    if (!cw.feasible) {
+      std::fprintf(stderr,
+                   "fig12_tradeoff: %s infeasible (grow phase hit the "
+                   "W=%zu cap)\n", name.c_str(), cw.w_cap);
+      std::exit(1);
+    }
     opt.arch.W = std::max<std::size_t>(118, cw.w_low_stress);
     std::printf("    (W=118 unroutable for %s; using its low-stress width "
                 "W=%zu)\n", name.c_str(), opt.arch.W);

@@ -1,29 +1,49 @@
 // Router performance harness: routes seed circuits at a fixed channel
 // width and through the full find_min_channel_width search, and emits
-// BENCH_route.json (wall times, router work counters, Wmin) so every PR
-// leaves a perf trajectory to regress against (tools/bench_check.py
-// diffs two such files).
+// BENCH_route.json (wall times, router work counters, Wmin, RR-graph
+// memory) so every PR leaves a perf trajectory to regress against
+// (tools/bench_check.py diffs two such files).
 //
-//   route_perf [--out FILE] [--circuits a,b,c] [--smoke]
-//              [--threads N] [--astar F] [--timing] [--crit-exp E]
+//   route_perf [--out FILE] [--circuits a,b,c] [--smoke] [--scale]
+//              [--threads N] [--astar F] [--par 0|1] [--timing]
+//              [--crit-exp E] [--backend explicit|implicit]
+//              [--partition 0|1] [--partition-size N] [--max-w N]
+//              [--verify-la]
 //
 // --smoke runs only the smallest seed circuit (CTest target bench_smoke
-// exercises the harness this way). --threads installs its own pool for
-// the whole run (default: the ambient NF_THREADS pool). --astar sets
-// RouteOptions::astar_factor; 0 selects the legacy profile (Manhattan
-// heuristic, serial nets) that reproduces the pre-lookahead router
-// bit-for-bit. --timing routes the fixed-width pass timing-driven (an
-// incremental-STA hook over the CMOS baseline view; the Wmin search
+// exercises the harness this way). --scale replaces the MCNC seed list
+// with three synthetic circuits of increasing size (about 10-, 16- and
+// 24-tile grids) — the memory-scaling experiment of EXPERIMENTS.md: run
+// it once per --backend and compare rr_bytes_per_node at fixed Wmin and
+// tree checksums (both must be backend-invariant). --threads installs
+// its own pool for the whole run (default: the ambient NF_THREADS pool).
+// --astar sets RouteOptions::astar_factor; 0 selects the legacy profile
+// (Manhattan heuristic, serial nets) that reproduces the pre-lookahead
+// router bit-for-bit. --timing routes the fixed-width pass timing-driven
+// (an incremental-STA hook over the CMOS baseline view; the Wmin search
 // stays congestion-only by construction) and records the post-route
-// critical path. Wall times vary run to run; Wmin, iteration, counter
-// and critical-path fields are bit-deterministic at any thread count.
+// critical path. --backend selects the RR representation (stored CSR vs
+// coordinate-computed); --partition enables the region-partitioned net
+// scheduler and --partition-size overrides its region edge length.
+// --max-w caps the Wmin grow phase: a circuit that cannot route below
+// the cap is reported as "infeasible" in the JSON instead of aborting
+// the run. Wall times and peak RSS vary run to run; Wmin, iteration,
+// counter, checksum and critical-path fields are bit-deterministic at
+// any thread count and across backends.
+#include <sys/resource.h>
+
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "netlist/mcnc.hpp"
+#include "netlist/synth_gen.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
 #include "route/route.hpp"
@@ -41,6 +61,77 @@ double now_s() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Peak resident set of this process so far, in bytes (Linux reports
+/// ru_maxrss in KiB). Dominated by the largest RR graph the run built,
+/// which is exactly what the implicit backend is supposed to shrink.
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+// ---- strict flag parsing ------------------------------------------------
+// Modeled on place_io.cpp's parse_size: no atoi/atof, whose silent-zero
+// failure mode once turned `--threads x` into a 0-thread "request" that
+// quietly kept the ambient pool. Every malformed operand names the flag
+// it belongs to and exits 2 (the usage-error code).
+
+[[noreturn]] void flag_error(const char* flag, const char* tok) {
+  std::fprintf(stderr, "route_perf: bad value for %s: '%s'\n", flag, tok);
+  std::exit(2);
+}
+
+const char* flag_operand(const char* flag, int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "route_perf: missing value for %s\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+std::size_t parse_size_flag(const char* flag, int argc, char** argv,
+                            int& i) {
+  const char* tok = flag_operand(flag, argc, argv, i);
+  const std::size_t len = std::strlen(tok);
+  if (len == 0 || len > 19) flag_error(flag, tok);
+  std::size_t v = 0;
+  for (std::size_t k = 0; k < len; ++k) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[k]))) {
+      flag_error(flag, tok);
+    }
+    v = v * 10 + static_cast<std::size_t>(tok[k] - '0');
+  }
+  return v;
+}
+
+double parse_double_flag(const char* flag, int argc, char** argv, int& i) {
+  const char* tok = flag_operand(flag, argc, argv, i);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok, &end);
+  if (end == tok || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    flag_error(flag, tok);
+  }
+  return v;
+}
+
+bool parse_bool_flag(const char* flag, int argc, char** argv, int& i) {
+  const char* tok = flag_operand(flag, argc, argv, i);
+  if (!std::strcmp(tok, "0")) return false;
+  if (!std::strcmp(tok, "1")) return true;
+  flag_error(flag, tok);
+}
+
+RrBackend parse_backend_flag(const char* flag, int argc, char** argv,
+                             int& i) {
+  const char* tok = flag_operand(flag, argc, argv, i);
+  if (!std::strcmp(tok, "explicit")) return RrBackend::kExplicit;
+  if (!std::strcmp(tok, "implicit")) return RrBackend::kImplicit;
+  flag_error(flag, tok);
+}
+
+// -------------------------------------------------------------------------
 
 std::uint64_t routing_checksum(const RoutingResult& r) {
   std::uint64_t h = 1469598103934665603ull;
@@ -71,18 +162,27 @@ struct CircuitReport {
   double route_wall_s = 0.0;
   std::size_t iterations = 0;
   std::uint64_t checksum = 0;
+  /// The grow phase hit RouteOptions::max_channel_width (= w_cap here)
+  /// without routing: no fixed-width pass ran, routing fields are 0.
+  bool infeasible = false;
+  std::size_t w_cap = 0;
+  /// Resident size of the fixed-width RR representation actually routed
+  /// over (explicit: node records + CSR + site/cover tables; implicit:
+  /// prefix/tap tables only) — the tentpole memory claim, per node.
+  std::size_t rr_nodes = 0;
+  std::size_t rr_bytes = 0;
   RoutingResult fixed;  ///< counters live here
 };
 
 /// Router configuration under test; set once from the command line.
 RouteOptions g_route_opt;
 
-CircuitReport run_circuit(const std::string& name) {
+CircuitReport run_circuit(const std::string& name, const Netlist& nl,
+                          std::size_t luts) {
   CircuitReport rep;
   rep.name = name;
-  rep.luts = benchmark_info(name).luts;
+  rep.luts = luts;
 
-  const Netlist nl = generate_benchmark(name);
   ArchParams arch;
   arch.W = 64;  // provisional; only pack/place look at it
   const Packing pk = pack_netlist(nl, arch);
@@ -97,12 +197,26 @@ CircuitReport run_circuit(const std::string& name) {
   const ChannelWidthResult cw = find_min_channel_width(arch, pl, 48,
                                                        g_route_opt);
   rep.wmin_wall_s = now_s() - t0;
+  if (!cw.feasible) {
+    rep.infeasible = true;
+    rep.w_cap = cw.w_cap;
+    return rep;
+  }
   rep.w_min = cw.w_min;
   rep.w_fixed = cw.w_low_stress;
 
   ArchParams fixed_arch = arch;
   fixed_arch.W = rep.w_fixed;
-  const RrGraph g(fixed_arch, nx, ny);
+  std::unique_ptr<RrGraph> eg;
+  std::unique_ptr<ImplicitRrGraph> ig;
+  if (g_route_opt.rr_backend == RrBackend::kImplicit) {
+    ig = std::make_unique<ImplicitRrGraph>(fixed_arch, nx, ny);
+  } else {
+    eg = std::make_unique<RrGraph>(fixed_arch, nx, ny);
+  }
+  const RrGraphView g = ig ? RrGraphView(*ig) : RrGraphView(*eg);
+  rep.rr_nodes = g.node_count();
+  rep.rr_bytes = g.memory_bytes();
   // Timing-driven runs need a fresh hook per route_all; the Wmin search
   // above stays congestion-only (width probes force timing off).
   std::unique_ptr<RouterTimingHook> hook;
@@ -134,7 +248,7 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
     std::fprintf(stderr, "route_perf: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"nemfpga-route-bench-4\",\n");
   std::fprintf(f, "  \"threads\": %zu,\n",
                ThreadPool::current().thread_count());
   std::fprintf(f, "  \"astar_factor\": %.3f,\n", g_route_opt.astar_factor);
@@ -143,6 +257,18 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
   std::fprintf(f, "  \"timing_driven\": %s,\n",
                g_route_opt.timing_driven ? "true" : "false");
   std::fprintf(f, "  \"crit_exp\": %.3f,\n", g_route_opt.criticality_exp);
+  // Backend and scheduler knobs: the partition knobs change the routing
+  // (deterministically), so they join the config tuple bench_check pins;
+  // rr_backend does NOT — both backends are bit-identical by design, and
+  // cross-backend diffs are exactly how that claim is audited. Wall-time
+  // budgets are still only applied between same-backend runs.
+  std::fprintf(f, "  \"rr_backend\": \"%s\",\n",
+               g_route_opt.rr_backend == RrBackend::kImplicit ? "implicit"
+                                                              : "explicit");
+  std::fprintf(f, "  \"partition_parallel\": %s,\n",
+               g_route_opt.partition_parallel ? "true" : "false");
+  std::fprintf(f, "  \"partition_size\": %zu,\n",
+               g_route_opt.partition_size);
   // Recorded so bench_check can waive the wall-time budget when one run
   // paid for invariant checking and the other did not; the correctness
   // fields and work counters stay pinned either way.
@@ -151,6 +277,8 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
   double total = 0.0;
   for (const auto& r : reps) total += r.wmin_wall_s + r.route_wall_s;
   std::fprintf(f, "  \"total_wall_s\": %.6f,\n", total);
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(peak_rss_bytes()));
   std::fprintf(f, "  \"circuits\": [\n");
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const auto& r = reps[i];
@@ -159,11 +287,23 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
     std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
     std::fprintf(f, "      \"luts\": %zu,\n", r.luts);
     std::fprintf(f, "      \"nets\": %zu,\n", r.nets);
+    std::fprintf(f, "      \"infeasible\": %s,\n",
+                 r.infeasible ? "true" : "false");
+    if (r.infeasible) {
+      std::fprintf(f, "      \"w_cap\": %zu,\n", r.w_cap);
+    }
     std::fprintf(f, "      \"wmin\": %zu,\n", r.w_min);
     std::fprintf(f, "      \"wmin_wall_s\": %.6f,\n", r.wmin_wall_s);
     std::fprintf(f, "      \"fixed_w\": %zu,\n", r.w_fixed);
     std::fprintf(f, "      \"route_wall_s\": %.6f,\n", r.route_wall_s);
     std::fprintf(f, "      \"iterations\": %zu,\n", r.iterations);
+    std::fprintf(f, "      \"rr_nodes\": %zu,\n", r.rr_nodes);
+    std::fprintf(f, "      \"rr_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.rr_bytes));
+    std::fprintf(f, "      \"rr_bytes_per_node\": %.2f,\n",
+                 r.rr_nodes ? static_cast<double>(r.rr_bytes) /
+                                  static_cast<double>(r.rr_nodes)
+                            : 0.0);
     // 0 when congestion-only; hexfloat-precise via %.17g so a diff of
     // two timing runs compares the critical path bitwise.
     std::fprintf(f, "      \"critical_path_s\": %.17g,\n",
@@ -206,37 +346,72 @@ void write_json(const std::vector<CircuitReport>& reps, const char* path) {
   std::fclose(f);
 }
 
+/// The --scale ladder: synthetic circuits sized for ~10/16/24-tile logic
+/// grids (N = 10 LUTs per block). Deterministic in the spec, so both
+/// backends route byte-identical workloads. The top size stays within
+/// the lookahead builder's O(tiles^2) budget.
+std::vector<SynthSpec> scale_specs() {
+  std::vector<SynthSpec> specs(3);
+  specs[0].name = "synth-s";
+  specs[0].n_luts = 1000;
+  specs[1].name = "synth-m";
+  specs[1].n_luts = 2560;
+  specs[2].name = "synth-l";
+  specs[2].n_luts = 5760;
+  for (auto& s : specs) {
+    s.n_inputs = 48;
+    s.n_outputs = 48;
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out = "BENCH_route.json";
   std::vector<std::string> circuits = {"tseng", "alu4", "pdc"};
+  bool scale = false;
   std::size_t threads = 0;  // 0 = keep the ambient NF_THREADS pool
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out = argv[++i];
+    if (!std::strcmp(argv[i], "--out")) {
+      out = flag_operand("--out", argc, argv, i);
     } else if (!std::strcmp(argv[i], "--smoke")) {
       circuits = {"tseng"};
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (!std::strcmp(argv[i], "--astar") && i + 1 < argc) {
-      g_route_opt.astar_factor = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      scale = true;
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = parse_size_flag("--threads", argc, argv, i);
+    } else if (!std::strcmp(argv[i], "--astar")) {
+      g_route_opt.astar_factor =
+          parse_double_flag("--astar", argc, argv, i);
       // astar 0 means "the pre-lookahead router", which was serial.
       if (g_route_opt.astar_factor == 0.0) g_route_opt.net_parallel = false;
-    } else if (!std::strcmp(argv[i], "--par") && i + 1 < argc) {
-      g_route_opt.net_parallel = std::atoi(argv[++i]) != 0;
+    } else if (!std::strcmp(argv[i], "--par")) {
+      g_route_opt.net_parallel = parse_bool_flag("--par", argc, argv, i);
     } else if (!std::strcmp(argv[i], "--timing")) {
       g_route_opt.timing_driven = true;
-    } else if (!std::strcmp(argv[i], "--crit-exp") && i + 1 < argc) {
-      g_route_opt.criticality_exp = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--crit-exp")) {
+      g_route_opt.criticality_exp =
+          parse_double_flag("--crit-exp", argc, argv, i);
+    } else if (!std::strcmp(argv[i], "--backend")) {
+      g_route_opt.rr_backend = parse_backend_flag("--backend", argc, argv, i);
+    } else if (!std::strcmp(argv[i], "--partition")) {
+      g_route_opt.partition_parallel =
+          parse_bool_flag("--partition", argc, argv, i);
+    } else if (!std::strcmp(argv[i], "--partition-size")) {
+      g_route_opt.partition_size =
+          parse_size_flag("--partition-size", argc, argv, i);
+    } else if (!std::strcmp(argv[i], "--max-w")) {
+      g_route_opt.max_channel_width =
+          parse_size_flag("--max-w", argc, argv, i);
     } else if (!std::strcmp(argv[i], "--verify-la")) {
       // Shadow every directed search with a zero-heuristic Dijkstra on
       // the same cost state: proves admissibility (suboptimal must stay
       // 0 at astar <= 1) and reports the heuristic's pruning ratio.
       g_route_opt.verify_lookahead = true;
-    } else if (!std::strcmp(argv[i], "--circuits") && i + 1 < argc) {
+    } else if (!std::strcmp(argv[i], "--circuits")) {
       circuits.clear();
-      std::string s = argv[++i];
+      std::string s = flag_operand("--circuits", argc, argv, i);
       std::size_t pos = 0;
       while (pos != std::string::npos) {
         const std::size_t c = s.find(',', pos);
@@ -246,8 +421,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: route_perf [--out FILE] [--circuits a,b,c] "
-                   "[--smoke] [--threads N] [--astar F] [--par 0|1] "
-                   "[--timing] [--crit-exp E] [--verify-la]\n");
+                   "[--smoke] [--scale] [--threads N] [--astar F] "
+                   "[--par 0|1] [--timing] [--crit-exp E] "
+                   "[--backend explicit|implicit] [--partition 0|1] "
+                   "[--partition-size N] [--max-w N] [--verify-la]\n");
       return 2;
     }
   }
@@ -261,14 +438,21 @@ int main(int argc, char** argv) {
 
   std::printf(
       "route_perf — PathFinder hot-path benchmark (%zu threads, "
-      "astar=%.2f, net_parallel=%d, timing=%d)\n\n",
+      "astar=%.2f, net_parallel=%d, timing=%d, backend=%s, partition=%d)\n\n",
       ThreadPool::current().thread_count(), g_route_opt.astar_factor,
       static_cast<int>(g_route_opt.net_parallel),
-      static_cast<int>(g_route_opt.timing_driven));
+      static_cast<int>(g_route_opt.timing_driven),
+      g_route_opt.rr_backend == RrBackend::kImplicit ? "implicit"
+                                                     : "explicit",
+      static_cast<int>(g_route_opt.partition_parallel));
   std::vector<CircuitReport> reps;
-  for (const auto& name : circuits) {
-    reps.push_back(run_circuit(name));
-    const auto& r = reps.back();
+  auto report = [&](const CircuitReport& r) {
+    if (r.infeasible) {
+      std::printf(
+          "%-8s %5zu LUTs  infeasible: grow phase hit the W=%zu cap\n",
+          r.name.c_str(), r.luts, r.w_cap);
+      return;
+    }
     const auto& c = r.fixed.counters;
     std::printf(
         "%-8s %5zu LUTs  Wmin=%-3zu (%6.2f s)  route@W=%-3zu %6.2f s  "
@@ -276,6 +460,12 @@ int main(int argc, char** argv) {
         r.name.c_str(), r.luts, r.w_min, r.wmin_wall_s, r.w_fixed,
         r.route_wall_s, r.iterations,
         static_cast<unsigned long long>(r.checksum));
+    std::printf(
+        "         rr: %zu nodes, %.2f MiB resident (%.1f B/node)\n",
+        r.rr_nodes, static_cast<double>(r.rr_bytes) / (1024.0 * 1024.0),
+        r.rr_nodes ? static_cast<double>(r.rr_bytes) /
+                         static_cast<double>(r.rr_nodes)
+                   : 0.0);
     if (g_route_opt.timing_driven) {
       std::printf(
           "         critical_path=%.3f ns  sta_net_evals=%llu "
@@ -302,6 +492,19 @@ int main(int argc, char** argv) {
           static_cast<double>(c.verify_dijkstra_expanded) /
               static_cast<double>(c.verify_astar_expanded),
           static_cast<unsigned long long>(c.lookahead_suboptimal));
+    }
+  };
+  if (scale) {
+    for (const SynthSpec& spec : scale_specs()) {
+      reps.push_back(
+          run_circuit(spec.name, generate_netlist(spec), spec.n_luts));
+      report(reps.back());
+    }
+  } else {
+    for (const auto& name : circuits) {
+      reps.push_back(run_circuit(name, generate_benchmark(name),
+                                 benchmark_info(name).luts));
+      report(reps.back());
     }
   }
   write_json(reps, out);

@@ -66,13 +66,20 @@ int main() {
   };
   const auto first = search(names[smallest], 48);
   const auto widths = parallel_map(names.size(), [&](std::size_t i) {
-    return i == smallest ? first : search(names[i], first.w_min);
+    return i == smallest
+               ? first
+               : search(names[i], first.feasible ? first.w_min : 48);
   });
 
   TextTable t({"circuit", "4-LUTs", "Wmin", "1.2 x Wmin"});
   std::size_t w_need = 0;
   for (std::size_t i = 0; i < names.size(); ++i) {
     const auto& cw = widths[i];
+    if (!cw.feasible) {
+      t.add_row({names[i], std::to_string(benchmark_info(names[i]).luts),
+                 "infeasible", "-"});
+      continue;
+    }
     t.add_row({names[i], std::to_string(benchmark_info(names[i]).luts),
                std::to_string(cw.w_min), std::to_string(cw.w_low_stress)});
     w_need = std::max(w_need, cw.w_low_stress);

@@ -43,7 +43,7 @@ std::int32_t RouteLookahead::node_key(const RrNode& n) const {
       static_cast<std::int64_t>(rx) * sy_ - ry);
 }
 
-RouteLookahead::RouteLookahead(const RrGraph& real,
+RouteLookahead::RouteLookahead(const RrGraphView& real,
                                const DelayProfile* delay) {
   const auto t0 = std::chrono::steady_clock::now();
   const int nx = static_cast<int>(real.nx());

@@ -76,7 +76,7 @@ class RouteLookahead {
   /// router's blended heuristic. The same admissibility argument applies:
   /// thin connectivity supersets any real width, and rounding is always
   /// toward zero.
-  explicit RouteLookahead(const RrGraph& g,
+  explicit RouteLookahead(const RrGraphView& g,
                           const DelayProfile* delay = nullptr);
 
   /// Expected remaining base cost from `n` (whose own cost is already

@@ -460,6 +460,610 @@ void RrGraph::finalize_csr() {
   adj_.clear();
 }
 
+std::size_t RrGraph::memory_bytes() const {
+  std::size_t b = sizeof(*this);
+  b += nodes_.capacity() * sizeof(RrNode);
+  b += edges_.capacity() * sizeof(RrEdge);
+  b += edge_offsets_.capacity() * sizeof(std::uint32_t);
+  for (const SiteIds& s : sites_) {
+    b += sizeof(SiteIds) +
+         (s.opins.capacity() + s.ipins.capacity()) * sizeof(RrNodeId);
+  }
+  for (const auto& v : cover_x_) {
+    b += sizeof(v) + v.capacity() * sizeof(RrNodeId);
+  }
+  for (const auto& v : cover_y_) {
+    b += sizeof(v) + v.capacity() * sizeof(RrNodeId);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// ImplicitRrGraph: the coordinate-computed twin of the explicit builder
+// above. Every function here replays a specific loop of the explicit
+// construction arithmetically; comments name the loop being mirrored. Any
+// change to the explicit builder must be mirrored here (and is caught by
+// tests/test_rr_implicit.cpp, which compares the two id-by-id).
+// ---------------------------------------------------------------------------
+
+ImplicitRrGraph::ImplicitRrGraph(const ArchParams& arch, std::size_t nx,
+                                 std::size_t ny)
+    : arch_(arch), nx_(nx), ny_(ny) {
+  if (nx == 0 || ny == 0) {
+    throw std::invalid_argument("RrGraph: empty grid");
+  }
+  if (arch.W < 2 || arch.L == 0) {
+    throw std::invalid_argument("RrGraph: bad arch");
+  }
+  const std::size_t W = arch_.W;
+  // Sites: y-major scan skipping the four empty corners, 4 nodes each.
+  site_count_ = (nx_ + 2) * (ny_ + 2) - 4;
+  wire_base_ = static_cast<RrNodeId>(site_count_ * 4);
+
+  // Per-track wire prefix over one channel (all CHANX channels share the
+  // segment layout for span nx, all CHANY channels for span ny — the
+  // stagger phase depends only on the track).
+  px_.resize(W + 1);
+  py_.resize(W + 1);
+  px_[0] = py_[0] = 0;
+  for (std::size_t t = 0; t < W; ++t) {
+    px_[t + 1] = px_[t] + static_cast<std::uint32_t>(n_segs(t, nx_));
+    py_[t + 1] = py_[t] + static_cast<std::uint32_t>(n_segs(t, ny_));
+  }
+  sx_ = px_[W];
+  sy_ = py_[W];
+  wire_count_ = (ny_ + 1) * sx_ + (nx_ + 1) * sy_;
+  node_count_ = wire_base_ + wire_count_;
+
+  // Connection-box tap membership, folded over pins: which tracks the
+  // pooled IPIN of a site taps from one adjacent channel side at channel
+  // position `pos`. LB pins round-robin over sides (pin % 4); IO pads use
+  // their single valid side for every pin, so one mask per position
+  // suffices for all four borders.
+  constexpr double kGolden = 0.6180339887498949;
+  mask_words_ = (W + 63) / 64;
+  max_span_ = std::max(nx_, ny_);
+  lb_tap_.assign(4 * (max_span_ + 1) * mask_words_, 0);
+  io_tap_.assign((max_span_ + 1) * mask_words_, 0);
+  const std::size_t fc = arch_.fc_in_tracks();
+  auto add_tracks = [&](std::uint64_t* words, std::size_t pin,
+                        std::size_t pos) {
+    const double offset = std::fmod(
+        kGolden * static_cast<double>(pin + 1) +
+            0.37 * static_cast<double>(pos),
+        1.0);
+    for (std::size_t k = 0; k < fc; ++k) {
+      const double frac = std::fmod(
+          offset + static_cast<double>(k) / static_cast<double>(fc), 1.0);
+      const std::size_t track =
+          static_cast<std::size_t>(frac * static_cast<double>(W)) % W;
+      words[track / 64] |= std::uint64_t{1} << (track % 64);
+    }
+  };
+  for (std::size_t pos = 1; pos <= max_span_; ++pos) {
+    for (std::size_t p = 0; p < arch_.lb_inputs(); ++p) {
+      const std::size_t side = p % 4;
+      add_tracks(
+          lb_tap_.data() + (side * (max_span_ + 1) + pos) * mask_words_, p,
+          pos);
+    }
+    for (std::size_t p = 0; p < arch_.io_per_pad; ++p) {
+      add_tracks(io_tap_.data() + pos * mask_words_, p, pos);
+    }
+  }
+}
+
+bool ImplicitRrGraph::is_lb(std::size_t x, std::size_t y) const {
+  return x >= 1 && x <= nx_ && y >= 1 && y <= ny_;
+}
+
+bool ImplicitRrGraph::is_io(std::size_t x, std::size_t y) const {
+  if (x > nx_ + 1 || y > ny_ + 1) return false;
+  const bool border_x = (x == 0 || x == nx_ + 1);
+  const bool border_y = (y == 0 || y == ny_ + 1);
+  return border_x != border_y;
+}
+
+std::size_t ImplicitRrGraph::site_ordinal(std::size_t x,
+                                          std::size_t y) const {
+  // The explicit builder's scan: row 0 holds nx sites (x = 1..nx), rows
+  // 1..ny hold nx+2 (both IO columns), row ny+1 again nx.
+  if (y == 0) return x - 1;
+  if (y <= ny_) return nx_ + (y - 1) * (nx_ + 2) + x;
+  return nx_ + ny_ * (nx_ + 2) + (x - 1);
+}
+
+void ImplicitRrGraph::ordinal_to_xy(std::size_t ordinal, std::size_t& x,
+                                    std::size_t& y) const {
+  if (ordinal < nx_) {
+    x = ordinal + 1;
+    y = 0;
+    return;
+  }
+  std::size_t o = ordinal - nx_;
+  const std::size_t row = nx_ + 2;
+  if (o < ny_ * row) {
+    x = o % row;
+    y = 1 + o / row;
+    return;
+  }
+  o -= ny_ * row;
+  x = o + 1;
+  y = ny_ + 1;
+}
+
+SiteRef ImplicitRrGraph::site(std::size_t x, std::size_t y) const {
+  if (!is_lb(x, y) && !is_io(x, y)) {
+    throw std::out_of_range("RrGraph::site: empty cell");
+  }
+  const bool lb = is_lb(x, y);
+  const RrNodeId b = site_base(x, y);
+  SiteRef s;
+  s.source = b;
+  s.sink = b + 1;
+  s.opin = b + 2;
+  s.ipin = b + 3;
+  s.pin_count_opin = lb ? arch_.lb_outputs() : arch_.io_per_pad;
+  s.pin_count_ipin = lb ? arch_.lb_inputs() : arch_.io_per_pad;
+  return s;
+}
+
+// --- Segment geometry -------------------------------------------------------
+// build_channel() walks each track bottom-up: a first segment of
+// first_len positions, then L-long chunks, the last clipped to the span.
+// INC tracks put the stub (length = stagger) at the low end; DEC tracks
+// mirror it to the high end, which from the bottom means the first
+// segment has length ((span - stagger - 1) % L) + 1.
+
+std::size_t ImplicitRrGraph::first_len(std::size_t t,
+                                       std::size_t span) const {
+  const std::size_t L = arch_.L;
+  const std::size_t cls = (t / 2) % L;
+  if (t % 2 == 0) {  // INC
+    return cls > 0 ? std::min(span, cls) : std::min(span, L);
+  }
+  return span > cls ? ((span - cls - 1) % L) + 1 : span;  // DEC
+}
+
+std::size_t ImplicitRrGraph::n_segs(std::size_t t, std::size_t span) const {
+  const std::size_t fl = first_len(t, span);
+  if (fl >= span) return 1;
+  const std::size_t L = arch_.L;
+  return 1 + (span - fl + L - 1) / L;
+}
+
+std::size_t ImplicitRrGraph::seg_index(std::size_t t, std::size_t span,
+                                       std::size_t pos) const {
+  const std::size_t fl = first_len(t, span);
+  if (pos <= fl) return 0;
+  return 1 + (pos - fl - 1) / arch_.L;
+}
+
+void ImplicitRrGraph::seg_bounds(std::size_t t, std::size_t span,
+                                 std::size_t k, std::size_t& lo,
+                                 std::size_t& hi) const {
+  const std::size_t fl = first_len(t, span);
+  if (k == 0) {
+    lo = 1;
+    hi = fl;
+    return;
+  }
+  const std::size_t L = arch_.L;
+  lo = fl + (k - 1) * L + 1;
+  hi = std::min(span, fl + k * L);
+}
+
+bool ImplicitRrGraph::is_start(std::size_t t, std::size_t span,
+                               std::size_t pos) const {
+  const std::size_t fl = first_len(t, span);
+  const std::size_t L = arch_.L;
+  if (t % 2 == 0) {  // INC wires drive from their low end.
+    return pos == 1 || (pos > fl && (pos - fl - 1) % L == 0);
+  }
+  // DEC wires drive from their high end (a segment's last position).
+  return pos == span || (pos >= fl && (pos - fl) % L == 0);
+}
+
+RrNodeId ImplicitRrGraph::wire_id_x(std::size_t j, std::size_t t,
+                                    std::size_t k) const {
+  return wire_base_ + static_cast<RrNodeId>(j * sx_ + px_[t] + k);
+}
+
+RrNodeId ImplicitRrGraph::wire_id_y(std::size_t i, std::size_t t,
+                                    std::size_t k) const {
+  return wire_base_ +
+         static_cast<RrNodeId>((ny_ + 1) * sx_ + i * sy_ + py_[t] + k);
+}
+
+RrNodeId ImplicitRrGraph::wire_at_x(std::size_t j, std::size_t track,
+                                    std::size_t x) const {
+  if (j > ny_ || track >= arch_.W || x < 1 || x > nx_) return kNoRrNode;
+  return wire_id_x(j, track, seg_index(track, nx_, x));
+}
+
+RrNodeId ImplicitRrGraph::wire_at_y(std::size_t i, std::size_t track,
+                                    std::size_t y) const {
+  if (i > nx_ || track >= arch_.W || y < 1 || y > ny_) return kNoRrNode;
+  return wire_id_y(i, track, seg_index(track, ny_, y));
+}
+
+void ImplicitRrGraph::wires_starting_x(std::size_t j, std::size_t x,
+                                       bool increasing,
+                                       std::vector<RrNodeId>& out) const {
+  if (j > ny_ || x < 1 || x > nx_) return;
+  for (std::size_t t = increasing ? 0 : 1; t < arch_.W; t += 2) {
+    if (is_start(t, nx_, x)) {
+      out.push_back(wire_id_x(j, t, seg_index(t, nx_, x)));
+    }
+  }
+}
+
+void ImplicitRrGraph::wires_starting_y(std::size_t i, std::size_t y,
+                                       bool increasing,
+                                       std::vector<RrNodeId>& out) const {
+  if (i > nx_ || y < 1 || y > ny_) return;
+  for (std::size_t t = increasing ? 0 : 1; t < arch_.W; t += 2) {
+    if (is_start(t, ny_, y)) {
+      out.push_back(wire_id_y(i, t, seg_index(t, ny_, y)));
+    }
+  }
+}
+
+RrNode ImplicitRrGraph::node(RrNodeId id) const {
+  RrNode n;
+  if (id < wire_base_) {
+    std::size_t x = 0, y = 0;
+    ordinal_to_xy(id / 4, x, y);
+    const bool lb = is_lb(x, y);
+    const std::size_t out_cap = lb ? arch_.lb_outputs() : arch_.io_per_pad;
+    const std::size_t in_cap = lb ? arch_.lb_inputs() : arch_.io_per_pad;
+    switch (id % 4) {
+      case 0:
+        n.type = RrType::kSource;
+        n.capacity = static_cast<std::uint16_t>(out_cap);
+        break;
+      case 1:
+        n.type = RrType::kSink;
+        n.capacity = static_cast<std::uint16_t>(in_cap);
+        break;
+      case 2:
+        n.type = RrType::kOpin;
+        n.capacity = static_cast<std::uint16_t>(out_cap);
+        break;
+      default:
+        n.type = RrType::kIpin;
+        n.capacity = static_cast<std::uint16_t>(in_cap);
+        break;
+    }
+    n.x_lo = n.x_hi = static_cast<std::uint16_t>(x);
+    n.y_lo = n.y_hi = static_cast<std::uint16_t>(y);
+    return n;
+  }
+  std::size_t off = id - wire_base_;
+  const bool horizontal = off < (ny_ + 1) * sx_;
+  std::size_t chan, rem, span;
+  const std::vector<std::uint32_t>* prefix;
+  if (horizontal) {
+    chan = off / sx_;
+    rem = off % sx_;
+    span = nx_;
+    prefix = &px_;
+  } else {
+    off -= (ny_ + 1) * sx_;
+    chan = off / sy_;
+    rem = off % sy_;
+    span = ny_;
+    prefix = &py_;
+  }
+  const auto it =
+      std::upper_bound(prefix->begin(), prefix->end(),
+                       static_cast<std::uint32_t>(rem));
+  const std::size_t t =
+      static_cast<std::size_t>(it - prefix->begin()) - 1;
+  const std::size_t k = rem - (*prefix)[t];
+  std::size_t lo = 0, hi = 0;
+  seg_bounds(t, span, k, lo, hi);
+  n.type = horizontal ? RrType::kChanX : RrType::kChanY;
+  n.increasing = (t % 2 == 0);
+  n.track = static_cast<std::uint16_t>(t);
+  n.length = static_cast<std::uint8_t>(hi - lo + 1);
+  if (horizontal) {
+    n.x_lo = static_cast<std::uint16_t>(lo);
+    n.x_hi = static_cast<std::uint16_t>(hi);
+    n.y_lo = n.y_hi = static_cast<std::uint16_t>(chan);
+  } else {
+    n.y_lo = static_cast<std::uint16_t>(lo);
+    n.y_hi = static_cast<std::uint16_t>(hi);
+    n.x_lo = n.x_hi = static_cast<std::uint16_t>(chan);
+  }
+  return n;
+}
+
+bool ImplicitRrGraph::lb_tap_bit(std::size_t side, std::size_t pos,
+                                 std::size_t t) const {
+  const std::uint64_t* w =
+      lb_tap_.data() + (side * (max_span_ + 1) + pos) * mask_words_;
+  return (w[t / 64] >> (t % 64)) & 1;
+}
+
+bool ImplicitRrGraph::io_tap_bit(std::size_t pos, std::size_t t) const {
+  const std::uint64_t* w = io_tap_.data() + pos * mask_words_;
+  return (w[t / 64] >> (t % 64)) & 1;
+}
+
+std::vector<RrNodeId> ImplicitRrGraph::ipin_tap_wires(std::size_t x,
+                                                      std::size_t y,
+                                                      std::size_t pin) const {
+  constexpr double kGolden = 0.6180339887498949;
+  const auto adj = site_adjacencies(x, y, nx_, ny_);
+  std::size_t side = pin % 4;
+  if (!adj[side].valid) {
+    side = 4;
+    for (std::size_t alt = 0; alt < 4; ++alt) {
+      if (adj[alt].valid) {
+        side = alt;
+        break;
+      }
+    }
+    if (side == 4) return {};
+  }
+  const SiteAdj& a = adj[side];
+  const std::size_t fc = arch_.fc_in_tracks();
+  const double offset = std::fmod(
+      kGolden * static_cast<double>(pin + 1) +
+          0.37 * static_cast<double>(a.pos),
+      1.0);
+  std::vector<RrNodeId> out;
+  out.reserve(fc);
+  for (std::size_t k = 0; k < fc; ++k) {
+    const double frac = std::fmod(
+        offset + static_cast<double>(k) / static_cast<double>(fc), 1.0);
+    const std::size_t track =
+        static_cast<std::size_t>(frac * static_cast<double>(arch_.W)) %
+        arch_.W;
+    const RrNodeId wire = a.horizontal ? wire_at_x(a.chan, track, a.pos)
+                                       : wire_at_y(a.chan, track, a.pos);
+    if (wire != kNoRrNode &&
+        std::find(out.begin(), out.end(), wire) == out.end()) {
+      out.push_back(wire);
+    }
+  }
+  return out;
+}
+
+std::vector<RrNodeId> ImplicitRrGraph::opin_start_wires(
+    std::size_t x, std::size_t y, std::size_t pin) const {
+  constexpr double kGolden = 0.6180339887498949;
+  const auto adj = site_adjacencies(x, y, nx_, ny_);
+  std::vector<RrNodeId> all_starts;
+  for (const SiteAdj& a : adj) {
+    if (!a.valid) continue;
+    for (bool inc : {true, false}) {
+      if (a.horizontal) {
+        wires_starting_x(a.chan, a.pos, inc, all_starts);
+      } else {
+        wires_starting_y(a.chan, a.pos, inc, all_starts);
+      }
+    }
+  }
+  std::vector<RrNodeId> out;
+  if (all_starts.empty()) return out;
+  if (arch_.dense_fanout) {
+    for (RrNodeId w : all_starts) {
+      if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
+    }
+    return out;
+  }
+  const std::size_t want = std::min(all_starts.size(), arch_.fc_out_tracks());
+  const double offset =
+      std::fmod(kGolden * static_cast<double>(pin + 1), 1.0);
+  for (std::size_t k = 0; k < want; ++k) {
+    const double frac = std::fmod(
+        offset + static_cast<double>(k) / static_cast<double>(want), 1.0);
+    const RrNodeId w =
+        all_starts[static_cast<std::size_t>(
+                       frac * static_cast<double>(all_starts.size())) %
+                   all_starts.size()];
+    if (std::find(out.begin(), out.end(), w) == out.end()) out.push_back(w);
+  }
+  return out;
+}
+
+void ImplicitRrGraph::opin_union(std::size_t x, std::size_t y,
+                                 std::vector<RrNodeId>& out) const {
+  const bool lb = is_lb(x, y);
+  const std::size_t pins = lb ? arch_.lb_outputs() : arch_.io_per_pad;
+  for (std::size_t p = 0; p < pins; ++p) {
+    for (RrNodeId w : opin_start_wires(x, y, p)) {
+      if (std::find(out.begin(), out.end(), w) == out.end()) {
+        out.push_back(w);
+      }
+    }
+  }
+}
+
+void ImplicitRrGraph::connect_x(std::size_t j, std::size_t pos,
+                                bool increasing, std::size_t target_track,
+                                std::vector<RrEdge>& out) const {
+  if (j > ny_ || pos < 1 || pos > nx_) return;
+  const std::size_t W = arch_.W;
+  if (arch_.dense_fanout) {
+    for (std::size_t t = increasing ? 0 : 1; t < W; t += 2) {
+      if (is_start(t, nx_, pos)) {
+        out.push_back({wire_id_x(j, t, seg_index(t, nx_, pos)),
+                       RrSwitch::kWireToWire});
+      }
+    }
+    return;
+  }
+  const std::size_t par = increasing ? 0 : 1;
+  for (std::size_t d = 0; d < W; ++d) {
+    if (target_track >= d) {
+      const std::size_t t = target_track - d;
+      if (t % 2 == par && is_start(t, nx_, pos)) {
+        out.push_back({wire_id_x(j, t, seg_index(t, nx_, pos)),
+                       RrSwitch::kWireToWire});
+        return;
+      }
+    }
+    const std::size_t t2 = target_track + d;
+    if (t2 < W && t2 % 2 == par && is_start(t2, nx_, pos)) {
+      out.push_back({wire_id_x(j, t2, seg_index(t2, nx_, pos)),
+                     RrSwitch::kWireToWire});
+      return;
+    }
+  }
+}
+
+void ImplicitRrGraph::connect_y(std::size_t i, std::size_t pos,
+                                bool increasing, std::size_t target_track,
+                                std::vector<RrEdge>& out) const {
+  if (i > nx_ || pos < 1 || pos > ny_) return;
+  const std::size_t W = arch_.W;
+  if (arch_.dense_fanout) {
+    for (std::size_t t = increasing ? 0 : 1; t < W; t += 2) {
+      if (is_start(t, ny_, pos)) {
+        out.push_back({wire_id_y(i, t, seg_index(t, ny_, pos)),
+                       RrSwitch::kWireToWire});
+      }
+    }
+    return;
+  }
+  const std::size_t par = increasing ? 0 : 1;
+  for (std::size_t d = 0; d < W; ++d) {
+    if (target_track >= d) {
+      const std::size_t t = target_track - d;
+      if (t % 2 == par && is_start(t, ny_, pos)) {
+        out.push_back({wire_id_y(i, t, seg_index(t, ny_, pos)),
+                       RrSwitch::kWireToWire});
+        return;
+      }
+    }
+    const std::size_t t2 = target_track + d;
+    if (t2 < W && t2 % 2 == par && is_start(t2, ny_, pos)) {
+      out.push_back({wire_id_y(i, t2, seg_index(t2, ny_, pos)),
+                     RrSwitch::kWireToWire});
+      return;
+    }
+  }
+}
+
+void ImplicitRrGraph::append_wire_edges(const RrNode& n, RrNodeId id,
+                                        std::vector<RrEdge>& out) const {
+  (void)id;
+  const std::size_t t = n.track;
+  const std::size_t rot = 5;  // Wilton rotation applied at turns
+  const std::size_t W = arch_.W;
+  if (n.type == RrType::kChanX) {
+    const std::size_t j = n.y_lo;
+    // Connection-box taps, in the explicit builder's y-major site-scan
+    // order: first the sites of row j (this wire is their "above"
+    // channel), then row j+1 ("below"), x ascending within each.
+    for (std::size_t x = n.x_lo; x <= n.x_hi; ++x) {
+      const bool tap = (j == 0) ? io_tap_bit(x, t) : lb_tap_bit(1, x, t);
+      if (tap) {
+        out.push_back({site_base(x, j) + 3, RrSwitch::kWireToIpin});
+      }
+    }
+    for (std::size_t x = n.x_lo; x <= n.x_hi; ++x) {
+      const bool tap =
+          (j + 1 == ny_ + 1) ? io_tap_bit(x, t) : lb_tap_bit(0, x, t);
+      if (tap) {
+        out.push_back({site_base(x, j + 1) + 3, RrSwitch::kWireToIpin});
+      }
+    }
+    // Switch-box moves past the wire's driven end: straight, then the
+    // +rot turn up, then the -rot turn down.
+    const std::size_t end = n.increasing ? n.x_hi : n.x_lo;
+    const std::size_t next_x = n.increasing ? end + 1 : end - 1;
+    if (next_x >= 1 && next_x <= nx_) {
+      connect_x(j, next_x, n.increasing, t, out);
+    }
+    const std::size_t i = n.increasing ? end : end - 1;
+    if (i <= nx_) {
+      connect_y(i, j + 1, true, (t + rot) % W, out);
+      if (j >= 1) {
+        connect_y(i, j, false, (t + W - rot) % W, out);
+      }
+    }
+  } else {
+    const std::size_t i = n.x_lo;
+    // Taps: for each covered row y ascending, site (i, y) sees this as
+    // its "right" channel and site (i+1, y) as its "left" — the same
+    // (x-ascending within a row) visit order as the explicit scan.
+    for (std::size_t y = n.y_lo; y <= n.y_hi; ++y) {
+      const bool tap_l = (i == 0) ? io_tap_bit(y, t) : lb_tap_bit(3, y, t);
+      if (tap_l) {
+        out.push_back({site_base(i, y) + 3, RrSwitch::kWireToIpin});
+      }
+      const bool tap_r =
+          (i + 1 == nx_ + 1) ? io_tap_bit(y, t) : lb_tap_bit(2, y, t);
+      if (tap_r) {
+        out.push_back({site_base(i + 1, y) + 3, RrSwitch::kWireToIpin});
+      }
+    }
+    const std::size_t end = n.increasing ? n.y_hi : n.y_lo;
+    const std::size_t next_y = n.increasing ? end + 1 : end - 1;
+    if (next_y >= 1 && next_y <= ny_) {
+      connect_y(i, next_y, n.increasing, t, out);
+    }
+    const std::size_t j = n.increasing ? end : end - 1;
+    if (j <= ny_) {
+      connect_x(j, i + 1, true, (t + rot) % W, out);
+      if (i >= 1) {
+        connect_x(j, i, false, (t + W - rot) % W, out);
+      }
+    }
+  }
+}
+
+void ImplicitRrGraph::append_edges(RrNodeId id,
+                                   std::vector<RrEdge>& out) const {
+  if (id < wire_base_) {
+    switch (id % 4) {
+      case 0:  // SOURCE -> pooled OPIN
+        out.push_back({id + 2, RrSwitch::kInternal});
+        return;
+      case 1:  // SINK: no out-edges
+        return;
+      case 3:  // pooled IPIN -> SINK
+        out.push_back({id - 2, RrSwitch::kInternal});
+        return;
+      default:
+        break;
+    }
+    // Pooled OPIN -> wire starts: first-seen union of the per-pin Fcout
+    // patterns, pins ascending (build_edges' opin_union loop).
+    std::size_t x = 0, y = 0;
+    ordinal_to_xy(id / 4, x, y);
+    std::vector<RrNodeId> u;
+    opin_union(x, y, u);
+    for (RrNodeId w : u) out.push_back({w, RrSwitch::kOpinToWire});
+    return;
+  }
+  append_wire_edges(node(id), id, out);
+}
+
+std::size_t ImplicitRrGraph::edge_count() const {
+  std::size_t cached = edge_count_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  std::vector<RrEdge> buf;
+  std::size_t total = 0;
+  for (RrNodeId id = 0; id < node_count_; ++id) {
+    buf.clear();
+    append_edges(id, buf);
+    total += buf.size();
+  }
+  edge_count_cache_.store(total, std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t ImplicitRrGraph::memory_bytes() const {
+  return sizeof(*this) +
+         (px_.capacity() + py_.capacity()) * sizeof(std::uint32_t) +
+         (lb_tap_.capacity() + io_tap_.capacity()) * sizeof(std::uint64_t);
+}
+
 std::pair<std::size_t, std::size_t> grid_size_for(const ArchParams& arch,
                                                   std::size_t n_lbs,
                                                   std::size_t n_ios) {

@@ -11,6 +11,7 @@
 // (j = 0..ny); CHANY(i) is vertical between columns i and i+1 (i = 0..nx).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -147,6 +148,250 @@ class RrGraph {
                                          bool increasing) const;
   void add_edge(RrNodeId from, RrNodeId to, RrSwitch sw);
   void finalize_csr();
+
+ public:
+  /// Bytes of resident graph storage (node records, CSR edge arrays, site
+  /// tables, wire cover maps) — the quantity the implicit backend removes.
+  std::size_t memory_bytes() const;
+};
+
+/// Which RR graph representation backs a routing run. The explicit graph
+/// stores node records and CSR edge lists; the implicit graph computes
+/// both from channel geometry on demand. Node ids, node records and edge
+/// enumeration order are identical between the two by construction (a
+/// differential test sweeps them id-by-id), so routing results are
+/// bit-identical either way; only memory and per-expansion cost differ.
+enum class RrBackend : std::uint8_t { kExplicit, kImplicit };
+
+#if defined(NF_RR_BACKEND_IMPLICIT)
+inline constexpr RrBackend kDefaultRrBackend = RrBackend::kImplicit;
+#else
+inline constexpr RrBackend kDefaultRrBackend = RrBackend::kExplicit;
+#endif
+
+/// Backend-neutral site record (RrGraphView::site). The fabric pools each
+/// site's pins into one OPIN and one IPIN node, so unlike SiteIds this
+/// carries plain ids, not vectors.
+struct SiteRef {
+  RrNodeId source = kNoRrNode;
+  RrNodeId sink = kNoRrNode;
+  RrNodeId opin = kNoRrNode;
+  RrNodeId ipin = kNoRrNode;
+  std::size_t pin_count_opin = 0;
+  std::size_t pin_count_ipin = 0;
+};
+
+/// The implicit (coordinate-computed) RR graph: the same fabric as RrGraph
+/// with no stored adjacency. A node id is a dense mixed-radix packing of
+/// its coordinates — sites first in the explicit builder's y-major scan
+/// order (4 nodes per site: SOURCE, SINK, pooled OPIN, pooled IPIN), then
+/// CHANX channels j = 0..ny and CHANY channels i = 0..nx, each channel
+/// holding the same per-track segment layout (a per-track prefix array
+/// makes id <-> (channel, track, segment) invertible in O(log W)).
+/// Neighbors are derived arithmetically from the segment class (stagger
+/// phase), the Wilton switch-box pattern and the fc tap masks; edge
+/// enumeration replays the explicit builder's append order exactly, so the
+/// two backends are node/edge-set- AND edge-order-identical, which is what
+/// keeps heap tie-breaking — and therefore routing — bit-identical.
+///
+/// Resident state is O(W + nx + ny) (prefix arrays + per-position tap
+/// masks): ~3 orders of magnitude below the explicit CSR at real sizes
+/// (route_perf --scale reports both).
+class ImplicitRrGraph {
+ public:
+  ImplicitRrGraph(const ArchParams& arch, std::size_t nx, std::size_t ny);
+
+  const ArchParams& arch() const { return arch_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t wire_count() const { return wire_count_; }
+  /// Total directed edges; enumerated on first call and cached.
+  std::size_t edge_count() const;
+
+  /// Reconstruct the node record from the packed id (O(log W)).
+  RrNode node(RrNodeId id) const;
+
+  /// Append the out-edges of `id` in the explicit builder's exact order:
+  /// wire nodes get their connection-box taps in site-scan order followed
+  /// by switch-box straight / +rot / -rot moves; OPIN nodes get the
+  /// first-seen union of the per-pin Fcout patterns.
+  void append_edges(RrNodeId id, std::vector<RrEdge>& out) const;
+
+  bool is_lb(std::size_t x, std::size_t y) const;
+  bool is_io(std::size_t x, std::size_t y) const;
+  /// Site lookup; throws for empty (corner) cells.
+  SiteRef site(std::size_t x, std::size_t y) const;
+
+  /// Per-physical-pin patterns (same values as RrGraph's; used by the
+  /// configuration compiler through the view).
+  std::vector<RrNodeId> ipin_tap_wires(std::size_t x, std::size_t y,
+                                       std::size_t pin) const;
+  std::vector<RrNodeId> opin_start_wires(std::size_t x, std::size_t y,
+                                         std::size_t pin) const;
+
+  /// Resident bytes of the derived tables (the whole graph state).
+  std::size_t memory_bytes() const;
+
+ private:
+  // --- Packed-id layout ---------------------------------------------------
+  std::size_t site_count() const { return site_count_; }
+  std::size_t site_ordinal(std::size_t x, std::size_t y) const;
+  void ordinal_to_xy(std::size_t ordinal, std::size_t& x,
+                     std::size_t& y) const;
+  RrNodeId site_base(std::size_t x, std::size_t y) const {
+    return static_cast<RrNodeId>(site_ordinal(x, y) * 4);
+  }
+
+  // --- Segment geometry (per track t over a span-long channel) -----------
+  std::size_t first_len(std::size_t t, std::size_t span) const;
+  std::size_t n_segs(std::size_t t, std::size_t span) const;
+  std::size_t seg_index(std::size_t t, std::size_t span,
+                        std::size_t pos) const;
+  void seg_bounds(std::size_t t, std::size_t span, std::size_t k,
+                  std::size_t& lo, std::size_t& hi) const;
+  /// Does the wire covering (t, pos) start (drive) at pos?
+  bool is_start(std::size_t t, std::size_t span, std::size_t pos) const;
+
+  RrNodeId wire_id_x(std::size_t j, std::size_t t, std::size_t k) const;
+  RrNodeId wire_id_y(std::size_t i, std::size_t t, std::size_t k) const;
+  RrNodeId wire_at_x(std::size_t j, std::size_t track, std::size_t x) const;
+  RrNodeId wire_at_y(std::size_t i, std::size_t track, std::size_t y) const;
+  void wires_starting_x(std::size_t j, std::size_t x, bool increasing,
+                        std::vector<RrNodeId>& out) const;
+  void wires_starting_y(std::size_t i, std::size_t y, bool increasing,
+                        std::vector<RrNodeId>& out) const;
+
+  /// Nearest-track Wilton pick among the starts at (chan, pos): scan
+  /// distance 0, 1, ... preferring the lower track — the same winner as
+  /// the explicit builder's first-minimum scan over an ascending
+  /// candidate list.
+  void connect_x(std::size_t j, std::size_t pos, bool increasing,
+                 std::size_t target_track, std::vector<RrEdge>& out) const;
+  void connect_y(std::size_t i, std::size_t pos, bool increasing,
+                 std::size_t target_track, std::vector<RrEdge>& out) const;
+
+  // --- Connection-box tap membership --------------------------------------
+  bool lb_tap_bit(std::size_t side, std::size_t pos, std::size_t t) const;
+  bool io_tap_bit(std::size_t pos, std::size_t t) const;
+  void append_wire_edges(const RrNode& n, RrNodeId id,
+                         std::vector<RrEdge>& out) const;
+  void opin_union(std::size_t x, std::size_t y,
+                  std::vector<RrNodeId>& out) const;
+
+  ArchParams arch_;
+  std::size_t nx_ = 0, ny_ = 0;
+  std::size_t site_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t wire_count_ = 0;
+  RrNodeId wire_base_ = 0;
+  std::size_t sx_ = 0, sy_ = 0;  ///< Wires per CHANX / CHANY channel.
+  std::vector<std::uint32_t> px_, py_;  ///< Per-track wire prefix (size W+1).
+  // Tap-membership bitmasks over tracks, indexed by channel position
+  // (the 0.37 * pos term gives every position its own pattern): LB sides
+  // 0..3 (below/above/left/right) and the IO single-side pattern.
+  std::size_t mask_words_ = 0;
+  std::size_t max_span_ = 0;
+  std::vector<std::uint64_t> lb_tap_, io_tap_;
+  mutable std::atomic<std::size_t> edge_count_cache_{0};
+};
+
+/// Narrow backend-dispatch facade every RR consumer routes through (the
+/// router, lookahead builder, overuse tracker, bitstream emitter and the
+/// verify-layer oracles). A view is two pointers; it borrows the backend,
+/// which must outlive it. Explicit-backend edge access returns the stored
+/// CSR span untouched (zero overhead beyond one branch); implicit-backend
+/// access materializes the edges into the caller's buffer.
+class RrGraphView {
+ public:
+  RrGraphView(const RrGraph& g) : exp_(&g) {}                // NOLINT
+  RrGraphView(const ImplicitRrGraph& g) : imp_(&g) {}        // NOLINT
+
+  bool implicit() const { return imp_ != nullptr; }
+  const RrGraph* explicit_graph() const { return exp_; }
+
+  const ArchParams& arch() const {
+    return exp_ ? exp_->arch() : imp_->arch();
+  }
+  std::size_t nx() const { return exp_ ? exp_->nx() : imp_->nx(); }
+  std::size_t ny() const { return exp_ ? exp_->ny() : imp_->ny(); }
+  std::size_t node_count() const {
+    return exp_ ? exp_->node_count() : imp_->node_count();
+  }
+  std::size_t wire_count() const {
+    return exp_ ? exp_->wire_count() : imp_->wire_count();
+  }
+  std::size_t edge_count() const {
+    return exp_ ? exp_->edge_count() : imp_->edge_count();
+  }
+  std::size_t memory_bytes() const {
+    return exp_ ? exp_->memory_bytes() : imp_->memory_bytes();
+  }
+
+  RrNode node(RrNodeId id) const {
+    return exp_ ? exp_->node(id) : imp_->node(id);
+  }
+
+  /// Out-edges of `id`. Explicit backend: the stored CSR slice (buf is
+  /// untouched). Implicit backend: computed into `buf` (cleared first).
+  /// The span is valid until the next use of `buf`.
+  std::span<const RrEdge> edges(RrNodeId id,
+                                std::vector<RrEdge>& buf) const {
+    if (exp_) return exp_->edges(id);
+    buf.clear();
+    imp_->append_edges(id, buf);
+    return {buf.data(), buf.size()};
+  }
+
+  template <typename F>
+  void for_each_edge(RrNodeId id, F&& f) const {
+    if (exp_) {
+      for (const RrEdge& e : exp_->edges(id)) f(e);
+      return;
+    }
+    std::vector<RrEdge> buf;
+    imp_->append_edges(id, buf);
+    for (const RrEdge& e : buf) f(e);
+  }
+
+  bool is_lb(std::size_t x, std::size_t y) const {
+    return exp_ ? exp_->is_lb(x, y) : imp_->is_lb(x, y);
+  }
+  bool is_io(std::size_t x, std::size_t y) const {
+    return exp_ ? exp_->is_io(x, y) : imp_->is_io(x, y);
+  }
+  SiteRef site(std::size_t x, std::size_t y) const {
+    if (imp_) return imp_->site(x, y);
+    const SiteIds& s = exp_->site(x, y);
+    return {s.source,         s.sink,
+            s.opins[0],       s.ipins[0],
+            s.pin_count_opin, s.pin_count_ipin};
+  }
+
+  std::vector<RrNodeId> ipin_tap_wires(std::size_t x, std::size_t y,
+                                       std::size_t pin) const {
+    return exp_ ? exp_->ipin_tap_wires(x, y, pin)
+                : imp_->ipin_tap_wires(x, y, pin);
+  }
+  std::vector<RrNodeId> opin_start_wires(std::size_t x, std::size_t y,
+                                         std::size_t pin) const {
+    return exp_ ? exp_->opin_start_wires(x, y, pin)
+                : imp_->opin_start_wires(x, y, pin);
+  }
+
+  /// Prefetch hints: meaningful for the stored backend, no-ops for the
+  /// computed one (there is nothing resident to pull into cache).
+  void prefetch_node(RrNodeId id) const {
+    if (exp_) exp_->prefetch_node(id);
+  }
+  void prefetch_edges(RrNodeId id) const {
+    if (exp_) exp_->prefetch_edges(id);
+  }
+
+ private:
+  const RrGraph* exp_ = nullptr;
+  const ImplicitRrGraph* imp_ = nullptr;
 };
 
 /// Smallest square logic grid that fits `n_lbs` logic blocks and whose

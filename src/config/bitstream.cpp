@@ -96,7 +96,7 @@ struct RoutedPins {
 };
 
 RoutedPins collect_routed_pins(const FlowResult& flow) {
-  const RrGraph& g = *flow.graph;
+  const RrGraphView g = *flow.graph;
   RoutedPins rp;
   rp.driver_wires.resize(flow.placement.nets.size());
   for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
@@ -129,7 +129,7 @@ RoutedPins collect_routed_pins(const FlowResult& flow) {
 }  // namespace
 
 PinAssignment assign_pins(const FlowResult& flow) {
-  const RrGraph& g = *flow.graph;
+  const RrGraphView g = *flow.graph;
   const RoutedPins rp = collect_routed_pins(flow);
 
   PinAssignment out;
@@ -247,7 +247,7 @@ PinAssignment assign_pins(const FlowResult& flow) {
 }
 
 Bitstream generate_bitstream(const FlowResult& flow) {
-  const RrGraph& g = *flow.graph;
+  const RrGraphView g = *flow.graph;
   const ArchParams& arch = flow.arch;
   Bitstream bs;
   bs.pins = assign_pins(flow);
@@ -288,13 +288,13 @@ Bitstream generate_bitstream(const FlowResult& flow) {
   // Build in-edge lists for used wires once.
   std::unordered_map<RrNodeId, std::vector<RrNodeId>> wire_inputs;
   for (RrNodeId u = 0; u < g.node_count(); ++u) {
-    for (const auto& e : g.edges(u)) {
+    g.for_each_edge(u, [&](const RrEdge& e) {
       const RrType tt = g.node(e.to).type;
       if ((tt == RrType::kChanX || tt == RrType::kChanY) &&
           (e.sw == RrSwitch::kWireToWire || e.sw == RrSwitch::kOpinToWire)) {
         wire_inputs[e.to].push_back(u);
       }
-    }
+    });
   }
   // The bit-line column must be unique per home tile, and the bare track
   // number is not: a tile owns an X and a Y channel, and the grid-edge

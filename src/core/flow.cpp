@@ -22,20 +22,28 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
     check_placement(r.packing, r.arch, r.placement);
   }
   r.graph = std::make_unique<RrGraph>(r.arch, nx, ny);
+  // The routing backend is selectable; downstream consumers (bitstream,
+  // timing, power) keep reading the explicit graph retained in the result.
+  // Both backends produce bit-identical routing by construction.
+  const std::unique_ptr<ImplicitRrGraph> ig =
+      opt.route.rr_backend == RrBackend::kImplicit
+          ? std::make_unique<ImplicitRrGraph>(r.arch, nx, ny)
+          : nullptr;
+  const RrGraphView gv = ig ? RrGraphView(*ig) : RrGraphView(*r.graph);
   if (opt.route.timing_driven) {
     // Unified delay layer: one electrical view feeds the delay model,
     // the delay-annotated lookahead and the incremental STA driving the
     // router's criticality blend (a fresh hook per route_all call).
     const ElectricalView view = make_view(r.arch, opt.timing_variant);
     const auto hook =
-        make_incremental_sta(r.netlist, r.packing, r.placement, *r.graph,
+        make_incremental_sta(r.netlist, r.packing, r.placement, gv,
                              view, opt.route.criticality_exp,
                              opt.route.max_criticality);
     RouteOptions ropt = opt.route;
     ropt.timing_hook = hook.get();
-    r.routing = route_all(*r.graph, r.placement, ropt);
+    r.routing = route_all(gv, r.placement, ropt);
   } else {
-    r.routing = route_all(*r.graph, r.placement, opt.route);
+    r.routing = route_all(gv, r.placement, opt.route);
   }
   if (!r.routing.success) {
     throw std::runtime_error(

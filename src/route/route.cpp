@@ -46,7 +46,7 @@ double wall_s() {
 // jitter, same occupancy sequencing — the legacy golden fixtures in
 // tests/test_route_golden.cpp pin Wmin and whole-suite tree checksums.
 struct Router {
-  const RrGraph& g;
+  const RrGraphView g;  ///< Backend-dispatch view (two pointers, by value).
   const Placement& pl;
   const RouteOptions& opt;
 
@@ -143,6 +143,10 @@ struct Router {
     /// footprints are untouched.
     std::vector<double> node_tdel;
     std::vector<std::pair<RrNodeId, RrNodeId>> path;
+    /// Edge materialization buffer for the implicit RR backend
+    /// (RrGraphView::edges); untouched by the explicit backend. Reserved
+    /// past the worst-case out-degree so it never grows in the loop.
+    std::vector<RrEdge> edge_buf;
 
     /// Set by a successful route attempt: edges before this index are the
     /// pre-seeded (still-committed) part of the tree, edges from it on
@@ -152,7 +156,7 @@ struct Router {
     /// Work done through this arena; summed into the routing totals.
     RouteCounters cnt;
 
-    explicit Scratch(std::size_t n) {
+    Scratch(std::size_t n, std::size_t edge_reserve) {
       relax.assign(n, RelaxNode{0.0, 0, kNoRrNode, 0, 0, 0});
       mark.assign(n, 0);
       // Warm the arena so even the first nets rarely grow it.
@@ -163,6 +167,7 @@ struct Router {
       order.reserve(256);
       tree_nodes.reserve(1024);
       path.reserve(512);
+      edge_buf.reserve(edge_reserve);
     }
 
     std::size_t capacity() const {
@@ -211,7 +216,15 @@ struct Router {
   /// the per-arena counters on top.
   RouteCounters cnt;
 
-  explicit Router(const RrGraph& graph, const Placement& placement,
+  /// Worst-case node out-degree bound, for Scratch::edge_buf.
+  std::size_t edge_reserve = 0;
+
+  /// Nets whose latest route needed the unconstrained-window retry: their
+  /// tree can lie anywhere on the fabric, so the partition scheduler must
+  /// keep them serial. Written only from serial route_net calls.
+  std::vector<std::uint8_t> routed_unbounded;
+
+  explicit Router(const RrGraphView& graph, const Placement& placement,
                   const RouteOptions& options)
       : g(graph), pl(placement), opt(options), occ(graph),
         timing(options.timing_driven ? options.timing_hook : nullptr) {
@@ -239,7 +252,7 @@ struct Router {
     base_cost.resize(n);
     hot.resize(n);
     for (RrNodeId i = 0; i < n; ++i) {
-      const RrNode& nd = g.node(i);
+      const RrNode nd = g.node(i);
       base_cost[i] = route_base_cost(nd);
       hot[i] = {nd.x_lo,
                 nd.x_hi,
@@ -258,12 +271,18 @@ struct Router {
     pres_fac = opt.first_iter_pres_fac;
     kept.reserve(512);
     ppath.reserve(512);
+    // Out-degree upper bound: a dense-fanout OPIN can reach every start
+    // over four adjacent channel positions (4W); a wire carries at most
+    // two taps per covered tile plus three switch-box moves.
+    edge_reserve = 4 * g.arch().W + 2 * std::max(g.nx(), g.ny()) + 8;
+    routed_unbounded.assign(pl.nets.size(), 0);
   }
 
   Scratch* acquire_scratch() {
     std::lock_guard<std::mutex> lk(scratch_mu);
     if (free_scratches.empty()) {
-      scratches.push_back(std::make_unique<Scratch>(g.node_count()));
+      scratches.push_back(
+          std::make_unique<Scratch>(g.node_count(), edge_reserve));
       return scratches.back().get();
     }
     Scratch* s = free_scratches.back();
@@ -306,6 +325,18 @@ struct Router {
   }
   void dec_occ(RrNodeId id) {
     occ.dec(id);
+    --hot[id].occ;
+  }
+  /// Partition-worker variant: per-id state (occupancy, over flag, hot
+  /// mirror) is written directly — partitions own disjoint id sets — and
+  /// the shared overuse count/list changes are parked in `ops` for the
+  /// deterministic absorb at the join.
+  void inc_occ_deferred(RrNodeId id, OveruseTracker::DeferredOps& ops) {
+    occ.inc_deferred(id, ops);
+    ++hot[id].occ;
+  }
+  void dec_occ_deferred(RrNodeId id, OveruseTracker::DeferredOps& ops) {
+    occ.dec_deferred(id, ops);
     --hot[id].occ;
   }
 
@@ -447,7 +478,7 @@ struct Router {
       if (no_reexpand) {
         sc.relax[u].path_cost = -std::numeric_limits<double>::infinity();
       }
-      const std::span<const RrEdge> es = g.edges(u);
+      const std::span<const RrEdge> es = g.edges(u, sc.edge_buf);
       for (std::size_t k = 0; k < es.size(); ++k) {
         if (k + 4 < es.size()) prefetch(&hot[es[k + 4].to]);
         const RrNodeId v = es[k].to;
@@ -524,7 +555,7 @@ struct Router {
         sc.sink_crit[i] = crit;
         const double inv_spb = (1.0 - crit) * spb;
         if (la) {
-          const RrNode& src = g.node(source);
+          const RrNode src = g.node(source);
           const double dly =
               delay_tab ? la->delay_estimate(src, tn.x_lo, tn.y_lo) : 0.0;
           sc.sink_keys[i] =
@@ -696,6 +727,10 @@ struct Router {
     if (st == NetStatus::kFail && !speculative) {
       out = RouteTree{};
       ++sc.ov_cur;
+      // The retry's tree can land anywhere — flag the net so the
+      // partition scheduler keeps it serial from now on. Only serial
+      // calls reach here (speculative routing defers failures instead).
+      routed_unbounded[net_idx] = 1;
       st = route_net_bb(sc, net_idx, net, out, g.nx() + g.ny(), speculative);
     }
     if (sc.capacity() != cap_before) ++sc.cnt.scratch_grows;
@@ -712,6 +747,15 @@ struct Router {
       inc_occ(t.edges[i].second);
     }
     inc_occ(t.source);
+  }
+  /// commit() for partition workers (deferred shared-state updates); the
+  /// inc order per node sequence is identical.
+  void commit_deferred(const RouteTree& t, std::size_t seed_edges,
+                       OveruseTracker::DeferredOps& ops) {
+    for (std::size_t i = seed_edges; i < t.edges.size(); ++i) {
+      inc_occ_deferred(t.edges[i].second, ops);
+    }
+    inc_occ_deferred(t.source, ops);
   }
 
   /// Batch conflict marks: a committed member's claimed nodes, checked by
@@ -746,6 +790,24 @@ struct Router {
       if (smark[to] != smark_cur) {
         smark[to] = smark_cur;
         dec_occ(to);
+      }
+    }
+  }
+
+  /// rip_up() for partition workers: identical node sequence, but the
+  /// shared-state side of each dec is deferred into `ops` and the
+  /// duplicate-edge dedup uses the worker's own scratch marks (smark
+  /// belongs to the serial orchestration path).
+  void rip_up_deferred(Scratch& sc, const RouteTree& t,
+                       OveruseTracker::DeferredOps& ops) {
+    if (t.source == kNoRrNode) return;
+    dec_occ_deferred(t.source, ops);
+    ++sc.mark_cur;
+    for (const auto& [from, to] : t.edges) {
+      (void)from;
+      if (sc.mark[to] != sc.mark_cur) {
+        sc.mark[to] = sc.mark_cur;
+        dec_occ_deferred(to, ops);
       }
     }
   }
@@ -802,7 +864,7 @@ struct Router {
 
 }  // namespace
 
-RoutingResult route_all(const RrGraph& g, const Placement& pl,
+RoutingResult route_all(const RrGraphView& g, const Placement& pl,
                         const RouteOptions& opt) {
   Router router(g, pl, opt);
   using NetStatus = Router::NetStatus;
@@ -861,7 +923,32 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
   std::vector<std::size_t> live;
   std::vector<Member> members;
 
-  if (opt.net_parallel) {
+  // Partition-parallel state. The region grid is fixed for the whole run
+  // (fabric geometry only); net classification is per iteration because
+  // the routing windows widen (extra_bb) and nets can go unbounded.
+  const bool part_mode = opt.net_parallel && opt.partition_parallel;
+  std::size_t preg = 0, pgx = 0, pgy = 0;
+  std::vector<std::vector<std::size_t>> part_nets;
+  std::vector<std::size_t> serial_nets;
+  struct PartResult {
+    OveruseTracker::DeferredOps ops;
+    std::vector<std::size_t> routed;    ///< Committed in-region, net order.
+    std::vector<std::size_t> deferred;  ///< Window escapes -> serial phase.
+  };
+  std::vector<PartResult> presults;
+  if (part_mode) {
+    const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+    preg = opt.partition_size != 0
+               ? opt.partition_size
+               : std::max<std::size_t>(4, (std::max(gx, gy) + 3) / 4);
+    preg = std::max<std::size_t>(preg, 1);
+    pgx = (gx + preg - 1) / preg;
+    pgy = (gy + preg - 1) / preg;
+    part_nets.resize(pgx * pgy);
+    presults.resize(pgx * pgy);
+  }
+
+  if (opt.net_parallel && !part_mode) {
     // Partition every net — in net order — into batches whose scheduling
     // rectangles (net bounding box + kSchedMargin) are pairwise disjoint
     // within a batch, by first-fit coloring: a per-cell bitmask records
@@ -975,6 +1062,148 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
                              extra_bb[n],
                              /*speculative=*/false) != NetStatus::kOk) {
           // Hard disconnection — no amount of iteration will fix it.
+          return fail_out(t0);
+        }
+        router.commit(res.trees[n], main_sc.seed_edges);
+        if (timing_on) dirty.push_back(n);
+      }
+    } else if (part_mode) {
+      // Region-partitioned mode. Three phases, all deterministic:
+      //
+      // 1. Classify (serial, net order): each net needing a reroute is
+      //    assigned to the unique region that contains its dilated
+      //    routing window — bounding box, plus the full window margin it
+      //    will route with this iteration, plus the maximum wire reach
+      //    (L-1) so every RR node a search could *touch* lies inside the
+      //    region. Nets whose dilated window straddles regions, and nets
+      //    that ever needed an unbounded retry, go to the serial list
+      //    instead. Full rip-up deliberately does NOT happen here:
+      //    ripping every net before any of them reroutes erases the
+      //    congestion signal PathFinder negotiates over (each net would
+      //    route against near-empty occupancy and pile back onto the
+      //    same tracks, oscillating instead of converging), so rips
+      //    happen lazily, right before each net's own reroute. The
+      //    prune_ripup variant is the exception — it only releases
+      //    congested branches, keeping the signal — and stays here where
+      //    the shared scratch marks are safe to use.
+      //
+      // 2. Parallel phase: each region rips and routes its nets serially
+      //    in net order against the live occupancy, through the deferred
+      //    tracker API. Because a region only ever touches its own node
+      //    ids (the dilation argument: every node a search can touch —
+      //    and every node of the net's previous tree, routed under a
+      //    never-wider-than-current window — lies inside the dilated
+      //    window), regions are state-disjoint and the parallel phase is
+      //    bit-identical to routing the regions one after another — at
+      //    any thread count. A window-escape failure is deferred to the
+      //    serial phase with the net already ripped — exactly the state
+      //    a serial reroute starts from (prune seeds stay intact).
+      //
+      // 3. Join + serial phase: deferred tracker state is absorbed in
+      //    region index order; boundary and deferred nets then rip and
+      //    route serially — interleaved per net, so later serial nets
+      //    still exert congestion pressure — in ascending net order with
+      //    full (unbounded-retry) semantics.
+      for (auto& v : part_nets) v.clear();
+      serial_nets.clear();
+      const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+      const int reach = static_cast<int>(g.arch().L) - 1;
+      for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+        if (iter > 1) {
+          if (opt.incremental && !touches_overuse(res.trees[n])) continue;
+          ++router.cnt.nets_rerouted;
+          if (opt.prune_ripup) {
+            router.prune_tree(pl.nets[n], res.trees[n]);
+          }
+          if (iter > 12) {
+            extra_bb[n] =
+                std::min<std::size_t>(extra_bb[n] + 2, g.nx() + g.ny());
+          }
+        }
+        const PlacedNet& net = pl.nets[n];
+        const BlockLoc& dloc = pl.locs[net.driver];
+        int bx_lo = static_cast<int>(dloc.x), bx_hi = bx_lo;
+        int by_lo = static_cast<int>(dloc.y), by_hi = by_lo;
+        for (std::size_t s : net.sinks) {
+          const BlockLoc& l = pl.locs[s];
+          bx_lo = std::min(bx_lo, static_cast<int>(l.x));
+          bx_hi = std::max(bx_hi, static_cast<int>(l.x));
+          by_lo = std::min(by_lo, static_cast<int>(l.y));
+          by_hi = std::max(by_hi, static_cast<int>(l.y));
+        }
+        const int m =
+            static_cast<int>(opt.bb_margin + extra_bb[n]) + reach;
+        bx_lo = std::max(bx_lo - m, 0);
+        by_lo = std::max(by_lo - m, 0);
+        bx_hi = std::min(bx_hi + m, static_cast<int>(gx) - 1);
+        by_hi = std::min(by_hi + m, static_cast<int>(gy) - 1);
+        const std::size_t px = static_cast<std::size_t>(bx_lo) / preg;
+        const std::size_t py = static_cast<std::size_t>(by_lo) / preg;
+        const bool interior =
+            !router.routed_unbounded[n] &&
+            static_cast<std::size_t>(bx_hi) / preg == px &&
+            static_cast<std::size_t>(by_hi) / preg == py;
+        if (interior) {
+          part_nets[py * pgx + px].push_back(n);
+        } else {
+          serial_nets.push_back(n);
+        }
+      }
+
+      std::size_t nonempty = 0;
+      for (const auto& v : part_nets) nonempty += v.empty() ? 0 : 1;
+      if (nonempty != 0) {
+        router.cnt.batches += nonempty;
+        parallel_for(part_nets.size(), [&](std::size_t p) {
+          const auto& nets = part_nets[p];
+          if (nets.empty()) return;
+          PartResult& pr = presults[p];
+          Router::Scratch* sc = router.acquire_scratch();
+          for (const std::size_t n : nets) {
+            if (iter > 1 && !opt.prune_ripup) {
+              router.rip_up_deferred(*sc, res.trees[n], pr.ops);
+              res.trees[n] = RouteTree{};
+            }
+            const NetStatus st =
+                router.route_net(*sc, n, pl.nets[n], res.trees[n],
+                                 extra_bb[n], /*speculative=*/true);
+            if (st == NetStatus::kOk) {
+              router.commit_deferred(res.trees[n], sc->seed_edges, pr.ops);
+              pr.routed.push_back(n);
+            } else {
+              // Deferred to the serial phase. The rollback left the seed
+              // tree (holding occupancy only under prune_ripup); clear
+              // the fully-ripped case so the serial rip below is a no-op.
+              if (!opt.prune_ripup) res.trees[n] = RouteTree{};
+              pr.deferred.push_back(n);
+            }
+          }
+          router.release_scratch(sc);
+        });
+        for (std::size_t p = 0; p < part_nets.size(); ++p) {
+          PartResult& pr = presults[p];
+          router.occ.absorb(pr.ops);
+          if (timing_on) {
+            dirty.insert(dirty.end(), pr.routed.begin(), pr.routed.end());
+          }
+          pr.routed.clear();
+          for (const std::size_t n : pr.deferred) {
+            ++router.cnt.conflict_replays;
+            serial_nets.push_back(n);
+          }
+          pr.deferred.clear();
+        }
+        std::sort(serial_nets.begin(), serial_nets.end());
+      }
+
+      for (const std::size_t n : serial_nets) {
+        if (iter > 1 && !opt.prune_ripup) {
+          router.rip_up(res.trees[n]);
+          res.trees[n] = RouteTree{};
+        }
+        if (router.route_net(main_sc, n, pl.nets[n], res.trees[n],
+                             extra_bb[n],
+                             /*speculative=*/false) != NetStatus::kOk) {
           return fail_out(t0);
         }
         router.commit(res.trees[n], main_sc.seed_edges);
@@ -1192,7 +1421,7 @@ RoutingResult route_all(const RrGraph& g, const Placement& pl,
   return res;
 }
 
-void check_routing(const RrGraph& g, const Placement& pl,
+void check_routing(const RrGraphView& g, const Placement& pl,
                    const RoutingResult& r) {
   if (r.trees.size() != pl.nets.size()) {
     throw std::logic_error("check_routing: tree count mismatch");
@@ -1243,7 +1472,7 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
   // on the thread count, so the returned Wmin is identical at any
   // NF_THREADS setting — parallelism only accelerates the probes.
   constexpr std::size_t kFanout = 4;
-  constexpr std::size_t kMaxW = 1024;
+  const std::size_t w_cap = std::max<std::size_t>(4, opt.max_channel_width);
 
   // The lookahead table is W-independent (it is built over a thin
   // canonical graph keyed by fabric size and cost profile), so build it
@@ -1270,15 +1499,21 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
   probe_opt.timing_driven = false;
   probe_opt.timing_hook = nullptr;
   if (probe_opt.astar_factor > 0.0 && !probe_opt.lookahead) {
+    // The table builder only reads arch/nx/ny off the graph, so seed it
+    // with the implicit backend — same table, none of the CSR footprint.
     ArchParams a = arch;
     a.W = std::max<std::size_t>(2, w_hint);
-    const RrGraph g(a, pl.nx, pl.ny);
+    const ImplicitRrGraph g(a, pl.nx, pl.ny);
     probe_opt.lookahead = std::make_shared<const RouteLookahead>(g);
   }
 
   auto routes_at = [&](std::size_t w) {
     ArchParams a = arch;
     a.W = std::max<std::size_t>(2, w);
+    if (probe_opt.rr_backend == RrBackend::kImplicit) {
+      const ImplicitRrGraph g(a, pl.nx, pl.ny);
+      return route_all(g, pl, probe_opt).success;
+    }
     const RrGraph g(a, pl.nx, pl.ny);
     return route_all(g, pl, probe_opt).success;
   };
@@ -1314,7 +1549,7 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
   for (std::size_t w = std::max<std::size_t>(4, w_hint); hi == 0;) {
     std::vector<std::size_t> ws;
     // The hint is always probed, even when it exceeds the growth cap.
-    for (std::size_t j = 0; j < 2 && (ws.empty() || w <= kMaxW);
+    for (std::size_t j = 0; j < 2 && (ws.empty() || w <= w_cap);
          ++j, w *= 2) {
       ws.push_back(w);
     }
@@ -1326,13 +1561,19 @@ ChannelWidthResult find_min_channel_width(const ArchParams& arch,
       }
       lo = ws[i] + 1;
     }
-    if (hi == 0 && w > kMaxW) {
+    if (hi == 0 && w > w_cap) {
+      // Saturated: no probe up to the cap routed. Report the explicit
+      // infeasible status instead of a garbage width — callers (run_flow,
+      // route_perf, bench_check.py) propagate it.
       std::fprintf(stderr,
                    "find_min_channel_width: grow phase hit the W cap "
-                   "(kMaxW=%zu, last lower bound %zu) — design is "
-                   "unroutable at any modeled width\n",
-                   kMaxW, lo);
-      throw std::runtime_error("find_min_channel_width: unroutable design");
+                   "(max_channel_width=%zu, last lower bound %zu) — design "
+                   "is unroutable at any modeled width\n",
+                   w_cap, lo);
+      ChannelWidthResult out;
+      out.feasible = false;
+      out.w_cap = w_cap;
+      return out;
     }
   }
 

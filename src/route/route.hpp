@@ -49,7 +49,8 @@ class RouterTimingHook {
   /// since the previous update (their trees changed; every other tree
   /// must be unchanged). iteration 1 precedes any routing: seed the
   /// criticalities from the placement estimate instead.
-  virtual void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+  virtual void update(const RrGraphView& g,
+                      const std::vector<RouteTree>& trees,
                       const std::vector<std::size_t>& dirty,
                       std::size_t iteration) = 0;
   /// Criticality in [0, max_criticality] of the connection from `net`'s
@@ -135,6 +136,35 @@ struct RouteOptions {
   /// stays 0 while astar_factor <= 1, the admissibility proof). Expensive;
   /// off outside tests.
   bool verify_lookahead = false;
+  /// Which RR graph representation the graph-building entry points
+  /// (find_min_channel_width's probes, run_flow, route_perf) construct.
+  /// route_all itself is backend-agnostic — it consumes an RrGraphView —
+  /// and both backends are node/edge-order identical by construction, so
+  /// the choice never changes the routing, only memory and per-edge cost.
+  RrBackend rr_backend = kDefaultRrBackend;
+  /// Geometric region-partitioned scheduling (requires net_parallel):
+  /// each iteration splits the grid into partition_size-square tile
+  /// regions; nets whose conservative routing windows (dilated by the
+  /// maximum wire reach) fall inside one region route concurrently per
+  /// region — each partition runs its nets serially in net order against
+  /// live occupancy, touching only region-interior RR nodes, so the
+  /// parallel phase is state-identical to routing the partitions one
+  /// after another. Boundary nets, window-escapers and nets that ever
+  /// needed an unbounded retry route serially afterwards in ascending net
+  /// order. The partition, the classification and both phase orders
+  /// depend only on (graph, placement, options, iteration) — never on
+  /// the thread count — so results stay bit-identical at any NF_THREADS.
+  /// Off by default: it changes the (still deterministic) routing
+  /// relative to the batched scheduler, which the golden fixtures pin.
+  bool partition_parallel = false;
+  /// Region edge length in tiles for partition_parallel. 0 picks a
+  /// fabric-dependent default (about a 4x4 region grid). Values are
+  /// clamped so a region is never smaller than one tile.
+  std::size_t partition_size = 0;
+  /// Upper bound on the channel-width grow phase: find_min_channel_width
+  /// reports infeasible (ChannelWidthResult::feasible == false) instead
+  /// of probing beyond this.
+  std::size_t max_channel_width = 1024;
 };
 
 /// Always-on router work counters (see bench/route_perf.cpp and the
@@ -204,25 +234,32 @@ struct RoutingResult {
   double worst_slack_s = 0.0;
 };
 
-/// Route all placed nets. Returns success=false if congestion persists
-/// after max_iterations (caller widens W and retries).
-RoutingResult route_all(const RrGraph& g, const Placement& pl,
+/// Route all placed nets over either RR backend (pass an RrGraph or an
+/// ImplicitRrGraph; both convert to the view). Returns success=false if
+/// congestion persists after max_iterations (caller widens W and retries).
+RoutingResult route_all(const RrGraphView& g, const Placement& pl,
                         const RouteOptions& opt = {});
 
 /// Validation: every tree is connected, within capacity, and reaches every
 /// sink of its net. Throws std::logic_error on violation.
-void check_routing(const RrGraph& g, const Placement& pl,
+void check_routing(const RrGraphView& g, const Placement& pl,
                    const RoutingResult& r);
 
 /// Search the minimum channel width Wmin for which routing succeeds, then
 /// report W = ceil(1.2 * Wmin) rounded up to even ("low-stress routing"
 /// [Betz 99b], Sec 3.3 of the paper). Candidate widths are probed as
 /// fixed 4-way speculative batches on ThreadPool::current() (each probe
-/// owns its RrGraph + router state); the probe schedule is independent of
+/// owns its RR graph + router state); the probe schedule is independent of
 /// the thread count, so Wmin is reproducible at any NF_THREADS setting.
 struct ChannelWidthResult {
   std::size_t w_min = 0;
   std::size_t w_low_stress = 0;  ///< 1.2 x Wmin, even.
+  /// False when the grow phase hit RouteOptions::max_channel_width without
+  /// ever routing: the design is unroutable at any modeled width. w_min
+  /// and w_low_stress are 0 then, and w_cap records the cap that was hit —
+  /// callers must check this instead of consuming a garbage width.
+  bool feasible = true;
+  std::size_t w_cap = 0;
 };
 
 ChannelWidthResult find_min_channel_width(const ArchParams& arch,

@@ -4,7 +4,7 @@
 
 namespace nemfpga {
 
-DelayModel make_delay_model(const RrGraph& g, const ElectricalView& view) {
+DelayModel make_delay_model(const RrGraphView& g, const ElectricalView& view) {
   DelayModel m;
   m.profile = {view.t_wire_stage, view.t_input_path};
   m.t_source = view.t_output_path;

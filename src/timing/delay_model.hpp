@@ -39,6 +39,6 @@ struct DelayModel {
 };
 
 /// Derive the delay model of `view` over `g`.
-DelayModel make_delay_model(const RrGraph& g, const ElectricalView& view);
+DelayModel make_delay_model(const RrGraphView& g, const ElectricalView& view);
 
 }  // namespace nemfpga

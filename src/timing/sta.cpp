@@ -12,7 +12,7 @@
 
 namespace nemfpga {
 
-void routed_net_delays(const RrGraph& g, const RouteTree& tree,
+void routed_net_delays(const RrGraphView& g, const RouteTree& tree,
                        const PlacedNet& net, const Placement& pl,
                        const ElectricalView& view, NetDelayScratch& scratch,
                        std::vector<double>& out) {
@@ -59,7 +59,8 @@ void routed_net_delays(const RrGraph& g, const RouteTree& tree,
   }
 }
 
-std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
+std::vector<double> routed_net_delays(const RrGraphView& g,
+                                      const RouteTree& tree,
                                       const PlacedNet& net,
                                       const Placement& pl,
                                       const ElectricalView& view) {
@@ -231,7 +232,7 @@ namespace {
 class IncrementalSta final : public RouterTimingHook {
  public:
   IncrementalSta(const Netlist& nl, const Packing& pack, const Placement& pl,
-                 const RrGraph& g, const ElectricalView& view,
+                 const RrGraphView& g, const ElectricalView& view,
                  double criticality_exp, double max_criticality)
       : nl_(nl),
         pack_(pack),
@@ -337,7 +338,7 @@ class IncrementalSta final : public RouterTimingHook {
   double sec_per_base() const override { return model_.sec_per_base; }
   DelayProfile delay_profile() const override { return model_.profile; }
 
-  void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+  void update(const RrGraphView& g, const std::vector<RouteTree>& trees,
               const std::vector<std::size_t>& dirty,
               std::size_t iteration) override {
     if (iteration <= 1) {
@@ -578,7 +579,7 @@ class IncrementalSta final : public RouterTimingHook {
 
 std::unique_ptr<RouterTimingHook> make_incremental_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
-    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality) {
   return std::make_unique<IncrementalSta>(nl, pack, pl, g, view,
                                           criticality_exp, max_criticality);

@@ -29,13 +29,14 @@ struct NetDelayScratch {
 
 /// Delay from a routed net's driver to each of its sink *blocks*,
 /// parallel to PlacedNet::sinks. Appends into `out` (cleared first).
-void routed_net_delays(const RrGraph& g, const RouteTree& tree,
+void routed_net_delays(const RrGraphView& g, const RouteTree& tree,
                        const PlacedNet& net, const Placement& pl,
                        const ElectricalView& view, NetDelayScratch& scratch,
                        std::vector<double>& out);
 
 /// Convenience wrapper with one-shot scratch (tests, single-net callers).
-std::vector<double> routed_net_delays(const RrGraph& g, const RouteTree& tree,
+std::vector<double> routed_net_delays(const RrGraphView& g,
+                                      const RouteTree& tree,
                                       const PlacedNet& net,
                                       const Placement& pl,
                                       const ElectricalView& view);
@@ -64,7 +65,7 @@ TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
 /// pl must outlive the hook. One route_all call per instance.
 std::unique_ptr<RouterTimingHook> make_incremental_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
-    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality);
 
 }  // namespace nemfpga

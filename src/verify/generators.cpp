@@ -1,6 +1,7 @@
 #include "verify/generators.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "device/nem_relay.hpp"
@@ -18,7 +19,10 @@ std::string DesignCase::describe() const {
      << " W=" << arch.W << " L=" << arch.L << " fc_in=" << arch.fc_in
      << " fc_out=" << arch.fc_out << "} route{iters=" << route.max_iterations
      << " astar=" << route.astar_fac << " la=" << route.astar_factor
-     << " par=" << route.net_parallel << " bb=" << route.bb_margin
+     << " par=" << route.net_parallel
+     << " impl=" << (route.rr_backend == RrBackend::kImplicit)
+     << " part=" << route.partition_parallel
+     << " psz=" << route.partition_size << " bb=" << route.bb_margin
      << " incr=" << route.incremental << " prune=" << route.prune_ripup
      << " td=" << route.timing_driven << " cexp=" << route.criticality_exp
      << " mcrit=" << route.max_criticality
@@ -51,6 +55,21 @@ DesignCase gen_design_case(Rng& rng) {
   c.route.astar_factor =
       rng.chance(0.33) ? 0.0 : 0.9 + 0.1 * rng.uniform_int(4);  // 0.9..1.2
   c.route.net_parallel = rng.chance(0.5);
+  // Backend choice is correctness-neutral by construction (node ids and
+  // edge order are identical), so the differential props drive it often.
+  // NF_PROP_IMPLICIT=1 pins every case to the implicit backend (the
+  // fuzz campaign's --implicit flag).
+  const bool force_impl =
+      std::getenv("NF_PROP_IMPLICIT") != nullptr &&
+      std::getenv("NF_PROP_IMPLICIT")[0] == '1';
+  c.route.rr_backend = force_impl || rng.chance(0.5)
+                           ? RrBackend::kImplicit
+                           : RrBackend::kExplicit;
+  // Region-partitioned scheduler (only consulted when net_parallel):
+  // exercised with both the geometry-derived default region size and
+  // deliberately tiny explicit ones (many boundary nets).
+  c.route.partition_parallel = rng.chance(0.4);
+  c.route.partition_size = rng.chance(0.5) ? 0 : 3 + rng.uniform_int(6);
   c.route.bb_margin = 1 + rng.uniform_int(4);
   c.route.incremental = rng.chance(0.8);
   c.route.prune_ripup = rng.chance(0.25);
@@ -114,6 +133,18 @@ std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
   // reproducer when the A* table or the batch scheduler is not at fault.
   if (c.route.astar_factor != 0.0) {
     push([&](DesignCase& s) { s.route.astar_factor = 0.0; });
+  }
+  // Shrink toward the stored-adjacency backend and the batched
+  // scheduler: a reproducer that survives either switch localizes the
+  // fault outside the implicit graph / partition router.
+  if (c.route.rr_backend == RrBackend::kImplicit) {
+    push([&](DesignCase& s) { s.route.rr_backend = RrBackend::kExplicit; });
+  }
+  if (c.route.partition_parallel) {
+    push([&](DesignCase& s) { s.route.partition_parallel = false; });
+  }
+  if (c.route.partition_size != 0) {
+    push([&](DesignCase& s) { s.route.partition_size = 0; });
   }
   if (c.route.net_parallel) {
     push([&](DesignCase& s) { s.route.net_parallel = false; });

@@ -31,7 +31,7 @@ namespace nemfpga::verify {
 /// allocated fresh, full-rescan overuse counting and history updates.
 /// Must agree bit-for-bit with route_all on trees, iterations, success,
 /// overuse and wire census for any (graph, placement, options).
-RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
+RoutingResult reference_route_all(const RrGraphView& g, const Placement& pl,
                                   const RouteOptions& opt = {});
 
 /// Human-readable first difference between two routing results; empty
@@ -92,7 +92,7 @@ TimingResult reference_analyze_timing(const Netlist& nl, const Packing& pack,
 /// stateful; hand each router under differential test its own instance.
 std::unique_ptr<RouterTimingHook> make_reference_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
-    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality);
 
 /// Plain serial Monte-Carlo yield loop (no thread pool, no deferred

@@ -25,7 +25,7 @@ namespace nemfpga::verify {
 namespace {
 
 struct RefRouter {
-  const RrGraph& g;
+  const RrGraphView g;
   const Placement& pl;
   const RouteOptions& opt;
 
@@ -48,6 +48,14 @@ struct RefRouter {
   const double* node_delay = nullptr;  ///< Per-node entering delay [s].
   double spb = 0.0;                    ///< Seconds per unit base cost.
 
+  /// Nets that ever needed the unconstrained retry (transcribed from the
+  /// production router's sticky flag — the partition classifier keeps
+  /// such nets serial for the rest of the run).
+  std::vector<std::uint8_t> routed_unbounded;
+  /// Edge-enumeration buffer for the implicit backend (the view's
+  /// edges(id, buf) fills it; explicit backends hand back stored spans).
+  std::vector<RrEdge> ebuf;
+
   struct QItem {
     double cost;
     double known;
@@ -55,10 +63,11 @@ struct RefRouter {
     bool operator>(const QItem& o) const { return cost > o.cost; }
   };
 
-  RefRouter(const RrGraph& graph, const Placement& placement,
+  RefRouter(const RrGraphView& graph, const Placement& placement,
             const RouteOptions& options)
       : g(graph), pl(placement), opt(options),
         timing(options.timing_driven ? options.timing_hook : nullptr) {
+    routed_unbounded.assign(pl.nets.size(), 0);
     const std::size_t n = g.node_count();
     cap.resize(n);
     occ.assign(n, 0);
@@ -129,8 +138,8 @@ struct RefRouter {
   }
 
   double heuristic(RrNodeId from, RrNodeId to, double crit) const {
-    const RrNode& a = g.node(from);
-    const RrNode& b = g.node(to);
+    const RrNode a = g.node(from);
+    const RrNode b = g.node(to);
     if (la) {
       if (timing) {
         // Blended halves with the relaxation weights, transcribed from
@@ -174,6 +183,9 @@ struct RefRouter {
     if (!ok) {
       out = RouteTree{};
       seed = 0;
+      // Same sticky flag the production route_net sets before its
+      // unconstrained retry (keeps the net serial in partition mode).
+      routed_unbounded[net_idx] = 1;
       ok = route_net_bb(net_idx, net, out, g.nx() + g.ny());
     }
     if (eff_seed) *eff_seed = seed;
@@ -181,7 +193,8 @@ struct RefRouter {
   }
 
   bool route_net_bb(std::size_t net_idx, const PlacedNet& net, RouteTree& out,
-                    std::size_t bb_margin) {
+                    std::size_t bb_margin, bool speculative = false) {
+    const std::size_t seed_edges = out.edges.size();
     const BlockLoc& dloc = pl.locs[net.driver];
     const RrNodeId source = g.site(dloc.x, dloc.y).source;
     out.source = source;
@@ -246,6 +259,7 @@ struct RefRouter {
         if (timing) tdel[to] = tdel.at(from) + node_delay[to];
       }
     }
+    const std::size_t n_seed = tree_nodes.size();
 
     std::vector<QItem> heap;
     for (std::uint32_t oi : order) {
@@ -286,9 +300,9 @@ struct RefRouter {
         if (la && opt.astar_factor > 1.0) {
           path_cost[u] = -std::numeric_limits<double>::infinity();
         }
-        for (const RrEdge& e : g.edges(u)) {
+        for (const RrEdge& e : g.edges(u, ebuf)) {
           const RrNodeId v = e.to;
-          const RrNode& vn = g.node(v);
+          const RrNode vn = g.node(v);
           if (!in_bb(vn)) continue;
           if (vn.type == RrType::kSink && v != target) continue;
           const double new_cost =
@@ -306,6 +320,17 @@ struct RefRouter {
         }
       }
       if (!found) {
+        if (speculative) {
+          // Window escape under speculation: roll back to the seed tree
+          // (the production router discards its occupancy overlay, so the
+          // seed keeps its occupancy); the serial phase owns retries.
+          for (std::size_t i = n_seed; i < tree_nodes.size(); ++i) {
+            --occ[tree_nodes[i]];
+          }
+          out.edges.resize(seed_edges);
+          out.sinks.clear();
+          return false;
+        }
         for (std::size_t i = 1; i < tree_nodes.size(); ++i) {
           --occ[tree_nodes[i]];
         }
@@ -391,7 +416,7 @@ struct RefRouter {
 
 }  // namespace
 
-RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
+RoutingResult reference_route_all(const RrGraphView& g, const Placement& pl,
                                   const RouteOptions& opt) {
   RefRouter router(g, pl, opt);
   RoutingResult res;
@@ -434,7 +459,25 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
   // thread count".
   std::vector<std::vector<std::size_t>> batches;
   std::vector<std::size_t> live;
-  if (opt.net_parallel) {
+
+  // Partition-parallel state, same formulas as route_all: a fixed region
+  // grid over the fabric; classification is per iteration (windows widen).
+  const bool part_mode = opt.net_parallel && opt.partition_parallel;
+  std::size_t preg = 0, pgx = 0, pgy = 0;
+  std::vector<std::vector<std::size_t>> part_nets;
+  std::vector<std::size_t> serial_nets;
+  if (part_mode) {
+    const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+    preg = opt.partition_size != 0
+               ? opt.partition_size
+               : std::max<std::size_t>(4, (std::max(gx, gy) + 3) / 4);
+    preg = std::max<std::size_t>(preg, 1);
+    pgx = (gx + preg - 1) / preg;
+    pgy = (gy + preg - 1) / preg;
+    part_nets.resize(pgx * pgy);
+  }
+
+  if (opt.net_parallel && !part_mode) {
     constexpr int kSchedMargin = 1;  // must match route_all
     const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
     std::vector<std::uint64_t> color(gx * gy, 0);
@@ -512,6 +555,95 @@ RoutingResult reference_route_all(const RrGraph& g, const Placement& pl,
             extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
                                                 g.nx() + g.ny());
           }
+        }
+        if (!router.route_net(n, pl.nets[n], res.trees[n], extra_bb[n])) {
+          return fail_out();
+        }
+        if (timing_on) dirty.push_back(n);
+      }
+    } else if (part_mode) {
+      // Region-partitioned mode, transcribed serially. Phase 1
+      // (classify, net order) is route_all's verbatim — full rips are
+      // lazy (right before each net's own reroute) so unprocessed nets
+      // keep exerting congestion pressure; only prune_ripup trims here.
+      // Phase 2 rips+routes the partitions one after another in
+      // partition index order — the production parallel phase touches
+      // pairwise-disjoint state, so this serial order is the committed
+      // meaning of "bit-identical at any thread count"; phase 3 rips and
+      // routes boundary and deferred nets interleaved in ascending net
+      // order with full (unbounded-retry) semantics.
+      for (auto& v : part_nets) v.clear();
+      serial_nets.clear();
+      const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
+      const int reach = static_cast<int>(g.arch().L) - 1;
+      for (std::size_t n = 0; n < pl.nets.size(); ++n) {
+        if (iter > 1) {
+          if (opt.incremental && !touches_overuse(res.trees[n])) continue;
+          if (opt.prune_ripup) {
+            router.prune_tree(pl.nets[n], res.trees[n]);
+          }
+          if (iter > 12) {
+            extra_bb[n] = std::min<std::size_t>(extra_bb[n] + 2,
+                                                g.nx() + g.ny());
+          }
+        }
+        const PlacedNet& net = pl.nets[n];
+        const BlockLoc& dloc = pl.locs[net.driver];
+        int bx_lo = static_cast<int>(dloc.x), bx_hi = bx_lo;
+        int by_lo = static_cast<int>(dloc.y), by_hi = by_lo;
+        for (std::size_t s : net.sinks) {
+          const BlockLoc& l = pl.locs[s];
+          bx_lo = std::min(bx_lo, static_cast<int>(l.x));
+          bx_hi = std::max(bx_hi, static_cast<int>(l.x));
+          by_lo = std::min(by_lo, static_cast<int>(l.y));
+          by_hi = std::max(by_hi, static_cast<int>(l.y));
+        }
+        const int m = static_cast<int>(opt.bb_margin + extra_bb[n]) + reach;
+        bx_lo = std::max(bx_lo - m, 0);
+        by_lo = std::max(by_lo - m, 0);
+        bx_hi = std::min(bx_hi + m, static_cast<int>(gx) - 1);
+        by_hi = std::min(by_hi + m, static_cast<int>(gy) - 1);
+        const std::size_t px = static_cast<std::size_t>(bx_lo) / preg;
+        const std::size_t py = static_cast<std::size_t>(by_lo) / preg;
+        const bool interior =
+            !router.routed_unbounded[n] &&
+            static_cast<std::size_t>(bx_hi) / preg == px &&
+            static_cast<std::size_t>(by_hi) / preg == py;
+        if (interior) {
+          part_nets[py * pgx + px].push_back(n);
+        } else {
+          serial_nets.push_back(n);
+        }
+      }
+
+      std::size_t nonempty = 0;
+      for (const auto& v : part_nets) nonempty += v.empty() ? 0 : 1;
+      if (nonempty != 0) {
+        for (std::size_t p = 0; p < part_nets.size(); ++p) {
+          for (const std::size_t n : part_nets[p]) {
+            if (iter > 1 && !opt.prune_ripup) {
+              router.rip_up(res.trees[n]);
+              res.trees[n] = RouteTree{};
+            }
+            if (router.route_net_bb(n, pl.nets[n], res.trees[n],
+                                    opt.bb_margin + extra_bb[n],
+                                    /*speculative=*/true)) {
+              if (timing_on) dirty.push_back(n);
+            } else {
+              // Window escape -> deferred to the serial phase, already
+              // ripped (a prune seed and its occupancy stay intact).
+              if (!opt.prune_ripup) res.trees[n] = RouteTree{};
+              serial_nets.push_back(n);
+            }
+          }
+        }
+        std::sort(serial_nets.begin(), serial_nets.end());
+      }
+
+      for (const std::size_t n : serial_nets) {
+        if (iter > 1 && !opt.prune_ripup) {
+          router.rip_up(res.trees[n]);
+          res.trees[n] = RouteTree{};
         }
         if (!router.route_net(n, pl.nets[n], res.trees[n], extra_bb[n])) {
           return fail_out();

@@ -21,7 +21,7 @@ namespace {
 class ReferenceSta final : public RouterTimingHook {
  public:
   ReferenceSta(const Netlist& nl, const Packing& pack, const Placement& pl,
-               const RrGraph& g, const ElectricalView& view,
+               const RrGraphView& g, const ElectricalView& view,
                double criticality_exp, double max_criticality)
       : nl_(nl),
         pack_(pack),
@@ -42,7 +42,7 @@ class ReferenceSta final : public RouterTimingHook {
   double sec_per_base() const override { return model_.sec_per_base; }
   DelayProfile delay_profile() const override { return model_.profile; }
 
-  void update(const RrGraph& g, const std::vector<RouteTree>& trees,
+  void update(const RrGraphView& g, const std::vector<RouteTree>& trees,
               const std::vector<std::size_t>& dirty,
               std::size_t iteration) override {
     (void)dirty;  // full recompute: the dirty set is deliberately ignored
@@ -236,7 +236,7 @@ class ReferenceSta final : public RouterTimingHook {
 
 std::unique_ptr<RouterTimingHook> make_reference_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
-    const RrGraph& g, const ElectricalView& view, double criticality_exp,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality) {
   return std::make_unique<ReferenceSta>(nl, pack, pl, g, view,
                                         criticality_exp, max_criticality);

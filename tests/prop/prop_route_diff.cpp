@@ -2,7 +2,11 @@
 // (route_all) must agree bit-for-bit with the naive reference router
 // (verify::reference_route_all) — same trees, same iteration count, same
 // overuse and wire census — over hundreds of randomized small designs
-// spanning both rip-up modes, varying A* weights and bounding boxes.
+// spanning both rip-up modes, varying A* weights and bounding boxes, both
+// RR backends (the production router on the case's backend, the reference
+// always on the stored-adjacency graph — so implicit-backend cases also
+// prove cross-backend bit-identity end-to-end) and the region-partitioned
+// scheduler.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -25,7 +29,14 @@ TEST(PropRouteDiff, OptimizedMatchesReferenceBitForBit) {
       "route_diff", cfg, gen_design_case,
       [](const DesignCase& c) {
         const BuiltDesign d = build_design(c);
-        const RrGraph g(d.arch, d.nx, d.ny);
+        const RrGraph eg(d.arch, d.nx, d.ny);
+        const std::unique_ptr<ImplicitRrGraph> ig =
+            c.route.rr_backend == RrBackend::kImplicit
+                ? std::make_unique<ImplicitRrGraph>(d.arch, d.nx, d.ny)
+                : nullptr;
+        // Production router on the case's backend; reference always on
+        // the explicit graph.
+        const RrGraphView g = ig ? RrGraphView(*ig) : RrGraphView(eg);
         // Timing-driven cases pair the production incremental STA with
         // the naive full-recompute reference hook (one instance per
         // router — hooks are stateful), so the diff below also proves the
@@ -38,18 +49,19 @@ TEST(PropRouteDiff, OptimizedMatchesReferenceBitForBit) {
           fast_hook = make_incremental_sta(d.nl, d.pk, d.pl, g, view,
                                            c.route.criticality_exp,
                                            c.route.max_criticality);
-          ref_hook = make_reference_sta(d.nl, d.pk, d.pl, g, view,
+          ref_hook = make_reference_sta(d.nl, d.pk, d.pl, eg, view,
                                         c.route.criticality_exp,
                                         c.route.max_criticality);
           fast_opt.timing_hook = fast_hook.get();
           ref_opt.timing_hook = ref_hook.get();
         }
         const RoutingResult fast = route_all(g, d.pl, fast_opt);
-        const RoutingResult ref = reference_route_all(g, d.pl, ref_opt);
+        const RoutingResult ref = reference_route_all(eg, d.pl, ref_opt);
         const std::string diff = diff_routing(fast, ref);
         prop_require(diff.empty(), "route_all vs reference: " + diff);
         // When the routing succeeded it must also be legal.
         if (fast.success) check_routing(g, d.pl, fast);
+        if (fast.success && ig) check_routing(RrGraphView(eg), d.pl, fast);
       },
       shrink_design_case);
   EXPECT_TRUE(res.ok()) << res.report();
@@ -57,7 +69,9 @@ TEST(PropRouteDiff, OptimizedMatchesReferenceBitForBit) {
 }
 
 // The deterministic-parallelism contract, as a property: with
-// net_parallel on, the batched router must produce bit-identical trees,
+// net_parallel on, the batched router — or, for partition_parallel
+// cases, the region-partitioned router — must produce bit-identical
+// trees,
 // iteration counts and work counters at 1, 2 and 8 threads — the batch
 // schedule and the commit/replay order may depend only on (graph,
 // placement, options). scratch_grows is the single documented exception
@@ -69,9 +83,14 @@ TEST(PropRouteDiff, RoutingIsThreadCountInvariant) {
       "route_threads", cfg, gen_design_case,
       [&](const DesignCase& c) {
         DesignCase pc = c;
-        pc.route.net_parallel = true;  // always exercise the scheduler
+        pc.route.net_parallel = true;  // always exercise a scheduler
         const BuiltDesign d = build_design(pc);
-        const RrGraph g(d.arch, d.nx, d.ny);
+        const RrGraph eg(d.arch, d.nx, d.ny);
+        const std::unique_ptr<ImplicitRrGraph> ig =
+            pc.route.rr_backend == RrBackend::kImplicit
+                ? std::make_unique<ImplicitRrGraph>(d.arch, d.nx, d.ny)
+                : nullptr;
+        const RrGraphView g = ig ? RrGraphView(*ig) : RrGraphView(eg);
         const ElectricalView view =
             make_view(d.arch, FpgaVariant::kCmosBaseline);
         auto run = [&](ThreadPool& pool) {

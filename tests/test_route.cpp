@@ -109,6 +109,30 @@ TEST(Route, MinChannelWidthSearch) {
   }
 }
 
+TEST(Route, MinChannelWidthReportsInfeasibleAtCap) {
+  // Deliberately unroutable fabric: the grow cap sits far below this
+  // design's real Wmin (~20), so the search must saturate and return the
+  // explicit infeasible status — not a garbage width (w_min/w_low_stress
+  // were previously left 0-but-"valid", and callers consumed them).
+  Flow f(150, 40, "route-infeasible");
+  RouteOptions opt;
+  opt.max_channel_width = 6;
+  opt.max_iterations = 8;  // keep each doomed probe quick
+  const auto cw = find_min_channel_width(f.arch, f.pl, 4, opt);
+  EXPECT_FALSE(cw.feasible);
+  EXPECT_EQ(cw.w_min, 0u);
+  EXPECT_EQ(cw.w_low_stress, 0u);
+  EXPECT_EQ(cw.w_cap, 6u);
+
+  // The identical search without the cap is feasible — the verdict comes
+  // from the cap, not from the design.
+  RouteOptions uncapped;
+  uncapped.max_iterations = 30;
+  const auto ok = find_min_channel_width(f.arch, f.pl, 4, uncapped);
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_GT(ok.w_min, 6u);
+}
+
 TEST(Route, DeterministicResult) {
   Flow f(100, 40, "route-det");
   const RrGraph g(f.arch, f.pl.nx, f.pl.ny);

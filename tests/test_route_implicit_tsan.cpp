@@ -1,0 +1,78 @@
+// ThreadSanitizer coverage for the partition-parallel route stage over
+// the implicit RR backend: the region scheduler's phase 2 routes whole
+// interior nets concurrently (one worker per partition) against shared
+// occupancy read via the coordinate-computed graph. In a plain build
+// this is a fast smoke plus the 1-vs-8-thread bit-identity contract; in
+// an NF_TSAN build (cmake -DNF_TSAN=ON) it is the race check the
+// partition protocol is certified against — workers may only read the
+// frozen occupancy and the (stateless) implicit graph, and write their
+// own partition's deferred-op log, so TSan must stay silent. Kept to
+// two iterations (route + rip/classify/partition round) so the tier1
+// suite stays fast even under TSan's ~10x slowdown.
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(RouteImplicitTsan, PartitionSchedulerIsRaceFreeAndThreadInvariant) {
+  Netlist nl = generate_benchmark("tseng");
+  ArchParams arch;
+  arch.W = 48;
+  Packing pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+  PlaceOptions popt;
+  popt.inner_num = 0.3;
+  const Placement pl = place(nl, pk, arch, nx, ny, popt);
+  const ImplicitRrGraph g(arch, pl.nx, pl.ny);
+
+  RouteOptions opt;  // defaults: lookahead on, net_parallel on
+  opt.rr_backend = RrBackend::kImplicit;
+  opt.partition_parallel = true;
+  opt.max_iterations = 2;  // iteration 2 runs the rip/classify/partition path
+  // A net is interior only when its whole dilated window (bb + bb_margin
+  // + wire reach L-1, so >= 2*(margin+3)+1 tiles wide) fits one region.
+  // tseng's grid is only ~13 tiles, so the default margin/region sizes
+  // would classify every net as boundary and the parallel phase would
+  // never dispatch; shrink the margin and widen the regions so corner
+  // nets really route concurrently here.
+  opt.bb_margin = 1;
+  opt.partition_size = 9;
+
+  RoutingResult r1, r8;
+  {
+    ThreadPool narrow(1);
+    ThreadPool::ScopedUse use(narrow);
+    r1 = route_all(g, pl, opt);
+  }
+  {
+    ThreadPool wide(8);
+    ThreadPool::ScopedUse use(wide);
+    r8 = route_all(g, pl, opt);
+  }
+
+  // Two iterations rarely clear congestion; what matters is that the
+  // partition stage really dispatched concurrent batches...
+  EXPECT_EQ(r8.iterations, 2u);
+  EXPECT_GT(r8.counters.batches, 0u);
+  EXPECT_GT(r8.counters.nets_routed, 0u);
+
+  // ...and that the trees are bit-identical at any thread count (the
+  // interior/boundary classification and serial replay order depend only
+  // on the routing state, never on worker interleaving).
+  ASSERT_EQ(r1.trees.size(), r8.trees.size());
+  for (std::size_t n = 0; n < r1.trees.size(); ++n) {
+    ASSERT_EQ(r1.trees[n].source, r8.trees[n].source) << "net " << n;
+    ASSERT_EQ(r1.trees[n].edges, r8.trees[n].edges) << "net " << n;
+    ASSERT_EQ(r1.trees[n].sinks, r8.trees[n].sinks) << "net " << n;
+  }
+}
+
+}  // namespace
+}  // namespace nemfpga

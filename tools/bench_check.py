@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1/2/3).
+"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1/2/3/4).
 
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
@@ -30,6 +30,19 @@ the configuration, and critical_path_s joins the correctness fields —
 the timing-driven route is bit-deterministic, so any drift between
 same-configuration runs is a correctness bug, not noise.
 
+Schema 4 adds the selectable RR backend and the partition scheduler.
+The partition knobs (partition_parallel / partition_size) join the
+configuration tuple: they change the (still deterministic) routing.
+rr_backend deliberately does NOT — the implicit and explicit graphs are
+bit-identical by construction, so cross-backend runs must agree on every
+correctness field and work counter; diffing them is exactly how that
+claim is audited. Wall-time comparison, however, additionally requires
+the same rr_backend (per-expansion cost differs between backends), and
+the memory measurements (rr_bytes, rr_bytes_per_node, peak_rss_bytes)
+are never compared — except rr_nodes, which is backend-invariant and
+pinned. A circuit's "infeasible" verdict is a correctness field: a
+design flipping between routable and unroutable is a router bug.
+
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
 """
@@ -39,11 +52,13 @@ import json
 import sys
 
 SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
-           "nemfpga-route-bench-3")
+           "nemfpga-route-bench-3", "nemfpga-route-bench-4")
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
-# Schema-3 additions; compared with .get() so they are simply absent
-# (None == None) when two older files are diffed.
-EXACT_OPTIONAL_FIELDS = ("critical_path_s",)
+# Later-schema additions; compared with .get() so they are simply absent
+# (None == None) when two older files are diffed. rr_nodes is pinned
+# because the node set is backend-invariant by construction; rr_bytes
+# and the RSS measurements are intentionally NOT here.
+EXACT_OPTIONAL_FIELDS = ("critical_path_s", "infeasible", "rr_nodes")
 COUNTER_FIELDS = ("heap_pushes", "nodes_expanded", "sink_searches")
 COUNTER_OPTIONAL_FIELDS = ("sta_net_evals", "sta_block_updates")
 
@@ -70,8 +85,16 @@ def router_config(data):
     if schema == "nemfpga-route-bench-2":
         return ("bench-2", data.get("astar_factor"),
                 data.get("net_parallel"))
-    return ("bench-3", data.get("astar_factor"), data.get("net_parallel"),
-            data.get("timing_driven"), data.get("crit_exp"))
+    if schema == "nemfpga-route-bench-3":
+        return ("bench-3", data.get("astar_factor"),
+                data.get("net_parallel"), data.get("timing_driven"),
+                data.get("crit_exp"))
+    # Schema 4: the partition scheduler knobs select the routing, the RR
+    # backend does not (bit-identical by design — cross-backend runs must
+    # agree on correctness fields, which is how the claim is audited).
+    return ("bench-4", data.get("astar_factor"), data.get("net_parallel"),
+            data.get("timing_driven"), data.get("crit_exp"),
+            data.get("partition_parallel"), data.get("partition_size"))
 
 
 def compare(base, cand, max_regress_pct):
@@ -125,16 +148,23 @@ def compare(base, cand, max_regress_pct):
     # must never change the search — counters above are enforced anyway).
     base_chk = bool(base.get("invariants_checked", False))
     cand_chk = bool(cand.get("invariants_checked", False))
+    # Schema 4 additionally requires the same RR backend: the implicit
+    # graph trades memory for per-expansion arithmetic, so wall clocks of
+    # mixed-backend runs measure different machines. Correctness fields
+    # above are still fully compared across backends (absent keys on
+    # older schemas compare equal, preserving pre-4 behavior).
     wall_comparable = (
         base.get("schema") == cand.get("schema")
         and base.get("threads") == cand.get("threads")
         and same_config
+        and base.get("rr_backend") == cand.get("rr_backend")
         and base_chk == cand_chk)
     if not wall_comparable:
         notes.append(
             "runs are not wall-comparable "
             f"(schema {base.get('schema')} vs {cand.get('schema')}, "
             f"threads {base.get('threads')} vs {cand.get('threads')}, "
+            f"backend {base.get('rr_backend')} vs {cand.get('rr_backend')}, "
             f"invariants {base_chk} vs {cand_chk}): wall budget waived")
     bw, cw = base["total_wall_s"], cand["total_wall_s"]
     if wall_comparable and bw > 0 and \
@@ -281,6 +311,72 @@ def selftest():
     dropped_t["circuits"] = [dict(t_base["circuits"][0], name="other")]
     assert compare(base, dropped_t, 15.0), \
         "dropped circuit still fails across schemas 2 vs 3"
+
+    # Schema 4 (RR backends + partition scheduler).
+    m_base = json.loads(json.dumps(base))
+    m_base["schema"] = "nemfpga-route-bench-4"
+    m_base["timing_driven"] = False
+    m_base["crit_exp"] = 1.0
+    m_base["rr_backend"] = "explicit"
+    m_base["partition_parallel"] = False
+    m_base["partition_size"] = 0
+    m_base["peak_rss_bytes"] = 500_000_000
+    m_base["circuits"][0]["infeasible"] = False
+    m_base["circuits"][0]["rr_nodes"] = 10_000
+    m_base["circuits"][0]["rr_bytes"] = 4_000_000
+    m_base["circuits"][0]["rr_bytes_per_node"] = 400.0
+    m_same = json.loads(json.dumps(m_base))
+    assert compare(m_base, m_same, 15.0) == [], \
+        "identical schema-4 runs must pass"
+
+    # Cross-backend: correctness fields and counters stay fully pinned
+    # (bit-identical by design) while the wall budget and the byte
+    # measurements are waived — this diff IS the backend-equivalence
+    # audit.
+    imp = json.loads(json.dumps(m_base))
+    imp["rr_backend"] = "implicit"
+    imp["total_wall_s"] = 99.0
+    imp["peak_rss_bytes"] = 50_000_000
+    imp["circuits"][0]["rr_bytes"] = 40_000
+    imp["circuits"][0]["rr_bytes_per_node"] = 4.0
+    assert compare(m_base, imp, 15.0) == [], \
+        "cross-backend wall/memory deltas must not fail"
+    imp_drift = json.loads(json.dumps(imp))
+    imp_drift["circuits"][0]["tree_checksum"] = "backend-diverged"
+    assert compare(m_base, imp_drift, 15.0), \
+        "cross-backend checksum drift must fail (backends are pinned " \
+        "bit-identical)"
+    imp_counter = json.loads(json.dumps(imp))
+    imp_counter["circuits"][0]["counters"]["heap_pushes"] = 8
+    assert compare(m_base, imp_counter, 15.0), \
+        "cross-backend counter drift must fail"
+    imp_nodes = json.loads(json.dumps(imp))
+    imp_nodes["circuits"][0]["rr_nodes"] = 10_001
+    assert compare(m_base, imp_nodes, 15.0), \
+        "rr_nodes drift must fail (node set is backend-invariant)"
+
+    # The partition scheduler is a router configuration: its runs route
+    # differently (deterministically), so correctness diffs are waived.
+    part = json.loads(json.dumps(m_base))
+    part["partition_parallel"] = True
+    part["circuits"][0]["tree_checksum"] = "partition-differs"
+    assert compare(m_base, part, 15.0) == [], \
+        "partition-scheduler runs are a different config"
+
+    # Infeasibility is a correctness verdict.
+    infeas = json.loads(json.dumps(m_base))
+    infeas["circuits"][0]["infeasible"] = True
+    infeas["circuits"][0]["wmin"] = 0
+    assert compare(m_base, infeas, 15.0), \
+        "a circuit flipping to infeasible must fail"
+
+    # Schema 3 vs 4: refused beyond coverage, like every schema bump.
+    assert compare(t_base, m_base, 15.0) == [], \
+        "schema-3 vs schema-4 must refuse wall/counter/correctness diffs"
+    dropped_m = json.loads(json.dumps(m_base))
+    dropped_m["circuits"] = [dict(m_base["circuits"][0], name="other")]
+    assert compare(t_base, dropped_m, 15.0), \
+        "dropped circuit still fails across schemas 3 vs 4"
     print("bench_check selftest: OK")
 
 

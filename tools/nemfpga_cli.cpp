@@ -203,6 +203,12 @@ int cmd_width(const Args& a) {
   FlowOptions opt;
   opt.arch.W = a.width;
   const auto cw = flow_min_channel_width(std::move(nl), opt);
+  if (!cw.feasible) {
+    std::fprintf(stderr,
+                 "width: infeasible — the grow phase hit the W=%zu cap "
+                 "without ever routing\n", cw.w_cap);
+    return 1;
+  }
   std::printf("Wmin        : %zu\n", cw.w_min);
   std::printf("1.2 x Wmin  : %zu (low-stress operating width)\n",
               cw.w_low_stress);

@@ -20,7 +20,12 @@
 #       prop_sta_incremental
 #   tools/run_fuzz.sh build-asan 100000
 #
-# Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED]
+# The generator also flips the RR-graph backend (~50% implicit) and the
+# region-partitioned scheduler (~40% of net_parallel cases, mixed region
+# sizes), so every campaign differential-tests the coordinate-computed
+# graph and the partition router against the stored-adjacency oracle.
+#
+# Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED] [--implicit]
 #   BUILD_DIR  build tree containing tests/prop/fuzz_parsers (default: build)
 #   ITERS      mutation iterations (default: 50000); the router property
 #              runs ITERS/100 randomized designs
@@ -28,11 +33,19 @@
 #              (default: 1). A failing run prints the --seed/--iters (or
 #              NF_PROP_SEED/NF_PROP_CASE) pair that replays the failure
 #              deterministically.
+#   --implicit pin every router case to the implicit RR backend
+#              (NF_PROP_IMPLICIT=1): a focused campaign on the computed
+#              neighbor functions instead of the 50/50 default mix.
 set -eu
 
 BUILD_DIR="${1:-build}"
 ITERS="${2:-50000}"
 SEED="${3:-1}"
+NF_PROP_IMPLICIT="${NF_PROP_IMPLICIT:-0}"
+if [ "${4:-}" = "--implicit" ]; then
+  NF_PROP_IMPLICIT=1
+fi
+export NF_PROP_IMPLICIT
 
 find_bin() {
   # gtest_discover_tests layouts differ; fall back to a search.
@@ -64,8 +77,9 @@ fi
 ROUTE_CASES=$((ITERS / 100))
 [ "$ROUTE_CASES" -ge 50 ] || ROUTE_CASES=50
 echo "run_fuzz.sh: $ROUTE_BIN (NF_PROP_CASES=$ROUTE_CASES" \
-     "NF_PROP_SEED=$SEED, astar_factor randomized in [0, 1.2]," \
-     "timing_driven/criticality_exp/max_criticality randomized)"
+     "NF_PROP_SEED=$SEED NF_PROP_IMPLICIT=$NF_PROP_IMPLICIT," \
+     "astar_factor randomized in [0, 1.2], rr_backend/partition_parallel" \
+     "and timing_driven/criticality_exp/max_criticality randomized)"
 NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" "$ROUTE_BIN"
 
 STA_BIN=$(find_bin prop_sta_incremental)
