@@ -1,11 +1,22 @@
 #include "place/place.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "timing/criticality.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NF_ALWAYS_INLINE __attribute__((always_inline))
+#else
+#define NF_ALWAYS_INLINE
+#endif
 
 namespace nemfpga {
 namespace {
@@ -24,23 +35,436 @@ double q_factor(std::size_t terminals) {
   return 2.2334 + 0.0616 * (static_cast<double>(terminals) - 30.0) / 5.0;
 }
 
-struct NetBox {
-  std::size_t x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+/// Fold coordinate v into a box axis being scanned from scratch.
+inline void scan_dim(std::uint16_t v, std::uint16_t& lo, std::uint16_t& hi,
+                     std::uint16_t& on_lo, std::uint16_t& on_hi) {
+  if (v < lo) {
+    lo = v;
+    on_lo = 1;
+  } else if (v == lo) {
+    ++on_lo;
+  }
+  if (v > hi) {
+    hi = v;
+    on_hi = 1;
+  } else if (v == hi) {
+    ++on_hi;
+  }
+}
+
+/// Move one pin of a box from `o` to `c` along one axis, maintaining the
+/// edge-occupancy counts. Returns false when the pin was the last one on
+/// an edge and moved inward — the new edge is unknown and the caller must
+/// rescan the net. New position is folded in before the old one is
+/// removed so a pin passing itself never empties a live edge.
+inline bool move_dim(std::uint16_t o, std::uint16_t c, std::uint16_t& lo,
+                     std::uint16_t& hi, std::uint16_t& on_lo,
+                     std::uint16_t& on_hi) {
+  if (o == c) return true;
+  scan_dim(c, lo, hi, on_lo, on_hi);
+  if (o == lo && --on_lo == 0) return false;
+  if (o == hi && --on_hi == 0) return false;
+  return true;
+}
+
+/// True when `blk` is a pin of net `n` (driver or one of the sorted
+/// sinks).
+inline bool net_has(const PlacedNet& n, std::size_t blk) {
+  return blk == n.driver ||
+         std::binary_search(n.sinks.begin(), n.sinks.end(), blk);
+}
+
+/// Flat-buffer capacity for the branchless box scan; bigger nets take
+/// the sequential fold (identical result, just not vectorizable).
+constexpr std::size_t kScanBuf = 128;
+
+/// Identical box geometry and edge counts (the 16 bytes before cost).
+/// The eight uint16 fields are contiguous with no padding, so this is
+/// two 8-byte word compares.
+inline bool same_geometry(const NetCostModel::Box& p,
+                          const NetCostModel::Box& q) {
+  static_assert(offsetof(NetCostModel::Box, cost) == 16);
+  return std::memcmp(&p, &q, 16) == 0;
+}
+
+/// Location strictly inside the box on both axes: moving this pin there
+/// (or away from there) cannot change the box or its edge counts.
+inline bool strictly_inside(const BlockLoc& l, const NetCostModel::Box& b) {
+  const std::uint16_t x = static_cast<std::uint16_t>(l.x);
+  const std::uint16_t y = static_cast<std::uint16_t>(l.y);
+  return b.x_lo < x && x < b.x_hi && b.y_lo < y && y < b.y_hi;
+}
+
+/// Full box scan of one net with up to two pin substitutions applied
+/// (`a` at `new_a`, `b` at `new_b`). Free function in this TU so it
+/// inlines into the propose() hot loop.
+inline NetCostModel::Box full_scan(const PlacedNet& n,
+                                   const std::vector<BlockLoc>& locs,
+                                   std::size_t a, const BlockLoc& new_a,
+                                   std::size_t b, const BlockLoc& new_b) {
+  auto loc = [&](std::size_t blk) -> const BlockLoc& {
+    if (blk == a) return new_a;
+    if (blk == b) return new_b;
+    return locs[blk];
+  };
+  NetCostModel::Box box;
+  // The sequential scan_dim fold leaves on_lo == |{pins == final lo}|
+  // (each new minimum resets the count, equal pins increment it), so a
+  // branchless two-pass derivation — min/max sweep, then equality count
+  // — produces the identical box without the fold's data-dependent
+  // branches (measured faster even on the typical 2-4 pin net here).
+  std::uint16_t xs[kScanBuf], ys[kScanBuf];
+  const std::size_t pins = n.sinks.size() + 1;
+  if (pins <= kScanBuf) {
+    const BlockLoc& d = loc(n.driver);
+    xs[0] = static_cast<std::uint16_t>(d.x);
+    ys[0] = static_cast<std::uint16_t>(d.y);
+    for (std::size_t i = 0; i < n.sinks.size(); ++i) {
+      const BlockLoc& l = loc(n.sinks[i]);
+      xs[i + 1] = static_cast<std::uint16_t>(l.x);
+      ys[i + 1] = static_cast<std::uint16_t>(l.y);
+    }
+    std::uint16_t xlo = xs[0], xhi = xs[0], ylo = ys[0], yhi = ys[0];
+    for (std::size_t i = 1; i < pins; ++i) {
+      xlo = std::min(xlo, xs[i]);
+      xhi = std::max(xhi, xs[i]);
+      ylo = std::min(ylo, ys[i]);
+      yhi = std::max(yhi, ys[i]);
+    }
+    std::uint16_t cxl = 0, cxh = 0, cyl = 0, cyh = 0;
+    for (std::size_t i = 0; i < pins; ++i) {
+      cxl = static_cast<std::uint16_t>(cxl + (xs[i] == xlo));
+      cxh = static_cast<std::uint16_t>(cxh + (xs[i] == xhi));
+      cyl = static_cast<std::uint16_t>(cyl + (ys[i] == ylo));
+      cyh = static_cast<std::uint16_t>(cyh + (ys[i] == yhi));
+    }
+    box.x_lo = xlo;
+    box.x_hi = xhi;
+    box.y_lo = ylo;
+    box.y_hi = yhi;
+    box.on_x_lo = cxl;
+    box.on_x_hi = cxh;
+    box.on_y_lo = cyl;
+    box.on_y_hi = cyh;
+    return box;
+  }
+  const BlockLoc& d = loc(n.driver);
+  box.x_lo = box.x_hi = static_cast<std::uint16_t>(d.x);
+  box.y_lo = box.y_hi = static_cast<std::uint16_t>(d.y);
+  box.on_x_lo = box.on_x_hi = box.on_y_lo = box.on_y_hi = 1;
+  for (std::size_t s : n.sinks) {
+    const BlockLoc& l = loc(s);
+    scan_dim(static_cast<std::uint16_t>(l.x), box.x_lo, box.x_hi, box.on_x_lo,
+             box.on_x_hi);
+    scan_dim(static_cast<std::uint16_t>(l.y), box.y_lo, box.y_hi, box.on_y_lo,
+             box.on_y_hi);
+  }
+  return box;
+}
+
+/// Geometry-only scan with no pin substitution — the in-place
+/// apply_swap path scans already-mutated locations, so the two per-pin
+/// substitution compares drop out of the gather, and the serial
+/// annealer never consults the edge-occupancy counts (they exist for
+/// move_dim, which only the batch propose path runs), so the equality
+/// count pass drops out too. Counts are left zero; the batch annealer
+/// re-derives them with refresh_counts() before it ever reads them.
+inline NetCostModel::Box direct_scan(const PlacedNet& n,
+                                     const std::vector<BlockLoc>& locs) {
+  NetCostModel::Box box;
+  box.on_x_lo = box.on_x_hi = box.on_y_lo = box.on_y_hi = 0;
+  std::uint16_t xs[kScanBuf], ys[kScanBuf];
+  const std::size_t pins = n.sinks.size() + 1;
+  if (pins <= kScanBuf) {
+    const BlockLoc& d = locs[n.driver];
+    xs[0] = static_cast<std::uint16_t>(d.x);
+    ys[0] = static_cast<std::uint16_t>(d.y);
+    for (std::size_t i = 0; i < n.sinks.size(); ++i) {
+      const BlockLoc& l = locs[n.sinks[i]];
+      xs[i + 1] = static_cast<std::uint16_t>(l.x);
+      ys[i + 1] = static_cast<std::uint16_t>(l.y);
+    }
+    std::uint16_t xlo = xs[0], xhi = xs[0], ylo = ys[0], yhi = ys[0];
+    for (std::size_t i = 1; i < pins; ++i) {
+      xlo = std::min(xlo, xs[i]);
+      xhi = std::max(xhi, xs[i]);
+      ylo = std::min(ylo, ys[i]);
+      yhi = std::max(yhi, ys[i]);
+    }
+    box.x_lo = xlo;
+    box.x_hi = xhi;
+    box.y_lo = ylo;
+    box.y_hi = yhi;
+    return box;
+  }
+  const BlockLoc& d = locs[n.driver];
+  box.x_lo = box.x_hi = static_cast<std::uint16_t>(d.x);
+  box.y_lo = box.y_hi = static_cast<std::uint16_t>(d.y);
+  std::uint16_t c0 = 1, c1 = 1, c2 = 1, c3 = 1;
+  for (std::size_t s : n.sinks) {
+    const BlockLoc& l = locs[s];
+    scan_dim(static_cast<std::uint16_t>(l.x), box.x_lo, box.x_hi, c0, c1);
+    scan_dim(static_cast<std::uint16_t>(l.y), box.y_lo, box.y_hi, c2, c3);
+  }
+  return box;
+}
+
+}  // namespace
+
+NetCostModel::NetCostModel(const std::vector<PlacedNet>* nets,
+                           std::size_t n_blocks)
+    : nets_(nets) {
+  weight_.assign(nets_->size(), 1.0);
+  wq_.resize(nets_->size());
+  for (std::size_t n = 0; n < nets_->size(); ++n) {
+    wq_[n] = weight_[n] * q_factor((*nets_)[n].sinks.size() + 1);
+  }
+  block_nets_.assign(n_blocks, {});
+  for (std::size_t n = 0; n < nets_->size(); ++n) {
+    const PlacedNet& pn = (*nets_)[n];
+    block_nets_[pn.driver].push_back(n);
+    for (std::size_t s : pn.sinks) block_nets_[s].push_back(n);
+  }
+}
+
+void NetCostModel::set_weights(std::vector<double> w) {
+  if (w.size() != nets_->size()) {
+    throw std::logic_error("NetCostModel: weight count mismatch");
+  }
+  weight_ = std::move(w);
+  for (std::size_t n = 0; n < nets_->size(); ++n) {
+    wq_[n] = weight_[n] * q_factor((*nets_)[n].sinks.size() + 1);
+  }
+}
+
+void NetCostModel::finish_cost(Box& box, std::size_t net) const {
+  const double span = static_cast<double>(box.x_hi - box.x_lo) +
+                      static_cast<double>(box.y_hi - box.y_lo);
+  box.cost = wq_[net] * span;
+}
+
+NetCostModel::Box NetCostModel::scan_box(const PlacedNet& n,
+                                         const std::vector<BlockLoc>& locs,
+                                         std::size_t a, const BlockLoc& new_a,
+                                         std::size_t b,
+                                         const BlockLoc& new_b) const {
+  return full_scan(n, locs, a, new_a, b, new_b);
+}
+
+void NetCostModel::rebuild(const std::vector<BlockLoc>& locs) {
+  boxes_.resize(nets_->size());
+  cost_ = 0.0;
+  static const BlockLoc kNowhere{};
+  for (std::size_t n = 0; n < nets_->size(); ++n) {
+    Box box = scan_box((*nets_)[n], locs, kNoBlock, kNowhere, kNoBlock,
+                       kNowhere);
+    finish_cost(box, n);
+    boxes_[n] = box;
+    cost_ += box.cost;
+  }
+}
+
+double NetCostModel::unweighted_cost() const {
   double cost = 0.0;
+  for (std::size_t n = 0; n < boxes_.size(); ++n) {
+    const Box& b = boxes_[n];
+    cost += q_factor((*nets_)[n].sinks.size() + 1) *
+            (static_cast<double>(b.x_hi - b.x_lo) +
+             static_cast<double>(b.y_hi - b.y_lo));
+  }
+  return cost;
+}
+
+double NetCostModel::propose(const std::vector<BlockLoc>& locs, std::size_t a,
+                             const BlockLoc& new_a, std::size_t b,
+                             const BlockLoc& new_b, Pending& out) const {
+  // Delta accumulation mirrors the seed annealer's do_swap: nets of a
+  // first (with both pin moves applied, so shared nets are fully costed
+  // here), then nets of b that a does not touch — for_each_touched walks
+  // that exact order. Evaluations whose net box provably does not change
+  // contribute an exact nb.cost - old.cost == +0.0, and adding +0.0
+  // never alters an IEEE sum (no partial sum here can be -0.0: each term
+  // is either a true nonzero or +0.0), so skipping them keeps the
+  // floating-point delta bit-identical to the seed's.
+  // The evaluation body must be inlined into the merge walk: as an
+  // out-of-line call it is invoked once per touched net (~50 per move)
+  // and the call overhead plus register spills roughly doubles placer
+  // wall time. always_inline keeps propose one flat frame, like the
+  // seed annealer's fully-inlined do_swap loop.
+  for_each_touched(a, b, [&](std::size_t n, bool move_a,
+                             bool move_b) NF_ALWAYS_INLINE {
+    const Box& old = boxes_[n];
+    if (move_a != move_b) {
+      // Single moving pin: if both its old and new sites are strictly
+      // inside the box, neither geometry nor edge counts can change.
+      const BlockLoc& from = move_a ? locs[a] : locs[b];
+      const BlockLoc& to = move_a ? new_a : new_b;
+      if (strictly_inside(from, old) && strictly_inside(to, old)) return;
+    }
+    Box nb = old;
+    bool ok = true;
+    if (move_a) {
+      ok = move_dim(static_cast<std::uint16_t>(locs[a].x),
+                    static_cast<std::uint16_t>(new_a.x), nb.x_lo, nb.x_hi,
+                    nb.on_x_lo, nb.on_x_hi) &&
+           move_dim(static_cast<std::uint16_t>(locs[a].y),
+                    static_cast<std::uint16_t>(new_a.y), nb.y_lo, nb.y_hi,
+                    nb.on_y_lo, nb.on_y_hi);
+    }
+    if (ok && move_b) {
+      ok = move_dim(static_cast<std::uint16_t>(locs[b].x),
+                    static_cast<std::uint16_t>(new_b.x), nb.x_lo, nb.x_hi,
+                    nb.on_x_lo, nb.on_x_hi) &&
+           move_dim(static_cast<std::uint16_t>(locs[b].y),
+                    static_cast<std::uint16_t>(new_b.y), nb.y_lo, nb.y_hi,
+                    nb.on_y_lo, nb.on_y_hi);
+    }
+    if (!ok) {
+      nb = full_scan((*nets_)[n], locs, a, new_a, b, new_b);
+      ++out.rescans;
+    }
+    if (same_geometry(nb, old)) return;  // exact +0.0, box record unchanged
+    if (nb.x_lo == old.x_lo && nb.x_hi == old.x_hi && nb.y_lo == old.y_lo &&
+        nb.y_hi == old.y_hi) {
+      // Same span, different edge counts: cost is a pure function of the
+      // coordinates, so reuse it bitwise and skip the +0.0 delta term.
+      nb.cost = old.cost;
+      out.nets.push_back({n, nb});
+      return;
+    }
+    finish_cost(nb, n);
+    out.delta += nb.cost - old.cost;
+    out.nets.push_back({n, nb});
+  });
+  return out.delta;
+}
+
+NetCostModel::Box NetCostModel::rescan_net(std::size_t net,
+                                           const std::vector<BlockLoc>& locs,
+                                           std::size_t a, const BlockLoc& new_a,
+                                           std::size_t b,
+                                           const BlockLoc& new_b) const {
+  Box nb = scan_box((*nets_)[net], locs, a, new_a, b, new_b);
+  finish_cost(nb, net);
+  return nb;
+}
+
+void NetCostModel::refresh_counts(const std::vector<BlockLoc>& locs) {
+  static const BlockLoc kNowhere{};
+  for (std::size_t n = 0; n < boxes_.size(); ++n) {
+    const Box b =
+        full_scan((*nets_)[n], locs, kNoBlock, kNowhere, kNoBlock, kNowhere);
+    boxes_[n].on_x_lo = b.on_x_lo;
+    boxes_[n].on_x_hi = b.on_x_hi;
+    boxes_[n].on_y_lo = b.on_y_lo;
+    boxes_[n].on_y_hi = b.on_y_hi;
+  }
+}
+
+double NetCostModel::apply_swap(std::vector<BlockLoc>& locs, std::size_t a,
+                                const BlockLoc& dest, std::size_t b,
+                                Pending& undo) {
+  const BlockLoc src = locs[a];
+  locs[a] = dest;
+  if (b != kNoBlock) locs[b] = src;
+  // The seed annealer's do_swap evaluation order: rescan a's nets in
+  // order, then b's nets in order. A shared net is rescanned twice; the
+  // second visit recomputes the identical box against the
+  // already-updated record, so its term is an exact +0.0 and the delta
+  // stays bit-identical to the shared-net-once accumulation propose()
+  // performs.
+  double delta = 0.0;
+  auto touch = [&](std::size_t blk) NF_ALWAYS_INLINE {
+    for (std::size_t n : block_nets_[blk]) {
+      Box nb = direct_scan((*nets_)[n], locs);
+      finish_cost(nb, n);
+      delta += nb.cost - boxes_[n].cost;
+      undo.nets.push_back({n, boxes_[n]});
+      boxes_[n] = nb;
+    }
+  };
+  touch(a);
+  if (b != kNoBlock) touch(b);
+  return delta;
+}
+
+void NetCostModel::undo_swap(std::vector<BlockLoc>& locs, std::size_t a,
+                             const BlockLoc& src, std::size_t b,
+                             const BlockLoc& dest, const Pending& undo) {
+  locs[a] = src;
+  if (b != kNoBlock) locs[b] = dest;
+  for (std::size_t i = undo.nets.size(); i-- > 0;) {
+    boxes_[undo.nets[i].net] = undo.nets[i].box;
+  }
+}
+
+double NetCostModel::propose_naive(const std::vector<BlockLoc>& locs,
+                                   std::size_t a, const BlockLoc& new_a,
+                                   std::size_t b, const BlockLoc& new_b,
+                                   Pending& out) const {
+  for (std::size_t n : block_nets_[a]) {
+    Box nb = scan_box((*nets_)[n], locs, a, new_a, b, new_b);
+    ++out.rescans;
+    finish_cost(nb, n);
+    out.delta += nb.cost - boxes_[n].cost;
+    out.nets.push_back({n, nb});
+  }
+  if (b != kNoBlock) {
+    for (std::size_t n : block_nets_[b]) {
+      Box nb = scan_box((*nets_)[n], locs, a, new_a, b, new_b);
+      ++out.rescans;
+      finish_cost(nb, n);
+      if (net_has((*nets_)[n], a)) {
+        // Shared net: the seed recomputed it against its already-updated
+        // box, contributing an exact +0.0 — reproduce that (the rescan
+        // above is the work profile under measurement).
+        for (const PendingNet& p : out.nets) {
+          if (p.net == n) {
+            out.delta += nb.cost - p.box.cost;
+            break;
+          }
+        }
+        continue;
+      }
+      out.delta += nb.cost - boxes_[n].cost;
+      out.nets.push_back({n, nb});
+    }
+  }
+  return out.delta;
+}
+
+void NetCostModel::commit(const Pending& p) {
+  for (const PendingNet& pn : p.nets) boxes_[pn.net] = pn.box;
+  cost_ += p.delta;
+}
+
+namespace {
+
+/// One speculative move: drawn from a per-slot forked RNG stream, cost
+/// evaluated against frozen state, committed (or replayed) serially.
+struct Proposal {
+  std::size_t a = NetCostModel::kNoBlock;
+  std::size_t b = NetCostModel::kNoBlock;
+  BlockLoc src, dest;
+  bool is_logic = false;
+  bool valid = false;  ///< Degenerate draws (same site / self swap) = false.
+  int gen = 0;         ///< 0 uniform, 1 weighted-centroid, 2 median-region.
+  double u = 0.0;      ///< Pre-drawn acceptance uniform (batch mode only).
+  double delta = 0.0;
+  NetCostModel::Pending pending;
 };
 
 struct Annealer {
   const Packing& pack;
   const ArchParams& arch;
   std::size_t nx, ny;
+  PlaceOptions opt;
   Rng rng;
 
-  std::vector<BlockLoc> locs;
   std::vector<PlacedNet> nets;
-  std::vector<double> net_weight;  // timing-driven criticality weights
-  std::vector<std::vector<std::size_t>> block_nets;  // nets touching block
-  std::vector<NetBox> boxes;
-  double cost = 0.0;
+  NetCostModel model;
+  std::vector<BlockLoc> locs;
+  PlaceCounters counters;
 
   // Occupancy: logic grid and IO pad slots.
   std::vector<std::size_t> logic_at;            // (x-1) + (y-1)*nx -> block
@@ -48,30 +472,47 @@ struct Annealer {
   std::vector<std::pair<std::size_t, std::size_t>> io_sites;  // (x, y)
   std::vector<std::size_t> io_site_index;  // keyed like site_key()
 
+  // Epoch stamps for batch-commit conflict detection (batch mode only).
+  std::vector<std::uint32_t> net_epoch, block_epoch, slot_epoch;
+  std::uint32_t epoch = 0;
+  std::vector<Proposal> batch;
+
+  // Directed-move state: adaptive generator probabilities (uniform,
+  // centroid, median), per-temperature accept stats, and the
+  // criticality-biased target blocks of the timing phase.
+  std::array<double, 3> gen_weight{1.0, 0.0, 0.0};
+  std::array<std::uint64_t, 3> gen_tried{}, gen_acc{};
+  std::vector<std::size_t> crit_blocks;
+  bool timing_phase = false;
+
+  Proposal scratch;
+  NetCostModel::Pending discard;
+  NetCostModel::Pending repaired;  ///< Scratch for batch stale repair.
+
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  Annealer(const Packing& p, const ArchParams& a, std::size_t nx_,
+           std::size_t ny_, const PlaceOptions& o,
+           std::vector<PlacedNet> nets_in)
+      : pack(p),
+        arch(a),
+        nx(nx_),
+        ny(ny_),
+        opt(o),
+        rng(o.seed),
+        nets(std::move(nets_in)),
+        model(&nets, p.blocks.size()) {
+    if (opt.directed_moves) gen_weight = {0.5, 0.25, 0.25};
+  }
 
   std::size_t site_key(std::size_t x, std::size_t y) const {
     return y * (nx + 2) + x;
   }
 
-  NetBox compute_box(const PlacedNet& n) const {
-    NetBox b;
-    const BlockLoc& d = locs[n.driver];
-    b.x_lo = b.x_hi = d.x;
-    b.y_lo = b.y_hi = d.y;
-    for (std::size_t s : n.sinks) {
-      const BlockLoc& l = locs[s];
-      b.x_lo = std::min(b.x_lo, l.x);
-      b.x_hi = std::max(b.x_hi, l.x);
-      b.y_lo = std::min(b.y_lo, l.y);
-      b.y_hi = std::max(b.y_hi, l.y);
-    }
-    const double span = static_cast<double>(b.x_hi - b.x_lo) +
-                        static_cast<double>(b.y_hi - b.y_lo);
-    const std::size_t idx = static_cast<std::size_t>(&n - nets.data());
-    const double w = idx < net_weight.size() ? net_weight[idx] : 1.0;
-    b.cost = w * q_factor(n.sinks.size() + 1) * span;
-    return b;
+  /// One stamp slot per (site, sub-slot) so batch conflict detection can
+  /// see IO pad sub-slot collisions as well as logic-cell collisions.
+  std::size_t slot_stamp_key(const BlockLoc& l) const {
+    return site_key(l.x, l.y) * (arch.io_per_pad + 1) + l.sub;
   }
 
   void initial_place() {
@@ -112,47 +553,6 @@ struct Annealer {
     }
   }
 
-  void init_cost() {
-    boxes.resize(nets.size());
-    cost = 0.0;
-    for (std::size_t n = 0; n < nets.size(); ++n) {
-      boxes[n] = compute_box(nets[n]);
-      cost += boxes[n].cost;
-    }
-    block_nets.assign(pack.blocks.size(), {});
-    for (std::size_t n = 0; n < nets.size(); ++n) {
-      std::unordered_set<std::size_t> blocks;
-      blocks.insert(nets[n].driver);
-      for (std::size_t s : nets[n].sinks) blocks.insert(s);
-      for (std::size_t b : blocks) block_nets[b].push_back(n);
-    }
-  }
-
-  /// Cost delta of swapping blocks a (must be valid) and b (may be kEmpty),
-  /// where b occupies the destination. Applies the swap; returns delta.
-  double do_swap(std::size_t a, std::size_t b, const BlockLoc& dest) {
-    const BlockLoc src = locs[a];
-    locs[a] = dest;
-    if (b != kEmpty) locs[b] = src;
-
-    // Recompute affected nets.
-    double delta = 0.0;
-    auto touch = [&](std::size_t blk) {
-      for (std::size_t n : block_nets[blk]) {
-        const NetBox nb = compute_box(nets[n]);
-        delta += nb.cost - boxes[n].cost;
-        boxes[n] = nb;
-      }
-    };
-    touch(a);
-    if (b != kEmpty) {
-      // Avoid double-recompute of shared nets: recompute is idempotent
-      // (box replaced, delta counted once because boxes[] was updated).
-      touch(b);
-    }
-    return delta;
-  }
-
   void commit_occupancy(std::size_t a, std::size_t b, const BlockLoc& src,
                         const BlockLoc& dest, bool is_logic) {
     if (is_logic) {
@@ -166,7 +566,403 @@ struct Annealer {
     }
   }
 
-  void anneal(const PlaceOptions& opt, double t_start) {
+  void apply_move(std::size_t a, std::size_t b, const BlockLoc& src,
+                  const BlockLoc& dest, bool is_logic) {
+    locs[a] = dest;
+    if (b != kEmpty) locs[b] = src;
+    commit_occupancy(a, b, src, dest, is_logic);
+  }
+
+  // ---- move generation --------------------------------------------------
+
+  /// Pick the move generator for this proposal. Draws nothing in the
+  /// default (uniform-only) configuration, keeping the seed RNG sequence.
+  int pick_generator(Rng& r, bool allow_directed) const {
+    if (!allow_directed) return 0;
+    const double u = r.uniform();
+    double acc = 0.0;
+    for (int g = 0; g < 2; ++g) {
+      acc += gen_weight[static_cast<std::size_t>(g)];
+      if (u < acc) return g;
+    }
+    return 2;
+  }
+
+  /// Pick the block to move. Timing-phase directed runs bias half the
+  /// picks toward blocks on (estimated) critical nets.
+  std::size_t pick_block(Rng& r, bool allow_directed) const {
+    if (allow_directed && timing_phase && !crit_blocks.empty() &&
+        r.uniform() < 0.5) {
+      return crit_blocks[r.uniform_int(crit_blocks.size())];
+    }
+    return r.uniform_int(pack.blocks.size());
+  }
+
+  /// Weighted centroid of the boxes of the nets touching `a` — the
+  /// natural wirelength-minimizing target for the block.
+  bool centroid_target(std::size_t a, std::size_t& tx, std::size_t& ty) const {
+    double wx = 0.0, wy = 0.0, wsum = 0.0;
+    for (std::size_t n : model.nets_of(a)) {
+      const NetCostModel::Box& b = model.box(n);
+      const double w = model.weight(n);
+      wx += w * 0.5 * (static_cast<double>(b.x_lo) + static_cast<double>(b.x_hi));
+      wy += w * 0.5 * (static_cast<double>(b.y_lo) + static_cast<double>(b.y_hi));
+      wsum += w;
+    }
+    if (wsum <= 0.0) return false;
+    tx = static_cast<std::size_t>(std::clamp<long long>(
+        std::llround(wx / wsum), 1, static_cast<long long>(nx)));
+    ty = static_cast<std::size_t>(std::clamp<long long>(
+        std::llround(wy / wsum), 1, static_cast<long long>(ny)));
+    return true;
+  }
+
+  /// Median of the bounding edges of the connected nets (VPR's "median
+  /// region" generator): robust to one far-away net dragging the target.
+  bool median_target(std::size_t a, std::size_t& tx, std::size_t& ty) const {
+    const auto& ns = model.nets_of(a);
+    if (ns.empty()) return false;
+    std::vector<std::uint32_t> xs, ys;
+    xs.reserve(2 * ns.size());
+    ys.reserve(2 * ns.size());
+    for (std::size_t n : ns) {
+      const NetCostModel::Box& b = model.box(n);
+      xs.push_back(b.x_lo);
+      xs.push_back(b.x_hi);
+      ys.push_back(b.y_lo);
+      ys.push_back(b.y_hi);
+    }
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                     xs.end());
+    std::nth_element(ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(mid),
+                     ys.end());
+    tx = std::clamp<std::size_t>(xs[mid], 1, nx);
+    ty = std::clamp<std::size_t>(ys[mid], 1, ny);
+    return true;
+  }
+
+  /// Draw one move from `r` against the current (frozen, in batch mode)
+  /// placement state. Reproduces the seed draw sequence exactly when
+  /// allow_directed is false: block, then destination coordinates/site.
+  void gen_move(Rng& r, double range, bool allow_directed, Proposal& p) const {
+    p.valid = false;
+    p.b = kEmpty;
+    p.gen = pick_generator(r, allow_directed);
+    p.a = pick_block(r, allow_directed);
+    p.is_logic = pack.blocks[p.a].type == PackedType::kLogic;
+    p.src = locs[p.a];
+    if (p.is_logic) {
+      std::size_t tx = 0, ty = 0;
+      bool directed = false;
+      if (p.gen == 1) directed = centroid_target(p.a, tx, ty);
+      else if (p.gen == 2) directed = median_target(p.a, tx, ty);
+      if (directed) {
+        // Land within +-1 of the target so the generator explores the
+        // neighbourhood instead of hammering one cell.
+        const long long jx = static_cast<long long>(r.uniform_int(3)) - 1;
+        const long long jy = static_cast<long long>(r.uniform_int(3)) - 1;
+        p.dest.x = static_cast<std::size_t>(std::clamp<long long>(
+            static_cast<long long>(tx) + jx, 1, static_cast<long long>(nx)));
+        p.dest.y = static_cast<std::size_t>(std::clamp<long long>(
+            static_cast<long long>(ty) + jy, 1, static_cast<long long>(ny)));
+      } else {
+        const auto rr = static_cast<std::size_t>(std::max(1.0, range));
+        const auto pick_coord = [&](std::size_t cur, std::size_t limit) {
+          const std::size_t lo = cur > rr ? cur - rr : 1;
+          const std::size_t hi = std::min(limit, cur + rr);
+          return lo + r.uniform_int(hi - lo + 1);
+        };
+        p.dest.x = pick_coord(p.src.x, nx);
+        p.dest.y = pick_coord(p.src.y, ny);
+      }
+      p.dest.sub = 0;
+      if (p.dest.x == p.src.x && p.dest.y == p.src.y) return;
+      p.b = logic_at[(p.dest.x - 1) + (p.dest.y - 1) * nx];
+    } else {
+      const std::size_t site = r.uniform_int(io_sites.size());
+      p.dest.x = io_sites[site].first;
+      p.dest.y = io_sites[site].second;
+      p.dest.sub = r.uniform_int(arch.io_per_pad);
+      if (p.dest.x == p.src.x && p.dest.y == p.src.y &&
+          p.dest.sub == p.src.sub) {
+        return;
+      }
+      p.b = io_at[site][p.dest.sub];
+    }
+    if (p.b == p.a) {
+      p.b = kEmpty;
+      return;
+    }
+    // Only swap like-with-like (logic vs IO slots are inherently disjoint).
+    p.valid = true;
+  }
+
+  // ---- serial discipline ------------------------------------------------
+
+  /// One proposed move; returns true if accepted. With allow_directed
+  /// false this is draw-for-draw and bit-for-bit the seed annealer's
+  /// try_move, except that a rejected move discards the pending
+  /// evaluation instead of mutating and recomputing back.
+  bool try_move(double t, double range = 1e9, bool allow_directed = false) {
+    ++counters.proposed;
+    gen_move(rng, range, allow_directed, scratch);
+    if (opt.directed_moves) {
+      ++gen_tried[static_cast<std::size_t>(scratch.gen)];
+      if (scratch.gen != 0) ++counters.directed;
+    }
+    if (!scratch.valid) return false;
+    if (opt.naive_cost) {
+      // Baseline kernel: evaluate through the non-mutating propose path
+      // (full rescans, pending record, discard-and-recompute on reject)
+      // so the bench can price the speculative-evaluation machinery the
+      // batch mode runs on.
+      scratch.pending.clear();
+      const double delta = model.propose_naive(
+          locs, scratch.a, scratch.dest, scratch.b, scratch.src,
+          scratch.pending);
+      counters.rescans += scratch.pending.rescans;
+      const bool accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
+      if (accept) {
+        model.commit(scratch.pending);
+        apply_move(scratch.a, scratch.b, scratch.src, scratch.dest,
+                   scratch.is_logic);
+        ++counters.accepted;
+        if (opt.directed_moves) {
+          ++gen_acc[static_cast<std::size_t>(scratch.gen)];
+        }
+        return true;
+      }
+      // The seed annealer mutated first and recomputed every touched net
+      // again to undo a reject; charge the baseline the same second scan.
+      discard.clear();
+      model.propose_naive(locs, scratch.a, scratch.dest, scratch.b,
+                          scratch.src, discard);
+      counters.rescans += discard.rescans;
+      return false;
+    }
+    // Serial fast path: mutate with an undo log. The evaluation is the
+    // seed annealer's do_swap discipline (in-place rescans, no merge
+    // walk), but where the seed paid a full second rescan to reverse a
+    // rejected move, the undo log restores the displaced boxes
+    // bit-for-bit with plain copies. The non-mutating propose/commit
+    // pair remains the engine of the speculative batch mode, which
+    // cannot mutate the frozen state it evaluates against.
+    scratch.pending.clear();
+    const double delta = model.apply_swap(locs, scratch.a, scratch.dest,
+                                          scratch.b, scratch.pending);
+    const bool accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
+    if (accept) {
+      model.book_delta(delta);
+      commit_occupancy(scratch.a, scratch.b, scratch.src, scratch.dest,
+                       scratch.is_logic);
+      ++counters.accepted;
+      if (opt.directed_moves) ++gen_acc[static_cast<std::size_t>(scratch.gen)];
+      return true;
+    }
+    model.undo_swap(locs, scratch.a, scratch.src, scratch.b, scratch.dest,
+                    scratch.pending);
+    return false;
+  }
+
+  // ---- deterministic parallel batches -----------------------------------
+
+  void init_batch_state() {
+    net_epoch.assign(nets.size(), 0);
+    block_epoch.assign(pack.blocks.size(), 0);
+    slot_epoch.assign((nx + 2) * (ny + 2) * (arch.io_per_pad + 1), 0);
+    batch.resize(opt.batch_moves);
+  }
+
+  std::size_t occupant(const Proposal& p) const {
+    if (p.is_logic) return logic_at[(p.dest.x - 1) + (p.dest.y - 1) * nx];
+    const std::size_t site = io_site_index[site_key(p.dest.x, p.dest.y)];
+    return io_at[site][p.dest.sub];
+  }
+
+  /// Block-or-slot staleness: an earlier commit moved one of the blocks
+  /// or retargeted one of the slots this proposal resolved against the
+  /// frozen state. The move itself is no longer the move that was drawn
+  /// — it must be fully re-resolved and re-evaluated.
+  bool hard_stale(const Proposal& p) const {
+    return block_epoch[p.a] == epoch ||
+           (p.b != kEmpty && block_epoch[p.b] == epoch) ||
+           slot_epoch[slot_stamp_key(p.src)] == epoch ||
+           slot_epoch[slot_stamp_key(p.dest)] == epoch;
+  }
+
+  /// Net-only staleness: the move is still exactly the drawn move (both
+  /// blocks and slots untouched), but an earlier commit moved a pin of
+  /// some net this proposal also touches, so part of its frozen cost
+  /// evaluation is invalid. Repairable per net — no full re-evaluation.
+  bool nets_stale(const Proposal& p) const {
+    for (std::size_t n : model.nets_of(p.a)) {
+      if (net_epoch[n] == epoch) return true;
+    }
+    if (p.b != kEmpty) {
+      for (std::size_t n : model.nets_of(p.b)) {
+        if (net_epoch[n] == epoch) return true;
+      }
+    }
+    return false;
+  }
+
+  void stamp(const Proposal& p) {
+    block_epoch[p.a] = epoch;
+    if (p.b != kEmpty) block_epoch[p.b] = epoch;
+    slot_epoch[slot_stamp_key(p.src)] = epoch;
+    slot_epoch[slot_stamp_key(p.dest)] = epoch;
+    // Every touched net is stamped, not just those whose box changed: a
+    // frozen evaluation elsewhere may have derived its entry from a full
+    // rescan, which reads every pin position of the net — so any pin
+    // move at all invalidates reuse of that entry, box change or not.
+    for (std::size_t n : model.nets_of(p.a)) net_epoch[n] = epoch;
+    if (p.b != kEmpty) {
+      for (std::size_t n : model.nets_of(p.b)) net_epoch[n] = epoch;
+    }
+  }
+
+  /// Repair a net-only-stale proposal in place: walk the canonical
+  /// touched-net order with a cursor into the frozen pending entries
+  /// (they were produced in that same order). Entries of epoch-clean
+  /// nets are reused as-is — no pin of such a net moved this batch, so
+  /// the frozen evaluation is still exact — and only the epoch-stamped
+  /// nets are rescanned against the live state. Serial (commit loop)
+  /// only; deterministic because it depends only on slot order.
+  void repair(Proposal& p) {
+    repaired.clear();
+    const std::vector<NetCostModel::PendingNet>& pend = p.pending.nets;
+    std::size_t cursor = 0;
+    model.for_each_touched(p.a, p.b, [&](std::size_t n, bool, bool) {
+      const bool has_entry = cursor < pend.size() && pend[cursor].net == n;
+      if (net_epoch[n] != epoch) {
+        if (has_entry) {
+          repaired.delta += pend[cursor].box.cost - model.box(n).cost;
+          repaired.nets.push_back(pend[cursor]);
+        }
+      } else {
+        NetCostModel::Box nb =
+            model.rescan_net(n, locs, p.a, p.dest, p.b, p.src);
+        ++repaired.rescans;
+        repaired.delta += nb.cost - model.box(n).cost;
+        repaired.nets.push_back({n, nb});
+      }
+      if (has_entry) ++cursor;
+    });
+    p.pending.nets.swap(repaired.nets);
+    p.pending.delta = repaired.delta;  // commit() applies pending.delta
+    p.pending.rescans += repaired.rescans;
+    p.delta = repaired.delta;
+    counters.rescans += repaired.rescans;
+  }
+
+  /// Generate + evaluate `count` speculative moves in parallel against
+  /// the frozen state, then commit serially in slot order. One next_u64
+  /// on the main stream is the fork base; slot i derives its own stream,
+  /// so the outcome depends only on the batch structure — never on the
+  /// thread count. Returns the number of accepted moves.
+  std::size_t run_batch(double t, double range, std::size_t count) {
+    const std::uint64_t base = rng.next_u64();
+    const bool allow_directed = opt.directed_moves;
+    parallel_for(count, [&](std::size_t i) {
+      Rng r = Rng::from_stream(base, i);
+      Proposal& p = batch[i];
+      p.pending.clear();
+      gen_move(r, range, allow_directed, p);
+      p.u = r.uniform();  // pre-drawn: replay must not reorder draws
+      if (p.valid) {
+        p.delta = model.propose(locs, p.a, p.dest, p.b, p.src, p.pending);
+      }
+    });
+    ++counters.batches;
+    ++epoch;
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      Proposal& p = batch[i];
+      ++counters.proposed;
+      if (opt.directed_moves) {
+        ++gen_tried[static_cast<std::size_t>(p.gen)];
+        if (p.gen != 0) ++counters.directed;
+      }
+      if (!p.valid) continue;
+      counters.rescans += p.pending.rescans;
+      if (hard_stale(p)) {
+        // An earlier commit in this batch moved one of the blocks or
+        // retargeted one of the slots this proposal read frozen: the
+        // drawn move itself is stale. Re-resolve and re-evaluate
+        // serially against the live state, keeping the slot's pre-drawn
+        // uniform.
+        ++counters.conflicts;
+        p.src = locs[p.a];
+        if (p.is_logic) {
+          if (p.dest.x == p.src.x && p.dest.y == p.src.y) continue;
+        } else if (p.dest.x == p.src.x && p.dest.y == p.src.y &&
+                   p.dest.sub == p.src.sub) {
+          continue;
+        }
+        p.b = occupant(p);
+        if (p.b == p.a) continue;
+        p.pending.clear();
+        p.delta = model.propose(locs, p.a, p.dest, p.b, p.src, p.pending);
+        counters.rescans += p.pending.rescans;
+        ++counters.replays;
+      } else if (nets_stale(p)) {
+        // The move is intact but an earlier commit moved pins of nets it
+        // touches: patch only those nets' evaluations.
+        ++counters.conflicts;
+        repair(p);
+        ++counters.repairs;
+      }
+      const bool accept = p.delta <= 0.0 || p.u < std::exp(-p.delta / t);
+      if (!accept) continue;
+      model.commit(p.pending);
+      apply_move(p.a, p.b, p.src, p.dest, p.is_logic);
+      stamp(p);
+      ++accepted;
+      ++counters.accepted;
+      if (opt.directed_moves) ++gen_acc[static_cast<std::size_t>(p.gen)];
+    }
+    return accepted;
+  }
+
+  // ---- schedule ---------------------------------------------------------
+
+  std::size_t sweep(double t, double range, std::size_t moves) {
+    std::size_t accepted = 0;
+    if (opt.batch_moves >= 2) {
+      std::size_t done = 0;
+      while (done < moves) {
+        const std::size_t n = std::min(opt.batch_moves, moves - done);
+        accepted += run_batch(t, range, n);
+        done += n;
+      }
+    } else {
+      for (std::size_t m = 0; m < moves; ++m) {
+        accepted += try_move(t, range, opt.directed_moves);
+      }
+    }
+    return accepted;
+  }
+
+  /// Re-balance the generator probabilities toward whichever generator
+  /// is currently earning acceptances, with a floor so none starves.
+  void update_gen_weights() {
+    std::array<double, 3> w{};
+    double sum = 0.0;
+    for (std::size_t g = 0; g < 3; ++g) {
+      const double rate = gen_tried[g]
+                              ? static_cast<double>(gen_acc[g]) /
+                                    static_cast<double>(gen_tried[g])
+                              : 0.5;
+      w[g] = 0.1 + rate;
+      sum += w[g];
+      gen_tried[g] = 0;
+      gen_acc[g] = 0;
+    }
+    for (std::size_t g = 0; g < 3; ++g) gen_weight[g] = w[g] / sum;
+  }
+
+  void anneal(double t_start) {
     const std::size_t n_blocks = pack.blocks.size();
     const auto moves_per_t = static_cast<std::size_t>(
         std::max(1.0, opt.inner_num *
@@ -174,12 +970,10 @@ struct Annealer {
     double t = t_start;
     double range = static_cast<double>(std::max(nx, ny));
     const double exit_t =
-        0.005 * cost / static_cast<double>(std::max<std::size_t>(nets.size(), 1));
+        0.005 * model.total_cost() /
+        static_cast<double>(std::max<std::size_t>(nets.size(), 1));
     while (t > exit_t) {
-      std::size_t accepted = 0;
-      for (std::size_t m = 0; m < moves_per_t; ++m) {
-        accepted += try_move(t, range);
-      }
+      const std::size_t accepted = sweep(t, range, moves_per_t);
       const double rate =
           static_cast<double>(accepted) / static_cast<double>(moves_per_t);
       // VPR's adaptive schedule.
@@ -192,18 +986,22 @@ struct Annealer {
       // Shrink the move window toward the sweet-spot 44% acceptance.
       range *= 1.0 - 0.44 + rate;
       range = std::clamp(range, 1.0, static_cast<double>(std::max(nx, ny)));
+      if (opt.directed_moves) update_gen_weights();
     }
   }
 
   /// Initial temperature: 20x the std-dev of random-move deltas [Betz 99].
+  /// Always probes with the serial uniform discipline, so it is both
+  /// seed-identical in the default configuration and thread-count
+  /// independent in every other one.
   double probe_temperature() {
     const std::size_t n_blocks = pack.blocks.size();
     double sum = 0.0, sum2 = 0.0;
     const std::size_t probes = std::min<std::size_t>(n_blocks, 200);
     for (std::size_t i = 0; i < probes; ++i) {
-      const double before = cost;
+      const double before = model.total_cost();
       try_move(1e30);  // always accept
-      const double d = cost - before;
+      const double d = model.total_cost() - before;
       sum += d;
       sum2 += d * d;
     }
@@ -212,12 +1010,16 @@ struct Annealer {
     return 20.0 * std::sqrt(std::max(var, 1e-12));
   }
 
-  void run(const PlaceOptions& opt, const Netlist& nl, const Packing& p) {
+  void run(const Netlist& nl) {
     initial_place();
-    net_weight.assign(nets.size(), 1.0);
-    init_cost();
+    model.rebuild(locs);
     if (nets.empty()) return;
-    anneal(opt, probe_temperature());
+    if (opt.batch_moves >= 2) init_batch_state();
+    const double t_start = probe_temperature();
+    // The serial probe above ran count-free apply_swap scans; batch-mode
+    // move_dim needs the edge counts back before the first batch.
+    if (opt.batch_moves >= 2) model.refresh_counts(locs);
+    anneal(t_start);
 
     if (opt.timing_driven) {
       // Criticality-weighted refinement: nets on (estimated) critical
@@ -225,61 +1027,29 @@ struct Annealer {
       // estimate is the shared utility the incremental STA also seeds
       // from, keeping placement and routing on one criticality notion.
       const auto crit = placement_net_criticality(nl, nets, locs);
+      std::vector<double> w(nets.size(), 1.0);
       for (std::size_t n = 0; n < nets.size(); ++n) {
-        net_weight[n] = 1.0 + opt.timing_weight * crit[n] * crit[n];
+        w[n] = 1.0 + opt.timing_weight * crit[n] * crit[n];
       }
-      init_cost();  // re-evaluate boxes under the new weights
-      const double exit_t = 0.005 * cost /
-                            static_cast<double>(std::max<std::size_t>(nets.size(), 1));
-      anneal(opt, 50.0 * exit_t);
-    }
-  }
-
-  /// One proposed move; returns true if accepted.
-  bool try_move(double t, double range = 1e9) {
-    const std::size_t a = rng.uniform_int(pack.blocks.size());
-    const bool is_logic = pack.blocks[a].type == PackedType::kLogic;
-    const BlockLoc src = locs[a];
-
-    BlockLoc dest;
-    std::size_t b = kEmpty;
-    if (is_logic) {
-      const auto r = static_cast<std::size_t>(std::max(1.0, range));
-      const auto pick_coord = [&](std::size_t cur, std::size_t limit) {
-        const std::size_t lo = cur > r ? cur - r : 1;
-        const std::size_t hi = std::min(limit, cur + r);
-        return lo + rng.uniform_int(hi - lo + 1);
-      };
-      dest.x = pick_coord(src.x, nx);
-      dest.y = pick_coord(src.y, ny);
-      dest.sub = 0;
-      if (dest.x == src.x && dest.y == src.y) return false;
-      b = logic_at[(dest.x - 1) + (dest.y - 1) * nx];
-    } else {
-      const std::size_t site = rng.uniform_int(io_sites.size());
-      dest.x = io_sites[site].first;
-      dest.y = io_sites[site].second;
-      dest.sub = rng.uniform_int(arch.io_per_pad);
-      if (dest.x == src.x && dest.y == src.y && dest.sub == src.sub) {
-        return false;
+      model.set_weights(std::move(w));
+      model.rebuild(locs);  // re-evaluate boxes under the new weights
+      timing_phase = true;
+      if (opt.directed_moves) {
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+          if (crit[n] < 0.8) continue;
+          crit_blocks.push_back(nets[n].driver);
+          for (std::size_t s : nets[n].sinks) crit_blocks.push_back(s);
+        }
+        std::sort(crit_blocks.begin(), crit_blocks.end());
+        crit_blocks.erase(
+            std::unique(crit_blocks.begin(), crit_blocks.end()),
+            crit_blocks.end());
       }
-      b = io_at[site][dest.sub];
+      const double exit_t =
+          0.005 * model.total_cost() /
+          static_cast<double>(std::max<std::size_t>(nets.size(), 1));
+      anneal(50.0 * exit_t);
     }
-    if (b == a) return false;
-    // Only swap like-with-like (logic vs IO slots are inherently disjoint).
-
-    const double delta = do_swap(a, b, dest);
-    const bool accept = delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
-    if (accept) {
-      cost += delta;
-      commit_occupancy(a, b, src, dest, is_logic);
-      return true;
-    }
-    // Undo.
-    const double back = do_swap(a, b, src);
-    (void)back;
-    if (b != kEmpty) locs[b] = dest;
-    return false;
   }
 };
 
@@ -364,6 +1134,25 @@ std::vector<double> placement_net_criticality(
       }
     }
   }
+  // LUTs still pending were never drained: they sit on a combinational
+  // cycle the topological pass cannot order, so their arrival times are
+  // meaningless (stuck at 0). Flag them and treat every net touching one
+  // as fully critical (zero slack) instead of silently under-weighting.
+  std::vector<char> in_cycle(nl.block_count(), 0);
+  std::size_t n_cyclic = 0;
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    if (nl.block(b).type == BlockType::kLut && pending[b] > 0) {
+      in_cycle[b] = 1;
+      ++n_cyclic;
+    }
+  }
+  if (n_cyclic > 0) {
+    std::fprintf(stderr,
+                 "placement_net_criticality: %zu LUT(s) on combinational "
+                 "cycles have no topological arrival time; nets touching "
+                 "them fall back to zero-slack (fully critical) shaping\n",
+                 n_cyclic);
+  }
   double d_max = 1.0;
   for (BlockId b = 0; b < nl.block_count(); ++b) {
     const Block& blk = nl.block(b);
@@ -395,12 +1184,18 @@ std::vector<double> placement_net_criticality(
   for (std::size_t n = 0; n < nets.size(); ++n) {
     const NetId net_id = nets[n].net;
     const BlockId drv = nl.net(net_id).driver;
+    bool cyclic = nl.block(drv).type == BlockType::kLut && in_cycle[drv];
     const double arr = arrival[drv];
     double worst_req = d_max;
     for (BlockId sk : nl.net(net_id).sinks) {
       if (nl.block(sk).type == BlockType::kLut) {
         worst_req = std::min(worst_req, required[sk] - 1.0);
+        if (in_cycle[sk]) cyclic = true;
       }
+    }
+    if (cyclic) {
+      crit[n] = criticality_from_slack(0.0, d_max);
+      continue;
     }
     const double slack = worst_req - arr - net_delay(net_id);
     crit[n] = criticality_from_slack(slack, d_max);
@@ -410,17 +1205,21 @@ std::vector<double> placement_net_criticality(
 
 Placement place(const Netlist& nl, const Packing& p, const ArchParams& arch,
                 std::size_t nx, std::size_t ny, const PlaceOptions& opt) {
-  Annealer an{p, arch, nx, ny, Rng(opt.seed), {}, {}, {}, {}, {}, 0.0,
-              {}, {}, {}, {}};
-  an.nets = extract_placed_nets(nl, p);
-  an.run(opt, nl, p);
+  Annealer an(p, arch, nx, ny, opt, extract_placed_nets(nl, p));
+  an.run(nl);
 
   Placement out;
   out.nx = nx;
   out.ny = ny;
   out.locs = std::move(an.locs);
+  out.final_weighted_cost = an.model.total_cost();
+  // The timing-driven anneal minimizes the weighted cost; report the
+  // unweighted bounding-box cost separately so final_cost always matches
+  // placement_cost()'s definition.
+  out.final_cost = opt.timing_driven ? an.model.unweighted_cost()
+                                     : an.model.total_cost();
+  out.counters = an.counters;
   out.nets = std::move(an.nets);
-  out.final_cost = an.cost;
   return out;
 }
 

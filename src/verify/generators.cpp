@@ -26,7 +26,9 @@ std::string DesignCase::describe() const {
      << " incr=" << route.incremental << " prune=" << route.prune_ripup
      << " td=" << route.timing_driven << " cexp=" << route.criticality_exp
      << " mcrit=" << route.max_criticality
-     << "} place{seed=" << place_seed << " inner=" << place_inner_num << "}";
+     << "} place{seed=" << place_seed << " inner=" << place_inner_num
+     << " batch=" << place_batch << " dir=" << place_directed
+     << " td=" << place_timing << "}";
   return os.str();
 }
 
@@ -83,6 +85,13 @@ DesignCase gen_design_case(Rng& rng) {
 
   c.place_seed = 1 + rng.uniform_int(1 << 20);
   c.place_inner_num = 0.1;
+  // Placer disciplines: half the cases keep the seed-identical serial
+  // annealer; the rest run speculative batches (deterministic at any
+  // thread count) and sometimes the directed generators / the
+  // criticality-weighted second anneal.
+  c.place_batch = rng.chance(0.5) ? 0 : 2 + rng.uniform_int(31);  // 2..32
+  c.place_directed = rng.chance(0.35);
+  c.place_timing = rng.chance(0.3);
   return c;
 }
 
@@ -149,6 +158,18 @@ std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
   if (c.route.net_parallel) {
     push([&](DesignCase& s) { s.route.net_parallel = false; });
   }
+  // Shrink the placer toward the seed-identical serial uniform annealer:
+  // a reproducer that survives these switches exonerates the batch
+  // scheduler / directed generators / timing anneal respectively.
+  if (c.place_batch != 0) {
+    push([&](DesignCase& s) { s.place_batch = 0; });
+  }
+  if (c.place_directed) {
+    push([&](DesignCase& s) { s.place_directed = false; });
+  }
+  if (c.place_timing) {
+    push([&](DesignCase& s) { s.place_timing = false; });
+  }
   return out;
 }
 
@@ -164,6 +185,9 @@ BuiltDesign build_design(const DesignCase& c) {
   PlaceOptions popt;
   popt.seed = c.place_seed;
   popt.inner_num = c.place_inner_num;
+  popt.batch_moves = c.place_batch;
+  popt.directed_moves = c.place_directed;
+  popt.timing_driven = c.place_timing;
   d.pl = place(d.nl, d.pk, d.arch, nx, ny, popt);
   return d;
 }

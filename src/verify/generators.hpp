@@ -32,6 +32,12 @@ struct DesignCase {
   RouteOptions route;
   std::uint64_t place_seed = 1;
   double place_inner_num = 0.1;
+  /// Placer knobs under differential test (place.hpp): speculative batch
+  /// size (0 = the seed-identical serial discipline), directed move
+  /// generators, and the timing-driven second anneal.
+  std::size_t place_batch = 0;
+  bool place_directed = false;
+  bool place_timing = false;
 
   std::string describe() const;
 };

@@ -7,6 +7,9 @@
 //
 //   reference_route_all        vs  route_all        (bit-identical)
 //   ReferenceOveruse           vs  OveruseTracker   (bit-identical)
+//   reference_net_cost / reference_placement_cost
+//                              vs  NetCostModel     (per-net bit-identical;
+//                                  tracked total tolerance-bounded)
 //   reference_analyze_timing   vs  analyze_timing   (tolerance-bounded)
 //   reference_programming_yield vs programming_yield (bit-identical)
 //   reference_sample_population_parallel
@@ -94,6 +97,26 @@ std::unique_ptr<RouterTimingHook> make_reference_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
     const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality);
+
+/// Full-rescan bounding box of one placed net (driver plus sinks).
+struct ReferenceNetBox {
+  std::size_t x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+};
+ReferenceNetBox reference_net_box(const PlacedNet& n,
+                                  const std::vector<BlockLoc>& locs);
+
+/// Full-rescan cost of one placed net: weight * q(pins) * semiperimeter,
+/// the exact expression NetCostModel derives incrementally. Bit-identical
+/// per net by construction (both read only the final integer box).
+double reference_net_cost(const PlacedNet& n, double weight,
+                          const std::vector<BlockLoc>& locs);
+
+/// Full-rescan total placement cost under per-net weights, summed in net
+/// order; NetCostModel's *tracked* total (rebuild sum plus one delta per
+/// committed move) must stay within 1e-9 relative of this.
+double reference_placement_cost(const std::vector<PlacedNet>& nets,
+                                const std::vector<double>& weights,
+                                const std::vector<BlockLoc>& locs);
 
 /// Plain serial Monte-Carlo yield loop (no thread pool, no deferred
 /// reduction); the parallel programming_yield must match it bit-for-bit

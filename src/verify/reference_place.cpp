@@ -1,0 +1,64 @@
+// Naive placement-cost oracle: the full-rescan twin of place.hpp's
+// NetCostModel. No boxes, no edge-occupancy counts, no pending deltas —
+// every query walks every pin of the nets it is asked about. The
+// incremental engine derives each net cost from the final integer box
+// coordinates only, so the two must agree *bitwise* per net; the tracked
+// total (a sum of per-move deltas) drifts from the recomputed total by at
+// most the floating-point accumulation bound the differential suite pins
+// (tests/prop/prop_place_diff.cpp, <= 1e-9 relative).
+#include <algorithm>
+
+#include "verify/oracles.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+/// Independent transcription of the VPR fanout correction used by the
+/// production kernel (q(terminals) [Betz 99]).
+double ref_q_factor(std::size_t terminals) {
+  static constexpr double kTable[] = {1.0,    1.0,    1.0,    1.0,    1.0828,
+                                      1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+                                      1.4493, 1.4974, 1.5455, 1.5937, 1.6418,
+                                      1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+                                      1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+                                      2.0743, 2.1061, 2.1379, 2.1698, 2.2016,
+                                      2.2334};
+  if (terminals < std::size(kTable)) return kTable[terminals];
+  return 2.2334 + 0.0616 * (static_cast<double>(terminals) - 30.0) / 5.0;
+}
+
+}  // namespace
+
+ReferenceNetBox reference_net_box(const PlacedNet& n,
+                                  const std::vector<BlockLoc>& locs) {
+  ReferenceNetBox b;
+  b.x_lo = b.x_hi = locs[n.driver].x;
+  b.y_lo = b.y_hi = locs[n.driver].y;
+  for (std::size_t s : n.sinks) {
+    b.x_lo = std::min(b.x_lo, locs[s].x);
+    b.x_hi = std::max(b.x_hi, locs[s].x);
+    b.y_lo = std::min(b.y_lo, locs[s].y);
+    b.y_hi = std::max(b.y_hi, locs[s].y);
+  }
+  return b;
+}
+
+double reference_net_cost(const PlacedNet& n, double weight,
+                          const std::vector<BlockLoc>& locs) {
+  const ReferenceNetBox b = reference_net_box(n, locs);
+  const double span = static_cast<double>(b.x_hi - b.x_lo) +
+                      static_cast<double>(b.y_hi - b.y_lo);
+  return weight * ref_q_factor(n.sinks.size() + 1) * span;
+}
+
+double reference_placement_cost(const std::vector<PlacedNet>& nets,
+                                const std::vector<double>& weights,
+                                const std::vector<BlockLoc>& locs) {
+  double cost = 0.0;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    cost += reference_net_cost(nets[n], weights[n], locs);
+  }
+  return cost;
+}
+
+}  // namespace nemfpga::verify

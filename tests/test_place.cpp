@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "netlist/synth_gen.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nemfpga {
 namespace {
@@ -167,6 +170,170 @@ TEST(Place, TimingDrivenRefinesWirelengthPlacement) {
   EXPECT_GT(moved, 0u);
   // ...without wrecking wirelength (within 2x of the WL-only result).
   EXPECT_LT(placement_cost(b), 2.0 * placement_cost(a));
+}
+
+TEST(Place, FinalWeightedCostEqualsFinalCostWithoutTiming) {
+  Fixture f;
+  const auto pl = place(f.nl, f.pk, f.arch, 6, 6);
+  EXPECT_EQ(pl.final_weighted_cost, pl.final_cost);
+}
+
+// With timing on, final_cost stays comparable to placement_cost (it is
+// the unweighted bounding-box sum) while final_weighted_cost is the
+// criticality-weighted objective the second anneal minimized (weights
+// are 1 + tw*crit^2 >= 1, so it can only be larger).
+TEST(Place, TimingDrivenReportsBothCosts) {
+  Fixture f(300, "place-wcost");
+  PlaceOptions td;
+  td.timing_driven = true;
+  const auto pl = place(f.nl, f.pk, f.arch, 7, 7, td);
+  EXPECT_NEAR(pl.final_cost, placement_cost(pl),
+              1e-9 * std::max(1.0, pl.final_cost));
+  EXPECT_GE(pl.final_weighted_cost, pl.final_cost);
+}
+
+TEST(Place, DirectedMovesAreLegalAndDeterministic) {
+  Fixture f(300, "place-directed");
+  PlaceOptions opt;
+  opt.directed_moves = true;
+  opt.seed = 11;
+  const auto a = place(f.nl, f.pk, f.arch, 7, 7, opt);
+  check_placement(f.pk, f.arch, a);
+  EXPECT_GT(a.counters.directed, 0u);
+  const auto b = place(f.nl, f.pk, f.arch, 7, 7, opt);
+  ASSERT_EQ(a.locs.size(), b.locs.size());
+  for (std::size_t i = 0; i < a.locs.size(); ++i) {
+    EXPECT_EQ(a.locs[i].x, b.locs[i].x);
+    EXPECT_EQ(a.locs[i].y, b.locs[i].y);
+    EXPECT_EQ(a.locs[i].sub, b.locs[i].sub);
+  }
+}
+
+// The naive (full-rescan) kernel is a perf baseline, not a different
+// algorithm: it must reproduce the incremental kernel's placement
+// bit-for-bit.
+TEST(Place, NaiveKernelMatchesIncremental) {
+  Fixture f;
+  PlaceOptions fast, naive;
+  naive.naive_cost = true;
+  const auto a = place(f.nl, f.pk, f.arch, 6, 6, fast);
+  const auto b = place(f.nl, f.pk, f.arch, 6, 6, naive);
+  ASSERT_EQ(a.locs.size(), b.locs.size());
+  for (std::size_t i = 0; i < a.locs.size(); ++i) {
+    EXPECT_EQ(a.locs[i].x, b.locs[i].x);
+    EXPECT_EQ(a.locs[i].y, b.locs[i].y);
+  }
+  EXPECT_EQ(a.final_cost, b.final_cost);
+}
+
+TEST(Place, BatchModeIsThreadCountInvariant) {
+  Fixture f(300, "place-batch");
+  PlaceOptions opt;
+  opt.batch_moves = 16;
+  opt.directed_moves = true;
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    ThreadPool::ScopedUse use(pool);
+    return place(f.nl, f.pk, f.arch, 7, 7, opt);
+  };
+  const auto a = run(1);
+  const auto b = run(2);
+  const auto c = run(8);
+  check_placement(f.pk, f.arch, a);
+  EXPECT_GT(a.counters.batches, 0u);
+  ASSERT_EQ(a.locs.size(), b.locs.size());
+  for (std::size_t i = 0; i < a.locs.size(); ++i) {
+    EXPECT_EQ(a.locs[i].x, b.locs[i].x);
+    EXPECT_EQ(a.locs[i].y, b.locs[i].y);
+    EXPECT_EQ(a.locs[i].sub, b.locs[i].sub);
+    EXPECT_EQ(a.locs[i].x, c.locs[i].x);
+    EXPECT_EQ(a.locs[i].y, c.locs[i].y);
+    EXPECT_EQ(a.locs[i].sub, c.locs[i].sub);
+  }
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  EXPECT_EQ(a.final_cost, c.final_cost);
+  EXPECT_EQ(a.counters.accepted, c.counters.accepted);
+  EXPECT_EQ(a.counters.conflicts, c.counters.conflicts);
+  EXPECT_EQ(a.counters.replays, c.counters.replays);
+}
+
+// Batch sizes 0 and 1 both mean "the serial discipline" and must agree
+// with each other (and, by the golden tests above, with the seed
+// annealer).
+TEST(Place, BatchSizeOneKeepsSerialDiscipline) {
+  Fixture f;
+  PlaceOptions zero, one;
+  one.batch_moves = 1;
+  const auto a = place(f.nl, f.pk, f.arch, 6, 6, zero);
+  const auto b = place(f.nl, f.pk, f.arch, 6, 6, one);
+  ASSERT_EQ(a.locs.size(), b.locs.size());
+  for (std::size_t i = 0; i < a.locs.size(); ++i) {
+    EXPECT_EQ(a.locs[i].x, b.locs[i].x);
+    EXPECT_EQ(a.locs[i].y, b.locs[i].y);
+  }
+}
+
+// Regression: placement_net_criticality used to leave LUTs on
+// combinational cycles with arrival time 0 (they never drain from the
+// topological pass), silently under-weighting every net on the cycle.
+// It must now warn once on stderr and treat those nets as fully
+// critical.
+TEST(PlaceCriticality, CombinationalCycleWarnsAndFallsBackCritical) {
+  Netlist nl("cycle");
+  const NetId in = nl.add_net("in");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_input("pi", in);
+  nl.add_lut("A", {in, b}, a);  // A and B form a 2-LUT loop
+  nl.add_lut("B", {a}, b);
+  nl.add_output("po", a);
+
+  // Identity block->placed-block mapping on a 1x4 strip.
+  std::vector<BlockLoc> locs(4);
+  for (std::size_t i = 0; i < locs.size(); ++i) locs[i] = {i, 1, 0};
+  std::vector<PlacedNet> nets(3);
+  nets[0] = {in, 0, {1}};
+  nets[1] = {a, 1, {2, 3}};
+  nets[2] = {b, 2, {1}};
+
+  testing::internal::CaptureStderr();
+  const auto crit = placement_net_criticality(nl, nets, locs);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("combinational cycle"), std::string::npos) << err;
+  EXPECT_NE(err.find("2 LUT(s)"), std::string::npos) << err;
+  ASSERT_EQ(crit.size(), nets.size());
+  // Every net here touches a cyclic LUT: zero-slack fallback = 1.0.
+  for (double c : crit) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(PlaceCriticality, AcyclicNetlistEmitsNoWarning) {
+  Netlist nl("chain");
+  const NetId in = nl.add_net("in");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_input("pi", in);
+  nl.add_lut("A", {in}, a);
+  nl.add_lut("B", {a}, b);
+  nl.add_output("po", b);
+
+  std::vector<BlockLoc> locs(4);
+  for (std::size_t i = 0; i < locs.size(); ++i) locs[i] = {i, 1, 0};
+  std::vector<PlacedNet> nets(3);
+  nets[0] = {in, 0, {1}};
+  nets[1] = {a, 1, {2}};
+  nets[2] = {b, 2, {3}};
+
+  testing::internal::CaptureStderr();
+  const auto crit = placement_net_criticality(nl, nets, locs);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("combinational cycle"), std::string::npos) << err;
+  ASSERT_EQ(crit.size(), nets.size());
+  // The single path is the critical path: every net on it is critical,
+  // and nothing needed the cycle fallback to get there.
+  for (double c : crit) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
 }
 
 }  // namespace

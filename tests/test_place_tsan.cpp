@@ -1,0 +1,50 @@
+// ThreadSanitizer coverage for the speculative-batch placement stage: a
+// full anneal with wide batches (plus the directed generators and the
+// timing-driven second anneal) on an 8-thread pool. In a plain build
+// this is a fast smoke of the batch scheduler; in an NF_TSAN build
+// (cmake -DNF_TSAN=ON) it is the race check the frozen-state
+// speculative-commit protocol is certified against — batch workers must
+// only read the frozen placement state and write their own proposal
+// slot, so TSan must stay silent.
+#include <gtest/gtest.h>
+
+#include "arch/rr_graph.hpp"
+#include "netlist/synth_gen.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(PlaceTsan, BatchAnnealIsRaceFree) {
+  SynthSpec spec;
+  spec.name = "place-tsan";
+  spec.n_luts = 300;
+  spec.n_inputs = 16;
+  spec.n_outputs = 12;
+  spec.n_latches = 30;
+  Netlist nl = generate_netlist(spec);
+  ArchParams arch;
+  arch.W = 30;
+  Packing pk = pack_netlist(nl, arch);
+  const auto [nx, ny] =
+      grid_size_for(arch, pk.clusters.size(), pk.io_block_count());
+
+  ThreadPool wide(8);
+  ThreadPool::ScopedUse use(wide);
+
+  PlaceOptions opt;
+  opt.inner_num = 0.3;
+  opt.batch_moves = 32;
+  opt.directed_moves = true;
+  opt.timing_driven = true;
+  const Placement pl = place(nl, pk, arch, nx, ny, opt);
+
+  check_placement(pk, arch, pl);
+  EXPECT_GT(pl.counters.batches, 0u);
+  EXPECT_GT(pl.counters.accepted, 0u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_route.json files (schema nemfpga-route-bench-1/2/3/4).
+"""Compare two bench JSON files: BENCH_route.json (schema
+nemfpga-route-bench-1/2/3/4) or BENCH_place.json (nemfpga-place-bench-1).
 
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
@@ -43,6 +44,23 @@ are never compared — except rr_nodes, which is backend-invariant and
 pinned. A circuit's "infeasible" verdict is a correctness field: a
 design flipping between routable and unroutable is a router bug.
 
+The place family (nemfpga-place-bench-1, written by bench/place_perf)
+follows the same philosophy with placer-shaped fields. The annealing
+trajectory is pinned bit-identical across thread counts AND across the
+cost kernels (naive vs incremental), so neither `threads` nor
+`cost_kernel` joins the configuration tuple: diffing a 1-thread run
+against an 8-thread run, or a naive-kernel run against the incremental
+kernel, is exactly how those equivalence claims are audited — the
+final cost, the placement checksum, and the move/accept counters must
+all hold. The knobs that legitimately change the trajectory
+(batch_moves, directed, timing_driven, inner_num, seed) ARE the
+configuration. `rescans` is kernel-internal telemetry (the kernels
+count fallback work differently), so it is only pinned when the
+cost_kernel matches. Wall time additionally requires the same threads
+and the same cost_kernel. A route bench and a place bench measure
+different programs entirely, so cross-family comparison is a hard
+error, not a waiver.
+
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
 """
@@ -51,8 +69,10 @@ import argparse
 import json
 import sys
 
-SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
-           "nemfpga-route-bench-3", "nemfpga-route-bench-4")
+ROUTE_SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
+                 "nemfpga-route-bench-3", "nemfpga-route-bench-4")
+PLACE_SCHEMAS = ("nemfpga-place-bench-1",)
+SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
 # Later-schema additions; compared with .get() so they are simply absent
 # (None == None) when two older files are diffed. rr_nodes is pinned
@@ -61,6 +81,17 @@ EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
 EXACT_OPTIONAL_FIELDS = ("critical_path_s", "infeasible", "rr_nodes")
 COUNTER_FIELDS = ("heap_pushes", "nodes_expanded", "sink_searches")
 COUNTER_OPTIONAL_FIELDS = ("sta_net_evals", "sta_block_updates")
+
+# Place-family correctness fields (flat per-circuit keys, no "counters"
+# sub-object). All of these are pinned across thread counts and across
+# cost kernels: the speculative batch commit and the incremental cost
+# core are both required to reproduce the serial/naive trajectory
+# bit-for-bit. rescans is deliberately absent — it counts kernel-internal
+# fallback work and is only comparable between identical kernels.
+PLACE_EXACT_FIELDS = ("final_cost", "final_weighted_cost", "cost_checksum",
+                      "moves", "accepted", "directed_moves", "batches",
+                      "conflicts", "repairs", "replays",
+                      "route_w", "routed", "critical_path_s")
 
 
 def load(path):
@@ -72,6 +103,21 @@ def load(path):
     if not isinstance(data.get("circuits"), list) or not data["circuits"]:
         raise ValueError(f"{path}: no circuits recorded")
     return data
+
+
+def family(data):
+    """Which benchmark harness produced the file: "route" or "place"."""
+    return "place" if data.get("schema") in PLACE_SCHEMAS else "route"
+
+
+def place_config(data):
+    """The fields that select which annealing trajectory ran. threads and
+    cost_kernel are deliberately excluded: the placer is required to be
+    bit-identical across both, so cross-thread and cross-kernel diffs
+    must still pin every correctness field — that diff IS the audit."""
+    return ("place-1", data.get("batch_moves"), data.get("directed"),
+            data.get("timing_driven"), data.get("inner_num"),
+            data.get("seed"))
 
 
 def router_config(data):
@@ -99,6 +145,80 @@ def router_config(data):
 
 def compare(base, cand, max_regress_pct):
     """Return a list of human-readable failure strings (empty = pass)."""
+    if family(base) != family(cand):
+        # Unlike a schema bump (which waives down to circuit coverage), a
+        # route file and a place file describe different programs; a diff
+        # request across families is operator error and must be loud.
+        return [f"cannot compare a {family(base)} bench "
+                f"({base.get('schema')}) against a {family(cand)} bench "
+                f"({cand.get('schema')}): different benchmark families"]
+    if family(base) == "place":
+        return compare_place(base, cand, max_regress_pct)
+    return compare_route(base, cand, max_regress_pct)
+
+
+def compare_place(base, cand, max_regress_pct):
+    failures = []
+    notes = []
+    same_config = place_config(base) == place_config(cand)
+    if not same_config:
+        notes.append(
+            "placer configuration differs "
+            f"({place_config(base)} vs {place_config(cand)}): "
+            "correctness fields are not comparable; only checking "
+            "circuit coverage")
+    same_kernel = base.get("cost_kernel") == cand.get("cost_kernel")
+    base_by_name = {c["name"]: c for c in base["circuits"]}
+    for c in cand["circuits"]:
+        b = base_by_name.get(c["name"])
+        if b is None:
+            continue
+        if not same_config:
+            continue
+        for fld in PLACE_EXACT_FIELDS:
+            if b.get(fld) != c.get(fld):
+                failures.append(
+                    f"{c['name']}: {fld} changed "
+                    f"{b.get(fld)!r} -> {c.get(fld)!r} (the annealing "
+                    "trajectory is pinned bit-identical across threads "
+                    "and cost kernels; any drift is a correctness bug)")
+        if same_kernel and b.get("rescans") != c.get("rescans"):
+            failures.append(
+                f"{c['name']}: rescans changed "
+                f"{b.get('rescans')!r} -> {c.get('rescans')!r} "
+                "(same cost kernel must do identical fallback work)")
+    missing = [n for n in base_by_name
+               if n not in {c["name"] for c in cand["circuits"]}]
+    if missing:
+        failures.append(f"candidate dropped circuits: {', '.join(missing)}")
+
+    # Wall times compare only between like-for-like machines: the same
+    # thread count AND the same cost kernel (the naive kernel exists to
+    # price the incremental machinery — its wall clock is the baseline of
+    # a speedup claim, not a regression).
+    wall_comparable = (
+        base.get("schema") == cand.get("schema")
+        and base.get("threads") == cand.get("threads")
+        and same_config
+        and same_kernel)
+    if not wall_comparable:
+        notes.append(
+            "runs are not wall-comparable "
+            f"(threads {base.get('threads')} vs {cand.get('threads')}, "
+            f"kernel {base.get('cost_kernel')} vs "
+            f"{cand.get('cost_kernel')}): wall budget waived")
+    bw, cw = base["total_wall_s"], cand["total_wall_s"]
+    if wall_comparable and bw > 0 and \
+            cw > bw * (1.0 + max_regress_pct / 100.0):
+        failures.append(
+            f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
+            f"(> {max_regress_pct:.0f}% budget)")
+    for n in notes:
+        print(f"bench_check: note: {n}", file=sys.stderr)
+    return failures
+
+
+def compare_route(base, cand, max_regress_pct):
     failures = []
     notes = []
     same_config = router_config(base) == router_config(cand)
@@ -377,6 +497,105 @@ def selftest():
     dropped_m["circuits"] = [dict(m_base["circuits"][0], name="other")]
     assert compare(t_base, dropped_m, 15.0), \
         "dropped circuit still fails across schemas 3 vs 4"
+
+    # Place family (nemfpga-place-bench-1).
+    p_base = {
+        "schema": "nemfpga-place-bench-1",
+        "threads": 1,
+        "batch_moves": 0,
+        "directed": True,
+        "timing_driven": False,
+        "inner_num": 1.0,
+        "seed": 1,
+        "cost_kernel": "incremental",
+        "total_wall_s": 5.0,
+        "peak_rss_bytes": 100_000_000,
+        "circuits": [{
+            "name": "synth-l", "luts": 5760, "blocks": 1500, "nets": 5251,
+            "place_wall_s": 0.3, "moves": 1_000_000, "moves_per_s": 3e6,
+            "accepted": 400_000, "rescans": 1234, "directed_moves": 50_000,
+            "batches": 0, "conflicts": 0, "repairs": 0, "replays": 0,
+            "final_cost": 4242.5, "final_weighted_cost": 4242.5,
+            "cost_checksum": "a4e8f50864144d31",
+            "route_w": 54, "routed": True,
+            "critical_path_s": 1.5e-08,
+        }],
+    }
+    p_same = json.loads(json.dumps(p_base))
+    assert compare(p_base, p_same, 15.0) == [], \
+        "identical place runs must pass"
+
+    p_slow = json.loads(json.dumps(p_base))
+    p_slow["total_wall_s"] = 6.0
+    assert compare(p_base, p_slow, 15.0), "20% place regression must fail"
+    assert not compare(p_base, p_slow, 25.0), \
+        "20% place regression within a 25% budget passes"
+
+    p_drift = json.loads(json.dumps(p_base))
+    p_drift["circuits"][0]["cost_checksum"] = "deadbeef00000000"
+    assert compare(p_base, p_drift, 15.0), \
+        "placement checksum drift must fail"
+
+    p_drift = json.loads(json.dumps(p_base))
+    p_drift["circuits"][0]["final_cost"] = 4242.6
+    assert compare(p_base, p_drift, 15.0), "final_cost drift must fail"
+
+    p_drift = json.loads(json.dumps(p_base))
+    p_drift["circuits"][0]["accepted"] = 400_001
+    assert compare(p_base, p_drift, 15.0), \
+        "accepted-move drift must fail (trajectory is pinned)"
+
+    # Cross-thread: wall budget waived, but the batch commit protocol is
+    # required to be thread-invariant, so every correctness field holds.
+    p_t8 = json.loads(json.dumps(p_base))
+    p_t8["threads"] = 8
+    p_t8["total_wall_s"] = 99.0
+    assert compare(p_base, p_t8, 15.0) == [], \
+        "cross-thread place wall time must not trip the budget"
+    p_t8["circuits"][0]["cost_checksum"] = "thread-diverged"
+    assert compare(p_base, p_t8, 15.0), \
+        "cross-thread checksum drift must fail (commit is deterministic)"
+
+    # Cross-kernel: naive vs incremental must produce the identical
+    # trajectory; rescans (kernel telemetry) and wall time are waived.
+    p_naive = json.loads(json.dumps(p_base))
+    p_naive["cost_kernel"] = "naive"
+    p_naive["total_wall_s"] = 99.0
+    p_naive["circuits"][0]["rescans"] = 999_999
+    assert compare(p_base, p_naive, 15.0) == [], \
+        "cross-kernel rescans/wall deltas must not fail"
+    p_naive["circuits"][0]["final_cost"] = 4242.6
+    assert compare(p_base, p_naive, 15.0), \
+        "cross-kernel cost drift must fail (kernels are pinned identical)"
+
+    # Same kernel: rescans is pinned.
+    p_rescan = json.loads(json.dumps(p_base))
+    p_rescan["circuits"][0]["rescans"] = 1235
+    assert compare(p_base, p_rescan, 15.0), \
+        "rescan drift under the same kernel must fail"
+
+    # Different placer knobs: a different trajectory; coverage only.
+    p_batch = json.loads(json.dumps(p_base))
+    p_batch["batch_moves"] = 32
+    p_batch["circuits"][0]["cost_checksum"] = "batch-differs"
+    p_batch["circuits"][0]["batches"] = 31_250
+    assert compare(p_base, p_batch, 15.0) == [], \
+        "different batch_moves is a different config"
+    p_batch_drop = json.loads(json.dumps(p_batch))
+    p_batch_drop["circuits"] = [dict(p_batch["circuits"][0], name="other")]
+    assert compare(p_base, p_batch_drop, 15.0), \
+        "dropped circuit still fails across place configs"
+
+    p_dropped = json.loads(json.dumps(p_base))
+    p_dropped["circuits"] = [dict(p_base["circuits"][0], name="other")]
+    assert compare(p_base, p_dropped, 15.0), \
+        "dropped place circuit must fail"
+
+    # Route vs place is a hard error in both directions.
+    assert compare(m_base, p_base, 15.0), \
+        "route-vs-place comparison must be refused loudly"
+    assert compare(p_base, m_base, 15.0), \
+        "place-vs-route comparison must be refused loudly"
     print("bench_check selftest: OK")
 
 

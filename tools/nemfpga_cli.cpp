@@ -37,6 +37,8 @@ struct Args {
   bool study = false;
   bool activity = false;
   bool timing = false;
+  bool place_timing = false;
+  std::size_t place_batch = 0;
   double crit_exp = 1.0;
   std::string variant = "cmos";
   double downsize = 4.0;
@@ -61,6 +63,13 @@ struct Args {
                "                     cost; delays from --variant's view)\n"
                "  --crit-exp E       criticality sharpening exponent "
                "(default 1.0)\n"
+               "  --place-timing     criticality-weighted second anneal in\n"
+               "                     the placer (reports both the\n"
+               "                     bounding-box and weighted objectives)\n"
+               "  --place-batch N    speculative move-batch size for the\n"
+               "                     deterministic parallel annealer\n"
+               "                     (0 = serial; results are identical at\n"
+               "                     any thread count)\n"
                "  --variant V        cmos | nem-naive | nem-opt\n"
                "  --downsize D       wire-buffer downsizing for nem-opt\n"
                "  --study            full CMOS vs CMOS-NEM comparison\n"
@@ -88,6 +97,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--variant") a.variant = value();
     else if (flag == "--downsize") a.downsize = std::stod(value());
     else if (flag == "--timing") a.timing = true;
+    else if (flag == "--place-timing") a.place_timing = true;
+    else if (flag == "--place-batch") a.place_batch = std::stoul(value());
     else if (flag == "--crit-exp") a.crit_exp = std::stod(value());
     else if (flag == "--study") a.study = true;
     else if (flag == "--activity") a.activity = true;
@@ -132,6 +143,8 @@ int cmd_flow(const Args& a) {
 
   FlowOptions opt;
   opt.arch.W = a.width;
+  opt.place.timing_driven = a.place_timing;
+  opt.place.batch_moves = a.place_batch;
   if (a.timing) {
     opt.route.timing_driven = true;
     opt.route.criticality_exp = a.crit_exp;
@@ -146,6 +159,16 @@ int cmd_flow(const Args& a) {
                flow.packing.clusters.size(), flow.placement.nx,
                flow.placement.ny, flow.placement.nets.size(),
                flow.routing.iterations);
+  if (flow.placement.final_weighted_cost != flow.placement.final_cost) {
+    std::fprintf(stderr,
+                 "placer: bounding-box cost %.1f (criticality-weighted "
+                 "objective %.1f)\n",
+                 flow.placement.final_cost,
+                 flow.placement.final_weighted_cost);
+  } else {
+    std::fprintf(stderr, "placer: bounding-box cost %.1f\n",
+                 flow.placement.final_cost);
+  }
   const RouteCounters& rc = flow.routing.counters;
   std::fprintf(stderr,
                "router: %llu nodes expanded, %llu heap pushes, "

@@ -9,8 +9,14 @@
 # search cores, the batch scheduler and the blended timing cost are
 # exercised against the reference oracle on every campaign. Timing-driven
 # cases pair the production incremental STA against the naive
-# full-recompute reference hook; the campaign finishes with the dedicated
-# incremental-vs-full STA property over randomized rip-up sequences.
+# full-recompute reference hook. The placer differential campaign then
+# drives the incremental bounding-box cost model against the full-rescan
+# oracle over randomized move/swap sequences with randomized placer knobs
+# (speculative batch sizes 2..32, directed-move generators, timing-driven
+# second anneal, weighted nets), including the 1/2/8-thread bit-identity
+# property for the speculative commit protocol; the campaign finishes
+# with the dedicated incremental-vs-full STA property over randomized
+# rip-up sequences.
 # Runs under whatever sanitizer configuration the build directory was
 # configured with; for the zero-crash guarantee the harness is designed
 # around, run it against an ASan/UBSan build:
@@ -81,6 +87,20 @@ echo "run_fuzz.sh: $ROUTE_BIN (NF_PROP_CASES=$ROUTE_CASES" \
      "astar_factor randomized in [0, 1.2], rr_backend/partition_parallel" \
      "and timing_driven/criticality_exp/max_criticality randomized)"
 NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" "$ROUTE_BIN"
+
+PLACE_BIN=$(find_bin prop_place_diff)
+if [ -z "${PLACE_BIN:-}" ] || [ ! -x "$PLACE_BIN" ]; then
+  echo "run_fuzz.sh: prop_place_diff not built; skipping the placer" \
+       "differential campaign" >&2
+else
+  PLACE_CASES=$((ITERS / 200))
+  [ "$PLACE_CASES" -ge 30 ] || PLACE_CASES=30
+  echo "run_fuzz.sh: $PLACE_BIN (NF_PROP_CASES=$PLACE_CASES" \
+       "NF_PROP_SEED=$SEED, randomized move sequences vs full-rescan" \
+       "oracle; batch_moves/directed/timing knobs and 1/2/8-thread" \
+       "bit-identity randomized per case)"
+  NF_PROP_CASES="$PLACE_CASES" NF_PROP_SEED="$SEED" "$PLACE_BIN"
+fi
 
 STA_BIN=$(find_bin prop_sta_incremental)
 if [ -z "${STA_BIN:-}" ] || [ ! -x "$STA_BIN" ]; then
