@@ -1,0 +1,183 @@
+// Incremental ECO flow: ms-scale edit-recompile loops over a live
+// place-and-route session. An EcoFlow owns one fully compiled design
+// (netlist -> packing -> placement -> RR graph -> routing -> timing) and
+// applies NetlistDelta edits transactionally:
+//
+//   1. Structural ops land on the netlist/placement with full rollback —
+//      an illegal op (unknown ids, LUT wider than K, a cluster pushed
+//      over its input cap I, an occupied target site, a pin internal to
+//      a packed BLE) rejects the whole delta and leaves every layer
+//      bit-identical.
+//   2. Packing derived state (BLE inputs, cluster input/output nets,
+//      net_absorbed) is recomputed for touched clusters only, under the
+//      exact rules pack_netlist derives them with; BLE and cluster
+//      membership is frozen for the session.
+//   3. The placed-net list is spliced per touched net via
+//      make_placed_net(), keeping it bitwise-identical to a from-scratch
+//      extract_placed_nets() of the mutated design; connectivity-touched
+//      logic blocks are locally re-placed through the incremental
+//      NetCostModel (propose/commit against deterministic candidate
+//      sites).
+//   4. Only invalidated nets are re-routed, against the live routing's
+//      occupancy and the session-shared A* lookahead
+//      (route_incremental); if the seeded negotiation fails, the flow
+//      falls back to a full from-scratch reroute, so an ECO session
+//      succeeds whenever a from-scratch flow would.
+//   5. STA re-evaluates routed net delays only for nets whose trees
+//      changed (the expensive dimension — cached per-sink delays persist
+//      across applies) and re-propagates arrivals over the block graph,
+//      matching a full analyze_timing() of the final state bitwise. An
+//      edit creating a combinational cycle degrades gracefully:
+//      timing_valid goes false and criticalities fall back to the
+//      placement estimate's zero-slack path instead of crashing.
+//
+// tests/prop/prop_eco_diff.cpp replays randomized edit streams through
+// this flow and a from-scratch flow of the final netlist, proving legal
+// routing, zero overuse, STA agreement to 1e-12 and a bounded quality
+// envelope at 1/2/8 threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+#include "core/flow.hpp"
+#include "netlist/delta.hpp"
+#include "netlist/netlist.hpp"
+#include "pack/pack.hpp"
+#include "place/place.hpp"
+#include "route/route.hpp"
+#include "timing/sta.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+
+struct EcoOptions {
+  ArchParams arch;
+  PlaceOptions place;
+  /// Route options for the base route and every ECO reroute. The
+  /// lookahead is built once per session and shared; timing_hook is
+  /// managed internally (a fresh incremental-STA hook per apply when
+  /// timing_driven).
+  RouteOptions route;
+  FpgaVariant timing_variant = FpgaVariant::kCmosBaseline;
+  /// Locally re-place connectivity-touched logic blocks through the
+  /// incremental cost model before rerouting.
+  bool replace_touched = true;
+  /// Deterministic candidate sites evaluated per touched block.
+  std::size_t replace_candidates = 8;
+  /// Seed of the per-apply candidate-site RNG stream.
+  std::uint64_t seed = 1;
+};
+
+enum class EcoStatus {
+  kOk,          ///< Delta applied; routing legal.
+  kNoop,        ///< Empty delta: state untouched.
+  kRejected,    ///< An op failed validation; state untouched.
+  kUnroutable,  ///< Edits applied but no legal routing exists (even from
+                ///< scratch) at the session's channel width.
+};
+
+struct EcoResult {
+  EcoStatus status = EcoStatus::kOk;
+  std::string reject_reason;      ///< Set when status == kRejected.
+  std::size_t nets_invalidated = 0;  ///< Trees cleared before reroute.
+  std::size_t nets_rerouted = 0;  ///< Router reroutes (incl. congestion).
+  std::size_t blocks_moved = 0;   ///< Explicit + local-replace moves.
+  std::size_t route_iterations = 0;
+  bool full_fallback = false;  ///< Seeded reroute failed; rerouted from
+                               ///< scratch instead.
+  bool legal = false;          ///< Routing success && overuse == 0.
+  bool cycle_detected = false;
+  bool timing_valid = false;  ///< False when a combinational cycle (or a
+                              ///< failed routing) blocks STA.
+  double reroute_wall_s = 0.0;
+  double sta_wall_s = 0.0;
+  double critical_path_s = 0.0;  ///< 0 when !timing_valid.
+  double cp_delta_s = 0.0;       ///< vs. the previous timing-valid state.
+  std::size_t sta_nets_evaluated = 0;  ///< routed_net_delays calls.
+  std::size_t overused_nodes = 0;
+};
+
+class EcoFlow {
+ public:
+  /// Compile the base design. Unlike run_flow, an unroutable base does
+  /// not throw — the session records it and apply() reports kUnroutable
+  /// until edits (or the fallback) make the design routable.
+  EcoFlow(Netlist netlist, const EcoOptions& opt);
+  ~EcoFlow();
+
+  EcoFlow(const EcoFlow&) = delete;
+  EcoFlow& operator=(const EcoFlow&) = delete;
+
+  /// Apply one delta transactionally. See the file comment.
+  EcoResult apply(const NetlistDelta& delta);
+
+  const Netlist& netlist() const { return nl_; }
+  const ArchParams& arch() const { return opt_.arch; }
+  const Packing& packing() const { return pk_; }
+  const Placement& placement() const { return pl_; }
+  const RoutingResult& routing() const { return routing_; }
+  RrGraphView graph() const;
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  bool routed() const { return routing_.success; }
+  bool has_comb_cycle() const { return cycle_; }
+  /// Last timing-valid critical path: 0 until one exists, then retained
+  /// across cycle/unroutable excursions (so the cp_delta_s of the apply
+  /// that restores timing is measured against it). EcoResult's
+  /// critical_path_s, by contrast, is 0 whenever !timing_valid.
+  double critical_path_s() const { return cp_; }
+  std::size_t applies() const { return applies_; }
+
+ private:
+  bool apply_ops(const NetlistDelta& delta, std::string& reason);
+  bool refresh_packing(std::string& reason);
+  void splice_placed_nets();
+  std::size_t replace_touched();
+  void mark_moved_dirty();
+  std::size_t refresh_sink_delays();
+  double propagate_cp() const;
+  void build_site_occupancy();
+  std::size_t site_key(const BlockLoc& l) const;
+  void check_invariants() const;
+
+  Netlist nl_;
+  EcoOptions opt_;
+  Packing pk_;
+  Placement pl_;
+  std::size_t nx_ = 0, ny_ = 0;
+  std::unique_ptr<RrGraph> eg_;
+  std::unique_ptr<ImplicitRrGraph> ig_;
+  ElectricalView eview_;
+  std::shared_ptr<const RouteLookahead> lookahead_;
+
+  RoutingResult routing_;  ///< routing_.trees is the live tree store.
+  /// Cached per-slot routed sink delays, parallel to pl_.nets /
+  /// routing_.trees; an empty inner vector marks a stale entry.
+  std::vector<std::vector<double>> sink_delays_;
+  NetDelayScratch delay_scratch_;
+
+  /// Frozen packing geometry (pack-time maps the Packing itself does not
+  /// retain): netlist block -> BLE index, BLE index -> cluster, and the
+  /// nets hard-wired inside a fused LUT+FF BLE (never editable).
+  std::vector<std::size_t> block_ble_;
+  std::vector<std::size_t> ble_cluster_;
+  std::vector<char> ble_internal_net_;
+
+  /// Per-apply scratch: blocks with pin edits, nets whose connectivity
+  /// changed, packed blocks that moved, and the site occupancy map.
+  std::vector<BlockId> touched_blocks_;
+  std::vector<NetId> touched_nets_;
+  std::vector<std::size_t> moved_blocks_;
+  std::vector<std::size_t> site_occ_;
+
+  bool cycle_ = false;
+  bool had_cp_ = false;
+  double cp_ = 0.0;
+  std::size_t applies_ = 0;
+};
+
+}  // namespace nemfpga

@@ -1,0 +1,42 @@
+#include "netlist/delta.hpp"
+
+#include <sstream>
+
+namespace nemfpga {
+
+std::string EcoOp::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case EcoOpKind::kConnect:
+      os << "connect(block=" << block << ", net=" << net << ")";
+      break;
+    case EcoOpKind::kDisconnect:
+      os << "disconnect(block=" << block << ", pin=" << pin << ")";
+      break;
+    case EcoOpKind::kRetarget:
+      os << "retarget(block=" << block << ", pin=" << pin << ", net=" << net
+         << ")";
+      break;
+    case EcoOpKind::kMoveBlock:
+      os << "move(packed=" << packed_a << ", to=" << dest_x << "," << dest_y
+         << "." << dest_sub << ")";
+      break;
+    case EcoOpKind::kSwapBlocks:
+      os << "swap(packed=" << packed_a << ", " << packed_b << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string NetlistDelta::describe() const {
+  std::ostringstream os;
+  os << "delta{";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) os << "; ";
+    os << ops[i].describe();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,89 @@
+// Netlist delta: the edit language of the incremental ECO flow. A delta
+// is an ordered list of connection-granularity and physical ops; the ECO
+// engine (src/flow/eco.hpp) applies them transactionally — either every
+// op validates and the whole delta lands, or the state is left untouched.
+//
+// Net-level edits decompose into pin ops: a net "appears" in the routed
+// view when it gains its first external sink and "disappears" when it
+// loses its last one, and resizing is a sequence of connects/disconnects.
+// Physical ops (move/swap) address packed-block indices — the placeable
+// units of the Packing — not netlist blocks; the netlist layer stores
+// them opaquely.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace nemfpga {
+
+enum class EcoOpKind {
+  kConnect,     ///< Add net `net` as a new input pin of LUT `block`.
+  kDisconnect,  ///< Remove input pin `pin` of LUT `block`.
+  kRetarget,    ///< Repoint input pin `pin` of `block` at net `net`.
+  kMoveBlock,   ///< Move packed block `packed_a` to (dest_x, dest_y, dest_sub).
+  kSwapBlocks,  ///< Swap packed blocks `packed_a` and `packed_b`.
+};
+
+struct EcoOp {
+  EcoOpKind kind = EcoOpKind::kConnect;
+  BlockId block = kInvalidId;    ///< Sink block for connection ops.
+  std::size_t pin = 0;           ///< Input-pin slot for disconnect/retarget.
+  NetId net = kInvalidId;        ///< Net for connect/retarget.
+  std::size_t packed_a = kInvalidId;  ///< Packed block for move/swap.
+  std::size_t packed_b = kInvalidId;  ///< Swap partner.
+  std::size_t dest_x = 0, dest_y = 0, dest_sub = 0;  ///< Move target site.
+
+  static EcoOp connect(BlockId b, NetId n) {
+    EcoOp op;
+    op.kind = EcoOpKind::kConnect;
+    op.block = b;
+    op.net = n;
+    return op;
+  }
+  static EcoOp disconnect(BlockId b, std::size_t pin) {
+    EcoOp op;
+    op.kind = EcoOpKind::kDisconnect;
+    op.block = b;
+    op.pin = pin;
+    return op;
+  }
+  static EcoOp retarget(BlockId b, std::size_t pin, NetId n) {
+    EcoOp op;
+    op.kind = EcoOpKind::kRetarget;
+    op.block = b;
+    op.pin = pin;
+    op.net = n;
+    return op;
+  }
+  static EcoOp move_block(std::size_t packed, std::size_t x, std::size_t y,
+                          std::size_t sub) {
+    EcoOp op;
+    op.kind = EcoOpKind::kMoveBlock;
+    op.packed_a = packed;
+    op.dest_x = x;
+    op.dest_y = y;
+    op.dest_sub = sub;
+    return op;
+  }
+  static EcoOp swap_blocks(std::size_t a, std::size_t b) {
+    EcoOp op;
+    op.kind = EcoOpKind::kSwapBlocks;
+    op.packed_a = a;
+    op.packed_b = b;
+    return op;
+  }
+
+  std::string describe() const;
+};
+
+struct NetlistDelta {
+  std::vector<EcoOp> ops;
+
+  bool empty() const { return ops.empty(); }
+  std::string describe() const;
+};
+
+}  // namespace nemfpga

@@ -95,6 +95,96 @@ double Netlist::average_fanout() const {
   return driven ? static_cast<double>(pins) / static_cast<double>(driven) : 0.0;
 }
 
+namespace {
+
+void erase_one_sink(Net& net, BlockId b, const char* who) {
+  const auto it = std::find(net.sinks.begin(), net.sinks.end(), b);
+  if (it == net.sinks.end()) {
+    throw std::logic_error(std::string(who) +
+                           ": sink entry missing on net " + net.name);
+  }
+  net.sinks.erase(it);
+}
+
+}  // namespace
+
+void Netlist::connect_input(BlockId b, NetId n) {
+  if (b >= blocks_.size()) throw std::out_of_range("connect_input: bad block");
+  if (n >= nets_.size()) throw std::out_of_range("connect_input: bad net");
+  Block& blk = blocks_[b];
+  if (blk.type != BlockType::kLut) {
+    throw std::invalid_argument("connect_input: only LUT pins can be added");
+  }
+  blk.inputs.push_back(n);
+  nets_[n].sinks.push_back(b);
+  blk.truth_table.clear();
+}
+
+void Netlist::disconnect_input(BlockId b, std::size_t pin) {
+  if (b >= blocks_.size()) {
+    throw std::out_of_range("disconnect_input: bad block");
+  }
+  Block& blk = blocks_[b];
+  if (blk.type != BlockType::kLut) {
+    throw std::invalid_argument(
+        "disconnect_input: only LUT pins can be removed");
+  }
+  if (pin >= blk.inputs.size()) {
+    throw std::out_of_range("disconnect_input: bad pin");
+  }
+  if (blk.inputs.size() == 1) {
+    throw std::invalid_argument("disconnect_input: LUT needs one input");
+  }
+  erase_one_sink(nets_[blk.inputs[pin]], b, "disconnect_input");
+  blk.inputs.erase(blk.inputs.begin() + static_cast<std::ptrdiff_t>(pin));
+  blk.truth_table.clear();
+}
+
+void Netlist::retarget_input(BlockId b, std::size_t pin, NetId n) {
+  if (b >= blocks_.size()) throw std::out_of_range("retarget_input: bad block");
+  if (n >= nets_.size()) throw std::out_of_range("retarget_input: bad net");
+  Block& blk = blocks_[b];
+  if (blk.inputs.empty() || pin >= blk.inputs.size()) {
+    throw std::out_of_range("retarget_input: bad pin");
+  }
+  const NetId old = blk.inputs[pin];
+  if (old == n) return;
+  erase_one_sink(nets_[old], b, "retarget_input");
+  blk.inputs[pin] = n;
+  nets_[n].sinks.push_back(b);
+  if (blk.type == BlockType::kLut) blk.truth_table.clear();
+}
+
+bool Netlist::has_combinational_cycle() const {
+  // Same DFS as validate()'s loop check, answering instead of throwing.
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(blocks_.size(), Color::kWhite);
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  for (BlockId start = 0; start < blocks_.size(); ++start) {
+    if (blocks_[start].type != BlockType::kLut) continue;
+    if (color[start] != Color::kWhite) continue;
+    stack.emplace_back(start, 0);
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [b, sink_idx] = stack.back();
+      const Net& out = nets_[blocks_[b].output];
+      if (sink_idx >= out.sinks.size()) {
+        color[b] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const BlockId next = out.sinks[sink_idx++];
+      if (blocks_[next].type != BlockType::kLut) continue;
+      if (color[next] == Color::kGray) return true;
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return false;
+}
+
 void Netlist::validate() const {
   for (const auto& n : nets_) {
     if (n.driver == kInvalidId) {

@@ -79,6 +79,27 @@ class Netlist {
   /// (combinational loops must pass through a latch). Throws on violation.
   void validate() const;
 
+  // --- ECO mutation surface ----------------------------------------------
+  // Connection-granularity edits for the incremental flow. Each consuming
+  // pin owns one entry in Net::sinks (duplicates are legal when a block
+  // reads the same net on two pins), and these methods keep that pairing
+  // exact. LUT truth tables go stale under pin edits and are cleared; the
+  // ECO flow never consumes them (only simulation/bitstream do).
+
+  /// Append net `n` as a new input pin of LUT `b`. The arch-level fan-in
+  /// cap K is the caller's to enforce (the netlist does not know it).
+  void connect_input(BlockId b, NetId n);
+  /// Remove input pin `pin` of LUT `b` along with its sink entry. A LUT
+  /// keeps at least one input.
+  void disconnect_input(BlockId b, std::size_t pin);
+  /// Repoint input pin `pin` of block `b` (LUT, latch D, or PO input) at
+  /// net `n`, keeping the pin count unchanged. No-op when already there.
+  void retarget_input(BlockId b, std::size_t pin, NetId n);
+  /// Non-throwing probe for combinational LUT->LUT cycles: where
+  /// validate() throws, the ECO flow uses this to degrade timing
+  /// gracefully instead of crashing.
+  bool has_combinational_cycle() const;
+
  private:
   BlockId add_block(Block b);
   void connect_driver(NetId n, BlockId b);

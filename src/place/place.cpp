@@ -1055,24 +1055,29 @@ struct Annealer {
 
 }  // namespace
 
+std::optional<PlacedNet> make_placed_net(const Netlist& nl, const Packing& p,
+                                         NetId n) {
+  if (p.net_absorbed[n]) return std::nullopt;
+  const Net& net = nl.net(n);
+  PlacedNet pn;
+  pn.net = n;
+  pn.driver = p.block_owner[net.driver];
+  std::unordered_set<std::size_t> sink_blocks;
+  for (BlockId s : net.sinks) {
+    const std::size_t owner = p.block_owner[s];
+    if (owner != pn.driver) sink_blocks.insert(owner);
+  }
+  if (sink_blocks.empty()) return std::nullopt;  // fully local (or dangling)
+  pn.sinks.assign(sink_blocks.begin(), sink_blocks.end());
+  std::sort(pn.sinks.begin(), pn.sinks.end());
+  return pn;
+}
+
 std::vector<PlacedNet> extract_placed_nets(const Netlist& nl,
                                            const Packing& p) {
   std::vector<PlacedNet> nets;
   for (NetId n = 0; n < nl.net_count(); ++n) {
-    if (p.net_absorbed[n]) continue;
-    const Net& net = nl.net(n);
-    PlacedNet pn;
-    pn.net = n;
-    pn.driver = p.block_owner[net.driver];
-    std::unordered_set<std::size_t> sink_blocks;
-    for (BlockId s : net.sinks) {
-      const std::size_t owner = p.block_owner[s];
-      if (owner != pn.driver) sink_blocks.insert(owner);
-    }
-    if (sink_blocks.empty()) continue;  // fully local (or dangling)
-    pn.sinks.assign(sink_blocks.begin(), sink_blocks.end());
-    std::sort(pn.sinks.begin(), pn.sinks.end());
-    nets.push_back(std::move(pn));
+    if (auto pn = make_placed_net(nl, p, n)) nets.push_back(std::move(*pn));
   }
   return nets;
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/params.hpp"
@@ -277,6 +278,15 @@ class NetCostModel {
   std::vector<Box> boxes_;
   double cost_ = 0.0;
 };
+
+/// The placed view of one netlist net: driver + deduped, sorted sink
+/// packed-blocks; nullopt when the net is absorbed or fully local and so
+/// never reaches the router. extract_placed_nets is a scan of this over
+/// ascending NetId, which is the equivalence the ECO flow relies on to
+/// splice individual entries incrementally and stay bitwise-identical to
+/// a from-scratch extraction.
+std::optional<PlacedNet> make_placed_net(const Netlist& nl, const Packing& p,
+                                         NetId n);
 
 /// Extract the inter-block nets (driver + sinks over packed blocks) that
 /// placement optimizes and routing must realize.

@@ -794,6 +794,25 @@ struct Router {
     }
   }
 
+  /// Charge a pre-existing live routing's occupancy before the first
+  /// seeded iteration (route_incremental): the exact mirror of rip_up,
+  /// including the duplicate-edge dedup, so seeding then ripping a tree
+  /// is occupancy-neutral.
+  void seed_occupancy(const std::vector<RouteTree>& trees) {
+    for (const RouteTree& t : trees) {
+      if (t.source == kNoRrNode) continue;
+      inc_occ(t.source);
+      ++smark_cur;
+      for (const auto& [from, to] : t.edges) {
+        (void)from;
+        if (smark[to] != smark_cur) {
+          smark[to] = smark_cur;
+          inc_occ(to);
+        }
+      }
+    }
+  }
+
   /// rip_up() for partition workers: identical node sequence, but the
   /// shared-state side of each dec is deferred into `ops` and the
   /// duplicate-edge dedup uses the worker's own scratch marks (smark
@@ -862,14 +881,29 @@ struct Router {
   }
 };
 
-}  // namespace
-
-RoutingResult route_all(const RrGraphView& g, const Placement& pl,
-                        const RouteOptions& opt) {
+/// Shared orchestration behind route_all and route_incremental. In seeded
+/// mode `seed_trees` is a live routing (empty trees mark the nets to
+/// (re)route); its occupancy is charged up front and *every* iteration —
+/// including the first — runs the incremental rip/skip discipline, so
+/// kept trees stay untouched unless congestion reaches them. Unseeded,
+/// this is exactly the classic route_all: iteration 1 routes every net.
+RoutingResult route_session(const RrGraphView& g, const Placement& pl,
+                            const RouteOptions& opt,
+                            std::vector<RouteTree> seed_trees, bool seeded) {
   Router router(g, pl, opt);
   using NetStatus = Router::NetStatus;
   RoutingResult res;
-  res.trees.assign(pl.nets.size(), {});
+  if (seeded) {
+    res.trees = std::move(seed_trees);
+    router.seed_occupancy(res.trees);
+    // Seeded sessions skip the near-free exploratory first iteration:
+    // the kept trees already encode a converged negotiation, and the
+    // cleared nets should route around them, not through them.
+    router.pres_fac = std::min(opt.seeded_pres_fac, opt.pres_fac_max);
+  } else {
+    res.trees.assign(pl.nets.size(), {});
+  }
+  res.routed_nets.assign(pl.nets.size(), 0);
   std::size_t best_overuse = static_cast<std::size_t>(-1);
   std::size_t best_iter = 0;
   // Per-iteration overuse history, feeding the hopeless-probe predictor
@@ -1039,11 +1073,13 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
       // the pre-batching router (route-then-commit observes the exact
       // occupancy sequence inc-during-search did, via the overlay).
       for (std::size_t n = 0; n < pl.nets.size(); ++n) {
-        if (iter > 1) {
+        if (iter > 1 || seeded) {
           if (opt.incremental) {
             // Congestion fully cleared mid-iteration: every remaining net
-            // would fail touches_overuse anyway.
-            if (router.occ.overused_count() == 0) break;
+            // would fail touches_overuse anyway. Not taken on the seeded
+            // first iteration — empty (invalidated) trees carry no
+            // overuse but still need their first route.
+            if (iter > 1 && router.occ.overused_count() == 0) break;
             if (!touches_overuse(res.trees[n])) continue;
           }
           ++router.cnt.nets_rerouted;
@@ -1065,6 +1101,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
           return fail_out(t0);
         }
         router.commit(res.trees[n], main_sc.seed_edges);
+        res.routed_nets[n] = 1;
         if (timing_on) dirty.push_back(n);
       }
     } else if (part_mode) {
@@ -1109,7 +1146,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
       const std::size_t gx = g.nx() + 2, gy = g.ny() + 2;
       const int reach = static_cast<int>(g.arch().L) - 1;
       for (std::size_t n = 0; n < pl.nets.size(); ++n) {
-        if (iter > 1) {
+        if (iter > 1 || seeded) {
           if (opt.incremental && !touches_overuse(res.trees[n])) continue;
           ++router.cnt.nets_rerouted;
           if (opt.prune_ripup) {
@@ -1160,7 +1197,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
           PartResult& pr = presults[p];
           Router::Scratch* sc = router.acquire_scratch();
           for (const std::size_t n : nets) {
-            if (iter > 1 && !opt.prune_ripup) {
+            if ((iter > 1 || seeded) && !opt.prune_ripup) {
               router.rip_up_deferred(*sc, res.trees[n], pr.ops);
               res.trees[n] = RouteTree{};
             }
@@ -1183,6 +1220,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
         for (std::size_t p = 0; p < part_nets.size(); ++p) {
           PartResult& pr = presults[p];
           router.occ.absorb(pr.ops);
+          for (const std::size_t n : pr.routed) res.routed_nets[n] = 1;
           if (timing_on) {
             dirty.insert(dirty.end(), pr.routed.begin(), pr.routed.end());
           }
@@ -1197,7 +1235,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
       }
 
       for (const std::size_t n : serial_nets) {
-        if (iter > 1 && !opt.prune_ripup) {
+        if ((iter > 1 || seeded) && !opt.prune_ripup) {
           router.rip_up(res.trees[n]);
           res.trees[n] = RouteTree{};
         }
@@ -1207,6 +1245,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
           return fail_out(t0);
         }
         router.commit(res.trees[n], main_sc.seed_edges);
+        res.routed_nets[n] = 1;
         if (timing_on) dirty.push_back(n);
       }
     } else {
@@ -1229,7 +1268,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
         // the live occupancy — exactly the serial loop's per-net check.
         live.clear();
         for (std::size_t n : batch) {
-          if (iter > 1) {
+          if (iter > 1 || seeded) {
             if (opt.incremental && !touches_overuse(res.trees[n])) continue;
             ++router.cnt.nets_rerouted;
             if (opt.prune_ripup) {
@@ -1258,6 +1297,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
             return fail_out(t0);
           }
           router.commit(res.trees[n], main_sc.seed_edges);
+          res.routed_nets[n] = 1;
           if (timing_on) dirty.push_back(n);
           continue;
         }
@@ -1308,6 +1348,7 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
             router.mark_committed(res.trees[n], main_sc.seed_edges);
             router.commit(res.trees[n], main_sc.seed_edges);
           }
+          res.routed_nets[n] = 1;
           if (timing_on) dirty.push_back(n);
         }
       }
@@ -1419,6 +1460,27 @@ RoutingResult route_all(const RrGraphView& g, const Placement& pl,
     check_routing(g, pl, res);
   }
   return res;
+}
+
+}  // namespace
+
+RoutingResult route_all(const RrGraphView& g, const Placement& pl,
+                        const RouteOptions& opt) {
+  return route_session(g, pl, opt, {}, /*seeded=*/false);
+}
+
+RoutingResult route_incremental(const RrGraphView& g, const Placement& pl,
+                                std::vector<RouteTree> base_trees,
+                                const RouteOptions& opt) {
+  if (base_trees.size() != pl.nets.size()) {
+    throw std::invalid_argument(
+        "route_incremental: base tree / placed net count mismatch");
+  }
+  RouteOptions ropt = opt;
+  // Seeded routing is incremental by definition: the whole point is to
+  // keep clean live trees in place.
+  ropt.incremental = true;
+  return route_session(g, pl, ropt, std::move(base_trees), /*seeded=*/true);
 }
 
 void check_routing(const RrGraphView& g, const Placement& pl,

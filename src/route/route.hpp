@@ -68,6 +68,16 @@ struct RouteOptions {
   double first_iter_pres_fac = 0.5;
   double pres_fac_mult = 1.3;
   double pres_fac_max = 1000.0;  ///< Cap so history can still break ties.
+  /// Starting present-congestion factor for *seeded* sessions
+  /// (route_incremental) only. A from-scratch run wants the classic
+  /// near-free first iteration so nets discover their preferred wires
+  /// before negotiation begins; a seeded session already holds a
+  /// congestion-free routing, and rerouting the handful of cleared nets
+  /// congestion-blind tramples the kept trees and drags them into
+  /// negotiation for the next ~10 iterations of pres_fac growth.
+  /// Starting stiff makes cleared nets respect live occupancy from
+  /// their first search. Capped by pres_fac_max.
+  double seeded_pres_fac = 8.0;
   double history_fac = 1.0;
   double astar_fac = 1.1;     ///< Legacy Manhattan-heuristic weight (used
                               ///< only when astar_factor == 0).
@@ -222,6 +232,12 @@ struct RoutingResult {
   std::vector<RouteTree> trees;  ///< Parallel to Placement::nets.
   std::size_t overused_nodes = 0;
   RouteCounters counters;
+  /// Per-net "this session (re)routed it" flag, parallel to trees: 1 if
+  /// any iteration committed a new tree for the net, 0 if the tree is
+  /// untouched (possible only under route_incremental, whose kept seed
+  /// trees survive unless congestion reaches them). Downstream delay
+  /// caches are invalidated exactly for the flagged nets.
+  std::vector<std::uint8_t> routed_nets;
 
   /// Wire statistics for the power/area models.
   std::size_t wire_segments_used = 0;
@@ -239,6 +255,22 @@ struct RoutingResult {
 /// congestion persists after max_iterations (caller widens W and retries).
 RoutingResult route_all(const RrGraphView& g, const Placement& pl,
                         const RouteOptions& opt = {});
+
+/// Seeded (ECO) routing: `base_trees` is a live legal routing aligned
+/// with pl.nets in which the caller cleared the trees of invalidated
+/// nets (RouteTree{} — source == kNoRrNode). Their occupancy is charged
+/// up front, the first iteration routes only the cleared nets against
+/// that live state, and later iterations run the normal incremental
+/// negotiation, so kept trees are re-routed only if congestion reaches
+/// them (opt.incremental is forced on). Counters and history restart
+/// fresh — a seeded call is a new negotiation session over old wires,
+/// not a continuation of the one that built them — but the session
+/// starts at opt.seeded_pres_fac rather than first_iter_pres_fac, so
+/// the cleared nets route around the live occupancy instead of through
+/// it. Throws if base_trees.size() != pl.nets.size().
+RoutingResult route_incremental(const RrGraphView& g, const Placement& pl,
+                                std::vector<RouteTree> base_trees,
+                                const RouteOptions& opt = {});
 
 /// Validation: every tree is connected, within capacity, and reaches every
 /// sink of its net. Throws std::logic_error on violation.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -16,7 +17,12 @@ void routed_net_delays(const RrGraphView& g, const RouteTree& tree,
                        const PlacedNet& net, const Placement& pl,
                        const ElectricalView& view, NetDelayScratch& scratch,
                        std::vector<double>& out) {
-  if (scratch.epoch.size() != g.node_count()) {
+  // Re-zero on fabric-shape change (ECO can shrink or grow the graph
+  // between evaluations) and on impending epoch wrap: ++cur rolling over
+  // to 0 would alias the zero-initialized stamps, turning every
+  // never-stamped node into a false "known" with a garbage delay.
+  if (scratch.epoch.size() != g.node_count() ||
+      scratch.cur == std::numeric_limits<std::uint32_t>::max()) {
     scratch.epoch.assign(g.node_count(), 0);
     scratch.delay.assign(g.node_count(), 0.0);
     scratch.cur = 0;
@@ -71,7 +77,7 @@ std::vector<double> routed_net_delays(const RrGraphView& g,
 }
 
 TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
-                            const Placement& pl, const RrGraph& g,
+                            const Placement& pl, const RrGraphView& g,
                             const RoutingResult& routing,
                             const ElectricalView& view) {
   if (routing.trees.size() != pl.nets.size()) {
@@ -341,6 +347,20 @@ class IncrementalSta final : public RouterTimingHook {
   void update(const RrGraphView& g, const std::vector<RouteTree>& trees,
               const std::vector<std::size_t>& dirty,
               std::size_t iteration) override {
+    // The connection CSR, level order and slot bases were all baked from
+    // the netlist/packing/placement shape at construction. Under ECO
+    // those can change between routing sessions, so a stale hook would
+    // silently mis-map criticalities; refuse loudly instead. (The pin
+    // count catches connect/disconnect edits that leave every count the
+    // ECO layer tracks unchanged.)
+    if (trees.size() != pl_.nets.size() ||
+        nl_.block_count() != blocks_at_build_ ||
+        nl_.net_count() != nets_at_build_ ||
+        total_pins(nl_) != pins_at_build_) {
+      throw std::logic_error(
+          "IncrementalSta: design shape changed under the hook; construct "
+          "a new hook per netlist delta");
+    }
     if (iteration <= 1) {
       // No routed trees yet: seed criticalities from the placement-based
       // estimate the timing-driven annealer uses, shaped the same way the
@@ -485,6 +505,12 @@ class IncrementalSta final : public RouterTimingHook {
   std::uint64_t block_updates() const override { return block_updates_; }
 
  private:
+  static std::size_t total_pins(const Netlist& nl) {
+    std::size_t pins = 0;
+    for (const Net& n : nl.nets()) pins += n.sinks.size();
+    return pins;
+  }
+
   static std::size_t slot_of(const PlacedNet& pn, std::size_t owner) {
     const auto it =
         std::lower_bound(pn.sinks.begin(), pn.sinks.end(), owner);
@@ -551,6 +577,9 @@ class IncrementalSta final : public RouterTimingHook {
   const DelayModel model_;
   const double crit_exp_;
   const double max_crit_;
+  const std::size_t blocks_at_build_ = nl_.block_count();
+  const std::size_t nets_at_build_ = nl_.net_count();
+  const std::size_t pins_at_build_ = total_pins(nl_);
 
   std::vector<std::size_t> net_to_placed_;
   std::vector<std::vector<double>> sink_delay_;  ///< Per placed net/slot.

@@ -20,7 +20,11 @@ namespace nemfpga {
 /// Reusable per-node delay store for routed_net_delays: an epoch-stamped
 /// flat array shared across all nets of a timing run (same pattern as the
 /// router's scratch arena), so evaluating a net costs zero heap
-/// allocations after the first call.
+/// allocations after the first call. Safe to keep alive indefinitely and
+/// across fabrics: the arrays re-zero whenever the node count changes
+/// (ECO sessions can shrink or grow the graph between evaluations) and
+/// when the 32-bit epoch counter would wrap — a wrapped counter re-hitting
+/// 0 would alias the freshly zeroed stamps and read garbage as "known".
 struct NetDelayScratch {
   std::vector<double> delay;
   std::vector<std::uint32_t> epoch;
@@ -48,8 +52,9 @@ struct TimingResult {
 };
 
 /// Full-design STA. The routing must be successful and correspond to `pl`.
+/// Backend-agnostic: pass an RrGraph or an ImplicitRrGraph via the view.
 TimingResult analyze_timing(const Netlist& nl, const Packing& pack,
-                            const Placement& pl, const RrGraph& g,
+                            const Placement& pl, const RrGraphView& g,
                             const RoutingResult& routing,
                             const ElectricalView& view);
 

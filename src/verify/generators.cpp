@@ -192,6 +192,192 @@ BuiltDesign build_design(const DesignCase& c) {
   return d;
 }
 
+std::string EcoCase::describe() const {
+  std::ostringstream os;
+  os << "eco{seed=" << edit_seed << " edits=" << n_edits << "} "
+     << design.describe();
+  return os.str();
+}
+
+EcoCase gen_eco_case(Rng& rng) {
+  EcoCase c;
+  c.design = gen_design_case(rng);
+  // Generous channels and iteration budget: the ECO props want routable
+  // bases (congestion fights belong to the routing props), and enough
+  // headroom that most edited designs stay routable too — the
+  // differential replay only bites on successful applies.
+  c.design.arch.W = 14 + 2 * rng.uniform_int(6);  // 14..24 tracks
+  c.design.route.max_iterations = 60;
+  c.edit_seed = rng.next_u64();
+  c.n_edits = 1 + rng.uniform_int(12);  // 1..12 compounding deltas
+  return c;
+}
+
+std::vector<EcoCase> shrink_eco_case(const EcoCase& c) {
+  std::vector<EcoCase> out;
+  // Fewer edits first: the cheapest reduction, and a reproducer with one
+  // delta pinpoints the faulty op directly.
+  if (c.n_edits > 1) {
+    EcoCase s = c;
+    s.n_edits = std::max<std::size_t>(1, c.n_edits / 2);
+    out.push_back(s);
+    s = c;
+    s.n_edits = c.n_edits - 1;
+    out.push_back(s);
+  }
+  for (const DesignCase& d : shrink_design_case(c.design)) {
+    EcoCase s = c;
+    s.design = d;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+NetlistDelta gen_eco_delta(Rng& rng, const Netlist& nl, const Packing& pk,
+                           const ArchParams& arch, std::size_t nx,
+                           std::size_t ny,
+                           const std::vector<BlockLoc>& locs) {
+  // Candidate pools are rebuilt per call: the netlist evolves between
+  // deltas, so nothing here may be cached across the edit stream.
+  std::vector<BlockId> luts;
+  std::vector<BlockId> fat_luts;   // >= 2 inputs (disconnectable)
+  std::vector<BlockId> slim_luts;  // < K inputs (connectable)
+  std::vector<BlockId> pinned;     // retargetable: has input pins, not a
+                                   // fused LUT+FF latch, not a PI
+  std::vector<char> fused(nl.net_count(), 0);
+  for (const Ble& b : pk.bles) {
+    if (b.absorbed != kInvalidId) fused[b.absorbed] = 1;
+  }
+  std::vector<std::size_t> block_ble(nl.block_count(), kInvalidId);
+  for (std::size_t i = 0; i < pk.bles.size(); ++i) {
+    if (pk.bles[i].lut != kInvalidId) block_ble[pk.bles[i].lut] = i;
+    if (pk.bles[i].latch != kInvalidId) block_ble[pk.bles[i].latch] = i;
+  }
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Block& blk = nl.block(b);
+    if (blk.type == BlockType::kLut) {
+      luts.push_back(b);
+      if (blk.inputs.size() >= 2) fat_luts.push_back(b);
+      if (blk.inputs.size() < arch.K) slim_luts.push_back(b);
+    }
+    if (blk.type == BlockType::kInput || blk.inputs.empty()) continue;
+    if (blk.type == BlockType::kLatch &&
+        pk.bles[block_ble[b]].lut != kInvalidId) {
+      continue;  // D pin of a fused LUT+FF BLE: rejected by the ECO flow
+    }
+    pinned.push_back(b);
+  }
+  const auto pick = [&](const std::vector<BlockId>& v) {
+    return v[rng.uniform_int(v.size())];
+  };
+  // A net the ECO flow accepts as a connection endpoint: not absorbed
+  // into a fused BLE. Falls back to a raw (possibly fused) id when the
+  // dice refuse to cooperate — that op simply exercises rejection.
+  const auto pick_net = [&]() -> NetId {
+    for (int t = 0; t < 16; ++t) {
+      const NetId n = rng.uniform_int(nl.net_count());
+      if (!fused[n]) return n;
+    }
+    return rng.uniform_int(nl.net_count());
+  };
+  const auto occupied = [&](const BlockLoc& l) {
+    for (const BlockLoc& o : locs) {
+      if (o.x == l.x && o.y == l.y && o.sub == l.sub) return true;
+    }
+    return false;
+  };
+  const auto random_core_site = [&]() {
+    return BlockLoc{1 + rng.uniform_int(nx), 1 + rng.uniform_int(ny), 0};
+  };
+  const auto random_border_site = [&]() {
+    BlockLoc l;
+    l.sub = rng.uniform_int(arch.io_per_pad);
+    switch (rng.uniform_int(4)) {
+      case 0: l.x = 0; l.y = 1 + rng.uniform_int(ny); break;
+      case 1: l.x = nx + 1; l.y = 1 + rng.uniform_int(ny); break;
+      case 2: l.y = 0; l.x = 1 + rng.uniform_int(nx); break;
+      default: l.y = ny + 1; l.x = 1 + rng.uniform_int(nx); break;
+    }
+    return l;
+  };
+
+  NetlistDelta d;
+  const std::size_t n_ops = 1 + rng.uniform_int(3);  // 1..3 ops
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    // A deliberate minority of ops violates a precondition (bad pin,
+    // occupied site, K overflow, fused net) so every replay also walks
+    // the transactional-rejection path of the flow under test.
+    const bool sabotage = rng.chance(0.12);
+    switch (rng.uniform_int(5)) {
+      case 0: {  // connect
+        if (sabotage && !fat_luts.empty()) {
+          // Overfill: target a LUT already at (or past) the K cap by
+          // stacking connects on the same fat LUT.
+          const BlockId b = pick(fat_luts);
+          for (std::size_t k = nl.block(b).inputs.size(); k <= arch.K; ++k) {
+            d.ops.push_back(EcoOp::connect(b, pick_net()));
+          }
+        } else if (!slim_luts.empty()) {
+          d.ops.push_back(EcoOp::connect(pick(slim_luts), pick_net()));
+        }
+        break;
+      }
+      case 1: {  // disconnect
+        if (fat_luts.empty()) break;
+        const BlockId b = pick(fat_luts);
+        const std::size_t fanin = nl.block(b).inputs.size();
+        const std::size_t pin =
+            sabotage ? fanin + rng.uniform_int(3) : rng.uniform_int(fanin);
+        d.ops.push_back(EcoOp::disconnect(b, pin));
+        break;
+      }
+      case 2: {  // retarget
+        if (pinned.empty()) break;
+        const BlockId b = pick(pinned);
+        const std::size_t fanin = nl.block(b).inputs.size();
+        const std::size_t pin =
+            sabotage ? fanin + rng.uniform_int(3) : rng.uniform_int(fanin);
+        d.ops.push_back(EcoOp::retarget(b, pin, pick_net()));
+        break;
+      }
+      case 3: {  // move
+        const std::size_t blk = rng.uniform_int(pk.blocks.size());
+        const bool logic = blk < pk.clusters.size();
+        BlockLoc dest = logic ? random_core_site() : random_border_site();
+        if (!sabotage) {
+          for (int t = 0; t < 8 && occupied(dest); ++t) {
+            dest = logic ? random_core_site() : random_border_site();
+          }
+        }
+        d.ops.push_back(EcoOp::move_block(blk, dest.x, dest.y, dest.sub));
+        break;
+      }
+      default: {  // swap
+        const std::size_t a = rng.uniform_int(pk.blocks.size());
+        std::size_t b = rng.uniform_int(pk.blocks.size());
+        if (!sabotage) {
+          // Stay inside a's logic/IO category (cross-category swaps are
+          // rejected); retry a few times, else fall through as-is.
+          for (int t = 0; t < 8; ++t) {
+            if ((a < pk.clusters.size()) == (b < pk.clusters.size())) break;
+            b = rng.uniform_int(pk.blocks.size());
+          }
+        }
+        d.ops.push_back(EcoOp::swap_blocks(a, b));
+        break;
+      }
+    }
+  }
+  if (d.ops.empty() && !luts.empty()) {
+    // Degenerate draw (every pool empty for the chosen kinds): fall back
+    // to a guaranteed-representable op so no delta is silently empty.
+    const BlockId b = pick(luts);
+    d.ops.push_back(EcoOp::retarget(
+        b, rng.uniform_int(nl.block(b).inputs.size()), pick_net()));
+  }
+  return d;
+}
+
 RelayDesign gen_relay_design(Rng& rng) {
   RelayDesign d = fabricated_relay();
   auto& g = d.geometry;

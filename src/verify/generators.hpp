@@ -13,6 +13,7 @@
 #include "arch/params.hpp"
 #include "arch/rr_graph.hpp"
 #include "device/variation.hpp"
+#include "netlist/delta.hpp"
 #include "netlist/synth_gen.hpp"
 #include "pack/pack.hpp"
 #include "place/place.hpp"
@@ -61,6 +62,37 @@ struct BuiltDesign {
 
 /// Deterministically rebuild (generate, pack, place) a DesignCase.
 BuiltDesign build_design(const DesignCase& c);
+
+/// A randomized ECO replay case: a base design plus a seeded edit
+/// stream. The stream itself is drawn step by step with gen_eco_delta
+/// against the *current* design state (edits compound), so the
+/// descriptor stores only the seed and length and a replay regenerates
+/// the identical stream.
+struct EcoCase {
+  DesignCase design;
+  std::uint64_t edit_seed = 1;
+  std::size_t n_edits = 4;
+
+  std::string describe() const;
+};
+
+/// Draw a small random EcoCase (design sized like gen_design_case, 1..12
+/// edits). The design's W is drawn generously so most bases route.
+EcoCase gen_eco_case(Rng& rng);
+
+/// Shrink candidates: fewer edits first (the cheapest reduction), then
+/// the design shrinks of shrink_design_case.
+std::vector<EcoCase> shrink_eco_case(const EcoCase& c);
+
+/// Draw one randomized delta against the current design state: pin
+/// connects/disconnects/retargets, block moves and swaps (1..3 ops).
+/// Most ops satisfy the ECO preconditions; a deliberate minority
+/// violates one (bad pin, occupied site, K overflow, fused net) so every
+/// replay also exercises the transactional-rejection path.
+NetlistDelta gen_eco_delta(Rng& rng, const Netlist& nl, const Packing& pk,
+                           const ArchParams& arch, std::size_t nx,
+                           std::size_t ny,
+                           const std::vector<BlockLoc>& locs);
 
 /// Random relay design near the fabricated device (varied geometry).
 RelayDesign gen_relay_design(Rng& rng);

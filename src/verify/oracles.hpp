@@ -42,6 +42,17 @@ RoutingResult reference_route_all(const RrGraphView& g, const Placement& pl,
 /// diagnostics, so a prop failure names the diverging net).
 std::string diff_routing(const RoutingResult& a, const RoutingResult& b);
 
+/// From-scratch oracle for the ECO flow's touched-only packing refresh:
+/// recompute every derived Packing field (BLE input lists, cluster
+/// input/output net sets, net absorption) from the current netlist under
+/// pack_netlist's exact derivation rules, with BLE and cluster membership
+/// frozen to `base`'s — the ECO session invariant. reference_eco.cpp.
+Packing reference_refresh_packing(const Netlist& nl, const Packing& base);
+
+/// First difference between two packings (membership and derived fields);
+/// empty string when identical.
+std::string diff_packing(const Packing& a, const Packing& b);
+
 /// Full-rescan occupancy/overuse bookkeeping (the classic PathFinder
 /// iteration pass the incremental OveruseTracker replaces).
 class ReferenceOveruse {

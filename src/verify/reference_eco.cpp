@@ -1,0 +1,156 @@
+// Reference oracle for the ECO flow's incremental packing refresh: with
+// BLE and cluster membership frozen (the session invariant EcoFlow
+// maintains), every derived field of a Packing is a pure function of the
+// netlist. This recomputes all of them from scratch with pack_netlist's
+// exact rules — the differential harness compares it against EcoFlow's
+// touched-clusters-only refresh after every applied delta.
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "verify/oracles.hpp"
+
+namespace nemfpga::verify {
+
+Packing reference_refresh_packing(const Netlist& nl, const Packing& base) {
+  Packing p = base;
+
+  // Frozen geometry maps, rebuilt naively from the membership itself.
+  std::vector<std::size_t> block_ble(nl.block_count(), kInvalidId);
+  for (std::size_t i = 0; i < p.bles.size(); ++i) {
+    if (p.bles[i].lut != kInvalidId) block_ble[p.bles[i].lut] = i;
+    if (p.bles[i].latch != kInvalidId) block_ble[p.bles[i].latch] = i;
+  }
+  std::vector<std::size_t> ble_cluster(p.bles.size(), kInvalidId);
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    for (std::size_t idx : p.clusters[c].bles) ble_cluster[idx] = c;
+  }
+
+  // BLE inputs: the LUT's pin list (paired or lone), the latch's for a
+  // lone latch (form_bles's rule with the membership already decided).
+  for (Ble& ble : p.bles) {
+    const BlockId src = ble.lut != kInvalidId ? ble.lut : ble.latch;
+    ble.inputs = nl.block(src).inputs;
+  }
+
+  // Cluster inputs: every net a member BLE reads that no member drives
+  // (the fixpoint pack_netlist's incremental insert/erase converges to).
+  for (Cluster& cl : p.clusters) {
+    std::unordered_set<NetId> outputs;
+    std::unordered_set<NetId> inputs;
+    for (std::size_t idx : cl.bles) outputs.insert(p.bles[idx].output);
+    for (std::size_t idx : cl.bles) {
+      for (NetId n : p.bles[idx].inputs) {
+        if (!outputs.contains(n)) inputs.insert(n);
+      }
+    }
+    cl.input_nets.assign(inputs.begin(), inputs.end());
+    std::sort(cl.input_nets.begin(), cl.input_nets.end());
+  }
+
+  // Output nets and absorption: pack_netlist's used-outside pass,
+  // verbatim, over every cluster.
+  p.net_absorbed.assign(nl.net_count(), false);
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    Cluster& cl = p.clusters[c];
+    cl.output_nets.clear();
+    for (std::size_t idx : cl.bles) {
+      const NetId out = p.bles[idx].output;
+      bool used_outside = false;
+      for (BlockId sink : nl.net(out).sinks) {
+        const Block& sb = nl.block(sink);
+        if (sb.type == BlockType::kOutput) {
+          used_outside = true;
+        } else {
+          const std::size_t sble = block_ble[sink];
+          if (sble == kInvalidId || ble_cluster[sble] != c) {
+            used_outside = true;
+          }
+        }
+        if (used_outside) break;
+      }
+      if (used_outside) {
+        cl.output_nets.push_back(out);
+      } else {
+        p.net_absorbed[out] = true;
+      }
+    }
+    std::sort(cl.output_nets.begin(), cl.output_nets.end());
+  }
+  for (const Ble& ble : p.bles) {
+    if (ble.absorbed != kInvalidId) p.net_absorbed[ble.absorbed] = true;
+  }
+  return p;
+}
+
+namespace {
+
+template <typename T>
+std::string diff_vec(const char* what, std::size_t who,
+                     const std::vector<T>& a, const std::vector<T>& b) {
+  if (a == b) return {};
+  std::ostringstream os;
+  os << what << " " << who << ": sizes " << a.size() << " vs " << b.size();
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i] != b[i]) {
+      os << ", first divergence at [" << i << "]: " << a[i] << " vs "
+         << b[i];
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string diff_packing(const Packing& a, const Packing& b) {
+  if (a.bles.size() != b.bles.size()) {
+    return "ble count " + std::to_string(a.bles.size()) + " vs " +
+           std::to_string(b.bles.size());
+  }
+  for (std::size_t i = 0; i < a.bles.size(); ++i) {
+    const Ble& x = a.bles[i];
+    const Ble& y = b.bles[i];
+    if (x.lut != y.lut || x.latch != y.latch || x.output != y.output ||
+        x.absorbed != y.absorbed) {
+      return "ble " + std::to_string(i) + " membership differs";
+    }
+    if (auto d = diff_vec("ble inputs", i, x.inputs, y.inputs); !d.empty()) {
+      return d;
+    }
+  }
+  if (a.clusters.size() != b.clusters.size()) {
+    return "cluster count differs";
+  }
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    const Cluster& x = a.clusters[c];
+    const Cluster& y = b.clusters[c];
+    if (auto d = diff_vec("cluster bles", c, x.bles, y.bles); !d.empty()) {
+      return d;
+    }
+    if (auto d = diff_vec("cluster input_nets", c, x.input_nets,
+                          y.input_nets);
+        !d.empty()) {
+      return d;
+    }
+    if (auto d = diff_vec("cluster output_nets", c, x.output_nets,
+                          y.output_nets);
+        !d.empty()) {
+      return d;
+    }
+  }
+  if (a.block_owner != b.block_owner) return "block_owner differs";
+  if (a.net_absorbed != b.net_absorbed) {
+    for (std::size_t n = 0; n < a.net_absorbed.size(); ++n) {
+      if (a.net_absorbed[n] != b.net_absorbed[n]) {
+        return "net_absorbed[" + std::to_string(n) + "]: " +
+               std::to_string(a.net_absorbed[n]) + " vs " +
+               std::to_string(b.net_absorbed[n]);
+      }
+    }
+    return "net_absorbed size differs";
+  }
+  return {};
+}
+
+}  // namespace nemfpga::verify

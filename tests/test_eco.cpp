@@ -1,0 +1,272 @@
+// Edge-case regressions for the incremental ECO flow (src/flow/eco.hpp):
+// no-op identity, transactional rejection leaving every layer
+// bit-identical, deltas on an infeasible base routing, combinational-cycle
+// edits degrading to the zero-slack criticality fallback instead of
+// crashing, and targeted reroute scope for a single block move. The
+// randomized differential coverage lives in tests/prop/prop_eco_diff.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "flow/eco.hpp"
+#include "netlist/synth_gen.hpp"
+#include "route/route.hpp"
+#include "util/rng.hpp"
+#include "verify/generators.hpp"
+#include "verify/oracles.hpp"
+
+namespace nemfpga {
+namespace {
+
+SynthSpec small_spec(const char* name, std::size_t n_luts,
+                     std::size_t n_latches) {
+  SynthSpec spec;
+  spec.name = name;
+  spec.n_luts = n_luts;
+  spec.n_inputs = 8;
+  spec.n_outputs = 6;
+  spec.n_latches = n_latches;
+  return spec;
+}
+
+EcoOptions easy_options() {
+  EcoOptions opt;
+  opt.arch.W = 22;  // generous: edits should stay routable
+  opt.route.max_iterations = 60;
+  opt.place.inner_num = 0.1;
+  return opt;
+}
+
+std::vector<std::vector<NetId>> all_pins(const Netlist& nl) {
+  std::vector<std::vector<NetId>> pins;
+  for (const Block& b : nl.blocks()) pins.push_back(b.inputs);
+  return pins;
+}
+
+BlockId first_lut(const Netlist& nl, std::size_t min_inputs = 1) {
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    if (nl.block(b).type == BlockType::kLut &&
+        nl.block(b).inputs.size() >= min_inputs) {
+      return b;
+    }
+  }
+  return kInvalidId;
+}
+
+TEST(Eco, NoopDeltaIsIdentity) {
+  EcoFlow flow(generate_netlist(small_spec("eco-noop", 40, 6)),
+               easy_options());
+  ASSERT_TRUE(flow.routed());
+  const double cp = flow.critical_path_s();
+  const RoutingResult before = flow.routing();
+
+  const EcoResult r = flow.apply(NetlistDelta{});
+  EXPECT_EQ(r.status, EcoStatus::kNoop);
+  EXPECT_TRUE(r.legal);
+  EXPECT_TRUE(r.timing_valid);
+  EXPECT_EQ(r.critical_path_s, cp);
+  EXPECT_EQ(r.nets_invalidated, 0u);
+  EXPECT_EQ(r.nets_rerouted, 0u);
+  EXPECT_EQ(r.blocks_moved, 0u);
+  EXPECT_EQ(flow.applies(), 0u);  // a no-op is not an apply
+  EXPECT_EQ(verify::diff_routing(before, flow.routing()), "");
+}
+
+TEST(Eco, RejectedDeltaLeavesStateBitIdentical) {
+  EcoFlow flow(generate_netlist(small_spec("eco-reject", 40, 6)),
+               easy_options());
+  ASSERT_TRUE(flow.routed());
+  const BlockId lut = first_lut(flow.netlist(), 2);
+  ASSERT_NE(lut, kInvalidId);
+
+  const auto pins = all_pins(flow.netlist());
+  const std::vector<BlockLoc> locs = flow.placement().locs;
+  const RoutingResult before = flow.routing();
+  const double cp = flow.critical_path_s();
+
+  // A valid op followed by an invalid one: the whole delta must roll back.
+  NetlistDelta d;
+  d.ops.push_back(EcoOp::retarget(lut, 0, 0));
+  d.ops.push_back(EcoOp::disconnect(lut, 99));  // pin out of range
+  const EcoResult r = flow.apply(d);
+  EXPECT_EQ(r.status, EcoStatus::kRejected);
+  EXPECT_FALSE(r.reject_reason.empty());
+  EXPECT_EQ(all_pins(flow.netlist()), pins);
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    EXPECT_EQ(flow.placement().locs[i].x, locs[i].x);
+    EXPECT_EQ(flow.placement().locs[i].y, locs[i].y);
+  }
+  EXPECT_EQ(verify::diff_routing(before, flow.routing()), "");
+  EXPECT_EQ(flow.critical_path_s(), cp);
+
+  // K overflow on connect rejects too (stacking past the cluster cap).
+  NetlistDelta over;
+  for (std::size_t i = 0; i <= flow.arch().K; ++i) {
+    over.ops.push_back(EcoOp::connect(lut, 0));
+  }
+  const EcoResult r2 = flow.apply(over);
+  EXPECT_EQ(r2.status, EcoStatus::kRejected);
+  EXPECT_EQ(all_pins(flow.netlist()), pins);
+}
+
+TEST(Eco, DeltaOnInfeasibleRoutingReportsUnroutable) {
+  EcoOptions opt;
+  opt.arch.W = 2;  // starved channels: unroutable by construction
+  opt.route.max_iterations = 12;
+  opt.route.max_channel_width = 2;
+  opt.place.inner_num = 0.1;
+  EcoFlow flow(generate_netlist(small_spec("eco-starved", 60, 0)), opt);
+  ASSERT_FALSE(flow.routed());  // the ctor must record, not throw
+
+  // The session width really is infeasible in the find_min sense.
+  const ChannelWidthResult w = find_min_channel_width(
+      opt.arch, flow.placement(), opt.arch.W, opt.route);
+  EXPECT_FALSE(w.feasible);
+
+  // A valid edit on the unroutable base: applied (the netlist mutates),
+  // but reported kUnroutable with timing invalid — and no crash.
+  const BlockId lut = first_lut(flow.netlist());
+  ASSERT_NE(lut, kInvalidId);
+  const NetId old_net = flow.netlist().block(lut).inputs[0];
+  const NetId new_net = old_net == 0 ? 1 : 0;
+  NetlistDelta d;
+  d.ops.push_back(EcoOp::retarget(lut, 0, new_net));
+  const EcoResult r = flow.apply(d);
+  EXPECT_EQ(r.status, EcoStatus::kUnroutable);
+  EXPECT_FALSE(r.legal);
+  EXPECT_FALSE(r.timing_valid);
+  EXPECT_EQ(flow.netlist().block(lut).inputs[0], new_net);
+
+  // The session keeps accepting deltas after the failure.
+  NetlistDelta back;
+  back.ops.push_back(EcoOp::retarget(lut, 0, old_net));
+  const EcoResult r2 = flow.apply(back);
+  EXPECT_EQ(r2.status, EcoStatus::kUnroutable);
+  EXPECT_EQ(flow.netlist().block(lut).inputs[0], old_net);
+}
+
+TEST(Eco, CombinationalCycleEditDegradesGracefully) {
+  // No latches: every LUT output net is retargetable and any LUT->LUT
+  // loop is a true combinational cycle.
+  EcoFlow flow(generate_netlist(small_spec("eco-cycle", 30, 0)),
+               easy_options());
+  ASSERT_TRUE(flow.routed());
+  ASSERT_FALSE(flow.has_comb_cycle());
+  const double cp_before = flow.critical_path_s();
+  ASSERT_GT(cp_before, 0.0);
+
+  const BlockId lut = first_lut(flow.netlist());
+  ASSERT_NE(lut, kInvalidId);
+  const NetId old_net = flow.netlist().block(lut).inputs[0];
+  const NetId self = flow.netlist().block(lut).output;
+
+  // Self-loop: the LUT reads its own output. Must hit the zero-slack
+  // criticality fallback, not analyze_timing's cycle throw.
+  NetlistDelta d;
+  d.ops.push_back(EcoOp::retarget(lut, 0, self));
+  const EcoResult r = flow.apply(d);
+  ASSERT_EQ(r.status, EcoStatus::kOk);
+  EXPECT_TRUE(r.legal);
+  EXPECT_TRUE(r.cycle_detected);
+  EXPECT_FALSE(r.timing_valid);
+  EXPECT_EQ(r.critical_path_s, 0.0);
+  EXPECT_TRUE(flow.has_comb_cycle());
+
+  // Breaking the cycle restores full timing.
+  NetlistDelta back;
+  back.ops.push_back(EcoOp::retarget(lut, 0, old_net));
+  const EcoResult r2 = flow.apply(back);
+  ASSERT_EQ(r2.status, EcoStatus::kOk);
+  EXPECT_FALSE(r2.cycle_detected);
+  EXPECT_TRUE(r2.timing_valid);
+  EXPECT_GT(r2.critical_path_s, 0.0);
+  EXPECT_FALSE(flow.has_comb_cycle());
+  EXPECT_EQ(flow.critical_path_s(), r2.critical_path_s);
+}
+
+TEST(Eco, SingleMoveReroutesOnlyAffectedNets) {
+  EcoOptions opt = easy_options();
+  opt.replace_touched = false;  // the move is the only placement change
+  EcoFlow flow(generate_netlist(small_spec("eco-move", 40, 6)), opt);
+  ASSERT_TRUE(flow.routed());
+
+  // A free core site for logic block 0.
+  std::size_t fx = 0, fy = 0;
+  bool found = false;
+  for (std::size_t y = 1; y <= flow.ny() && !found; ++y) {
+    for (std::size_t x = 1; x <= flow.nx() && !found; ++x) {
+      bool occ = false;
+      for (const BlockLoc& l : flow.placement().locs) {
+        if (l.x == x && l.y == y && l.sub == 0) {
+          occ = true;
+          break;
+        }
+      }
+      if (!occ) {
+        fx = x;
+        fy = y;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "grid has no free core site";
+
+  // Nets touching packed block 0 — the exact invalidation set.
+  std::size_t affected = 0;
+  for (const PlacedNet& pn : flow.placement().nets) {
+    bool touches = pn.driver == 0;
+    for (std::size_t s : pn.sinks) touches = touches || s == 0;
+    if (touches) ++affected;
+  }
+  ASSERT_GT(affected, 0u);
+
+  NetlistDelta d;
+  d.ops.push_back(EcoOp::move_block(0, fx, fy, 0));
+  const EcoResult r = flow.apply(d);
+  ASSERT_EQ(r.status, EcoStatus::kOk);
+  EXPECT_TRUE(r.legal);
+  EXPECT_EQ(r.blocks_moved, 1u);
+  EXPECT_EQ(r.nets_invalidated, affected);
+  // Congestion can pull extra nets in, but never fewer than invalidated
+  // and never the whole design for one move on a generous fabric.
+  EXPECT_GE(r.nets_rerouted, affected);
+  EXPECT_LT(r.nets_rerouted, flow.placement().nets.size());
+  EXPECT_EQ(flow.placement().locs[0].x, fx);
+  EXPECT_EQ(flow.placement().locs[0].y, fy);
+}
+
+// Harness health: the edit-stream generator must actually exercise both
+// the apply and the rejection paths (a generator drifting to all-rejects
+// or all-accepts would silently hollow out prop_eco_diff).
+TEST(Eco, EditStreamGeneratorCoversApplyAndReject) {
+  std::size_t ok = 0, rejected = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    Rng rng = Rng::from_stream(0xec0ec0ull, s);
+    verify::EcoCase c = verify::gen_eco_case(rng);
+    c.n_edits = 6;
+    EcoOptions opt;
+    opt.arch = c.design.arch;
+    opt.route = c.design.route;
+    opt.place.seed = c.design.place_seed;
+    opt.place.inner_num = c.design.place_inner_num;
+    EcoFlow flow(generate_netlist(c.design.spec), opt);
+    if (!flow.routed()) continue;
+    for (std::size_t step = 0; step < c.n_edits; ++step) {
+      Rng erng = Rng::from_stream(c.edit_seed, step);
+      const NetlistDelta d = verify::gen_eco_delta(
+          erng, flow.netlist(), flow.packing(), flow.arch(), flow.nx(),
+          flow.ny(), flow.placement().locs);
+      switch (flow.apply(d).status) {
+        case EcoStatus::kOk: ++ok; break;
+        case EcoStatus::kRejected: ++rejected; break;
+        default: break;
+      }
+    }
+  }
+  EXPECT_GE(ok, 10u);
+  EXPECT_GE(rejected, 3u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -115,5 +115,88 @@ TEST(Sta, MismatchedRoutingThrows) {
                std::invalid_argument);
 }
 
+// One NetDelayScratch reused across fabrics of different node counts (the
+// ECO session pattern: the graph can shrink or grow between evaluations).
+// Stale epoch stamps from the larger fabric must never leak into the
+// smaller one — every evaluation must match a fresh one-shot scratch.
+TEST(Sta, DelayScratchSurvivesFabricResize) {
+  const auto big = small_flow("sta-scratch-big", 200, 12);
+  const auto small = small_flow("sta-scratch-small", 60, 4);
+  ASSERT_NE(big.graph->node_count(), small.graph->node_count());
+  const auto view = make_view(big.arch, FpgaVariant::kCmosBaseline);
+
+  NetDelayScratch shared;  // lives across both fabrics, both directions
+  std::vector<double> out;
+  for (const auto* f : {&big, &small, &big}) {
+    for (std::size_t i = 0; i < f->placement.nets.size(); ++i) {
+      routed_net_delays(*f->graph, f->routing.trees[i], f->placement.nets[i],
+                        f->placement, view, shared, out);
+      const auto fresh =
+          routed_net_delays(*f->graph, f->routing.trees[i],
+                            f->placement.nets[i], f->placement, view);
+      ASSERT_EQ(out, fresh) << "net " << i << " diverged after a resize";
+    }
+  }
+}
+
+// The 32-bit epoch counter re-zeroes before it would wrap: a wrapped
+// counter re-hitting old stamp values would read garbage as "known".
+TEST(Sta, DelayScratchRezeroesAtEpochWrap) {
+  const auto flow = small_flow("sta-wrap", 60, 4);
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  NetDelayScratch scratch;
+  std::vector<double> out;
+  const auto eval = [&](std::size_t i) {
+    routed_net_delays(*flow.graph, flow.routing.trees[i],
+                      flow.placement.nets[i], flow.placement, view, scratch,
+                      out);
+    return out;
+  };
+  const auto fresh0 = eval(0);
+
+  // Park the counter one evaluation short of wrap; the next call runs at
+  // cur == max, the one after must detect the impending wrap and re-zero.
+  scratch.cur = std::numeric_limits<std::uint32_t>::max() - 1;
+  EXPECT_EQ(eval(0), fresh0);
+  EXPECT_EQ(scratch.cur, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(eval(0), fresh0);  // would alias stale stamps without the reset
+  EXPECT_EQ(scratch.cur, 1u);
+}
+
+// The incremental-STA router hook bakes the connection CSR and level
+// order from the design shape at construction; under ECO the netlist
+// changes between routing sessions. A stale hook must refuse loudly
+// (logic_error), not silently mis-map criticalities — even for edits that
+// keep every block/net count identical (pin-count signature).
+TEST(Sta, IncrementalStaHookRefusesShapeChange) {
+  auto flow = small_flow("sta-hook-guard", 80, 6);
+  const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
+  const auto hook = make_incremental_sta(flow.netlist, flow.packing,
+                                         flow.placement, *flow.graph, view,
+                                         1.0, 0.99);
+  const std::vector<std::size_t> no_dirty;
+  hook->update(*flow.graph, flow.routing.trees, no_dirty, 1);  // healthy
+
+  // Wrong tree count: the classic mismatch.
+  std::vector<RouteTree> extra = flow.routing.trees;
+  extra.emplace_back();
+  EXPECT_THROW(hook->update(*flow.graph, extra, no_dirty, 2),
+               std::logic_error);
+
+  // A pin edit that changes no block/net/tree count — only the total pin
+  // signature catches it.
+  BlockId lut = kInvalidId;
+  for (BlockId b = 0; b < flow.netlist.block_count(); ++b) {
+    if (flow.netlist.block(b).type == BlockType::kLut) {
+      lut = b;
+      break;
+    }
+  }
+  ASSERT_NE(lut, kInvalidId);
+  flow.netlist.connect_input(lut, flow.netlist.block(lut).inputs[0]);
+  EXPECT_THROW(hook->update(*flow.graph, flow.routing.trees, no_dirty, 2),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace nemfpga

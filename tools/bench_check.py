@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Compare two bench JSON files: BENCH_route.json (schema
-nemfpga-route-bench-1/2/3/4) or BENCH_place.json (nemfpga-place-bench-1).
+nemfpga-route-bench-1/2/3/4), BENCH_place.json (nemfpga-place-bench-1) or
+BENCH_eco.json (nemfpga-eco-bench-1).
 
 Usage:
     bench_check.py BASELINE.json CANDIDATE.json [--max-regress PCT]
@@ -61,6 +62,22 @@ and the same cost_kernel. A route bench and a place bench measure
 different programs entirely, so cross-family comparison is a hard
 error, not a waiver.
 
+The eco family (nemfpga-eco-bench-1, written by bench/eco_perf) records
+a seeded edit-stream replay through a live EcoFlow session. The stream
+(edit_seed + edits), the session width and the local-replace seed ARE
+the configuration: a different stream applies different edits, so
+nothing beyond circuit coverage is comparable across it. Within one
+configuration the status tallies (ok/rejected/unroutable), fallback and
+work counters, the final tree checksum and the critical path are pinned
+bit-identical at any thread count — the ECO reroute sessions run the
+deterministic batched scheduler, so cross-thread diffs audit that claim
+exactly like the place family's. The latency percentiles (apply_p50_s
+and friends) are wall-clock samples: they are compared only between
+wall-comparable runs (same schema, threads AND configuration — i.e.
+identical edit streams), against the same --max-regress budget as
+total_wall_s; everywhere else they are waived, never pinned. Cross-
+family comparison is again a hard error.
+
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
 """
@@ -72,7 +89,8 @@ import sys
 ROUTE_SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
                  "nemfpga-route-bench-3", "nemfpga-route-bench-4")
 PLACE_SCHEMAS = ("nemfpga-place-bench-1",)
-SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS
+ECO_SCHEMAS = ("nemfpga-eco-bench-1",)
+SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS + ECO_SCHEMAS
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
 # Later-schema additions; compared with .get() so they are simply absent
 # (None == None) when two older files are diffed. rr_nodes is pinned
@@ -93,6 +111,19 @@ PLACE_EXACT_FIELDS = ("final_cost", "final_weighted_cost", "cost_checksum",
                       "conflicts", "repairs", "replays",
                       "route_w", "routed", "critical_path_s")
 
+# Eco-family correctness fields: every one is a deterministic function of
+# the edit stream (part of the configuration tuple), pinned bit-identical
+# at any thread count. The latency percentiles are deliberately absent —
+# they are wall-clock samples, handled by the wall budget below.
+ECO_EXACT_FIELDS = ("ok", "rejected", "unroutable", "full_fallbacks",
+                    "nets_invalidated", "nets_rerouted", "blocks_moved",
+                    "sta_nets_evaluated", "tree_checksum", "final_cycle",
+                    "critical_path_s")
+# Wall-clock percentile fields checked against the --max-regress budget,
+# but only between wall-comparable runs (identical edit streams).
+ECO_LATENCY_FIELDS = ("apply_p50_s", "apply_p99_s",
+                      "reroute_p50_s", "reroute_p99_s")
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -106,8 +137,12 @@ def load(path):
 
 
 def family(data):
-    """Which benchmark harness produced the file: "route" or "place"."""
-    return "place" if data.get("schema") in PLACE_SCHEMAS else "route"
+    """Which harness produced the file: "route", "place" or "eco"."""
+    if data.get("schema") in PLACE_SCHEMAS:
+        return "place"
+    if data.get("schema") in ECO_SCHEMAS:
+        return "eco"
+    return "route"
 
 
 def place_config(data):
@@ -118,6 +153,15 @@ def place_config(data):
     return ("place-1", data.get("batch_moves"), data.get("directed"),
             data.get("timing_driven"), data.get("inner_num"),
             data.get("seed"))
+
+
+def eco_config(data):
+    """The fields that select which edit stream replayed: the session
+    width, the stream (seed + length) and the local-replace seed. threads
+    is deliberately excluded — the replay is pinned bit-identical across
+    thread counts, and the cross-thread diff IS that audit."""
+    return ("eco-1", data.get("w"), data.get("edits"),
+            data.get("edit_seed"), data.get("seed"))
 
 
 def router_config(data):
@@ -154,7 +198,69 @@ def compare(base, cand, max_regress_pct):
                 f"({cand.get('schema')}): different benchmark families"]
     if family(base) == "place":
         return compare_place(base, cand, max_regress_pct)
+    if family(base) == "eco":
+        return compare_eco(base, cand, max_regress_pct)
     return compare_route(base, cand, max_regress_pct)
+
+
+def compare_eco(base, cand, max_regress_pct):
+    failures = []
+    notes = []
+    same_config = eco_config(base) == eco_config(cand)
+    if not same_config:
+        notes.append(
+            "eco configuration differs "
+            f"({eco_config(base)} vs {eco_config(cand)}): a different "
+            "edit stream applies different edits; only checking circuit "
+            "coverage")
+    base_by_name = {c["name"]: c for c in base["circuits"]}
+    # Latency percentiles compare only between identical edit streams on
+    # like-for-like machines: same schema + threads + configuration.
+    wall_comparable = (
+        base.get("schema") == cand.get("schema")
+        and base.get("threads") == cand.get("threads")
+        and same_config)
+    if not wall_comparable:
+        notes.append(
+            "runs are not wall-comparable "
+            f"(threads {base.get('threads')} vs {cand.get('threads')}): "
+            "wall budget and latency percentiles waived")
+    budget = 1.0 + max_regress_pct / 100.0
+    for c in cand["circuits"]:
+        b = base_by_name.get(c["name"])
+        if b is None:
+            continue
+        if not same_config:
+            continue
+        for fld in ECO_EXACT_FIELDS:
+            if b.get(fld) != c.get(fld):
+                failures.append(
+                    f"{c['name']}: {fld} changed "
+                    f"{b.get(fld)!r} -> {c.get(fld)!r} (the edit-stream "
+                    "replay is pinned bit-identical at any thread count; "
+                    "any drift is a correctness bug)")
+        if wall_comparable:
+            for fld in ECO_LATENCY_FIELDS:
+                bl, cl = b.get(fld), c.get(fld)
+                if isinstance(bl, (int, float)) and \
+                        isinstance(cl, (int, float)) and \
+                        bl > 0 and cl > bl * budget:
+                    failures.append(
+                        f"{c['name']}: {fld} regressed "
+                        f"{bl * 1e3:.2f}ms -> {cl * 1e3:.2f}ms "
+                        f"(> {max_regress_pct:.0f}% budget)")
+    missing = [n for n in base_by_name
+               if n not in {c["name"] for c in cand["circuits"]}]
+    if missing:
+        failures.append(f"candidate dropped circuits: {', '.join(missing)}")
+    bw, cw = base["total_wall_s"], cand["total_wall_s"]
+    if wall_comparable and bw > 0 and cw > bw * budget:
+        failures.append(
+            f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
+            f"(> {max_regress_pct:.0f}% budget)")
+    for n in notes:
+        print(f"bench_check: note: {n}", file=sys.stderr)
+    return failures
 
 
 def compare_place(base, cand, max_regress_pct):
@@ -591,11 +697,99 @@ def selftest():
     assert compare(p_base, p_dropped, 15.0), \
         "dropped place circuit must fail"
 
-    # Route vs place is a hard error in both directions.
+    # Eco family (nemfpga-eco-bench-1).
+    e_base = {
+        "schema": "nemfpga-eco-bench-1",
+        "threads": 1,
+        "w": 64,
+        "edits": 50,
+        "edit_seed": 1,
+        "seed": 1,
+        "total_wall_s": 3.0,
+        "peak_rss_bytes": 50_000_000,
+        "circuits": [{
+            "name": "tseng", "luts": 1047, "blocks": 316, "nets": 1048,
+            "ok": 34, "rejected": 12, "unroutable": 0,
+            "full_fallbacks": 1, "nets_invalidated": 210,
+            "nets_rerouted": 1900, "blocks_moved": 40,
+            "sta_nets_evaluated": 1900,
+            "tree_checksum": "4726890cd53303a2",
+            "final_cycle": False,
+            "critical_path_s": 1.854e-08,
+            "base_compile_s": 0.11,
+            "apply_p50_s": 0.0014, "apply_p99_s": 0.0066,
+            "reroute_p50_s": 0.0009, "reroute_p99_s": 0.0057,
+            "scratch_route_s": 0.052, "speedup_p50": 57.9,
+        }],
+    }
+    e_same = json.loads(json.dumps(e_base))
+    assert compare(e_base, e_same, 15.0) == [], \
+        "identical eco runs must pass"
+
+    e_drift = json.loads(json.dumps(e_base))
+    e_drift["circuits"][0]["tree_checksum"] = "deadbeef00000000"
+    assert compare(e_base, e_drift, 15.0), \
+        "eco tree-checksum drift must fail (replay is deterministic)"
+
+    e_drift = json.loads(json.dumps(e_base))
+    e_drift["circuits"][0]["ok"] = 33
+    assert compare(e_base, e_drift, 15.0), \
+        "status-tally drift must fail (same stream, same verdicts)"
+
+    e_drift = json.loads(json.dumps(e_base))
+    e_drift["circuits"][0]["nets_rerouted"] = 1901
+    assert compare(e_base, e_drift, 15.0), \
+        "reroute-counter drift must fail"
+
+    # Latency percentiles: budget-checked between identical streams...
+    e_slow = json.loads(json.dumps(e_base))
+    e_slow["circuits"][0]["apply_p50_s"] = 0.0020
+    assert compare(e_base, e_slow, 15.0), \
+        "a 43% p50 latency regression must fail"
+    assert not compare(e_base, e_slow, 50.0), \
+        "the same regression passes inside a 50% budget"
+
+    # ...waived (never pinned) across thread counts, while the replay's
+    # correctness fields stay fully pinned — that diff is the
+    # thread-invariance audit.
+    e_t8 = json.loads(json.dumps(e_base))
+    e_t8["threads"] = 8
+    e_t8["total_wall_s"] = 99.0
+    e_t8["circuits"][0]["apply_p50_s"] = 0.5
+    assert compare(e_base, e_t8, 15.0) == [], \
+        "cross-thread eco latency must not trip any budget"
+    e_t8["circuits"][0]["tree_checksum"] = "thread-diverged"
+    assert compare(e_base, e_t8, 15.0), \
+        "cross-thread eco checksum drift must fail (replay is pinned)"
+
+    # A different edit stream is a different configuration: nothing but
+    # circuit coverage is comparable.
+    e_seed = json.loads(json.dumps(e_base))
+    e_seed["edit_seed"] = 2
+    e_seed["circuits"][0]["ok"] = 7
+    e_seed["circuits"][0]["tree_checksum"] = "stream-differs"
+    e_seed["circuits"][0]["apply_p50_s"] = 0.9
+    assert compare(e_base, e_seed, 15.0) == [], \
+        "different edit_seed must refuse correctness and latency diffs"
+    e_seed_drop = json.loads(json.dumps(e_seed))
+    e_seed_drop["circuits"] = [dict(e_seed["circuits"][0], name="other")]
+    assert compare(e_base, e_seed_drop, 15.0), \
+        "dropped circuit still fails across edit streams"
+
+    e_dropped = json.loads(json.dumps(e_base))
+    e_dropped["circuits"] = [dict(e_base["circuits"][0], name="other")]
+    assert compare(e_base, e_dropped, 15.0), \
+        "dropped eco circuit must fail"
+
+    # Route vs place vs eco are hard errors in every direction.
     assert compare(m_base, p_base, 15.0), \
         "route-vs-place comparison must be refused loudly"
     assert compare(p_base, m_base, 15.0), \
         "place-vs-route comparison must be refused loudly"
+    assert compare(e_base, m_base, 15.0), \
+        "eco-vs-route comparison must be refused loudly"
+    assert compare(p_base, e_base, 15.0), \
+        "place-vs-eco comparison must be refused loudly"
     print("bench_check selftest: OK")
 
 

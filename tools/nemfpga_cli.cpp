@@ -4,9 +4,11 @@
 //   nemfpga flow   --blif design.blif [...]
 //   nemfpga flow   --synth 1000 [--inputs N] [--latches N] [...]
 //   nemfpga width  --benchmark alu4            # find Wmin / 1.2x Wmin
+//   nemfpga eco    --benchmark tseng [--edits 20] [--edit-seed 1]
 //   nemfpga device                             # relay device card
 //
 // Exit code 0 on success; diagnostic text on stderr, reports on stdout.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -14,12 +16,15 @@
 
 #include "core/study.hpp"
 #include "device/equivalent.hpp"
+#include "flow/eco.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/mcnc.hpp"
 #include "netlist/simulate.hpp"
 #include "netlist/synth_gen.hpp"
 #include "route/report.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "verify/generators.hpp"
 
 using namespace nemfpga;
 
@@ -42,6 +47,8 @@ struct Args {
   double crit_exp = 1.0;
   std::string variant = "cmos";
   double downsize = 4.0;
+  std::size_t edits = 20;
+  std::uint64_t edit_seed = 1;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -51,6 +58,9 @@ struct Args {
                "commands:\n"
                "  flow    map a circuit and report timing/power/area\n"
                "  width   find the minimum routable channel width\n"
+               "  eco     replay a seeded edit stream through a live\n"
+               "          incremental ECO session and report per-edit\n"
+               "          reroute latency\n"
                "  device  print the NEM relay device card\n"
                "options:\n"
                "  --benchmark NAME   a cataloged circuit (e.g. alu4, clma)\n"
@@ -73,7 +83,9 @@ struct Args {
                "  --variant V        cmos | nem-naive | nem-opt\n"
                "  --downsize D       wire-buffer downsizing for nem-opt\n"
                "  --study            full CMOS vs CMOS-NEM comparison\n"
-               "  --activity         simulate per-net switching activities\n");
+               "  --activity         simulate per-net switching activities\n"
+               "  --edits N          eco: edit-stream length (default 20)\n"
+               "  --edit-seed S      eco: edit-stream seed (default 1)\n");
   std::exit(2);
 }
 
@@ -100,6 +112,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--place-timing") a.place_timing = true;
     else if (flag == "--place-batch") a.place_batch = std::stoul(value());
     else if (flag == "--crit-exp") a.crit_exp = std::stod(value());
+    else if (flag == "--edits") a.edits = std::stoul(value());
+    else if (flag == "--edit-seed") a.edit_seed = std::stoull(value());
     else if (flag == "--study") a.study = true;
     else if (flag == "--activity") a.activity = true;
     else usage(("unknown option " + flag).c_str());
@@ -238,6 +252,80 @@ int cmd_width(const Args& a) {
   return 0;
 }
 
+int cmd_eco(const Args& a) {
+  Netlist nl = load_netlist(a);
+  std::fprintf(stderr, "netlist: %zu LUTs, %zu FFs, %zu nets\n",
+               nl.lut_count(), nl.latch_count(), nl.net_count());
+  EcoOptions opt;
+  opt.arch.W = a.width;
+  const auto now_s = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  std::fprintf(stderr, "compiling base session at W=%zu...\n", a.width);
+  double t0 = now_s();
+  EcoFlow flow(std::move(nl), opt);
+  std::fprintf(stderr, "base compile: %.2f s (%s)\n", now_s() - t0,
+               flow.routed() ? "routed" : "UNROUTABLE");
+  if (!flow.routed()) return 1;
+
+  std::size_t ok = 0, rejected = 0, unroutable = 0;
+  double worst_apply_s = 0.0, total_apply_s = 0.0;
+  for (std::size_t step = 0; step < a.edits; ++step) {
+    Rng erng = Rng::from_stream(a.edit_seed, step);
+    const NetlistDelta d = verify::gen_eco_delta(
+        erng, flow.netlist(), flow.packing(), flow.arch(), flow.nx(),
+        flow.ny(), flow.placement().locs);
+    t0 = now_s();
+    const EcoResult r = flow.apply(d);
+    const double dt = now_s() - t0;
+    switch (r.status) {
+      case EcoStatus::kOk:
+        ++ok;
+        total_apply_s += dt;
+        worst_apply_s = dt > worst_apply_s ? dt : worst_apply_s;
+        std::printf("edit %3zu: ok        %7.2f ms  %zu nets rerouted "
+                    "(%zu invalidated), %zu blocks moved%s%s, "
+                    "cp %+.3f ns -> %.3f ns\n",
+                    step, dt * 1e3, r.nets_rerouted, r.nets_invalidated,
+                    r.blocks_moved, r.full_fallback ? ", FULL FALLBACK" : "",
+                    r.cycle_detected ? ", comb cycle (timing off)" : "",
+                    r.cp_delta_s * 1e9, r.critical_path_s * 1e9);
+        break;
+      case EcoStatus::kRejected:
+        ++rejected;
+        std::printf("edit %3zu: rejected  (%s)\n", step,
+                    r.reject_reason.c_str());
+        break;
+      case EcoStatus::kUnroutable:
+        ++unroutable;
+        std::printf("edit %3zu: UNROUTABLE at W=%zu\n", step, a.width);
+        break;
+      case EcoStatus::kNoop:
+        std::printf("edit %3zu: noop\n", step);
+        break;
+    }
+  }
+  std::printf("\n%zu ok, %zu rejected, %zu unroutable over %zu edits\n",
+              ok, rejected, unroutable, a.edits);
+  if (ok > 0) {
+    std::printf("apply latency: mean %.2f ms, worst %.2f ms\n",
+                total_apply_s / static_cast<double>(ok) * 1e3,
+                worst_apply_s * 1e3);
+  }
+  if (flow.has_comb_cycle()) {
+    std::printf("final state has a combinational cycle: timing invalid "
+                "(last valid critical path %.3f ns)\n",
+                flow.critical_path_s() * 1e9);
+  } else if (flow.critical_path_s() > 0.0) {
+    std::printf("final critical path: %.3f ns  (fmax %.1f MHz)\n",
+                flow.critical_path_s() * 1e9,
+                1e-6 / flow.critical_path_s());
+  }
+  return 0;
+}
+
 int cmd_device() {
   for (const auto& [label, d] :
        {std::pair{"fabricated (Fig 2b)", fabricated_relay()},
@@ -264,6 +352,7 @@ int main(int argc, char** argv) {
     const Args a = parse(argc, argv);
     if (a.command == "flow") return cmd_flow(a);
     if (a.command == "width") return cmd_width(a);
+    if (a.command == "eco") return cmd_eco(a);
     if (a.command == "device") return cmd_device();
     usage(("unknown command " + a.command).c_str());
   } catch (const std::exception& e) {

@@ -14,16 +14,21 @@
 # oracle over randomized move/swap sequences with randomized placer knobs
 # (speculative batch sizes 2..32, directed-move generators, timing-driven
 # second anneal, weighted nets), including the 1/2/8-thread bit-identity
-# property for the speculative commit protocol; the campaign finishes
-# with the dedicated incremental-vs-full STA property over randomized
-# rip-up sequences.
+# property for the speculative commit protocol. The ECO campaign then
+# replays randomized edit streams (the generator's mutation mode: pin
+# connects/disconnects/retargets, block moves/swaps, with a deliberate
+# minority of precondition-violating ops) through a live EcoFlow session,
+# checking every apply against the from-scratch oracle (bitwise packing/
+# placed-net equivalence, legal routing, zero overuse, 1e-12 STA
+# agreement); the campaign finishes with the dedicated incremental-vs-full
+# STA property over randomized rip-up sequences.
 # Runs under whatever sanitizer configuration the build directory was
 # configured with; for the zero-crash guarantee the harness is designed
 # around, run it against an ASan/UBSan build:
 #
 #   cmake -B build-asan -S . -DNF_ASAN=ON -DNF_UBSAN=ON
 #   cmake --build build-asan -j --target fuzz_parsers prop_route_diff \
-#       prop_sta_incremental
+#       prop_eco_diff prop_sta_incremental
 #   tools/run_fuzz.sh build-asan 100000
 #
 # The generator also flips the RR-graph backend (~50% implicit) and the
@@ -100,6 +105,22 @@ else
        "oracle; batch_moves/directed/timing knobs and 1/2/8-thread" \
        "bit-identity randomized per case)"
   NF_PROP_CASES="$PLACE_CASES" NF_PROP_SEED="$SEED" "$PLACE_BIN"
+fi
+
+ECO_BIN=$(find_bin prop_eco_diff)
+if [ -z "${ECO_BIN:-}" ] || [ ! -x "$ECO_BIN" ]; then
+  echo "run_fuzz.sh: prop_eco_diff not built; skipping the ECO" \
+       "edit-stream replay campaign" >&2
+else
+  ECO_CASES=$((ITERS / 500))
+  [ "$ECO_CASES" -ge 25 ] || ECO_CASES=25
+  echo "run_fuzz.sh: $ECO_BIN (NF_PROP_CASES=$ECO_CASES" \
+       "NF_PROP_SEED=$SEED, randomized edit streams — connects," \
+       "disconnects, retargets, moves, swaps, ~12% deliberate" \
+       "precondition violations — replayed against the from-scratch" \
+       "flow oracle)"
+  NF_PROP_CASES="$ECO_CASES" NF_PROP_SEED="$SEED" "$ECO_BIN" \
+      --gtest_filter='PropEcoDiff.ReplayMatchesFromScratch'
 fi
 
 STA_BIN=$(find_bin prop_sta_incremental)
