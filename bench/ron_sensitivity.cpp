@@ -30,7 +30,7 @@ int main() {
         flow.arch, FpgaVariant::kNemOptimized, 2.0, default_tech22(), relay);
     const auto timing =
         analyze_timing(flow.netlist, flow.packing, flow.placement,
-                       *flow.graph, flow.routing, view);
+                       flow.graph_view(), flow.routing, view);
     const double speedup = baseline.critical_path / timing.critical_path;
     t.add_row({TextTable::num(ron / 1e3, 0) + " kOhm",
                TextTable::num(timing.critical_path * 1e9, 3) + " ns",

@@ -43,7 +43,7 @@ int main() {
 
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto timing = analyze_timing(flow.netlist, flow.packing,
-                                     flow.placement, *flow.graph,
+                                     flow.placement, flow.graph_view(),
                                      flow.routing, view);
 
   PowerOptions flat;           // default 0.15 everywhere
@@ -51,10 +51,10 @@ int main() {
   sim.net_activity = &act.net_activity;
 
   const auto p_flat = analyze_power(flow.netlist, flow.packing,
-                                    flow.placement, *flow.graph, flow.routing,
+                                    flow.placement, flow.graph_view(), flow.routing,
                                     view, timing, flat);
   const auto p_sim = analyze_power(flow.netlist, flow.packing, flow.placement,
-                                   *flow.graph, flow.routing, view, timing,
+                                   flow.graph_view(), flow.routing, view, timing,
                                    sim);
 
   TextTable t({"component", "flat activity 0.15", "simulated activities"});

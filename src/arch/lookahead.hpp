@@ -114,6 +114,12 @@ class RouteLookahead {
 
   double build_seconds() const { return build_s_; }
 
+  /// Resident size, for the artifact cache's byte-budgeted eviction.
+  std::size_t memory_bytes() const {
+    return sizeof(RouteLookahead) +
+           (table_.capacity() + delay_table_.capacity()) * sizeof(float);
+  }
+
   /// Wire classes get direction-aware tables; everything else (pins,
   /// sources, sinks) shares the generic class.
   static constexpr int kClasses = 5;

@@ -96,7 +96,7 @@ struct RoutedPins {
 };
 
 RoutedPins collect_routed_pins(const FlowResult& flow) {
-  const RrGraphView g = *flow.graph;
+  const RrGraphView g = flow.graph_view();
   RoutedPins rp;
   rp.driver_wires.resize(flow.placement.nets.size());
   for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
@@ -129,7 +129,7 @@ RoutedPins collect_routed_pins(const FlowResult& flow) {
 }  // namespace
 
 PinAssignment assign_pins(const FlowResult& flow) {
-  const RrGraphView g = *flow.graph;
+  const RrGraphView g = flow.graph_view();
   const RoutedPins rp = collect_routed_pins(flow);
 
   PinAssignment out;
@@ -247,7 +247,7 @@ PinAssignment assign_pins(const FlowResult& flow) {
 }
 
 Bitstream generate_bitstream(const FlowResult& flow) {
-  const RrGraphView g = *flow.graph;
+  const RrGraphView g = flow.graph_view();
   const ArchParams& arch = flow.arch;
   Bitstream bs;
   bs.pins = assign_pins(flow);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "service/flow_artifacts.hpp"
 #include "timing/sta.hpp"
 #include "verify/check.hpp"
 
@@ -21,29 +22,36 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
   if (verify::checks_enabled()) {
     check_placement(r.packing, r.arch, r.placement);
   }
-  r.graph = std::make_unique<RrGraph>(r.arch, nx, ny);
-  // The routing backend is selectable; downstream consumers (bitstream,
-  // timing, power) keep reading the explicit graph retained in the result.
-  // Both backends produce bit-identical routing by construction.
-  const std::unique_ptr<ImplicitRrGraph> ig =
-      opt.route.rr_backend == RrBackend::kImplicit
-          ? std::make_unique<ImplicitRrGraph>(r.arch, nx, ny)
-          : nullptr;
-  const RrGraphView gv = ig ? RrGraphView(*ig) : RrGraphView(*r.graph);
-  if (opt.route.timing_driven) {
+  // Pre-route immutable artifacts — backend-selected RR graph, lookahead
+  // table, lowered delay model — built here or served by the shared
+  // artifact cache; the routed result is bit-identical either way. Both
+  // RR backends produce bit-identical routing by construction, and the
+  // implicit backend no longer pays for a redundant explicit graph:
+  // downstream consumers (bitstream, timing, power) read graph_view().
+  FlowArtifacts art =
+      make_flow_artifacts(opt.artifact_cache, r.arch, nx, ny, opt.route,
+                          opt.timing_variant);
+  r.graph = art.rr;
+  r.igraph = art.irr;
+  const RrGraphView gv = art.view();
+  RouteOptions ropt = opt.route;
+  if (art.lookahead) {
+    ropt.lookahead = art.lookahead;
+    ropt.lookahead_build_s = art.lookahead_build_s;
+    ropt.lookahead_from_cache = art.lookahead_from_cache;
+  }
+  if (ropt.timing_driven) {
     // Unified delay layer: one electrical view feeds the delay model,
     // the delay-annotated lookahead and the incremental STA driving the
     // router's criticality blend (a fresh hook per route_all call).
     const ElectricalView view = make_view(r.arch, opt.timing_variant);
-    const auto hook =
-        make_incremental_sta(r.netlist, r.packing, r.placement, gv,
-                             view, opt.route.criticality_exp,
-                             opt.route.max_criticality);
-    RouteOptions ropt = opt.route;
+    const auto hook = make_incremental_sta(
+        r.netlist, r.packing, r.placement, gv, view, ropt.criticality_exp,
+        ropt.max_criticality, art.delay_model);
     ropt.timing_hook = hook.get();
     r.routing = route_all(gv, r.placement, ropt);
   } else {
-    r.routing = route_all(gv, r.placement, opt.route);
+    r.routing = route_all(gv, r.placement, ropt);
   }
   if (!r.routing.success) {
     throw std::runtime_error(
@@ -61,7 +69,24 @@ ChannelWidthResult flow_min_channel_width(Netlist netlist,
                                       packing.io_block_count());
   const Placement pl =
       place(netlist, packing, opt.arch, nx, ny, opt.place);
-  return find_min_channel_width(opt.arch, pl, w_hint, opt.route);
+  RouteOptions ropt = opt.route;
+  if (opt.artifact_cache != nullptr && ropt.astar_factor > 0.0 &&
+      !ropt.lookahead) {
+    // The lookahead is W-independent, so the cache can hand the probe
+    // table to find_min_channel_width up front — same table it would
+    // build itself (Wmin probes are congestion-only, so no delay
+    // annotation), now shared with every other flow on the fabric. The
+    // implicit graph is only scaffolding for the table build.
+    RouteOptions probe = ropt;
+    probe.timing_driven = false;
+    probe.rr_backend = RrBackend::kImplicit;
+    const FlowArtifacts art = make_flow_artifacts(
+        opt.artifact_cache, opt.arch, nx, ny, probe, opt.timing_variant);
+    ropt.lookahead = art.lookahead;
+    ropt.lookahead_build_s = art.lookahead_build_s;
+    ropt.lookahead_from_cache = art.lookahead_from_cache;
+  }
+  return find_min_channel_width(opt.arch, pl, w_hint, ropt);
 }
 
 }  // namespace nemfpga

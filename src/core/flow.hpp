@@ -16,6 +16,8 @@
 
 namespace nemfpga {
 
+class ArtifactCache;
+
 struct FlowOptions {
   ArchParams arch;
   PlaceOptions place;
@@ -26,17 +28,35 @@ struct FlowOptions {
   /// router (route.timing_hook is then managed internally and must be
   /// left null by callers).
   FpgaVariant timing_variant = FpgaVariant::kCmosBaseline;
+  /// Shared content-addressed cache for the pre-route immutable
+  /// artifacts (RR graph, lookahead table, delay model —
+  /// src/service/artifact_cache.hpp). Null runs the classic fully
+  /// self-contained build. The routed result is bit-identical either
+  /// way (pinned by tests/prop/prop_flow_cache.cpp); the cache only
+  /// changes which flow pays the build cost. Borrowed, not owned; must
+  /// outlive the call.
+  ArtifactCache* artifact_cache = nullptr;
 };
 
-/// A fully mapped design (owns every intermediate product).
+/// A fully mapped design (owns or shares every intermediate product).
+/// The RR graph is held backend-selectively: exactly one of graph /
+/// igraph is non-null, per FlowOptions::route.rr_backend — implicit
+/// flows no longer materialize the ~10x larger explicit graph at all.
+/// Downstream consumers (bitstream, timing, power, reports) read
+/// through graph_view(). The pointers are shared because the graph may
+/// live in (and outlive this result via) the artifact cache.
 struct FlowResult {
   Netlist netlist;
   ArchParams arch;
   Packing packing;
   Placement placement;
-  std::unique_ptr<RrGraph> graph;
+  std::shared_ptr<const RrGraph> graph;
+  std::shared_ptr<const ImplicitRrGraph> igraph;
   RoutingResult routing;
 
+  RrGraphView graph_view() const {
+    return igraph ? RrGraphView(*igraph) : RrGraphView(*graph);
+  }
   bool routed() const { return routing.success; }
 };
 

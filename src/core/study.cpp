@@ -17,14 +17,14 @@ VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
   const ElectricalView view =
       make_view(flow.arch, variant, wire_buffer_downsize);
   m.timing = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                            *flow.graph, flow.routing, view);
+                            flow.graph_view(), flow.routing, view);
   m.critical_path = m.timing.critical_path;
 
   // Power is evaluated at the application's own operating frequency for
   // this variant (1 / critical path), as the paper does: the benefit shows
   // up as lower power at iso-throughput-per-cycle and/or speedup.
   m.power = analyze_power(flow.netlist, flow.packing, flow.placement,
-                          *flow.graph, flow.routing, view, m.timing,
+                          flow.graph_view(), flow.routing, view, m.timing,
                           power_opt);
   m.dynamic_power = m.power.dynamic_total();
   m.leakage_power = m.power.leakage_total();

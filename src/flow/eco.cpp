@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "service/flow_artifacts.hpp"
 #include "util/rng.hpp"
 #include "verify/check.hpp"
 
@@ -40,11 +41,15 @@ EcoFlow::EcoFlow(Netlist netlist, const EcoOptions& opt)
   ny_ = ny;
   pl_ = place(nl_, pk_, opt_.arch, nx_, ny_, opt_.place);
   if (verify::checks_enabled()) check_placement(pk_, opt_.arch, pl_);
-  if (opt_.route.rr_backend == RrBackend::kImplicit) {
-    ig_ = std::make_unique<ImplicitRrGraph>(opt_.arch, nx_, ny_);
-  } else {
-    eg_ = std::make_unique<RrGraph>(opt_.arch, nx_, ny_);
-  }
+  // Session artifacts (RR graph, lookahead, delay model) come from the
+  // shared content-addressed cache when one is given — many sessions on
+  // one fabric then share a single immutable copy of each.
+  FlowArtifacts art =
+      make_flow_artifacts(opt_.artifact_cache, opt_.arch, nx_, ny_,
+                          opt_.route, opt_.timing_variant);
+  eg_ = art.rr;
+  ig_ = art.irr;
+  dmodel_ = art.delay_model;
   eview_ = make_view(opt_.arch, opt_.timing_variant);
 
   // Frozen packing geometry: membership never changes under ECO, only
@@ -72,17 +77,15 @@ EcoFlow::EcoFlow(Netlist netlist, const EcoOptions& opt)
   std::unique_ptr<RouterTimingHook> hook;
   if (ropt.timing_driven) {
     hook = make_incremental_sta(nl_, pk_, pl_, gv, eview_,
-                                ropt.criticality_exp, ropt.max_criticality);
+                                ropt.criticality_exp, ropt.max_criticality,
+                                dmodel_);
     ropt.timing_hook = hook.get();
   }
-  if (ropt.astar_factor > 0.0 && !ropt.lookahead) {
-    if (hook) {
-      const DelayProfile prof = hook->delay_profile();
-      lookahead_ = std::make_shared<const RouteLookahead>(gv, &prof);
-    } else {
-      lookahead_ = std::make_shared<const RouteLookahead>(gv);
-    }
+  if (art.lookahead) {
+    lookahead_ = art.lookahead;
     ropt.lookahead = lookahead_;
+    ropt.lookahead_build_s = art.lookahead_build_s;
+    ropt.lookahead_from_cache = art.lookahead_from_cache;
   } else {
     lookahead_ = ropt.lookahead;
   }
@@ -657,7 +660,8 @@ EcoResult EcoFlow::apply(const NetlistDelta& delta) {
     // criticality fallback below covers timing.
     if (ropt.timing_driven && !cycle_) {
       hook = make_incremental_sta(nl_, pk_, pl_, graph(), eview_,
-                                  ropt.criticality_exp, ropt.max_criticality);
+                                  ropt.criticality_exp, ropt.max_criticality,
+                                  dmodel_);
       ropt.timing_hook = hook.get();
     }
     RoutingResult next;
@@ -674,7 +678,8 @@ EcoResult EcoFlow::apply(const NetlistDelta& delta) {
       if (fopt.timing_driven && !cycle_) {
         hook2 =
             make_incremental_sta(nl_, pk_, pl_, graph(), eview_,
-                                 fopt.criticality_exp, fopt.max_criticality);
+                                 fopt.criticality_exp, fopt.max_criticality,
+                                 dmodel_);
         fopt.timing_hook = hook2.get();
       }
       next = route_all(graph(), pl_, fopt);

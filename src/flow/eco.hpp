@@ -56,6 +56,12 @@ namespace nemfpga {
 
 struct EcoOptions {
   ArchParams arch;
+  /// Shared content-addressed artifact cache (see FlowOptions): the
+  /// session's RR graph, lookahead table and delay model are fetched
+  /// from (and published into) it, so opening many sessions on the same
+  /// fabric pays the build cost once. Null builds privately. Borrowed;
+  /// must outlive the session.
+  ArtifactCache* artifact_cache = nullptr;
   PlaceOptions place;
   /// Route options for the base route and every ECO reroute. The
   /// lookahead is built once per session and shared; timing_hook is
@@ -149,10 +155,13 @@ class EcoFlow {
   Packing pk_;
   Placement pl_;
   std::size_t nx_ = 0, ny_ = 0;
-  std::unique_ptr<RrGraph> eg_;
-  std::unique_ptr<ImplicitRrGraph> ig_;
+  std::shared_ptr<const RrGraph> eg_;
+  std::shared_ptr<const ImplicitRrGraph> ig_;
   ElectricalView eview_;
   std::shared_ptr<const RouteLookahead> lookahead_;
+  /// Session-shared delay model for the per-apply STA hooks (null when
+  /// !route.timing_driven).
+  std::shared_ptr<const DelayModel> dmodel_;
 
   RoutingResult routing_;  ///< routing_.trees is the live tree store.
   /// Cached per-slot routed sink delays, parallel to pl_.nets /

@@ -7,7 +7,7 @@
 namespace nemfpga {
 
 PowerBreakdown analyze_power(const Netlist& nl, const Packing& pack,
-                             const Placement& pl, const RrGraph& g,
+                             const Placement& pl, const RrGraphView& g,
                              const RoutingResult& routing,
                              const ElectricalView& view,
                              const TimingResult& timing,

@@ -48,7 +48,7 @@ struct PowerOptions {
 
 /// Power of the routed design under the given electrical view.
 PowerBreakdown analyze_power(const Netlist& nl, const Packing& pack,
-                             const Placement& pl, const RrGraph& g,
+                             const Placement& pl, const RrGraphView& g,
                              const RoutingResult& routing,
                              const ElectricalView& view,
                              const TimingResult& timing,

@@ -10,7 +10,7 @@
 
 namespace nemfpga {
 
-RouteReport summarize_routing(const RrGraph& g, const Placement& pl,
+RouteReport summarize_routing(const RrGraphView& g, const Placement& pl,
                               const RoutingResult& r) {
   if (!r.success) throw std::invalid_argument("summarize_routing: unrouted");
   RouteReport rep;

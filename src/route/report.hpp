@@ -35,7 +35,7 @@ struct RouteReport {
 };
 
 /// Summarize a successful routing.
-RouteReport summarize_routing(const RrGraph& g, const Placement& pl,
+RouteReport summarize_routing(const RrGraphView& g, const Placement& pl,
                               const RoutingResult& r);
 
 }  // namespace nemfpga

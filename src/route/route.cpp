@@ -230,7 +230,9 @@ struct Router {
         timing(options.timing_driven ? options.timing_hook : nullptr) {
     if (opt.astar_factor > 0.0) {
       if (opt.lookahead) {
-        la = opt.lookahead;  // shared across channel-width probes
+        la = opt.lookahead;  // shared: width probes / artifact cache
+        cnt.t_lookahead_build_s = opt.lookahead_build_s;
+        cnt.lookahead_cached = opt.lookahead_from_cache ? 1 : 0;
       } else if (timing) {
         // Delay-annotated table so directed search stays admissible in
         // the blended (seconds) cost space.

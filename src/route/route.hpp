@@ -99,6 +99,18 @@ struct RouteOptions {
   /// every width probe). Null means build on demand when
   /// astar_factor > 0; ignored when astar_factor == 0.
   std::shared_ptr<const RouteLookahead> lookahead;
+  /// Accounting metadata for a prebuilt `lookahead` (ignored otherwise):
+  /// the wall seconds the caller spent building it specifically for this
+  /// route — 0 when the table was reused (Wmin probes sharing one table,
+  /// artifact-cache hits). route_all copies it into
+  /// RouteCounters::t_lookahead_build_s so per-route build accounting
+  /// stays honest whether the table was built inside or outside the call.
+  double lookahead_build_s = 0.0;
+  /// The prebuilt `lookahead` came out of the content-addressed artifact
+  /// cache (src/service/artifact_cache.hpp) rather than being built for
+  /// this flow; surfaces as RouteCounters::lookahead_cached so cross-job
+  /// accounting can distinguish "built here" from "cache hit".
+  bool lookahead_from_cache = false;
   std::size_t bb_margin = 3;  ///< Net bounding-box routing constraint.
   /// Deterministic net-level parallelism: partition each iteration's
   /// rip-up set into bounding-box-disjoint batches, route batch members
@@ -220,9 +232,19 @@ struct RouteCounters {
   /// recomputes across the levelized forward/backward passes.
   std::uint64_t sta_net_evals = 0;
   std::uint64_t sta_block_updates = 0;
+  /// 1 when the lookahead table was served by the content-addressed
+  /// artifact cache instead of built for this route (set from
+  /// RouteOptions::lookahead_from_cache). Distinguishes a genuine cache
+  /// hit (t_lookahead_build_s == 0 because someone else paid) from a
+  /// degenerate build (t_lookahead_build_s ~ 0 because the fabric is
+  /// tiny) in cross-job accounting.
+  std::uint64_t lookahead_cached = 0;
   double t_search_s = 0.0;   ///< Wall time in the per-net search loop.
   double t_bookkeep_s = 0.0; ///< Cost-cache rebuild + history updates.
-  double t_lookahead_build_s = 0.0;  ///< Lookahead table construction.
+  /// Lookahead table construction charged to this route: the in-call
+  /// build when route_all built the table itself, or the caller-reported
+  /// RouteOptions::lookahead_build_s for a prebuilt table (0 on reuse).
+  double t_lookahead_build_s = 0.0;
   double t_sta_s = 0.0;      ///< Incremental STA updates (timing mode).
 };
 

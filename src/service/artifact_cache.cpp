@@ -1,0 +1,101 @@
+#include "service/artifact_cache.hpp"
+
+#include <limits>
+
+namespace nemfpga {
+
+std::shared_ptr<const void> ArtifactCache::get_or_build_erased(
+    const std::string& key, const ErasedBuild& build, bool* built) {
+  if (built != nullptr) *built = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // Claim the key under the lock: the insertion is the single-flight
+      // election, so at most one builder per key ever runs.
+      auto entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+      ++stats_.misses;
+      lock.unlock();
+      ErasedValue v;
+      try {
+        v = build();
+      } catch (...) {
+        lock.lock();
+        ++stats_.failed_builds;
+        entry->failed = true;
+        // Drop the claim (only if the map still points at this claim —
+        // clear() may have removed it already) so a retrying waiter can
+        // become the next builder.
+        auto cur = entries_.find(key);
+        if (cur != entries_.end() && cur->second == entry) {
+          entries_.erase(cur);
+        }
+        cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      entry->value = v.value;
+      entry->bytes = v.bytes;
+      entry->ready = true;
+      entry->last_use = ++tick_;
+      stats_.resident_bytes += v.bytes;
+      ++stats_.entries;
+      cv_.notify_all();
+      if (built != nullptr) *built = true;
+      evict_locked(key);
+      return v.value;
+    }
+    std::shared_ptr<Entry> entry = it->second;
+    if (entry->ready) {
+      ++stats_.hits;
+      entry->last_use = ++tick_;
+      return entry->value;
+    }
+    // Build in flight: block until it resolves. On failure loop back —
+    // the claim is gone, so this thread may become the next builder. The
+    // wait IS this call's reuse event (hits count only the served-ready
+    // path), so hits + single_flight_waits is the exact reuse total.
+    ++stats_.single_flight_waits;
+    cv_.wait(lock, [&] { return entry->ready || entry->failed; });
+    if (entry->ready) {
+      entry->last_use = ++tick_;
+      return entry->value;
+    }
+  }
+}
+
+void ArtifactCache::evict_locked(const std::string& protect) {
+  while (stats_.resident_bytes > max_bytes_) {
+    auto victim = entries_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->ready) continue;  // Never evict in-flight builds.
+      if (it->first == protect) continue;
+      if (it->second->last_use < oldest) {
+        oldest = it->second->last_use;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // Nothing evictable left.
+    stats_.resident_bytes -= victim->second->bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->ready) {
+      stats_.resident_bytes -= it->second->bytes;
+      --stats_.entries;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace nemfpga

@@ -1,0 +1,138 @@
+// Content-addressed artifact cache — the shared-immutable-state half of
+// the flow-as-a-service architecture (ROADMAP "Flow-as-a-service"). The
+// expensive artifacts a flow builds before routing (RR graph, A*
+// lookahead table, lowered delay model) are pure functions of a small
+// parameter tuple, so N jobs on the same architecture should pay the
+// build cost once. Each artifact is hash-consed under a canonical string
+// fingerprint of exactly the parameters it depends on (see
+// flow_artifacts.hpp for the per-type key rules) and handed out as
+// shared_ptr<const T>: immutable, thread-safe to read, lifetime-safe
+// even after eviction (eviction only drops the cache's reference).
+//
+// Concurrency contract:
+//   - get_or_build is safe from any number of threads.
+//   - Single-flight construction: the first requester of an absent key
+//     claims it by inserting a building entry under the cache lock and
+//     becomes the sole builder; the build itself runs outside the lock.
+//     Concurrent requesters of the same key block until the build
+//     finishes (counted in Stats::single_flight_waits) and then share
+//     the one result. There is never a second concurrent build of the
+//     same key, so the "double build race" resolves deterministically
+//     to the map-insertion winner.
+//   - A builder that throws wakes the waiters, removes its claim and
+//     rethrows; each waiter then retries from scratch (one of them
+//     becomes the next builder).
+//   - Eviction is LRU by resident bytes: whenever an insert pushes the
+//     resident total over max_bytes, least-recently-used ready entries
+//     are dropped (never in-flight builds, never the entry just
+//     inserted — the caller is about to use it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace nemfpga {
+
+class ArtifactCache {
+ public:
+  /// Observability counters (satellite of ISSUE 9): monotonic except the
+  /// resident_bytes / entries gauges. Note the hit/wait split is timing
+  /// dependent under concurrency (a requester arriving while the build
+  /// is in flight waits; one arriving after it finished hits), so
+  /// cross-run comparisons should pin misses, evictions and the sum
+  /// hits + single_flight_waits ("reuses") — bench_check's serve family
+  /// does exactly that.
+  struct Stats {
+    std::uint64_t hits = 0;                ///< Served ready from cache.
+    std::uint64_t misses = 0;              ///< Builder claims (== builds).
+    std::uint64_t evictions = 0;           ///< Entries dropped by LRU.
+    std::uint64_t single_flight_waits = 0; ///< Blocked on in-flight build.
+    std::uint64_t failed_builds = 0;       ///< Builder threw.
+    std::size_t resident_bytes = 0;        ///< Bytes of ready entries.
+    std::size_t entries = 0;               ///< Ready entries resident.
+  };
+
+  /// Default budget: generous for a daemon (the largest single artifact,
+  /// an explicit RrGraph of the synth-l ladder rung, is ~100 MB).
+  static constexpr std::size_t kDefaultMaxBytes =
+      static_cast<std::size_t>(4) << 30;  // 4 GiB
+
+  explicit ArtifactCache(std::size_t max_resident_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_resident_bytes) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Return the artifact under `key`, building it with `build` on a miss.
+  /// `build` must return a non-null shared_ptr<const T>; `bytes` sizes
+  /// the finished artifact for the eviction budget. Keys must be
+  /// namespaced per artifact type (the flow_artifacts.hpp helpers prefix
+  /// "rr/", "irr/", "la/", "dm/") — the cache stores values type-erased
+  /// and trusts the key to identify the type. `built`, when non-null, is
+  /// set to whether THIS call ran the builder (false on a hit or a
+  /// single-flight wait) — per-call accounting for
+  /// RouteCounters::t_lookahead_build_s honesty.
+  template <typename T, typename Build, typename Bytes>
+  std::shared_ptr<const T> get_or_build(const std::string& key, Build&& build,
+                                        Bytes&& bytes,
+                                        bool* built = nullptr) {
+    const ErasedBuild erased = [&]() -> ErasedValue {
+      std::shared_ptr<const T> v = build();
+      const std::size_t b = v ? bytes(*v) : 0;
+      return {std::static_pointer_cast<const void>(std::move(v)), b};
+    };
+    return std::static_pointer_cast<const T>(
+        get_or_build_erased(key, erased, built));
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Drop every ready entry (in-flight builds complete and then insert
+  /// normally). Counters other than the gauges are retained.
+  void clear();
+
+ private:
+  struct ErasedValue {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+  using ErasedBuild = std::function<ErasedValue()>;
+
+  struct Entry {
+    std::shared_ptr<const void> value;  ///< Null while building.
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;  ///< LRU tick; higher == more recent.
+    bool ready = false;
+    bool failed = false;  ///< Builder threw; waiters must retry.
+  };
+
+  std::shared_ptr<const void> get_or_build_erased(const std::string& key,
+                                                  const ErasedBuild& build,
+                                                  bool* built);
+  /// Drop LRU ready entries until resident <= max_bytes. `protect` is
+  /// the key just inserted (its caller holds the value anyway, but
+  /// evicting it would defeat the warm-up of every priming pass whose
+  /// artifact alone fits the budget). Requires mu_ held.
+  void evict_locked(const std::string& protect);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nemfpga

@@ -1,0 +1,138 @@
+#include "service/job_scheduler.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace nemfpga {
+namespace {
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t routing_tree_checksum(const RoutingResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& t : r.trees) {
+    mix(t.source);
+    mix(t.edges.size());
+    for (const auto& [from, to] : t.edges) {
+      mix((static_cast<std::uint64_t>(from) << 32) | to);
+    }
+    for (RrNodeId s : t.sinks) mix(s);
+  }
+  return h;
+}
+
+JobScheduler::JobScheduler(ArtifactCache& cache, std::size_t workers)
+    : cache_(cache) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<FlowJobResult> JobScheduler::submit(FlowJob job) {
+  std::packaged_task<FlowJobResult()> task(
+      [this, job = std::move(job)]() mutable {
+        FlowJobResult r = run_job(job, cache_);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (r.ok) {
+            ++counters_.completed;
+          } else {
+            ++counters_.failed;
+          }
+        }
+        return r;
+      });
+  std::future<FlowJobResult> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::runtime_error("JobScheduler: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+    ++counters_.submitted;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+JobScheduler::Counters JobScheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+FlowJobResult JobScheduler::run_job(FlowJob& job, ArtifactCache& cache) {
+  FlowJobResult r;
+  r.name = std::move(job.name);
+  const double t0 = wall_s();
+  try {
+    FlowOptions opt = job.opt;
+    opt.artifact_cache = &cache;
+    FlowResult flow = run_flow(std::move(job.netlist), opt);
+    const RrGraphView gv = flow.graph_view();
+    r.ok = true;
+    r.nx = gv.nx();
+    r.ny = gv.ny();
+    r.w = flow.arch.W;
+    r.route_iterations = flow.routing.iterations;
+    r.overused_nodes = flow.routing.overused_nodes;
+    r.tree_checksum = routing_tree_checksum(flow.routing);
+    r.placement_cost = flow.placement.final_cost;
+    r.critical_path_s = flow.routing.critical_path_s;
+    r.counters = flow.routing.counters;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_s = wall_s() - t0;
+  return r;
+}
+
+void JobScheduler::worker_loop() {
+  // Pin a serial pool for this worker: the job's internal parallel_for
+  // loops run serially (results are bit-identical at any thread count by
+  // the repo-wide contract), job-level parallelism replaces loop-level
+  // parallelism, and workers never oversubscribe the machine through the
+  // global pool.
+  ThreadPool serial(1);
+  ThreadPool::ScopedUse use(serial);
+  for (;;) {
+    std::packaged_task<FlowJobResult()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace nemfpga

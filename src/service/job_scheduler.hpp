@@ -1,0 +1,114 @@
+// Concurrent flow scheduler — the stateless-workers-over-shared-caches
+// half of flow-as-a-service. submit() queues a complete pack/place/route
+// job and returns a future; a fixed pool of worker threads drains the
+// queue, each running run_flow with the scheduler's shared ArtifactCache
+// so concurrent jobs on the same architecture pay the RR/lookahead/
+// delay-model build cost once.
+//
+// Determinism contract (pinned by tests/test_serve_tsan.cpp and
+// tests/prop/prop_flow_cache.cpp): every job's result is bit-identical
+// to a solo run_flow of the same (netlist, options), regardless of the
+// worker count or what else is in flight. Three properties compose to
+// guarantee it:
+//   1. Jobs share no mutable state — only the content-addressed cache
+//     of immutable artifacts, which are bit-identical to what a solo
+//      flow would build (prop_flow_cache).
+//   2. Each job's RNG streams derive only from its own options (the
+//      placer forks per-move streams from opt.place.seed — PR 1), never
+//      from scheduler state or submission order.
+//   3. Each worker thread pins a serial ThreadPool over run_flow via
+//      ThreadPool::ScopedUse (thread-local), so a job's internal
+//      parallel_for runs serially — and the repo-wide contract is that
+//      results are bit-identical at any thread count. Job-level
+//      parallelism replaces loop-level parallelism; per-job Router
+//      scratch arenas (PR 2) are worker-local by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "service/artifact_cache.hpp"
+
+namespace nemfpga {
+
+/// One place-and-route request. `opt.artifact_cache` is overwritten with
+/// the scheduler's shared cache; everything else is honored verbatim.
+struct FlowJob {
+  std::string name;  ///< Client label, echoed in the result.
+  Netlist netlist;
+  FlowOptions opt;
+};
+
+/// The scalar result surface of one job (the full FlowResult is a few
+/// hundred MB of intermediate state; serve clients get the summary, and
+/// the determinism suites compare exactly these fields plus the tree
+/// checksum against a solo run_flow).
+struct FlowJobResult {
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< Set when !ok (e.g. unroutable at the given W).
+  std::size_t nx = 0, ny = 0;
+  std::size_t w = 0;
+  std::size_t route_iterations = 0;
+  std::size_t overused_nodes = 0;
+  /// FNV-1a over every route tree (source, edge list, sinks) — the
+  /// routing identity function shared with bench/route_perf.
+  std::uint64_t tree_checksum = 0;
+  double placement_cost = 0.0;          ///< Placement::final_cost.
+  double critical_path_s = 0.0;         ///< 0 unless timing_driven.
+  RouteCounters counters;
+  double wall_s = 0.0;                  ///< Worker wall, queue excluded.
+};
+
+class JobScheduler {
+ public:
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< ok results.
+    std::uint64_t failed = 0;     ///< !ok results (flow threw).
+  };
+
+  /// `workers` threads drain the queue; the cache is borrowed and must
+  /// outlive the scheduler.
+  JobScheduler(ArtifactCache& cache, std::size_t workers);
+  /// Drains the queue (every submitted future is satisfied) and joins.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  std::future<FlowJobResult> submit(FlowJob job);
+
+  std::size_t workers() const { return threads_.size(); }
+  ArtifactCache& cache() { return cache_; }
+  Counters counters() const;
+
+ private:
+  void worker_loop();
+  static FlowJobResult run_job(FlowJob& job, ArtifactCache& cache);
+
+  ArtifactCache& cache_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<FlowJobResult()>> queue_;
+  bool stop_ = false;
+  Counters counters_;
+  std::vector<std::thread> threads_;
+};
+
+/// The shared routing identity: FNV-1a over every tree's source, edge
+/// count, packed (from << 32 | to) edges and sink list. Identical to the
+/// checksums bench/route_perf and bench/eco_perf report, so serve
+/// results are directly comparable with bench baselines.
+std::uint64_t routing_tree_checksum(const RoutingResult& r);
+
+}  // namespace nemfpga

@@ -1,0 +1,214 @@
+#include "service/json_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nemfpga {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonObject parse() {
+    JsonObject obj;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        obj.fields[key] = parse_value();
+        skip_ws();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after object");
+    return obj;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: fail("unsupported escape");  // \uXXXX not needed here
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    const char c = peek();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+    } else if (c == '{' || c == '[') {
+      fail("nested containers are not part of the protocol");
+    } else if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = JsonValue::Kind::kBool;
+      v.b = false;
+    } else if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      const char* start = s_.c_str() + pos_;
+      char* end = nullptr;
+      const double num = std::strtod(start, &end);
+      if (end == start) fail("expected a value");
+      pos_ += static_cast<std::size_t>(end - start);
+      v.kind = JsonValue::Kind::kNumber;
+      v.num = num;
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonObject::get_string(const std::string& key,
+                                   const std::string& def) const {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kString) {
+    return def;
+  }
+  return it->second.str;
+}
+
+double JsonObject::get_number(const std::string& key, double def) const {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kNumber) {
+    return def;
+  }
+  return it->second.num;
+}
+
+bool JsonObject::get_bool(const std::string& key, bool def) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return def;
+  if (it->second.kind == JsonValue::Kind::kBool) return it->second.b;
+  if (it->second.kind == JsonValue::Kind::kNumber) {
+    return it->second.num != 0.0;
+  }
+  return def;
+}
+
+JsonObject parse_json_object(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& key,
+                            const std::string& rendered) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += rendered;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& v) {
+  return raw(key, '"' + json_escape(v) + '"');
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* v) {
+  return field(key, std::string(v));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return raw(key, buf);
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t v) {
+  return raw(key, std::to_string(v));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool v) {
+  return raw(key, v ? "true" : "false");
+}
+
+std::string JsonWriter::str() const { return '{' + body_ + '}'; }
+
+}  // namespace nemfpga

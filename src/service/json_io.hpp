@@ -1,0 +1,62 @@
+// Minimal JSON layer for the serve wire protocol: a flat-object parser
+// (string / number / bool / null values — nested containers are
+// rejected, the protocol never needs them) and a writer that emits the
+// same bench-schema style the bench/ JSON reports use. Hand-rolled
+// because the toolchain bakes in no JSON dependency and the protocol
+// surface is a dozen scalar fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nemfpga {
+
+/// A parsed flat JSON value. `kind` selects the active field.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+};
+
+/// Key -> value map of one flat JSON object, plus typed accessors with
+/// defaults (the protocol treats absent and null alike).
+struct JsonObject {
+  std::map<std::string, JsonValue> fields;
+
+  bool has(const std::string& key) const { return fields.count(key) != 0; }
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  double get_number(const std::string& key, double def = 0.0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+};
+
+/// Parse one flat JSON object. Throws std::runtime_error with a
+/// position-annotated message on malformed input (including nested
+/// objects/arrays, trailing garbage, or a non-object root).
+JsonObject parse_json_object(const std::string& text);
+
+/// Incremental writer for one flat JSON object (insertion order
+/// preserved; strings escaped; doubles rendered %.17g round-trip exact).
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& key, const std::string& v);
+  JsonWriter& field(const std::string& key, const char* v);
+  JsonWriter& field(const std::string& key, double v);
+  JsonWriter& field(const std::string& key, std::uint64_t v);
+  JsonWriter& field(const std::string& key, bool v);
+
+  /// The finished single-line object, e.g. {"ok":true,"w":64}.
+  std::string str() const;
+
+ private:
+  JsonWriter& raw(const std::string& key, const std::string& rendered);
+  std::string body_;
+};
+
+/// JSON string escaping (shared with the writer; exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace nemfpga

@@ -239,12 +239,15 @@ class IncrementalSta final : public RouterTimingHook {
  public:
   IncrementalSta(const Netlist& nl, const Packing& pack, const Placement& pl,
                  const RrGraphView& g, const ElectricalView& view,
-                 double criticality_exp, double max_criticality)
+                 double criticality_exp, double max_criticality,
+                 std::shared_ptr<const DelayModel> model)
       : nl_(nl),
         pack_(pack),
         pl_(pl),
         view_(view),
-        model_(make_delay_model(g, view)),
+        model_(model ? std::move(model)
+                     : std::make_shared<const DelayModel>(
+                           make_delay_model(g, view))),
         crit_exp_(criticality_exp),
         max_crit_(max_criticality) {
     const std::size_t blocks = nl.block_count();
@@ -339,10 +342,10 @@ class IncrementalSta final : public RouterTimingHook {
   }
 
   const double* node_delay() const override {
-    return model_.node_delay.data();
+    return model_->node_delay.data();
   }
-  double sec_per_base() const override { return model_.sec_per_base; }
-  DelayProfile delay_profile() const override { return model_.profile; }
+  double sec_per_base() const override { return model_->sec_per_base; }
+  DelayProfile delay_profile() const override { return model_->profile; }
 
   void update(const RrGraphView& g, const std::vector<RouteTree>& trees,
               const std::vector<std::size_t>& dirty,
@@ -574,7 +577,8 @@ class IncrementalSta final : public RouterTimingHook {
   const Packing& pack_;
   const Placement& pl_;
   const ElectricalView view_;  // by value: outlives any caller temporary
-  const DelayModel model_;
+  /// Shared (possibly cache-resident) immutable delay model.
+  const std::shared_ptr<const DelayModel> model_;
   const double crit_exp_;
   const double max_crit_;
   const std::size_t blocks_at_build_ = nl_.block_count();
@@ -611,7 +615,17 @@ std::unique_ptr<RouterTimingHook> make_incremental_sta(
     const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality) {
   return std::make_unique<IncrementalSta>(nl, pack, pl, g, view,
-                                          criticality_exp, max_criticality);
+                                          criticality_exp, max_criticality,
+                                          nullptr);
+}
+
+std::unique_ptr<RouterTimingHook> make_incremental_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality, std::shared_ptr<const DelayModel> model) {
+  return std::make_unique<IncrementalSta>(nl, pack, pl, g, view,
+                                          criticality_exp, max_criticality,
+                                          std::move(model));
 }
 
 }  // namespace nemfpga

@@ -13,6 +13,7 @@
 #include "pack/pack.hpp"
 #include "place/place.hpp"
 #include "route/route.hpp"
+#include "timing/delay_model.hpp"
 #include "timing/variant.hpp"
 
 namespace nemfpga {
@@ -72,5 +73,15 @@ std::unique_ptr<RouterTimingHook> make_incremental_sta(
     const Netlist& nl, const Packing& pack, const Placement& pl,
     const RrGraphView& g, const ElectricalView& view, double criticality_exp,
     double max_criticality);
+
+/// Same, but sharing a prebuilt delay model (the artifact cache's —
+/// src/service/flow_artifacts.hpp) instead of lowering one from `view`
+/// per hook. `model` must be the make_delay_model(g, view) of the same
+/// (g, view) pair (bit-identical numbers, so the hook's behavior is
+/// too); null falls back to building it internally.
+std::unique_ptr<RouterTimingHook> make_incremental_sta(
+    const Netlist& nl, const Packing& pack, const Placement& pl,
+    const RrGraphView& g, const ElectricalView& view, double criticality_exp,
+    double max_criticality, std::shared_ptr<const DelayModel> model);
 
 }  // namespace nemfpga

@@ -1,0 +1,181 @@
+// Differential property for the artifact cache and the concurrent flow
+// scheduler (ISSUE 9): a flow run through the shared content-addressed
+// cache — cold (this flow builds the artifacts) or warm (a previous flow
+// built them) — must be bit-identical to the classic self-contained
+// run_flow, and randomized concurrent job mixes through JobScheduler
+// must each be bit-identical to their solo flows regardless of worker
+// count, submission order or cache pressure. The cache may only change
+// who pays the build cost, never a single routed bit.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/synth_gen.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/job_scheduler.hpp"
+#include "verify/generators.hpp"
+#include "verify/prop.hpp"
+
+namespace nemfpga::verify {
+namespace {
+
+FlowOptions case_options(const DesignCase& c) {
+  FlowOptions opt;
+  opt.arch = c.arch;
+  opt.route = c.route;
+  opt.place.seed = c.place_seed;
+  opt.place.inner_num = c.place_inner_num;
+  return opt;
+}
+
+/// The identity surface a flow is compared on: routing bits, placement
+/// cost and (when timing driven) the critical path.
+struct FlowFingerprint {
+  bool routed = false;
+  std::uint64_t checksum = 0;
+  double placement_cost = 0.0;
+  double critical_path_s = 0.0;
+  std::size_t iterations = 0;
+
+  static FlowFingerprint of(const FlowResult& r) {
+    FlowFingerprint f;
+    f.routed = r.routed();
+    f.checksum = routing_tree_checksum(r.routing);
+    f.placement_cost = r.placement.final_cost;
+    f.critical_path_s = r.routing.critical_path_s;
+    f.iterations = r.routing.iterations;
+    return f;
+  }
+  static FlowFingerprint of(const FlowJobResult& r) {
+    FlowFingerprint f;
+    f.routed = r.ok;
+    f.checksum = r.tree_checksum;
+    f.placement_cost = r.placement_cost;
+    f.critical_path_s = r.critical_path_s;
+    f.iterations = r.route_iterations;
+    return f;
+  }
+};
+
+void require_same(const FlowFingerprint& got, const FlowFingerprint& ref,
+                  const std::string& what) {
+  prop_require(got.routed == ref.routed, what + ": routed mismatch");
+  prop_require(got.checksum == ref.checksum,
+               what + ": tree checksum mismatch");
+  prop_require(got.placement_cost == ref.placement_cost,
+               what + ": placement cost not bit-identical");
+  prop_require(got.critical_path_s == ref.critical_path_s,
+               what + ": critical path not bit-identical");
+  prop_require(got.iterations == ref.iterations,
+               what + ": iteration count mismatch");
+}
+
+/// Widen the case's channel enough that run_flow (fixed W, throws on
+/// failure) routes reliably; the property is about artifact identity,
+/// not Wmin search.
+DesignCase routable(DesignCase c) {
+  if (c.arch.W < 24) c.arch.W = 24;
+  return c;
+}
+
+TEST(PropFlowCache, CachedFlowsAreBitIdenticalToSelfContained) {
+  const PropConfig cfg = PropConfig::from_env(40);
+  const PropResult res = check_seeds("flow_cache_diff", cfg, [&](Rng& rng) {
+    const DesignCase c = routable(gen_design_case(rng));
+    const FlowOptions opt = case_options(c);
+    const Netlist nl = generate_netlist(c.spec);
+
+    FlowFingerprint ref;
+    try {
+      ref = FlowFingerprint::of(run_flow(nl, opt));
+    } catch (const std::runtime_error&) {
+      return;  // unroutable case — nothing to compare
+    }
+
+    ArtifactCache cache;
+    FlowOptions cached = opt;
+    cached.artifact_cache = &cache;
+    // Cold: this flow is the builder of every artifact it needs.
+    require_same(FlowFingerprint::of(run_flow(nl, cached)), ref, "cold");
+    const ArtifactCache::Stats after_cold = cache.stats();
+    prop_require(after_cold.misses > 0, "cold flow built nothing?");
+    // Warm: every artifact comes out of the cache.
+    require_same(FlowFingerprint::of(run_flow(nl, cached)), ref, "warm");
+    prop_require(cache.stats().misses == after_cold.misses,
+                 "warm flow rebuilt an artifact (over-keying?)");
+    prop_require(cache.stats().hits > after_cold.hits,
+                 "warm flow never touched the cache");
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+}
+
+TEST(PropFlowCache, ConcurrentJobMixesMatchSoloFlows) {
+  const PropConfig cfg = PropConfig::from_env(12);
+  const PropResult res = check_seeds("flow_cache_sched", cfg, [&](Rng& rng) {
+    // Draw a small family of cases: a base fabric plus mutations that
+    // share it (same arch, different seeds — maximum cache contention)
+    // and ones that do not (different W / timing).
+    std::vector<DesignCase> cases;
+    const DesignCase base = routable(gen_design_case(rng));
+    cases.push_back(base);
+    for (int i = 0; i < 3; ++i) {
+      DesignCase m = base;
+      m.place_seed = base.place_seed + 1 + rng.uniform_int(100);
+      if (rng.chance(0.4)) m.arch.W = base.arch.W + 4 + rng.uniform_int(8);
+      if (rng.chance(0.3)) m.route.timing_driven = !m.route.timing_driven;
+      cases.push_back(m);
+    }
+
+    std::vector<FlowFingerprint> solo;
+    std::vector<bool> throws;
+    for (const DesignCase& c : cases) {
+      try {
+        solo.push_back(
+            FlowFingerprint::of(run_flow(generate_netlist(c.spec),
+                                         case_options(c))));
+        throws.push_back(false);
+      } catch (const std::runtime_error&) {
+        solo.emplace_back();
+        throws.push_back(true);
+      }
+    }
+
+    const std::size_t workers = 1 + rng.uniform_int(7);
+    // Budget coin: half the runs use a tiny cache so eviction churns
+    // mid-batch; identity must hold either way.
+    ArtifactCache cache(rng.chance(0.5) ? (std::size_t{1} << 16)
+                                        : ArtifactCache::kDefaultMaxBytes);
+    JobScheduler sched(cache, workers);
+    std::vector<std::future<FlowJobResult>> futs;
+    std::vector<std::size_t> order;
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        FlowJob job;
+        job.name = "case-" + std::to_string(i);
+        job.netlist = generate_netlist(cases[i].spec);
+        job.opt = case_options(cases[i]);
+        futs.push_back(sched.submit(std::move(job)));
+        order.push_back(i);
+      }
+    }
+    for (std::size_t j = 0; j < futs.size(); ++j) {
+      const FlowJobResult got = futs[j].get();
+      const std::size_t i = order[j];
+      const std::string what = "workers=" + std::to_string(workers) +
+                               " job#" + std::to_string(j);
+      if (throws[i]) {
+        prop_require(!got.ok, what + ": solo flow failed but job ok");
+        continue;
+      }
+      prop_require(got.ok, what + ": " + got.error);
+      require_same(FlowFingerprint::of(got), solo[i], what);
+    }
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+}
+
+}  // namespace
+}  // namespace nemfpga::verify

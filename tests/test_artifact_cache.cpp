@@ -1,0 +1,359 @@
+// Unit coverage for the content-addressed artifact cache (ISSUE 9):
+// key canonicalization (the per-type "what does this artifact depend
+// on" rules of flow_artifacts.hpp, in both directions), LRU eviction
+// under byte pressure, single-flight construction, builder-failure
+// retry, and the built-vs-hit accounting flag. The cross-thread
+// bit-identity of the artifacts themselves is prop_flow_cache's job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/lookahead.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/flow_artifacts.hpp"
+
+namespace nemfpga {
+namespace {
+
+// ---------------------------------------------------------------------
+// Key canonicalization. Over-keying halves the hit rate silently,
+// under-keying aliases different artifacts — pin both directions.
+
+TEST(ArtifactKeys, LookaheadIgnoresWidthAndFcFields) {
+  // The lookahead builds over a thin canonical graph that overrides
+  // W = 2L, fc = 1.0 and dense_fanout, so none of those four may key.
+  ArchParams a;
+  ArchParams b = a;
+  b.W = a.W * 2;
+  b.fc_in = 0.9;
+  b.fc_out = 0.9;
+  b.dense_fanout = true;
+  EXPECT_EQ(lookahead_key(a, 12, 12, nullptr),
+            lookahead_key(b, 12, 12, nullptr));
+}
+
+TEST(ArtifactKeys, LookaheadKeysOnFabricGeometry) {
+  const ArchParams a;
+  const std::string base = lookahead_key(a, 12, 12, nullptr);
+  ArchParams m;
+
+  m = a;
+  m.L = a.L + 1;
+  EXPECT_NE(lookahead_key(m, 12, 12, nullptr), base);
+  m = a;
+  m.N = a.N + 2;
+  EXPECT_NE(lookahead_key(m, 12, 12, nullptr), base);
+  m = a;
+  m.K = a.K + 1;
+  EXPECT_NE(lookahead_key(m, 12, 12, nullptr), base);
+  m = a;
+  m.fs = a.fs + 1;
+  EXPECT_NE(lookahead_key(m, 12, 12, nullptr), base);
+  m = a;
+  m.io_per_pad = a.io_per_pad + 1;
+  EXPECT_NE(lookahead_key(m, 12, 12, nullptr), base);
+  EXPECT_NE(lookahead_key(a, 13, 12, nullptr), base);
+  EXPECT_NE(lookahead_key(a, 12, 13, nullptr), base);
+}
+
+TEST(ArtifactKeys, LookaheadDelayProfileKeysSeparately) {
+  const ArchParams a;
+  DelayProfile p1;
+  p1.t_wire_stage = 1e-10;
+  p1.t_input_path = 2e-10;
+  DelayProfile p2 = p1;
+  p2.t_wire_stage = 1.0000000000000002e-10;  // 1 ulp away — must split.
+
+  const std::string congestion = lookahead_key(a, 12, 12, nullptr);
+  const std::string delay1 = lookahead_key(a, 12, 12, &p1);
+  const std::string delay2 = lookahead_key(a, 12, 12, &p2);
+  EXPECT_NE(congestion, delay1);
+  EXPECT_NE(delay1, delay2);
+  EXPECT_EQ(delay1, lookahead_key(a, 12, 12, &p1));
+}
+
+TEST(ArtifactKeys, RrGraphKeysOnWidthAndBackend) {
+  const ArchParams a;
+  ArchParams wide = a;
+  wide.W = a.W + 2;
+  ArchParams fc = a;
+  fc.fc_in = 0.25;
+
+  const std::string base = rr_graph_key(a, 12, 12, RrBackend::kExplicit);
+  EXPECT_NE(rr_graph_key(wide, 12, 12, RrBackend::kExplicit), base);
+  EXPECT_NE(rr_graph_key(fc, 12, 12, RrBackend::kExplicit), base);
+  EXPECT_NE(rr_graph_key(a, 12, 12, RrBackend::kImplicit), base);
+  EXPECT_EQ(rr_graph_key(a, 12, 12, RrBackend::kExplicit), base);
+}
+
+TEST(ArtifactKeys, DelayModelKeysOnVariant) {
+  const ArchParams a;
+  const std::string cmos =
+      delay_model_key(a, 12, 12, FpgaVariant::kCmosBaseline);
+  EXPECT_NE(delay_model_key(a, 12, 12, FpgaVariant::kNemNaive), cmos);
+  EXPECT_NE(delay_model_key(a, 12, 12, FpgaVariant::kNemOptimized), cmos);
+  EXPECT_EQ(delay_model_key(a, 12, 12, FpgaVariant::kCmosBaseline), cmos);
+}
+
+TEST(ArtifactKeys, NamespacesAreDisjoint) {
+  // The cache stores values type-erased and trusts the key prefix to
+  // identify the type — the helpers must never collide.
+  const ArchParams a;
+  DelayProfile p;
+  const std::vector<std::string> keys = {
+      rr_graph_key(a, 12, 12, RrBackend::kExplicit),
+      rr_graph_key(a, 12, 12, RrBackend::kImplicit),
+      lookahead_key(a, 12, 12, nullptr),
+      lookahead_key(a, 12, 12, &p),
+      delay_model_key(a, 12, 12, FpgaVariant::kCmosBaseline),
+  };
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// get_or_build semantics.
+
+std::shared_ptr<const int> make_int(int v) {
+  return std::make_shared<const int>(v);
+}
+
+TEST(ArtifactCache, MissThenHitSharesOneValue) {
+  ArtifactCache cache;
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return make_int(42);
+  };
+  const auto bytes = [](const int&) { return std::size_t{64}; };
+
+  bool built = false;
+  const auto a = cache.get_or_build<int>("k", build, bytes, &built);
+  EXPECT_TRUE(built);
+  const auto b = cache.get_or_build<int>("k", build, bytes, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, 42);
+
+  const ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.resident_bytes, 64u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ArtifactCache, DistinctKeysBuildIndependently) {
+  ArtifactCache cache;
+  const auto bytes = [](const int&) { return std::size_t{8}; };
+  const auto a = cache.get_or_build<int>("a", [] { return make_int(1); }, bytes);
+  const auto b = cache.get_or_build<int>("b", [] { return make_int(2); }, bytes);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedUnderBytePressure) {
+  ArtifactCache cache(256);  // room for two 100-byte entries
+  const auto bytes = [](const int&) { return std::size_t{100}; };
+  const auto build = [](int v) { return [v] { return make_int(v); }; };
+
+  auto a = cache.get_or_build<int>("a", build(1), bytes);
+  auto b = cache.get_or_build<int>("b", build(2), bytes);
+  // Touch "a" so "b" becomes the LRU entry.
+  cache.get_or_build<int>("a", build(1), bytes);
+  auto c = cache.get_or_build<int>("c", build(3), bytes);
+
+  ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.resident_bytes, 256u);
+
+  // Eviction only drops the cache's reference — the held value lives on.
+  EXPECT_EQ(*b, 2);
+  // "b" was evicted (LRU); "a" and "c" are still resident.
+  bool built = true;
+  cache.get_or_build<int>("a", build(1), bytes, &built);
+  EXPECT_FALSE(built);
+  cache.get_or_build<int>("c", build(3), bytes, &built);
+  EXPECT_FALSE(built);
+  // Re-requesting "b" rebuilds — and its insertion evicts the new LRU
+  // ("a", touched before "c" above).
+  cache.get_or_build<int>("b", build(2), bytes, &built);
+  EXPECT_TRUE(built);
+  s = cache.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  cache.get_or_build<int>("a", build(1), bytes, &built);
+  EXPECT_TRUE(built);
+}
+
+TEST(ArtifactCache, NeverEvictsTheEntryJustInserted) {
+  // A single artifact bigger than the whole budget must still be
+  // inserted and survive its own insertion's eviction pass.
+  ArtifactCache cache(64);
+  const auto bytes = [](const int&) { return std::size_t{1000}; };
+  auto a = cache.get_or_build<int>("big", [] { return make_int(7); }, bytes);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  bool built = true;
+  auto b = cache.get_or_build<int>("big", [] { return make_int(7); }, bytes,
+                                   &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(ArtifactCache, ClearDropsEntriesKeepsCounters) {
+  ArtifactCache cache;
+  const auto bytes = [](const int&) { return std::size_t{8}; };
+  cache.get_or_build<int>("a", [] { return make_int(1); }, bytes);
+  cache.get_or_build<int>("a", [] { return make_int(1); }, bytes);
+  cache.clear();
+
+  ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+
+  bool built = false;
+  cache.get_or_build<int>("a", [] { return make_int(1); }, bytes, &built);
+  EXPECT_TRUE(built);
+}
+
+// ---------------------------------------------------------------------
+// Single-flight: the first requester of an absent key is the sole
+// builder; concurrent requesters block and share the one result.
+
+TEST(ArtifactCache, SingleFlightBuildsOnceUnderContention) {
+  ArtifactCache cache;
+  constexpr int kThreads = 8;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  bool release = false;
+  std::atomic<int> builds{0};
+
+  // The builder blocks until every other thread has had ample time to
+  // pile onto the same key, then releases — if single-flight were
+  // broken, a second build would run during the window.
+  const auto build = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    builds.fetch_add(1);
+    return make_int(99);
+  };
+  const auto bytes = [](const int&) { return std::size_t{8}; };
+
+  std::vector<std::shared_ptr<const int>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++waiting;
+      }
+      cv.notify_all();
+      results[i] = cache.get_or_build<int>("hot", build, bytes);
+    });
+  }
+  {
+    // Wait until all threads are at least launched into get_or_build,
+    // then open the gate.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return waiting == kThreads; });
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].get(), results[0].get());
+  }
+  const ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  // Everyone who didn't build either waited on the in-flight build or
+  // arrived after it published — the split is timing dependent, but the
+  // total reuse count is exact.
+  EXPECT_EQ(s.hits + s.single_flight_waits,
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ArtifactCache, FailedBuildWakesWaitersWhoRetry) {
+  ArtifactCache cache;
+  std::atomic<int> attempts{0};
+  const auto build = [&]() -> std::shared_ptr<const int> {
+    if (attempts.fetch_add(1) == 0) {
+      throw std::runtime_error("flaky");
+    }
+    return make_int(5);
+  };
+  const auto bytes = [](const int&) { return std::size_t{8}; };
+
+  EXPECT_THROW(cache.get_or_build<int>("k", build, bytes),
+               std::runtime_error);
+  EXPECT_EQ(cache.stats().failed_builds, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The failed claim was removed — the next requester becomes a fresh
+  // builder and succeeds.
+  bool built = false;
+  const auto v = cache.get_or_build<int>("k", build, bytes, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(*v, 5);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ArtifactCache, ConcurrentFailureRetriesConverge) {
+  // First builder throws while others wait; one of the waiters must
+  // pick up the claim and everyone eventually gets the value.
+  ArtifactCache cache;
+  std::atomic<int> attempts{0};
+  const auto build = [&]() -> std::shared_ptr<const int> {
+    if (attempts.fetch_add(1) == 0) {
+      // Give the other threads time to become waiters.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      throw std::runtime_error("first build fails");
+    }
+    return make_int(11);
+  };
+  const auto bytes = [](const int&) { return std::size_t{8}; };
+
+  constexpr int kThreads = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (;;) {
+        try {
+          const auto v = cache.get_or_build<int>("k", build, bytes);
+          EXPECT_EQ(*v, 11);
+          ok.fetch_add(1);
+          return;
+        } catch (const std::runtime_error&) {
+          // The thread that owned the failed build rethrows; retry like
+          // a real caller would.
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(cache.stats().failed_builds, 1u);
+}
+
+}  // namespace
+}  // namespace nemfpga

@@ -49,7 +49,7 @@ TEST(PinAssign, PinsWithinRangeAndDistinctPerSite) {
       const auto& l = flow.placement.locs[s];
       const std::size_t pin = pins.ipin_of_sink[i][k];
       ASSERT_NE(pin, kInvalidId);
-      ASSERT_LT(pin, flow.graph->site(l.x, l.y).pin_count_ipin);
+      ASSERT_LT(pin, flow.graph_view().site(l.x, l.y).pin_count_ipin);
       ++used[{l.x, l.y, pin}];
       // Each connection records the wire it taps.
       EXPECT_NE(pins.tap_wire_of_sink[i][k], kNoRrNode);

@@ -88,7 +88,7 @@ TEST(Integration, SameNetlistTwoWidthsBothRoute) {
     opt.arch.W = w;
     const auto flow = run_flow(nl, opt);
     EXPECT_TRUE(flow.routed()) << "W=" << w;
-    check_routing(*flow.graph, flow.placement, flow.routing);
+    check_routing(flow.graph_view(), flow.placement, flow.routing);
   }
 }
 

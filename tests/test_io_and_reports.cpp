@@ -44,7 +44,7 @@ TEST(PlacementIo, ReloadedPlacementRoutes) {
   Placement back = read_placement_string(
       write_placement_string(flow.placement), flow.placement.locs.size());
   back.nets = extract_placed_nets(flow.netlist, flow.packing);
-  const auto r = route_all(*flow.graph, back);
+  const auto r = route_all(flow.graph_view(), back);
   EXPECT_TRUE(r.success);
 }
 
@@ -73,7 +73,7 @@ TEST(PlacementIo, RejectsMalformedInput) {
 TEST(RouteReportTest, SummarizesRouting) {
   const auto& flow = shared_flow();
   const auto rep =
-      summarize_routing(*flow.graph, flow.placement, flow.routing);
+      summarize_routing(flow.graph_view(), flow.placement, flow.routing);
   EXPECT_EQ(rep.nets, flow.placement.nets.size());
   EXPECT_EQ(rep.total_segments, flow.routing.wire_segments_used);
   EXPECT_NEAR(rep.total_wire_tiles, flow.routing.total_wire_tiles, 1e-9);
@@ -94,7 +94,7 @@ TEST(RouteReportTest, RejectsFailedRouting) {
   const auto& flow = shared_flow();
   RoutingResult bad;
   bad.success = false;
-  EXPECT_THROW(summarize_routing(*flow.graph, flow.placement, bad),
+  EXPECT_THROW(summarize_routing(flow.graph_view(), flow.placement, bad),
                std::invalid_argument);
 }
 

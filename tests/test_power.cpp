@@ -30,9 +30,9 @@ struct PowerFixture {
                      PowerOptions popt = {}) const {
     const auto view = make_view(flow.arch, v, downsize);
     const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                                  *flow.graph, flow.routing, view);
+                                  flow.graph_view(), flow.routing, view);
     return analyze_power(flow.netlist, flow.packing, flow.placement,
-                         *flow.graph, flow.routing, view, t, popt);
+                         flow.graph_view(), flow.routing, view, t, popt);
   }
 };
 
@@ -139,7 +139,7 @@ TEST(Power, FailedRoutingRejected) {
   RoutingResult bad;
   bad.success = false;
   EXPECT_THROW(analyze_power(f.flow.netlist, f.flow.packing, f.flow.placement,
-                             *f.flow.graph, bad, view, t),
+                             f.flow.graph_view(), bad, view, t),
                std::invalid_argument);
 }
 

@@ -1,0 +1,157 @@
+// ThreadSanitizer + determinism coverage for the concurrent flow
+// scheduler: mixed-architecture job batches (different widths, timing
+// on/off, different variants — so RR graphs, lookahead tables and delay
+// models are built, shared and evicted concurrently) run at 1, 2 and 8
+// workers, and every result must be bit-identical to a solo run_flow of
+// the same spec. Under -DNF_TSAN=ON this certifies the cache's
+// single-flight protocol and the scheduler's no-shared-mutable-state
+// contract; in a plain build it is the determinism smoke. Matches the
+// test_*_tsan pattern (test_route_tsan, test_eco_tsan).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/mcnc.hpp"
+#include "netlist/synth_gen.hpp"
+#include "service/job_scheduler.hpp"
+
+namespace nemfpga {
+namespace {
+
+struct JobSpec {
+  std::string name;
+  std::size_t synth_luts = 0;  ///< 0 means the tseng benchmark.
+  std::size_t w = 64;
+  std::uint64_t seed = 1;
+  bool timing = false;
+  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+};
+
+Netlist spec_netlist(const JobSpec& s) {
+  if (s.synth_luts == 0) return generate_benchmark("tseng");
+  SynthSpec spec;
+  spec.n_luts = s.synth_luts;
+  spec.name = s.name;
+  return generate_netlist(spec);
+}
+
+FlowJob spec_job(const JobSpec& s) {
+  FlowJob job;
+  job.name = s.name;
+  job.netlist = spec_netlist(s);
+  job.opt.arch.W = s.w;
+  job.opt.place.seed = s.seed;
+  job.opt.route.timing_driven = s.timing;
+  job.opt.timing_variant = s.variant;
+  return job;
+}
+
+/// The mixed-arch batch: two fabrics' worth of widths, congestion and
+/// timing flows, two electrical variants — enough key diversity that a
+/// run exercises every artifact type while same-fabric jobs contend on
+/// shared entries.
+std::vector<JobSpec> mixed_specs() {
+  return {
+      {"synth-a", 180, 48, 1, false, FpgaVariant::kCmosBaseline},
+      {"synth-a-timing", 180, 48, 2, true, FpgaVariant::kCmosBaseline},
+      {"synth-a-nem", 180, 64, 3, true, FpgaVariant::kNemOptimized},
+      {"synth-b", 320, 56, 4, false, FpgaVariant::kCmosBaseline},
+      {"tseng", 0, 64, 5, true, FpgaVariant::kCmosBaseline},
+  };
+}
+
+void expect_identical(const FlowJobResult& got, const FlowJobResult& want,
+                      const std::string& ctx) {
+  ASSERT_TRUE(got.ok) << ctx << ": " << got.error;
+  EXPECT_EQ(got.tree_checksum, want.tree_checksum) << ctx;
+  EXPECT_EQ(got.placement_cost, want.placement_cost) << ctx;
+  EXPECT_EQ(got.critical_path_s, want.critical_path_s) << ctx;
+  EXPECT_EQ(got.route_iterations, want.route_iterations) << ctx;
+  EXPECT_EQ(got.overused_nodes, want.overused_nodes) << ctx;
+  EXPECT_EQ(got.nx, want.nx) << ctx;
+  EXPECT_EQ(got.ny, want.ny) << ctx;
+  EXPECT_EQ(got.w, want.w) << ctx;
+}
+
+TEST(ServeTsan, ConcurrentMixedArchJobsMatchSoloFlows) {
+  const std::vector<JobSpec> specs = mixed_specs();
+
+  // Solo baselines: plain run_flow, no cache, default pool — exactly
+  // what a user gets from `nemfpga flow`.
+  std::vector<FlowJobResult> solo;
+  for (const JobSpec& s : specs) {
+    FlowJob job = spec_job(s);
+    FlowResult flow = run_flow(std::move(job.netlist), job.opt);
+    FlowJobResult r;
+    r.ok = true;
+    const RrGraphView gv = flow.graph_view();
+    r.nx = gv.nx();
+    r.ny = gv.ny();
+    r.w = flow.arch.W;
+    r.route_iterations = flow.routing.iterations;
+    r.overused_nodes = flow.routing.overused_nodes;
+    r.tree_checksum = routing_tree_checksum(flow.routing);
+    r.placement_cost = flow.placement.final_cost;
+    r.critical_path_s = flow.routing.critical_path_s;
+    solo.push_back(r);
+  }
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    ArtifactCache cache;
+    JobScheduler sched(cache, workers);
+    // Two rounds of every spec in flight at once: round one races the
+    // single-flight builds, round two the warm hits.
+    std::vector<std::future<FlowJobResult>> futs;
+    for (int round = 0; round < 2; ++round) {
+      for (const JobSpec& s : specs) {
+        futs.push_back(sched.submit(spec_job(s)));
+      }
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const FlowJobResult got = futs[i].get();
+      expect_identical(got, solo[i % specs.size()],
+                       "workers=" + std::to_string(workers) + " job#" +
+                           std::to_string(i) + " (" +
+                           specs[i % specs.size()].name + ")");
+    }
+    const ArtifactCache::Stats cs = cache.stats();
+    EXPECT_GT(cs.misses, 0u);
+    EXPECT_GT(cs.hits + cs.single_flight_waits, 0u)
+        << "the second round must reuse round one's artifacts";
+    EXPECT_EQ(sched.counters().completed, futs.size());
+  }
+}
+
+TEST(ServeTsan, EvictionChurnStaysRaceFreeAndDeterministic) {
+  // A cache budget far below the batch's working set forces constant
+  // LRU eviction *during* concurrent builds — the protect-just-inserted
+  // and never-evict-in-flight rules are what TSan gets to chew on here.
+  const std::vector<JobSpec> specs = mixed_specs();
+  std::vector<FlowJobResult> baseline;
+  {
+    ArtifactCache cache;  // ample
+    JobScheduler sched(cache, 2);
+    std::vector<std::future<FlowJobResult>> futs;
+    for (const JobSpec& s : specs) futs.push_back(sched.submit(spec_job(s)));
+    for (auto& f : futs) baseline.push_back(f.get());
+  }
+
+  ArtifactCache tiny(1 << 16);  // 64 KB — every insert evicts something
+  JobScheduler sched(tiny, 8);
+  std::vector<std::future<FlowJobResult>> futs;
+  for (int round = 0; round < 2; ++round) {
+    for (const JobSpec& s : specs) futs.push_back(sched.submit(spec_job(s)));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    expect_identical(futs[i].get(), baseline[i % specs.size()],
+                     "tiny-cache job#" + std::to_string(i));
+  }
+  EXPECT_GT(tiny.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace nemfpga

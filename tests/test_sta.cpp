@@ -24,7 +24,7 @@ TEST(Sta, ProducesPositiveCriticalPath) {
   const auto flow = small_flow();
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                                *flow.graph, flow.routing, view);
+                                flow.graph_view(), flow.routing, view);
   EXPECT_GT(t.critical_path, 10e-12);
   EXPECT_LT(t.critical_path, 1e-6);
   EXPECT_GT(t.geomean_net_delay, 0.0);
@@ -34,7 +34,7 @@ TEST(Sta, ArrivalTimesMonotoneAlongPaths) {
   const auto flow = small_flow();
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                                *flow.graph, flow.routing, view);
+                                flow.graph_view(), flow.routing, view);
   const Netlist& nl = flow.netlist;
   for (BlockId b = 0; b < nl.block_count(); ++b) {
     const Block& blk = nl.block(b);
@@ -51,7 +51,7 @@ TEST(Sta, CriticalPathCoversWorstEndpoint) {
   const auto flow = small_flow();
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                                *flow.graph, flow.routing, view);
+                                flow.graph_view(), flow.routing, view);
   for (BlockId b = 0; b < flow.netlist.block_count(); ++b) {
     // No block's arrival may exceed the critical path (endpoint margins
     // like setup come on top, so compare loosely).
@@ -64,10 +64,10 @@ TEST(Sta, NemVariantIsFasterAtFullBuffers) {
   // application critical paths.
   const auto flow = small_flow();
   const auto cmos = analyze_timing(
-      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      flow.netlist, flow.packing, flow.placement, flow.graph_view(), flow.routing,
       make_view(flow.arch, FpgaVariant::kCmosBaseline));
   const auto nem = analyze_timing(
-      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      flow.netlist, flow.packing, flow.placement, flow.graph_view(), flow.routing,
       make_view(flow.arch, FpgaVariant::kNemOptimized, 1.0));
   EXPECT_LT(nem.critical_path, cmos.critical_path);
 }
@@ -75,10 +75,10 @@ TEST(Sta, NemVariantIsFasterAtFullBuffers) {
 TEST(Sta, DeepDownsizingSlowsNemVariant) {
   const auto flow = small_flow();
   const auto d1 = analyze_timing(
-      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      flow.netlist, flow.packing, flow.placement, flow.graph_view(), flow.routing,
       make_view(flow.arch, FpgaVariant::kNemOptimized, 1.0));
   const auto d8 = analyze_timing(
-      flow.netlist, flow.packing, flow.placement, *flow.graph, flow.routing,
+      flow.netlist, flow.packing, flow.placement, flow.graph_view(), flow.routing,
       make_view(flow.arch, FpgaVariant::kNemOptimized, 8.0));
   EXPECT_GT(d8.critical_path, d1.critical_path);
 }
@@ -87,7 +87,7 @@ TEST(Sta, RoutedNetDelaysPositiveAndOrdered) {
   const auto flow = small_flow();
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   for (std::size_t i = 0; i < flow.placement.nets.size(); ++i) {
-    const auto d = routed_net_delays(*flow.graph, flow.routing.trees[i],
+    const auto d = routed_net_delays(flow.graph_view(), flow.routing.trees[i],
                                      flow.placement.nets[i], flow.placement,
                                      view);
     ASSERT_EQ(d.size(), flow.placement.nets[i].sinks.size());
@@ -102,7 +102,7 @@ TEST(Sta, PurelyCombinationalCircuitWorks) {
   const auto flow = small_flow("sta-comb", 120, 0);
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto t = analyze_timing(flow.netlist, flow.packing, flow.placement,
-                                *flow.graph, flow.routing, view);
+                                flow.graph_view(), flow.routing, view);
   EXPECT_GT(t.critical_path, 0.0);
 }
 
@@ -111,7 +111,7 @@ TEST(Sta, MismatchedRoutingThrows) {
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   RoutingResult empty;
   EXPECT_THROW(analyze_timing(flow.netlist, flow.packing, flow.placement,
-                              *flow.graph, empty, view),
+                              flow.graph_view(), empty, view),
                std::invalid_argument);
 }
 
@@ -122,7 +122,7 @@ TEST(Sta, MismatchedRoutingThrows) {
 TEST(Sta, DelayScratchSurvivesFabricResize) {
   const auto big = small_flow("sta-scratch-big", 200, 12);
   const auto small = small_flow("sta-scratch-small", 60, 4);
-  ASSERT_NE(big.graph->node_count(), small.graph->node_count());
+  ASSERT_NE(big.graph_view().node_count(), small.graph_view().node_count());
   const auto view = make_view(big.arch, FpgaVariant::kCmosBaseline);
 
   NetDelayScratch shared;  // lives across both fabrics, both directions
@@ -147,7 +147,7 @@ TEST(Sta, DelayScratchRezeroesAtEpochWrap) {
   NetDelayScratch scratch;
   std::vector<double> out;
   const auto eval = [&](std::size_t i) {
-    routed_net_delays(*flow.graph, flow.routing.trees[i],
+    routed_net_delays(flow.graph_view(), flow.routing.trees[i],
                       flow.placement.nets[i], flow.placement, view, scratch,
                       out);
     return out;
@@ -172,15 +172,15 @@ TEST(Sta, IncrementalStaHookRefusesShapeChange) {
   auto flow = small_flow("sta-hook-guard", 80, 6);
   const auto view = make_view(flow.arch, FpgaVariant::kCmosBaseline);
   const auto hook = make_incremental_sta(flow.netlist, flow.packing,
-                                         flow.placement, *flow.graph, view,
+                                         flow.placement, flow.graph_view(), view,
                                          1.0, 0.99);
   const std::vector<std::size_t> no_dirty;
-  hook->update(*flow.graph, flow.routing.trees, no_dirty, 1);  // healthy
+  hook->update(flow.graph_view(), flow.routing.trees, no_dirty, 1);  // healthy
 
   // Wrong tree count: the classic mismatch.
   std::vector<RouteTree> extra = flow.routing.trees;
   extra.emplace_back();
-  EXPECT_THROW(hook->update(*flow.graph, extra, no_dirty, 2),
+  EXPECT_THROW(hook->update(flow.graph_view(), extra, no_dirty, 2),
                std::logic_error);
 
   // A pin edit that changes no block/net/tree count — only the total pin
@@ -194,7 +194,7 @@ TEST(Sta, IncrementalStaHookRefusesShapeChange) {
   }
   ASSERT_NE(lut, kInvalidId);
   flow.netlist.connect_input(lut, flow.netlist.block(lut).inputs[0]);
-  EXPECT_THROW(hook->update(*flow.graph, flow.routing.trees, no_dirty, 2),
+  EXPECT_THROW(hook->update(flow.graph_view(), flow.routing.trees, no_dirty, 2),
                std::logic_error);
 }
 

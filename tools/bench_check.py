@@ -78,6 +78,22 @@ identical edit streams), against the same --max-regress budget as
 total_wall_s; everywhere else they are waived, never pinned. Cross-
 family comparison is again a hard error.
 
+The serve family (nemfpga-serve-bench-1, written by bench/flow_throughput)
+records one job mix — N same-architecture flows differing only in
+placement seed — measured as cold-seq / cold-batch / warm-batch modes
+(the "circuits" rows). The mix (benchmark, jobs, w, timing, seed0,
+cache_mb) IS the configuration; threads is deliberately excluded — the
+scheduler is required to be bit-identical at any worker count, so the
+cross-thread diff audits exactly that. Within one configuration the
+per-mode batch checksum, job tallies and the cache counters (misses /
+evictions / reuses / lookahead_cached) are pinned: single-flight
+construction makes the build count exact no matter how many workers
+race. Wall comparisons (total_wall_s and per-mode wall_s) are REFUSED
+across thread counts — an 8-worker batch and a 1-worker batch measure
+different machines — and budget-checked otherwise. jobs_per_s and the
+artifact microbench walls are never compared (derived / noisy).
+Cross-family comparison is a hard error.
+
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
 """
@@ -90,7 +106,8 @@ ROUTE_SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
                  "nemfpga-route-bench-3", "nemfpga-route-bench-4")
 PLACE_SCHEMAS = ("nemfpga-place-bench-1",)
 ECO_SCHEMAS = ("nemfpga-eco-bench-1",)
-SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS + ECO_SCHEMAS
+SERVE_SCHEMAS = ("nemfpga-serve-bench-1",)
+SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS + ECO_SCHEMAS + SERVE_SCHEMAS
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
 # Later-schema additions; compared with .get() so they are simply absent
 # (None == None) when two older files are diffed. rr_nodes is pinned
@@ -124,6 +141,14 @@ ECO_EXACT_FIELDS = ("ok", "rejected", "unroutable", "full_fallbacks",
 ECO_LATENCY_FIELDS = ("apply_p50_s", "apply_p99_s",
                       "reroute_p50_s", "reroute_p99_s")
 
+# Serve-family correctness fields, pinned per mode (cold-seq /
+# cold-batch / warm-batch) within one job-mix configuration at ANY
+# worker count: the scheduler is bit-identical across thread counts and
+# single-flight construction makes the cache's build count exact.
+SERVE_EXACT_FIELDS = ("ok_jobs", "batch_checksum", "cache_misses",
+                      "cache_evictions", "cache_reuses",
+                      "lookahead_cached")
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -137,11 +162,13 @@ def load(path):
 
 
 def family(data):
-    """Which harness produced the file: "route", "place" or "eco"."""
+    """Which harness produced the file: route, place, eco or serve."""
     if data.get("schema") in PLACE_SCHEMAS:
         return "place"
     if data.get("schema") in ECO_SCHEMAS:
         return "eco"
+    if data.get("schema") in SERVE_SCHEMAS:
+        return "serve"
     return "route"
 
 
@@ -162,6 +189,18 @@ def eco_config(data):
     thread counts, and the cross-thread diff IS that audit."""
     return ("eco-1", data.get("w"), data.get("edits"),
             data.get("edit_seed"), data.get("seed"))
+
+
+def serve_config(data):
+    """The fields that select which job mix ran: the circuit, the job
+    count, the width, the timing mode, the seed base and the cache
+    budget (evictions depend on it). threads is deliberately excluded —
+    the scheduler is pinned bit-identical at any worker count, and the
+    cross-thread diff IS that audit; wall comparisons are refused across
+    thread counts instead."""
+    return ("serve-1", data.get("benchmark"), data.get("jobs"),
+            data.get("w"), data.get("timing"), data.get("seed0"),
+            data.get("cache_mb"))
 
 
 def router_config(data):
@@ -200,7 +239,74 @@ def compare(base, cand, max_regress_pct):
         return compare_place(base, cand, max_regress_pct)
     if family(base) == "eco":
         return compare_eco(base, cand, max_regress_pct)
+    if family(base) == "serve":
+        return compare_serve(base, cand, max_regress_pct)
     return compare_route(base, cand, max_regress_pct)
+
+
+def compare_serve(base, cand, max_regress_pct):
+    failures = []
+    notes = []
+    same_config = serve_config(base) == serve_config(cand)
+    if not same_config:
+        notes.append(
+            "serve job-mix configuration differs "
+            f"({serve_config(base)} vs {serve_config(cand)}): different "
+            "flows ran; only checking mode coverage")
+    # Wall comparisons are refused across thread counts: an 8-worker
+    # batch and a 1-worker batch measure different machines. The pinned
+    # counters below are still fully compared — the scheduler and the
+    # cache's single-flight protocol are required to be worker-count
+    # invariant, and that diff is the audit.
+    wall_comparable = (
+        base.get("schema") == cand.get("schema")
+        and base.get("threads") == cand.get("threads")
+        and same_config)
+    if not wall_comparable:
+        if base.get("threads") != cand.get("threads"):
+            notes.append(
+                "refusing wall comparison across thread counts "
+                f"({base.get('threads')} vs {cand.get('threads')}): wall "
+                "budget waived, deterministic counters still pinned")
+        else:
+            notes.append("runs are not wall-comparable: wall budget waived")
+    budget = 1.0 + max_regress_pct / 100.0
+    base_by_name = {c["name"]: c for c in base["circuits"]}
+    for c in cand["circuits"]:
+        b = base_by_name.get(c["name"])
+        if b is None:
+            continue
+        if not same_config:
+            continue
+        for fld in SERVE_EXACT_FIELDS:
+            if b.get(fld) != c.get(fld):
+                failures.append(
+                    f"{c['name']}: {fld} changed "
+                    f"{b.get(fld)!r} -> {c.get(fld)!r} (the job mix is "
+                    "pinned bit-identical at any worker count and "
+                    "single-flight makes the build count exact; any "
+                    "drift is a correctness bug)")
+        if wall_comparable:
+            bl, cl = b.get("wall_s"), c.get("wall_s")
+            if isinstance(bl, (int, float)) and \
+                    isinstance(cl, (int, float)) and \
+                    bl > 0 and cl > bl * budget:
+                failures.append(
+                    f"{c['name']}: wall_s regressed "
+                    f"{bl:.2f}s -> {cl:.2f}s "
+                    f"(> {max_regress_pct:.0f}% budget)")
+    missing = [n for n in base_by_name
+               if n not in {c["name"] for c in cand["circuits"]}]
+    if missing:
+        failures.append(f"candidate dropped modes: {', '.join(missing)}")
+    bw, cw = base["total_wall_s"], cand["total_wall_s"]
+    if wall_comparable and bw > 0 and cw > bw * budget:
+        failures.append(
+            f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
+            f"(> {max_regress_pct:.0f}% budget)")
+    for n in notes:
+        print(f"bench_check: note: {n}", file=sys.stderr)
+    return failures
 
 
 def compare_eco(base, cand, max_regress_pct):
@@ -781,7 +887,99 @@ def selftest():
     assert compare(e_base, e_dropped, 15.0), \
         "dropped eco circuit must fail"
 
-    # Route vs place vs eco are hard errors in every direction.
+    # Serve family (nemfpga-serve-bench-1).
+    s_base = {
+        "schema": "nemfpga-serve-bench-1",
+        "threads": 8,
+        "benchmark": "tseng",
+        "jobs": 16,
+        "w": 64,
+        "timing": False,
+        "seed0": 1,
+        "cache_mb": 4096,
+        "total_wall_s": 14.0,
+        "peak_rss_bytes": 90_000_000,
+        "artifact_build_s": 0.041,
+        "artifact_fetch_s": 1.3e-05,
+        "artifact_amortization": 3192.0,
+        "cache_resident_bytes": 1_000_000,
+        "speedup_warm_vs_cold_seq": 1.22,
+        "circuits": [
+            {"name": "cold-seq", "ok_jobs": 16,
+             "batch_checksum": "67e4e36fd614239f",
+             "cache_misses": 0, "cache_evictions": 0, "cache_reuses": 0,
+             "lookahead_cached": 0, "t_lookahead_build_s": 0.53,
+             "wall_s": 5.4, "jobs_per_s": 2.96},
+            {"name": "cold-batch", "ok_jobs": 16,
+             "batch_checksum": "67e4e36fd614239f",
+             "cache_misses": 2, "cache_evictions": 0, "cache_reuses": 30,
+             "lookahead_cached": 15, "t_lookahead_build_s": 0.03,
+             "wall_s": 4.6, "jobs_per_s": 3.49},
+            {"name": "warm-batch", "ok_jobs": 16,
+             "batch_checksum": "67e4e36fd614239f",
+             "cache_misses": 0, "cache_evictions": 0, "cache_reuses": 32,
+             "lookahead_cached": 16, "t_lookahead_build_s": 0.0,
+             "wall_s": 4.4, "jobs_per_s": 3.62},
+        ],
+    }
+    s_same = json.loads(json.dumps(s_base))
+    assert compare(s_base, s_same, 15.0) == [], \
+        "identical serve runs must pass"
+
+    s_drift = json.loads(json.dumps(s_base))
+    s_drift["circuits"][0]["batch_checksum"] = "deadbeef00000000"
+    assert compare(s_base, s_drift, 15.0), \
+        "serve batch-checksum drift must fail (jobs are bit-identical " \
+        "to solo flows)"
+
+    s_drift = json.loads(json.dumps(s_base))
+    s_drift["circuits"][1]["cache_misses"] = 3
+    assert compare(s_base, s_drift, 15.0), \
+        "cache build-count drift must fail (single-flight makes it exact)"
+
+    s_drift = json.loads(json.dumps(s_base))
+    s_drift["circuits"][2]["lookahead_cached"] = 15
+    assert compare(s_base, s_drift, 15.0), \
+        "lookahead_cached drift must fail (warm jobs all hit)"
+
+    s_slow = json.loads(json.dumps(s_base))
+    s_slow["circuits"][2]["wall_s"] = 5.5
+    assert compare(s_base, s_slow, 15.0), \
+        "a 25% warm-batch wall regression must fail"
+    assert not compare(s_base, s_slow, 30.0), \
+        "the same regression passes inside a 30% budget"
+
+    # Cross-thread: wall comparisons are refused, the deterministic
+    # counters stay fully pinned — that diff is the worker-count
+    # invariance audit.
+    s_t1 = json.loads(json.dumps(s_base))
+    s_t1["threads"] = 1
+    s_t1["total_wall_s"] = 99.0
+    s_t1["circuits"][2]["wall_s"] = 50.0
+    assert compare(s_base, s_t1, 15.0) == [], \
+        "cross-thread serve wall time must not trip any budget"
+    s_t1["circuits"][2]["batch_checksum"] = "thread-diverged"
+    assert compare(s_base, s_t1, 15.0), \
+        "cross-thread serve checksum drift must fail (scheduler is pinned)"
+
+    # A different job mix is a different configuration: coverage only.
+    s_mix = json.loads(json.dumps(s_base))
+    s_mix["jobs"] = 32
+    s_mix["circuits"][0]["batch_checksum"] = "mix-differs"
+    s_mix["circuits"][0]["cache_misses"] = 99
+    assert compare(s_base, s_mix, 15.0) == [], \
+        "different job count must refuse counter/checksum diffs"
+    s_mix_drop = json.loads(json.dumps(s_mix))
+    s_mix_drop["circuits"] = s_mix["circuits"][:2]
+    assert compare(s_base, s_mix_drop, 15.0), \
+        "dropped mode still fails across job mixes"
+
+    s_dropped = json.loads(json.dumps(s_base))
+    s_dropped["circuits"] = s_base["circuits"][:2]
+    assert compare(s_base, s_dropped, 15.0), \
+        "dropped serve mode must fail"
+
+    # Route vs place vs eco vs serve are hard errors in every direction.
     assert compare(m_base, p_base, 15.0), \
         "route-vs-place comparison must be refused loudly"
     assert compare(p_base, m_base, 15.0), \
@@ -790,6 +988,10 @@ def selftest():
         "eco-vs-route comparison must be refused loudly"
     assert compare(p_base, e_base, 15.0), \
         "place-vs-eco comparison must be refused loudly"
+    assert compare(s_base, m_base, 15.0), \
+        "serve-vs-route comparison must be refused loudly"
+    assert compare(e_base, s_base, 15.0), \
+        "eco-vs-serve comparison must be refused loudly"
     print("bench_check selftest: OK")
 
 

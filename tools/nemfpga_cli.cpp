@@ -5,6 +5,7 @@
 //   nemfpga flow   --synth 1000 [--inputs N] [--latches N] [...]
 //   nemfpga width  --benchmark alu4            # find Wmin / 1.2x Wmin
 //   nemfpga eco    --benchmark tseng [--edits 20] [--edit-seed 1]
+//   nemfpga serve  [--port 0] [--threads 8] [--cache-mb 4096]
 //   nemfpga device                             # relay device card
 //
 // Exit code 0 on success; diagnostic text on stderr, reports on stdout.
@@ -22,6 +23,7 @@
 #include "netlist/simulate.hpp"
 #include "netlist/synth_gen.hpp"
 #include "route/report.hpp"
+#include "service/server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "verify/generators.hpp"
@@ -49,6 +51,9 @@ struct Args {
   double downsize = 4.0;
   std::size_t edits = 20;
   std::uint64_t edit_seed = 1;
+  std::size_t port = 0;
+  std::size_t threads = 8;
+  std::size_t cache_mb = 4096;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -61,6 +66,10 @@ struct Args {
                "  eco     replay a seeded edit stream through a live\n"
                "          incremental ECO session and report per-edit\n"
                "          reroute latency\n"
+               "  serve   long-lived flow-as-a-service daemon: accepts\n"
+               "          place-and-route jobs as newline-delimited JSON\n"
+               "          over TCP (loopback) and runs them concurrently\n"
+               "          over a shared content-addressed artifact cache\n"
                "  device  print the NEM relay device card\n"
                "options:\n"
                "  --benchmark NAME   a cataloged circuit (e.g. alu4, clma)\n"
@@ -85,7 +94,13 @@ struct Args {
                "  --study            full CMOS vs CMOS-NEM comparison\n"
                "  --activity         simulate per-net switching activities\n"
                "  --edits N          eco: edit-stream length (default 20)\n"
-               "  --edit-seed S      eco: edit-stream seed (default 1)\n");
+               "  --edit-seed S      eco: edit-stream seed (default 1)\n"
+               "  --port P           serve: TCP port (default 0 = pick an\n"
+               "                     ephemeral port and print it)\n"
+               "  --threads N        serve: concurrent flow workers "
+               "(default 8)\n"
+               "  --cache-mb N       serve: artifact-cache budget "
+               "(default 4096)\n");
   std::exit(2);
 }
 
@@ -114,6 +129,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--crit-exp") a.crit_exp = std::stod(value());
     else if (flag == "--edits") a.edits = std::stoul(value());
     else if (flag == "--edit-seed") a.edit_seed = std::stoull(value());
+    else if (flag == "--port") a.port = std::stoul(value());
+    else if (flag == "--threads") a.threads = std::stoul(value());
+    else if (flag == "--cache-mb") a.cache_mb = std::stoul(value());
     else if (flag == "--study") a.study = true;
     else if (flag == "--activity") a.activity = true;
     else usage(("unknown option " + flag).c_str());
@@ -195,7 +213,8 @@ int cmd_flow(const Args& a) {
                static_cast<unsigned long long>(rc.conflict_replays),
                rc.t_lookahead_build_s);
   std::fprintf(stderr, "%s",
-               summarize_routing(*flow.graph, flow.placement, flow.routing)
+               summarize_routing(flow.graph_view(), flow.placement,
+                                 flow.routing)
                    .to_string()
                    .c_str());
 
@@ -326,6 +345,27 @@ int cmd_eco(const Args& a) {
   return 0;
 }
 
+int cmd_serve(const Args& a) {
+  if (a.port > 65535) usage("--port must be <= 65535");
+  ServeOptions opt;
+  opt.port = static_cast<std::uint16_t>(a.port);
+  opt.workers = a.threads;
+  opt.cache_bytes = a.cache_mb << 20;
+  ServeServer server(opt);
+  std::fprintf(stderr,
+               "nemfpga serve: listening on 127.0.0.1:%u (%zu workers, "
+               "%zu MB artifact cache)\n",
+               static_cast<unsigned>(server.port()), a.threads, a.cache_mb);
+  std::fprintf(stderr,
+               "protocol: newline-delimited JSON, e.g.\n"
+               "  {\"op\":\"flow\",\"id\":1,\"benchmark\":\"tseng\","
+               "\"w\":64}\n"
+               "  {\"op\":\"stats\"} / {\"op\":\"shutdown\"}\n");
+  server.run();
+  std::fprintf(stderr, "nemfpga serve: %s\n", server.stats_json().c_str());
+  return 0;
+}
+
 int cmd_device() {
   for (const auto& [label, d] :
        {std::pair{"fabricated (Fig 2b)", fabricated_relay()},
@@ -353,6 +393,7 @@ int main(int argc, char** argv) {
     if (a.command == "flow") return cmd_flow(a);
     if (a.command == "width") return cmd_width(a);
     if (a.command == "eco") return cmd_eco(a);
+    if (a.command == "serve") return cmd_serve(a);
     if (a.command == "device") return cmd_device();
     usage(("unknown command " + a.command).c_str());
   } catch (const std::exception& e) {

@@ -20,8 +20,13 @@
 # minority of precondition-violating ops) through a live EcoFlow session,
 # checking every apply against the from-scratch oracle (bitwise packing/
 # placed-net equivalence, legal routing, zero overuse, 1e-12 STA
-# agreement); the campaign finishes with the dedicated incremental-vs-full
-# STA property over randomized rip-up sequences.
+# agreement); next comes the dedicated incremental-vs-full STA property
+# over randomized rip-up sequences. The campaign finishes with the
+# flow-cache concurrency property: randomized concurrent job mixes
+# (mutated seeds/widths/timing modes, 1..8 scheduler workers, coin-flip
+# tiny-budget caches that force eviction churn) submitted through the
+# shared artifact cache + job scheduler, with every job's result checked
+# bit-identical against a solo self-contained run_flow.
 # Runs under whatever sanitizer configuration the build directory was
 # configured with; for the zero-crash guarantee the harness is designed
 # around, run it against an ASan/UBSan build:
@@ -134,4 +139,20 @@ STA_CASES=$((ITERS / 500))
 [ "$STA_CASES" -ge 20 ] || STA_CASES=20
 echo "run_fuzz.sh: $STA_BIN (NF_PROP_CASES=$STA_CASES NF_PROP_SEED=$SEED," \
      "randomized rip-up sequences vs full-recompute STA)"
-NF_PROP_CASES="$STA_CASES" NF_PROP_SEED="$SEED" exec "$STA_BIN"
+NF_PROP_CASES="$STA_CASES" NF_PROP_SEED="$SEED" "$STA_BIN"
+
+CACHE_BIN=$(find_bin prop_flow_cache)
+if [ -z "${CACHE_BIN:-}" ] || [ ! -x "$CACHE_BIN" ]; then
+  echo "run_fuzz.sh: prop_flow_cache not built; skipping the concurrent" \
+       "job-mix campaign" >&2
+  exit 0
+fi
+
+CACHE_CASES=$((ITERS / 1000))
+[ "$CACHE_CASES" -ge 12 ] || CACHE_CASES=12
+echo "run_fuzz.sh: $CACHE_BIN (NF_PROP_CASES=$CACHE_CASES" \
+     "NF_PROP_SEED=$SEED, randomized concurrent job mixes — mutated" \
+     "seeds/widths/timing, 1..8 workers, coin-flip tiny-budget caches —" \
+     "each job checked bit-identical against a solo run_flow)"
+NF_PROP_CASES="$CACHE_CASES" NF_PROP_SEED="$SEED" exec "$CACHE_BIN" \
+    --gtest_filter='PropFlowCache.ConcurrentJobMixesMatchSoloFlows'
