@@ -395,11 +395,11 @@ int main(int argc, char** argv) {
   ArtifactCache acache(cfg.cache_mb << 20);
   const double tb = now_s();
   (void)make_flow_artifacts(&acache, aopt.arch, nx, nx, aopt.route,
-                            aopt.timing_variant);
+                            aopt.timing_backend);
   const double artifact_build_s = now_s() - tb;
   const double tf = now_s();
   (void)make_flow_artifacts(&acache, aopt.arch, nx, nx, aopt.route,
-                            aopt.timing_variant);
+                            aopt.timing_backend);
   const double artifact_fetch_s = now_s() - tf;
   std::printf(
       "  artifacts: build %.3f s, warm fetch %.6f s (%.0fx amortized)\n",

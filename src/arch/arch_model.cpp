@@ -61,7 +61,8 @@ TileComposition tile_composition(const ArchParams& arch) {
   return c;
 }
 
-TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
+TileArea tile_area(const TileComposition& comp,
+                   const SwitchAreaPolicy& policy,
                    const BufferAreas& buffers, const AreaCosts& costs) {
   TileArea a;
   const double mw = costs.mwta_area;
@@ -84,23 +85,29 @@ TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
                static_cast<double>(comp.wire_buffers) * buffers.wire) *
               mw;
 
+  a.routing_switches = policy.switch_mwta_factor * switch_mwta * mw;
+  a.routing_sram = policy.config_bits_in_plane ? sram_mwta * mw : 0.0;
+  // Switch cells in a stacked BEOL layer (relays, RRAM dots) compete with
+  // the CMOS plane for the footprint: the stack cannot be smaller than
+  // either plane.
+  a.relay_layer = static_cast<double>(comp.total_routing_switches()) *
+                  policy.stacked_cell_area;
+  a.cmos_plane = a.logic + a.routing_switches + a.routing_sram + a.buffers;
+  a.footprint = std::max(a.cmos_plane, a.relay_layer);
+  return a;
+}
+
+TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
+                   const BufferAreas& buffers, const AreaCosts& costs) {
+  SwitchAreaPolicy policy;
   if (fabric == RoutingFabric::kCmosPassTransistor) {
-    a.routing_switches = switch_mwta * mw;
-    a.routing_sram = sram_mwta * mw;
-    a.relay_layer = 0.0;
-    a.cmos_plane = a.logic + a.routing_switches + a.routing_sram + a.buffers;
-    a.footprint = a.cmos_plane;
+    policy = {1.0, true, 0.0};
   } else {
     // Relays replace both the switch and its SRAM cell; they live in the
     // BEOL layer above the CMOS plane.
-    a.routing_switches = 0.0;
-    a.routing_sram = 0.0;
-    a.relay_layer = static_cast<double>(comp.total_routing_switches()) *
-                    costs.relay_cell_area;
-    a.cmos_plane = a.logic + a.buffers;
-    a.footprint = std::max(a.cmos_plane, a.relay_layer);
+    policy = {0.0, false, costs.relay_cell_area};
   }
-  return a;
+  return tile_area(comp, policy, buffers, costs);
 }
 
 double tile_pitch(const TileArea& area) { return std::sqrt(area.footprint); }

@@ -12,6 +12,7 @@
 
 #include "arch/params.hpp"
 #include "device/cmos.hpp"
+#include "device/switch_tech.hpp"
 
 namespace nemfpga {
 
@@ -80,8 +81,17 @@ struct TileArea {
   double footprint = 0.0;
 };
 
-/// Area of one tile for the given fabric. For kNemRelay the switch and
-/// routing-SRAM area leaves the CMOS plane and becomes relay-layer area.
+/// Area of one tile under a switch-technology area policy: the in-plane
+/// switch MWTA scales with policy.switch_mwta_factor, routing-config SRAM
+/// stays in the plane only when policy.config_bits_in_plane, and a
+/// stacked (BEOL) layer of policy.stacked_cell_area per switch competes
+/// with the CMOS plane for the footprint.
+TileArea tile_area(const TileComposition& comp,
+                   const SwitchAreaPolicy& policy,
+                   const BufferAreas& buffers, const AreaCosts& costs = {});
+
+/// Legacy two-fabric convenience: kCmosPassTransistor = {1.0, true, 0},
+/// kNemRelay = {0.0, false, costs.relay_cell_area}.
 TileArea tile_area(const TileComposition& comp, RoutingFabric fabric,
                    const BufferAreas& buffers, const AreaCosts& costs = {});
 

@@ -2,6 +2,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace nemfpga {
 
@@ -10,6 +14,47 @@ enum class RoutingFabric {
   kCmosPassTransistor,  ///< NMOS pass transistor + SRAM cell (Fig 3a).
   kNemRelay,            ///< Single NEM relay, no SRAM (Fig 3b).
 };
+
+/// Switch-box turn pattern: which track a wire connects to when turning
+/// into a perpendicular channel. Straight continuations always stay on
+/// the same track; the pattern only selects the turn targets. Both
+/// RR-graph backends (explicit and implicit) consume it through
+/// ArchParams::sb_turn_track so they stay symmetric by construction.
+enum class SbPattern : std::uint8_t {
+  kWilton,     ///< Fixed +/-5 track rotation at turns (the historical
+               ///< default; every golden checksum pins this pattern).
+  kSubset,     ///< Disjoint/planar: turns stay on the same track.
+  kUniversal,  ///< Track t turns onto W-1-t (reflection).
+  kCustom,     ///< Wilton-style rotation by ArchParams::sb_custom_rot.
+};
+
+/// Registry-style names for SbPattern (CLI flags, cache keys, reports).
+constexpr std::string_view sb_pattern_name(SbPattern p) {
+  switch (p) {
+    case SbPattern::kSubset: return "subset";
+    case SbPattern::kUniversal: return "universal";
+    case SbPattern::kCustom: return "custom";
+    case SbPattern::kWilton: break;
+  }
+  return "wilton";
+}
+
+/// The recognized pattern names joined for error text.
+inline std::string sb_pattern_names() {
+  return "wilton / subset / universal / custom";
+}
+
+/// Parse a pattern name; throws std::invalid_argument listing the
+/// recognized choices on an unknown name.
+inline SbPattern sb_pattern_from_name(std::string_view name) {
+  if (name == "wilton") return SbPattern::kWilton;
+  if (name == "subset") return SbPattern::kSubset;
+  if (name == "universal") return SbPattern::kUniversal;
+  if (name == "custom") return SbPattern::kCustom;
+  throw std::invalid_argument("unknown switch-block pattern '" +
+                              std::string(name) +
+                              "' (recognized: " + sb_pattern_names() + ")");
+}
 
 struct ArchParams {
   std::size_t N = 10;   ///< LUTs per logic block.
@@ -22,6 +67,12 @@ struct ArchParams {
 
   /// IO pads per perimeter site.
   std::size_t io_per_pad = 8;
+
+  /// Switch-box turn pattern (see SbPattern). Wilton is the historical
+  /// default every golden checksum was recorded against.
+  SbPattern sb_pattern = SbPattern::kWilton;
+  /// Turn rotation for SbPattern::kCustom (taken modulo W).
+  std::size_t sb_custom_rot = 5;
 
   /// Connect every switch-box / output-pin candidate instead of the
   /// fc- and Wilton-limited selections. Never used for a routable
@@ -47,6 +98,34 @@ struct ArchParams {
   std::size_t fc_out_tracks() const {
     const auto t = static_cast<std::size_t>(fc_out * static_cast<double>(W) + 0.5);
     return t == 0 ? 1 : t;
+  }
+
+  /// Target track when `track` turns into a perpendicular channel through
+  /// a switch box; `plus` selects the up/right turn, `!plus` the
+  /// down/left one. Both RR-graph backends route their turn connections
+  /// through this single function, so a pattern is symmetric across the
+  /// explicit and implicit builders by construction.
+  ///
+  /// kWilton keeps the exact legacy expressions (including the size_t
+  /// wraparound semantics of `track + W - 5` when W < 5) — the historical
+  /// edge enumeration feeds the router's heap tie-breaking, so changing
+  /// even the W<5 corner would break golden bit-identity. kCustom uses
+  /// the normalized rotation instead.
+  std::size_t sb_turn_track(std::size_t track, bool plus) const {
+    switch (sb_pattern) {
+      case SbPattern::kSubset:
+        return track;
+      case SbPattern::kUniversal:
+        return (W - 1) - track;
+      case SbPattern::kCustom: {
+        const std::size_t r = sb_custom_rot % W;
+        return plus ? (track + r) % W : (track + W - r) % W;
+      }
+      case SbPattern::kWilton:
+        break;
+    }
+    const std::size_t rot = 5;  // Wilton rotation applied at turns
+    return plus ? (track + rot) % W : (track + W - rot) % W;
   }
 };
 

@@ -367,11 +367,12 @@ void RrGraph::build_edges() {
 
   // --- Switch-box wire -> wire edges --------------------------------------
   // Each wire's end connects to Fs driver muxes: the straight continuation
-  // (same track) plus one turn into each perpendicular direction. Turns use
-  // a Wilton-style track rotation (+/- a few tracks) so that every track is
-  // reachable from every other within a handful of switch boxes — a plain
-  // disjoint pattern would split the fabric into near-isolated track
-  // domains.
+  // (same track) plus one turn into each perpendicular direction. The turn
+  // targets come from ArchParams::sb_turn_track — Wilton's +/-5 rotation by
+  // default (every track reachable from every other within a handful of
+  // switch boxes; a plain disjoint pattern splits the fabric into
+  // near-isolated track domains), or the subset / universal / custom
+  // pattern selected by arch.sb_pattern.
   auto prefer_track = [&](const std::vector<RrNodeId>& cands,
                           std::size_t track) -> RrNodeId {
     if (cands.empty()) return kNoRrNode;
@@ -399,8 +400,6 @@ void RrGraph::build_edges() {
     const RrNodeId w = prefer_track(cands, track);
     if (w != kNoRrNode) add_edge(from, w, RrSwitch::kWireToWire);
   };
-  const std::size_t rot = 5;  // Wilton rotation applied at turns
-
   const auto n_nodes = static_cast<RrNodeId>(nodes_.size());
   for (RrNodeId id = 0; id < n_nodes; ++id) {
     const RrNode& n = nodes_[id];
@@ -417,10 +416,10 @@ void RrGraph::build_edges() {
       const std::size_t i = n.increasing ? end : end - 1;
       if (i <= nx_) {
         connect(id, wires_starting_y(i, j + 1, true),
-                (n.track + rot) % arch_.W);
+                arch_.sb_turn_track(n.track, true));
         if (j >= 1) {
           connect(id, wires_starting_y(i, j, false),
-                  (n.track + arch_.W - rot) % arch_.W);
+                  arch_.sb_turn_track(n.track, false));
         }
       }
     } else if (n.type == RrType::kChanY) {
@@ -433,10 +432,10 @@ void RrGraph::build_edges() {
       const std::size_t j = n.increasing ? end : end - 1;
       if (j <= ny_) {
         connect(id, wires_starting_x(j, i + 1, true),
-                (n.track + rot) % arch_.W);
+                arch_.sb_turn_track(n.track, true));
         if (i >= 1) {
           connect(id, wires_starting_x(j, i, false),
-                  (n.track + arch_.W - rot) % arch_.W);
+                  arch_.sb_turn_track(n.track, false));
         }
       }
     }
@@ -952,8 +951,6 @@ void ImplicitRrGraph::append_wire_edges(const RrNode& n, RrNodeId id,
                                         std::vector<RrEdge>& out) const {
   (void)id;
   const std::size_t t = n.track;
-  const std::size_t rot = 5;  // Wilton rotation applied at turns
-  const std::size_t W = arch_.W;
   if (n.type == RrType::kChanX) {
     const std::size_t j = n.y_lo;
     // Connection-box taps, in the explicit builder's y-major site-scan
@@ -973,7 +970,7 @@ void ImplicitRrGraph::append_wire_edges(const RrNode& n, RrNodeId id,
       }
     }
     // Switch-box moves past the wire's driven end: straight, then the
-    // +rot turn up, then the -rot turn down.
+    // pattern's up turn, then its down turn (sb_turn_track).
     const std::size_t end = n.increasing ? n.x_hi : n.x_lo;
     const std::size_t next_x = n.increasing ? end + 1 : end - 1;
     if (next_x >= 1 && next_x <= nx_) {
@@ -981,9 +978,9 @@ void ImplicitRrGraph::append_wire_edges(const RrNode& n, RrNodeId id,
     }
     const std::size_t i = n.increasing ? end : end - 1;
     if (i <= nx_) {
-      connect_y(i, j + 1, true, (t + rot) % W, out);
+      connect_y(i, j + 1, true, arch_.sb_turn_track(t, true), out);
       if (j >= 1) {
-        connect_y(i, j, false, (t + W - rot) % W, out);
+        connect_y(i, j, false, arch_.sb_turn_track(t, false), out);
       }
     }
   } else {
@@ -1009,9 +1006,9 @@ void ImplicitRrGraph::append_wire_edges(const RrNode& n, RrNodeId id,
     }
     const std::size_t j = n.increasing ? end : end - 1;
     if (j <= ny_) {
-      connect_x(j, i + 1, true, (t + rot) % W, out);
+      connect_x(j, i + 1, true, arch_.sb_turn_track(t, true), out);
       if (i >= 1) {
-        connect_x(j, i, false, (t + W - rot) % W, out);
+        connect_x(j, i, false, arch_.sb_turn_track(t, false), out);
       }
     }
   }

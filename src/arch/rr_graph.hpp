@@ -189,7 +189,8 @@ struct SiteRef {
 /// holding the same per-track segment layout (a per-track prefix array
 /// makes id <-> (channel, track, segment) invertible in O(log W)).
 /// Neighbors are derived arithmetically from the segment class (stagger
-/// phase), the Wilton switch-box pattern and the fc tap masks; edge
+/// phase), the arch's switch-box pattern (sb_turn_track — Wilton by
+/// default) and the fc tap masks; edge
 /// enumeration replays the explicit builder's append order exactly, so the
 /// two backends are node/edge-set- AND edge-order-identical, which is what
 /// keeps heap tie-breaking — and therefore routing — bit-identical.
@@ -263,7 +264,7 @@ class ImplicitRrGraph {
   void wires_starting_y(std::size_t i, std::size_t y, bool increasing,
                         std::vector<RrNodeId>& out) const;
 
-  /// Nearest-track Wilton pick among the starts at (chan, pos): scan
+  /// Nearest-track pick among the starts at (chan, pos): scan
   /// distance 0, 1, ... preferring the lower track — the same winner as
   /// the explicit builder's first-minimum scan over an ascending
   /// candidate list.

@@ -30,7 +30,7 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
   // downstream consumers (bitstream, timing, power) read graph_view().
   FlowArtifacts art =
       make_flow_artifacts(opt.artifact_cache, r.arch, nx, ny, opt.route,
-                          opt.timing_variant);
+                          opt.timing_backend);
   r.graph = art.rr;
   r.igraph = art.irr;
   const RrGraphView gv = art.view();
@@ -44,7 +44,7 @@ FlowResult run_flow(Netlist netlist, const FlowOptions& opt) {
     // Unified delay layer: one electrical view feeds the delay model,
     // the delay-annotated lookahead and the incremental STA driving the
     // router's criticality blend (a fresh hook per route_all call).
-    const ElectricalView view = make_view(r.arch, opt.timing_variant);
+    const ElectricalView view = make_view(r.arch, opt.timing_backend);
     const auto hook = make_incremental_sta(
         r.netlist, r.packing, r.placement, gv, view, ropt.criticality_exp,
         ropt.max_criticality, art.delay_model);
@@ -81,7 +81,7 @@ ChannelWidthResult flow_min_channel_width(Netlist netlist,
     probe.timing_driven = false;
     probe.rr_backend = RrBackend::kImplicit;
     const FlowArtifacts art = make_flow_artifacts(
-        opt.artifact_cache, opt.arch, nx, ny, probe, opt.timing_variant);
+        opt.artifact_cache, opt.arch, nx, ny, probe, opt.timing_backend);
     ropt.lookahead = art.lookahead;
     ropt.lookahead_build_s = art.lookahead_build_s;
     ropt.lookahead_from_cache = art.lookahead_from_cache;

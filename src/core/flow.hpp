@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "arch/rr_graph.hpp"
 #include "netlist/netlist.hpp"
@@ -22,12 +23,13 @@ struct FlowOptions {
   ArchParams arch;
   PlaceOptions place;
   RouteOptions route;
-  /// Electrical view driving the unified delay layer when
+  /// Registry name of the switch-technology backend
+  /// (device/switch_tech.hpp) driving the unified delay layer when
   /// route.timing_driven is set: run_flow builds the delay model and an
-  /// incremental-STA timing hook from this variant and hands both to the
-  /// router (route.timing_hook is then managed internally and must be
-  /// left null by callers).
-  FpgaVariant timing_variant = FpgaVariant::kCmosBaseline;
+  /// incremental-STA timing hook from this backend's electrical view and
+  /// hands both to the router (route.timing_hook is then managed
+  /// internally and must be left null by callers).
+  std::string timing_backend = "cmos";
   /// Shared content-addressed cache for the pre-route immutable
   /// artifacts (RR graph, lookahead table, delay model —
   /// src/service/artifact_cache.hpp). Null runs the classic fully

@@ -6,16 +6,17 @@
 
 namespace nemfpga {
 
-VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
+VariantMetrics evaluate_backend(const FlowResult& flow,
+                                std::string_view backend,
                                 double wire_buffer_downsize,
                                 const PowerOptions& power_opt) {
-  if (!flow.routed()) throw std::invalid_argument("evaluate_variant: unrouted");
+  if (!flow.routed()) throw std::invalid_argument("evaluate_backend: unrouted");
   VariantMetrics m;
-  m.variant = variant;
+  m.backend = std::string(backend);
   m.wire_buffer_downsize = wire_buffer_downsize;
 
   const ElectricalView view =
-      make_view(flow.arch, variant, wire_buffer_downsize);
+      make_view(flow.arch, backend, wire_buffer_downsize);
   m.timing = analyze_timing(flow.netlist, flow.packing, flow.placement,
                             flow.graph_view(), flow.routing, view);
   m.critical_path = m.timing.critical_path;
@@ -33,6 +34,13 @@ VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
       static_cast<double>(flow.placement.nx * flow.placement.ny);
   m.area = n_tiles * view.area.footprint;
   return m;
+}
+
+VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
+                                double wire_buffer_downsize,
+                                const PowerOptions& power_opt) {
+  return evaluate_backend(flow, variant_backend_name(variant),
+                          wire_buffer_downsize, power_opt);
 }
 
 VersusBaseline compare(const VariantMetrics& baseline,

@@ -5,6 +5,8 @@
 // "preferred corner" and the headline reduction factors.
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -14,9 +16,9 @@
 
 namespace nemfpga {
 
-/// Absolute metrics of one variant on one mapped design.
+/// Absolute metrics of one switch-technology backend on one mapped design.
 struct VariantMetrics {
-  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+  std::string backend = "cmos";  ///< Registry name (device/switch_tech.hpp).
   double wire_buffer_downsize = 1.0;
   double critical_path = 0.0;   ///< [s]
   double dynamic_power = 0.0;   ///< [W]
@@ -35,7 +37,14 @@ struct VersusBaseline {
   double area_reduction = 0.0;      ///< area_base / area_variant.
 };
 
-/// Evaluate one variant over an already-mapped design.
+/// Evaluate one registered switch-technology backend over an
+/// already-mapped design.
+VariantMetrics evaluate_backend(const FlowResult& flow,
+                                std::string_view backend,
+                                double wire_buffer_downsize = 1.0,
+                                const PowerOptions& power_opt = {});
+
+/// Paper-variant convenience: evaluate_backend(flow, variant name, ...).
 VariantMetrics evaluate_variant(const FlowResult& flow, FpgaVariant variant,
                                 double wire_buffer_downsize = 1.0,
                                 const PowerOptions& power_opt = {});

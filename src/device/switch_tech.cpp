@@ -1,0 +1,174 @@
+#include "device/switch_tech.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nemfpga {
+namespace {
+
+/// Fig 11 beam (275 x 40 nm) plus anchor, contacts and programming-line
+/// pitch share; calibrated so the stacked relay plane reproduces the
+/// paper's layout result (2.1x tile reduction, Sec 3.4). Kept in sync
+/// with AreaCosts::relay_cell_area (arch/arch_model.hpp).
+constexpr double kRelayCellArea = 0.487e-6 * 0.10e-6;
+
+class CmosPassGate final : public SwitchTechnology {
+ public:
+  std::string_view name() const override { return "cmos"; }
+  SwitchElectrical electrical(const Tech22nm& tech,
+                              const RelayEquivalent&) const override {
+    const PassTransistor& pt = tech.routing_pass_transistor;
+    SwitchElectrical sw;
+    sw.r_on = pt.on_resistance(tech.cmos);
+    sw.c_off_load = tech.cmos.drain_cap(tech.cmos.w_min * pt.width_mult);
+    sw.c_on_load = pt.parasitic_cap(tech.cmos);
+    sw.leak_per_switch = pt.leakage(tech.cmos);
+    return sw;
+  }
+  SwitchAreaPolicy area_policy() const override { return {1.0, true, 0.0}; }
+  SwitchBufferPolicy buffer_policy() const override {
+    return {true, false, false};
+  }
+  double config_leak_per_bit(const Tech22nm& tech) const override {
+    return tech.sram.leakage_power;
+  }
+};
+
+class NemRelayBase : public SwitchTechnology {
+ public:
+  SwitchElectrical electrical(const Tech22nm&,
+                              const RelayEquivalent& relay) const override {
+    SwitchElectrical sw;
+    sw.r_on = relay.ron;
+    sw.c_off_load = relay.coff;  // zero-leakage mechanical air gap
+    sw.c_on_load = relay.con;
+    sw.leak_per_switch = 0.0;
+    return sw;
+  }
+  SwitchAreaPolicy area_policy() const override {
+    return {0.0, false, kRelayCellArea};
+  }
+  double config_leak_per_bit(const Tech22nm&) const override { return 0.0; }
+};
+
+class NemRelayNaive final : public NemRelayBase {
+ public:
+  std::string_view name() const override { return "nem-naive"; }
+  SwitchBufferPolicy buffer_policy() const override {
+    // Relays (full swing) but buffers retained at their natural size.
+    return {true, true, false};
+  }
+};
+
+class NemRelayOptimized final : public NemRelayBase {
+ public:
+  std::string_view name() const override { return "nem-opt"; }
+  SwitchBufferPolicy buffer_policy() const override {
+    return {false, true, true};
+  }
+};
+
+/// 4T1R-style resistive switch [cf. tangxifan vpr7_rram]: the RRAM cell
+/// sits between metal layers (tiny BEOL footprint), its four programming
+/// transistors stay in the CMOS plane, and the LRS/HRS state is
+/// nonvolatile — no SRAM cell and no SRAM leakage, but a finite HRS
+/// sneak current through every off switch. Full swing (a resistor has no
+/// Vt drop), so buffers are plain inverter chains like the relay fabric.
+class Rram4T1R final : public SwitchTechnology {
+ public:
+  std::string_view name() const override { return "rram"; }
+  SwitchElectrical electrical(const Tech22nm& tech,
+                              const RelayEquivalent&) const override {
+    SwitchElectrical sw;
+    sw.r_on = kLrsResistance;
+    sw.c_off_load = kCellCap;
+    sw.c_on_load = kCellCap;
+    sw.leak_per_switch = tech.cmos.vdd / kHrsResistance;
+    return sw;
+  }
+  SwitchAreaPolicy area_policy() const override {
+    // Programming transistors amortize to ~2 min-width devices of extra
+    // in-plane area per switch on top of the pass-gate MWTA baseline;
+    // the cell itself is a ~100 nm pitch BEOL dot.
+    return {2.0, false, kCellArea};
+  }
+  SwitchBufferPolicy buffer_policy() const override {
+    return {true, true, false};
+  }
+  double config_leak_per_bit(const Tech22nm&) const override { return 0.0; }
+
+ private:
+  static constexpr double kLrsResistance = 4e3;   ///< On (LRS) [Ohm].
+  static constexpr double kHrsResistance = 1e8;   ///< Off (HRS) [Ohm].
+  static constexpr double kCellCap = 4e-17;       ///< Cell + via [F].
+  static constexpr double kCellArea = 100e-9 * 100e-9;  ///< BEOL [m^2].
+};
+
+std::vector<std::unique_ptr<const SwitchTechnology>>& registry() {
+  static std::vector<std::unique_ptr<const SwitchTechnology>> r = [] {
+    std::vector<std::unique_ptr<const SwitchTechnology>> v;
+    v.push_back(std::make_unique<CmosPassGate>());
+    v.push_back(std::make_unique<NemRelayNaive>());
+    v.push_back(std::make_unique<NemRelayOptimized>());
+    v.push_back(std::make_unique<Rram4T1R>());
+    return v;
+  }();
+  return r;
+}
+
+/// Legacy spellings kept for the serve protocol and old scripts.
+std::string_view resolve_alias(std::string_view name) {
+  if (name == "nem" || name == "nem_naive") return "nem-naive";
+  if (name == "nem_opt" || name == "nem-optimized") return "nem-opt";
+  return name;
+}
+
+const SwitchTechnology* find(std::string_view name) {
+  const std::string_view canonical = resolve_alias(name);
+  for (const auto& t : registry()) {
+    if (t->name() == canonical) return t.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const SwitchTechnology& switch_technology(std::string_view name) {
+  if (const SwitchTechnology* t = find(name)) return *t;
+  throw std::invalid_argument("unknown switch technology '" +
+                              std::string(name) + "' (registered: " +
+                              registered_switch_technology_names() + ")");
+}
+
+bool switch_technology_registered(std::string_view name) {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string_view> registered_switch_technologies() {
+  std::vector<std::string_view> names;
+  names.reserve(registry().size());
+  for (const auto& t : registry()) names.push_back(t->name());
+  return names;
+}
+
+std::string registered_switch_technology_names() {
+  std::string out;
+  for (const auto& t : registry()) {
+    if (!out.empty()) out += " / ";
+    out += t->name();
+  }
+  return out;
+}
+
+void register_switch_technology(
+    std::unique_ptr<const SwitchTechnology> tech) {
+  if (!tech) throw std::invalid_argument("null switch technology");
+  if (find(tech->name()) != nullptr) {
+    throw std::invalid_argument("switch technology '" +
+                                std::string(tech->name()) +
+                                "' already registered");
+  }
+  registry().push_back(std::move(tech));
+}
+
+}  // namespace nemfpga

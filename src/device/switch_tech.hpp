@@ -1,0 +1,117 @@
+// Switch-technology backend registry.
+//
+// The paper's claims are relative — NEM relays vs CMOS pass-gates on the
+// same fabric and flow — so the technology axis is pluggable: a
+// SwitchTechnology backend bundles everything the electrical-view
+// derivation (timing/variant.cpp) needs to know about one way of building
+// a programmable routing switch:
+//
+//   - per-switch electrical figures (Ron, on/off parasitics, off leakage),
+//   - how switches and their configuration storage occupy tile area
+//     (in the CMOS plane, in a stacked BEOL layer, or both),
+//   - the buffer-sizing policy (restoring CMOS chains vs full-swing
+//     inverters, LB buffer removal, wire-buffer downsizing),
+//   - per-configuration-bit standby leakage (SRAM vs nonvolatile).
+//
+// Four backends are registered by default:
+//
+//   cmos       NMOS pass transistor + SRAM cell (Fig 3a); restoring
+//              half-latch buffers everywhere.
+//   nem-naive  NEM relays replace every switch and its SRAM [Chen 10b];
+//              buffers keep their natural (CMOS-computed) sizes.
+//   nem-opt    relays + the paper's technique (Sec 3.2): LB buffers
+//              removed, wire buffers downsized.
+//   rram       4T1R-style resistive switches: BEOL RRAM cell in series,
+//              CMOS-plane programming transistors, nonvolatile (no SRAM),
+//              full swing, finite HRS sneak leakage.
+//
+// The legacy FpgaVariant enum (timing/variant.hpp) survives purely as an
+// alias layer over the first three names so the paper flow reads as before.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/cmos.hpp"
+#include "device/equivalent.hpp"
+
+namespace nemfpga {
+
+/// Per-switch electrical figures as seen by the routing network.
+struct SwitchElectrical {
+  double r_on = 0.0;       ///< Series resistance when configured on [Ohm].
+  double c_off_load = 0.0; ///< Capacitive load of an off switch tap [F].
+  double c_on_load = 0.0;  ///< Parasitic of an on switch [F].
+  double leak_per_switch = 0.0;  ///< Off-state leakage current [A].
+};
+
+/// How a technology's switches and configuration storage occupy the tile.
+/// tile_area() consumes this instead of branching on an enum: the CMOS
+/// pass-gate policy is {1.0, true, 0.0} and the NEM relay policy is
+/// {0.0, false, relay_cell_area} — exactly the two legacy branches.
+struct SwitchAreaPolicy {
+  /// Scales the in-plane (CMOS) MWTA of the switch devices themselves.
+  /// 1.0 = full pass-transistor area, 0.0 = switches leave the plane
+  /// entirely, >1.0 = extra in-plane support devices (e.g. 4T1R
+  /// programming transistors).
+  double switch_mwta_factor = 1.0;
+  /// Configuration bits are SRAM cells in the CMOS plane; false for
+  /// technologies whose switch state is stored in the device itself.
+  bool config_bits_in_plane = true;
+  /// Per-switch footprint in a stacked BEOL layer [m^2] (0 = none). The
+  /// tile footprint is max(cmos_plane, stacked layer).
+  double stacked_cell_area = 0.0;
+};
+
+/// Buffer-sizing policy; timing/variant.cpp interprets the flags against
+/// the circuit-layer buffer constructors (device/ cannot depend on
+/// circuit/, so the policy is declarative).
+struct SwitchBufferPolicy {
+  /// LB input/output buffers retained (the paper's technique removes them).
+  bool lb_buffers_present = true;
+  /// Switches pass full swing: buffers are plain inverter chains with no
+  /// half-latch level restorer. False only for Vt-dropping pass gates.
+  bool full_swing = false;
+  /// Wire buffers may be designed for a pretend load c/downsize (the
+  /// paper's Sec 3.2 sweep). make_view() rejects an explicit downsize on
+  /// backends that do not support it.
+  bool supports_wire_downsize = false;
+};
+
+/// One registered way of implementing the programmable routing switches.
+class SwitchTechnology {
+ public:
+  virtual ~SwitchTechnology() = default;
+  /// Registry name (stable; used in CLI flags and artifact-cache keys).
+  virtual std::string_view name() const = 0;
+  virtual SwitchElectrical electrical(const Tech22nm& tech,
+                                      const RelayEquivalent& relay) const = 0;
+  virtual SwitchAreaPolicy area_policy() const = 0;
+  virtual SwitchBufferPolicy buffer_policy() const = 0;
+  /// Standby leakage [W] per configuration bit (SRAM cell leakage for
+  /// volatile technologies, 0 for mechanical/nonvolatile state).
+  virtual double config_leak_per_bit(const Tech22nm& tech) const = 0;
+};
+
+/// Look up a backend by registry name (a few legacy aliases — "nem",
+/// "nem_opt" — resolve too). Throws std::invalid_argument listing the
+/// registered choices on an unknown name. The returned reference stays
+/// valid for the process lifetime.
+const SwitchTechnology& switch_technology(std::string_view name);
+
+/// True if `name` (or a legacy alias) resolves to a registered backend.
+bool switch_technology_registered(std::string_view name);
+
+/// Registry names in registration order: {"cmos", "nem-naive", ...}.
+std::vector<std::string_view> registered_switch_technologies();
+
+/// The registered names joined as "cmos / nem-naive / ..." for error text.
+std::string registered_switch_technology_names();
+
+/// Register an additional backend (name must be unique). Intended for
+/// experiments and tests; not thread-safe against concurrent lookups.
+void register_switch_technology(std::unique_ptr<const SwitchTechnology> tech);
+
+}  // namespace nemfpga

@@ -46,11 +46,11 @@ EcoFlow::EcoFlow(Netlist netlist, const EcoOptions& opt)
   // one fabric then share a single immutable copy of each.
   FlowArtifacts art =
       make_flow_artifacts(opt_.artifact_cache, opt_.arch, nx_, ny_,
-                          opt_.route, opt_.timing_variant);
+                          opt_.route, opt_.timing_backend);
   eg_ = art.rr;
   ig_ = art.irr;
   dmodel_ = art.delay_model;
-  eview_ = make_view(opt_.arch, opt_.timing_variant);
+  eview_ = make_view(opt_.arch, opt_.timing_backend);
 
   // Frozen packing geometry: membership never changes under ECO, only
   // the derived net sets do.

@@ -68,7 +68,9 @@ struct EcoOptions {
   /// managed internally (a fresh incremental-STA hook per apply when
   /// timing_driven).
   RouteOptions route;
-  FpgaVariant timing_variant = FpgaVariant::kCmosBaseline;
+  /// Switch-technology backend (registry name) for the session's delay
+  /// model and electrical view.
+  std::string timing_backend = "cmos";
   /// Locally re-place connectivity-touched logic blocks through the
   /// incremental cost model before rerouting.
   bool replace_touched = true;

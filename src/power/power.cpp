@@ -134,18 +134,16 @@ PowerBreakdown analyze_power(const Netlist& nl, const Packing& pack,
   }
   p.leak_routing_buffers = n_tiles * buf_leak_per_tile;
 
-  if (view.variant == FpgaVariant::kCmosBaseline) {
-    p.leak_routing_sram = n_tiles *
-                          static_cast<double>(comp.routing_sram_bits) *
-                          view.tech.sram.leakage_power;
-    p.leak_pass_transistors = n_tiles *
-                              static_cast<double>(comp.total_routing_switches()) *
-                              view.sw.leak_per_switch * vdd * 0.5;
-  } else {
-    // NEM relays: no configuration SRAM, zero off-state leakage.
-    p.leak_routing_sram = 0.0;
-    p.leak_pass_transistors = 0.0;
-  }
+  // Configuration storage and switch off-state leakage follow the view's
+  // backend figures: SRAM cells leak in volatile (CMOS) fabrics, NEM
+  // relays store state mechanically and leak nothing, and resistive
+  // switches leak through their finite HRS off-resistance.
+  p.leak_routing_sram = n_tiles *
+                        static_cast<double>(comp.routing_sram_bits) *
+                        view.config_leak_per_bit;
+  p.leak_pass_transistors = n_tiles *
+                            static_cast<double>(comp.total_routing_switches()) *
+                            view.sw.leak_per_switch * vdd * 0.5;
 
   const double lut_leak_per_tile =
       static_cast<double>(comp.lut_sram_bits) * view.tech.sram.leakage_power +

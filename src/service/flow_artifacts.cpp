@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "device/switch_tech.hpp"
 #include "timing/variant.hpp"
 
 namespace nemfpga {
@@ -32,6 +33,11 @@ std::string fabric_prefix(const ArchParams& a, std::size_t nx,
   append_size(s, "iopp", a.io_per_pad);
   append_size(s, "nx", nx);
   append_size(s, "ny", ny);
+  s += ",sb=";
+  s += sb_pattern_name(a.sb_pattern);
+  if (a.sb_pattern == SbPattern::kCustom) {
+    append_size(s, "sbrot", a.sb_custom_rot);
+  }
   return s;
 }
 
@@ -68,18 +74,26 @@ std::string lookahead_key(const ArchParams& arch, std::size_t nx,
 }
 
 std::string delay_model_key(const ArchParams& arch, std::size_t nx,
-                            std::size_t ny, FpgaVariant variant) {
+                            std::size_t ny, std::string_view backend) {
   std::string s = "dm/";
   s += fabric_prefix(arch, nx, ny);
   append_width_fields(s, arch);
-  append_size(s, "var", static_cast<std::size_t>(variant));
+  s += ",tech=";
+  // Canonicalize through the registry so legacy alias spellings ("nem",
+  // "nem_opt") share the canonical name's cache entry.
+  s += switch_technology(backend).name();
   return s;
+}
+
+std::string delay_model_key(const ArchParams& arch, std::size_t nx,
+                            std::size_t ny, FpgaVariant variant) {
+  return delay_model_key(arch, nx, ny, variant_backend_name(variant));
 }
 
 FlowArtifacts make_flow_artifacts(ArtifactCache* cache,
                                   const ArchParams& arch, std::size_t nx,
                                   std::size_t ny, const RouteOptions& ropt,
-                                  FpgaVariant variant) {
+                                  std::string_view timing_backend) {
   FlowArtifacts a;
   if (ropt.rr_backend == RrBackend::kImplicit) {
     const auto build = [&] {
@@ -113,13 +127,13 @@ FlowArtifacts make_flow_artifacts(ArtifactCache* cache,
   if (ropt.timing_driven) {
     const auto build = [&] {
       return std::make_shared<const DelayModel>(
-          make_delay_model(gv, make_view(arch, variant)));
+          make_delay_model(gv, make_view(arch, timing_backend)));
     };
     if (cache != nullptr) {
       bool built = false;
       a.delay_model = cache->get_or_build<DelayModel>(
-          delay_model_key(arch, nx, ny, variant), build, delay_model_bytes,
-          &built);
+          delay_model_key(arch, nx, ny, timing_backend), build,
+          delay_model_bytes, &built);
       a.delay_model_from_cache = !built;
     } else {
       a.delay_model = build();

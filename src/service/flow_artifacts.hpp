@@ -6,7 +6,9 @@
 //
 //   RrGraph / ImplicitRrGraph  ("rr/", "irr/")
 //     every ArchParams field + grid (nx, ny). W, fc_in, fc_out and
-//     dense_fanout all shape the node/edge set, so they key.
+//     dense_fanout all shape the node/edge set, so they key; so does
+//     the switch-block pattern (sb_pattern, plus sb_custom_rot when
+//     custom), which selects the turn edges.
 //
 //   RouteLookahead  ("la/")
 //     the table is built over a thin canonical graph that OVERRIDES
@@ -16,13 +18,20 @@
 //     find_min_channel_width has relied on since PR 4, now made
 //     cache-visible so Wmin probes, run_flow and every serve job on the
 //     fabric share one table. The delay-annotated twin additionally
-//     keys on the two DelayProfile constants.
+//     keys on the two DelayProfile constants. The switch-block pattern
+//     keys too (via the shared fabric prefix) even though the thin
+//     graph's dense_fanout makes the table content pattern-independent:
+//     no cached artifact may alias across patterns, and the admissible
+//     superset argument stays a property of the builder, not of the
+//     cache.
 //
 //   DelayModel  ("dm/")
 //     node_delay is parallel to the RR node order, so the full arch +
-//     grid keys, plus the FpgaVariant the ElectricalView is lowered
-//     from. Flows overriding make_view's tech/relay/downsize defaults
-//     must not use the shared cache (run_flow never does).
+//     grid keys, plus the registry name of the switch-technology
+//     backend the ElectricalView is lowered from — no cached model may
+//     alias across technologies. Flows overriding make_view's
+//     tech/relay/downsize defaults must not use the shared cache
+//     (run_flow never does).
 //
 // Doubles are rendered with %.17g (round-trip exact), so two ArchParams
 // compare equal iff their key strings do.
@@ -31,6 +40,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "arch/lookahead.hpp"
 #include "arch/rr_graph.hpp"
@@ -45,6 +55,9 @@ std::string rr_graph_key(const ArchParams& arch, std::size_t nx,
                          std::size_t ny, RrBackend backend);
 std::string lookahead_key(const ArchParams& arch, std::size_t nx,
                           std::size_t ny, const DelayProfile* delay);
+std::string delay_model_key(const ArchParams& arch, std::size_t nx,
+                            std::size_t ny, std::string_view backend);
+/// Paper-variant convenience: keys on variant_backend_name(variant).
 std::string delay_model_key(const ArchParams& arch, std::size_t nx,
                             std::size_t ny, FpgaVariant variant);
 
@@ -80,6 +93,6 @@ struct FlowArtifacts {
 FlowArtifacts make_flow_artifacts(ArtifactCache* cache,
                                   const ArchParams& arch, std::size_t nx,
                                   std::size_t ny, const RouteOptions& ropt,
-                                  FpgaVariant variant);
+                                  std::string_view timing_backend);
 
 }  // namespace nemfpga

@@ -10,18 +10,23 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "device/switch_tech.hpp"
 #include "netlist/mcnc.hpp"
 #include "netlist/synth_gen.hpp"
 
 namespace nemfpga {
 namespace {
 
-FpgaVariant variant_from_string(const std::string& s) {
-  if (s == "cmos") return FpgaVariant::kCmosBaseline;
-  if (s == "nem") return FpgaVariant::kNemNaive;
-  if (s == "nem_opt") return FpgaVariant::kNemOptimized;
-  throw std::runtime_error("unknown variant '" + s +
-                           "' (expected cmos / nem / nem_opt)");
+/// Canonical backend name for the job's "variant" field. The registry
+/// resolves the legacy protocol spellings ("nem", "nem_opt") itself; an
+/// unknown name becomes a job-level error listing the registered
+/// backends.
+std::string backend_from_string(const std::string& s) {
+  if (!switch_technology_registered(s)) {
+    throw std::runtime_error("unknown variant '" + s + "' (registered: " +
+                             registered_switch_technology_names() + ")");
+  }
+  return std::string(switch_technology(s).name());
 }
 
 char hex_digit(std::uint64_t v) {
@@ -127,8 +132,10 @@ FlowJob job_from_json(const JsonObject& o, const ServeOptions& defaults) {
         static_cast<std::uint64_t>(o.get_number("seed", 1.0));
   }
   job.opt.route.timing_driven = o.get_bool("timing", false);
-  job.opt.timing_variant =
-      variant_from_string(o.get_string("variant", "cmos"));
+  job.opt.timing_backend =
+      backend_from_string(o.get_string("variant", "cmos"));
+  job.opt.arch.sb_pattern =
+      sb_pattern_from_name(o.get_string("sb_pattern", "wilton"));
   return job;
 }
 

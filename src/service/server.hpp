@@ -13,7 +13,10 @@
 // "synth_luts" (+ optional "inputs"/"outputs"/"latches"/"locality")
 // generates a synthetic one; "w" overrides the channel width, "seed" the
 // placement seed, "timing" enables the timing-driven router, "variant"
-// is one of cmos / nem / nem_opt. Responses come back in request order
+// names a registered switch-technology backend (cmos / nem-naive /
+// nem-opt / rram, with the legacy spellings nem and nem_opt still
+// accepted), "sb_pattern" a switch-block pattern (wilton / subset /
+// universal / custom). Responses come back in request order
 // per connection while the jobs themselves run concurrently on the
 // scheduler (pipelined clients get batch throughput; tree_checksum is a
 // hex string because JSON numbers cannot carry 64 bits). Errors are

@@ -1,29 +1,13 @@
 #include "timing/variant.hpp"
 
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 #include "circuit/logical_effort.hpp"
 
 namespace nemfpga {
 namespace {
-
-SwitchElectrical switch_electrical(FpgaVariant variant, const Tech22nm& tech,
-                                   const RelayEquivalent& relay) {
-  SwitchElectrical sw;
-  if (variant == FpgaVariant::kCmosBaseline) {
-    const PassTransistor& pt = tech.routing_pass_transistor;
-    sw.r_on = pt.on_resistance(tech.cmos);
-    sw.c_off_load = tech.cmos.drain_cap(tech.cmos.w_min * pt.width_mult);
-    sw.c_on_load = pt.parasitic_cap(tech.cmos);
-    sw.leak_per_switch = pt.leakage(tech.cmos);
-  } else {
-    sw.r_on = relay.ron;
-    sw.c_off_load = relay.coff;  // zero-leakage mechanical air gap
-    sw.c_on_load = relay.con;
-    sw.leak_per_switch = 0.0;
-  }
-  return sw;
-}
 
 /// Loads a single segment-wire driver must drive, given a tile pitch.
 double wire_segment_load(const ElectricalView& v, double pitch,
@@ -58,25 +42,48 @@ void fill_logic_delays(ElectricalView& v) {
   v.t_setup = 12e-12;
 }
 
+/// Satellite of the registry refactor: the historical make_view silently
+/// clamped an unusable wire_buffer_downsize to 1.0 — a swallowed
+/// parameter. Now it is a named-parameter error in the strict-CLI style.
+void check_downsize(double downsize, const SwitchTechnology& backend,
+                    const SwitchBufferPolicy& policy) {
+  if (!(downsize >= 1.0) || downsize > 8.0) {
+    std::ostringstream os;
+    os << "bad value for wire_buffer_downsize: '" << downsize
+       << "' (the paper's sweep range is 1..8)";
+    throw std::invalid_argument(os.str());
+  }
+  if (downsize != 1.0 && !policy.supports_wire_downsize) {
+    std::ostringstream os;
+    os << "bad value for wire_buffer_downsize: '" << downsize
+       << "' (switch technology '" << backend.name()
+       << "' does not downsize wire buffers; only a backend with the "
+          "wire-downsize policy, e.g. 'nem-opt', accepts values != 1)";
+    throw std::invalid_argument(os.str());
+  }
+}
+
 }  // namespace
 
-ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
+ElectricalView make_view(const ArchParams& arch,
+                         const SwitchTechnology& backend,
                          double wire_buffer_downsize, const Tech22nm& tech,
                          const RelayEquivalent& relay) {
+  const SwitchBufferPolicy buffers = backend.buffer_policy();
+  const SwitchAreaPolicy area_policy = backend.area_policy();
+  check_downsize(wire_buffer_downsize, backend, buffers);
+
   ElectricalView v;
-  v.variant = variant;
+  v.backend = std::string(backend.name());
   v.arch = arch;
   v.tech = tech;
   v.relay = relay;
-  v.wire_buffer_downsize =
-      variant == FpgaVariant::kNemOptimized ? wire_buffer_downsize : 1.0;
+  v.wire_buffer_downsize = wire_buffer_downsize;
   v.composition = tile_composition(arch);
-  v.sw = switch_electrical(variant, tech, relay);
-  v.lb_buffers_present = variant != FpgaVariant::kNemOptimized;
+  v.sw = backend.electrical(tech, relay);
+  v.config_leak_per_bit = backend.config_leak_per_bit(tech);
+  v.lb_buffers_present = buffers.lb_buffers_present;
 
-  const RoutingFabric fabric = variant == FpgaVariant::kCmosBaseline
-                                   ? RoutingFabric::kCmosPassTransistor
-                                   : RoutingFabric::kNemRelay;
   const CmosTech& t = tech.cmos;
 
   // Fixed point: pitch -> loads -> buffer sizes -> areas -> pitch.
@@ -94,17 +101,18 @@ ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
         xbar_taps * v.sw.c_off_load + local_wire +
         static_cast<double>(arch.fc_out_tracks()) * v.sw.c_off_load;
 
-    // Buffers.
-    if (variant == FpgaVariant::kCmosBaseline) {
-      v.lb_input_buffer = make_cmos_routing_buffer(tech, v.c_lb_input_path);
-      v.lb_output_buffer = make_cmos_routing_buffer(tech, v.c_lb_output_path);
-    } else if (variant == FpgaVariant::kNemNaive) {
-      // Relays (full swing) but buffers retained at their natural size.
+    // Buffers: restoring CMOS chains behind Vt-dropping pass gates,
+    // plain full-swing inverters otherwise, absent when the policy
+    // removes the LB buffers entirely.
+    if (!buffers.lb_buffers_present) {
+      v.lb_input_buffer = RoutingBuffer{};
+      v.lb_output_buffer = RoutingBuffer{};
+    } else if (buffers.full_swing) {
       v.lb_input_buffer = make_nem_wire_buffer(tech, v.c_lb_input_path);
       v.lb_output_buffer = make_nem_wire_buffer(tech, v.c_lb_output_path);
     } else {
-      v.lb_input_buffer = RoutingBuffer{};
-      v.lb_output_buffer = RoutingBuffer{};
+      v.lb_input_buffer = make_cmos_routing_buffer(tech, v.c_lb_input_path);
+      v.lb_output_buffer = make_cmos_routing_buffer(tech, v.c_lb_output_path);
     }
 
     // Wire buffer sized against the real segment load (estimated with its
@@ -113,11 +121,11 @@ ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
                                 ? t.min_inverter_input_cap()
                                 : v.wire_buffer.input_cap();
     v.c_wire_segment = wire_segment_load(v, pitch, next_cin);
-    if (variant == FpgaVariant::kCmosBaseline) {
-      v.wire_buffer = make_cmos_routing_buffer(tech, v.c_wire_segment);
-    } else {
+    if (buffers.full_swing) {
       v.wire_buffer = make_nem_wire_buffer(tech, v.c_wire_segment,
                                            v.wire_buffer_downsize);
+    } else {
+      v.wire_buffer = make_cmos_routing_buffer(tech, v.c_wire_segment);
     }
 
     // Area from the sized buffers.
@@ -127,7 +135,7 @@ ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
       bufs.lb_input = v.lb_input_buffer.area_mwta();
       bufs.lb_output = v.lb_output_buffer.area_mwta();
     }
-    v.area = tile_area(v.composition, fabric, bufs);
+    v.area = tile_area(v.composition, area_policy, bufs);
     pitch = tile_pitch(v.area);
   }
   v.tile_pitch = pitch;
@@ -178,6 +186,20 @@ ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
         0.69 * (r_drive + v.sw.r_on) * (v.c_lb_output_path + c_lut_in);
   }
   return v;
+}
+
+ElectricalView make_view(const ArchParams& arch, std::string_view backend,
+                         double wire_buffer_downsize, const Tech22nm& tech,
+                         const RelayEquivalent& relay) {
+  return make_view(arch, switch_technology(backend), wire_buffer_downsize,
+                   tech, relay);
+}
+
+ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
+                         double wire_buffer_downsize, const Tech22nm& tech,
+                         const RelayEquivalent& relay) {
+  return make_view(arch, switch_technology(variant_backend_name(variant)),
+                   wire_buffer_downsize, tech, relay);
 }
 
 }  // namespace nemfpga

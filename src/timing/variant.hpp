@@ -1,42 +1,57 @@
-// Electrical views of the three FPGA implementations the paper compares
-// (Sec 3.4): the same packed/placed/routed design is re-analyzed under
-// different circuit models —
+// Electrical views of an FPGA fabric under a switch technology.
 //
-//   kCmosBaseline : NMOS pass-transistor switches + SRAM, half-latch
-//                   restoring buffers everywhere (Fig 3a / Fig 8a).
-//   kNemNaive     : NEM relays replace every routing switch and its SRAM
-//                   cell ([Chen 10b]); buffers keep their CMOS sizes.
-//   kNemOptimized : relays + the paper's technique — LB input/output
-//                   buffers removed, wire buffers downsized (Sec 3.2).
+// The paper compares three implementations of the same packed/placed/
+// routed design (Sec 3.4); those are now three names in the
+// switch-technology backend registry (device/switch_tech.hpp):
+//
+//   "cmos"      : NMOS pass-transistor switches + SRAM, half-latch
+//                 restoring buffers everywhere (Fig 3a / Fig 8a).
+//   "nem-naive" : NEM relays replace every routing switch and its SRAM
+//                 cell ([Chen 10b]); buffers keep their CMOS sizes.
+//   "nem-opt"   : relays + the paper's technique — LB input/output
+//                 buffers removed, wire buffers downsized (Sec 3.2).
+//
+// plus any other registered backend ("rram", ...). The FpgaVariant enum
+// survives purely as an alias for the three paper variants; the
+// enum-taking make_view overload forwards to the registry.
 //
 // make_view() derives a self-consistent view: tile area -> tile pitch ->
 // wire loads -> buffer sizes -> buffer areas -> tile area (iterated to a
 // fixed point, mirroring the paper's layout/extraction loop of Fig 10).
 #pragma once
 
+#include <string>
+#include <string_view>
+
 #include "arch/arch_model.hpp"
 #include "arch/params.hpp"
 #include "circuit/buffer.hpp"
 #include "device/equivalent.hpp"
+#include "device/switch_tech.hpp"
 
 namespace nemfpga {
 
+/// The three fabric implementations the paper compares, as registry
+/// aliases (see variant_backend_name).
 enum class FpgaVariant { kCmosBaseline, kNemNaive, kNemOptimized };
 
-/// Per-switch electrical figures as seen by the routing network.
-struct SwitchElectrical {
-  double r_on = 0.0;       ///< Series resistance when configured on [Ohm].
-  double c_off_load = 0.0; ///< Capacitive load of an off switch tap [F].
-  double c_on_load = 0.0;  ///< Parasitic of an on switch [F].
-  double leak_per_switch = 0.0;  ///< Off-state leakage current [A].
-};
+/// Registry name of a paper variant: "cmos" / "nem-naive" / "nem-opt".
+constexpr std::string_view variant_backend_name(FpgaVariant v) {
+  switch (v) {
+    case FpgaVariant::kNemNaive: return "nem-naive";
+    case FpgaVariant::kNemOptimized: return "nem-opt";
+    case FpgaVariant::kCmosBaseline: break;
+  }
+  return "cmos";
+}
 
-/// Fully derived electrical/physical view of one FPGA variant.
+/// Fully derived electrical/physical view of one fabric implementation.
 struct ElectricalView {
-  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+  /// Registry name of the switch technology this view was derived for.
+  std::string backend = "cmos";
   ArchParams arch;
   Tech22nm tech;
-  RelayEquivalent relay;  ///< Used by the NEM variants.
+  RelayEquivalent relay;  ///< Used by the NEM backends.
   double wire_buffer_downsize = 1.0;
 
   // Derived physicals.
@@ -45,8 +60,11 @@ struct ElectricalView {
   double tile_pitch = 0.0;  ///< [m]
 
   SwitchElectrical sw;      ///< Routing switch figures for this fabric.
+  /// Standby leakage [W] per routing configuration bit (SRAM cell for
+  /// volatile backends, 0 for mechanical/nonvolatile state).
+  double config_leak_per_bit = 0.0;
 
-  // Sized buffers (chains absent in a variant have empty stage_mults).
+  // Sized buffers (chains absent in a backend have empty stage_mults).
   RoutingBuffer wire_buffer;
   RoutingBuffer lb_input_buffer;
   RoutingBuffer lb_output_buffer;
@@ -67,9 +85,24 @@ struct ElectricalView {
   double t_setup = 0.0;
 };
 
-/// Build a self-consistent electrical view of the variant.
-/// `wire_buffer_downsize` only applies to kNemOptimized (1..8, the paper's
-/// pretend-load sweep).
+/// Build a self-consistent electrical view from a registered backend.
+/// `wire_buffer_downsize` must lie in the paper's [1, 8] sweep range and
+/// may differ from 1.0 only on a backend whose buffer policy supports
+/// wire downsizing ("nem-opt"); anything else throws std::invalid_argument
+/// with a named-parameter message (no silent clamping).
+ElectricalView make_view(const ArchParams& arch,
+                         const SwitchTechnology& backend,
+                         double wire_buffer_downsize = 1.0,
+                         const Tech22nm& tech = default_tech22(),
+                         const RelayEquivalent& relay = fig11_equivalent());
+
+/// Registry-name convenience: make_view(arch, switch_technology(name), ...).
+ElectricalView make_view(const ArchParams& arch, std::string_view backend,
+                         double wire_buffer_downsize = 1.0,
+                         const Tech22nm& tech = default_tech22(),
+                         const RelayEquivalent& relay = fig11_equivalent());
+
+/// Paper-variant convenience (the pre-registry call shape).
 ElectricalView make_view(const ArchParams& arch, FpgaVariant variant,
                          double wire_buffer_downsize = 1.0,
                          const Tech22nm& tech = default_tech22(),

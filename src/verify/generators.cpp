@@ -17,7 +17,12 @@ std::string DesignCase::describe() const {
      << " ff=" << spec.n_latches << " loc=" << spec.locality
      << " gep=" << spec.global_edge_prob << "} arch{N=" << arch.N
      << " W=" << arch.W << " L=" << arch.L << " fc_in=" << arch.fc_in
-     << " fc_out=" << arch.fc_out << "} route{iters=" << route.max_iterations
+     << " fc_out=" << arch.fc_out
+     << " sb=" << sb_pattern_name(arch.sb_pattern);
+  if (arch.sb_pattern == SbPattern::kCustom) {
+    os << " sbrot=" << arch.sb_custom_rot;
+  }
+  os << "} route{iters=" << route.max_iterations
      << " astar=" << route.astar_fac << " la=" << route.astar_factor
      << " par=" << route.net_parallel
      << " impl=" << (route.rr_backend == RrBackend::kImplicit)
@@ -49,6 +54,21 @@ DesignCase gen_design_case(Rng& rng) {
   c.arch.W = 6 + 2 * rng.uniform_int(5);      // 6..14 tracks (congested)
   c.arch.fc_in = rng.uniform(0.15, 0.5);
   c.arch.fc_out = rng.uniform(0.1, 0.4);
+  // Switch-block pattern: Wilton-weighted (the paper's default keeps the
+  // most coverage), the rest split across the parameterized patterns so
+  // every differential campaign also audits the pattern machinery. A
+  // custom rotation draws 0..W+1 to hit the degenerate (r=0) and
+  // modulo-folded (r>=W) corners.
+  if (!rng.chance(0.55)) {
+    switch (rng.uniform_int(3)) {
+      case 0: c.arch.sb_pattern = SbPattern::kSubset; break;
+      case 1: c.arch.sb_pattern = SbPattern::kUniversal; break;
+      default:
+        c.arch.sb_pattern = SbPattern::kCustom;
+        c.arch.sb_custom_rot = rng.uniform_int(c.arch.W + 2);
+        break;
+    }
+  }
 
   c.route.max_iterations = 40;
   c.route.astar_fac = 1.0 + 0.1 * rng.uniform_int(4);  // 1.0..1.3
@@ -137,6 +157,18 @@ std::vector<DesignCase> shrink_design_case(const DesignCase& c) {
   }
   if (c.route.criticality_exp != 1.0) {
     push([&](DesignCase& s) { s.route.criticality_exp = 1.0; });
+  }
+  // Shrink toward the paper's Wilton switch block: a reproducer that
+  // survives the pattern swap exonerates the parameterized sb_turn_track
+  // machinery (a custom case also tries the default rotation first).
+  if (c.arch.sb_pattern != SbPattern::kWilton) {
+    if (c.arch.sb_pattern == SbPattern::kCustom && c.arch.sb_custom_rot != 5) {
+      push([&](DesignCase& s) { s.arch.sb_custom_rot = 5; });
+    }
+    push([&](DesignCase& s) {
+      s.arch.sb_pattern = SbPattern::kWilton;
+      s.arch.sb_custom_rot = 5;
+    });
   }
   // Shrink toward the legacy serial router: fewer moving parts in the
   // reproducer when the A* table or the batch scheduler is not at fault.

@@ -97,7 +97,7 @@ void replay_with_checks(const EcoCase& c) {
   const EcoOptions opt = eco_options(c.design);
   EcoFlow flow(generate_netlist(c.design.spec), opt);
   if (!flow.routed()) return;  // unroutable base: vacuous case
-  const ElectricalView view = make_view(opt.arch, opt.timing_variant);
+  const ElectricalView view = make_view(opt.arch, opt.timing_backend);
 
   for (std::size_t step = 0; step < c.n_edits; ++step) {
     const NetlistDelta delta = draw_delta(c, step, flow);

@@ -112,6 +112,65 @@ TEST(PropFlowCache, CachedFlowsAreBitIdenticalToSelfContained) {
   EXPECT_TRUE(res.ok()) << res.report();
 }
 
+// No artifact-key aliasing across the switch-technology backend and
+// switch-block pattern axes: every (backend, sb_pattern) combination
+// shares ONE cache, and each must still be bit-identical to its own
+// self-contained flow. An under-keyed cache would serve combo A's RR
+// graph / lookahead / delay model to combo B and trip the comparison;
+// the miss counter must also tick for every combination (each brings at
+// least one artifact no earlier combination could have built) and then
+// hold still on a warm re-run.
+TEST(PropFlowCache, BackendsAndPatternsNeverAliasArtifacts) {
+  const PropConfig cfg = PropConfig::from_env(8);
+  const PropResult res = check_seeds("flow_cache_alias", cfg, [&](Rng& rng) {
+    DesignCase c = routable(gen_design_case(rng));
+    c.route.timing_driven = true;  // the delay model is the backend-keyed
+                                   // artifact; exercise it every case
+    c.arch.sb_pattern = SbPattern::kWilton;
+    const Netlist nl = generate_netlist(c.spec);
+
+    struct Combo {
+      const char* backend;
+      SbPattern pattern;
+    };
+    const Combo combos[] = {
+        {"cmos", SbPattern::kWilton},     {"nem-opt", SbPattern::kWilton},
+        {"cmos", SbPattern::kSubset},     {"rram", SbPattern::kUniversal},
+        {"nem-naive", SbPattern::kCustom}};
+
+    ArtifactCache cache;
+    std::size_t prev_misses = 0;
+    for (const Combo& combo : combos) {
+      FlowOptions opt = case_options(c);
+      opt.timing_backend = combo.backend;
+      opt.arch.sb_pattern = combo.pattern;
+
+      FlowFingerprint ref;
+      try {
+        ref = FlowFingerprint::of(run_flow(nl, opt));
+      } catch (const std::runtime_error&) {
+        continue;  // this pattern cannot route the case at this W
+      }
+
+      FlowOptions cached = opt;
+      cached.artifact_cache = &cache;
+      const std::string what = std::string(combo.backend) + "/" +
+                               std::string(sb_pattern_name(combo.pattern));
+      require_same(FlowFingerprint::of(run_flow(nl, cached)), ref, what);
+      const ArtifactCache::Stats cold = cache.stats();
+      prop_require(cold.misses > prev_misses,
+                   what + ": no new artifact built (key aliasing?)");
+      // Warm re-run of the same combination: nothing new to build.
+      require_same(FlowFingerprint::of(run_flow(nl, cached)), ref,
+                   what + " warm");
+      prop_require(cache.stats().misses == cold.misses,
+                   what + ": warm flow rebuilt an artifact (over-keying?)");
+      prev_misses = cold.misses;
+    }
+  });
+  EXPECT_TRUE(res.ok()) << res.report();
+}
+
 TEST(PropFlowCache, ConcurrentJobMixesMatchSoloFlows) {
   const PropConfig cfg = PropConfig::from_env(12);
   const PropResult res = check_seeds("flow_cache_sched", cfg, [&](Rng& rng) {

@@ -102,6 +102,67 @@ TEST(ArtifactKeys, DelayModelKeysOnVariant) {
   EXPECT_EQ(delay_model_key(a, 12, 12, FpgaVariant::kCmosBaseline), cmos);
 }
 
+TEST(ArtifactKeys, SwitchBlockPatternKeysEveryArtifactKind) {
+  // sb_pattern changes the RR edge sets, so it joins the shared fabric
+  // prefix — every artifact kind must split on it (the lookahead table
+  // is pattern-independent under dense_fanout, but the issue keys it
+  // anyway; see the key-rules comment in flow_artifacts.hpp).
+  const ArchParams a;
+  for (SbPattern p :
+       {SbPattern::kSubset, SbPattern::kUniversal, SbPattern::kCustom}) {
+    ArchParams m = a;
+    m.sb_pattern = p;
+    EXPECT_NE(rr_graph_key(m, 12, 12, RrBackend::kExplicit),
+              rr_graph_key(a, 12, 12, RrBackend::kExplicit))
+        << sb_pattern_name(p);
+    EXPECT_NE(rr_graph_key(m, 12, 12, RrBackend::kImplicit),
+              rr_graph_key(a, 12, 12, RrBackend::kImplicit))
+        << sb_pattern_name(p);
+    EXPECT_NE(lookahead_key(m, 12, 12, nullptr),
+              lookahead_key(a, 12, 12, nullptr))
+        << sb_pattern_name(p);
+    EXPECT_NE(delay_model_key(m, 12, 12, "cmos"),
+              delay_model_key(a, 12, 12, "cmos"))
+        << sb_pattern_name(p);
+  }
+  // The custom rotation keys only when the pattern is custom…
+  ArchParams c1 = a, c2 = a;
+  c1.sb_pattern = c2.sb_pattern = SbPattern::kCustom;
+  c1.sb_custom_rot = 3;
+  c2.sb_custom_rot = 7;
+  EXPECT_NE(rr_graph_key(c1, 12, 12, RrBackend::kExplicit),
+            rr_graph_key(c2, 12, 12, RrBackend::kExplicit));
+  // …and a dormant rotation never splits the key space.
+  ArchParams w1 = a, w2 = a;
+  w1.sb_custom_rot = 3;
+  w2.sb_custom_rot = 7;
+  EXPECT_EQ(rr_graph_key(w1, 12, 12, RrBackend::kExplicit),
+            rr_graph_key(w2, 12, 12, RrBackend::kExplicit));
+}
+
+TEST(ArtifactKeys, DelayModelKeysOnRegistryName) {
+  // The delay-model key carries the registry name itself, so any future
+  // registered backend splits the key space without touching this code.
+  const ArchParams a;
+  const std::vector<std::string> backends = {"cmos", "nem-naive", "nem-opt",
+                                             "rram"};
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    for (std::size_t j = i + 1; j < backends.size(); ++j) {
+      EXPECT_NE(delay_model_key(a, 12, 12, backends[i]),
+                delay_model_key(a, 12, 12, backends[j]))
+          << backends[i] << " vs " << backends[j];
+    }
+  }
+  // The enum convenience overload lands on the same key as the name,
+  // and legacy alias spellings canonicalize (no duplicate cache entries).
+  EXPECT_EQ(delay_model_key(a, 12, 12, FpgaVariant::kNemOptimized),
+            delay_model_key(a, 12, 12, "nem-opt"));
+  EXPECT_EQ(delay_model_key(a, 12, 12, "nem_opt"),
+            delay_model_key(a, 12, 12, "nem-opt"));
+  EXPECT_EQ(delay_model_key(a, 12, 12, "nem"),
+            delay_model_key(a, 12, 12, "nem-naive"));
+}
+
 TEST(ArtifactKeys, NamespacesAreDisjoint) {
   // The cache stores values type-erased and trusts the key prefix to
   // identify the type — the helpers must never collide.

@@ -181,6 +181,85 @@ TEST(RrImplicit, BoundaryCoordinateSweepMatchesOracle) {
   }
 }
 
+// Per-pattern differential sweep: every switch-block pattern the arch
+// layer recognizes must stay node- and edge-identical across the two
+// backends — both call ArchParams::sb_turn_track, but each applies it
+// inside its own enumeration machinery, so this pins the composition,
+// not just the shared helper. Custom rotations cover r=0 (degenerates
+// to subset), a W-coprime rotation, and r > W (modulo fold).
+TEST(RrImplicit, EveryPatternMatchesExplicitIdById) {
+  struct Pattern {
+    std::string name;
+    SbPattern pattern;
+    std::size_t rot;
+  };
+  const std::vector<Pattern> patterns = {
+      {"subset", SbPattern::kSubset, 5},
+      {"universal", SbPattern::kUniversal, 5},
+      {"custom-rot0", SbPattern::kCustom, 0},
+      {"custom-rot3", SbPattern::kCustom, 3},
+      {"custom-rot19", SbPattern::kCustom, 19},
+  };
+  for (const Pattern& p : patterns) {
+    for (Fabric f : fabrics()) {
+      f.arch.sb_pattern = p.pattern;
+      f.arch.sb_custom_rot = p.rot;
+      const std::string name = f.name + "/" + p.name;
+      const RrGraph exp(f.arch, f.nx, f.ny);
+      const ImplicitRrGraph imp(f.arch, f.nx, f.ny);
+      ASSERT_EQ(exp.node_count(), imp.node_count()) << name;
+      std::vector<RrEdge> buf;
+      for (RrNodeId id = 0; id < exp.node_count(); ++id) {
+        expect_node_eq(exp.node(id), imp.node(id), id, name);
+        buf.clear();
+        imp.append_edges(id, buf);
+        expect_edges_eq(exp.edges(id), buf, id, name);
+        if (HasFatalFailure() || HasNonfatalFailure()) {
+          FAIL() << name << ": first divergence at node " << id;
+        }
+      }
+      EXPECT_EQ(exp.edge_count(), imp.edge_count()) << name;
+    }
+  }
+}
+
+// Patterns must actually differ from each other (a sb_turn_track bug
+// that collapses every pattern to Wilton would sail through the
+// differential sweep above).
+TEST(RrImplicit, PatternsProduceDistinctEdgeSets) {
+  ArchParams a;
+  a.W = 12;
+  a.L = 4;
+  auto checksum = [](const ImplicitRrGraph& g) {
+    std::uint64_t h = 1469598103934665603ull;
+    std::vector<RrEdge> buf;
+    for (RrNodeId id = 0; id < g.node_count(); ++id) {
+      buf.clear();
+      g.append_edges(id, buf);
+      for (const RrEdge& e : buf) {
+        h ^= (static_cast<std::uint64_t>(id) << 32) ^ e.to;
+        h *= 1099511628211ull;
+      }
+    }
+    return h;
+  };
+  std::vector<std::uint64_t> sums;
+  for (SbPattern p : {SbPattern::kWilton, SbPattern::kSubset,
+                      SbPattern::kUniversal, SbPattern::kCustom}) {
+    ArchParams ap = a;
+    ap.sb_pattern = p;
+    ap.sb_custom_rot = 3;
+    sums.push_back(checksum(ImplicitRrGraph(ap, 4, 4)));
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    for (std::size_t j = i + 1; j < sums.size(); ++j) {
+      EXPECT_NE(sums[i], sums[j])
+          << sb_pattern_name(static_cast<SbPattern>(i)) << " vs "
+          << sb_pattern_name(static_cast<SbPattern>(j));
+    }
+  }
+}
+
 // The view facade must dispatch identically over both backends.
 TEST(RrImplicit, ViewDispatchesBothBackends) {
   const Fabric f = fabrics().front();

@@ -88,7 +88,7 @@ TEST(JobFromJson, BenchmarkRequestHonorsOverrides) {
   EXPECT_EQ(job.opt.arch.W, 64u);
   EXPECT_EQ(job.opt.place.seed, 7u);
   EXPECT_TRUE(job.opt.route.timing_driven);
-  EXPECT_EQ(job.opt.timing_variant, FpgaVariant::kNemOptimized);
+  EXPECT_EQ(job.opt.timing_backend, "nem-opt");
 }
 
 TEST(JobFromJson, SynthRequestAndDefaults) {
@@ -99,7 +99,7 @@ TEST(JobFromJson, SynthRequestAndDefaults) {
   EXPECT_EQ(job.name, "synth-200");
   EXPECT_EQ(job.opt.arch.W, 50u) << "defaults.arch must flow through";
   EXPECT_FALSE(job.opt.route.timing_driven);
-  EXPECT_EQ(job.opt.timing_variant, FpgaVariant::kCmosBaseline);
+  EXPECT_EQ(job.opt.timing_backend, "cmos");
 }
 
 TEST(JobFromJson, RejectsInvalidSpecs) {

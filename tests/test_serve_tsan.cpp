@@ -27,7 +27,7 @@ struct JobSpec {
   std::size_t w = 64;
   std::uint64_t seed = 1;
   bool timing = false;
-  FpgaVariant variant = FpgaVariant::kCmosBaseline;
+  std::string backend = "cmos";
 };
 
 Netlist spec_netlist(const JobSpec& s) {
@@ -45,7 +45,7 @@ FlowJob spec_job(const JobSpec& s) {
   job.opt.arch.W = s.w;
   job.opt.place.seed = s.seed;
   job.opt.route.timing_driven = s.timing;
-  job.opt.timing_variant = s.variant;
+  job.opt.timing_backend = s.backend;
   return job;
 }
 
@@ -55,11 +55,11 @@ FlowJob spec_job(const JobSpec& s) {
 /// shared entries.
 std::vector<JobSpec> mixed_specs() {
   return {
-      {"synth-a", 180, 48, 1, false, FpgaVariant::kCmosBaseline},
-      {"synth-a-timing", 180, 48, 2, true, FpgaVariant::kCmosBaseline},
-      {"synth-a-nem", 180, 64, 3, true, FpgaVariant::kNemOptimized},
-      {"synth-b", 320, 56, 4, false, FpgaVariant::kCmosBaseline},
-      {"tseng", 0, 64, 5, true, FpgaVariant::kCmosBaseline},
+      {"synth-a", 180, 48, 1, false, "cmos"},
+      {"synth-a-timing", 180, 48, 2, true, "cmos"},
+      {"synth-a-nem", 180, 64, 3, true, "nem-opt"},
+      {"synth-b", 320, 56, 4, false, "cmos"},
+      {"tseng", 0, 64, 5, true, "cmos"},
   };
 }
 

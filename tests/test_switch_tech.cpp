@@ -1,0 +1,155 @@
+// Unit coverage for the switch-technology backend registry
+// (device/switch_tech.hpp): name lookup, legacy alias resolution, the
+// unknown-name error contract (must list the registered choices), the
+// policy bundles each built-in backend advertises, and runtime
+// registration of an experimental backend.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "device/switch_tech.hpp"
+#include "timing/variant.hpp"
+
+namespace nemfpga {
+namespace {
+
+TEST(SwitchTech, FourBackendsRegisteredInOrder) {
+  const auto names = registered_switch_technologies();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "cmos");
+  EXPECT_EQ(names[1], "nem-naive");
+  EXPECT_EQ(names[2], "nem-opt");
+  EXPECT_EQ(names[3], "rram");
+  for (std::string_view n : names) {
+    EXPECT_TRUE(switch_technology_registered(n)) << n;
+    EXPECT_EQ(switch_technology(n).name(), n);
+  }
+}
+
+TEST(SwitchTech, LegacyAliasesResolveToCanonicalBackends) {
+  EXPECT_EQ(switch_technology("nem").name(), "nem-naive");
+  EXPECT_EQ(switch_technology("nem_naive").name(), "nem-naive");
+  EXPECT_EQ(switch_technology("nem_opt").name(), "nem-opt");
+  EXPECT_EQ(switch_technology("nem-optimized").name(), "nem-opt");
+  EXPECT_TRUE(switch_technology_registered("nem_opt"));
+}
+
+TEST(SwitchTech, UnknownNameErrorListsRegisteredChoices) {
+  EXPECT_FALSE(switch_technology_registered("finfet"));
+  try {
+    (void)switch_technology("finfet");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'finfet'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cmos"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nem-naive"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nem-opt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rram"), std::string::npos) << msg;
+  }
+}
+
+TEST(SwitchTech, EnumAliasesAgreeWithRegistry) {
+  EXPECT_EQ(variant_backend_name(FpgaVariant::kCmosBaseline), "cmos");
+  EXPECT_EQ(variant_backend_name(FpgaVariant::kNemNaive), "nem-naive");
+  EXPECT_EQ(variant_backend_name(FpgaVariant::kNemOptimized), "nem-opt");
+}
+
+TEST(SwitchTech, PoliciesMatchTheLegacyBranches) {
+  const auto& cmos = switch_technology("cmos");
+  EXPECT_DOUBLE_EQ(cmos.area_policy().switch_mwta_factor, 1.0);
+  EXPECT_TRUE(cmos.area_policy().config_bits_in_plane);
+  EXPECT_DOUBLE_EQ(cmos.area_policy().stacked_cell_area, 0.0);
+  EXPECT_TRUE(cmos.buffer_policy().lb_buffers_present);
+  EXPECT_FALSE(cmos.buffer_policy().full_swing);
+  EXPECT_FALSE(cmos.buffer_policy().supports_wire_downsize);
+
+  const auto& naive = switch_technology("nem-naive");
+  EXPECT_DOUBLE_EQ(naive.area_policy().switch_mwta_factor, 0.0);
+  EXPECT_FALSE(naive.area_policy().config_bits_in_plane);
+  EXPECT_GT(naive.area_policy().stacked_cell_area, 0.0);
+  EXPECT_TRUE(naive.buffer_policy().lb_buffers_present);
+  EXPECT_TRUE(naive.buffer_policy().full_swing);
+  EXPECT_FALSE(naive.buffer_policy().supports_wire_downsize);
+
+  const auto& opt = switch_technology("nem-opt");
+  EXPECT_FALSE(opt.buffer_policy().lb_buffers_present);
+  EXPECT_TRUE(opt.buffer_policy().supports_wire_downsize);
+  // Same relay, same stacked layer as naive.
+  EXPECT_DOUBLE_EQ(opt.area_policy().stacked_cell_area,
+                   naive.area_policy().stacked_cell_area);
+}
+
+TEST(SwitchTech, ElectricalFiguresComeFromTheDeviceModels) {
+  const Tech22nm tech;
+  const RelayEquivalent relay = fig11_equivalent();
+  const auto cmos = switch_technology("cmos").electrical(tech, relay);
+  const auto nem = switch_technology("nem-naive").electrical(tech, relay);
+  EXPECT_GT(cmos.r_on, nem.r_on);  // pass gate worse than the relay
+  EXPECT_DOUBLE_EQ(nem.r_on, relay.ron);
+  EXPECT_DOUBLE_EQ(nem.leak_per_switch, 0.0);
+  EXPECT_GT(cmos.leak_per_switch, 0.0);
+  // SRAM bits leak for cmos; mechanical state does not.
+  EXPECT_GT(switch_technology("cmos").config_leak_per_bit(tech), 0.0);
+  EXPECT_DOUBLE_EQ(switch_technology("nem-opt").config_leak_per_bit(tech),
+                   0.0);
+}
+
+TEST(SwitchTech, RramSitsBetweenCmosAndNem) {
+  const Tech22nm tech;
+  const RelayEquivalent relay = fig11_equivalent();
+  const auto& rram = switch_technology("rram");
+  const auto el = rram.electrical(tech, relay);
+  const auto cmos = switch_technology("cmos").electrical(tech, relay);
+  // LRS is in the pass-gate resistance class (same order of magnitude,
+  // far above the relay's contact resistance); HRS sneak leakage is
+  // finite but well under a pass transistor plus its SRAM cell.
+  EXPECT_GT(el.r_on, relay.ron);
+  EXPECT_LT(el.r_on, 2.0 * cmos.r_on);
+  EXPECT_GT(el.leak_per_switch, 0.0);
+  EXPECT_DOUBLE_EQ(rram.config_leak_per_bit(tech), 0.0);  // nonvolatile
+  // 4T1R: programming transistors stay in the plane, cell stacks above.
+  EXPECT_GT(rram.area_policy().switch_mwta_factor, 1.0);
+  EXPECT_FALSE(rram.area_policy().config_bits_in_plane);
+  EXPECT_GT(rram.area_policy().stacked_cell_area, 0.0);
+  EXPECT_TRUE(rram.buffer_policy().full_swing);
+}
+
+// A minimal experimental backend to exercise runtime registration.
+class TestOnlyTech final : public SwitchTechnology {
+ public:
+  explicit TestOnlyTech(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  SwitchElectrical electrical(const Tech22nm&,
+                              const RelayEquivalent&) const override {
+    return {};
+  }
+  SwitchAreaPolicy area_policy() const override { return {}; }
+  SwitchBufferPolicy buffer_policy() const override { return {}; }
+  double config_leak_per_bit(const Tech22nm&) const override { return 0.0; }
+
+ private:
+  std::string name_;
+};
+
+TEST(SwitchTech, RuntimeRegistrationExtendsTheRegistry) {
+  ASSERT_FALSE(switch_technology_registered("test-only"));
+  register_switch_technology(std::make_unique<TestOnlyTech>("test-only"));
+  EXPECT_TRUE(switch_technology_registered("test-only"));
+  EXPECT_EQ(switch_technology("test-only").name(), "test-only");
+  // The joined error/help string picks the new backend up too.
+  EXPECT_NE(registered_switch_technology_names().find("test-only"),
+            std::string::npos);
+  // Duplicate names are rejected (first registration wins).
+  EXPECT_THROW(
+      register_switch_technology(std::make_unique<TestOnlyTech>("cmos")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      register_switch_technology(std::make_unique<TestOnlyTech>("nem")),
+      std::invalid_argument);  // aliases are reserved names too
+}
+
+}  // namespace
+}  // namespace nemfpga

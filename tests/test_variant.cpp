@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "timing/variant.hpp"
 
 namespace nemfpga {
@@ -96,11 +99,35 @@ TEST_P(DownsizeViewSweep, DownsizingTradesDelayForLeakage) {
 INSTANTIATE_TEST_SUITE_P(Sweep, DownsizeViewSweep,
                          ::testing::Values(1.0, 2.0, 4.0, 8.0));
 
-TEST(Variant, DownsizeIgnoredOutsideOptimized) {
-  const auto a = make_view(paper_arch(), FpgaVariant::kCmosBaseline, 8.0);
-  EXPECT_DOUBLE_EQ(a.wire_buffer_downsize, 1.0);
-  const auto b = make_view(paper_arch(), FpgaVariant::kNemNaive, 8.0);
-  EXPECT_DOUBLE_EQ(b.wire_buffer_downsize, 1.0);
+// Historical make_view silently clamped an unusable downsize to 1.0;
+// the registry refactor turned the swallowed parameter into a named
+// error (no silent clamping, no surprise electrical views).
+TEST(Variant, DownsizeOutsideOptimizedIsRejected) {
+  EXPECT_THROW(make_view(paper_arch(), FpgaVariant::kCmosBaseline, 8.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_view(paper_arch(), FpgaVariant::kNemNaive, 8.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_view(paper_arch(), "rram", 2.0), std::invalid_argument);
+  // The error is named after the parameter and points at the backend.
+  try {
+    make_view(paper_arch(), FpgaVariant::kCmosBaseline, 2.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("wire_buffer_downsize"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'cmos'"), std::string::npos) << msg;
+  }
+  // An explicit 1.0 stays valid everywhere (it is the neutral value).
+  EXPECT_NO_THROW(make_view(paper_arch(), FpgaVariant::kCmosBaseline, 1.0));
+}
+
+TEST(Variant, DownsizeOutsidePaperRangeIsRejected) {
+  for (const double bad : {0.5, 0.0, -1.0, 8.5, 100.0}) {
+    EXPECT_THROW(make_view(paper_arch(), FpgaVariant::kNemOptimized, bad),
+                 std::invalid_argument)
+        << "downsize " << bad;
+  }
+  EXPECT_NO_THROW(make_view(paper_arch(), FpgaVariant::kNemOptimized, 8.0));
 }
 
 TEST(Variant, LogicDelaysIndependentOfFabric) {

@@ -94,6 +94,20 @@ different machines — and budget-checked otherwise. jobs_per_s and the
 artifact microbench walls are never compared (derived / noisy).
 Cross-family comparison is a hard error.
 
+The arch family (nemfpga-arch-bench-1, written by bench/arch_exploration)
+records the architecture-exploration study: one mapped design per fabric
+point (switch-block pattern x segment length x Fc), re-evaluated
+electrically under every requested switch-technology backend. The
+(benchmark, w, downsize) triple IS the configuration; each "circuits"
+row is one (backend, fabric) cell keyed by name. Every metric —
+routability verdict, tree checksum, critical path, dynamic/leakage
+power, area — is a deterministic function of that cell, so all are
+pinned bit-identical within one configuration; the per-cell wall_s and
+total_wall_s are the only budget-checked fields, and only between
+same-schema same-configuration runs. The paper_slice object (the
+NEM-vs-CMOS reduction column at the Table 1 operating point) is pinned
+too. Cross-family comparison is a hard error.
+
 Only the Python standard library is used, so the script runs anywhere
 CTest does (see the bench_smoke target).
 """
@@ -107,7 +121,9 @@ ROUTE_SCHEMAS = ("nemfpga-route-bench-1", "nemfpga-route-bench-2",
 PLACE_SCHEMAS = ("nemfpga-place-bench-1",)
 ECO_SCHEMAS = ("nemfpga-eco-bench-1",)
 SERVE_SCHEMAS = ("nemfpga-serve-bench-1",)
-SCHEMAS = ROUTE_SCHEMAS + PLACE_SCHEMAS + ECO_SCHEMAS + SERVE_SCHEMAS
+ARCH_SCHEMAS = ("nemfpga-arch-bench-1",)
+SCHEMAS = (ROUTE_SCHEMAS + PLACE_SCHEMAS + ECO_SCHEMAS + SERVE_SCHEMAS +
+           ARCH_SCHEMAS)
 EXACT_FIELDS = ("wmin", "tree_checksum", "iterations", "fixed_w")
 # Later-schema additions; compared with .get() so they are simply absent
 # (None == None) when two older files are diffed. rr_nodes is pinned
@@ -149,6 +165,20 @@ SERVE_EXACT_FIELDS = ("ok_jobs", "batch_checksum", "cache_misses",
                       "cache_evictions", "cache_reuses",
                       "lookahead_cached")
 
+# Arch-family correctness fields, pinned per (backend, fabric) cell
+# within one (benchmark, w, downsize) configuration: the mapping is
+# deterministic and the electrical evaluation is pure arithmetic over
+# it, so every metric is bit-exact run to run. wall_s is deliberately
+# absent (budget-checked instead).
+ARCH_EXACT_FIELDS = ("backend", "sb_pattern", "seg_len", "fc_in",
+                     "downsize", "routed", "tree_checksum",
+                     "critical_path_s", "dynamic_w", "leakage_w",
+                     "area_m2")
+# The NEM-vs-CMOS reduction column at the Table 1 point; pinned as a
+# whole object within one configuration.
+ARCH_SLICE_FIELDS = ("downsize", "speedup", "dynamic_reduction",
+                     "leakage_reduction", "area_reduction")
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -169,6 +199,8 @@ def family(data):
         return "eco"
     if data.get("schema") in SERVE_SCHEMAS:
         return "serve"
+    if data.get("schema") in ARCH_SCHEMAS:
+        return "arch"
     return "route"
 
 
@@ -201,6 +233,17 @@ def serve_config(data):
     return ("serve-1", data.get("benchmark"), data.get("jobs"),
             data.get("w"), data.get("timing"), data.get("seed0"),
             data.get("cache_mb"))
+
+
+def arch_config(data):
+    """The fields that select which exploration ran: the circuit, the
+    channel width and the downsizing factor offered to backends that
+    support it. The backend/pattern/fabric axes are deliberately NOT
+    part of the configuration — they key the per-cell rows, and a
+    candidate sweeping a superset of cells still compares the shared
+    ones."""
+    return ("arch-1", data.get("benchmark"), data.get("w"),
+            data.get("downsize"))
 
 
 def router_config(data):
@@ -241,7 +284,75 @@ def compare(base, cand, max_regress_pct):
         return compare_eco(base, cand, max_regress_pct)
     if family(base) == "serve":
         return compare_serve(base, cand, max_regress_pct)
+    if family(base) == "arch":
+        return compare_arch(base, cand, max_regress_pct)
     return compare_route(base, cand, max_regress_pct)
+
+
+def compare_arch(base, cand, max_regress_pct):
+    failures = []
+    notes = []
+    same_config = arch_config(base) == arch_config(cand)
+    if not same_config:
+        notes.append(
+            "arch exploration configuration differs "
+            f"({arch_config(base)} vs {arch_config(cand)}): different "
+            "studies ran; only checking cell coverage")
+    wall_comparable = (
+        base.get("schema") == cand.get("schema") and same_config)
+    if not wall_comparable:
+        notes.append("runs are not wall-comparable: wall budget waived")
+    budget = 1.0 + max_regress_pct / 100.0
+    base_by_name = {c["name"]: c for c in base["circuits"]}
+    for c in cand["circuits"]:
+        b = base_by_name.get(c["name"])
+        if b is None:
+            # Candidate may sweep a superset of cells; that is fine.
+            continue
+        if not same_config:
+            continue
+        for fld in ARCH_EXACT_FIELDS:
+            if b.get(fld) != c.get(fld):
+                failures.append(
+                    f"{c['name']}: {fld} changed "
+                    f"{b.get(fld)!r} -> {c.get(fld)!r} (the electrical "
+                    "evaluation is a pure function of the mapped design; "
+                    "any drift is a correctness bug)")
+        if wall_comparable:
+            bl, cl = b.get("wall_s"), c.get("wall_s")
+            if isinstance(bl, (int, float)) and \
+                    isinstance(cl, (int, float)) and \
+                    bl > 0 and cl > bl * budget:
+                failures.append(
+                    f"{c['name']}: wall_s regressed "
+                    f"{bl:.2f}s -> {cl:.2f}s "
+                    f"(> {max_regress_pct:.0f}% budget)")
+    missing = [n for n in base_by_name
+               if n not in {c["name"] for c in cand["circuits"]}]
+    if missing:
+        failures.append(f"candidate dropped cells: {', '.join(missing)}")
+    if same_config:
+        bs, cs = base.get("paper_slice"), cand.get("paper_slice")
+        if (bs is None) != (cs is None):
+            failures.append(
+                "paper_slice coverage changed "
+                f"({'present' if bs else 'absent'} -> "
+                f"{'present' if cs else 'absent'})")
+        elif bs is not None:
+            for fld in ARCH_SLICE_FIELDS:
+                if bs.get(fld) != cs.get(fld):
+                    failures.append(
+                        f"paper_slice: {fld} changed "
+                        f"{bs.get(fld)!r} -> {cs.get(fld)!r} (the "
+                        "NEM-vs-CMOS reduction column is deterministic)")
+    bw, cw = base["total_wall_s"], cand["total_wall_s"]
+    if wall_comparable and bw > 0 and cw > bw * budget:
+        failures.append(
+            f"total_wall_s regressed {bw:.2f}s -> {cw:.2f}s "
+            f"(> {max_regress_pct:.0f}% budget)")
+    for n in notes:
+        print(f"bench_check: note: {n}", file=sys.stderr)
+    return failures
 
 
 def compare_serve(base, cand, max_regress_pct):
@@ -979,6 +1090,82 @@ def selftest():
     assert compare(s_base, s_dropped, 15.0), \
         "dropped serve mode must fail"
 
+    # Arch family (nemfpga-arch-bench-1).
+    a_base = {
+        "schema": "nemfpga-arch-bench-1",
+        "benchmark": "tseng",
+        "w": 118,
+        "downsize": 4.0,
+        "total_wall_s": 8.0,
+        "paper_slice": {
+            "downsize": 4.0, "speedup": 1.25, "dynamic_reduction": 2.1,
+            "leakage_reduction": 9.7, "area_reduction": 2.1,
+        },
+        "circuits": [
+            {"name": "cmos/wilton/L4/fc0.2", "backend": "cmos",
+             "sb_pattern": "wilton", "seg_len": 4, "fc_in": 0.2,
+             "downsize": 1.0, "routed": True,
+             "tree_checksum": "00deadbeef001234",
+             "critical_path_s": 1.6e-08, "dynamic_w": 0.021,
+             "leakage_w": 1.9e-05, "area_m2": 4.4e-06, "wall_s": 0.8},
+            {"name": "nem-opt/wilton/L4/fc0.2", "backend": "nem-opt",
+             "sb_pattern": "wilton", "seg_len": 4, "fc_in": 0.2,
+             "downsize": 4.0, "routed": True,
+             "tree_checksum": "00deadbeef001234",
+             "critical_path_s": 1.2e-08, "dynamic_w": 0.010,
+             "leakage_w": 2.0e-06, "area_m2": 2.1e-06, "wall_s": 0.8},
+        ],
+    }
+    a_same = json.loads(json.dumps(a_base))
+    assert compare(a_base, a_same, 15.0) == [], \
+        "identical arch runs must pass"
+
+    a_drift = json.loads(json.dumps(a_base))
+    a_drift["circuits"][0]["leakage_w"] = 2.0e-05
+    assert compare(a_base, a_drift, 15.0), \
+        "arch metric drift must fail (evaluation is deterministic)"
+
+    a_drift = json.loads(json.dumps(a_base))
+    a_drift["circuits"][1]["routed"] = False
+    assert compare(a_base, a_drift, 15.0), \
+        "a cell flipping routability must fail"
+
+    a_drift = json.loads(json.dumps(a_base))
+    a_drift["circuits"][0]["tree_checksum"] = "0000000000000000"
+    assert compare(a_base, a_drift, 15.0), \
+        "arch mapping checksum drift must fail"
+
+    a_slice = json.loads(json.dumps(a_base))
+    a_slice["paper_slice"]["leakage_reduction"] = 9.8
+    assert compare(a_base, a_slice, 15.0), \
+        "paper-slice drift must fail (the reduction column is pinned)"
+
+    a_slow = json.loads(json.dumps(a_base))
+    a_slow["total_wall_s"] = 10.0
+    assert compare(a_base, a_slow, 15.0), "25% arch regression must fail"
+    assert not compare(a_base, a_slow, 30.0), \
+        "the same regression passes inside a 30% budget"
+
+    # A superset candidate (extra cells) is fine; dropped cells are not.
+    a_super = json.loads(json.dumps(a_base))
+    a_super["circuits"].append(dict(a_base["circuits"][0],
+                                    name="rram/subset/L2/fc0.2",
+                                    backend="rram", sb_pattern="subset"))
+    assert compare(a_base, a_super, 15.0) == [], \
+        "a superset arch sweep must pass"
+    a_dropped = json.loads(json.dumps(a_base))
+    a_dropped["circuits"] = a_base["circuits"][:1]
+    assert compare(a_base, a_dropped, 15.0), \
+        "dropped arch cell must fail"
+
+    # A different study configuration: coverage only.
+    a_wide = json.loads(json.dumps(a_base))
+    a_wide["w"] = 64
+    a_wide["circuits"][0]["leakage_w"] = 9.9
+    a_wide["paper_slice"]["speedup"] = 0.5
+    assert compare(a_base, a_wide, 15.0) == [], \
+        "different arch configuration must refuse metric diffs"
+
     # Route vs place vs eco vs serve are hard errors in every direction.
     assert compare(m_base, p_base, 15.0), \
         "route-vs-place comparison must be refused loudly"
@@ -992,6 +1179,10 @@ def selftest():
         "serve-vs-route comparison must be refused loudly"
     assert compare(e_base, s_base, 15.0), \
         "eco-vs-serve comparison must be refused loudly"
+    assert compare(a_base, m_base, 15.0), \
+        "arch-vs-route comparison must be refused loudly"
+    assert compare(s_base, a_base, 15.0), \
+        "serve-vs-arch comparison must be refused loudly"
     print("bench_check selftest: OK")
 
 

@@ -17,6 +17,7 @@
 
 #include "core/study.hpp"
 #include "device/equivalent.hpp"
+#include "device/switch_tech.hpp"
 #include "flow/eco.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/mcnc.hpp"
@@ -48,7 +49,8 @@ struct Args {
   std::size_t place_batch = 0;
   double crit_exp = 1.0;
   std::string variant = "cmos";
-  double downsize = 4.0;
+  std::string sb_pattern = "wilton";
+  std::optional<double> downsize;
   std::size_t edits = 20;
   std::uint64_t edit_seed = 1;
   std::size_t port = 0;
@@ -89,8 +91,15 @@ struct Args {
                "                     deterministic parallel annealer\n"
                "                     (0 = serial; results are identical at\n"
                "                     any thread count)\n"
-               "  --variant V        cmos | nem-naive | nem-opt\n"
-               "  --downsize D       wire-buffer downsizing for nem-opt\n"
+               "  --backend B        switch-technology backend (registered:\n"
+               "                     cmos | nem-naive | nem-opt | rram);\n"
+               "                     --variant is an alias\n"
+               "  --sb-pattern P     switch-block pattern: wilton | subset |\n"
+               "                     universal | custom (default wilton)\n"
+               "  --downsize D       wire-buffer downsizing (1..8); only a\n"
+               "                     backend with the wire-downsize policy\n"
+               "                     (nem-opt) accepts values != 1; default\n"
+               "                     4 on nem-opt, 1 elsewhere\n"
                "  --study            full CMOS vs CMOS-NEM comparison\n"
                "  --activity         simulate per-net switching activities\n"
                "  --edits N          eco: edit-stream length (default 20)\n"
@@ -121,7 +130,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--outputs") a.outputs = std::stoul(value());
     else if (flag == "--latches") a.latches = std::stoul(value());
     else if (flag == "--width") a.width = std::stoul(value());
-    else if (flag == "--variant") a.variant = value();
+    else if (flag == "--variant" || flag == "--backend") a.variant = value();
+    else if (flag == "--sb-pattern") a.sb_pattern = value();
     else if (flag == "--downsize") a.downsize = std::stod(value());
     else if (flag == "--timing") a.timing = true;
     else if (flag == "--place-timing") a.place_timing = true;
@@ -153,11 +163,35 @@ Netlist load_netlist(const Args& a) {
   return generate_netlist(spec);
 }
 
-FpgaVariant parse_variant(const std::string& v) {
-  if (v == "cmos") return FpgaVariant::kCmosBaseline;
-  if (v == "nem-naive") return FpgaVariant::kNemNaive;
-  if (v == "nem-opt") return FpgaVariant::kNemOptimized;
-  usage("variant must be cmos | nem-naive | nem-opt");
+/// Canonical registry name for --backend/--variant; unknown names list
+/// the registered backends.
+std::string parse_backend(const std::string& v) {
+  if (!switch_technology_registered(v)) {
+    usage(("bad value for --backend: '" + v + "' (registered: " +
+           registered_switch_technology_names() + ")")
+              .c_str());
+  }
+  return std::string(switch_technology(v).name());
+}
+
+SbPattern parse_sb_pattern(const std::string& v) {
+  if (v != "wilton" && v != "subset" && v != "universal" && v != "custom") {
+    usage(("bad value for --sb-pattern: '" + v +
+           "' (recognized: " + sb_pattern_names() + ")")
+              .c_str());
+  }
+  return sb_pattern_from_name(v);
+}
+
+/// Effective wire-buffer downsize: an explicit --downsize is passed
+/// through verbatim (make_view rejects unusable values with a named
+/// error); without one, a downsizing-capable backend gets the paper's
+/// preferred 4x and everything else the neutral 1x.
+double effective_downsize(const Args& a, const std::string& backend) {
+  if (a.downsize) return *a.downsize;
+  return switch_technology(backend).buffer_policy().supports_wire_downsize
+             ? 4.0
+             : 1.0;
 }
 
 int cmd_flow(const Args& a) {
@@ -173,14 +207,16 @@ int cmd_flow(const Args& a) {
     std::fprintf(stderr, "mean activity: %.3f\n", act->mean_activity);
   }
 
+  const std::string backend = parse_backend(a.variant);
   FlowOptions opt;
   opt.arch.W = a.width;
+  opt.arch.sb_pattern = parse_sb_pattern(a.sb_pattern);
   opt.place.timing_driven = a.place_timing;
   opt.place.batch_moves = a.place_batch;
   if (a.timing) {
     opt.route.timing_driven = true;
     opt.route.criticality_exp = a.crit_exp;
-    opt.timing_variant = parse_variant(a.variant);
+    opt.timing_backend = backend;
   }
   std::fprintf(stderr, "mapping at W=%zu%s...\n", a.width,
                a.timing ? " (timing-driven)" : "");
@@ -243,9 +279,10 @@ int cmd_flow(const Args& a) {
     return 0;
   }
 
-  const auto m = evaluate_variant(flow, parse_variant(a.variant), a.downsize,
-                                  popt);
-  std::printf("variant        : %s\n", a.variant.c_str());
+  const auto m = evaluate_backend(flow, backend,
+                                  effective_downsize(a, backend), popt);
+  std::printf("backend        : %s  (sb pattern %s)\n", backend.c_str(),
+              a.sb_pattern.c_str());
   std::printf("critical path  : %.3f ns  (fmax %.1f MHz)\n",
               m.critical_path * 1e9, 1e-6 / m.critical_path);
   std::printf("dynamic power  : %.3f mW\n", m.dynamic_power * 1e3);
@@ -258,6 +295,7 @@ int cmd_width(const Args& a) {
   Netlist nl = load_netlist(a);
   FlowOptions opt;
   opt.arch.W = a.width;
+  opt.arch.sb_pattern = parse_sb_pattern(a.sb_pattern);
   const auto cw = flow_min_channel_width(std::move(nl), opt);
   if (!cw.feasible) {
     std::fprintf(stderr,
@@ -277,6 +315,8 @@ int cmd_eco(const Args& a) {
                nl.lut_count(), nl.latch_count(), nl.net_count());
   EcoOptions opt;
   opt.arch.W = a.width;
+  opt.arch.sb_pattern = parse_sb_pattern(a.sb_pattern);
+  opt.timing_backend = parse_backend(a.variant);
   const auto now_s = [] {
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())

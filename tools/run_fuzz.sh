@@ -36,10 +36,16 @@
 #       prop_eco_diff prop_sta_incremental
 #   tools/run_fuzz.sh build-asan 100000
 #
-# The generator also flips the RR-graph backend (~50% implicit) and the
+# The generator also flips the RR-graph backend (~50% implicit), the
 # region-partitioned scheduler (~40% of net_parallel cases, mixed region
-# sizes), so every campaign differential-tests the coordinate-computed
-# graph and the partition router against the stored-adjacency oracle.
+# sizes) and — since the switch-technology registry refactor — the
+# switch-block pattern (~55% Wilton, the rest split across subset /
+# universal / custom with rotations 0..W+1 to hit the degenerate and
+# modulo-folded corners), so every campaign differential-tests the
+# coordinate-computed graph, the partition router and the parameterized
+# sb_turn_track machinery against the stored-adjacency oracle. The
+# flow-cache stage additionally pins the backend x sb_pattern artifact
+# key space: combinations share one cache and must never alias.
 #
 # Usage: tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED] [--implicit]
 #   BUILD_DIR  build tree containing tests/prop/fuzz_parsers (default: build)
@@ -94,8 +100,9 @@ ROUTE_CASES=$((ITERS / 100))
 [ "$ROUTE_CASES" -ge 50 ] || ROUTE_CASES=50
 echo "run_fuzz.sh: $ROUTE_BIN (NF_PROP_CASES=$ROUTE_CASES" \
      "NF_PROP_SEED=$SEED NF_PROP_IMPLICIT=$NF_PROP_IMPLICIT," \
-     "astar_factor randomized in [0, 1.2], rr_backend/partition_parallel" \
-     "and timing_driven/criticality_exp/max_criticality randomized)"
+     "astar_factor randomized in [0, 1.2], rr_backend/partition_parallel," \
+     "sb_pattern (wilton/subset/universal/custom) and" \
+     "timing_driven/criticality_exp/max_criticality randomized)"
 NF_PROP_CASES="$ROUTE_CASES" NF_PROP_SEED="$SEED" "$ROUTE_BIN"
 
 PLACE_BIN=$(find_bin prop_place_diff)
@@ -153,6 +160,7 @@ CACHE_CASES=$((ITERS / 1000))
 echo "run_fuzz.sh: $CACHE_BIN (NF_PROP_CASES=$CACHE_CASES" \
      "NF_PROP_SEED=$SEED, randomized concurrent job mixes — mutated" \
      "seeds/widths/timing, 1..8 workers, coin-flip tiny-budget caches —" \
-     "each job checked bit-identical against a solo run_flow)"
+     "each job checked bit-identical against a solo run_flow; plus the" \
+     "backend x sb_pattern no-aliasing property on a shared cache)"
 NF_PROP_CASES="$CACHE_CASES" NF_PROP_SEED="$SEED" exec "$CACHE_BIN" \
-    --gtest_filter='PropFlowCache.ConcurrentJobMixesMatchSoloFlows'
+    --gtest_filter='PropFlowCache.ConcurrentJobMixesMatchSoloFlows:PropFlowCache.BackendsAndPatternsNeverAliasArtifacts'
